@@ -1,0 +1,163 @@
+//! A bitonic sorting / top-k network, functionally implemented.
+//!
+//! The VVPU performs dynamic top-k selection with a hardware bitonic
+//! sorter (§5.3, citing Shanbhag et al.); indices travel with values so the
+//! controller learns outlier positions. This module implements the actual
+//! network: the comparator schedule is generated exactly as the hardware
+//! would wire it, the stage count is exposed for the cycle model, and the
+//! result is property-tested against the software oracle
+//! (`ln_tensor::stats::top_k_abs_indices`).
+
+/// One comparator layer of the network: disjoint index pairs compared in
+/// parallel (one hardware cycle).
+pub type ComparatorStage = Vec<(usize, usize)>;
+
+/// Generates the bitonic sorting network for `n` elements (`n` must be a
+/// power of two). Returns the comparator stages in execution order; within
+/// a stage all comparators are disjoint.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn bitonic_stages(n: usize) -> Vec<ComparatorStage> {
+    assert!(n.is_power_of_two(), "bitonic network needs a power-of-two width");
+    let mut stages = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut stage = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    // Direction: ascending if the k-block index is even.
+                    let ascending = i & k == 0;
+                    if ascending {
+                        stage.push((i, partner));
+                    } else {
+                        stage.push((partner, i));
+                    }
+                }
+            }
+            stages.push(stage);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    stages
+}
+
+/// Number of comparator stages (cycles) for an `n`-wide network:
+/// `log2(n) · (log2(n) + 1) / 2`.
+pub fn num_stages(n: usize) -> usize {
+    let lg = n.next_power_of_two().trailing_zeros() as usize;
+    lg * (lg + 1) / 2
+}
+
+/// Sorts `(value, index)` pairs descending by `key(value)` using the
+/// bitonic network (padding to a power of two with `f32::NEG_INFINITY`).
+///
+/// Returns the sorted `(value, original_index)` pairs.
+pub fn bitonic_sort_desc_by(values: &[f32], key: impl Fn(f32) -> f32) -> Vec<(f32, usize)> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let width = n.next_power_of_two();
+    let mut lanes: Vec<(f32, usize, f32)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i, key(v)))
+        .collect();
+    // Padding lanes sort to the end.
+    lanes.resize(width, (0.0, usize::MAX, f32::NEG_INFINITY));
+    for stage in bitonic_stages(width) {
+        for (lo, hi) in stage {
+            // Descending overall: the "ascending" wire keeps the larger key
+            // at the lower index.
+            if lanes[lo].2 < lanes[hi].2 {
+                lanes.swap(lo, hi);
+            }
+        }
+    }
+    lanes.truncate(n);
+    lanes.into_iter().map(|(v, i, _)| (v, i)).collect()
+}
+
+/// Hardware-equivalent top-k by absolute value: returns the indices of the
+/// `k` largest-magnitude values, in descending magnitude order (ties broken
+/// arbitrarily but deterministically).
+pub fn top_k_abs(values: &[f32], k: usize) -> Vec<usize> {
+    bitonic_sort_desc_by(values, f32::abs)
+        .into_iter()
+        .take(k.min(values.len()))
+        .map(|(_, i)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_formula() {
+        assert_eq!(num_stages(2), 1);
+        assert_eq!(num_stages(4), 3);
+        assert_eq!(num_stages(128), 28);
+        assert_eq!(bitonic_stages(128).len(), 28);
+    }
+
+    #[test]
+    fn stages_are_disjoint() {
+        for stage in bitonic_stages(64) {
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in stage {
+                assert!(seen.insert(a));
+                assert!(seen.insert(b));
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let v = [3.0f32, -7.0, 1.5, 0.0, 9.0, -2.0, 4.0];
+        let sorted = bitonic_sort_desc_by(&v, |x| x);
+        let keys: Vec<f32> = sorted.iter().map(|&(x, _)| x).collect();
+        let mut expect = v.to_vec();
+        expect.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        assert_eq!(keys, expect);
+        // Indices track their values.
+        for (val, idx) in sorted {
+            assert_eq!(v[idx], val);
+        }
+    }
+
+    #[test]
+    fn top_k_matches_software_oracle() {
+        let v: Vec<f32> = (0..100).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.7).collect();
+        for k in [0, 1, 4, 16, 100] {
+            let hw = top_k_abs(&v, k);
+            let sw = ln_tensor::stats::top_k_abs_indices(&v, k);
+            // Same magnitudes selected (tie order may differ).
+            let mag = |idx: &[usize]| {
+                let mut m: Vec<f32> = idx.iter().map(|&i| v[i].abs()).collect();
+                m.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                m
+            };
+            assert_eq!(mag(&hw), mag(&sw), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(bitonic_sort_desc_by(&[], f32::abs).is_empty());
+        assert_eq!(top_k_abs(&[5.0], 3), vec![0]);
+    }
+
+    #[test]
+    fn max_finding_is_top_1() {
+        // §5.3: with k = 1 the VVPU reuses the network for softmax max.
+        let v = [0.2f32, -8.0, 3.0];
+        assert_eq!(top_k_abs(&v, 1), vec![1]);
+    }
+}

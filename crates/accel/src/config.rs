@@ -1,0 +1,153 @@
+//! Hardware configuration of the LightNobel accelerator.
+
+/// Configuration of one LightNobel instance.
+///
+/// Defaults ([`HwConfig::paper`]) match the paper's synthesis target:
+/// 32 RMPUs, 4 VVPUs per RMPU (128 total), 1 GHz at 28 nm, 5 HBM2E stacks
+/// (80 GB, 2 TB/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwConfig {
+    /// Number of Reconfigurable Matrix Processing Units.
+    pub num_rmpus: usize,
+    /// VVPUs paired with each RMPU.
+    pub vvpus_per_rmpu: usize,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// PEs per PE Lane (paper: 8).
+    pub pes_per_lane: usize,
+    /// PE Lanes per PE Cluster (paper: 20 — the LCM of the 4- and 5-lane
+    /// dot-product configurations).
+    pub lanes_per_cluster: usize,
+    /// PE Clusters per RMPU Engine (paper: 4).
+    pub clusters_per_rmpu: usize,
+    /// SIMD lanes per VVPU (paper: 128 = the pair hidden dimension).
+    pub simd_lanes_per_vvpu: usize,
+    /// Token scratchpad bytes (double-buffered pair, paper: 2 × 128 KiB).
+    pub token_scratchpad_bytes: usize,
+    /// Weight scratchpad bytes (paper: 64 KiB).
+    pub weight_scratchpad_bytes: usize,
+    /// Output scratchpad bytes (paper: 128 KiB).
+    pub output_scratchpad_bytes: usize,
+    /// HBM capacity in bytes (paper: 80 GB over 5 HBM2E stacks).
+    pub hbm_capacity_bytes: u64,
+    /// Peak HBM bandwidth in bytes/second (paper: 2 TB/s, matching the
+    /// baseline GPUs).
+    pub hbm_bandwidth_bytes_per_s: f64,
+}
+
+impl HwConfig {
+    /// The paper's synthesized configuration.
+    pub fn paper() -> Self {
+        HwConfig {
+            num_rmpus: 32,
+            vvpus_per_rmpu: 4,
+            clock_ghz: 1.0,
+            pes_per_lane: 8,
+            lanes_per_cluster: 20,
+            clusters_per_rmpu: 4,
+            simd_lanes_per_vvpu: 128,
+            token_scratchpad_bytes: 2 * 128 * 1024,
+            weight_scratchpad_bytes: 64 * 1024,
+            output_scratchpad_bytes: 128 * 1024,
+            hbm_capacity_bytes: 80_000_000_000,
+            hbm_bandwidth_bytes_per_s: 2.0e12,
+        }
+    }
+
+    /// A derived configuration with a different RMPU count (Fig. 12(b)).
+    pub fn with_rmpus(mut self, n: usize) -> Self {
+        self.num_rmpus = n;
+        self
+    }
+
+    /// A derived configuration with a different VVPU-per-RMPU ratio
+    /// (Fig. 12(a)).
+    pub fn with_vvpus_per_rmpu(mut self, n: usize) -> Self {
+        self.vvpus_per_rmpu = n;
+        self
+    }
+
+    /// Total VVPUs in the system.
+    pub fn total_vvpus(&self) -> usize {
+        self.num_rmpus * self.vvpus_per_rmpu
+    }
+
+    /// Total PE lanes per RMPU Engine.
+    pub fn lanes_per_rmpu(&self) -> usize {
+        self.lanes_per_cluster * self.clusters_per_rmpu
+    }
+
+    /// Four-bit computation units per PE lane (each PE holds 16 minimal
+    /// units: one 16-bit × 16-bit multiply per cycle).
+    pub fn four_bit_units_per_lane(&self) -> usize {
+        self.pes_per_lane * 16
+    }
+
+    /// Peak four-bit-unit throughput of the whole accelerator per cycle.
+    pub fn four_bit_units_per_cycle(&self) -> usize {
+        self.num_rmpus * self.lanes_per_rmpu() * self.four_bit_units_per_lane()
+    }
+
+    /// Nominal INT8-equivalent TOPS (paper: "537 TOPS"): each INT8×INT8
+    /// multiply needs 4 four-bit units, and a MAC counts as 2 ops.
+    pub fn int8_tops(&self) -> f64 {
+        let int8_macs_per_cycle = self.four_bit_units_per_cycle() as f64 / 4.0;
+        2.0 * int8_macs_per_cycle * self.clock_ghz / 1000.0
+    }
+
+    /// Clock period in seconds.
+    pub fn cycle_seconds(&self) -> f64 {
+        1e-9 / self.clock_ghz
+    }
+
+    /// HBM bytes transferred per core cycle at peak.
+    pub fn hbm_bytes_per_cycle(&self) -> f64 {
+        self.hbm_bandwidth_bytes_per_s * self.cycle_seconds()
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section5() {
+        let c = HwConfig::paper();
+        assert_eq!(c.lanes_per_rmpu(), 80);
+        assert_eq!(c.four_bit_units_per_lane(), 128);
+        assert_eq!(c.total_vvpus(), 128);
+        // 32 RMPU × 80 lanes × 128 units = 327 680 four-bit units/cycle.
+        assert_eq!(c.four_bit_units_per_cycle(), 327_680);
+    }
+
+    #[test]
+    fn int8_tops_well_below_gpus() {
+        // Paper §8.2 quotes 537 TOPS for LightNobel vs 624 (A100) / 3026
+        // (H100) INT8 TOPS; our stricter INT8-equivalent accounting of the
+        // same fabric yields ~164 TOPS. Either way the point the figure
+        // makes must hold: far less compute than the GPUs it beats.
+        let tops = HwConfig::paper().int8_tops();
+        assert!(tops > 100.0 && tops < 624.0, "tops {tops}");
+    }
+
+    #[test]
+    fn hbm_bytes_per_cycle() {
+        let c = HwConfig::paper();
+        // 2 TB/s at 1 GHz = 2000 B/cycle.
+        assert!((c.hbm_bytes_per_cycle() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builders_modify_single_fields() {
+        let c = HwConfig::paper().with_rmpus(8).with_vvpus_per_rmpu(2);
+        assert_eq!(c.num_rmpus, 8);
+        assert_eq!(c.total_vvpus(), 16);
+        assert_eq!(c.lanes_per_cluster, 20);
+    }
+}

@@ -1,0 +1,145 @@
+//! The controller (§5): dispatches token-block work across RMPUs, pairs
+//! each RMPU with its VVPUs, and arbitrates Global Crossbar Network ports.
+//!
+//! The model is a functional scheduler: given a list of token tiles it
+//! produces the per-RMPU work assignment and the GCN arbitration cost of
+//! each dispatch round, which the pipeline folds into its fill/drain term.
+
+use crate::crossbar;
+use crate::HwConfig;
+
+/// One unit of schedulable work: a tile of tokens sharing a quantization
+/// scheme (and thus an RMPU lane configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkTile {
+    /// Tokens in the tile.
+    pub tokens: usize,
+    /// PE lanes each token's dot products need (from `pe::lanes_per_token_dot`).
+    pub lanes_per_token: usize,
+}
+
+/// The assignment of tiles to RMPUs produced by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// `assignment[r]` lists the tile indices given to RMPU `r`.
+    pub assignment: Vec<Vec<usize>>,
+    /// Tokens assigned to each RMPU (the balance metric).
+    pub tokens_per_rmpu: Vec<usize>,
+    /// GCN arbitration cycles spent issuing the dispatches.
+    pub arbitration_cycles: u64,
+}
+
+impl Schedule {
+    /// Load imbalance: max/mean tokens per RMPU (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.tokens_per_rmpu.iter().max().unwrap_or(&0);
+        let sum: usize = self.tokens_per_rmpu.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.tokens_per_rmpu.len() as f64;
+        max as f64 / mean
+    }
+}
+
+/// Schedules tiles across RMPUs: longest-processing-time-first onto the
+/// least-loaded RMPU (the classic LPT heuristic), then charges GCN
+/// arbitration for the dispatch round.
+pub fn schedule(hw: &HwConfig, tiles: &[WorkTile]) -> Schedule {
+    let n = hw.num_rmpus.max(1);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut load = vec![0usize; n];
+
+    // LPT: sort tile indices by descending work (tokens × lanes).
+    let mut order: Vec<usize> = (0..tiles.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(tiles[i].tokens * tiles[i].lanes_per_token));
+    for i in order {
+        let target = (0..n).min_by_key(|&r| load[r]).expect("at least one RMPU");
+        load[target] += tiles[i].tokens;
+        assignment[target].push(i);
+    }
+
+    // Each tile dispatch requests its RMPU's GCN port once.
+    let requests: Vec<usize> = assignment
+        .iter()
+        .enumerate()
+        .flat_map(|(r, tile_list)| tile_list.iter().map(move |_| r))
+        .collect();
+    let ports = n + hw.total_vvpus() + 4;
+    let arbitration_cycles = crossbar::arbitration_cycles(&requests, ports);
+
+    Schedule { assignment, tokens_per_rmpu: load, arbitration_cycles }
+}
+
+/// Splits `total_tokens` of uniform work into scheduler tiles sized to the
+/// token scratchpad half (the natural dispatch granularity).
+pub fn tiles_for(hw: &HwConfig, total_tokens: usize, token_bytes: usize, lanes: usize) -> Vec<WorkTile> {
+    let per_tile = (hw.token_scratchpad_bytes / 2 / token_bytes.max(1)).max(1);
+    let mut tiles = Vec::new();
+    let mut remaining = total_tokens;
+    while remaining > 0 {
+        let t = remaining.min(per_tile);
+        tiles.push(WorkTile { tokens: t, lanes_per_token: lanes });
+        remaining -= t;
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_tiles_balance_almost_perfectly() {
+        let hw = HwConfig::paper();
+        let tiles = tiles_for(&hw, 500_000, 82, 5);
+        let s = schedule(&hw, &tiles);
+        assert!(s.imbalance() < 1.05, "imbalance {}", s.imbalance());
+        let assigned: usize = s.tokens_per_rmpu.iter().sum();
+        assert_eq!(assigned, 500_000);
+    }
+
+    #[test]
+    fn lpt_handles_skewed_tiles() {
+        let hw = HwConfig::paper().with_rmpus(4);
+        // One huge tile plus many small ones: the huge one must go alone.
+        let mut tiles = vec![WorkTile { tokens: 10_000, lanes_per_token: 5 }];
+        tiles.extend((0..30).map(|_| WorkTile { tokens: 1_000, lanes_per_token: 5 }));
+        let s = schedule(&hw, &tiles);
+        // 40k total over 4 RMPUs = 10k mean; LPT keeps max at ~10-11k.
+        assert!(s.imbalance() < 1.15, "imbalance {}", s.imbalance());
+        // The big tile's RMPU should carry few other tiles.
+        let big_rmpu = s
+            .assignment
+            .iter()
+            .position(|a| a.contains(&0))
+            .expect("tile 0 assigned somewhere");
+        assert!(s.assignment[big_rmpu].len() <= 3);
+    }
+
+    #[test]
+    fn arbitration_grows_with_tiles_per_rmpu() {
+        let hw = HwConfig::paper();
+        let few = schedule(&hw, &tiles_for(&hw, 10_000, 82, 5));
+        let many = schedule(&hw, &tiles_for(&hw, 1_000_000, 82, 5));
+        assert!(many.arbitration_cycles >= few.arbitration_cycles);
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        let hw = HwConfig::paper();
+        let s = schedule(&hw, &[]);
+        assert_eq!(s.arbitration_cycles, 0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn tiles_cover_all_tokens_exactly() {
+        let hw = HwConfig::paper();
+        for total in [1usize, 1597, 1_048_576] {
+            let tiles = tiles_for(&hw, total, 144, 9);
+            let sum: usize = tiles.iter().map(|t| t.tokens).sum();
+            assert_eq!(sum, total);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The swizzle-switch crossbar networks (§5): the Global Crossbar Network
+//! interconnecting RMPUs/VVPUs/scratchpads and the per-VVPU Local Crossbar
+//! Network that reorders quantized values into the Fig. 7 memory layout.
+//!
+//! The functional part is a permutation network: the LCN's job during
+//! runtime quantization is to gather inliers contiguously and outliers to
+//! the tail, which this module actually performs (and inverts). The timing
+//! part models arbitration: concurrent requests to the same output port
+//! serialise.
+
+/// A permutation route through a crossbar: `route[i]` is the output port of
+/// input `i`.
+pub type Route = Vec<usize>;
+
+/// Builds the LCN route that packs a quantized token into the Fig. 7
+/// layout: inliers first (in channel order), then outliers (in index
+/// order).
+pub fn quantization_route(channels: usize, outlier_indices: &[usize]) -> Route {
+    let is_outlier = {
+        let mut v = vec![false; channels];
+        for &i in outlier_indices {
+            v[i] = true;
+        }
+        v
+    };
+    let mut route = vec![0usize; channels];
+    let mut next_inlier = 0usize;
+    let mut next_outlier = channels - outlier_indices.len();
+    for (c, r) in route.iter_mut().enumerate() {
+        if is_outlier[c] {
+            *r = next_outlier;
+            next_outlier += 1;
+        } else {
+            *r = next_inlier;
+            next_inlier += 1;
+        }
+    }
+    route
+}
+
+/// Applies a route: `out[route[i]] = input[i]`.
+///
+/// # Panics
+///
+/// Panics if the route is not a permutation of `0..input.len()`.
+pub fn apply_route<T: Copy + Default>(input: &[T], route: &Route) -> Vec<T> {
+    assert_eq!(input.len(), route.len(), "route width must match input");
+    let mut out = vec![T::default(); input.len()];
+    let mut seen = vec![false; input.len()];
+    for (i, &port) in route.iter().enumerate() {
+        assert!(!seen[port], "route is not a permutation: port {port} reused");
+        seen[port] = true;
+        out[port] = input[i];
+    }
+    out
+}
+
+/// Inverts a route (the dequantization-side reordering).
+pub fn invert_route(route: &Route) -> Route {
+    let mut inv = vec![0usize; route.len()];
+    for (i, &port) in route.iter().enumerate() {
+        inv[port] = i;
+    }
+    inv
+}
+
+/// Arbitration cycles for a batch of requests: each request names an output
+/// port; requests to distinct ports proceed in parallel, collisions
+/// serialise. Returns the number of cycles until all requests are granted
+/// (the maximum port occupancy).
+pub fn arbitration_cycles(requested_ports: &[usize], num_ports: usize) -> u64 {
+    let mut counts = vec![0u64; num_ports];
+    for &p in requested_ports {
+        counts[p % num_ports.max(1)] += 1;
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_route_separates_inliers_and_outliers() {
+        let route = quantization_route(8, &[2, 5]);
+        let data: Vec<u32> = (0..8).collect();
+        let packed = apply_route(&data, &route);
+        // Inliers 0,1,3,4,6,7 first, then outliers 2,5.
+        assert_eq!(packed, vec![0, 1, 3, 4, 6, 7, 2, 5]);
+    }
+
+    #[test]
+    fn route_inversion_restores_channel_order() {
+        let route = quantization_route(16, &[0, 7, 15]);
+        let data: Vec<i32> = (0..16).map(|x| x * 3).collect();
+        let packed = apply_route(&data, &route);
+        let restored = apply_route(&packed, &invert_route(&route));
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn no_outliers_is_identity() {
+        let route = quantization_route(6, &[]);
+        assert_eq!(route, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn packed_layout_matches_codec_order() {
+        // The LCN's packing must agree with the software codec: inliers in
+        // channel order, outliers in index order (Fig. 7).
+        use ln_quant::scheme::QuantScheme;
+        use ln_quant::token::quantize_token;
+        let values: Vec<f32> =
+            (0..32).map(|i| if i == 5 || i == 20 { 100.0 + i as f32 } else { i as f32 * 0.1 }).collect();
+        let q = quantize_token(&values, QuantScheme::int8_with_outliers(2));
+        let outliers: Vec<usize> = q.outlier_indices().iter().map(|&i| i as usize).collect();
+        let route = quantization_route(32, &outliers);
+        let packed = apply_route(&values, &route);
+        // The tail holds the outlier values in index order.
+        assert_eq!(packed[30], values[5]);
+        assert_eq!(packed[31], values[20]);
+        // The head holds inliers in channel order.
+        assert_eq!(packed[0], values[0]);
+        assert_eq!(packed[5], values[6], "channel 5 is an outlier, so channel 6 shifts up");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_route_is_rejected() {
+        let _ = apply_route(&[1, 2, 3], &vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn arbitration_serialises_collisions() {
+        // 4 requests to the same port: 4 cycles; spread requests: 1 cycle.
+        assert_eq!(arbitration_cycles(&[3, 3, 3, 3], 8), 4);
+        assert_eq!(arbitration_cycles(&[0, 1, 2, 3], 8), 1);
+        assert_eq!(arbitration_cycles(&[], 8), 0);
+    }
+}

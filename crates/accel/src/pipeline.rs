@@ -1,0 +1,523 @@
+//! The stage-level performance model of LightNobel.
+//!
+//! For every Pair-Representation dataflow stage the model computes three
+//! pipelined resource times — RMPU compute, VVPU vector work, and HBM
+//! traffic of the *encoded* (AAQ-quantized) activations — and takes their
+//! maximum plus a fill/drain term, per the paper's methodology (§6). The
+//! token-wise MHA (§5.4) never writes score tensors to memory, which is
+//! where the accelerator's bandwidth advantage over the GPUs comes from.
+
+use crate::hbm::{AccessPattern, HbmModel};
+use crate::pe;
+use crate::vvpu::{self, VectorOp};
+use crate::HwConfig;
+use ln_ppm::cost::{CostModel, Stage, ALL_STAGES};
+use ln_ppm::PpmConfig;
+use ln_quant::scheme::{AaqConfig, QuantScheme};
+
+/// Pipeline fill/drain overhead charged once per stage invocation, in
+/// cycles (scratchpad double-buffer priming + crossbar setup).
+const FILL_DRAIN_CYCLES: u64 = 400;
+
+/// Multiplier on the binding resource time for GCN arbitration and
+/// RMPU↔VVPU hand-off stalls (cross-validated against the paper's
+/// RTL-vs-simulator discrepancy analysis, §6).
+const ARBITRATION_FACTOR: f64 = 1.35;
+
+/// Latency breakdown of one stage invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageLatency {
+    /// The dataflow stage.
+    pub stage: Stage,
+    /// RMPU compute cycles.
+    pub rmpu_cycles: u64,
+    /// VVPU vector cycles.
+    pub vvpu_cycles: u64,
+    /// HBM transfer cycles (encoded bytes).
+    pub hbm_cycles: u64,
+    /// Encoded bytes moved.
+    pub hbm_bytes: u64,
+}
+
+impl StageLatency {
+    /// The pipelined latency of this invocation.
+    pub fn cycles(&self) -> u64 {
+        let bound = self.rmpu_cycles.max(self.vvpu_cycles).max(self.hbm_cycles);
+        (bound as f64 * ARBITRATION_FACTOR) as u64 + FILL_DRAIN_CYCLES
+    }
+
+    /// Which resource bounds this stage.
+    pub fn bound_by(&self) -> &'static str {
+        if self.hbm_cycles >= self.rmpu_cycles && self.hbm_cycles >= self.vvpu_cycles {
+            "memory"
+        } else if self.rmpu_cycles >= self.vvpu_cycles {
+            "rmpu"
+        } else {
+            "vvpu"
+        }
+    }
+}
+
+/// Full latency report for one protein.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Sequence length.
+    pub ns: usize,
+    /// Per-stage latency of a single block invocation.
+    pub per_block_stages: Vec<StageLatency>,
+    /// Folding blocks × recycles executed.
+    pub block_invocations: usize,
+    /// Clock period (seconds).
+    pub cycle_seconds: f64,
+}
+
+impl LatencyReport {
+    /// Total folding-trunk cycles.
+    pub fn total_cycles(&self) -> u64 {
+        let per_block: u64 = self.per_block_stages.iter().map(StageLatency::cycles).sum();
+        per_block * self.block_invocations as u64
+    }
+
+    /// Total folding-trunk seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles() as f64 * self.cycle_seconds
+    }
+
+    /// Total encoded HBM bytes moved.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        let per_block: u64 = self.per_block_stages.iter().map(|s| s.hbm_bytes).sum();
+        per_block * self.block_invocations as u64
+    }
+
+    /// The stage bounding the block latency (the pipeline's critical
+    /// resource for this protein).
+    pub fn critical_stage(&self) -> &StageLatency {
+        self.per_block_stages
+            .iter()
+            .max_by_key(|s| s.cycles())
+            .expect("a block always has stages")
+    }
+
+    /// Renders a per-stage execution trace: cycles, bytes and the binding
+    /// resource of each stage in one folding block.
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Ns={} blocks×recycles={} total={:.3}s",
+            self.ns,
+            self.block_invocations,
+            self.total_seconds()
+        );
+        let total: u64 = self.per_block_stages.iter().map(StageLatency::cycles).sum();
+        for s in &self.per_block_stages {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>12} cyc ({:>5.1}%)  rmpu={:<10} vvpu={:<10} hbm={:<10} bound={}",
+                s.stage.name(),
+                s.cycles(),
+                s.cycles() as f64 / total.max(1) as f64 * 100.0,
+                s.rmpu_cycles,
+                s.vvpu_cycles,
+                s.hbm_cycles,
+                s.bound_by()
+            );
+        }
+        out
+    }
+}
+
+/// Dataset-level aggregate of accelerator runs (the Fig. 14/15 axes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSummary {
+    /// Number of proteins in the workload.
+    pub proteins: usize,
+    /// Mean folding latency, seconds.
+    pub mean_seconds: f64,
+    /// Median folding latency, seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile folding latency, seconds.
+    pub p95_seconds: f64,
+    /// Total folding energy, joules.
+    pub total_energy_joules: f64,
+    /// Largest peak-memory requirement, bytes.
+    pub max_peak_bytes: f64,
+    /// Proteins that exceed device memory.
+    pub oom_count: usize,
+}
+
+/// The LightNobel accelerator model.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    hw: HwConfig,
+    hbm: HbmModel,
+    cost: CostModel,
+    aaq: AaqConfig,
+}
+
+impl Accelerator {
+    /// Builds the accelerator at paper-scale PPM dimensions with the
+    /// paper's AAQ configuration.
+    pub fn new(hw: HwConfig) -> Self {
+        Self::with_model(hw, PpmConfig::paper_scale(), AaqConfig::paper())
+    }
+
+    /// Builds the accelerator for an arbitrary PPM configuration and AAQ
+    /// scheme set.
+    pub fn with_model(hw: HwConfig, model: PpmConfig, aaq: AaqConfig) -> Self {
+        let hbm = HbmModel::new(&hw);
+        Accelerator { hbm, cost: CostModel::new(model), aaq, hw }
+    }
+
+    /// The hardware configuration.
+    pub fn hw(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// The AAQ configuration in use.
+    pub fn aaq(&self) -> &AaqConfig {
+        &self.aaq
+    }
+
+    /// The PPM cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulates the folding trunk for sequence length `ns`.
+    pub fn simulate(&self, ns: usize) -> LatencyReport {
+        let cfg = self.cost.config();
+        let per_block_stages = ALL_STAGES
+            .iter()
+            .filter(|s| s.is_per_block())
+            .map(|&s| self.stage_latency(s, ns))
+            .collect();
+        LatencyReport {
+            ns,
+            per_block_stages,
+            block_invocations: cfg.blocks * cfg.recycles,
+            cycle_seconds: self.hw.cycle_seconds(),
+        }
+    }
+
+    /// Peak device-memory requirement (bytes): the encoded residual pair
+    /// stream (double-buffered), tri-mul intermediates, weights and
+    /// working sets. Token-wise MHA never materialises score tensors.
+    pub fn peak_memory_bytes(&self, ns: usize) -> f64 {
+        let cfg = self.cost.config();
+        let tokens = (ns as f64) * (ns as f64);
+        let a_bytes = self.aaq.group_a.token_bytes(cfg.hz) as f64;
+        let c_bytes = self.aaq.group_c.token_bytes(cfg.tri_mul_dim) as f64;
+        // Residual stream (double-buffered) + the recycling copy of the
+        // previous pair state, the left/right triangle operands, and the
+        // q/k/v streams of the in-flight attention unit.
+        let activations = 3.0 * tokens * a_bytes + (2.0 + 3.0) * tokens * c_bytes;
+        let weights = self.cost.trunk_params() as f64 * 2.0; // INT16
+        activations + weights
+    }
+
+    /// Whether a protein of length `ns` fits device memory.
+    pub fn fits_memory(&self, ns: usize) -> bool {
+        self.peak_memory_bytes(ns) <= self.hw.hbm_capacity_bytes as f64
+    }
+
+    /// Energy for one folding run, joules (accelerator power × latency).
+    pub fn energy_joules(&self, ns: usize) -> f64 {
+        let watts = crate::power::area_power(&self.hw).total.power_mw / 1000.0;
+        self.simulate(ns).total_seconds() * watts
+    }
+
+    /// Summarises a whole workload (e.g. a dataset's length list), the way
+    /// the paper aggregates per-dataset results in Fig. 14/15.
+    pub fn workload_summary(&self, lengths: &[usize]) -> WorkloadSummary {
+        let mut seconds: Vec<f64> = lengths.iter().map(|&ns| self.simulate(ns).total_seconds()).collect();
+        let total_energy: f64 = lengths.iter().map(|&ns| self.energy_joules(ns)).sum();
+        let max_peak =
+            lengths.iter().map(|&ns| self.peak_memory_bytes(ns)).fold(0.0f64, f64::max);
+        let oom = lengths.iter().filter(|&&ns| !self.fits_memory(ns)).count();
+        seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = seconds.len().max(1);
+        let pct = |p: f64| seconds[((p * (n - 1) as f64).round() as usize).min(n - 1)];
+        WorkloadSummary {
+            proteins: lengths.len(),
+            mean_seconds: seconds.iter().sum::<f64>() / n as f64,
+            p50_seconds: pct(0.5),
+            p95_seconds: pct(0.95),
+            total_energy_joules: total_energy,
+            max_peak_bytes: max_peak,
+            oom_count: oom,
+        }
+    }
+
+    /// Latency of one invocation of a per-block stage.
+    pub fn stage_latency(&self, stage: Stage, ns: usize) -> StageLatency {
+        let cfg = self.cost.config();
+        let tokens = (ns as u64) * (ns as u64);
+        let hz = cfg.hz;
+        let cm = cfg.tri_mul_dim;
+        let attn = cfg.pair_attn_dim();
+        let heads = cfg.pair_heads as u64;
+        let b = self.aaq.group_b;
+        let c_scheme = self.aaq.group_c;
+        let units_cap = self.hw.four_bit_units_per_cycle() as f64;
+
+        // Effective unit throughput accounting for DAL lane quantization on
+        // token-dot work.
+        let dot_cycles = |scheme: QuantScheme, dots: u64, channels: usize| -> u64 {
+            pe::matmul_cycles(&self.hw, scheme, dots as usize, channels, 1)
+        };
+        let act_act_cycles = |a: QuantScheme, bb: QuantScheme, dots: u64, channels: usize| -> u64 {
+            let units = pe::units_per_act_act_dot(a, bb, channels) as f64 * dots as f64;
+            (units / (units_cap * 0.9)).ceil() as u64
+        };
+
+        let (rmpu_cycles, vvpu_cycles, hbm_bytes): (u64, u64, u64) = match stage {
+            Stage::TriMulOutgoing | Stage::TriMulIncoming => {
+                // 5 projections hz→cm/hz from post-LN tokens + out proj.
+                let proj = dot_cycles(b, tokens * (4 * cm as u64 + hz as u64), hz)
+                    + dot_cycles(b, tokens * hz as u64, cm);
+                // Triangle einsum: tokens × cm channel-dots of length ns.
+                let tri = act_act_cycles(c_scheme, c_scheme, tokens * cm as u64, ns);
+                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, 2 * tokens)
+                    + vvpu::batch_cycles(
+                        &self.hw,
+                        VectorOp::Quantize { scheme: c_scheme },
+                        cm,
+                        6 * tokens,
+                    )
+                    + vvpu::batch_cycles(
+                        &self.hw,
+                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        hz,
+                        tokens,
+                    )
+                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                // Residual read+write (A), left/right write + 2× blocked
+                // re-read (C), triangle out stays in the pipeline.
+                let bytes = tokens
+                    * (2 * self.aaq.group_a.token_bytes(hz) as u64
+                        + (2 + 4) * c_scheme.token_bytes(cm) as u64);
+                (proj + tri, v, bytes)
+            }
+            Stage::TriAttnStarting | Stage::TriAttnEnding => {
+                let proj = dot_cycles(b, tokens * (4 * attn as u64 + heads), hz)
+                    + dot_cycles(c_scheme, tokens * hz as u64, attn);
+                // Scores q·k and probs·v: 2 × ns³ dots of head_dim /
+                // context products, both on quantized activations.
+                let score_dots = heads * (ns as u64) * (ns as u64) * (ns as u64);
+                let scores =
+                    act_act_cycles(c_scheme, c_scheme, 2 * score_dots, cfg.pair_head_dim);
+                let softmax_rows = heads * (ns as u64) * (ns as u64);
+                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
+                    + vvpu::batch_cycles(&self.hw, VectorOp::Softmax, ns, softmax_rows)
+                    + vvpu::batch_cycles(
+                        &self.hw,
+                        VectorOp::Quantize { scheme: c_scheme },
+                        attn,
+                        5 * tokens,
+                    )
+                    + vvpu::batch_cycles(
+                        &self.hw,
+                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        hz,
+                        tokens,
+                    )
+                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                // Residual r/w + q,k,v write and ~2× lane re-read; scores
+                // never leave the chip (token-wise MHA).
+                let bytes = tokens
+                    * (2 * self.aaq.group_a.token_bytes(hz) as u64
+                        + 3 * 3 * c_scheme.token_bytes(attn) as u64);
+                (proj + scores, v, bytes)
+            }
+            Stage::PairTransition => {
+                let hidden = hz * cfg.transition_factor;
+                let up = dot_cycles(b, tokens * hidden as u64, hz);
+                let down = dot_cycles(c_scheme, tokens * hz as u64, hidden);
+                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
+                    + vvpu::batch_cycles(
+                        &self.hw,
+                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        hz,
+                        tokens,
+                    )
+                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                // Token-local: only the residual stream hits memory.
+                let bytes = tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64;
+                (up + down, v, bytes)
+            }
+            Stage::SeqAttention | Stage::SeqTransition | Stage::OuterProductMean => {
+                // Sequence track: unquantized INT16 on the VVPU-heavy path;
+                // multiple VVPUs gang via the GCN (§5).
+                let macs = self.cost.stage_macs(stage, ns);
+                let s16 = QuantScheme { inlier_bits: ln_quant::scheme::Bits::Int16, outliers: 0 };
+                let units = macs * 16.0;
+                let r = (units / (units_cap * 0.9)).ceil() as u64;
+                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, cfg.hm, 2 * ns as u64);
+                let bytes = if stage == Stage::OuterProductMean {
+                    // Read-modify-write of the residual pair stream.
+                    let _ = s16;
+                    tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64
+                } else {
+                    (ns * cfg.hm * 2 * 4) as u64
+                };
+                (r, v, bytes)
+            }
+            Stage::InputEmbedding | Stage::StructureModule => (0, 0, 0),
+        };
+
+        let hbm_cycles = self.hbm.transfer_cycles(hbm_bytes, AccessPattern::Sequential);
+        StageLatency { stage, rmpu_cycles, vvpu_cycles, hbm_cycles, hbm_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accel() -> Accelerator {
+        Accelerator::new(HwConfig::paper())
+    }
+
+    #[test]
+    fn latency_grows_superlinearly_with_ns() {
+        let a = accel();
+        let t1 = a.simulate(512).total_seconds();
+        let t2 = a.simulate(1024).total_seconds();
+        assert!(t2 / t1 > 3.0, "ratio {}", t2 / t1);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn tri_attention_share_grows_with_length() {
+        // The cubic score work makes triangular attention the largest and
+        // fastest-growing stage pair (the GPU-side Fig. 3 claim is asserted
+        // in ln-gpu; here the accelerator's own breakdown must trend the
+        // same way).
+        let a = accel();
+        let share = |ns: usize| {
+            let r = a.simulate(ns);
+            let attn: u64 = r
+                .per_block_stages
+                .iter()
+                .filter(|s| matches!(s.stage, Stage::TriAttnStarting | Stage::TriAttnEnding))
+                .map(StageLatency::cycles)
+                .sum();
+            let total: u64 = r.per_block_stages.iter().map(StageLatency::cycles).sum();
+            attn as f64 / total as f64
+        };
+        assert!(share(2048) > share(256));
+        assert!(share(2048) > 0.35, "share {}", share(2048));
+    }
+
+    #[test]
+    fn peak_memory_beats_fp16_dramatically() {
+        let a = accel();
+        let ns = 3364;
+        let ours = a.peak_memory_bytes(ns);
+        let vanilla = a.cost().peak_activation_bytes(ns, ln_ppm::cost::ExecMode::Vanilla);
+        assert!(vanilla / ours > 20.0, "ratio {}", vanilla / ours);
+    }
+
+    #[test]
+    fn supports_much_longer_sequences_than_80gb_gpus() {
+        // §8.3: LightNobel processes up to 9 945 residues in 80 GB.
+        let a = accel();
+        assert!(a.fits_memory(6879), "must fit the longest CASP16 target");
+        assert!(a.fits_memory(9000));
+        assert!(!a.fits_memory(20000));
+    }
+
+    #[test]
+    fn more_rmpus_reduce_latency_until_memory_bound() {
+        let t = |n: usize| {
+            Accelerator::new(HwConfig::paper().with_rmpus(n)).simulate(512).total_seconds()
+        };
+        let t1 = t(1);
+        let t2 = t(2);
+        let t8 = t(8);
+        let t32 = t(32);
+        let t64 = t(64);
+        let t256 = t(256);
+        assert!(t1 > t8 && t8 > t32, "{t1} {t8} {t32}");
+        // Fig. 12(b) shape: returns diminish as the VVPU/memory terms stop
+        // scaling. (The paper's knee is at 32 RMPUs; our stricter compute
+        // accounting places it higher — see EXPERIMENTS.md.)
+        assert!(t32 / t64 <= t1 / t2 + 1e-9, "{} vs {}", t32 / t64, t1 / t2);
+        let gain_past_128 = t(128) / t256;
+        assert!(gain_past_128 < 1.3, "gain past 128 RMPUs {gain_past_128}");
+    }
+
+    #[test]
+    fn vvpu_count_saturates_at_4_per_rmpu() {
+        // Fig. 12(a).
+        let t = |v: usize| {
+            Accelerator::new(HwConfig::paper().with_vvpus_per_rmpu(v))
+                .simulate(1024)
+                .total_seconds()
+        };
+        let t1 = t(1);
+        let t4 = t(4);
+        let t8 = t(8);
+        assert!(t1 > t4, "{t1} vs {t4}");
+        assert!(t4 / t8 < 1.15, "saturation broken: {} ", t4 / t8);
+    }
+
+    #[test]
+    fn stage_latency_reports_consistent_bound() {
+        let a = accel();
+        for s in &a.simulate(512).per_block_stages {
+            let max = s.rmpu_cycles.max(s.vvpu_cycles).max(s.hbm_cycles);
+            assert_eq!(s.cycles(), (max as f64 * ARBITRATION_FACTOR) as u64 + FILL_DRAIN_CYCLES);
+            assert!(!s.bound_by().is_empty());
+        }
+    }
+
+    #[test]
+    fn workload_summary_aggregates_sanely() {
+        let a = accel();
+        let lengths = [128usize, 256, 512, 1024, 12000];
+        let s = a.workload_summary(&lengths);
+        assert_eq!(s.proteins, 5);
+        assert!(s.p50_seconds <= s.p95_seconds);
+        assert!(s.mean_seconds > 0.0);
+        assert!(s.total_energy_joules > 0.0);
+        assert_eq!(s.oom_count, 1, "12000 exceeds 80 GB");
+        assert!(s.max_peak_bytes > 80e9);
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let a = accel();
+        assert!(a.energy_joules(1024) > 3.0 * a.energy_joules(512));
+        assert!(a.energy_joules(512) > 0.0);
+    }
+
+    #[test]
+    fn trace_names_every_stage_and_the_critical_one() {
+        let r = accel().simulate(512);
+        let trace = r.render_trace();
+        for s in &r.per_block_stages {
+            assert!(trace.contains(s.stage.name()), "{trace}");
+        }
+        assert!(trace.contains("bound="));
+        let critical = r.critical_stage();
+        assert!(r.per_block_stages.iter().all(|s| s.cycles() <= critical.cycles()));
+    }
+
+    #[test]
+    fn hbm_bytes_shrink_with_aggressive_quantization() {
+        let cheap = AaqConfig {
+            group_a: QuantScheme::int4_with_outliers(0),
+            group_b: QuantScheme::int4_with_outliers(0),
+            group_c: QuantScheme::int4_with_outliers(0),
+        };
+        let a_cheap =
+            Accelerator::with_model(HwConfig::paper(), PpmConfig::paper_scale(), cheap);
+        let a_paper = accel();
+        assert!(
+            a_cheap.simulate(1024).total_hbm_bytes() < a_paper.simulate(1024).total_hbm_bytes()
+        );
+    }
+}

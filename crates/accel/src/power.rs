@@ -1,0 +1,177 @@
+//! Component-level area and power model (Table 2).
+//!
+//! Per-module constants come from the paper's 28 nm synthesis (Design
+//! Compiler for logic, a memory compiler + CACTI 7.0 downscaled for
+//! scratchpads). Crossbar networks scale quadratically with port count
+//! (swizzle-switch scaling), so the model stays meaningful across the
+//! Fig. 12 design-space sweeps.
+
+use crate::HwConfig;
+
+/// Area (mm²) and power (mW) of one module.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaPower {
+    /// Area in mm² at 28 nm.
+    pub area_mm2: f64,
+    /// Power in mW at 1 GHz.
+    pub power_mw: f64,
+}
+
+impl AreaPower {
+    fn new(area_mm2: f64, power_mw: f64) -> Self {
+        AreaPower { area_mm2, power_mw }
+    }
+
+    fn scaled(self, n: f64) -> Self {
+        AreaPower { area_mm2: self.area_mm2 * n, power_mw: self.power_mw * n }
+    }
+
+    fn plus(self, other: AreaPower) -> Self {
+        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_mw: self.power_mw + other.power_mw }
+    }
+}
+
+// Table 2 per-module constants (28 nm, 1 GHz).
+const TOKEN_ALIGNER: AreaPower = AreaPower { area_mm2: 0.005, power_mw: 5.959 };
+const SCRATCHPADS: AreaPower = AreaPower { area_mm2: 2.023, power_mw: 0.188 };
+const RDA: AreaPower = AreaPower { area_mm2: 0.005, power_mw: 2.844 };
+const RMPU_ENGINE: AreaPower = AreaPower { area_mm2: 1.017, power_mw: 473.903 };
+const RMPU_FIFO: AreaPower = AreaPower { area_mm2: 0.105, power_mw: 112.400 };
+const VVPU_LCN: AreaPower = AreaPower { area_mm2: 0.785, power_mw: 287.989 };
+const VVPU_SIMD_LANES: AreaPower = AreaPower { area_mm2: 0.115, power_mw: 21.094 };
+const VVPU_SSU: AreaPower = AreaPower { area_mm2: 0.001, power_mw: 0.823 };
+const CONTROLLER: AreaPower = AreaPower { area_mm2: 0.141, power_mw: 147.775 };
+
+/// Global crossbar constants calibrated so the paper configuration
+/// (32 RMPU + 128 VVPU + 4 scratchpad ports = 164 ports) reproduces
+/// Table 2's 25.133 mm² / 9 215.658 mW.
+const GCN_PORTS_PAPER: f64 = 164.0;
+const GCN_AREA_PAPER: f64 = 25.133;
+const GCN_POWER_PAPER: f64 = 9215.658;
+
+/// The full area/power report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaPowerReport {
+    /// Token aligner.
+    pub token_aligner: AreaPower,
+    /// All scratchpads.
+    pub scratchpads: AreaPower,
+    /// One RMPU (RDA + engine + FIFO).
+    pub one_rmpu: AreaPower,
+    /// All RMPUs.
+    pub rmpus: AreaPower,
+    /// Global crossbar network.
+    pub gcn: AreaPower,
+    /// One VVPU (LCN + SIMD lanes + SSU).
+    pub one_vvpu: AreaPower,
+    /// All VVPUs.
+    pub vvpus: AreaPower,
+    /// Controller & others.
+    pub controller: AreaPower,
+    /// Full accelerator.
+    pub total: AreaPower,
+}
+
+/// Computes the area/power report for a hardware configuration.
+pub fn area_power(hw: &HwConfig) -> AreaPowerReport {
+    let one_rmpu = RDA.plus(RMPU_ENGINE).plus(RMPU_FIFO);
+    let rmpus = one_rmpu.scaled(hw.num_rmpus as f64);
+    // SIMD lane block scales with lane count relative to the 128-lane
+    // reference.
+    let lanes = VVPU_SIMD_LANES.scaled(hw.simd_lanes_per_vvpu as f64 / 128.0);
+    let one_vvpu = VVPU_LCN.plus(lanes).plus(VVPU_SSU);
+    let vvpus = one_vvpu.scaled(hw.total_vvpus() as f64);
+    let ports = (hw.num_rmpus + hw.total_vvpus() + 4) as f64;
+    let quad = (ports / GCN_PORTS_PAPER).powi(2);
+    let gcn = AreaPower::new(GCN_AREA_PAPER * quad, GCN_POWER_PAPER * quad);
+    let total = TOKEN_ALIGNER
+        .plus(SCRATCHPADS)
+        .plus(rmpus)
+        .plus(gcn)
+        .plus(vvpus)
+        .plus(CONTROLLER);
+    AreaPowerReport {
+        token_aligner: TOKEN_ALIGNER,
+        scratchpads: SCRATCHPADS,
+        one_rmpu,
+        rmpus,
+        gcn,
+        one_vvpu,
+        vvpus,
+        controller: CONTROLLER,
+        total,
+    }
+}
+
+/// Reference GPU physical envelopes used by the paper's comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuEnvelope {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Die area, mm².
+    pub area_mm2: f64,
+    /// Board power, W.
+    pub power_w: f64,
+}
+
+/// NVIDIA A100 80GB PCIe.
+pub const A100_ENVELOPE: GpuEnvelope =
+    GpuEnvelope { name: "A100", area_mm2: 826.0, power_w: 300.0 };
+/// NVIDIA H100 80GB PCIe.
+pub const H100_ENVELOPE: GpuEnvelope =
+    GpuEnvelope { name: "H100", area_mm2: 814.0, power_w: 350.0 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_table2_totals() {
+        let r = area_power(&HwConfig::paper());
+        // 1 RMPU = 1.127 mm² / 589.147 mW.
+        assert!((r.one_rmpu.area_mm2 - 1.127).abs() < 1e-9);
+        assert!((r.one_rmpu.power_mw - 589.147).abs() < 1e-6);
+        // 1 VVPU = 0.902 mm² (hmm: 0.785 + 0.115 + 0.001 = 0.901) —
+        // Table 2 rounds; stay within 2 %.
+        assert!((r.one_vvpu.area_mm2 - 0.902).abs() < 0.02);
+        assert!((r.one_vvpu.power_mw - 309.907).abs() < 1.0);
+        // Totals: 178.802 mm², 67 804.55 mW.
+        assert!((r.total.area_mm2 - 178.802).abs() < 2.0, "area {}", r.total.area_mm2);
+        assert!((r.total.power_mw - 67_804.55).abs() < 700.0, "power {}", r.total.power_mw);
+    }
+
+    #[test]
+    fn crossbars_dominate() {
+        // §8.4: crossbars ≈ 70 % of area and ≈ 68 % of power.
+        let r = area_power(&HwConfig::paper());
+        let xbar_area = r.gcn.area_mm2 + VVPU_LCN.area_mm2 * 128.0;
+        let xbar_power = r.gcn.power_mw + VVPU_LCN.power_mw * 128.0;
+        let area_share = xbar_area / r.total.area_mm2;
+        let power_share = xbar_power / r.total.power_mw;
+        assert!((area_share - 0.7028).abs() < 0.02, "area share {area_share}");
+        assert!((power_share - 0.6795).abs() < 0.02, "power share {power_share}");
+    }
+
+    #[test]
+    fn area_and_power_fractions_vs_gpus_match_section_8_4() {
+        let r = area_power(&HwConfig::paper());
+        let area_vs_a100 = r.total.area_mm2 / A100_ENVELOPE.area_mm2;
+        let power_vs_a100 = r.total.power_mw / 1000.0 / A100_ENVELOPE.power_w;
+        assert!((0.19..0.25).contains(&area_vs_a100), "{area_vs_a100}");
+        assert!((0.18..0.25).contains(&power_vs_a100), "{power_vs_a100}");
+        let area_vs_h100 = r.total.area_mm2 / H100_ENVELOPE.area_mm2;
+        let power_vs_h100 = r.total.power_mw / 1000.0 / H100_ENVELOPE.power_w;
+        assert!((0.19..0.25).contains(&area_vs_h100), "{area_vs_h100}");
+        assert!((0.17..0.25).contains(&power_vs_h100), "{power_vs_h100}");
+    }
+
+    #[test]
+    fn smaller_configs_shrink_quadratically_in_crossbar() {
+        let full = area_power(&HwConfig::paper());
+        let half = area_power(&HwConfig::paper().with_rmpus(16));
+        assert!(half.total.area_mm2 < full.total.area_mm2);
+        // GCN ports drop from 164 to 84: area ratio ≈ (84/164)² ≈ 0.26.
+        let ratio = half.gcn.area_mm2 / full.gcn.area_mm2;
+        assert!((ratio - (84.0f64 / 164.0).powi(2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Reconfigurable Data Aligner's bit-chunk datapath, functionally
+//! implemented (§5.2).
+//!
+//! The RDA splits every operand into 4-bit chunks; the chunk holding the
+//! most-significant bits is sign-extended, the rest are zero-extended. The
+//! PE's "minimal computation units" multiply 4-bit chunk pairs and the
+//! adder tree shift-accumulates them back into the full product. This
+//! module performs that arithmetic exactly and proves (by property test)
+//! that it equals the ordinary integer product — and that a quantized dot
+//! product needs its scaling factors applied only *once*, at the end
+//! (the dequantization-free accumulation that Fig. 16(a) credits).
+
+/// Splits a signed 16-bit value into `n` 4-bit chunks, least-significant
+/// first. Chunks are returned as signed values: the top chunk carries the
+/// sign (two's complement), lower chunks are unsigned nibbles.
+pub fn split_chunks(v: i16, n: usize) -> Vec<i32> {
+    assert!((1..=4).contains(&n), "a 16-bit value has at most 4 chunks");
+    let raw = v as u16;
+    (0..n)
+        .map(|k| {
+            let nib = ((raw >> (4 * k)) & 0xF) as i32;
+            if k == n - 1 {
+                // Sign-extend the MSB chunk.
+                if nib & 0x8 != 0 {
+                    nib - 16
+                } else {
+                    nib
+                }
+            } else {
+                nib
+            }
+        })
+        .collect()
+}
+
+/// Number of chunks needed to represent `v` at the given inlier width in
+/// bits (4, 8 or 16).
+pub fn chunks_for_width(bits: usize) -> usize {
+    bits.div_ceil(4)
+}
+
+/// Multiplies two chunked operands exactly: every chunk pair is multiplied
+/// by one minimal computation unit and shift-accumulated.
+///
+/// `a` uses `na` chunks (i.e. it is an `4·na`-bit value) and `b` uses `nb`.
+pub fn chunked_multiply(a: i16, na: usize, b: i16, nb: usize) -> i64 {
+    let ca = split_chunks(a, na);
+    let cb = split_chunks(b, nb);
+    let mut acc: i64 = 0;
+    for (i, &x) in ca.iter().enumerate() {
+        for (j, &y) in cb.iter().enumerate() {
+            acc += (x as i64) * (y as i64) << (4 * (i + j));
+        }
+    }
+    acc
+}
+
+/// A dequantization-free dot product: quantized inlier levels multiply
+/// INT16 weight values through the chunk fabric, accumulate as integers,
+/// and the token's scaling factor is applied exactly once at the end;
+/// outliers accumulate on their own scale in parallel (the DAL's 5-lane
+/// configuration).
+///
+/// Returns the same value as dequantize-then-dot, up to f32 rounding.
+pub fn dequantization_free_dot(
+    inlier_levels: &[i16],
+    inlier_scale: f32,
+    inlier_bits: usize,
+    outlier_levels: &[i16],
+    outlier_scale: f32,
+    weights_for_inliers: &[i16],
+    weights_for_outliers: &[i16],
+    weight_scale: f32,
+) -> f32 {
+    assert_eq!(inlier_levels.len(), weights_for_inliers.len());
+    assert_eq!(outlier_levels.len(), weights_for_outliers.len());
+    let n_in = chunks_for_width(inlier_bits);
+    let mut inlier_acc: i64 = 0;
+    for (&q, &w) in inlier_levels.iter().zip(weights_for_inliers) {
+        inlier_acc += chunked_multiply(q, n_in, w, 4);
+    }
+    let mut outlier_acc: i64 = 0;
+    for (&q, &w) in outlier_levels.iter().zip(weights_for_outliers) {
+        outlier_acc += chunked_multiply(q, 4, w, 4);
+    }
+    // One scale application per accumulator — never per element.
+    inlier_acc as f32 * (inlier_scale * weight_scale)
+        + outlier_acc as f32 * (outlier_scale * weight_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_chunks_reconstructs_the_value() {
+        for v in [-32768i16, -1, 0, 1, 7, -8, 123, -456, 32767] {
+            let chunks = split_chunks(v, 4);
+            let mut acc: i64 = 0;
+            for (k, &c) in chunks.iter().enumerate() {
+                acc += (c as i64) << (4 * k);
+            }
+            assert_eq!(acc, v as i64, "value {v}, chunks {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn narrow_values_use_fewer_chunks() {
+        // An INT4 value fits one chunk; INT8 fits two.
+        assert_eq!(split_chunks(-7, 1), vec![-7]);
+        assert_eq!(split_chunks(7, 1), vec![7]);
+        let c = split_chunks(-100, 2);
+        assert_eq!((c[0] as i64) + ((c[1] as i64) << 4), -100);
+        assert_eq!(chunks_for_width(4), 1);
+        assert_eq!(chunks_for_width(8), 2);
+        assert_eq!(chunks_for_width(16), 4);
+    }
+
+    #[test]
+    fn chunked_multiply_equals_integer_product() {
+        for (a, b) in [(3i16, 5i16), (-7, 7), (127, -128), (-128, -128), (100, -77)] {
+            assert_eq!(chunked_multiply(a, 2, b, 2), a as i64 * b as i64, "{a}x{b}");
+        }
+        for (a, b) in [(32767i16, -32768i16), (-12345, 6789), (1, -1)] {
+            assert_eq!(chunked_multiply(a, 4, b, 4), a as i64 * b as i64, "{a}x{b}");
+        }
+    }
+
+    #[test]
+    fn dequantization_free_dot_matches_dequantize_first() {
+        // 12 INT4 inliers + 2 INT16 outliers against INT16 weights.
+        let inliers: Vec<i16> = vec![3, -7, 0, 5, -2, 7, -6, 1, 4, -4, 2, -1];
+        let outliers: Vec<i16> = vec![30000, -28000];
+        let w_in: Vec<i16> = (0..12).map(|i| (i * 137 % 251) as i16 - 125).collect();
+        let w_out: Vec<i16> = vec![97, -203];
+        let (si, so, sw) = (0.125f32, 0.004f32, 0.01f32);
+
+        let fast = dequantization_free_dot(&inliers, si, 4, &outliers, so, &w_in, &w_out, sw);
+
+        let mut slow = 0.0f32;
+        for (&q, &w) in inliers.iter().zip(&w_in) {
+            slow += (q as f32 * si) * (w as f32 * sw);
+        }
+        for (&q, &w) in outliers.iter().zip(&w_out) {
+            slow += (q as f32 * so) * (w as f32 * sw);
+        }
+        assert!((fast - slow).abs() < slow.abs() * 1e-5 + 1e-5, "{fast} vs {slow}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Scratchpad models: the double-buffered Token Scratchpad, the Weight
+//! Scratchpad (weight-stationary) and the Output Scratchpad (§5).
+//!
+//! These are functional capacity/occupancy models: the pipeline uses them
+//! to size tiles (how many tokens fit per double-buffer half) and to detect
+//! configurations that cannot hold a working set at all.
+
+use crate::HwConfig;
+use std::collections::VecDeque;
+
+/// A double-buffered scratchpad: one half is filled by the Token Aligner
+/// while the other is drained by the processing units.
+#[derive(Debug, Clone)]
+pub struct DoubleBuffer {
+    half_bytes: usize,
+    filling: VecDeque<usize>,
+    draining: VecDeque<usize>,
+    fill_used: usize,
+    drain_used: usize,
+}
+
+impl DoubleBuffer {
+    /// Creates a double buffer with `total_bytes` split into two halves.
+    pub fn new(total_bytes: usize) -> Self {
+        DoubleBuffer {
+            half_bytes: total_bytes / 2,
+            filling: VecDeque::new(),
+            draining: VecDeque::new(),
+            fill_used: 0,
+            drain_used: 0,
+        }
+    }
+
+    /// Capacity of one half, bytes.
+    pub fn half_bytes(&self) -> usize {
+        self.half_bytes
+    }
+
+    /// Number of lines of `line_bytes` each that fit one half.
+    pub fn lines_per_half(&self, line_bytes: usize) -> usize {
+        self.half_bytes / line_bytes.max(1)
+    }
+
+    /// Tries to append a line to the filling half; `false` when full.
+    pub fn push_line(&mut self, line_bytes: usize) -> bool {
+        if self.fill_used + line_bytes > self.half_bytes {
+            return false;
+        }
+        self.filling.push_back(line_bytes);
+        self.fill_used += line_bytes;
+        true
+    }
+
+    /// Swaps the halves: the filled half becomes drainable. The previous
+    /// draining half must be empty (the pipeline guarantees it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the draining half still holds lines — a pipeline
+    /// scheduling bug.
+    pub fn swap(&mut self) {
+        assert!(self.draining.is_empty(), "swap before the drain half was consumed");
+        std::mem::swap(&mut self.filling, &mut self.draining);
+        self.drain_used = self.fill_used;
+        self.fill_used = 0;
+    }
+
+    /// Pops one line from the draining half.
+    pub fn pop_line(&mut self) -> Option<usize> {
+        let line = self.draining.pop_front()?;
+        self.drain_used -= line;
+        Some(line)
+    }
+
+    /// Lines currently drainable.
+    pub fn drainable_lines(&self) -> usize {
+        self.draining.len()
+    }
+
+    /// Bytes used in the filling half.
+    pub fn fill_used(&self) -> usize {
+        self.fill_used
+    }
+}
+
+/// Whether a weight tile for the given layer shape fits the weight
+/// scratchpad (the weight-stationary dataflow requires it; larger layers
+/// are processed in output-column tiles).
+pub fn weight_tile_columns(hw: &HwConfig, in_features: usize, bytes_per_weight: usize) -> usize {
+    let column_bytes = in_features * bytes_per_weight;
+    (hw.weight_scratchpad_bytes / column_bytes.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_buffer_fill_swap_drain() {
+        let mut db = DoubleBuffer::new(1024);
+        assert_eq!(db.half_bytes(), 512);
+        assert!(db.push_line(200));
+        assert!(db.push_line(200));
+        assert!(!db.push_line(200), "third 200B line exceeds the 512B half");
+        db.swap();
+        assert_eq!(db.drainable_lines(), 2);
+        assert_eq!(db.pop_line(), Some(200));
+        assert_eq!(db.pop_line(), Some(200));
+        assert_eq!(db.pop_line(), None);
+        // The other half is free for filling during the drain.
+        assert_eq!(db.fill_used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap before")]
+    fn premature_swap_panics() {
+        let mut db = DoubleBuffer::new(1024);
+        db.push_line(100);
+        db.swap();
+        db.swap(); // drain half still has the line
+    }
+
+    #[test]
+    fn paper_token_scratchpad_holds_hundreds_of_tokens() {
+        // 128 KiB halves with ~144-byte Group-A tokens: ~900 tokens per
+        // half — the tile size the pipeline streams.
+        let hw = HwConfig::paper();
+        let db = DoubleBuffer::new(hw.token_scratchpad_bytes);
+        assert!(db.lines_per_half(144) > 800, "{}", db.lines_per_half(144));
+    }
+
+    #[test]
+    fn weight_tiles_cover_ppm_layers() {
+        // Hz=128 at INT16: a full 128x128 projection (32 KiB) fits the
+        // 64 KiB weight scratchpad outright.
+        let hw = HwConfig::paper();
+        assert!(weight_tile_columns(&hw, 128, 2) >= 128);
+        // The 512-wide transition layer needs column tiling.
+        let cols = weight_tile_columns(&hw, 512, 2);
+        assert!(cols >= 64 && cols < 512, "{cols}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the accelerator models.
+
+use ln_accel::bitonic::{bitonic_sort_desc_by, top_k_abs};
+use ln_accel::controller::{schedule, tiles_for, WorkTile};
+use ln_accel::crossbar::{apply_route, invert_route, quantization_route};
+use ln_accel::hbm::{AccessPattern, HbmModel};
+use ln_accel::pe;
+use ln_accel::{Accelerator, HwConfig};
+use ln_quant::scheme::{Bits, QuantScheme};
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
+    (prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)], 0usize..16)
+        .prop_map(|(bits, outliers)| QuantScheme { inlier_bits: bits, outliers })
+}
+
+proptest! {
+    #[test]
+    fn bitonic_sort_is_a_sorted_permutation(
+        v in proptest::collection::vec(-1e6f32..1e6, 0..64),
+    ) {
+        let sorted = bitonic_sort_desc_by(&v, |x| x);
+        prop_assert_eq!(sorted.len(), v.len());
+        // Sorted descending.
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0);
+        }
+        // A permutation: every index appears once and maps to its value.
+        let mut seen = vec![false; v.len()];
+        for (val, idx) in sorted {
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+            prop_assert_eq!(v[idx], val);
+        }
+    }
+
+    #[test]
+    fn hardware_topk_agrees_with_oracle(
+        v in proptest::collection::vec(-1e3f32..1e3, 1..128),
+        k in 0usize..32,
+    ) {
+        let hw = top_k_abs(&v, k);
+        let sw = ln_tensor::stats::top_k_abs_indices(&v, k);
+        let mags = |idx: &[usize]| {
+            let mut m: Vec<f32> = idx.iter().map(|&i| v[i].abs()).collect();
+            m.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            m
+        };
+        prop_assert_eq!(mags(&hw), mags(&sw));
+    }
+
+    #[test]
+    fn hbm_never_exceeds_peak_bandwidth(
+        bytes in 1u64..1_000_000_000,
+        pattern_sel in 0usize..3,
+    ) {
+        let hw = HwConfig::paper();
+        let m = HbmModel::new(&hw);
+        let pattern = match pattern_sel {
+            0 => AccessPattern::Sequential,
+            1 => AccessPattern::Strided { stride: 256 },
+            _ => AccessPattern::Random,
+        };
+        let cycles = m.transfer_cycles(bytes, pattern).max(1);
+        prop_assert!(bytes as f64 / cycles as f64 <= hw.hbm_bytes_per_cycle() * 1.001);
+    }
+
+    #[test]
+    fn lane_demand_is_monotone_in_precision_and_outliers(scheme in arb_scheme()) {
+        let hw = HwConfig::paper();
+        let base = pe::lanes_per_token_dot(&hw, scheme, 128);
+        // Adding outliers never reduces lanes.
+        if scheme.outliers < 120 {
+            let more = QuantScheme { outliers: scheme.outliers + 4, ..scheme };
+            prop_assert!(pe::lanes_per_token_dot(&hw, more, 128) >= base);
+        }
+        // Wider inliers never reduce lanes.
+        if scheme.inlier_bits == Bits::Int4 {
+            let wider = QuantScheme { inlier_bits: Bits::Int8, ..scheme };
+            prop_assert!(pe::lanes_per_token_dot(&hw, wider, 128) >= base);
+        }
+    }
+
+    #[test]
+    fn crossbar_routes_are_invertible(
+        channels in 2usize..128,
+        outlier_seed in 0usize..1000,
+    ) {
+        // Derive a deterministic outlier set from the seed.
+        let n_out = outlier_seed % (channels / 2).max(1);
+        let outliers: Vec<usize> =
+            (0..n_out).map(|k| (k * 2654435761 + outlier_seed) % channels).collect();
+        let mut dedup = outliers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let data: Vec<u32> = (0..channels as u32).collect();
+        let route = quantization_route(channels, &dedup);
+        let packed = apply_route(&data, &route);
+        let restored = apply_route(&packed, &invert_route(&route));
+        prop_assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn scheduler_conserves_tokens_and_stays_balanced(
+        total in 1usize..2_000_000,
+        token_bytes in 60usize..200,
+        lanes in 1usize..16,
+    ) {
+        let hw = HwConfig::paper();
+        let tiles = tiles_for(&hw, total, token_bytes, lanes);
+        let s = schedule(&hw, &tiles);
+        let assigned: usize = s.tokens_per_rmpu.iter().sum();
+        prop_assert_eq!(assigned, total);
+        // With many uniform tiles the imbalance must stay small.
+        if tiles.len() >= 4 * hw.num_rmpus {
+            prop_assert!(s.imbalance() < 1.3, "imbalance {}", s.imbalance());
+        }
+    }
+
+    #[test]
+    fn chunked_multiply_is_exact_for_all_precisions(a in any::<i16>(), b in any::<i16>()) {
+        use ln_accel::rda::chunked_multiply;
+        // Full INT16 × INT16 through the 4-bit fabric.
+        prop_assert_eq!(chunked_multiply(a, 4, b, 4), a as i64 * b as i64);
+        // INT8 × INT16 (Group-A inliers against weights).
+        let a8 = (a % 128) as i16;
+        prop_assert_eq!(chunked_multiply(a8, 2, b, 4), a8 as i64 * b as i64);
+        // INT4 × INT16 (Group-B/C inliers against weights).
+        let a4 = (a % 8) as i16;
+        prop_assert_eq!(chunked_multiply(a4, 1, b, 4), a4 as i64 * b as i64);
+    }
+
+    #[test]
+    fn dequantization_free_dot_equals_reference(
+        inliers in proptest::collection::vec(-7i16..=7, 1..64),
+        outliers in proptest::collection::vec(-30000i16..=30000, 0..4),
+        si in 0.001f32..1.0,
+        so in 0.0001f32..0.1,
+        sw in 0.001f32..0.1,
+    ) {
+        use ln_accel::rda::dequantization_free_dot;
+        let w_in: Vec<i16> = (0..inliers.len()).map(|i| ((i * 97) % 200) as i16 - 100).collect();
+        let w_out: Vec<i16> = (0..outliers.len()).map(|i| ((i * 53) % 150) as i16 - 75).collect();
+        let fast = dequantization_free_dot(&inliers, si, 4, &outliers, so, &w_in, &w_out, sw);
+        let mut slow = 0.0f64;
+        for (&q, &w) in inliers.iter().zip(&w_in) {
+            slow += (q as f64 * si as f64) * (w as f64 * sw as f64);
+        }
+        for (&q, &w) in outliers.iter().zip(&w_out) {
+            slow += (q as f64 * so as f64) * (w as f64 * sw as f64);
+        }
+        prop_assert!((fast as f64 - slow).abs() < slow.abs() * 1e-4 + 1e-4, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn simulator_latency_is_monotone_in_length(a in 64usize..1024, delta in 1usize..1024) {
+        let accel = Accelerator::new(HwConfig::paper());
+        let t1 = accel.simulate(a).total_cycles();
+        let t2 = accel.simulate(a + delta).total_cycles();
+        prop_assert!(t2 >= t1);
+    }
+}
+
+#[test]
+fn skewed_tiles_do_not_break_the_scheduler() {
+    let hw = HwConfig::paper().with_rmpus(3);
+    let tiles = vec![
+        WorkTile { tokens: 1, lanes_per_token: 16 },
+        WorkTile { tokens: 1_000_000, lanes_per_token: 4 },
+    ];
+    let s = schedule(&hw, &tiles);
+    assert_eq!(s.tokens_per_rmpu.iter().sum::<usize>(), 1_000_001);
+}

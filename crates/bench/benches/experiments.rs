@@ -1,0 +1,93 @@
+//! Criterion benchmarks, one per analytic paper artifact: how long it
+//! takes to *regenerate* each table/figure's data from the models. (The
+//! numeric-accuracy artifacts — Figs. 5, 6, 11, 13 — fold real trunks and
+//! are exercised by their binaries instead.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig04_activation_explosion(c: &mut Criterion) {
+    use ln_ppm::cost::{CostModel, ExecMode};
+    let m = CostModel::paper();
+    c.bench_function("fig04_peak_activation_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ns in [128usize, 256, 512, 1024, 2034, 4096] {
+                acc += m.peak_activation_bytes(black_box(ns), ExecMode::Vanilla);
+            }
+            acc
+        })
+    });
+}
+
+fn fig12_hw_dse(c: &mut Criterion) {
+    use lightnobel::dse::sweep_rmpus;
+    c.bench_function("fig12_rmpu_sweep", |b| {
+        b.iter(|| sweep_rmpus(black_box(&[256usize, 512])))
+    });
+}
+
+fn fig14_hw_performance(c: &mut Criterion) {
+    use lightnobel::perf::PerfComparison;
+    use ln_gpu::esmfold::ExecOptions;
+    use ln_gpu::H100;
+    let p = PerfComparison::paper();
+    c.bench_function("fig14_speedup_row", |b| {
+        b.iter(|| {
+            p.mean_speedup(black_box(&[400usize, 800, 1200]), &H100, ExecOptions::chunk4())
+        })
+    });
+}
+
+fn fig15_peak_memory(c: &mut Criterion) {
+    use lightnobel::perf::PerfComparison;
+    let p = PerfComparison::paper();
+    c.bench_function("fig15_peak_memory_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ns in [512usize, 1410, 3364, 6879] {
+                let (v, ch, ln) = p.peak_memory(black_box(ns));
+                acc += v + ch + ln;
+            }
+            acc
+        })
+    });
+    c.bench_function("fig15_max_supported_length", |b| b.iter(|| p.max_supported_length()));
+}
+
+fn fig16_compute_footprint(c: &mut Criterion) {
+    use lightnobel::perf::PerfComparison;
+    let p = PerfComparison::paper();
+    c.bench_function("fig16_reductions", |b| {
+        b.iter(|| {
+            let (a, bb) = p.int8_equivalent_ops(black_box(1024));
+            let (c2, d) = p.memory_footprint(black_box(1024));
+            a + bb + c2 + d
+        })
+    });
+}
+
+fn tab01_footprints(c: &mut Criterion) {
+    use lightnobel::footprint::FootprintModel;
+    let m = FootprintModel::paper();
+    c.bench_function("tab01_scheme_table", |b| b.iter(|| m.table(black_box(3364))));
+}
+
+fn tab02_area_power(c: &mut Criterion) {
+    use ln_accel::power::area_power;
+    use ln_accel::HwConfig;
+    let hw = HwConfig::paper();
+    c.bench_function("tab02_area_power", |b| b.iter(|| area_power(black_box(&hw))));
+}
+
+criterion_group!(
+    experiments,
+    fig04_activation_explosion,
+    fig12_hw_dse,
+    fig14_hw_performance,
+    fig15_peak_memory,
+    fig16_compute_footprint,
+    tab01_footprints,
+    tab02_area_power
+);
+criterion_main!(experiments);

@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the reproduction's hot kernels: the
+//! runtime quantizer, the Fig. 7 codec, the bitonic top-k network, the
+//! triangular dataflow units and the structural metrics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn token_values(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.21).collect()
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    use ln_quant::scheme::QuantScheme;
+    use ln_quant::token::quantize_token;
+    let values = token_values(128);
+    let mut g = c.benchmark_group("quantize_token");
+    for scheme in [
+        QuantScheme::int8_with_outliers(4),
+        QuantScheme::int4_with_outliers(4),
+        QuantScheme::int4_with_outliers(0),
+    ] {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| quantize_token(black_box(&values), scheme))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use ln_quant::layout::{decode_token, encode_token};
+    use ln_quant::scheme::QuantScheme;
+    use ln_quant::token::quantize_token;
+    let scheme = QuantScheme::int4_with_outliers(4);
+    let q = quantize_token(&token_values(128), scheme);
+    let bytes = encode_token(&q);
+    c.bench_function("encode_token_int4_4o", |b| b.iter(|| encode_token(black_box(&q))));
+    c.bench_function("decode_token_int4_4o", |b| {
+        b.iter(|| decode_token(black_box(&bytes), scheme, 128).expect("valid"))
+    });
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    use ln_accel::bitonic::top_k_abs;
+    let values = token_values(128);
+    c.bench_function("bitonic_top4_of_128", |b| {
+        b.iter(|| top_k_abs(black_box(&values), 4))
+    });
+}
+
+fn bench_trunk_units(c: &mut Criterion) {
+    use ln_ppm::blocks::{
+        AttentionNode, TriangleDirection, TriangularAttention, TriangularMultiplication,
+    };
+    use ln_ppm::taps::NoopHook;
+    use ln_ppm::PpmConfig;
+    use ln_tensor::Tensor3;
+    let cfg = PpmConfig::tiny();
+    let tri = TriangularMultiplication::new(&cfg, "bench", TriangleDirection::Outgoing);
+    let attn = TriangularAttention::new(&cfg, "bench", AttentionNode::Starting);
+    let pair = Tensor3::from_fn(24, 24, cfg.hz, |i, j, k| ((i + j * 3 + k) % 7) as f32 - 3.0);
+    c.bench_function("tri_mul_forward_24", |b| {
+        b.iter_batched(
+            || pair.clone(),
+            |mut z| tri.forward(&mut z, &mut NoopHook, 0, 0).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("tri_attn_forward_24", |b| {
+        b.iter_batched(
+            || pair.clone(),
+            |mut z| attn.forward(&mut z, &mut NoopHook, 0, 0).expect("runs"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    use ln_protein::generator::{perturbed, StructureGenerator};
+    use ln_protein::metrics::tm_score;
+    let native = StructureGenerator::new("bench").generate(128);
+    let model = perturbed(&native, "bench", 1.0);
+    c.bench_function("tm_score_128", |b| {
+        b.iter(|| tm_score(black_box(&model), black_box(&native)).expect("same length"))
+    });
+}
+
+fn bench_structure_module(c: &mut Criterion) {
+    use ln_ppm::structure_module::{complete_distances, mds_embed};
+    use ln_protein::distance_matrix;
+    use ln_protein::generator::StructureGenerator;
+    let native = StructureGenerator::new("bench-sm").generate(64);
+    let d = distance_matrix(&native);
+    c.bench_function("mds_embed_64", |b| {
+        b.iter(|| mds_embed(black_box(&d)).expect("valid"))
+    });
+    c.bench_function("geodesic_completion_64", |b| {
+        b.iter(|| complete_distances(black_box(&d), 40.0))
+    });
+}
+
+fn bench_quantized_tensor(c: &mut Criterion) {
+    use ln_quant::scheme::QuantScheme;
+    use ln_quant::tensor::QuantizedTensor;
+    use ln_tensor::Tensor2;
+    let x = Tensor2::from_fn(256, 128, |i, j| ((i * 13 + j * 7) % 29) as f32 * 0.2 - 2.8);
+    let w = Tensor2::from_fn(128, 128, |i, j| ((i + j * 3) % 17) as f32 * 0.05 - 0.4);
+    let q = QuantizedTensor::from_tensor(&x, QuantScheme::int4_with_outliers(4));
+    c.bench_function("quantized_tensor_encode_256x128", |b| {
+        b.iter(|| QuantizedTensor::from_tensor(black_box(&x), QuantScheme::int4_with_outliers(4)))
+    });
+    c.bench_function("dequantization_free_matmul_256x128x128", |b| {
+        b.iter(|| q.matmul(black_box(&w)).expect("shapes"))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use ln_accel::{Accelerator, HwConfig};
+    let accel = Accelerator::new(HwConfig::paper());
+    c.bench_function("accel_simulate_2048", |b| {
+        b.iter(|| black_box(&accel).simulate(black_box(2048)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantizer,
+    bench_codec,
+    bench_bitonic,
+    bench_trunk_units,
+    bench_metrics,
+    bench_structure_module,
+    bench_quantized_tensor,
+    bench_simulator
+);
+criterion_main!(benches);

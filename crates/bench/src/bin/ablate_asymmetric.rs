@@ -1,0 +1,54 @@
+//! §4.1 ablation — symmetric vs asymmetric quantization.
+//!
+//! The paper rejects asymmetric (affine) quantization: once dynamic outlier
+//! handling is in place, symmetric quantization is accurate enough, and it
+//! keeps the RMPU free of per-multiply zero-point corrections.
+
+use lightnobel::report::Table;
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Dataset, Registry};
+use ln_ppm::{FoldingModel, PpmConfig};
+use ln_quant::asymmetric::asymmetric_rmse;
+use ln_quant::scheme::{Bits, QuantScheme};
+use ln_quant::token::quantization_rmse;
+
+fn main() {
+    banner("§4.1 ablation: symmetric vs asymmetric quantization");
+    paper_note(
+        "symmetric without outliers: +27.35% RMSE; symmetric with outliers: +9.76% \
+         (0.0004 real-value difference) — asymmetric's extra bias hardware is unnecessary",
+    );
+
+    let reg = Registry::standard();
+    let record = reg.dataset(Dataset::Cameo).shortest();
+    let len = record.length().min(96);
+    let seq: ln_protein::Sequence =
+        record.sequence().residues()[..len].iter().copied().collect();
+    let native =
+        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let model = FoldingModel::new(PpmConfig::standard());
+    let out = model.predict(&seq, &native).expect("workload folds");
+    let tokens = out.pair_rep.to_token_matrix();
+
+    let mut table = Table::new(["scheme", "pair-rep RMSE", "vs best"]);
+    let sym_out = quantization_rmse(&tokens, QuantScheme::int8_with_outliers(4));
+    let rows = [
+        ("symmetric INT8 + 4 outliers (AAQ)", sym_out),
+        ("symmetric INT8, no outliers", quantization_rmse(&tokens, QuantScheme::int8_with_outliers(0))),
+        ("asymmetric INT8 (affine)", asymmetric_rmse(&tokens, Bits::Int8)),
+        ("symmetric INT4 + 4 outliers", quantization_rmse(&tokens, QuantScheme::int4_with_outliers(4))),
+        ("asymmetric INT4 (affine)", asymmetric_rmse(&tokens, Bits::Int4)),
+    ];
+    for (name, rmse) in rows {
+        table.add_row([
+            name.to_owned(),
+            format!("{rmse:.5}"),
+            format!("{:+.1}%", (rmse / sym_out - 1.0) * 100.0),
+        ]);
+    }
+    show(&table);
+    println!(
+        "shape check: symmetric + dynamic outliers beats plain asymmetric at equal \
+         precision — the bias hardware buys nothing once outliers are handled."
+    );
+}

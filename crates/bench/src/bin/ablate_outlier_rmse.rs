@@ -1,0 +1,32 @@
+//! §4.1 ablation — uniform symmetric quantization with vs without dynamic
+//! outlier handling on Group-A (residual stream) activations.
+
+use lightnobel::accuracy::AccuracyEvaluator;
+use lightnobel::report::Table;
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Dataset, Registry};
+
+fn main() {
+    banner("§4.1 ablation: symmetric quantization ± outlier handling");
+    paper_note(
+        "without outlier handling RMSE rises 27.35%; with it the increase is only 9.76% \
+         (a negligible 0.0004 real-value difference)",
+    );
+
+    let reg = Registry::standard();
+    let eval = AccuracyEvaluator::standard();
+    let mut table = Table::new(["protein", "RMSE increase w/o outliers", "with outliers"]);
+    for record in reg.dataset(Dataset::Cameo).records().iter().take(3) {
+        let (without, with) = eval.outlier_ablation(record).expect("workload folds");
+        table.add_row([
+            record.name().to_owned(),
+            format!("{without:.2}%"),
+            format!("{with:.2}%"),
+        ]);
+    }
+    show(&table);
+    println!(
+        "shape check: outlier handling collapses the quantization error of the \
+         spiky residual-stream tokens, enabling plain symmetric inlier quantization."
+    );
+}

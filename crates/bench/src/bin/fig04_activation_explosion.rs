@@ -1,0 +1,27 @@
+//! Fig. 4 — total weight size vs peak activation size across sequence
+//! lengths (§3.2: at Ns = 2034 the activations need ~144 GB, dwarfing the
+//! ~7.9 GB of weights).
+
+use lightnobel::report::{fmt_gb, fmt_ratio, Table};
+use ln_bench::{banner, paper_note, show};
+use ln_ppm::cost::{CostModel, ExecMode};
+
+fn main() {
+    banner("Fig. 4: weight size vs peak activation size");
+    paper_note("at Ns=2034 activations reach ~144 GB, 24.15x the weight size");
+
+    let cost = CostModel::paper();
+    let weights = cost.total_weight_bytes_fp16();
+    let mut table = Table::new(["Ns", "weights", "peak activations (vanilla)", "act/weight"]);
+    for ns in [128usize, 256, 512, 1024, 1410, 2034, 3364, 4096] {
+        let act = cost.peak_activation_bytes(ns, ExecMode::Vanilla);
+        table.add_row([
+            ns.to_string(),
+            fmt_gb(weights),
+            fmt_gb(act),
+            fmt_ratio(act / weights),
+        ]);
+    }
+    show(&table);
+    println!("shape check: activation size explodes cubically while weights stay constant.");
+}

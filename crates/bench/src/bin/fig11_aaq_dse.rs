@@ -1,0 +1,48 @@
+//! Fig. 11 — design-space exploration of the AAQ quantization scheme per
+//! activation group: inlier precision × outlier budget vs efficiency and
+//! TM-Score.
+
+use lightnobel::accuracy::AccuracyEvaluator;
+use lightnobel::dse;
+use lightnobel::report::{fmt_tm, Table};
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Dataset, Registry};
+use ln_quant::scheme::Group;
+
+fn main() {
+    banner("Fig. 11: AAQ quantization-scheme design-space exploration");
+    paper_note(
+        "optima: Group A = INT8 + 4 outliers, Group B = INT4 + 4 outliers, \
+         Group C = INT4 + 0 outliers",
+    );
+
+    let reg = Registry::standard();
+    // Ground-truth datasets only (CAMEO/CASP14/CASP15), as in the paper.
+    let records: Vec<&ln_datasets::ProteinRecord> = [Dataset::Cameo, Dataset::Casp14]
+        .iter()
+        .flat_map(|&d| reg.dataset(d).records().iter().take(1))
+        .collect();
+    let eval = AccuracyEvaluator::fast();
+
+    for group in [Group::A, Group::B, Group::C] {
+        println!("\n-- Group {group:?} sweep (other groups fixed at the paper optimum) --");
+        let points = dse::sweep_group(&eval, &records, group, 128).expect("sweep runs");
+        let mut table =
+            Table::new(["scheme", "token bytes", "TM vs baseline", "rel RMSE", "efficiency"]);
+        let mut best: Option<&dse::AaqDsePoint> = None;
+        for p in &points {
+            table.add_row([
+                p.scheme.to_string(),
+                p.token_bytes.to_string(),
+                fmt_tm(p.tm_vs_baseline),
+                format!("{:.4}", p.relative_rmse),
+                format!("{:.3}", p.efficiency),
+            ]);
+            if best.map_or(true, |b| p.efficiency > b.efficiency) {
+                best = Some(p);
+            }
+        }
+        show(&table);
+        println!("winner: {}", best.expect("non-empty sweep").scheme);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 14(b,c,d) — LightNobel folding-block latency vs A100/H100 across
+//! datasets: (b) all proteins, (c) excluding GPU-OOM proteins, (d) only
+//! proteins that *require* the chunk option.
+
+use lightnobel::perf::PerfComparison;
+use lightnobel::report::{fmt_ratio, Table};
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Registry, ALL_DATASETS};
+use ln_gpu::esmfold::ExecOptions;
+use ln_gpu::{GpuDevice, A100, H100};
+
+fn speedup_row(
+    perf: &PerfComparison,
+    device: &GpuDevice,
+    lengths: &[usize],
+    opts: ExecOptions,
+) -> String {
+    match perf.mean_speedup(lengths, device, opts) {
+        Some(s) => fmt_ratio(s),
+        None => "OOM".to_owned(),
+    }
+}
+
+fn main() {
+    banner("Fig. 14(b,c,d): LightNobel vs A100/H100 folding-block latency");
+    paper_note(
+        "(b) 3.85-8.44x (A100) / 3.67-8.41x (H100) with chunk, 1.22x / 1.01x without; \
+         (c) non-OOM subsets: 5.62-6.73x / 5.32-6.49x chunk, 1.47-2.42x / 1.19-2.19x vanilla; \
+         (d) chunk-required subsets: 2.34-3.30x / 1.94-2.97x",
+    );
+
+    let reg = Registry::standard();
+    let perf = PerfComparison::paper();
+    let vanilla_limit = 1410; // longest single-GPU protein (T1269)
+
+    println!("\n-- (b) all proteins (chunk lets the GPU run everything it can) --");
+    let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk", "A100 vanilla*", "H100 vanilla*"]);
+    for d in ALL_DATASETS {
+        let lengths: Vec<usize> =
+            reg.dataset(d).records().iter().map(|r| r.length()).collect();
+        table.add_row([
+            d.name().to_owned(),
+            speedup_row(&perf, &A100, &lengths, ExecOptions::chunk4()),
+            speedup_row(&perf, &H100, &lengths, ExecOptions::chunk4()),
+            speedup_row(&perf, &A100, &lengths, ExecOptions::vanilla()),
+            speedup_row(&perf, &H100, &lengths, ExecOptions::vanilla()),
+        ]);
+    }
+    show(&table);
+    println!("(* vanilla means exclude OOM proteins implicitly)");
+
+    println!("\n-- (c) proteins that fit the GPU without chunking (<= {vanilla_limit}) --");
+    let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk", "A100 vanilla", "H100 vanilla"]);
+    for d in ALL_DATASETS.iter().skip(1) {
+        // CAMEO excluded: it is fully processable without the chunk option.
+        let lengths: Vec<usize> =
+            reg.dataset(*d).with_max_length(vanilla_limit).iter().map(|r| r.length()).collect();
+        table.add_row([
+            d.name().to_owned(),
+            speedup_row(&perf, &A100, &lengths, ExecOptions::chunk4()),
+            speedup_row(&perf, &H100, &lengths, ExecOptions::chunk4()),
+            speedup_row(&perf, &A100, &lengths, ExecOptions::vanilla()),
+            speedup_row(&perf, &H100, &lengths, ExecOptions::vanilla()),
+        ]);
+    }
+    show(&table);
+
+    println!("\n-- (d) proteins that require the chunk option (> {vanilla_limit}) --");
+    let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk"]);
+    for d in ALL_DATASETS.iter().skip(1) {
+        let lengths: Vec<usize> =
+            reg.dataset(*d).with_min_length(vanilla_limit).iter().map(|r| r.length()).collect();
+        if lengths.is_empty() {
+            continue;
+        }
+        table.add_row([
+            d.name().to_owned(),
+            speedup_row(&perf, &A100, &lengths, ExecOptions::chunk4()),
+            speedup_row(&perf, &H100, &lengths, ExecOptions::chunk4()),
+        ]);
+    }
+    show(&table);
+    println!(
+        "shape check: chunked speedups are largest for short proteins (kernel overhead) \
+         and stabilise for long ones; vanilla speedups are modest; H100 gains little \
+         over A100 on this memory-bound workload."
+    );
+}

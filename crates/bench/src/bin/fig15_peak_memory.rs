@@ -1,0 +1,67 @@
+//! Fig. 15 — peak memory requirement of the PPM across (a) datasets and
+//! (b) sequence lengths.
+
+use lightnobel::perf::PerfComparison;
+use lightnobel::report::{fmt_gb, fmt_ratio, Table};
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Registry, ALL_DATASETS};
+
+fn main() {
+    banner("Fig. 15: peak memory requirement");
+    paper_note(
+        "LightNobel needs 1.87-120.05x less memory than the vanilla baseline and \
+         1.26-5.05x less than the chunked baseline; it supports sequences up to 9,945 \
+         within 80 GB (1.45x the CASP16 maximum of 6,879)",
+    );
+
+    let reg = Registry::standard();
+    let perf = PerfComparison::paper();
+
+    println!("\n-- (a) per dataset (longest protein of each) --");
+    let mut table = Table::new([
+        "dataset",
+        "Ns",
+        "baseline vanilla",
+        "baseline chunk4",
+        "LightNobel",
+        "vanilla/LN",
+        "chunk/LN",
+    ]);
+    for d in ALL_DATASETS {
+        let ns = reg.dataset(d).longest().length();
+        let (vanilla, chunk, ln) = perf.peak_memory(ns);
+        table.add_row([
+            d.name().to_owned(),
+            ns.to_string(),
+            fmt_gb(vanilla),
+            fmt_gb(chunk),
+            fmt_gb(ln),
+            fmt_ratio(vanilla / ln),
+            fmt_ratio(chunk / ln),
+        ]);
+    }
+    show(&table);
+
+    println!("\n-- (b) across sequence lengths --");
+    let mut table = Table::new([
+        "Ns",
+        "baseline vanilla",
+        "baseline chunk4",
+        "LightNobel",
+        "vanilla/LN",
+        "fits 80 GB (LN)",
+    ]);
+    for ns in [256usize, 512, 1024, 1410, 2034, 3364, 6879, 9945, 12000] {
+        let (vanilla, chunk, ln) = perf.peak_memory(ns);
+        table.add_row([
+            ns.to_string(),
+            fmt_gb(vanilla),
+            fmt_gb(chunk),
+            fmt_gb(ln),
+            fmt_ratio(vanilla / ln),
+            if perf.accel().fits_memory(ns) { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    show(&table);
+    println!("maximum supported length within 80 GB: {}", perf.max_supported_length());
+}

@@ -1,0 +1,52 @@
+//! Fig. 16 — (a) computational cost (INT8-equivalent operations) and
+//! (b) activation memory footprint, baseline PPM vs LightNobel, across
+//! sequence lengths.
+
+use lightnobel::perf::PerfComparison;
+use lightnobel::report::{fmt_pct, Table};
+use ln_bench::{banner, paper_note, show};
+
+fn main() {
+    banner("Fig. 16: computational cost and memory footprint vs sequence length");
+    paper_note(
+        "(a) LightNobel reduces INT8-equivalent computational cost by 43.38% on average; \
+         (b) memory footprint drops 74.10% on average",
+    );
+
+    let perf = PerfComparison::paper();
+    let lengths = [256usize, 512, 1024, 2034, 3364];
+
+    println!("\n-- (a) computational cost (INT8-equivalent ops) --");
+    let mut table = Table::new(["Ns", "baseline ops", "LightNobel ops", "reduction"]);
+    let mut mean_compute = 0.0;
+    for &ns in &lengths {
+        let (base, ln) = perf.int8_equivalent_ops(ns);
+        let reduction = 1.0 - ln / base;
+        mean_compute += reduction;
+        table.add_row([
+            ns.to_string(),
+            format!("{base:.3e}"),
+            format!("{ln:.3e}"),
+            fmt_pct(reduction),
+        ]);
+    }
+    show(&table);
+    println!("mean computational-cost reduction: {}", fmt_pct(mean_compute / lengths.len() as f64));
+
+    println!("\n-- (b) activation memory footprint (bytes moved) --");
+    let mut table = Table::new(["Ns", "baseline bytes", "LightNobel bytes", "reduction"]);
+    let mut mean_mem = 0.0;
+    for &ns in &lengths {
+        let (base, ln) = perf.memory_footprint(ns);
+        let reduction = 1.0 - ln / base;
+        mean_mem += reduction;
+        table.add_row([
+            ns.to_string(),
+            format!("{base:.3e}"),
+            format!("{ln:.3e}"),
+            fmt_pct(reduction),
+        ]);
+    }
+    show(&table);
+    println!("mean memory-footprint reduction: {}", fmt_pct(mean_mem / lengths.len() as f64));
+}

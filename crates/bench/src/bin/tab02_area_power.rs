@@ -1,0 +1,43 @@
+//! Table 2 — area and power analysis of the LightNobel accelerator at
+//! 28 nm / 1 GHz, plus the §8.4 comparison against the GPU envelopes.
+
+use lightnobel::report::Table;
+use ln_accel::power::{area_power, A100_ENVELOPE, H100_ENVELOPE};
+use ln_accel::HwConfig;
+use ln_bench::{banner, paper_note, show};
+
+fn main() {
+    banner("Table 2: area and power analysis (28 nm, 1 GHz)");
+    paper_note(
+        "total 178.802 mm2 / 67.8 W; crossbars dominate (70.28% area, 67.95% power); \
+         vs GPUs: ~22% of the area and ~19-23% of the power",
+    );
+
+    let hw = HwConfig::paper();
+    let r = area_power(&hw);
+    let mut table = Table::new(["module", "area (mm2)", "power (mW)"]);
+    let row = |t: &mut Table, name: &str, ap: ln_accel::power::AreaPower| {
+        t.add_row([name.to_owned(), format!("{:.3}", ap.area_mm2), format!("{:.3}", ap.power_mw)]);
+    };
+    row(&mut table, "Token Aligner", r.token_aligner);
+    row(&mut table, "Scratchpads", r.scratchpads);
+    row(&mut table, "1 RMPU (RDA + Engine + FIFO)", r.one_rmpu);
+    row(&mut table, &format!("{} RMPUs total", hw.num_rmpus), r.rmpus);
+    row(&mut table, "Global Crossbar Network", r.gcn);
+    row(&mut table, "1 VVPU (LCN + SIMD + SSU)", r.one_vvpu);
+    row(&mut table, &format!("{} VVPUs total", hw.total_vvpus()), r.vvpus);
+    row(&mut table, "Controller & Others", r.controller);
+    row(&mut table, "LightNobel Accelerator", r.total);
+    show(&table);
+
+    println!();
+    let mut table = Table::new(["vs", "area fraction", "power fraction"]);
+    for env in [A100_ENVELOPE, H100_ENVELOPE] {
+        table.add_row([
+            env.name.to_owned(),
+            format!("{:.2}%", r.total.area_mm2 / env.area_mm2 * 100.0),
+            format!("{:.2}%", r.total.power_mw / 1000.0 / env.power_w * 100.0),
+        ]);
+    }
+    show(&table);
+}

@@ -1,0 +1,260 @@
+//! Activation hooks that inject quantization error into the folding trunk.
+
+use ln_ppm::taps::{ActivationGroup, ActivationHook, ActivationSite, Tap};
+use ln_quant::baselines::BaselineScheme;
+use ln_quant::scheme::{AaqConfig, Group, QuantScheme};
+use ln_quant::token::fake_quantize_tokens;
+use ln_tensor::Tensor2;
+
+/// Maps the PPM's dataflow group tags onto the quantization crate's group
+/// identifiers.
+pub fn quant_group(group: ActivationGroup) -> Group {
+    match group {
+        ActivationGroup::A => Group::A,
+        ActivationGroup::B => Group::B,
+        ActivationGroup::C => Group::C,
+    }
+}
+
+/// The AAQ hook: quantize→dequantize every tagged activation with the
+/// scheme assigned to its group (§4.2), including attention score matrices
+/// (which prior schemes skip).
+///
+/// Statistics on the quantized byte volume are accumulated for footprint
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct AaqHook {
+    config: AaqConfig,
+    encoded_bytes: u64,
+    fp16_bytes: u64,
+    tokens_processed: u64,
+    // Per-group quantization-error accumulators (A, B, C): Σ(err²), Σ(x²).
+    err_sq: [f64; 3],
+    val_sq: [f64; 3],
+}
+
+impl AaqHook {
+    /// Creates the hook for an AAQ configuration.
+    pub fn new(config: AaqConfig) -> Self {
+        AaqHook {
+            config,
+            encoded_bytes: 0,
+            fp16_bytes: 0,
+            tokens_processed: 0,
+            err_sq: [0.0; 3],
+            val_sq: [0.0; 3],
+        }
+    }
+
+    /// The paper's configuration (Fig. 11 optimum).
+    pub fn paper() -> Self {
+        Self::new(AaqConfig::paper())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AaqConfig {
+        &self.config
+    }
+
+    /// Total encoded bytes of every quantized activation seen so far.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.encoded_bytes
+    }
+
+    /// What the same activations would occupy at FP16.
+    pub fn fp16_bytes(&self) -> u64 {
+        self.fp16_bytes
+    }
+
+    /// Tokens processed.
+    pub fn tokens_processed(&self) -> u64 {
+        self.tokens_processed
+    }
+
+    /// The scheme applied at a tap.
+    pub fn scheme_for(&self, tap: Tap) -> QuantScheme {
+        self.config.scheme_for(quant_group(tap.group()))
+    }
+
+    /// Relative quantization RMSE accumulated at the given group's taps:
+    /// `sqrt(Σ err² / Σ x²)`. This is the sub-TM-resolution accuracy signal
+    /// the Fig. 11 design-space exploration ranks schemes by.
+    pub fn relative_rmse(&self, group: Group) -> f64 {
+        let i = match group {
+            Group::A => 0,
+            Group::B => 1,
+            Group::C => 2,
+        };
+        if self.val_sq[i] <= 0.0 {
+            return 0.0;
+        }
+        (self.err_sq[i] / self.val_sq[i]).sqrt()
+    }
+}
+
+impl ActivationHook for AaqHook {
+    fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2) {
+        let mut scheme = self.scheme_for(tap);
+        // Guard rails for narrow tensors (attention bias has `heads`
+        // channels; score rows can be shorter than the outlier budget).
+        if scheme.outliers >= activation.cols() {
+            scheme.outliers = activation.cols().saturating_sub(1);
+        }
+        if activation.cols() < 2 {
+            return;
+        }
+        let original = activation.clone();
+        fake_quantize_tokens(activation, scheme);
+        let gi = match quant_group(tap.group()) {
+            Group::A => 0,
+            Group::B => 1,
+            Group::C => 2,
+        };
+        for (&a, &b) in original.as_slice().iter().zip(activation.as_slice()) {
+            let e = (a - b) as f64;
+            self.err_sq[gi] += e * e;
+            self.val_sq[gi] += (a as f64) * (a as f64);
+        }
+        self.tokens_processed += activation.rows() as u64;
+        self.encoded_bytes += (activation.rows() * scheme.token_bytes(activation.cols())) as u64;
+        self.fp16_bytes += (activation.rows() * activation.cols() * 2) as u64;
+    }
+}
+
+/// The baseline-scheme hook: applies a comparison scheme's numeric error
+/// model at the sites it covers, FP16 rounding elsewhere, and MEFold's
+/// weight-quantization perturbation on linear outputs.
+#[derive(Debug, Clone)]
+pub struct BaselineHook {
+    scheme: BaselineScheme,
+}
+
+impl BaselineHook {
+    /// Creates the hook for a baseline scheme.
+    pub fn new(scheme: BaselineScheme) -> Self {
+        BaselineHook { scheme }
+    }
+
+    /// The wrapped scheme.
+    pub fn scheme(&self) -> BaselineScheme {
+        self.scheme
+    }
+}
+
+/// Sites whose values are outputs of weight multiplications — where
+/// MEFold's weight-only INT4 error lands.
+fn is_linear_output(site: ActivationSite) -> bool {
+    use ActivationSite::*;
+    matches!(
+        site,
+        TriMulProjLeft
+            | TriMulProjRight
+            | TriMulGateLeft
+            | TriMulGateRight
+            | TriMulOutGate
+            | TriAttnQuery
+            | TriAttnKey
+            | TriAttnValue
+            | TriAttnBias
+            | TriAttnGate
+            | TransitionHidden
+    )
+}
+
+impl ActivationHook for BaselineHook {
+    fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2) {
+        let group = quant_group(tap.group());
+        let is_scores = tap.site == ActivationSite::TriAttnScores;
+        if self.scheme == BaselineScheme::MeFold && is_linear_output(tap.site) {
+            BaselineScheme::mefold_weight_noise(activation);
+        }
+        self.scheme.process(group, is_scores, activation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ln_ppm::taps::{ActivationSite, Tap};
+
+    fn tap(site: ActivationSite) -> Tap {
+        Tap { block: 0, recycle: 0, site }
+    }
+
+    fn activation() -> Tensor2 {
+        Tensor2::from_fn(16, 128, |i, j| {
+            let scale = if i % 4 == 0 { 30.0 } else { 1.0 };
+            scale * (((i * 13 + j * 7) % 19) as f32 * 0.1 - 0.9)
+        })
+    }
+
+    #[test]
+    fn aaq_hook_uses_group_schemes() {
+        let hook = AaqHook::paper();
+        assert_eq!(
+            hook.scheme_for(tap(ActivationSite::TriMulResidualIn)),
+            QuantScheme::int8_with_outliers(4)
+        );
+        assert_eq!(
+            hook.scheme_for(tap(ActivationSite::TriAttnQuery)),
+            QuantScheme::int4_with_outliers(0)
+        );
+    }
+
+    #[test]
+    fn aaq_hook_perturbs_and_accounts() {
+        let mut hook = AaqHook::paper();
+        let mut x = activation();
+        let before = x.clone();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x);
+        assert_ne!(x, before);
+        assert!(hook.encoded_bytes() > 0);
+        assert!(hook.encoded_bytes() < hook.fp16_bytes());
+        assert_eq!(hook.tokens_processed(), 16);
+    }
+
+    #[test]
+    fn aaq_error_is_smaller_on_group_a_than_plain_int4() {
+        let mut x8 = activation();
+        let mut x4 = activation();
+        let orig = activation();
+        let mut hook = AaqHook::paper();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x8); // A: INT8+4
+        hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut x4); // C: INT4+0
+        assert!(x8.rmse(&orig).unwrap() < x4.rmse(&orig).unwrap());
+    }
+
+    #[test]
+    fn narrow_activations_are_handled() {
+        // Bias tensors have `heads` (4) channels — fewer than the outlier
+        // budget; the hook must degrade gracefully.
+        let mut hook = AaqHook::paper();
+        let mut bias = Tensor2::from_fn(8, 4, |i, j| (i + j) as f32 * 0.3);
+        hook.on_activation(tap(ActivationSite::TriAttnBias), &mut bias);
+        assert!(bias.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn baseline_hook_skips_uncovered_groups() {
+        let mut hook = BaselineHook::new(BaselineScheme::Ptq4Protein);
+        let orig = activation();
+        let mut a = orig.clone();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut a); // group A
+        // Only f16 rounding.
+        assert!(a.rmse(&orig).unwrap() < 0.05);
+        let mut c = orig.clone();
+        hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut c); // group C
+        assert!(c.rmse(&orig).unwrap() > a.rmse(&orig).unwrap());
+    }
+
+    #[test]
+    fn mefold_perturbs_linear_outputs_only() {
+        let mut hook = BaselineHook::new(BaselineScheme::MeFold);
+        let orig = activation();
+        let mut q = orig.clone();
+        hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut q);
+        let mut r = orig.clone();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut r);
+        assert!(q.rmse(&orig).unwrap() > 10.0 * r.rmse(&orig).unwrap());
+    }
+}

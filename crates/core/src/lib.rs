@@ -1,0 +1,50 @@
+//! # lightnobel
+//!
+//! The top-level crate of the LightNobel reproduction: it wires the PPM
+//! substrate (`ln-ppm`), the quantization library (`ln-quant`), the
+//! accelerator simulator (`ln-accel`) and the GPU baseline models
+//! (`ln-gpu`) into the experiment drivers behind every table and figure in
+//! the paper.
+//!
+//! * [`hook`] — [`hook::AaqHook`] injects Token-wise Adaptive Activation
+//!   Quantization into the folding trunk at every tagged dataflow edge;
+//!   [`hook::BaselineHook`] does the same for the comparison schemes.
+//! * [`accuracy`] — TM-Score evaluation of any scheme against the FP32
+//!   reference and the synthetic natives (Fig. 13, §4.1 RMSE ablation).
+//! * [`footprint`] — Table 1 memory-footprint accounting.
+//! * [`perf`] — LightNobel-vs-GPU latency, peak memory, computational cost
+//!   and memory footprint comparisons (Figs. 14, 15, 16).
+//! * [`dse`] — the design-space explorations behind Fig. 11 (AAQ schemes)
+//!   and Fig. 12 (hardware configuration).
+//! * [`report`] — plain-text table formatting shared by the bench binaries.
+//! * [`system`] — the bundled one-call API ([`system::LightNobelSystem`]):
+//!   quantized folding plus performance projection.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightnobel::accuracy::{AccuracyEvaluator, SchemeUnderTest};
+//! use ln_datasets::{Dataset, Registry};
+//!
+//! # fn main() -> Result<(), ln_ppm::PpmError> {
+//! let reg = Registry::standard();
+//! let record = reg.dataset(Dataset::Cameo).shortest();
+//! let eval = AccuracyEvaluator::fast();
+//! let result = eval.evaluate(&SchemeUnderTest::aaq_paper(), record)?;
+//! assert!(result.tm_vs_baseline > 0.9); // AAQ barely moves the prediction
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod dse;
+pub mod footprint;
+pub mod hook;
+pub mod perf;
+pub mod report;
+pub mod system;
+
+pub use accuracy::{AccuracyEvaluator, AccuracyResult, SchemeUnderTest};

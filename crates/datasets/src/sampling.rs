@@ -1,0 +1,96 @@
+//! Deterministic workload sampling.
+//!
+//! The paper's accuracy experiments "sample proteins from the CAMEO,
+//! CASP14, CASP15 and CASP16 datasets" (§4.2, §7.1). These helpers make
+//! that sampling reproducible: the same `(label, n)` always selects the
+//! same records.
+
+use crate::{Dataset, ProteinRecord, Registry};
+use ln_tensor::rng;
+use rand::seq::SliceRandom;
+
+/// Deterministically samples up to `n` records from a dataset.
+///
+/// Sampling is without replacement; when `n` exceeds the dataset size the
+/// whole dataset is returned (shuffled).
+pub fn sample<'a>(
+    registry: &'a Registry,
+    dataset: Dataset,
+    n: usize,
+    label: &str,
+) -> Vec<&'a ProteinRecord> {
+    let mut rng = rng::stream_indexed(label, dataset as u64);
+    let mut records: Vec<&ProteinRecord> = registry.dataset(dataset).records().iter().collect();
+    records.shuffle(&mut rng);
+    records.truncate(n);
+    records
+}
+
+/// Samples up to `n` records *per dataset* across the given datasets,
+/// keeping only records no longer than `max_len` (the numeric-accuracy
+/// experiments cap fold lengths).
+pub fn sample_capped<'a>(
+    registry: &'a Registry,
+    datasets: &[Dataset],
+    n_per_dataset: usize,
+    max_len: usize,
+    label: &str,
+) -> Vec<&'a ProteinRecord> {
+    let mut out = Vec::new();
+    for &d in datasets {
+        let mut picked: Vec<&ProteinRecord> = sample(registry, d, registry.dataset(d).records().len(), label)
+            .into_iter()
+            .filter(|r| r.length() <= max_len)
+            .take(n_per_dataset)
+            .collect();
+        out.append(&mut picked);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_DATASETS;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let reg = Registry::standard();
+        let a = sample(&reg, Dataset::Casp15, 4, "s");
+        let b = sample(&reg, Dataset::Casp15, 4, "s");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let c = sample(&reg, Dataset::Casp15, 4, "t");
+        assert_ne!(a, c, "different labels sample differently");
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let reg = Registry::standard();
+        let all = sample(&reg, Dataset::Cameo, 1000, "s");
+        assert_eq!(all.len(), reg.dataset(Dataset::Cameo).records().len());
+    }
+
+    #[test]
+    fn sampling_never_repeats_records() {
+        let reg = Registry::standard();
+        for d in ALL_DATASETS {
+            let picked = sample(&reg, d, 10, "uniq");
+            let names: std::collections::HashSet<&str> =
+                picked.iter().map(|r| r.name()).collect();
+            assert_eq!(names.len(), picked.len());
+        }
+    }
+
+    #[test]
+    fn capped_sampling_respects_the_cap() {
+        let reg = Registry::standard();
+        let picked = sample_capped(&reg, &ALL_DATASETS, 3, 800, "cap");
+        assert!(!picked.is_empty());
+        assert!(picked.iter().all(|r| r.length() <= 800));
+        // At most 3 per dataset.
+        for d in ALL_DATASETS {
+            assert!(picked.iter().filter(|r| r.dataset() == d).count() <= 3);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Length statistics over dataset registries.
+//!
+//! The performance experiments report per-dataset aggregates (Fig. 14/15);
+//! these helpers compute the workload statistics those aggregates need.
+
+use crate::{DatasetView, ProteinRecord};
+
+/// Summary of sequence lengths in a set of records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LengthStats {
+    /// Number of records.
+    pub count: usize,
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length.
+    pub max: usize,
+    /// Arithmetic mean length (rounded down).
+    pub mean: usize,
+    /// Median length.
+    pub median: usize,
+}
+
+/// Computes length statistics over records.
+pub fn length_stats<'a>(records: impl IntoIterator<Item = &'a ProteinRecord>) -> LengthStats {
+    let mut lens: Vec<usize> = records.into_iter().map(|r| r.length()).collect();
+    if lens.is_empty() {
+        return LengthStats::default();
+    }
+    lens.sort_unstable();
+    let count = lens.len();
+    LengthStats {
+        count,
+        min: lens[0],
+        max: lens[count - 1],
+        mean: lens.iter().sum::<usize>() / count,
+        median: lens[count / 2],
+    }
+}
+
+/// Computes length statistics for a dataset view.
+pub fn dataset_stats(view: &DatasetView) -> LengthStats {
+    length_stats(view.records())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, Registry, ALL_DATASETS};
+
+    #[test]
+    fn stats_hand_values() {
+        let recs = vec![
+            ProteinRecord::new(Dataset::Cameo, "a", 10),
+            ProteinRecord::new(Dataset::Cameo, "b", 20),
+            ProteinRecord::new(Dataset::Cameo, "c", 90),
+        ];
+        let s = length_stats(&recs);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 90);
+        assert_eq!(s.mean, 40);
+        assert_eq!(s.median, 20);
+    }
+
+    #[test]
+    fn empty_stats_default() {
+        assert_eq!(length_stats([]), LengthStats::default());
+    }
+
+    #[test]
+    fn dataset_maxima_are_ordered_like_the_paper() {
+        // CAMEO < CASP14 < CASP15 < CASP16 in maximum target length.
+        let reg = Registry::standard();
+        let maxima: Vec<usize> =
+            ALL_DATASETS.iter().map(|&d| dataset_stats(reg.dataset(d)).max).collect();
+        assert!(maxima.windows(2).all(|w| w[0] < w[1]), "{maxima:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! GPU device envelopes (datasheet values for the paper's baselines).
+
+/// A GPU device model: datasheet envelope plus effective-utilization
+/// derating factors for PPM-shaped workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Dense FP16 tensor-core throughput, FLOP/s.
+    pub fp16_flops: f64,
+    /// Dense INT8 tensor-core throughput, OP/s.
+    pub int8_ops: f64,
+    /// HBM bandwidth, bytes/s.
+    pub hbm_bandwidth: f64,
+    /// Device memory capacity, bytes.
+    pub vram_bytes: u64,
+    /// Kernel launch + return overhead, seconds (the cost the chunk option
+    /// multiplies; §8.2 "kernel overhead from frequent kernel calls").
+    pub kernel_launch_seconds: f64,
+    /// Fraction of peak compute achieved on PPM kernels (small hidden
+    /// dimensions keep tensor-core utilization low; §8.2).
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth achieved on PPM tensors.
+    pub bandwidth_efficiency: f64,
+    /// Additional compute derate for the few-row kernels of chunked
+    /// execution (smaller SM arrays are easier to fill, so the A100
+    /// derates less than the H100).
+    pub chunk_compute_derate: f64,
+    /// Board power, W (for the power-efficiency comparison).
+    pub board_power_w: f64,
+}
+
+/// NVIDIA A100 80GB PCIe (312 TFLOPS FP16, 624 TOPS INT8, ~2 TB/s).
+pub const A100: GpuDevice = GpuDevice {
+    name: "A100",
+    fp16_flops: 312e12,
+    int8_ops: 624e12,
+    hbm_bandwidth: 2.0e12,
+    vram_bytes: 80_000_000_000,
+    kernel_launch_seconds: 8e-6,
+    compute_efficiency: 0.45,
+    bandwidth_efficiency: 0.82,
+    chunk_compute_derate: 0.55,
+    board_power_w: 300.0,
+};
+
+/// NVIDIA H100 80GB PCIe (756 TFLOPS FP16 dense, 3026 TOPS INT8 per the
+/// paper, ~2 TB/s).
+pub const H100: GpuDevice = GpuDevice {
+    name: "H100",
+    fp16_flops: 756e12,
+    int8_ops: 3026e12,
+    hbm_bandwidth: 2.0e12,
+    vram_bytes: 80_000_000_000,
+    kernel_launch_seconds: 7e-6,
+    compute_efficiency: 0.50,
+    bandwidth_efficiency: 0.85,
+    chunk_compute_derate: 0.30,
+    board_power_w: 350.0,
+};
+
+/// NVIDIA H200 141GB (4.8 TB/s): the paper's "state-of-the-art GPU"
+/// projection target (§8.2 expects similar trends).
+pub const H200: GpuDevice = GpuDevice {
+    name: "H200",
+    fp16_flops: 756e12,
+    int8_ops: 3026e12,
+    hbm_bandwidth: 4.8e12,
+    vram_bytes: 141_000_000_000,
+    kernel_launch_seconds: 7e-6,
+    compute_efficiency: 0.50,
+    bandwidth_efficiency: 0.85,
+    chunk_compute_derate: 0.30,
+    board_power_w: 600.0,
+};
+
+impl GpuDevice {
+    /// Effective FP16 FLOP/s on PPM kernels.
+    pub fn effective_flops(&self) -> f64 {
+        self.fp16_flops * self.compute_efficiency
+    }
+
+    /// Effective bandwidth on PPM tensors, bytes/s.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.hbm_bandwidth * self.bandwidth_efficiency
+    }
+
+    /// Roofline time for a kernel with the given FLOPs and bytes.
+    pub fn kernel_seconds(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.effective_flops()).max(bytes / self.effective_bandwidth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_outclasses_a100_on_paper_specs() {
+        assert!(H100.fp16_flops > 2.0 * A100.fp16_flops);
+        // §8.2: ~5× INT8 resources (3026 vs 624 TOPS).
+        assert!((H100.int8_ops / A100.int8_ops - 4.85).abs() < 0.2);
+        // Same bandwidth: the memory-bound PPM barely benefits.
+        assert_eq!(H100.hbm_bandwidth, A100.hbm_bandwidth);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_resource() {
+        let d = A100;
+        // Tiny compute, huge bytes → memory time.
+        let t = d.kernel_seconds(1e6, 1e9);
+        assert!((t - 1e9 / d.effective_bandwidth()).abs() < 1e-12);
+        // Huge compute, tiny bytes → compute time.
+        let t = d.kernel_seconds(1e15, 1.0);
+        assert!((t - 1e15 / d.effective_flops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_have_80gb() {
+        assert_eq!(A100.vram_bytes, 80_000_000_000);
+        assert_eq!(H100.vram_bytes, 80_000_000_000);
+    }
+
+    #[test]
+    fn h200_widens_memory_and_bandwidth() {
+        assert!(H200.hbm_bandwidth > 2.0 * H100.hbm_bandwidth);
+        assert!(H200.vram_bytes > H100.vram_bytes);
+        assert_eq!(H200.fp16_flops, H100.fp16_flops);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ln-gpu
+//!
+//! Analytical performance models of the paper's hardware and software
+//! baselines:
+//!
+//! * [`device`] — NVIDIA A100/H100 roofline envelopes (datasheet compute,
+//!   HBM bandwidth, kernel-launch overhead, 80 GB capacity).
+//! * [`esmfold`] — the ESMFold execution model on a GPU: per-stage
+//!   latencies as `max(compute, memory)` plus kernel-launch overhead, the
+//!   `chunk` option (smaller peak memory, many more kernels), out-of-memory
+//!   detection, and the Fig. 3 latency breakdown.
+//! * [`systems`] — end-to-end latency models of the other PPM systems in
+//!   Fig. 14(a): AlphaFold2, FastFold, ColabFold, AlphaFold3, MEFold and
+//!   PTQ4Protein, each characterised by its Input-Embedding pipeline
+//!   (database search vs protein language model) and folding-block
+//!   behaviour.
+//! * [`timeline`] — a buffer-lifetime walk of the folding block that
+//!   independently re-derives peak memory and cross-validates the
+//!   closed-form estimates (the paper's Fig. 15(b) methodology).
+//!
+//! These are calibrated roofline/event models, not cycle simulators: the
+//! paper's GPU numbers come from Nsight measurements we cannot repeat, so
+//! the models are pinned to the datasheet envelopes and reproduce the
+//! *shape* of the comparisons (who wins, by what factor, where OOM and
+//! chunking cross over).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod esmfold;
+pub mod systems;
+pub mod timeline;
+
+pub use device::{GpuDevice, A100, H100, H200};
+pub use esmfold::{EsmFoldGpuModel, ExecOptions, GpuRunOutcome};

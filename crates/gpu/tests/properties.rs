@@ -1,0 +1,106 @@
+//! Property-based tests for the GPU baseline models.
+
+use ln_gpu::esmfold::{EsmFoldGpuModel, ExecOptions};
+use ln_gpu::systems::{PpmSystem, ALL_SYSTEMS};
+use ln_gpu::{A100, H100, H200};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn folding_time_is_monotone_in_length(a in 32usize..2048, delta in 1usize..1024) {
+        for device in [A100, H100, H200] {
+            let m = EsmFoldGpuModel::new(device);
+            for opts in [ExecOptions::vanilla(), ExecOptions::chunk4()] {
+                prop_assert!(
+                    m.folding_seconds(a + delta, opts) > m.folding_seconds(a, opts),
+                    "{} {:?}",
+                    device.name,
+                    opts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_memory_is_monotone_and_chunk_helps(ns in 64usize..4096) {
+        let m = EsmFoldGpuModel::new(H100);
+        let vanilla = m.peak_memory_bytes(ns, ExecOptions::vanilla());
+        let chunked = m.peak_memory_bytes(ns, ExecOptions::chunk4());
+        prop_assert!(chunked <= vanilla);
+        prop_assert!(vanilla > 0.0 && chunked > 0.0);
+    }
+
+    #[test]
+    fn oom_frontier_is_a_threshold(ns in 64usize..8192) {
+        // If ns fits, every shorter protein fits too (no non-monotone OOM).
+        let m = EsmFoldGpuModel::new(H100);
+        for opts in [ExecOptions::vanilla(), ExecOptions::chunk4()] {
+            if m.fits_memory(ns, opts) && ns > 128 {
+                prop_assert!(m.fits_memory(ns / 2, opts));
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_fractions_form_a_distribution(ns in 32usize..3000) {
+        let m = EsmFoldGpuModel::new(H100);
+        let parts = m.latency_breakdown(ns, ExecOptions::vanilla());
+        let sum: f64 = parts.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(parts.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn h200_is_never_slower_than_h100(ns in 64usize..2048) {
+        // Same compute envelope, more bandwidth: the H200 can only help.
+        let h100 = EsmFoldGpuModel::new(H100);
+        let h200 = EsmFoldGpuModel::new(H200);
+        for opts in [ExecOptions::vanilla(), ExecOptions::chunk4()] {
+            prop_assert!(
+                h200.folding_seconds(ns, opts) <= h100.folding_seconds(ns, opts) * 1.0001
+            );
+        }
+    }
+
+    #[test]
+    fn system_latencies_are_positive_and_e2e_dominates_folding(ns in 64usize..1410) {
+        let baseline = EsmFoldGpuModel::new(H100);
+        for sys in ALL_SYSTEMS {
+            let fold = sys.folding_seconds(&baseline, ns);
+            let e2e = sys.end_to_end_seconds(&baseline, ns);
+            prop_assert!(fold > 0.0);
+            prop_assert!(e2e >= fold, "{}", sys.name());
+        }
+    }
+
+    #[test]
+    fn language_model_systems_have_no_search_wall(ns in 64usize..1024) {
+        let baseline = EsmFoldGpuModel::new(H100);
+        for sys in ALL_SYSTEMS {
+            let e2e = sys.end_to_end_seconds(&baseline, ns);
+            if sys.uses_language_model() {
+                prop_assert!(e2e < 60.0, "{}: {e2e}", sys.name());
+            } else {
+                prop_assert!(e2e > 100.0, "{}: {e2e}", sys.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn ptq4protein_is_the_only_system_faster_than_esmfold() {
+    // Fig. 14(a): tensor-wise INT8 gives PTQ4Protein a slight folding edge
+    // over vanilla ESMFold; everything else is slower.
+    let baseline = EsmFoldGpuModel::new(H100);
+    let esm = PpmSystem::EsmFold.folding_seconds(&baseline, 800);
+    for sys in ALL_SYSTEMS {
+        let fold = sys.folding_seconds(&baseline, 800);
+        if sys == PpmSystem::Ptq4Protein {
+            assert!(fold < esm);
+        } else if sys != PpmSystem::EsmFold {
+            assert!(fold > esm, "{}", sys.name());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Prediction-analysis utilities: contact maps and distogram comparison.
+//!
+//! Contact prediction (is Cα(i) within 8 Å of Cα(j)?) is the classic
+//! evaluation of pair representations — the paper's distogram pattern is
+//! literally the contact structure of the protein. These helpers measure
+//! how much contact information survives the trunk and quantization.
+
+use crate::structure_module::decode_distances;
+use ln_protein::{distance_matrix, Structure};
+use ln_tensor::{Tensor2, Tensor3};
+
+/// The standard contact threshold (Å) for Cα–Cα contact maps.
+pub const CONTACT_THRESHOLD: f64 = 8.0;
+
+/// A binary contact map for residue pairs with `|i-j| >= separation`.
+pub fn contact_map(structure: &Structure, separation: usize) -> Vec<Vec<bool>> {
+    let n = structure.len();
+    let mut map = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i.abs_diff(j) >= separation {
+                map[i][j] = structure.distance(i, j) <= CONTACT_THRESHOLD;
+            }
+        }
+    }
+    map
+}
+
+/// Precision/recall of predicted contacts against native contacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactScore {
+    /// Fraction of predicted contacts that are native.
+    pub precision: f64,
+    /// Fraction of native contacts that are predicted.
+    pub recall: f64,
+    /// Native contact count.
+    pub native_contacts: usize,
+    /// Predicted contact count.
+    pub predicted_contacts: usize,
+}
+
+impl ContactScore {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.precision * self.recall / (self.precision + self.recall)
+    }
+}
+
+/// Scores a predicted structure's long-range (`|i-j| >= 6`) contacts
+/// against the native structure's.
+///
+/// # Example
+///
+/// ```
+/// use ln_ppm::analysis::contact_score;
+/// use ln_protein::generator::StructureGenerator;
+///
+/// let native = StructureGenerator::new("demo").generate(60);
+/// let score = contact_score(&native, &native);
+/// assert_eq!(score.f1(), 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the structures have different lengths (callers validate).
+pub fn contact_score(predicted: &Structure, native: &Structure) -> ContactScore {
+    assert_eq!(predicted.len(), native.len(), "structures must align");
+    let sep = 6;
+    let p = contact_map(predicted, sep);
+    let t = contact_map(native, sep);
+    let n = native.len();
+    let (mut tp, mut np, mut nt) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        for j in (i + sep)..n {
+            if p[i][j] {
+                np += 1;
+            }
+            if t[i][j] {
+                nt += 1;
+            }
+            if p[i][j] && t[i][j] {
+                tp += 1;
+            }
+        }
+    }
+    ContactScore {
+        precision: if np > 0 { tp as f64 / np as f64 } else { 0.0 },
+        recall: if nt > 0 { tp as f64 / nt as f64 } else { 0.0 },
+        native_contacts: nt,
+        predicted_contacts: np,
+    }
+}
+
+/// Mean absolute error (Å) between the distances decoded from a pair
+/// representation and a native structure's distance matrix, over pairs the
+/// distogram can express (below its saturation range).
+pub fn distogram_mae(pair: &Tensor3, native: &Structure) -> f64 {
+    let decoded: Tensor2 = decode_distances(pair);
+    let truth = distance_matrix(native);
+    let n = native.len();
+    let cap = crate::embed::DISTOGRAM_MAX * 0.95;
+    let mut err = 0.0f64;
+    let mut cnt = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || truth.at(i, j) >= cap {
+                continue;
+            }
+            err += (decoded.at(i, j) - truth.at(i, j)).abs() as f64;
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        err / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::Embedding;
+    use crate::{FoldingModel, PpmConfig};
+    use ln_protein::generator::{perturbed, StructureGenerator};
+    use ln_protein::Sequence;
+
+    fn native(n: usize) -> Structure {
+        StructureGenerator::new("analysis").generate(n)
+    }
+
+    #[test]
+    fn identical_structures_score_perfectly() {
+        let s = native(60);
+        let score = contact_score(&s, &s);
+        assert_eq!(score.precision, 1.0);
+        assert_eq!(score.recall, 1.0);
+        assert_eq!(score.f1(), 1.0);
+        assert!(score.native_contacts > 0, "a globule has long-range contacts");
+    }
+
+    #[test]
+    fn noise_degrades_contact_score_smoothly() {
+        let s = native(60);
+        let slight = contact_score(&perturbed(&s, "c1", 0.5), &s);
+        let heavy = contact_score(&perturbed(&s, "c2", 6.0), &s);
+        assert!(slight.f1() > heavy.f1(), "{} vs {}", slight.f1(), heavy.f1());
+        assert!(slight.f1() > 0.7);
+    }
+
+    #[test]
+    fn contact_map_respects_separation() {
+        let s = native(30);
+        let map = contact_map(&s, 6);
+        for i in 0..30usize {
+            for j in 0..30usize {
+                if i.abs_diff(j) < 6 {
+                    assert!(!map[i][j], "short-range pairs excluded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_distogram_is_accurate() {
+        let cfg = PpmConfig::standard();
+        let n = 40;
+        let seq = Sequence::random("an-emb", n);
+        let nat = StructureGenerator::new("an-emb").generate(n);
+        let z = Embedding::new(cfg).embed_pair(&seq, &nat);
+        let mae = distogram_mae(&z, &nat);
+        assert!(mae < 0.5, "fresh embedding decode MAE {mae} Å");
+    }
+
+    #[test]
+    fn trunk_keeps_contacts_recoverable() {
+        let n = 40;
+        let seq = Sequence::random("an-trunk", n);
+        let nat = StructureGenerator::new("an-trunk").generate(n);
+        let model = FoldingModel::new(PpmConfig::standard());
+        let out = model.predict(&seq, &nat).expect("folds");
+        let score = contact_score(&out.structure, &nat);
+        assert!(score.f1() > 0.6, "f1 {}", score.f1());
+        let mae = distogram_mae(&out.pair_rep, &nat);
+        assert!(mae < 2.0, "post-trunk decode MAE {mae} Å");
+    }
+}

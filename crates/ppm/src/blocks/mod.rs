@@ -1,0 +1,205 @@
+//! The Protein Folding Block (Fig. 2(b)): the Pair-Representation dataflow
+//! (Triangular Multiplication, Triangular Attention, Pair Transition) plus
+//! the Sequence-Representation track (row attention with pair bias,
+//! transition, outer-product-mean update).
+//!
+//! Every pair-dataflow activation edge is reported to the caller's
+//! [`ActivationHook`] with its Fig. 6 site tag; the sequence track is not
+//! quantized by the paper and carries no taps.
+
+mod seq_track;
+mod transition;
+mod tri_attn;
+mod tri_mul;
+
+pub use seq_track::SequenceTrack;
+pub use transition::PairTransition;
+pub use tri_attn::{chunked_attention, AttentionNode, TriangularAttention};
+pub use tri_mul::{TriangleDirection, TriangularMultiplication};
+
+use crate::taps::ActivationHook;
+use crate::{PpmConfig, PpmError};
+use ln_tensor::{Tensor2, Tensor3};
+
+/// One folding block: sequence track + the four pair-dataflow units.
+#[derive(Debug, Clone)]
+pub struct FoldingBlock {
+    seq_track: SequenceTrack,
+    tri_mul_out: TriangularMultiplication,
+    tri_mul_in: TriangularMultiplication,
+    tri_attn_start: TriangularAttention,
+    tri_attn_end: TriangularAttention,
+    transition: PairTransition,
+}
+
+impl FoldingBlock {
+    /// Builds block `index` with weights derived from `(label, index)`.
+    pub fn new(config: &PpmConfig, label: &str, index: usize) -> Self {
+        let tag = |unit: &str| format!("{label}/block{index}/{unit}");
+        FoldingBlock {
+            seq_track: SequenceTrack::new(config, &tag("seq")),
+            tri_mul_out: TriangularMultiplication::new(
+                config,
+                &tag("tri_mul_out"),
+                TriangleDirection::Outgoing,
+            ),
+            tri_mul_in: TriangularMultiplication::new(
+                config,
+                &tag("tri_mul_in"),
+                TriangleDirection::Incoming,
+            ),
+            tri_attn_start: TriangularAttention::new(
+                config,
+                &tag("tri_attn_start"),
+                AttentionNode::Starting,
+            ),
+            tri_attn_end: TriangularAttention::new(
+                config,
+                &tag("tri_attn_end"),
+                AttentionNode::Ending,
+            ),
+            transition: PairTransition::new(config, &tag("transition")),
+        }
+    }
+
+    /// Runs the block in place over `(seq_rep, pair_rep)`.
+    ///
+    /// `block` and `recycle` identify this invocation in the taps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PpmError::Tensor`] on internal shape mismatches (which
+    /// indicate a construction bug, not a user error).
+    pub fn forward(
+        &self,
+        seq_rep: &mut Tensor2,
+        pair_rep: &mut Tensor3,
+        hook: &mut dyn ActivationHook,
+        block: usize,
+        recycle: usize,
+    ) -> Result<(), PpmError> {
+        // Sequence track first (as in the Evoformer/folding trunk), feeding
+        // the outer-product-mean update into the pair stream.
+        self.seq_track.forward(seq_rep, pair_rep)?;
+        // Pair-representation dataflow (the paper's main bottleneck).
+        self.tri_mul_out.forward(pair_rep, hook, block, recycle)?;
+        self.tri_mul_in.forward(pair_rep, hook, block, recycle)?;
+        self.tri_attn_start.forward(pair_rep, hook, block, recycle)?;
+        self.tri_attn_end.forward(pair_rep, hook, block, recycle)?;
+        self.transition.forward(pair_rep, hook, block, recycle)?;
+        Ok(())
+    }
+
+    /// Total number of weight parameters in this block.
+    pub fn num_params(&self) -> usize {
+        self.seq_track.num_params()
+            + self.tri_mul_out.num_params()
+            + self.tri_mul_in.num_params()
+            + self.tri_attn_start.num_params()
+            + self.tri_attn_end.num_params()
+            + self.transition.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::Embedding;
+    use crate::taps::{NoopHook, RecordingHook};
+    use ln_protein::generator::StructureGenerator;
+    use ln_protein::Sequence;
+
+    fn setup(ns: usize) -> (PpmConfig, Tensor2, Tensor3) {
+        let cfg = PpmConfig::tiny();
+        let seq = Sequence::random("blk", ns);
+        let native = StructureGenerator::new("blk").generate(ns);
+        let e = Embedding::new(cfg.clone());
+        let (s, z) = e.embed(&seq, &native).unwrap();
+        (cfg, s, z)
+    }
+
+    #[test]
+    fn block_preserves_shapes() {
+        let (cfg, mut s, mut z) = setup(12);
+        let block = FoldingBlock::new(&cfg, "w", 0);
+        let (s0, z0) = (s.shape(), z.shape());
+        block.forward(&mut s, &mut z, &mut NoopHook, 0, 0).unwrap();
+        assert_eq!(s.shape(), s0);
+        assert_eq!(z.shape(), z0);
+    }
+
+    #[test]
+    fn block_changes_both_streams() {
+        let (cfg, mut s, mut z) = setup(12);
+        let s_before = s.clone();
+        let z_before = z.clone();
+        let block = FoldingBlock::new(&cfg, "w", 0);
+        block.forward(&mut s, &mut z, &mut NoopHook, 0, 0).unwrap();
+        assert_ne!(s, s_before);
+        assert_ne!(z, z_before);
+    }
+
+    #[test]
+    fn residual_stream_stays_dominant() {
+        // update_gain keeps the distogram-carrying stream dominant: the
+        // relative change per block must be well below 1.
+        let (cfg, mut s, mut z) = setup(12);
+        let z_before = z.clone();
+        let block = FoldingBlock::new(&cfg, "w", 0);
+        block.forward(&mut s, &mut z, &mut NoopHook, 0, 0).unwrap();
+        let delta = z.rmse(&z_before).unwrap();
+        let scale = z_before.max_abs();
+        assert!(delta < 0.2 * scale, "delta {delta} vs scale {scale}");
+        assert!(delta > 0.0);
+    }
+
+    #[test]
+    fn all_sites_fire_once_per_block() {
+        let (cfg, mut s, mut z) = setup(10);
+        let block = FoldingBlock::new(&cfg, "w", 3);
+        let mut hook = RecordingHook::new();
+        block.forward(&mut s, &mut z, &mut hook, 3, 1).unwrap();
+        use crate::taps::{ActivationSite, ALL_SITES};
+        use std::collections::HashMap;
+        let mut counts: HashMap<ActivationSite, usize> = HashMap::new();
+        for r in hook.records() {
+            assert_eq!(r.tap.block, 3);
+            assert_eq!(r.tap.recycle, 1);
+            *counts.entry(r.tap.site).or_default() += 1;
+        }
+        for site in ALL_SITES {
+            let expected = match site {
+                // Two tri-mul units and two tri-attn units per block; the
+                // scores site fires once per (row/column, head).
+                ActivationSite::TriAttnScores => continue,
+                s if s.name().starts_with("tri_mul") => 2,
+                s if s.name().starts_with("tri_attn") => 2,
+                _ => 1,
+            };
+            assert_eq!(counts.get(&site), Some(&expected), "site {site}");
+        }
+        let score_fires = counts[&ActivationSite::TriAttnScores];
+        // ns=10 rows × 2 heads × 2 units.
+        assert_eq!(score_fires, 10 * 2 * 2);
+    }
+
+    #[test]
+    fn blocks_are_deterministic() {
+        let (cfg, mut s1, mut z1) = setup(10);
+        let (_, mut s2, mut z2) = setup(10);
+        let block = FoldingBlock::new(&cfg, "w", 0);
+        block.forward(&mut s1, &mut z1, &mut NoopHook, 0, 0).unwrap();
+        block.forward(&mut s2, &mut z2, &mut NoopHook, 0, 0).unwrap();
+        assert_eq!(z1, z2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn param_count_positive_and_stable() {
+        let cfg = PpmConfig::tiny();
+        let b0 = FoldingBlock::new(&cfg, "w", 0);
+        let b1 = FoldingBlock::new(&cfg, "w", 1);
+        assert!(b0.num_params() > 1000);
+        assert_eq!(b0.num_params(), b1.num_params());
+    }
+}

@@ -1,0 +1,435 @@
+//! Triangular Attention (Fig. 6(b)): multi-head attention over rows
+//! (starting node) or columns (ending node) of the pair representation,
+//! with a triangle bias from the third edge.
+//!
+//! This is the paper's dominant cost: the per-head score tensor is
+//! `(Ns, Ns, Ns)`, which is what makes activation size — not weight size —
+//! the PPM bottleneck (§3.2).
+
+use crate::taps::{ActivationHook, ActivationSite, Tap};
+use crate::{PpmConfig, PpmError};
+use ln_tensor::nn::{LayerNorm, Linear};
+use ln_tensor::{nn, Tensor2, Tensor3};
+
+/// Which pair-matrix axis the attention runs along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttentionNode {
+    /// Row-wise attention ("around the starting node"): for each `i`,
+    /// tokens `(i, *)` attend to each other.
+    Starting,
+    /// Column-wise attention ("around the ending node"): for each `j`,
+    /// tokens `(*, j)` attend to each other.
+    Ending,
+}
+
+/// A triangular-attention unit.
+#[derive(Debug, Clone)]
+pub struct TriangularAttention {
+    node: AttentionNode,
+    heads: usize,
+    head_dim: usize,
+    chunk: Option<usize>,
+    norm_in: LayerNorm,
+    to_q: Linear,
+    to_k: Linear,
+    to_v: Linear,
+    to_bias: Linear,
+    to_gate: Linear,
+    proj_out: Linear,
+    update_gain: f32,
+}
+
+impl TriangularAttention {
+    /// Builds the unit with deterministic weights derived from `label`.
+    pub fn new(config: &PpmConfig, label: &str, node: AttentionNode) -> Self {
+        let hz = config.hz;
+        let attn = config.pair_attn_dim();
+        TriangularAttention {
+            node,
+            heads: config.pair_heads,
+            head_dim: config.pair_head_dim,
+            chunk: config.attention_chunk,
+            norm_in: LayerNorm::deterministic_scaled(&format!("{label}/ln"), hz, 0.2, 5.0),
+            to_q: Linear::deterministic(&format!("{label}/q"), hz, attn, 0.7),
+            to_k: Linear::deterministic(&format!("{label}/k"), hz, attn, 0.7),
+            to_v: Linear::deterministic(&format!("{label}/v"), hz, attn, 0.7),
+            to_bias: Linear::deterministic_with_bias(
+                &format!("{label}/b"),
+                hz,
+                config.pair_heads,
+                0.4,
+                0.2,
+            ),
+            to_gate: Linear::deterministic(&format!("{label}/g"), hz, attn, 0.3),
+            proj_out: Linear::deterministic(&format!("{label}/o"), attn, hz, 0.5),
+            update_gain: config.update_gain,
+        }
+    }
+
+    /// The attention axis.
+    pub fn node(&self) -> AttentionNode {
+        self.node
+    }
+
+    /// Total number of weight parameters.
+    pub fn num_params(&self) -> usize {
+        self.norm_in.num_params()
+            + self.to_q.num_params()
+            + self.to_k.num_params()
+            + self.to_v.num_params()
+            + self.to_bias.num_params()
+            + self.to_gate.num_params()
+            + self.proj_out.num_params()
+    }
+
+    /// Applies the unit in place to the pair representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PpmError::Tensor`] on internal shape mismatches.
+    pub fn forward(
+        &self,
+        pair: &mut Tensor3,
+        hook: &mut dyn ActivationHook,
+        block: usize,
+        recycle: usize,
+    ) -> Result<(), PpmError> {
+        let (ns, _, hz) = pair.shape();
+        let tap = |site| Tap { block, recycle, site };
+
+        let mut tokens = pair.to_token_matrix();
+        hook.on_activation(tap(ActivationSite::TriAttnResidualIn), &mut tokens);
+
+        let mut x = self.norm_in.forward(&tokens)?;
+        hook.on_activation(tap(ActivationSite::TriAttnPostLn), &mut x);
+
+        let mut q = self.to_q.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut q);
+        let mut k = self.to_k.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriAttnKey), &mut k);
+        let mut v = self.to_v.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriAttnValue), &mut v);
+        let mut bias = self.to_bias.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriAttnBias), &mut bias);
+
+        let q3 = Tensor3::from_token_matrix(ns, ns, q)?;
+        let k3 = Tensor3::from_token_matrix(ns, ns, k)?;
+        let v3 = Tensor3::from_token_matrix(ns, ns, v)?;
+        let bias3 = Tensor3::from_token_matrix(ns, ns, bias)?;
+
+        let attn_dim = self.heads * self.head_dim;
+        let mut ctx = Tensor3::zeros(ns, ns, attn_dim);
+        let inv_sqrt = 1.0 / (self.head_dim as f32).sqrt();
+
+        for lane in 0..ns {
+            // Extract the lane (row for Starting, column for Ending).
+            let (ql, kl, vl) = match self.node {
+                AttentionNode::Starting => {
+                    (q3.slice_d0(lane), k3.slice_d0(lane), v3.slice_d0(lane))
+                }
+                AttentionNode::Ending => {
+                    (q3.slice_d1(lane), k3.slice_d1(lane), v3.slice_d1(lane))
+                }
+            };
+            for h in 0..self.heads {
+                let qh = head_slice(&ql, h, self.head_dim);
+                let kh = head_slice(&kl, h, self.head_dim);
+                let vh = head_slice(&vl, h, self.head_dim);
+                let bias_fn = |j: usize, t: usize| match self.node {
+                    AttentionNode::Starting => bias3.at(j, t, h),
+                    AttentionNode::Ending => bias3.at(t, j, h),
+                };
+                let ctx_h = if let Some(chunk) = self.chunk {
+                    // Low-memory path: the score matrix never exists, so
+                    // the score tap never fires (exactly as on the
+                    // accelerator's token-wise MHA).
+                    chunked_attention(&qh, &kh, &vh, &bias_fn, inv_sqrt, chunk)
+                } else {
+                    let mut scores = qh.matmul_transposed(&kh)?.scaled(inv_sqrt);
+                    // Triangle bias from the third edge: for row attention
+                    // at row i, position (j, t) is biased by b_h(j, t).
+                    for j in 0..ns {
+                        let row = scores.row_mut(j);
+                        for (t, s) in row.iter_mut().enumerate() {
+                            *s += bias_fn(j, t);
+                        }
+                    }
+                    let mut probs = nn::softmax_rows(&scores);
+                    // The paper quantizes the score matrix (Group C); each
+                    // (lane, head) probability matrix is one tap activation.
+                    hook.on_activation(tap(ActivationSite::TriAttnScores), &mut probs);
+                    probs.matmul(&vh)?
+                };
+                for j in 0..ns {
+                    let dst = match self.node {
+                        AttentionNode::Starting => ctx.token_mut(lane, j),
+                        AttentionNode::Ending => ctx.token_mut(j, lane),
+                    };
+                    dst[h * self.head_dim..(h + 1) * self.head_dim]
+                        .copy_from_slice(ctx_h.row(j));
+                }
+            }
+        }
+
+        let mut ctx_tokens = ctx.into_token_matrix();
+        hook.on_activation(tap(ActivationSite::TriAttnContext), &mut ctx_tokens);
+
+        let mut gate = nn::sigmoid(&self.to_gate.forward(&x)?);
+        hook.on_activation(tap(ActivationSite::TriAttnGate), &mut gate);
+
+        let gated = gate.hadamard(&ctx_tokens)?;
+        let update = self.proj_out.forward(&gated)?.scaled(self.update_gain);
+        debug_assert_eq!(update.cols(), hz);
+        let update3 = Tensor3::from_token_matrix(ns, ns, update)?;
+        let mut new_pair = Tensor3::from_token_matrix(ns, ns, tokens)?;
+        new_pair.add_assign(&update3)?;
+        *pair = new_pair;
+        Ok(())
+    }
+}
+
+/// Extracts head `h` columns from a `(tokens, heads*dim)` matrix.
+fn head_slice(m: &Tensor2, h: usize, dim: usize) -> Tensor2 {
+    Tensor2::from_fn(m.rows(), dim, |i, j| m.at(i, h * dim + j))
+}
+
+/// Chunked attention with online softmax — the numeric core of the GPU
+/// `chunk` option (low-memory attention) and of the accelerator's
+/// token-wise MHA (§5.4): the `(Ns, Ns)` score matrix is never
+/// materialised; keys/values stream in chunks of `chunk` while a running
+/// maximum and normaliser are maintained per query.
+///
+/// Returns exactly what `softmax(q kᵀ / √d + bias) v` would, up to
+/// floating-point reassociation.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `q`, `k`, `v` and `bias` (callers in
+/// this crate construct them consistently).
+pub fn chunked_attention(
+    q: &Tensor2,
+    k: &Tensor2,
+    v: &Tensor2,
+    bias: &dyn Fn(usize, usize) -> f32,
+    inv_sqrt: f32,
+    chunk: usize,
+) -> Tensor2 {
+    let n = q.rows();
+    let dim = q.cols();
+    assert_eq!(k.rows(), n, "key count must match query count");
+    assert_eq!(k.cols(), dim, "key width must match query width");
+    assert_eq!(v.rows(), n, "value count must match key count");
+    let dv = v.cols();
+    let chunk = chunk.max(1);
+
+    let mut out = Tensor2::zeros(n, dv);
+    let mut running_max = vec![f32::NEG_INFINITY; n];
+    let mut running_sum = vec![0.0f32; n];
+
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        for j in 0..n {
+            let q_row = q.row(j);
+            // Chunk-local scores.
+            let mut local_max = f32::NEG_INFINITY;
+            let mut scores = Vec::with_capacity(end - start);
+            for t in start..end {
+                let mut s = 0.0f32;
+                for (a, b) in q_row.iter().zip(k.row(t)) {
+                    s += a * b;
+                }
+                let s = s * inv_sqrt + bias(j, t);
+                local_max = local_max.max(s);
+                scores.push(s);
+            }
+            // Online-softmax rescale of the accumulated state.
+            let new_max = running_max[j].max(local_max);
+            let correction = if running_max[j] == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (running_max[j] - new_max).exp()
+            };
+            running_sum[j] *= correction;
+            for value in out.row_mut(j) {
+                *value *= correction;
+            }
+            for (offset, &s) in scores.iter().enumerate() {
+                let w = (s - new_max).exp();
+                running_sum[j] += w;
+                let v_row = v.row(start + offset);
+                for (o, &vv) in out.row_mut(j).iter_mut().zip(v_row) {
+                    *o += w * vv;
+                }
+            }
+            running_max[j] = new_max;
+        }
+        start = end;
+    }
+    for j in 0..n {
+        let z = running_sum[j].max(1e-30);
+        for o in out.row_mut(j) {
+            *o /= z;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taps::{NoopHook, RecordingHook};
+
+    fn pair(ns: usize, hz: usize) -> Tensor3 {
+        Tensor3::from_fn(ns, ns, hz, |i, j, k| ((i * 17 + j * 5 + k) % 11) as f32 * 0.4 - 2.0)
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularAttention::new(&cfg, "a", AttentionNode::Starting);
+        let mut z = pair(8, cfg.hz);
+        let before = z.clone();
+        unit.forward(&mut z, &mut NoopHook, 0, 0).unwrap();
+        assert_eq!(z.shape(), before.shape());
+        assert_ne!(z, before);
+    }
+
+    #[test]
+    fn starting_and_ending_differ() {
+        let cfg = PpmConfig::tiny();
+        let s = TriangularAttention::new(&cfg, "a", AttentionNode::Starting);
+        let e = TriangularAttention::new(&cfg, "a", AttentionNode::Ending);
+        let mut z1 = pair(8, cfg.hz);
+        let mut z2 = pair(8, cfg.hz);
+        s.forward(&mut z1, &mut NoopHook, 0, 0).unwrap();
+        e.forward(&mut z2, &mut NoopHook, 0, 0).unwrap();
+        assert_ne!(z1, z2);
+    }
+
+    #[test]
+    fn score_taps_fire_per_lane_per_head() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularAttention::new(&cfg, "a", AttentionNode::Starting);
+        let ns = 6;
+        let mut z = pair(ns, cfg.hz);
+        let mut hook = RecordingHook::new();
+        unit.forward(&mut z, &mut hook, 0, 0).unwrap();
+        let scores: Vec<_> = hook
+            .records()
+            .iter()
+            .filter(|r| r.tap.site == ActivationSite::TriAttnScores)
+            .collect();
+        assert_eq!(scores.len(), ns * cfg.pair_heads);
+        // Probability rows: every recorded score matrix is (ns, ns).
+        for r in &scores {
+            assert_eq!((r.tokens, r.channels), (ns, ns));
+            assert!(r.max_abs <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_attention_is_row_local_information_flow() {
+        // Perturbing a token in row 0 must not change rows ≥ 1 except via
+        // the bias (which is token-local): check row 3 context unchanged
+        // when only row 0 tokens are perturbed and bias of row 3 unchanged.
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularAttention::new(&cfg, "a", AttentionNode::Starting);
+        let ns = 6;
+        let mut z1 = pair(ns, cfg.hz);
+        let mut z2 = pair(ns, cfg.hz);
+        for v in z2.token_mut(0, 2) {
+            *v += 5.0;
+        }
+        unit.forward(&mut z1, &mut NoopHook, 0, 0).unwrap();
+        unit.forward(&mut z2, &mut NoopHook, 0, 0).unwrap();
+        // Token (3, 4) is in row 3: its update uses q/k/v of row 3 and bias
+        // from tokens (j, t) of row 3's score grid — but biases come from
+        // tokens (4, t), untouched. So it must be unchanged.
+        let a = z1.token(3, 4);
+        let b = z2.token(3, 4);
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn low_memory_mode_matches_vanilla_forward() {
+        // The full unit with attention_chunk set must reproduce the
+        // vanilla forward pass (up to online-softmax reassociation).
+        let mut cfg = PpmConfig::tiny();
+        let vanilla_unit = TriangularAttention::new(&cfg, "lm", AttentionNode::Starting);
+        cfg.attention_chunk = Some(3);
+        let chunked_unit = TriangularAttention::new(&cfg, "lm", AttentionNode::Starting);
+        let mut z1 = pair(9, cfg.hz);
+        let mut z2 = pair(9, cfg.hz);
+        vanilla_unit.forward(&mut z1, &mut NoopHook, 0, 0).unwrap();
+        chunked_unit.forward(&mut z2, &mut NoopHook, 0, 0).unwrap();
+        let rmse = z1.rmse(&z2).unwrap();
+        assert!(rmse < 1e-5, "rmse {rmse}");
+    }
+
+    #[test]
+    fn low_memory_mode_never_fires_score_taps() {
+        let mut cfg = PpmConfig::tiny();
+        cfg.attention_chunk = Some(4);
+        let unit = TriangularAttention::new(&cfg, "lm2", AttentionNode::Ending);
+        let mut z = pair(8, cfg.hz);
+        let mut hook = RecordingHook::new();
+        unit.forward(&mut z, &mut hook, 0, 0).unwrap();
+        assert!(
+            hook.records().iter().all(|r| r.tap.site != ActivationSite::TriAttnScores),
+            "score tensors must not exist in low-memory mode"
+        );
+    }
+
+    #[test]
+    fn chunked_attention_matches_full_softmax() {
+        use ln_tensor::nn;
+        let n = 13;
+        let dim = 8;
+        let q = Tensor2::from_fn(n, dim, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.3 - 1.5);
+        let k = Tensor2::from_fn(n, dim, |i, j| ((i * 5 + j) % 13) as f32 * 0.25 - 1.4);
+        let v = Tensor2::from_fn(n, dim, |i, j| ((i + j * 9) % 17) as f32 * 0.2 - 1.0);
+        let bias = |j: usize, t: usize| ((j * 3 + t) % 7) as f32 * 0.1 - 0.3;
+        let inv_sqrt = 1.0 / (dim as f32).sqrt();
+        // Reference: full score materialisation.
+        let mut scores = q.matmul_transposed(&k).unwrap().scaled(inv_sqrt);
+        for j in 0..n {
+            for t in 0..n {
+                let s = scores.at(j, t) + bias(j, t);
+                scores.set(j, t, s);
+            }
+        }
+        let reference = nn::softmax_rows(&scores).matmul(&v).unwrap();
+        for chunk in [1usize, 3, 4, 13, 64] {
+            let out = chunked_attention(&q, &k, &v, &bias, inv_sqrt, chunk);
+            for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "chunk {chunk}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_attention_is_stable_for_large_scores() {
+        // Online softmax must handle score magnitudes that would overflow
+        // a naive exp().
+        let n = 6;
+        let q = Tensor2::full(n, 4, 40.0);
+        let k = Tensor2::full(n, 4, 40.0);
+        let v = Tensor2::from_fn(n, 4, |i, j| (i + j) as f32);
+        let out = chunked_attention(&q, &k, &v, &|_, _| 0.0, 1.0, 2);
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn update_gain_bounds_change() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularAttention::new(&cfg, "a", AttentionNode::Ending);
+        let mut z = pair(8, cfg.hz);
+        let before = z.clone();
+        unit.forward(&mut z, &mut NoopHook, 0, 0).unwrap();
+        let delta = z.rmse(&before).unwrap();
+        assert!(delta > 0.0 && delta < 2.0, "delta {delta}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Triangular Multiplication (Fig. 6(a)): refines pair interactions with a
+//! gated "triangle" update — for every pair `(i, j)`, information flows
+//! through all intermediate residues `k`.
+
+use crate::taps::{ActivationHook, ActivationSite, Tap};
+use crate::{PpmConfig, PpmError};
+use ln_tensor::nn::{LayerNorm, Linear};
+use ln_tensor::{nn, Tensor3};
+
+/// Which triangle edge orientation the unit updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriangleDirection {
+    /// "Outgoing" edges: `out[i][j] = Σ_k left[i][k] ⊙ right[j][k]`.
+    Outgoing,
+    /// "Incoming" edges: `out[i][j] = Σ_k left[k][i] ⊙ right[k][j]`.
+    Incoming,
+}
+
+/// A triangular-multiplication unit with the standard gated projections.
+#[derive(Debug, Clone)]
+pub struct TriangularMultiplication {
+    direction: TriangleDirection,
+    norm_in: LayerNorm,
+    proj_left: Linear,
+    proj_right: Linear,
+    gate_left: Linear,
+    gate_right: Linear,
+    norm_out: LayerNorm,
+    gate_out: Linear,
+    proj_out: Linear,
+    update_gain: f32,
+}
+
+impl TriangularMultiplication {
+    /// Builds the unit with deterministic weights derived from `label`.
+    pub fn new(config: &PpmConfig, label: &str, direction: TriangleDirection) -> Self {
+        let hz = config.hz;
+        let c = config.tri_mul_dim;
+        TriangularMultiplication {
+            direction,
+            // Post-LN magnitudes reproduce the paper's Group-B statistics
+            // (mean |x| ≈ 4, Fig. 6(c)): trained trunks have LN gains ≫ 1.
+            norm_in: LayerNorm::deterministic_scaled(&format!("{label}/ln_in"), hz, 0.2, 5.0),
+            proj_left: Linear::deterministic_with_bias(&format!("{label}/pl"), hz, c, 0.8, 0.3),
+            proj_right: Linear::deterministic_with_bias(&format!("{label}/pr"), hz, c, 0.8, 0.3),
+            gate_left: Linear::deterministic(&format!("{label}/gl"), hz, c, 0.3),
+            gate_right: Linear::deterministic(&format!("{label}/gr"), hz, c, 0.3),
+            norm_out: LayerNorm::deterministic_scaled(&format!("{label}/ln_out"), c, 0.2, 5.0),
+            gate_out: Linear::deterministic(&format!("{label}/go"), hz, hz, 0.3),
+            proj_out: Linear::deterministic(&format!("{label}/po"), c, hz, 0.5),
+            update_gain: config.update_gain,
+        }
+    }
+
+    /// The triangle orientation.
+    pub fn direction(&self) -> TriangleDirection {
+        self.direction
+    }
+
+    /// Total number of weight parameters.
+    pub fn num_params(&self) -> usize {
+        self.norm_in.num_params()
+            + self.proj_left.num_params()
+            + self.proj_right.num_params()
+            + self.gate_left.num_params()
+            + self.gate_right.num_params()
+            + self.norm_out.num_params()
+            + self.gate_out.num_params()
+            + self.proj_out.num_params()
+    }
+
+    /// Applies the unit in place to the pair representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PpmError::Tensor`] on internal shape mismatches.
+    pub fn forward(
+        &self,
+        pair: &mut Tensor3,
+        hook: &mut dyn ActivationHook,
+        block: usize,
+        recycle: usize,
+    ) -> Result<(), PpmError> {
+        let (ns, _, _) = pair.shape();
+        let tap = |site| Tap { block, recycle, site };
+
+        // Group A: residual stream entering the unit.
+        let mut tokens = pair.to_token_matrix();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut tokens);
+
+        // Group B: post-LayerNorm.
+        let mut x = self.norm_in.forward(&tokens)?;
+        hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x);
+
+        // Group C: gated projections.
+        let mut gl = nn::sigmoid(&self.gate_left.forward(&x)?);
+        hook.on_activation(tap(ActivationSite::TriMulGateLeft), &mut gl);
+        let mut pl = self.proj_left.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriMulProjLeft), &mut pl);
+        let mut gr = nn::sigmoid(&self.gate_right.forward(&x)?);
+        hook.on_activation(tap(ActivationSite::TriMulGateRight), &mut gr);
+        let mut pr = self.proj_right.forward(&x)?;
+        hook.on_activation(tap(ActivationSite::TriMulProjRight), &mut pr);
+
+        let left = gl.hadamard(&pl)?;
+        let right = gr.hadamard(&pr)?;
+        let c = left.cols();
+        let left3 = Tensor3::from_token_matrix(ns, ns, left)?;
+        let right3 = Tensor3::from_token_matrix(ns, ns, right)?;
+
+        // The triangle einsum; 1/√Ns keeps magnitudes length-independent.
+        let scale = 1.0 / (ns as f32).sqrt();
+        let mut tri = Tensor3::zeros(ns, ns, c);
+        match self.direction {
+            TriangleDirection::Outgoing => {
+                for i in 0..ns {
+                    for j in 0..ns {
+                        let out = tri.token_mut(i, j);
+                        for k in 0..ns {
+                            let a = left3.token(i, k);
+                            let b = right3.token(j, k);
+                            for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+                                *o += av * bv;
+                            }
+                        }
+                        for o in out.iter_mut() {
+                            *o *= scale;
+                        }
+                    }
+                }
+            }
+            TriangleDirection::Incoming => {
+                for i in 0..ns {
+                    for j in 0..ns {
+                        let out = tri.token_mut(i, j);
+                        for k in 0..ns {
+                            let a = left3.token(k, i);
+                            let b = right3.token(k, j);
+                            for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+                                *o += av * bv;
+                            }
+                        }
+                        for o in out.iter_mut() {
+                            *o *= scale;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut tri_tokens = tri.into_token_matrix();
+        hook.on_activation(tap(ActivationSite::TriMulTriangleOut), &mut tri_tokens);
+
+        let mut y = self.norm_out.forward(&tri_tokens)?;
+        hook.on_activation(tap(ActivationSite::TriMulOutPostLn), &mut y);
+
+        let mut g = nn::sigmoid(&self.gate_out.forward(&x)?);
+        hook.on_activation(tap(ActivationSite::TriMulOutGate), &mut g);
+
+        let update = g.hadamard(&self.proj_out.forward(&y)?)?.scaled(self.update_gain);
+        let update3 = Tensor3::from_token_matrix(ns, ns, update)?;
+        // The hook may have rewritten `tokens` (quantization): rebuild the
+        // residual stream from the processed tokens plus the update.
+        let mut new_pair = Tensor3::from_token_matrix(ns, ns, tokens)?;
+        new_pair.add_assign(&update3)?;
+        *pair = new_pair;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taps::NoopHook;
+
+    fn pair(ns: usize, hz: usize) -> Tensor3 {
+        Tensor3::from_fn(ns, ns, hz, |i, j, k| {
+            ((i * 31 + j * 7 + k * 3) % 13) as f32 * 0.5 - 3.0
+        })
+    }
+
+    #[test]
+    fn forward_preserves_shape_and_changes_values() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Outgoing);
+        let mut z = pair(8, cfg.hz);
+        let before = z.clone();
+        unit.forward(&mut z, &mut NoopHook, 0, 0).unwrap();
+        assert_eq!(z.shape(), before.shape());
+        assert_ne!(z, before);
+    }
+
+    #[test]
+    fn directions_produce_different_updates() {
+        let cfg = PpmConfig::tiny();
+        let out = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Outgoing);
+        let inc = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Incoming);
+        let mut z1 = pair(8, cfg.hz);
+        let mut z2 = pair(8, cfg.hz);
+        out.forward(&mut z1, &mut NoopHook, 0, 0).unwrap();
+        inc.forward(&mut z2, &mut NoopHook, 0, 0).unwrap();
+        assert_ne!(z1, z2);
+    }
+
+    #[test]
+    fn update_is_bounded_by_gain() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Outgoing);
+        let mut z = pair(10, cfg.hz);
+        let before = z.clone();
+        unit.forward(&mut z, &mut NoopHook, 0, 0).unwrap();
+        // Max possible per-element update: gain × |gate| ≤ 1 × |proj_out(y)|.
+        let delta = z.rmse(&before).unwrap();
+        assert!(delta < 2.0, "delta {delta}");
+    }
+
+    #[test]
+    fn triangle_mixes_distant_tokens() {
+        // Information must flow through the triangle: for the outgoing
+        // direction, out[i][j] reads left row i and right row j, so a
+        // perturbation at token (0, 5) must reach token (5, 0) via
+        // right[j=0][k=5]. The perturbation is a single channel (LayerNorm
+        // erases uniform per-token shifts).
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Outgoing);
+        let mut z1 = pair(10, cfg.hz);
+        let mut z2 = pair(10, cfg.hz);
+        z2.token_mut(0, 5)[0] += 10.0;
+        unit.forward(&mut z1, &mut NoopHook, 0, 0).unwrap();
+        unit.forward(&mut z2, &mut NoopHook, 0, 0).unwrap();
+        let t1 = z1.token(5, 0);
+        let t2 = z2.token(5, 0);
+        let diff: f32 = t1.iter().zip(t2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "triangle update must propagate information");
+        // And a token outside both row 0 and column 0 stays untouched.
+        let u1 = z1.token(3, 9);
+        let u2 = z2.token(3, 9);
+        for (a, b) in u1.iter().zip(u2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn num_params_matches_structure() {
+        let cfg = PpmConfig::tiny();
+        let unit = TriangularMultiplication::new(&cfg, "t", TriangleDirection::Outgoing);
+        let hz = cfg.hz;
+        let c = cfg.tri_mul_dim;
+        let expected = 2 * hz // ln_in
+            + 2 * (hz * c + c) // proj l/r
+            + 2 * (hz * c + c) // gate l/r
+            + 2 * c // ln_out
+            + (hz * hz + hz) // gate_out
+            + (c * hz + hz); // proj_out
+        assert_eq!(unit.num_params(), expected);
+    }
+}

@@ -1,0 +1,73 @@
+use ln_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PPM substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PpmError {
+    /// A tensor operation failed (shape mismatch etc.); indicates an
+    /// internal wiring bug surfaced with context.
+    Tensor(TensorError),
+    /// The input sequence is empty or too short to fold.
+    SequenceTooShort {
+        /// Actual length.
+        len: usize,
+        /// Minimum supported length.
+        min: usize,
+    },
+    /// The provided native structure length does not match the sequence.
+    NativeLengthMismatch {
+        /// Sequence length.
+        sequence: usize,
+        /// Native structure length.
+        native: usize,
+    },
+    /// The configuration is invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for PpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpmError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            PpmError::SequenceTooShort { len, min } => {
+                write!(f, "sequence length {len} is below the minimum {min}")
+            }
+            PpmError::NativeLengthMismatch { sequence, native } => {
+                write!(f, "native structure length {native} does not match sequence length {sequence}")
+            }
+            PpmError::InvalidConfig { what } => write!(f, "invalid PPM configuration: {what}"),
+        }
+    }
+}
+
+impl Error for PpmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PpmError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for PpmError {
+    fn from(e: TensorError) -> Self {
+        PpmError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PpmError::from(TensorError::InvalidDimension { what: "zero" });
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+    }
+}

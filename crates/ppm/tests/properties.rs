@@ -1,0 +1,150 @@
+//! Property-based tests for the PPM substrate.
+
+use ln_ppm::blocks::chunked_attention;
+use ln_ppm::cost::{CostModel, ExecMode, ALL_STAGES};
+use ln_ppm::structure_module::{complete_distances, decode_structure, mds_embed};
+use ln_ppm::taps::{NoopHook, RecordingHook};
+use ln_ppm::{FoldingModel, PpmConfig};
+use ln_protein::generator::StructureGenerator;
+use ln_protein::{metrics, Sequence};
+use ln_tensor::{nn, Tensor2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chunked_attention_equals_full_for_any_chunk(
+        n in 2usize..16,
+        dim in 1usize..8,
+        chunk in 1usize..20,
+        seed in 0u32..50,
+    ) {
+        let f = |i: usize, j: usize, s: u32| ((i * 31 + j * 17 + s as usize) % 23) as f32 * 0.17 - 1.9;
+        let q = Tensor2::from_fn(n, dim, |i, j| f(i, j, seed));
+        let k = Tensor2::from_fn(n, dim, |i, j| f(i + 3, j, seed));
+        let v = Tensor2::from_fn(n, dim, |i, j| f(i, j + 5, seed));
+        let bias = |a: usize, b: usize| ((a + 2 * b + seed as usize) % 5) as f32 * 0.2 - 0.4;
+        let inv = 1.0 / (dim as f32).sqrt();
+        let mut scores = q.matmul_transposed(&k).expect("shapes");
+        for i in 0..n {
+            for j in 0..n {
+                let s = scores.at(i, j) * inv + bias(i, j);
+                scores.set(i, j, s);
+            }
+        }
+        let reference = nn::softmax_rows(&scores).matmul(&v).expect("shapes");
+        let out = chunked_attention(&q, &k, &v, &bias, inv, chunk);
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cost_model_monotone_in_sequence_length(a in 32usize..512, delta in 1usize..512) {
+        let m = CostModel::paper();
+        let b = a + delta;
+        prop_assert!(m.total_macs(b) > m.total_macs(a));
+        prop_assert!(m.total_traffic_bytes(b) > m.total_traffic_bytes(a));
+        for mode in [ExecMode::Vanilla, ExecMode::Chunked { rows: 4 }] {
+            prop_assert!(m.peak_activation_bytes(b, mode) > m.peak_activation_bytes(a, mode));
+        }
+    }
+
+    #[test]
+    fn stage_costs_are_positive_and_finite(ns in 8usize..2048) {
+        let m = CostModel::paper();
+        for s in ALL_STAGES {
+            let macs = m.stage_macs(s, ns);
+            let bytes = m.stage_traffic_bytes(s, ns);
+            prop_assert!(macs > 0.0 && macs.is_finite(), "{s:?}");
+            prop_assert!(bytes > 0.0 && bytes.is_finite(), "{s:?}");
+        }
+        // Chunked peak never exceeds vanilla once the score tensors
+        // dominate (below ~100 residues the chunk loop's extra resident
+        // buffers outweigh the tiny scores — chunking real proteins always
+        // starts far above that).
+        if ns >= 128 {
+            let chunked = m.peak_activation_bytes(ns, ExecMode::Chunked { rows: 4 });
+            let vanilla = m.peak_activation_bytes(ns, ExecMode::Vanilla);
+            prop_assert!(chunked <= vanilla, "ns={ns}: {chunked} vs {vanilla}");
+        }
+    }
+
+    #[test]
+    fn geodesic_completion_preserves_confident_distances(seed in 0u64..30, n in 8usize..32) {
+        let s = StructureGenerator::new(&format!("geo{seed}")).generate(n);
+        let d = ln_protein::distance_matrix(&s);
+        let completed = complete_distances(&d, 40.0);
+        for i in 0..n {
+            for j in 0..n {
+                if d.at(i, j) < 38.0 {
+                    // Shortest path can only shorten if the metric were
+                    // violated; for true Euclidean input it must match.
+                    prop_assert!(
+                        completed.at(i, j) <= d.at(i, j) + 1e-3,
+                        "({i},{j}): {} vs {}",
+                        completed.at(i, j),
+                        d.at(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mds_is_rigid_invariant(seed in 0u64..20, n in 6usize..24) {
+        // MDS of a distance matrix depends only on the distances, so the
+        // recovered internal geometry must match the original.
+        let s = StructureGenerator::new(&format!("mdsp{seed}")).generate(n);
+        let d = ln_protein::distance_matrix(&s);
+        let rec = mds_embed(&d).expect("valid distance matrix");
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(
+                    (rec.distance(i, j) - s.distance(i, j)).abs() < 0.2,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn low_memory_full_model_matches_vanilla() {
+    // End-to-end: a model with attention_chunk folds to (nearly) the same
+    // structure as the vanilla model.
+    let seq = Sequence::random("lmm", 32);
+    let native = StructureGenerator::new("lmm").generate(32);
+    let vanilla = FoldingModel::new(PpmConfig::tiny());
+    let mut cfg = PpmConfig::tiny();
+    cfg.attention_chunk = Some(8);
+    let low_mem = FoldingModel::new(cfg);
+    let a = vanilla.predict(&seq, &native).expect("folds");
+    let b = low_mem.predict(&seq, &native).expect("folds");
+    let tm = metrics::tm_score(&a.structure, &b.structure).expect("same length").score;
+    assert!(tm > 0.999, "tm {tm}");
+}
+
+#[test]
+fn recording_and_noop_hooks_see_identical_dataflow() {
+    // A recording hook must not change the computation.
+    let seq = Sequence::random("hookeq", 16);
+    let native = StructureGenerator::new("hookeq").generate(16);
+    let model = FoldingModel::new(PpmConfig::tiny());
+    let a = model.predict_with_hook(&seq, &native, &mut NoopHook).expect("folds");
+    let mut rec = RecordingHook::new();
+    let b = model.predict_with_hook(&seq, &native, &mut rec).expect("folds");
+    assert_eq!(a.pair_rep, b.pair_rep);
+    assert!(!rec.records().is_empty());
+}
+
+#[test]
+fn structure_decode_is_deterministic() {
+    let seq = Sequence::random("det", 24);
+    let native = StructureGenerator::new("det").generate(24);
+    let model = FoldingModel::new(PpmConfig::tiny());
+    let out = model.predict(&seq, &native).expect("folds");
+    let again = decode_structure(&out.pair_rep).expect("decodes");
+    assert_eq!(out.structure, again);
+}

@@ -1,0 +1,178 @@
+use crate::ProteinError;
+use std::fmt;
+
+/// One of the 20 standard proteinogenic amino acids.
+///
+/// The discriminant (0..20) is used directly as the residue-type feature in
+/// the PPM input embedding, so it is stable API.
+///
+/// # Example
+///
+/// ```
+/// use ln_protein::AminoAcid;
+///
+/// let a = AminoAcid::from_code('W')?;
+/// assert_eq!(a, AminoAcid::Trp);
+/// assert_eq!(a.code(), 'W');
+/// # Ok::<(), ln_protein::ProteinError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // The variants are the standard amino-acid names.
+pub enum AminoAcid {
+    Ala = 0,
+    Arg = 1,
+    Asn = 2,
+    Asp = 3,
+    Cys = 4,
+    Gln = 5,
+    Glu = 6,
+    Gly = 7,
+    His = 8,
+    Ile = 9,
+    Leu = 10,
+    Lys = 11,
+    Met = 12,
+    Phe = 13,
+    Pro = 14,
+    Ser = 15,
+    Thr = 16,
+    Trp = 17,
+    Tyr = 18,
+    Val = 19,
+}
+
+/// All 20 amino acids in discriminant order.
+pub const ALL_AMINO_ACIDS: [AminoAcid; 20] = [
+    AminoAcid::Ala,
+    AminoAcid::Arg,
+    AminoAcid::Asn,
+    AminoAcid::Asp,
+    AminoAcid::Cys,
+    AminoAcid::Gln,
+    AminoAcid::Glu,
+    AminoAcid::Gly,
+    AminoAcid::His,
+    AminoAcid::Ile,
+    AminoAcid::Leu,
+    AminoAcid::Lys,
+    AminoAcid::Met,
+    AminoAcid::Phe,
+    AminoAcid::Pro,
+    AminoAcid::Ser,
+    AminoAcid::Thr,
+    AminoAcid::Trp,
+    AminoAcid::Tyr,
+    AminoAcid::Val,
+];
+
+const CODES: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+impl AminoAcid {
+    /// Parses a one-letter code (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProteinError::InvalidResidue`] for anything that is not one
+    /// of the 20 standard one-letter codes.
+    pub fn from_code(code: char) -> Result<Self, ProteinError> {
+        let upper = code.to_ascii_uppercase();
+        CODES
+            .iter()
+            .position(|&c| c == upper)
+            .map(|i| ALL_AMINO_ACIDS[i])
+            .ok_or(ProteinError::InvalidResidue { code })
+    }
+
+    /// Builds an amino acid from its stable index (0..20).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 20`.
+    pub fn from_index(index: usize) -> Self {
+        ALL_AMINO_ACIDS[index]
+    }
+
+    /// The stable index (0..20) of this residue.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The one-letter code.
+    pub fn code(self) -> char {
+        CODES[self as usize]
+    }
+
+    /// Kyte–Doolittle hydropathy, used as an embedding feature.
+    pub fn hydropathy(self) -> f32 {
+        const H: [f32; 20] = [
+            1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5, 3.8, -3.9, 1.9, 2.8, -1.6,
+            -0.8, -0.7, -0.9, -1.3, 4.2,
+        ];
+        H[self as usize]
+    }
+
+    /// Approximate residue mass in Daltons, used as an embedding feature.
+    pub fn mass(self) -> f32 {
+        const M: [f32; 20] = [
+            71.08, 156.19, 114.10, 115.09, 103.14, 128.13, 129.12, 57.05, 137.14, 113.16, 113.16,
+            128.17, 131.19, 147.18, 97.12, 87.08, 101.10, 186.21, 163.18, 99.13,
+        ];
+        M[self as usize]
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for aa in ALL_AMINO_ACIDS {
+            assert_eq!(AminoAcid::from_code(aa.code()).unwrap(), aa);
+            assert_eq!(AminoAcid::from_index(aa.index()), aa);
+        }
+    }
+
+    #[test]
+    fn lowercase_codes_parse() {
+        assert_eq!(AminoAcid::from_code('w').unwrap(), AminoAcid::Trp);
+    }
+
+    #[test]
+    fn invalid_code_is_error() {
+        assert_eq!(AminoAcid::from_code('B'), Err(ProteinError::InvalidResidue { code: 'B' }));
+        assert!(AminoAcid::from_code('1').is_err());
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 20];
+        for aa in ALL_AMINO_ACIDS {
+            assert!(!seen[aa.index()]);
+            seen[aa.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn features_are_plausible() {
+        assert!(AminoAcid::Ile.hydropathy() > 0.0);
+        assert!(AminoAcid::Arg.hydropathy() < 0.0);
+        assert!(AminoAcid::Trp.mass() > AminoAcid::Gly.mass());
+    }
+
+    #[test]
+    fn display_is_one_letter() {
+        assert_eq!(AminoAcid::Gly.to_string(), "G");
+    }
+}

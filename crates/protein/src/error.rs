@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the protein substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProteinError {
+    /// A one-letter amino-acid code was not one of the 20 standard residues.
+    InvalidResidue {
+        /// The offending character.
+        code: char,
+    },
+    /// Two structures had different lengths where equal lengths are required.
+    LengthMismatch {
+        /// Length of the first structure.
+        lhs: usize,
+        /// Length of the second structure.
+        rhs: usize,
+    },
+    /// A structure was too short for the requested operation.
+    TooShort {
+        /// Actual length.
+        len: usize,
+        /// Minimum required length.
+        min: usize,
+    },
+}
+
+impl fmt::Display for ProteinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProteinError::InvalidResidue { code } => {
+                write!(f, "invalid one-letter amino acid code {code:?}")
+            }
+            ProteinError::LengthMismatch { lhs, rhs } => {
+                write!(f, "structure lengths differ: {lhs} vs {rhs}")
+            }
+            ProteinError::TooShort { len, min } => {
+                write!(f, "structure length {len} is below the minimum {min}")
+            }
+        }
+    }
+}
+
+impl Error for ProteinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = ProteinError::LengthMismatch { lhs: 3, rhs: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+}

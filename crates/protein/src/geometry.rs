@@ -1,0 +1,429 @@
+//! 3-D geometry primitives: vectors, rotation matrices, and the Kabsch
+//! optimal-superposition algorithm (via Horn's quaternion method).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-D vector with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from components.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Vec3::default()
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// Returns the `+x` axis for a (near-)zero vector so callers never
+    /// propagate NaN.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            self * (1.0 / n)
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3×3 matrix, used for rotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+    }
+
+    /// Rotation about an arbitrary axis by `angle` radians (Rodrigues).
+    pub fn rotation(axis: Vec3, angle: f64) -> Self {
+        let a = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Mat3 {
+            rows: [
+                [t * a.x * a.x + c, t * a.x * a.y - s * a.z, t * a.x * a.z + s * a.y],
+                [t * a.x * a.y + s * a.z, t * a.y * a.y + c, t * a.y * a.z - s * a.x],
+                [t * a.x * a.z - s * a.y, t * a.y * a.z + s * a.x, t * a.z * a.z + c],
+            ],
+        }
+    }
+
+    /// Builds a rotation matrix from a unit quaternion `(w, x, y, z)`.
+    pub fn from_quaternion(q: [f64; 4]) -> Self {
+        let [w, x, y, z] = q;
+        Mat3 {
+            rows: [
+                [
+                    w * w + x * x - y * y - z * z,
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    w * w - x * x + y * y - z * z,
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    w * w - x * x - y * y + z * z,
+                ],
+            ],
+        }
+    }
+
+    /// Applies the matrix to a vector.
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0][0] * v.x + self.rows[0][1] * v.y + self.rows[0][2] * v.z,
+            self.rows[1][0] * v.x + self.rows[1][1] * v.y + self.rows[1][2] * v.z,
+            self.rows[2][0] * v.x + self.rows[2][1] * v.y + self.rows[2][2] * v.z,
+        )
+    }
+
+    /// Matrix product `self × rhs`.
+    pub fn mul_mat(&self, rhs: &Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[i][k] * rhs.rows[k][j]).sum();
+            }
+        }
+        Mat3 { rows: out }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.rows;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+}
+
+/// A rigid transform: rotate then translate (`y = R x + t`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigidTransform {
+    /// Rotation component.
+    pub rotation: Mat3,
+    /// Translation component.
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        RigidTransform { rotation: Mat3::identity(), translation: Vec3::zero() }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.apply(p) + self.translation
+    }
+}
+
+/// Computes the optimal rigid superposition of `mobile` onto `target`
+/// (minimising RMSD) using Horn's closed-form quaternion method, optionally
+/// weighting each point pair.
+///
+/// Returns the transform that maps `mobile` points onto `target`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty (callers in this
+/// crate validate first).
+pub fn kabsch_weighted(mobile: &[Vec3], target: &[Vec3], weights: &[f64]) -> RigidTransform {
+    assert_eq!(mobile.len(), target.len(), "point sets must match");
+    assert_eq!(mobile.len(), weights.len(), "weights must match points");
+    assert!(!mobile.is_empty(), "point sets must be non-empty");
+
+    let wsum: f64 = weights.iter().sum::<f64>().max(1e-12);
+    let centroid = |pts: &[Vec3]| {
+        pts.iter().zip(weights).fold(Vec3::zero(), |acc, (&p, &w)| acc + p * w) * (1.0 / wsum)
+    };
+    let cm = centroid(mobile);
+    let ct = centroid(target);
+
+    // Weighted covariance H = Σ w (m - cm)(t - ct)^T.
+    let mut h = [[0.0f64; 3]; 3];
+    for ((&m, &t), &w) in mobile.iter().zip(target).zip(weights) {
+        let a = m - cm;
+        let b = t - ct;
+        let av = [a.x, a.y, a.z];
+        let bv = [b.x, b.y, b.z];
+        for (i, &ai) in av.iter().enumerate() {
+            for (j, &bj) in bv.iter().enumerate() {
+                h[i][j] += w * ai * bj;
+            }
+        }
+    }
+
+    // Horn's 4x4 key matrix; its dominant eigenvector is the optimal
+    // rotation quaternion. A positive shift makes power iteration converge
+    // to the algebraically-largest eigenvalue.
+    let (sxx, sxy, sxz) = (h[0][0], h[0][1], h[0][2]);
+    let (syx, syy, syz) = (h[1][0], h[1][1], h[1][2]);
+    let (szx, szy, szz) = (h[2][0], h[2][1], h[2][2]);
+    let k = [
+        [sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
+        [syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
+        [szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
+        [sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
+    ];
+    let q = dominant_eigenvector4(&k);
+    let rotation = Mat3::from_quaternion(q);
+    let translation = ct - rotation.apply(cm);
+    RigidTransform { rotation, translation }
+}
+
+/// Computes the optimal (unweighted) rigid superposition of `mobile` onto
+/// `target`. See [`kabsch_weighted`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn kabsch(mobile: &[Vec3], target: &[Vec3]) -> RigidTransform {
+    let w = vec![1.0; mobile.len()];
+    kabsch_weighted(mobile, target, &w)
+}
+
+/// Eigenvector of the algebraically-largest eigenvalue of a symmetric 4×4
+/// matrix, via the cyclic Jacobi method; returns a unit quaternion.
+fn dominant_eigenvector4(k: &[[f64; 4]; 4]) -> [f64; 4] {
+    let mut a = *k;
+    // Accumulated eigenvector matrix (columns are eigenvectors).
+    let mut v = [[0.0f64; 4]; 4];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..50 {
+        let mut off = 0.0f64;
+        for p in 0..4 {
+            for q in (p + 1)..4 {
+                off += a[p][q] * a[p][q];
+            }
+        }
+        if off < 1e-30 {
+            break;
+        }
+        for p in 0..4 {
+            for q in (p + 1)..4 {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                // Classical Jacobi rotation annihilating a[p][q].
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for r in 0..4 {
+                    let arp = a[r][p];
+                    let arq = a[r][q];
+                    a[r][p] = c * arp - s * arq;
+                    a[r][q] = s * arp + c * arq;
+                }
+                for col in 0..4 {
+                    let apc = a[p][col];
+                    let aqc = a[q][col];
+                    a[p][col] = c * apc - s * aqc;
+                    a[q][col] = s * apc + c * aqc;
+                }
+                for r in 0..4 {
+                    let vrp = v[r][p];
+                    let vrq = v[r][q];
+                    v[r][p] = c * vrp - s * vrq;
+                    v[r][q] = s * vrp + c * vrq;
+                }
+            }
+        }
+    }
+    let mut best = 0;
+    for i in 1..4 {
+        if a[i][i] > a[best][best] {
+            best = i;
+        }
+    }
+    let q = [v[0][best], v[1][best], v[2][best], v[3][best]];
+    let n = q.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n < 1e-300 {
+        [1.0, 0.0, 0.0, 0.0]
+    } else {
+        [q[0] / n, q[1] / n, q[2] / n, q[3] / n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, 3.0),
+            Vec3::new(1.5, 1.0, 0.5),
+        ]
+    }
+
+    #[test]
+    fn vec3_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.dot(b), 6.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12 && c.dot(b).abs() < 1e-12);
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-12);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_lengths_and_det() {
+        let r = Mat3::rotation(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let v = Vec3::new(0.3, -0.7, 2.0);
+        assert!((r.apply(v).norm() - v.norm()).abs() < 1e-12);
+        assert!((r.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_identity_is_identity_matrix() {
+        let m = Mat3::from_quaternion([1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m, Mat3::identity());
+    }
+
+    #[test]
+    fn kabsch_recovers_known_transform() {
+        let pts = points();
+        let r = Mat3::rotation(Vec3::new(0.2, 1.0, 0.4), 0.83);
+        let t = Vec3::new(5.0, -2.0, 7.0);
+        let moved: Vec<Vec3> = pts.iter().map(|&p| r.apply(p) + t).collect();
+        let xf = kabsch(&pts, &moved);
+        for &p in &pts {
+            let err = xf.apply(p).distance(r.apply(p) + t);
+            assert!(err < 1e-9, "err {err}");
+        }
+    }
+
+    #[test]
+    fn kabsch_on_identical_sets_is_identity() {
+        let pts = points();
+        let xf = kabsch(&pts, &pts);
+        for &p in &pts {
+            assert!(xf.apply(p).distance(p) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kabsch_weighted_prioritises_heavy_points() {
+        // Two heavy points define an exact correspondence; the light point is
+        // displaced. The transform should fit the heavy pair nearly exactly.
+        let mobile = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)];
+        let mut target = mobile.clone();
+        target[2] = Vec3::new(0.0, 5.0, 0.0);
+        let xf = kabsch_weighted(&mobile, &target, &[100.0, 100.0, 0.01]);
+        assert!(xf.apply(mobile[0]).distance(target[0]) < 0.05);
+        assert!(xf.apply(mobile[1]).distance(target[1]) < 0.05);
+    }
+
+    #[test]
+    fn kabsch_never_produces_reflection() {
+        // A degenerate planar set where naive SVD solutions can reflect.
+        let mobile = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
+        let target = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
+        let xf = kabsch(&mobile, &target);
+        assert!((xf.rotation.det() - 1.0).abs() < 1e-9, "det {}", xf.rotation.det());
+    }
+
+    #[test]
+    fn mat3_mul_identity() {
+        let r = Mat3::rotation(Vec3::new(0.0, 0.0, 1.0), 0.5);
+        assert_eq!(r.mul_mat(&Mat3::identity()), r);
+    }
+}

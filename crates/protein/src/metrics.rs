@@ -1,0 +1,329 @@
+//! Structural-similarity metrics: RMSD, TM-Score, GDT-TS and lDDT.
+//!
+//! TM-Score (Zhang & Skolnick 2004) is the paper's accuracy metric (§2.4):
+//! length-normalised, in `[0, 1]`, with `≥ 0.5` indicating the same fold.
+//! The implementation follows the original TM-score program: the score is
+//! maximised over rigid superpositions found by iterative
+//! distance-thresholded Kabsch refinement from multiple fragment seeds.
+
+use crate::geometry::{kabsch, RigidTransform, Vec3};
+use crate::{ProteinError, Structure};
+
+/// Result of a TM-Score evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TmScoreResult {
+    /// The TM-Score in `[0, 1]`.
+    pub score: f64,
+    /// RMSD (Å) under the TM-optimal superposition (not the RMSD-optimal one).
+    pub rmsd_aligned: f64,
+    /// The normalising distance scale `d0` (Å).
+    pub d0: f64,
+}
+
+/// Root-mean-square deviation after optimal superposition.
+///
+/// # Errors
+///
+/// Returns [`ProteinError::LengthMismatch`] when lengths differ and
+/// [`ProteinError::TooShort`] for empty structures.
+pub fn rmsd(a: &Structure, b: &Structure) -> Result<f64, ProteinError> {
+    a.check_same_length(b)?;
+    if a.is_empty() {
+        return Err(ProteinError::TooShort { len: 0, min: 1 });
+    }
+    let xf = kabsch(a.coords(), b.coords());
+    Ok(rmsd_under(a, b, &xf))
+}
+
+fn rmsd_under(a: &Structure, b: &Structure, xf: &RigidTransform) -> f64 {
+    let ssd: f64 = a
+        .coords()
+        .iter()
+        .zip(b.coords())
+        .map(|(&p, &q)| xf.apply(p).distance(q).powi(2))
+        .sum();
+    (ssd / a.len() as f64).sqrt()
+}
+
+/// The TM-Score normalising scale `d0(L)`.
+///
+/// `d0 = 1.24 (L - 15)^{1/3} - 1.8`, clamped below at 0.5 Å (standard
+/// behaviour for short chains).
+pub fn tm_d0(len: usize) -> f64 {
+    if len <= 15 {
+        return 0.5;
+    }
+    (1.24 * ((len - 15) as f64).cbrt() - 1.8).max(0.5)
+}
+
+/// Computes the TM-Score of `model` against `native`.
+///
+/// Residues are assumed already aligned positionally (the reproduction
+/// always compares same-sequence predictions), matching how the TM-score
+/// program is used on CASP models.
+///
+/// # Errors
+///
+/// Returns [`ProteinError::LengthMismatch`] when lengths differ and
+/// [`ProteinError::TooShort`] when fewer than 3 residues are available.
+pub fn tm_score(model: &Structure, native: &Structure) -> Result<TmScoreResult, ProteinError> {
+    model.check_same_length(native)?;
+    let n = model.len();
+    if n < 3 {
+        return Err(ProteinError::TooShort { len: n, min: 3 });
+    }
+    let d0 = tm_d0(n);
+
+    let mut best_score = 0.0f64;
+    let mut best_xf = kabsch(model.coords(), native.coords());
+
+    // Seed superpositions from fragments of decreasing size, as the TM-score
+    // program does (L, L/2, L/4, minimum 4 residues), each at several
+    // offsets, then refine by distance-thresholded re-superposition.
+    let mut frag = n;
+    loop {
+        let starts: Vec<usize> = if frag >= n {
+            vec![0]
+        } else {
+            let step = (frag / 2).max(1);
+            (0..=(n - frag)).step_by(step).collect()
+        };
+        for &s in &starts {
+            let idx: Vec<usize> = (s..s + frag).collect();
+            if let Some((score, xf)) = refine_superposition(model, native, &idx, d0) {
+                if score > best_score {
+                    best_score = score;
+                    best_xf = xf;
+                }
+            }
+        }
+        if frag <= 4 {
+            break;
+        }
+        frag = (frag / 2).max(4);
+    }
+
+    Ok(TmScoreResult { score: best_score, rmsd_aligned: rmsd_under(model, native, &best_xf), d0 })
+}
+
+/// Iteratively refines a superposition starting from the residues in `seed`:
+/// superpose on the subset, rescore all residues, keep those within a
+/// distance cutoff, repeat until the subset stabilises.
+fn refine_superposition(
+    model: &Structure,
+    native: &Structure,
+    seed: &[usize],
+    d0: f64,
+) -> Option<(f64, RigidTransform)> {
+    if seed.len() < 3 {
+        return None;
+    }
+    let n = model.len();
+    let mut subset: Vec<usize> = seed.to_vec();
+    let mut best: Option<(f64, RigidTransform)> = None;
+
+    for iter in 0..20 {
+        if subset.len() < 3 {
+            break;
+        }
+        let pm: Vec<Vec3> = subset.iter().map(|&i| model.coords()[i]).collect();
+        let pn: Vec<Vec3> = subset.iter().map(|&i| native.coords()[i]).collect();
+        let xf = kabsch(&pm, &pn);
+        let dists: Vec<f64> = (0..n)
+            .map(|i| xf.apply(model.coords()[i]).distance(native.coords()[i]))
+            .collect();
+        let score: f64 =
+            dists.iter().map(|&d| 1.0 / (1.0 + (d / d0).powi(2))).sum::<f64>() / n as f64;
+        if best.map_or(true, |(s, _)| score > s) {
+            best = Some((score, xf));
+        }
+        // Distance cutoff schedule: start permissive, tighten toward d0 + 1.5 Å.
+        let cutoff = (d0 + 4.5 / (iter as f64 + 1.0)).max(d0 + 1.5);
+        let mut next: Vec<usize> = (0..n).filter(|&i| dists[i] < cutoff).collect();
+        if next.len() < 3 {
+            // Fall back to the closest 3 residues to keep iterating.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite"));
+            next = order[..3].to_vec();
+        }
+        if next == subset {
+            break;
+        }
+        subset = next;
+    }
+    best
+}
+
+/// GDT-TS: mean fraction of residues within 1, 2, 4 and 8 Å of the native
+/// position, each threshold under its own refined superposition.
+///
+/// # Errors
+///
+/// Returns [`ProteinError::LengthMismatch`] / [`ProteinError::TooShort`] on
+/// invalid inputs.
+pub fn gdt_ts(model: &Structure, native: &Structure) -> Result<f64, ProteinError> {
+    model.check_same_length(native)?;
+    let n = model.len();
+    if n < 3 {
+        return Err(ProteinError::TooShort { len: n, min: 3 });
+    }
+    let full: Vec<usize> = (0..n).collect();
+    let mut total = 0.0;
+    for &threshold in &[1.0f64, 2.0, 4.0, 8.0] {
+        let mut best_frac = 0.0f64;
+        // Reuse the TM-style refinement, then count within threshold.
+        if let Some((_, xf)) = refine_superposition(model, native, &full, threshold.max(0.5)) {
+            let within = (0..n)
+                .filter(|&i| xf.apply(model.coords()[i]).distance(native.coords()[i]) <= threshold)
+                .count();
+            best_frac = within as f64 / n as f64;
+        }
+        total += best_frac;
+    }
+    Ok(total / 4.0)
+}
+
+/// lDDT (local distance difference test), superposition-free.
+///
+/// For every residue pair within `inclusion_radius` (15 Å) in the native
+/// structure (excluding |i-j| < 2), checks whether the model preserves the
+/// distance within 0.5/1/2/4 Å tolerances; returns the mean preserved
+/// fraction.
+///
+/// # Errors
+///
+/// Returns [`ProteinError::LengthMismatch`] / [`ProteinError::TooShort`] on
+/// invalid inputs.
+pub fn lddt(model: &Structure, native: &Structure) -> Result<f64, ProteinError> {
+    model.check_same_length(native)?;
+    let n = model.len();
+    if n < 3 {
+        return Err(ProteinError::TooShort { len: n, min: 3 });
+    }
+    const INCLUSION_RADIUS: f64 = 15.0;
+    const TOLERANCES: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+    let mut preserved = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 2)..n {
+            let dn = native.distance(i, j);
+            if dn > INCLUSION_RADIUS {
+                continue;
+            }
+            let dm = model.distance(i, j);
+            let diff = (dn - dm).abs();
+            for &tol in &TOLERANCES {
+                total += 1;
+                if diff <= tol {
+                    preserved += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        return Ok(1.0);
+    }
+    Ok(preserved as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{perturbed, rigidly_moved, StructureGenerator};
+
+    fn native(n: usize) -> Structure {
+        StructureGenerator::new("metrics").generate(n)
+    }
+
+    #[test]
+    fn identical_structures_score_one() {
+        let s = native(80);
+        let r = tm_score(&s, &s).unwrap();
+        assert!((r.score - 1.0).abs() < 1e-9, "{}", r.score);
+        assert!(r.rmsd_aligned < 1e-6);
+        assert!((gdt_ts(&s, &s).unwrap() - 1.0).abs() < 1e-9);
+        assert!((lddt(&s, &s).unwrap() - 1.0).abs() < 1e-9);
+        assert!(rmsd(&s, &s).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_are_rigid_invariant() {
+        let s = native(60);
+        let m = rigidly_moved(&s, "inv");
+        assert!(tm_score(&m, &s).unwrap().score > 0.9999);
+        assert!(rmsd(&m, &s).unwrap() < 1e-6);
+        assert!((lddt(&m, &s).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tm_degrades_smoothly_with_noise() {
+        let s = native(100);
+        let mut prev = 1.01;
+        for (i, noise) in [0.2, 1.0, 3.0, 8.0].iter().enumerate() {
+            let m = perturbed(&s, &format!("n{i}"), *noise);
+            let tm = tm_score(&m, &s).unwrap().score;
+            assert!(tm < prev, "noise {noise}: tm {tm} !< prev {prev}");
+            assert!((0.0..=1.0).contains(&tm));
+            prev = tm;
+        }
+        // Small noise should still be a confident match.
+        let m = perturbed(&s, "small", 0.2);
+        assert!(tm_score(&m, &s).unwrap().score > 0.9);
+    }
+
+    #[test]
+    fn unrelated_structures_score_low() {
+        let a = native(120);
+        let b = StructureGenerator::new("other-fold").generate(120);
+        let tm = tm_score(&a, &b).unwrap().score;
+        assert!(tm < 0.5, "unrelated folds should not match: {tm}");
+    }
+
+    #[test]
+    fn d0_formula_values() {
+        assert_eq!(tm_d0(10), 0.5);
+        // L=115: 1.24*(100)^(1/3)-1.8 = 1.24*4.6416-1.8 ≈ 3.956
+        assert!((tm_d0(115) - 3.9556).abs() < 1e-3);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = native(10);
+        let b = native(12);
+        assert!(matches!(tm_score(&a, &b), Err(ProteinError::LengthMismatch { .. })));
+        assert!(matches!(rmsd(&a, &b), Err(ProteinError::LengthMismatch { .. })));
+        assert!(matches!(gdt_ts(&a, &b), Err(ProteinError::LengthMismatch { .. })));
+        assert!(matches!(lddt(&a, &b), Err(ProteinError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        let a = Structure::new(vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)]);
+        assert!(matches!(tm_score(&a, &a), Err(ProteinError::TooShort { .. })));
+    }
+
+    #[test]
+    fn gdt_and_lddt_degrade_with_noise() {
+        let s = native(80);
+        let slight = perturbed(&s, "g1", 0.3);
+        let heavy = perturbed(&s, "g2", 5.0);
+        assert!(gdt_ts(&slight, &s).unwrap() > gdt_ts(&heavy, &s).unwrap());
+        assert!(lddt(&slight, &s).unwrap() > lddt(&heavy, &s).unwrap());
+    }
+
+    #[test]
+    fn tm_partial_match_is_found_by_fragment_seeding() {
+        // First half identical, second half scrambled: TM should credit the
+        // matching half (score near 0.5 for large n), which requires the
+        // fragment seeds rather than a single global superposition.
+        let s = native(120);
+        let mut coords = s.coords().to_vec();
+        let scr = StructureGenerator::new("scramble").generate(60);
+        for (k, i) in (60..120).enumerate() {
+            coords[i] = scr.coords()[k] + Vec3::new(150.0, 0.0, 0.0);
+        }
+        let m = Structure::new(coords);
+        let tm = tm_score(&m, &s).unwrap().score;
+        assert!(tm > 0.35 && tm < 0.75, "half-match tm {tm}");
+    }
+}

@@ -1,0 +1,157 @@
+use crate::{AminoAcid, ProteinError};
+use ln_tensor::rng;
+use rand::Rng;
+use std::fmt;
+
+/// An amino-acid sequence.
+///
+/// # Example
+///
+/// ```
+/// use ln_protein::Sequence;
+///
+/// let s: Sequence = "ACDEFG".parse()?;
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.to_string(), "ACDEFG");
+/// # Ok::<(), ln_protein::ProteinError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sequence {
+    residues: Vec<AminoAcid>,
+}
+
+impl Sequence {
+    /// Creates a sequence from residues.
+    pub fn new(residues: Vec<AminoAcid>) -> Self {
+        Sequence { residues }
+    }
+
+    /// Parses a one-letter-code string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProteinError::InvalidResidue`] on the first unknown code.
+    pub fn from_str_codes(codes: &str) -> Result<Self, ProteinError> {
+        let residues =
+            codes.chars().map(AminoAcid::from_code).collect::<Result<Vec<_>, _>>()?;
+        Ok(Sequence { residues })
+    }
+
+    /// Deterministically samples a random sequence of length `len`.
+    ///
+    /// Residue frequencies follow a flat distribution; the label seeds the
+    /// stream so the same `(label, len)` always produces the same sequence.
+    pub fn random(label: &str, len: usize) -> Self {
+        let mut rng = rng::stream_indexed(label, len as u64);
+        let residues = (0..len).map(|_| AminoAcid::from_index(rng.gen_range(0..20))).collect();
+        Sequence { residues }
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Returns `true` when the sequence has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// The residues as a slice.
+    pub fn residues(&self) -> &[AminoAcid] {
+        &self.residues
+    }
+
+    /// Residue at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn residue(&self, i: usize) -> AminoAcid {
+        self.residues[i]
+    }
+
+    /// Concatenates two sequences (used to model multimer complexes, whose
+    /// growing combined length motivates the paper's scalability goal).
+    pub fn concat(&self, other: &Sequence) -> Sequence {
+        let mut residues = self.residues.clone();
+        residues.extend_from_slice(&other.residues);
+        Sequence { residues }
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.residues {
+            write!(f, "{}", r.code())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Sequence {
+    type Err = ProteinError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Sequence::from_str_codes(s)
+    }
+}
+
+impl FromIterator<AminoAcid> for Sequence {
+    fn from_iter<T: IntoIterator<Item = AminoAcid>>(iter: T) -> Self {
+        Sequence { residues: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: Sequence = "MKVLAW".parse().unwrap();
+        assert_eq!(s.to_string(), "MKVLAW");
+        assert_eq!(s.residue(1), AminoAcid::Lys);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(Sequence::from_str_codes("AXZ").is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_length_dependent() {
+        let a = Sequence::random("t", 32);
+        let b = Sequence::random("t", 32);
+        let c = Sequence::random("t", 33);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert_ne!(a.residues()[..8], c.residues()[..8]);
+    }
+
+    #[test]
+    fn random_uses_full_alphabet() {
+        let s = Sequence::random("alphabet", 2000);
+        let mut seen = [false; 20];
+        for r in s.residues() {
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "all 20 residues should appear in 2000 samples");
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Sequence::random("a", 5);
+        let b = Sequence::random("b", 7);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 12);
+        assert_eq!(&c.residues()[..5], a.residues());
+        assert_eq!(&c.residues()[5..], b.residues());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: Sequence = [AminoAcid::Ala, AminoAcid::Gly].into_iter().collect();
+        assert_eq!(s.to_string(), "AG");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for geometry and structural metrics.
+
+use ln_protein::generator::{perturbed, rigidly_moved, StructureGenerator};
+use ln_protein::geometry::{kabsch, Mat3, Vec3};
+use ln_protein::{metrics, Sequence, Structure};
+use proptest::prelude::*;
+
+fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0), n)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kabsch_rotation_is_proper_orthogonal(pts in arb_points(3..20)) {
+        // Degenerate (collinear/coincident) sets are still required to give a
+        // proper rotation.
+        let target: Vec<Vec3> = pts.iter().map(|&p| p + Vec3::new(1.0, 2.0, 3.0)).collect();
+        let xf = kabsch(&pts, &target);
+        let det = xf.rotation.det();
+        prop_assert!((det - 1.0).abs() < 1e-6, "det {det}");
+        // Columns orthonormal: R Rᵀ = I.
+        let rt = Mat3 { rows: [
+            [xf.rotation.rows[0][0], xf.rotation.rows[1][0], xf.rotation.rows[2][0]],
+            [xf.rotation.rows[0][1], xf.rotation.rows[1][1], xf.rotation.rows[2][1]],
+            [xf.rotation.rows[0][2], xf.rotation.rows[1][2], xf.rotation.rows[2][2]],
+        ]};
+        let prod = xf.rotation.mul_mat(&rt);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod.rows[i][j] - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn kabsch_recovers_arbitrary_rigid_motion(
+        pts in arb_points(4..16),
+        axis in (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        angle in 0.0f64..6.28,
+        t in (-30.0f64..30.0, -30.0f64..30.0, -30.0f64..30.0),
+    ) {
+        let axis = Vec3::new(axis.0, axis.1, axis.2);
+        prop_assume!(axis.norm() > 1e-3);
+        // Require a non-degenerate point cloud (not all coincident).
+        let spread: f64 = pts.iter().map(|p| p.norm()).sum();
+        prop_assume!(spread > 1.0);
+        let r = Mat3::rotation(axis, angle);
+        let tv = Vec3::new(t.0, t.1, t.2);
+        let moved: Vec<Vec3> = pts.iter().map(|&p| r.apply(p) + tv).collect();
+        let xf = kabsch(&pts, &moved);
+        for &p in &pts {
+            prop_assert!(xf.apply(p).distance(r.apply(p) + tv) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tm_score_is_bounded_and_symmetric_under_rigid_motion(
+        len in 20usize..80,
+        seed in 0u64..50,
+    ) {
+        let a = StructureGenerator::new(&format!("pa{seed}")).generate(len);
+        let b = perturbed(&a, "pp", 2.0);
+        let tm = metrics::tm_score(&b, &a).expect("same length").score;
+        prop_assert!((0.0..=1.0).contains(&tm));
+        // Rigidly moving the model cannot change the score materially.
+        let b2 = rigidly_moved(&b, &format!("mv{seed}"));
+        let tm2 = metrics::tm_score(&b2, &a).expect("same length").score;
+        prop_assert!((tm - tm2).abs() < 0.02, "{tm} vs {tm2}");
+    }
+
+    #[test]
+    fn rmsd_is_a_metric_zero_iff_identical(len in 10usize..60, seed in 0u64..20) {
+        let a = StructureGenerator::new(&format!("ra{seed}")).generate(len);
+        prop_assert!(metrics::rmsd(&a, &a).expect("same") < 1e-6);
+        let b = perturbed(&a, "rp", 1.0);
+        let d = metrics::rmsd(&b, &a).expect("same");
+        prop_assert!(d > 0.0 && d < 3.0);
+    }
+
+    #[test]
+    fn lddt_bounded(len in 10usize..50, noise in 0.0f64..10.0) {
+        let a = StructureGenerator::new("lddt").generate(len);
+        let b = perturbed(&a, "lp", noise);
+        let v = metrics::lddt(&b, &a).expect("same");
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn sequences_round_trip_through_display(len in 0usize..200, seed in 0u64..20) {
+        let s = Sequence::random(&format!("s{seed}"), len);
+        let text = s.to_string();
+        let back: Sequence = text.parse().expect("valid codes");
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn distance_matrix_satisfies_triangle_inequality(len in 3usize..24, seed in 0u64..10) {
+        let s = StructureGenerator::new(&format!("d{seed}")).generate(len);
+        let m = ln_protein::distance_matrix(&s);
+        for i in 0..len {
+            for j in 0..len {
+                for k in 0..len {
+                    prop_assert!(m.at(i, j) <= m.at(i, k) + m.at(k, j) + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structure_generation_scales_compactly(len in 50usize..250) {
+        let s = StructureGenerator::new("scaling").generate(len);
+        let rg = s.radius_of_gyration();
+        // Must be well below the extended-rod radius of gyration; short
+        // chains are naturally less compact, so the bound is loose.
+        let rod = len as f64 * 3.8 / 12.0f64.sqrt();
+        prop_assert!(rg < rod * 0.75, "rg {rg} rod {rod}");
+    }
+}
+
+#[test]
+fn structure_from_iterator_collects() {
+    let s: Structure = (0..5).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+    assert_eq!(s.len(), 5);
+}

@@ -1,0 +1,146 @@
+//! Asymmetric (affine) quantization — the alternative the paper considers
+//! and rejects (§4.1).
+//!
+//! Asymmetric quantization adds a zero-point so the integer range maps onto
+//! `[min, max]` instead of `[-max|x|, +max|x|]`. It narrows the effective
+//! step when a token's distribution is skewed, at the cost of a bias term
+//! in every multiply (which breaks the RMPU's dequantization-free
+//! accumulation). The paper finds that once dynamic outlier handling is in
+//! place, symmetric quantization is accurate enough — this module exists to
+//! regenerate that ablation.
+
+use crate::scheme::Bits;
+use ln_tensor::Tensor2;
+
+/// An asymmetrically-quantized token: levels plus `(scale, zero_point)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymmetricToken {
+    bits: Bits,
+    levels: Vec<i32>,
+    scale: f32,
+    zero_point: f32,
+}
+
+impl AsymmetricToken {
+    /// Quantizes one token asymmetrically at the given precision.
+    pub fn quantize(values: &[f32], bits: Bits) -> AsymmetricToken {
+        let (min, max) = values.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let span = (max - min).max(1e-12);
+        let num_levels = (1u32 << bits.width()) - 1;
+        let scale = span / num_levels as f32;
+        let zero_point = min;
+        let levels = values
+            .iter()
+            .map(|&v| (((v - zero_point) / scale).round() as i32).clamp(0, num_levels as i32))
+            .collect();
+        AsymmetricToken { bits, levels, scale, zero_point }
+    }
+
+    /// The precision used.
+    pub fn bits(&self) -> Bits {
+        self.bits
+    }
+
+    /// The affine scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The zero point (the value level 0 maps to).
+    pub fn zero_point(&self) -> f32 {
+        self.zero_point
+    }
+
+    /// Reconstructs the token.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.levels.iter().map(|&l| l as f32 * self.scale + self.zero_point).collect()
+    }
+}
+
+/// Quantize→dequantize a whole activation asymmetrically, per token.
+pub fn fake_quantize_asymmetric(x: &mut Tensor2, bits: Bits) {
+    for t in 0..x.rows() {
+        let row = x.row(t).to_vec();
+        let q = AsymmetricToken::quantize(&row, bits);
+        x.row_mut(t).copy_from_slice(&q.dequantize());
+    }
+}
+
+/// RMSE of asymmetric per-token quantization over an activation.
+pub fn asymmetric_rmse(x: &Tensor2, bits: Bits) -> f64 {
+    let mut rec = x.clone();
+    fake_quantize_asymmetric(&mut rec, bits);
+    let mut err = 0.0f64;
+    for (&a, &b) in x.as_slice().iter().zip(rec.as_slice()) {
+        let d = (a - b) as f64;
+        err += d * d;
+    }
+    (err / x.len().max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::QuantScheme;
+    use crate::token::quantization_rmse;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32) * 0.37 - 5.0).collect();
+        for bits in [Bits::Int4, Bits::Int8] {
+            let q = AsymmetricToken::quantize(&values, bits);
+            for (&a, b) in values.iter().zip(q.dequantize()) {
+                assert!((a - b).abs() <= q.scale() * 0.51 + 1e-6, "{bits}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_tokens_benefit_from_asymmetry() {
+        // All-positive token: asymmetric uses the full level range while
+        // symmetric wastes half of it.
+        let values: Vec<f32> = (0..128).map(|i| 10.0 + (i % 17) as f32 * 0.2).collect();
+        let x = Tensor2::from_vec(1, 128, values).expect("length matches");
+        let asym = asymmetric_rmse(&x, Bits::Int8);
+        let sym = quantization_rmse(&x, QuantScheme::int8_with_outliers(0));
+        assert!(asym < sym, "asym {asym} vs sym {sym}");
+    }
+
+    #[test]
+    fn outlier_handling_closes_the_gap_on_ppm_like_tokens() {
+        // The paper's §4.1 conclusion: on spiky zero-centred PPM tokens,
+        // symmetric + outliers ≈ asymmetric, so the simpler symmetric
+        // scheme (no per-multiply bias) wins in hardware.
+        let x = Tensor2::from_fn(32, 128, |i, j| {
+            let spike = if j == (i * 5) % 128 { 40.0 } else { 1.0 };
+            spike * (((i * 13 + j * 7) % 19) as f32 * 0.1 - 0.9)
+        });
+        let asym = asymmetric_rmse(&x, Bits::Int8);
+        let sym_outliers = quantization_rmse(&x, QuantScheme::int8_with_outliers(4));
+        assert!(
+            sym_outliers < asym * 1.5,
+            "symmetric+outliers {sym_outliers} must be competitive with asymmetric {asym}"
+        );
+    }
+
+    #[test]
+    fn zero_point_tracks_minimum() {
+        let values = vec![5.0f32, 6.0, 7.0];
+        let q = AsymmetricToken::quantize(&values, Bits::Int8);
+        assert!((q.zero_point() - 5.0).abs() < 1e-6);
+        let back = q.dequantize();
+        assert!((back[0] - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_token_is_exact() {
+        let values = vec![3.25f32; 16];
+        let q = AsymmetricToken::quantize(&values, Bits::Int4);
+        for v in q.dequantize() {
+            assert!((v - 3.25).abs() < 1e-5);
+        }
+    }
+}

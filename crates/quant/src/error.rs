@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantization encode/decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// An encoded block was truncated or structurally inconsistent.
+    CorruptBlock {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+    /// A scheme parameter is unsupported (e.g. more outliers than channels).
+    InvalidScheme {
+        /// Description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::CorruptBlock { what } => write!(f, "corrupt quantized block: {what}"),
+            QuantError::InvalidScheme { what } => write!(f, "invalid quantization scheme: {what}"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_context() {
+        let e = QuantError::CorruptBlock { what: "truncated at byte 7".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

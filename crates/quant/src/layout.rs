@@ -1,0 +1,352 @@
+//! The byte-exact memory layout of quantized tokens (Fig. 7).
+//!
+//! Per token: packed inliers first, then INT16 outliers, then the scaling
+//! factor(s), then the u8 outlier indices. Tokens sharing a scheme are
+//! grouped into *blocks* sized for the memory channel (the Token Aligner in
+//! `ln-accel` consumes these blocks and realigns them token-wise into the
+//! scratchpad).
+//!
+//! The encoder is the source of truth for all byte accounting: the
+//! simulator charges HBM traffic for exactly these bytes, and
+//! [`crate::scheme::QuantScheme::token_bytes`] is asserted (and property
+//! tested) to equal the encoded length.
+
+use crate::scheme::{Bits, QuantScheme};
+use crate::token::QuantizedToken;
+use crate::QuantError;
+
+/// Default block size target in bytes (one HBM2E burst group; §4.3 sizes
+/// blocks by the memory-channel bandwidth).
+pub const DEFAULT_BLOCK_BYTES: usize = 1024;
+
+/// Encodes one quantized token into the Fig. 7 byte layout.
+pub fn encode_token(token: &QuantizedToken) -> Vec<u8> {
+    let scheme = token.scheme();
+    let mut out = Vec::with_capacity(scheme.token_bytes(token.channels()));
+    // 1. Inliers, packed.
+    match scheme.inlier_bits {
+        Bits::Int4 => {
+            let mut nibble_pending: Option<u8> = None;
+            for &level in token.inliers() {
+                let nib = (level as i8 as u8) & 0x0F;
+                match nibble_pending.take() {
+                    None => nibble_pending = Some(nib),
+                    Some(lo) => out.push(lo | (nib << 4)),
+                }
+            }
+            if let Some(lo) = nibble_pending {
+                out.push(lo);
+            }
+        }
+        Bits::Int8 => {
+            for &level in token.inliers() {
+                out.push(level as i8 as u8);
+            }
+        }
+        Bits::Int16 => {
+            for &level in token.inliers() {
+                out.extend_from_slice(&level.to_le_bytes());
+            }
+        }
+    }
+    // 2. Outliers (INT16 little-endian).
+    for &o in token.outliers() {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    // 3. Scaling factors: inlier scale always; outlier scale when present.
+    out.extend_from_slice(&token.inlier_scale().to_le_bytes());
+    if scheme.outliers > 0 {
+        out.extend_from_slice(&token.outlier_scale().to_le_bytes());
+    }
+    // 4. Outlier indices.
+    out.extend_from_slice(token.outlier_indices());
+    out
+}
+
+/// Decoded view of one token: the reconstructed values.
+///
+/// Decoding reverses [`encode_token`] and dequantizes.
+///
+/// # Errors
+///
+/// Returns [`QuantError::CorruptBlock`] if the byte slice is shorter than
+/// the layout requires or the outlier indices are out of range.
+pub fn decode_token(
+    bytes: &[u8],
+    scheme: QuantScheme,
+    channels: usize,
+) -> Result<Vec<f32>, QuantError> {
+    let expected = scheme.token_bytes(channels);
+    if bytes.len() != expected {
+        return Err(QuantError::CorruptBlock {
+            what: format!("token length {} != expected {expected}", bytes.len()),
+        });
+    }
+    let n_inliers = channels - scheme.outliers;
+    let inlier_bytes = (n_inliers * scheme.inlier_bits.width()).div_ceil(8);
+    let (inlier_raw, rest) = bytes.split_at(inlier_bytes);
+    let (outlier_raw, rest) = rest.split_at(scheme.outliers * 2);
+    let scale_bytes = if scheme.outliers > 0 { 8 } else { 4 };
+    let (scale_raw, index_raw) = rest.split_at(scale_bytes);
+
+    let inlier_scale = f32::from_le_bytes(
+        scale_raw[0..4].try_into().expect("slice length checked above"),
+    );
+    let outlier_scale = if scheme.outliers > 0 {
+        f32::from_le_bytes(scale_raw[4..8].try_into().expect("slice length checked above"))
+    } else {
+        1.0
+    };
+
+    let mut levels: Vec<i16> = Vec::with_capacity(n_inliers);
+    match scheme.inlier_bits {
+        Bits::Int4 => {
+            for k in 0..n_inliers {
+                let byte = inlier_raw[k / 2];
+                let nib = if k % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                // Sign-extend the 4-bit value.
+                let v = if nib & 0x8 != 0 { nib as i16 - 16 } else { nib as i16 };
+                levels.push(v);
+            }
+        }
+        Bits::Int8 => {
+            for &b in inlier_raw.iter().take(n_inliers) {
+                levels.push(b as i8 as i16);
+            }
+        }
+        Bits::Int16 => {
+            for k in 0..n_inliers {
+                levels.push(i16::from_le_bytes(
+                    inlier_raw[k * 2..k * 2 + 2].try_into().expect("length checked"),
+                ));
+            }
+        }
+    }
+
+    let mut out = vec![0.0f32; channels];
+    let mut outlier_mask = vec![false; channels];
+    for (k, &idx) in index_raw.iter().enumerate() {
+        let idx = idx as usize;
+        if idx >= channels {
+            return Err(QuantError::CorruptBlock {
+                what: format!("outlier index {idx} out of range for {channels} channels"),
+            });
+        }
+        if outlier_mask[idx] {
+            return Err(QuantError::CorruptBlock {
+                what: format!("duplicate outlier index {idx}"),
+            });
+        }
+        outlier_mask[idx] = true;
+        let level =
+            i16::from_le_bytes(outlier_raw[k * 2..k * 2 + 2].try_into().expect("length checked"));
+        out[idx] = level as f32 * outlier_scale;
+    }
+    let mut level_iter = levels.into_iter();
+    for (c, slot) in out.iter_mut().enumerate() {
+        if !outlier_mask[c] {
+            *slot = level_iter.next().expect("inlier count matches") as f32 * inlier_scale;
+        }
+    }
+    Ok(out)
+}
+
+/// A block of tokens sharing one scheme, sized for the memory channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBlock {
+    scheme: QuantScheme,
+    channels: usize,
+    tokens: usize,
+    bytes: Vec<u8>,
+}
+
+impl TokenBlock {
+    /// Encodes a sequence of quantized tokens into one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tokens disagree on scheme or channel count.
+    pub fn encode(tokens: &[QuantizedToken]) -> TokenBlock {
+        assert!(!tokens.is_empty(), "block needs at least one token");
+        let scheme = tokens[0].scheme();
+        let channels = tokens[0].channels();
+        let mut bytes = Vec::with_capacity(tokens.len() * scheme.token_bytes(channels));
+        for t in tokens {
+            assert_eq!(t.scheme(), scheme, "mixed schemes in block");
+            assert_eq!(t.channels(), channels, "mixed widths in block");
+            bytes.extend_from_slice(&encode_token(t));
+        }
+        TokenBlock { scheme, channels, tokens: tokens.len(), bytes }
+    }
+
+    /// The shared scheme.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Tokens in the block.
+    pub fn num_tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Decodes every token back to full precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::CorruptBlock`] on structural damage.
+    pub fn decode(&self) -> Result<Vec<Vec<f32>>, QuantError> {
+        let stride = self.scheme.token_bytes(self.channels);
+        if self.bytes.len() != stride * self.tokens {
+            return Err(QuantError::CorruptBlock {
+                what: format!(
+                    "block length {} != {} tokens × {stride} bytes",
+                    self.bytes.len(),
+                    self.tokens
+                ),
+            });
+        }
+        (0..self.tokens)
+            .map(|t| decode_token(&self.bytes[t * stride..(t + 1) * stride], self.scheme, self.channels))
+            .collect()
+    }
+
+    /// How many tokens of this shape fit a target block size.
+    pub fn tokens_per_block(scheme: QuantScheme, channels: usize, block_bytes: usize) -> usize {
+        (block_bytes / scheme.token_bytes(channels)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::quantize_token;
+
+    fn sample_values(n: usize, seed: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 31 + seed * 17) % 97) as f32 - 48.0) * 0.21).collect()
+    }
+
+    #[test]
+    fn encoded_length_matches_scheme_formula() {
+        for scheme in [
+            QuantScheme::int4_with_outliers(0),
+            QuantScheme::int4_with_outliers(4),
+            QuantScheme::int8_with_outliers(4),
+            QuantScheme::int8_with_outliers(0),
+        ] {
+            let values = sample_values(128, 1);
+            let q = quantize_token(&values, scheme);
+            assert_eq!(encode_token(&q).len(), scheme.token_bytes(128), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_equals_dequantize() {
+        for scheme in [
+            QuantScheme::int4_with_outliers(4),
+            QuantScheme::int8_with_outliers(2),
+            QuantScheme::int8_with_outliers(0),
+        ] {
+            let values = sample_values(64, 2);
+            let q = quantize_token(&values, scheme);
+            let bytes = encode_token(&q);
+            let decoded = decode_token(&bytes, scheme, 64).unwrap();
+            let direct = q.dequantize();
+            assert_eq!(decoded, direct, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn int4_packing_is_two_per_byte() {
+        let values = sample_values(128, 3);
+        let q = quantize_token(&values, QuantScheme::int4_with_outliers(0));
+        let bytes = encode_token(&q);
+        // 64 inlier bytes + 4 scale bytes.
+        assert_eq!(bytes.len(), 68);
+    }
+
+    #[test]
+    fn negative_int4_values_sign_extend() {
+        let mut values = vec![0.0f32; 8];
+        values[0] = -7.0;
+        values[1] = 7.0;
+        let q = quantize_token(&values, QuantScheme::int4_with_outliers(0));
+        let bytes = encode_token(&q);
+        let decoded = decode_token(&bytes, QuantScheme::int4_with_outliers(0), 8).unwrap();
+        assert!((decoded[0] + 7.0).abs() < 1e-4);
+        assert!((decoded[1] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncated_token_is_rejected() {
+        let values = sample_values(32, 4);
+        let scheme = QuantScheme::int8_with_outliers(2);
+        let q = quantize_token(&values, scheme);
+        let mut bytes = encode_token(&q);
+        bytes.pop();
+        assert!(matches!(
+            decode_token(&bytes, scheme, 32),
+            Err(QuantError::CorruptBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_outlier_index_is_rejected() {
+        let values = sample_values(32, 5);
+        let scheme = QuantScheme::int8_with_outliers(1);
+        let q = quantize_token(&values, scheme);
+        let mut bytes = encode_token(&q);
+        let last = bytes.len() - 1;
+        bytes[last] = 200; // out of range for 32 channels
+        assert!(matches!(
+            decode_token(&bytes, scheme, 32),
+            Err(QuantError::CorruptBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_outlier_index_is_rejected() {
+        let values = sample_values(32, 6);
+        let scheme = QuantScheme::int8_with_outliers(2);
+        let q = quantize_token(&values, scheme);
+        let mut bytes = encode_token(&q);
+        let n = bytes.len();
+        // Make both indices identical.
+        bytes[n - 1] = bytes[n - 2];
+        assert!(matches!(
+            decode_token(&bytes, scheme, 32),
+            Err(QuantError::CorruptBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let scheme = QuantScheme::int4_with_outliers(4);
+        let tokens: Vec<_> =
+            (0..10).map(|s| quantize_token(&sample_values(128, s), scheme)).collect();
+        let block = TokenBlock::encode(&tokens);
+        assert_eq!(block.num_tokens(), 10);
+        assert_eq!(block.encoded_bytes(), 10 * scheme.token_bytes(128));
+        let decoded = block.decode().unwrap();
+        for (t, d) in tokens.iter().zip(&decoded) {
+            assert_eq!(&t.dequantize(), d);
+        }
+    }
+
+    #[test]
+    fn tokens_per_block_sizing() {
+        let scheme = QuantScheme::int4_with_outliers(0); // 68 B at 128 ch
+        assert_eq!(TokenBlock::tokens_per_block(scheme, 128, 1024), 15);
+        // Never zero, even for tiny blocks.
+        assert_eq!(TokenBlock::tokens_per_block(scheme, 128, 8), 1);
+    }
+}

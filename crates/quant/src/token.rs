@@ -1,0 +1,319 @@
+//! The runtime token quantizer: dynamic top-k outlier selection, dynamic
+//! per-token scaling factors, and uniform symmetric quantization (Eq. 1).
+//!
+//! `quantize_token` is the software reference for what the VVPU does in
+//! hardware (§5.3 *Runtime Quantization*): top-k via the bitonic sorter,
+//! scaling via SIMD lanes, and reordering via the local crossbar network.
+//! `ln-accel`'s VVPU model is cross-validated against this implementation.
+
+use crate::scheme::{Bits, QuantScheme};
+use ln_tensor::stats;
+use ln_tensor::Tensor2;
+
+/// A quantized token: inliers at low precision with one dynamic scaling
+/// factor, plus top-k outliers at INT16 with their own scaling factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedToken {
+    scheme: QuantScheme,
+    channels: usize,
+    /// Quantized inlier levels, in channel order with outlier positions
+    /// skipped (matching the Fig. 7 "inliers first" layout).
+    inliers: Vec<i16>,
+    /// Inlier scaling factor σ (Eq. 1).
+    inlier_scale: f32,
+    /// Outlier levels (INT16).
+    outliers: Vec<i16>,
+    /// Outlier scaling factor.
+    outlier_scale: f32,
+    /// Channel index of each outlier.
+    outlier_indices: Vec<u8>,
+}
+
+impl QuantizedToken {
+    /// The scheme this token was quantized with.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Number of original channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The quantized inlier levels (outlier positions excluded).
+    pub fn inliers(&self) -> &[i16] {
+        &self.inliers
+    }
+
+    /// The inlier scaling factor.
+    pub fn inlier_scale(&self) -> f32 {
+        self.inlier_scale
+    }
+
+    /// The INT16 outlier levels.
+    pub fn outliers(&self) -> &[i16] {
+        &self.outliers
+    }
+
+    /// The outlier scaling factor.
+    pub fn outlier_scale(&self) -> f32 {
+        self.outlier_scale
+    }
+
+    /// Channel indices of the outliers.
+    pub fn outlier_indices(&self) -> &[u8] {
+        &self.outlier_indices
+    }
+
+    /// Reconstructs the full-precision token.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.channels];
+        let mut inlier_iter = self.inliers.iter();
+        let outlier_set: Vec<bool> = {
+            let mut v = vec![false; self.channels];
+            for &i in &self.outlier_indices {
+                v[i as usize] = true;
+            }
+            v
+        };
+        for (c, slot) in out.iter_mut().enumerate() {
+            if !outlier_set[c] {
+                let q = *inlier_iter.next().expect("inlier count matches layout");
+                *slot = q as f32 * self.inlier_scale;
+            }
+        }
+        for (&idx, &q) in self.outlier_indices.iter().zip(&self.outliers) {
+            out[idx as usize] = q as f32 * self.outlier_scale;
+        }
+        out
+    }
+
+    /// Encoded byte size under the Fig. 7 layout.
+    pub fn encoded_bytes(&self) -> usize {
+        self.scheme.token_bytes(self.channels)
+    }
+}
+
+/// Quantizes one token (Eq. 1 with dynamic outlier handling).
+///
+/// The top-`k` values by magnitude become INT16 outliers with their own
+/// dynamic scaling factor; the rest are inliers quantized symmetrically
+/// with `σ = max|inlier| / (2^(m-1) - 1)`.
+///
+/// # Panics
+///
+/// Panics if the scheme's outlier budget is not below the channel count or
+/// the token has more than 256 channels (u8 outlier indices; the PPM's
+/// `Hz = 128` fits comfortably).
+pub fn quantize_token(values: &[f32], scheme: QuantScheme) -> QuantizedToken {
+    assert!(values.len() <= 256, "token width above u8 index range");
+    assert!(scheme.outliers < values.len().max(1), "outlier budget must leave inliers");
+
+    let mut outlier_indices: Vec<usize> = if scheme.outliers > 0 {
+        stats::top_k_abs_indices(values, scheme.outliers)
+    } else {
+        Vec::new()
+    };
+    outlier_indices.sort_unstable();
+    let is_outlier = {
+        let mut v = vec![false; values.len()];
+        for &i in &outlier_indices {
+            v[i] = true;
+        }
+        v
+    };
+
+    // Inlier scale from the remaining max magnitude (Eq. 1).
+    let inlier_max = values
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !is_outlier[i])
+        .fold(0.0f32, |a, (_, &v)| a.max(v.abs()));
+    let inlier_scale = if inlier_max > 0.0 {
+        inlier_max / scheme.inlier_bits.max_level() as f32
+    } else {
+        1.0
+    };
+
+    let inliers: Vec<i16> = values
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !is_outlier[i])
+        .map(|(_, &v)| quantize_value(v, inlier_scale, scheme.inlier_bits))
+        .collect();
+
+    let outlier_max = outlier_indices
+        .iter()
+        .fold(0.0f32, |a, &i| a.max(values[i].abs()));
+    let outlier_scale = if outlier_max > 0.0 {
+        outlier_max / Bits::Int16.max_level() as f32
+    } else {
+        1.0
+    };
+    let outliers: Vec<i16> = outlier_indices
+        .iter()
+        .map(|&i| quantize_value(values[i], outlier_scale, Bits::Int16))
+        .collect();
+
+    QuantizedToken {
+        scheme,
+        channels: values.len(),
+        inliers,
+        inlier_scale,
+        outliers,
+        outlier_scale,
+        outlier_indices: outlier_indices.iter().map(|&i| i as u8).collect(),
+    }
+}
+
+/// Quantizes a value to a level at the given scale/precision (Eq. 1).
+pub fn quantize_value(v: f32, scale: f32, bits: Bits) -> i16 {
+    let m = bits.max_level();
+    ((v / scale).round().clamp(-m as f32, m as f32)) as i16
+}
+
+/// Quantize→dequantize a whole `(tokens, channels)` activation in place —
+/// the numeric error model used when evaluating schemes end to end.
+///
+/// Rows wider than 128 channels are segmented into 128-wide groups, each
+/// with its own scaling factor and outlier budget — exactly how the
+/// hardware handles tensors wider than its `Hz = 128` token width (the
+/// VVPU SIMD width and the bitonic network are 128 lanes).
+pub fn fake_quantize_tokens(x: &mut Tensor2, scheme: QuantScheme) {
+    const SEGMENT: usize = 128;
+    for t in 0..x.rows() {
+        let row = x.row(t).to_vec();
+        let out = x.row_mut(t);
+        for (seg_idx, seg) in row.chunks(SEGMENT).enumerate() {
+            let mut seg_scheme = scheme;
+            if seg_scheme.outliers >= seg.len() {
+                seg_scheme.outliers = seg.len().saturating_sub(1);
+            }
+            if seg.len() < 2 {
+                continue;
+            }
+            let q = quantize_token(seg, seg_scheme);
+            out[seg_idx * SEGMENT..seg_idx * SEGMENT + seg.len()]
+                .copy_from_slice(&q.dequantize());
+        }
+    }
+}
+
+/// Root-mean-square quantization error of a scheme over an activation
+/// (segmenting wide rows as [`fake_quantize_tokens`] does).
+pub fn quantization_rmse(x: &Tensor2, scheme: QuantScheme) -> f64 {
+    let mut rec = x.clone();
+    fake_quantize_tokens(&mut rec, scheme);
+    let mut err = 0.0f64;
+    for (&a, &b) in x.as_slice().iter().zip(rec.as_slice()) {
+        let d = (a - b) as f64;
+        err += d * d;
+    }
+    (err / (x.len().max(1)) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::QuantScheme;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let values: Vec<f32> = (0..128).map(|i| ((i * 37 % 100) as f32 - 50.0) * 0.1).collect();
+        for scheme in [
+            QuantScheme::int8_with_outliers(0),
+            QuantScheme::int8_with_outliers(4),
+            QuantScheme::int4_with_outliers(4),
+        ] {
+            let q = quantize_token(&values, scheme);
+            let back = q.dequantize();
+            for (i, (&a, &b)) in values.iter().zip(&back).enumerate() {
+                assert!(
+                    (a - b).abs() <= q.inlier_scale() * 0.5 + 1e-6,
+                    "{scheme} ch {i}: {a} vs {b} (scale {})",
+                    q.inlier_scale()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outliers_are_preserved_precisely() {
+        let mut values = vec![0.1f32; 128];
+        values[7] = 250.0;
+        values[90] = -300.0;
+        let q = quantize_token(&values, QuantScheme::int4_with_outliers(2));
+        assert_eq!(q.outlier_indices(), &[7, 90]);
+        let back = q.dequantize();
+        assert!((back[7] - 250.0).abs() < 0.05);
+        assert!((back[90] + 300.0).abs() < 0.05);
+        // Inliers did not inherit the outlier scale: still accurate.
+        assert!((back[0] - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn outlier_handling_shrinks_inlier_scale() {
+        let mut values = vec![0.5f32; 64];
+        values[3] = 100.0;
+        let without = quantize_token(&values, QuantScheme::int8_with_outliers(0));
+        let with = quantize_token(&values, QuantScheme::int8_with_outliers(1));
+        assert!(with.inlier_scale() < without.inlier_scale() / 50.0);
+    }
+
+    #[test]
+    fn int4_levels_stay_in_range() {
+        let values: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 3.0).collect();
+        let q = quantize_token(&values, QuantScheme::int4_with_outliers(0));
+        for &l in q.inliers() {
+            assert!((-7..=7).contains(&(l as i32)));
+        }
+    }
+
+    #[test]
+    fn zero_token_quantizes_to_zero() {
+        let values = vec![0.0f32; 16];
+        let q = quantize_token(&values, QuantScheme::int8_with_outliers(2));
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fake_quantize_changes_little_but_something() {
+        let mut x = Tensor2::from_fn(8, 32, |i, j| ((i * 7 + j) % 13) as f32 * 0.3 - 1.5);
+        let orig = x.clone();
+        fake_quantize_tokens(&mut x, QuantScheme::int8_with_outliers(2));
+        let rmse = x.rmse(&orig).unwrap();
+        assert!(rmse > 0.0 && rmse < 0.02, "rmse {rmse}");
+    }
+
+    #[test]
+    fn rmse_ordering_matches_precision() {
+        let x = Tensor2::from_fn(32, 64, |i, j| ((i * 13 + j * 7) % 29) as f32 * 0.21 - 3.0);
+        let e4 = quantization_rmse(&x, QuantScheme::int4_with_outliers(0));
+        let e8 = quantization_rmse(&x, QuantScheme::int8_with_outliers(0));
+        assert!(e4 > 5.0 * e8, "int4 {e4} vs int8 {e8}");
+    }
+
+    #[test]
+    fn outlier_handling_reduces_rmse_on_spiky_tokens() {
+        // The paper's §4.1 ablation: symmetric quantization without outlier
+        // handling suffers on tokens with spikes; with handling the error
+        // collapses.
+        let x = Tensor2::from_fn(16, 128, |i, j| {
+            if j == (i * 7) % 128 {
+                80.0
+            } else {
+                ((i + j) % 11) as f32 * 0.1
+            }
+        });
+        let without = quantization_rmse(&x, QuantScheme::int8_with_outliers(0));
+        let with = quantization_rmse(&x, QuantScheme::int8_with_outliers(4));
+        assert!(with < without / 10.0, "with {with} vs without {without}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outlier budget")]
+    fn outlier_flood_panics() {
+        let values = vec![1.0f32; 8];
+        let _ = quantize_token(&values, QuantScheme::int8_with_outliers(8));
+    }
+}

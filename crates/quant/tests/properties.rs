@@ -1,0 +1,154 @@
+//! Property-based tests for quantization and the Fig. 7 memory layout.
+
+use ln_quant::layout::{decode_token, encode_token, TokenBlock};
+use ln_quant::scheme::{Bits, QuantScheme};
+use ln_quant::token::{quantize_token, quantize_value};
+use proptest::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
+    (prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)], 0usize..8)
+        .prop_map(|(bits, outliers)| QuantScheme { inlier_bits: bits, outliers })
+}
+
+fn arb_token() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1000.0f32..1000.0, 16..128)
+}
+
+proptest! {
+    #[test]
+    fn round_trip_error_bounded_by_half_step(values in arb_token(), scheme in arb_scheme()) {
+        prop_assume!(scheme.outliers < values.len());
+        let q = quantize_token(&values, scheme);
+        let back = q.dequantize();
+        let outliers: std::collections::HashSet<usize> =
+            q.outlier_indices().iter().map(|&i| i as usize).collect();
+        for (i, (&a, &b)) in values.iter().zip(&back).enumerate() {
+            // 0.502: f32 rounding in the divide/multiply can push the error
+            // marginally past the ideal half-step bound.
+            let tol = if outliers.contains(&i) {
+                q.outlier_scale() * 0.502 + 1e-5
+            } else {
+                q.inlier_scale() * 0.502 + 1e-5
+            };
+            prop_assert!((a - b).abs() <= tol, "ch {i}: {a} vs {b} tol {tol}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_identity_on_dequantized_values(
+        values in arb_token(),
+        scheme in arb_scheme(),
+    ) {
+        prop_assume!(scheme.outliers < values.len());
+        let q = quantize_token(&values, scheme);
+        let bytes = encode_token(&q);
+        prop_assert_eq!(bytes.len(), scheme.token_bytes(values.len()));
+        let decoded = decode_token(&bytes, scheme, values.len()).expect("fresh encoding decodes");
+        prop_assert_eq!(decoded, q.dequantize());
+    }
+
+    #[test]
+    fn truncation_is_always_detected(values in arb_token(), scheme in arb_scheme(), cut in 1usize..16) {
+        prop_assume!(scheme.outliers < values.len());
+        let q = quantize_token(&values, scheme);
+        let bytes = encode_token(&q);
+        prop_assume!(cut < bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        prop_assert!(decode_token(truncated, scheme, values.len()).is_err());
+    }
+
+    #[test]
+    fn outlier_selection_covers_largest_magnitudes(values in arb_token(), k in 1usize..8) {
+        prop_assume!(k < values.len());
+        let scheme = QuantScheme { inlier_bits: Bits::Int8, outliers: k };
+        let q = quantize_token(&values, scheme);
+        let selected: std::collections::HashSet<usize> =
+            q.outlier_indices().iter().map(|&i| i as usize).collect();
+        let min_outlier = q
+            .outlier_indices()
+            .iter()
+            .map(|&i| values[i as usize].abs())
+            .fold(f32::INFINITY, f32::min);
+        for (i, &v) in values.iter().enumerate() {
+            if !selected.contains(&i) {
+                prop_assert!(v.abs() <= min_outlier + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn more_outliers_never_hurt_inlier_scale(values in arb_token()) {
+        let s0 = quantize_token(&values, QuantScheme::int8_with_outliers(0)).inlier_scale();
+        let s4 = quantize_token(&values, QuantScheme::int8_with_outliers(4)).inlier_scale();
+        prop_assert!(s4 <= s0 + 1e-9);
+    }
+
+    #[test]
+    fn quantize_value_stays_in_range(v in -1e6f32..1e6, scale in 0.001f32..100.0) {
+        for bits in [Bits::Int4, Bits::Int8, Bits::Int16] {
+            let q = quantize_value(v, scale, bits) as i32;
+            prop_assert!(q.abs() <= bits.max_level());
+        }
+    }
+
+    #[test]
+    fn block_encoding_matches_sum_of_tokens(
+        n_tokens in 1usize..12,
+        scheme in arb_scheme(),
+    ) {
+        let channels = 64usize;
+        prop_assume!(scheme.outliers < channels);
+        let tokens: Vec<_> = (0..n_tokens)
+            .map(|t| {
+                let values: Vec<f32> =
+                    (0..channels).map(|c| ((t * 31 + c * 7) % 41) as f32 - 20.0).collect();
+                quantize_token(&values, scheme)
+            })
+            .collect();
+        let block = TokenBlock::encode(&tokens);
+        prop_assert_eq!(block.encoded_bytes(), n_tokens * scheme.token_bytes(channels));
+        let decoded = block.decode().expect("fresh block decodes");
+        for (t, d) in tokens.iter().zip(decoded) {
+            prop_assert_eq!(t.dequantize(), d);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzzed_bytes(
+        values in arb_token(),
+        scheme in arb_scheme(),
+        flips in proptest::collection::vec((0usize..4096, 0u8..255), 1..8),
+    ) {
+        // Failure injection: arbitrary byte corruption must either decode
+        // to finite values or return a structured error — never panic.
+        prop_assume!(scheme.outliers < values.len());
+        let q = quantize_token(&values, scheme);
+        let mut bytes = encode_token(&q);
+        for (pos, val) in flips {
+            let n = bytes.len();
+            bytes[pos % n] ^= val;
+        }
+        match decode_token(&bytes, scheme, values.len()) {
+            Ok(decoded) => {
+                prop_assert_eq!(decoded.len(), values.len());
+                // NaN scale factors are possible after bit flips; the
+                // decoder must still return without panicking, which the
+                // match arm itself proves. Finite inputs stay finite unless
+                // the scale bytes were hit.
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn token_bytes_monotone_in_outliers_for_int4(k in 0usize..16) {
+        // Each outlier costs 3 bytes (value + index) but saves half an
+        // inlier byte: strictly growing for INT4.
+        let a = QuantScheme::int4_with_outliers(k).token_bytes(128);
+        let b = QuantScheme::int4_with_outliers(k + 1).token_bytes(128);
+        prop_assert!(b >= a);
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible operation in this crate returns `Result<_, TensorError>`.
+/// Shape mismatches are reported with the full offending shapes so that a
+/// failing pipeline stage can be diagnosed from the error message alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand side, as `[rows, cols]`-style dims.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand side.
+        rhs: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A dimension argument was invalid (for example zero where a positive
+    /// size is required).
+    InvalidDimension {
+        /// Human-readable description of the constraint that was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidDimension { what } => {
+                write!(f, "invalid dimension: {what}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,373 @@
+//! Neural-network building blocks used by the PPM folding trunk.
+//!
+//! Everything operates *token-wise* on [`Tensor2`] matrices of shape
+//! `(tokens, channels)`: linear layers transform the channel dimension,
+//! LayerNorm normalises each token, and softmax normalises each row.
+
+use crate::rng;
+use crate::{Tensor2, TensorError};
+use rand::Rng;
+
+/// A dense affine layer `y = x W + b` over the channel dimension.
+///
+/// Weights are stored `(in_features, out_features)` so that a token matrix
+/// `(tokens, in)` maps to `(tokens, out)` by plain matrix multiplication.
+///
+/// # Example
+///
+/// ```
+/// use ln_tensor::{Tensor2, nn::Linear};
+///
+/// # fn main() -> Result<(), ln_tensor::TensorError> {
+/// let layer = Linear::deterministic("demo", 4, 2, 1.0);
+/// let x = Tensor2::zeros(3, 4);
+/// let y = layer.forward(&x)?;
+/// assert_eq!(y.shape(), (3, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Tensor2,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Builds a layer from explicit weight `(in, out)` and bias (length `out`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `bias.len() != weight.cols()`.
+    pub fn new(weight: Tensor2, bias: Vec<f32>) -> Result<Self, TensorError> {
+        if bias.len() != weight.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_new",
+                lhs: vec![weight.rows(), weight.cols()],
+                rhs: vec![bias.len()],
+            });
+        }
+        Ok(Linear { weight, bias })
+    }
+
+    /// Deterministically initialises a layer from a seed label.
+    ///
+    /// Weights are approximately normal with a Xavier-style standard
+    /// deviation `gain / sqrt(in_features)`; biases start at zero. `gain`
+    /// lets the PPM engineer per-layer activation magnitudes (see
+    /// `ln-ppm`'s activation-statistics design).
+    pub fn deterministic(label: &str, in_features: usize, out_features: usize, gain: f32) -> Self {
+        let mut rng = rng::stream(label);
+        let std = gain / (in_features.max(1) as f32).sqrt();
+        let mut data = vec![0.0f32; in_features * out_features];
+        rng::fill_normal(&mut rng, &mut data, std);
+        let weight = Tensor2::from_vec(in_features, out_features, data)
+            .expect("shape is consistent by construction");
+        Linear { weight, bias: vec![0.0; out_features] }
+    }
+
+    /// Deterministic initialisation with a bias drawn uniformly from
+    /// `[-bias_range, bias_range]`.
+    ///
+    /// Non-zero biases model the "biasing and merging with Sequence
+    /// Representation" the paper identifies as a source of unpredictable
+    /// outliers (§4.1).
+    pub fn deterministic_with_bias(
+        label: &str,
+        in_features: usize,
+        out_features: usize,
+        gain: f32,
+        bias_range: f32,
+    ) -> Self {
+        let mut layer = Self::deterministic(label, in_features, out_features, gain);
+        let mut rng = rng::stream_indexed(label, 0xb1a5);
+        for b in &mut layer.bias {
+            *b = (rng.gen::<f32>() * 2.0 - 1.0) * bias_range;
+        }
+        layer
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix `(in, out)`.
+    pub fn weight(&self) -> &Tensor2 {
+        &self.weight
+    }
+
+    /// The bias vector (length `out`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Applies the layer to a `(tokens, in)` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.cols() != in_features`.
+    pub fn forward(&self, x: &Tensor2) -> Result<Tensor2, TensorError> {
+        let mut y = x.matmul(&self.weight)?;
+        for i in 0..y.rows() {
+            for (v, b) in y.row_mut(i).iter_mut().zip(self.bias.iter()) {
+                *v += b;
+            }
+        }
+        Ok(y)
+    }
+}
+
+/// Per-token layer normalisation with learned scale and shift.
+///
+/// Each row (token) is normalised to zero mean / unit variance, then scaled
+/// by `gamma` and shifted by `beta`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    epsilon: f32,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm with unit scale and zero shift.
+    pub fn new(features: usize) -> Self {
+        LayerNorm { gamma: vec![1.0; features], beta: vec![0.0; features], epsilon: 1e-5 }
+    }
+
+    /// Creates a LayerNorm with deterministic near-unit scale parameters.
+    ///
+    /// `spread` perturbs `gamma` within `[1-spread, 1+spread]` so channels
+    /// stay statistically similar (the paper's small cross-channel variance,
+    /// Fig. 5(a)) while not being exactly uniform.
+    pub fn deterministic(label: &str, features: usize, spread: f32) -> Self {
+        Self::deterministic_scaled(label, features, spread, 1.0)
+    }
+
+    /// Like [`LayerNorm::deterministic`] but with `gamma` centred on `scale`
+    /// instead of 1.
+    ///
+    /// The PPM uses this to reproduce the paper's measured post-LayerNorm
+    /// activation magnitudes (Group B averages ≈ 4, Fig. 6(c)): trained
+    /// models develop LayerNorm gains well above 1, which a unit-gamma
+    /// initialisation would not show.
+    pub fn deterministic_scaled(label: &str, features: usize, spread: f32, scale: f32) -> Self {
+        let mut rng = rng::stream(label);
+        let gamma = (0..features)
+            .map(|_| (1.0 + (rng.gen::<f32>() * 2.0 - 1.0) * spread) * scale)
+            .collect();
+        let beta = (0..features)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * spread * 0.5 * scale)
+            .collect();
+        LayerNorm { gamma, beta, epsilon: 1e-5 }
+    }
+
+    /// Number of normalised channels.
+    pub fn features(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Number of parameters (gamma + beta).
+    pub fn num_params(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+
+    /// Applies the normalisation to a `(tokens, features)` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the channel counts differ.
+    pub fn forward(&self, x: &Tensor2) -> Result<Tensor2, TensorError> {
+        if x.cols() != self.gamma.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: vec![x.rows(), x.cols()],
+                rhs: vec![self.gamma.len()],
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + self.epsilon).sqrt();
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * self.gamma[k] + self.beta[k];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Row-wise numerically-stable softmax.
+///
+/// Each row of the result sums to 1.
+pub fn softmax_rows(x: &Tensor2) -> Tensor2 {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        softmax_inplace(out.row_mut(i));
+    }
+    out
+}
+
+/// Numerically-stable softmax over a single slice, in place.
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Tensor2) -> Tensor2 {
+    x.map(|v| v.max(0.0))
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(x: &Tensor2) -> Tensor2 {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Element-wise GELU (tanh approximation).
+pub fn gelu(x: &Tensor2) -> Tensor2 {
+    x.map(gelu_scalar)
+}
+
+/// GELU on a single value (tanh approximation).
+pub fn gelu_scalar(v: f32) -> f32 {
+    0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_identity_weight_passes_through() {
+        let layer = Linear::new(Tensor2::identity(3), vec![0.0; 3]).unwrap();
+        let x = Tensor2::from_fn(2, 3, |i, j| (i + j) as f32);
+        assert_eq!(layer.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn linear_applies_bias() {
+        let layer = Linear::new(Tensor2::identity(2), vec![1.0, -1.0]).unwrap();
+        let x = Tensor2::zeros(1, 2);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn linear_rejects_bad_bias() {
+        assert!(Linear::new(Tensor2::identity(2), vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn linear_deterministic_is_reproducible() {
+        let a = Linear::deterministic("l", 8, 8, 1.0);
+        let b = Linear::deterministic("l", 8, 8, 1.0);
+        assert_eq!(a, b);
+        let c = Linear::deterministic("m", 8, 8, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn linear_gain_scales_weight_std() {
+        let small = Linear::deterministic("g", 64, 64, 0.5);
+        let big = Linear::deterministic("g", 64, 64, 2.0);
+        let var = |l: &Linear| {
+            l.weight().as_slice().iter().map(|x| x * x).sum::<f32>() / l.weight().len() as f32
+        };
+        let ratio = var(&big) / var(&small);
+        assert!((ratio - 16.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn layer_norm_normalises_tokens() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor2::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = ln.forward(&x).unwrap();
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_rejects_bad_width() {
+        let ln = LayerNorm::new(4);
+        assert!(ln.forward(&Tensor2::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn layer_norm_deterministic_spread_is_bounded() {
+        let ln = LayerNorm::deterministic("ln", 128, 0.1);
+        for &g in &ln.gamma {
+            assert!((0.9..=1.1).contains(&g));
+        }
+    }
+
+    #[test]
+    fn layer_norm_scaled_amplifies_output() {
+        let ln1 = LayerNorm::deterministic_scaled("s", 32, 0.05, 1.0);
+        let ln4 = LayerNorm::deterministic_scaled("s", 32, 0.05, 4.0);
+        let x = Tensor2::from_fn(4, 32, |i, j| ((i * 13 + j * 7) % 17) as f32 - 8.0);
+        let y1 = ln1.forward(&x).unwrap();
+        let y4 = ln4.forward(&x).unwrap();
+        let mean_abs = |t: &Tensor2| {
+            t.as_slice().iter().map(|v| v.abs()).sum::<f32>() / t.len() as f32
+        };
+        let ratio = mean_abs(&y4) / mean_abs(&y1);
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor2::from_fn(3, 5, |i, j| (i * j) as f32 - 2.0);
+        let s = softmax_rows(&x);
+        for i in 0..3 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_values() {
+        let mut row = vec![1000.0f32, 1001.0, 1002.0];
+        softmax_inplace(&mut row);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn activations_basic_shapes() {
+        let x = Tensor2::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(relu(&x).row(0), &[0.0, 0.0, 2.0]);
+        let s = sigmoid(&x);
+        assert!((s.at(0, 1) - 0.5).abs() < 1e-6);
+        let g = gelu(&x);
+        assert!(g.at(0, 2) > 1.9 && g.at(0, 2) < 2.0);
+        assert!(g.at(0, 0) < 0.0 && g.at(0, 0) > -0.2);
+    }
+}

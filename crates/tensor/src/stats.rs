@@ -1,0 +1,197 @@
+//! Summary statistics for activation analysis.
+//!
+//! The paper's software contribution rests on a statistical observation
+//! (§3.3): PPM activations have *small cross-channel variance but large
+//! cross-token variance*, with 3σ outliers concentrated in specific tokens.
+//! This module provides the measurement tools used to reproduce Fig. 5,
+//! Fig. 6(c) and the group-classification analysis.
+
+/// Summary statistics of a sample of values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Minimum value (`0.0` when empty).
+    pub min: f32,
+    /// Maximum value (`0.0` when empty).
+    pub max: f32,
+    /// Mean of absolute values.
+    pub mean_abs: f32,
+    /// Maximum of absolute values.
+    pub max_abs: f32,
+}
+
+impl Summary {
+    /// Computes summary statistics over a slice.
+    pub fn of(values: &[f32]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let n = values.len() as f64;
+        let mut sum = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut max_abs = 0.0f32;
+        for &v in values {
+            sum += v as f64;
+            sum_abs += v.abs() as f64;
+            min = min.min(v);
+            max = max.max(v);
+            max_abs = max_abs.max(v.abs());
+        }
+        let mean = (sum / n) as f32;
+        let var: f64 = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Summary {
+            count: values.len(),
+            mean,
+            std: var.sqrt() as f32,
+            min,
+            max,
+            mean_abs: (sum_abs / n) as f32,
+            max_abs,
+        }
+    }
+}
+
+/// Counts values outside `mean ± 3σ` (the 68-95-99.7 rule the paper uses
+/// to identify outliers).
+pub fn count_3sigma_outliers(values: &[f32]) -> usize {
+    let s = Summary::of(values);
+    if s.std == 0.0 {
+        return 0;
+    }
+    let lo = s.mean - 3.0 * s.std;
+    let hi = s.mean + 3.0 * s.std;
+    values.iter().filter(|&&v| v < lo || v > hi).count()
+}
+
+/// Returns the indices of values outside `mean ± 3σ`.
+pub fn indices_3sigma_outliers(values: &[f32]) -> Vec<usize> {
+    let s = Summary::of(values);
+    if s.std == 0.0 {
+        return Vec::new();
+    }
+    let lo = s.mean - 3.0 * s.std;
+    let hi = s.mean + 3.0 * s.std;
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v < lo || v > hi)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Returns the indices of the `k` largest values by absolute magnitude,
+/// in descending order of magnitude (ties broken by lower index first).
+///
+/// This is the *software oracle* for the hardware bitonic top-k unit in
+/// `ln-accel`; the two are cross-checked by property tests.
+pub fn top_k_abs_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .abs()
+            .partial_cmp(&values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Coefficient of variation of per-group `mean_abs`, used to quantify how
+/// different groups of values are from each other.
+///
+/// Returns 0 when fewer than two groups are given or the grand mean is 0.
+/// A large value over tokens and a small value over channels is the
+/// signature of the token-wise distogram pattern (Fig. 5).
+pub fn group_dispersion(groups: &[&[f32]]) -> f32 {
+    if groups.len() < 2 {
+        return 0.0;
+    }
+    let means: Vec<f32> = groups.iter().map(|g| Summary::of(g).mean_abs).collect();
+    let s = Summary::of(&means);
+    if s.mean == 0.0 {
+        0.0
+    } else {
+        s.std / s.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_hand_values() {
+        let s = Summary::of(&[1.0, -1.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 1.0).abs() < 1e-6);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean_abs - 5.0 / 3.0).abs() < 1e-6);
+        assert_eq!(s.max_abs, 3.0);
+        // population std of [1,-1,3]: mean 1, deviations [0,-2,2], var 8/3
+        assert!((s.std - (8.0f32 / 3.0).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn three_sigma_finds_planted_outlier() {
+        let mut v = vec![0.0f32; 100];
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = ((i % 7) as f32 - 3.0) * 0.1;
+        }
+        v[42] = 50.0;
+        assert_eq!(count_3sigma_outliers(&v), 1);
+        assert_eq!(indices_3sigma_outliers(&v), vec![42]);
+    }
+
+    #[test]
+    fn three_sigma_on_constant_is_zero() {
+        assert_eq!(count_3sigma_outliers(&[5.0; 32]), 0);
+    }
+
+    #[test]
+    fn top_k_abs_orders_by_magnitude() {
+        let v = [1.0f32, -9.0, 3.0, 0.5, -4.0];
+        assert_eq!(top_k_abs_indices(&v, 3), vec![1, 4, 2]);
+        assert_eq!(top_k_abs_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_abs_indices(&v, 99).len(), 5);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index() {
+        let v = [2.0f32, -2.0, 2.0];
+        assert_eq!(top_k_abs_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn dispersion_separates_token_vs_channel_pattern() {
+        // Two "tokens" with very different scales: high dispersion.
+        let t0 = [0.1f32, 0.2, 0.15];
+        let t1 = [10.0f32, 12.0, 11.0];
+        let d_tokens = group_dispersion(&[&t0, &t1]);
+        // Two "channels" sampling both tokens: similar scale, low dispersion.
+        let c0 = [0.1f32, 10.0];
+        let c1 = [0.2f32, 12.0];
+        let d_channels = group_dispersion(&[&c0, &c1]);
+        assert!(d_tokens > 5.0 * d_channels, "{d_tokens} vs {d_channels}");
+    }
+}

@@ -1,0 +1,468 @@
+use crate::TensorError;
+
+/// A dense, row-major 2-D `f32` matrix.
+///
+/// `Tensor2` is the workhorse of the reproduction: PPM computations are
+/// token-wise, so activations are `(tokens, channels)` matrices where each
+/// row is one token.
+///
+/// # Example
+///
+/// ```
+/// use ln_tensor::Tensor2;
+///
+/// # fn main() -> Result<(), ln_tensor::TensorError> {
+/// let a = Tensor2::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor2::identity(2);
+/// assert_eq!(a.matmul(&b)?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor2 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor2 { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Tensor2::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Tensor2 { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {:?}", (self.rows, self.cols));
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f32) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {:?}", (self.rows, self.cols));
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Extracts column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Tensor2::zeros(self.rows, rhs.cols);
+        // ikj loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self × rhsᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.cols`.
+    pub fn matmul_transposed(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transposed",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Tensor2::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product `self ⊙ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn hadamard(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, rhs: &Tensor2) -> Result<(), TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with every element multiplied by `factor`.
+    pub fn scaled(&self, factor: f32) -> Tensor2 {
+        self.map(|x| x * factor)
+    }
+
+    /// Returns a copy with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor2 {
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Maximum absolute value over all elements (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Root-mean-square difference against `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn rmse(&self, rhs: &Tensor2) -> Result<f32, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "rmse",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        if self.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f64 = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        Ok((sum / self.data.len() as f64).sqrt() as f32)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Tensor2,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor2, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        Ok(Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        })
+    }
+}
+
+impl Default for Tensor2 {
+    fn default() -> Self {
+        Tensor2::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor2::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Tensor2::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor2::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { op: "matmul", .. })));
+    }
+
+    #[test]
+    fn matmul_transposed_equals_explicit_transpose() {
+        let a = Tensor2::from_fn(3, 4, |i, j| (i * 7 + j * 3) as f32 * 0.25 - 1.0);
+        let b = Tensor2::from_fn(5, 4, |i, j| (i * 2 + j) as f32 * 0.5 - 2.0);
+        let fast = a.matmul_transposed(&b).unwrap();
+        let slow = a.matmul(&b.transposed()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Tensor2::from_fn(3, 5, |i, j| (i + 10 * j) as f32);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor2::full(2, 2, 3.0);
+        let b = Tensor2::full(2, 2, 2.0);
+        assert_eq!(a.add(&b).unwrap(), Tensor2::full(2, 2, 5.0));
+        assert_eq!(a.sub(&b).unwrap(), Tensor2::full(2, 2, 1.0));
+        assert_eq!(a.hadamard(&b).unwrap(), Tensor2::full(2, 2, 6.0));
+        let mut c = a.clone();
+        c.add_assign(&b).unwrap();
+        assert_eq!(c, Tensor2::full(2, 2, 5.0));
+    }
+
+    #[test]
+    fn rows_and_cols_accessors() {
+        let a = Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.col(2), vec![3.0, 6.0]);
+        assert_eq!(a.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn rmse_of_identical_is_zero() {
+        let a = Tensor2::from_fn(4, 4, |i, j| (i * j) as f32);
+        assert_eq!(a.rmse(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_hand_value() {
+        let a = Tensor2::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let b = Tensor2::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        // sqrt((9 + 16) / 2) = sqrt(12.5)
+        assert!((a.rmse(&b).unwrap() - 12.5f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_abs_and_norm() {
+        let a = Tensor2::from_vec(1, 3, vec![-5.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.max_abs(), 5.0);
+        assert!((a.frobenius_norm() - 38.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_panics_out_of_bounds() {
+        let a = Tensor2::zeros(2, 2);
+        let _ = a.at(2, 0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor2::from_fn(4, 4, |i, j| (i * 4 + j) as f32);
+        assert_eq!(a.matmul(&Tensor2::identity(4)).unwrap(), a);
+    }
+}

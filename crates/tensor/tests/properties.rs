@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor substrate.
+
+use ln_tensor::{nn, stats, Tensor2};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor2> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |v| Tensor2::from_vec(r, c, v).expect("length matches"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_neutral(a in small_matrix(8)) {
+        let i = Tensor2::identity(a.cols());
+        let prod = a.matmul(&i).expect("shapes match");
+        for (x, y) in prod.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(6),
+        bc in (1..=6usize).prop_flat_map(|k| (
+            proptest::collection::vec(-10.0f32..10.0, k * 4),
+            proptest::collection::vec(-10.0f32..10.0, k * 4),
+            Just(k),
+        )),
+    ) {
+        let (b_data, c_data, k) = bc;
+        // Force a's cols to equal k by rebuilding.
+        let a = Tensor2::from_fn(a.rows(), k, |i, j| a.at(i, j % a.cols()));
+        let b = Tensor2::from_vec(k, 4, b_data).expect("length matches");
+        let c = Tensor2::from_vec(k, 4, c_data).expect("length matches");
+        let lhs = a.matmul(&b.add(&c).expect("same shape")).expect("shapes match");
+        let rhs = a.matmul(&b).expect("ok").add(&a.matmul(&c).expect("ok")).expect("same shape");
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm(a in small_matrix(8)) {
+        let t = a.transposed();
+        prop_assert!((a.frobenius_norm() - t.frobenius_norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_naive(a in small_matrix(6), rows in 1..6usize) {
+        let b = Tensor2::from_fn(rows, a.cols(), |i, j| ((i * 13 + j * 5) % 11) as f32 - 5.0);
+        let fast = a.matmul_transposed(&b).expect("cols match");
+        let slow = a.matmul(&b.transposed()).expect("shapes match");
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in small_matrix(8)) {
+        let s = nn::softmax_rows(&a);
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardised(
+        v in proptest::collection::vec(-50.0f32..50.0, 8..64),
+    ) {
+        // Skip degenerate constant rows where LayerNorm output is all beta.
+        let s = stats::Summary::of(&v);
+        prop_assume!(s.std > 1e-3);
+        let x = Tensor2::from_vec(1, v.len(), v).expect("length matches");
+        let ln = nn::LayerNorm::new(x.cols());
+        let y = ln.forward(&x).expect("widths match");
+        let sy = stats::Summary::of(y.row(0));
+        prop_assert!(sy.mean.abs() < 1e-3, "mean {}", sy.mean);
+        prop_assert!((sy.std - 1.0).abs() < 1e-2, "std {}", sy.std);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort(
+        v in proptest::collection::vec(-1000.0f32..1000.0, 1..64),
+        k in 0..64usize,
+    ) {
+        let got = stats::top_k_abs_indices(&v, k);
+        prop_assert_eq!(got.len(), k.min(v.len()));
+        // Every selected magnitude must be >= every non-selected magnitude.
+        let selected: std::collections::HashSet<usize> = got.iter().copied().collect();
+        let min_sel = got.iter().map(|&i| v[i].abs()).fold(f32::INFINITY, f32::min);
+        for (i, &x) in v.iter().enumerate() {
+            if !selected.contains(&i) && !got.is_empty() {
+                prop_assert!(x.abs() <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(v in proptest::collection::vec(-1e4f32..1e4, 1..128)) {
+        let s = stats::Summary::of(&v);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.mean_abs <= s.max_abs + 1e-6);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn three_sigma_outlier_fraction_is_small_for_uniform(
+        v in proptest::collection::vec(-1.0f32..1.0, 64..256),
+    ) {
+        // For a bounded uniform-ish sample, at most a tiny fraction can sit
+        // outside 3 sigma (Chebyshev: <= 1/9).
+        let n = stats::count_3sigma_outliers(&v);
+        prop_assert!(n as f32 <= v.len() as f32 / 9.0 + 1.0);
+    }
+}

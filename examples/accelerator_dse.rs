@@ -1,0 +1,59 @@
+//! Accelerator design-space exploration: sweeps the LightNobel hardware
+//! configuration (RMPU count, VVPU ratio) and reports latency, area and
+//! power for each point — the Fig. 12 + Table 2 workflow.
+//!
+//! ```bash
+//! cargo run --release --example accelerator_dse
+//! ```
+
+use lightnobel::dse::{sweep_rmpus, sweep_vvpus};
+use lightnobel::report::{fmt_seconds, Table};
+use ln_accel::power::area_power;
+use ln_accel::HwConfig;
+
+fn main() {
+    let lengths = [256usize, 512, 1024];
+
+    println!("RMPU sweep (4 VVPUs per RMPU), with silicon cost per point:\n");
+    let mut table =
+        Table::new(["RMPUs", "mean latency", "area (mm2)", "power (W)", "perf/W vs 32-RMPU"]);
+    let reference = {
+        let points = sweep_rmpus(&lengths);
+        let p32 = points.iter().find(|p| p.rmpus == 32).expect("32 in sweep");
+        let ap = area_power(&HwConfig::paper());
+        (1.0 / p32.seconds) / (ap.total.power_mw / 1000.0)
+    };
+    for p in sweep_rmpus(&lengths) {
+        let hw = HwConfig::paper().with_rmpus(p.rmpus);
+        let ap = area_power(&hw);
+        let perf_per_watt = (1.0 / p.seconds) / (ap.total.power_mw / 1000.0);
+        table.add_row([
+            p.rmpus.to_string(),
+            fmt_seconds(p.seconds),
+            format!("{:.1}", ap.total.area_mm2),
+            format!("{:.1}", ap.total.power_mw / 1000.0),
+            format!("{:.2}", perf_per_watt / reference),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nVVPU-per-RMPU sweep at 32 RMPUs:\n");
+    let mut table = Table::new(["VVPUs/RMPU", "mean latency", "area (mm2)", "power (W)"]);
+    for p in sweep_vvpus(32, &lengths) {
+        let hw = HwConfig::paper().with_vvpus_per_rmpu(p.vvpus_per_rmpu);
+        let ap = area_power(&hw);
+        table.add_row([
+            p.vvpus_per_rmpu.to_string(),
+            fmt_seconds(p.seconds),
+            format!("{:.1}", ap.total.area_mm2),
+            format!("{:.1}", ap.total.power_mw / 1000.0),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nNote how the crossbar's quadratic port scaling makes large configurations \
+         pay superlinear silicon for sublinear speedup — the pressure that put the \
+         paper's design point at 32 RMPUs x 4 VVPUs."
+    );
+}

@@ -1,0 +1,69 @@
+//! Long-sequence scalability: the paper's headline scenario. Sweeps
+//! sequence lengths from ordinary proteins to the giant PKZILLA-1 and
+//! shows where each execution strategy runs out of memory and how latency
+//! scales.
+//!
+//! ```bash
+//! cargo run --release --example long_sequence
+//! ```
+
+use lightnobel::perf::PerfComparison;
+use lightnobel::report::{fmt_gb, fmt_seconds, Table};
+use ln_datasets::Registry;
+use ln_gpu::esmfold::ExecOptions;
+use ln_gpu::H100;
+
+fn main() {
+    let registry = Registry::standard();
+    let perf = PerfComparison::paper();
+    let gpu = perf.gpu(&H100);
+
+    println!("LightNobel vs H100 across sequence lengths (folding block):\n");
+    let mut table = Table::new([
+        "protein",
+        "Ns",
+        "H100 vanilla",
+        "H100 chunk4",
+        "LightNobel",
+        "LN peak memory",
+    ]);
+    let names = ["8A3K_A", "T1269", "T1169", "H1317", "PKZILLA-1"];
+    for name in names {
+        let record = registry.find(name).expect("registry pins these targets");
+        let ns = record.length();
+        let vanilla = if gpu.fits_memory(ns, ExecOptions::vanilla()) {
+            fmt_seconds(gpu.folding_seconds(ns, ExecOptions::vanilla()))
+        } else {
+            "OOM".to_owned()
+        };
+        let chunk = if gpu.fits_memory(ns, ExecOptions::chunk4()) {
+            fmt_seconds(gpu.folding_seconds(ns, ExecOptions::chunk4()))
+        } else {
+            "OOM".to_owned()
+        };
+        let ln = if perf.accel().fits_memory(ns) {
+            fmt_seconds(perf.lightnobel_folding_seconds(ns))
+        } else {
+            "OOM".to_owned()
+        };
+        table.add_row([
+            name.to_owned(),
+            ns.to_string(),
+            vanilla,
+            chunk,
+            ln,
+            fmt_gb(perf.accel().peak_memory_bytes(ns)),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nmaximum length within 80 GB: LightNobel {} residues (CASP16 max target: 6879).",
+        perf.max_supported_length()
+    );
+    println!(
+        "PKZILLA-1 (45,212 aa) still exceeds 80 GB even quantized — but the need grows \
+         with the quadratic token count, not the cubic score tensor, which is why \
+         LightNobel's frontier sits ~7x beyond the vanilla GPU's."
+    );
+}

@@ -1,0 +1,68 @@
+//! Multimer folding: protein complexes are the paper's motivating source
+//! of growing sequence lengths (§1). This example folds a heterodimer,
+//! splits the prediction back into chains, measures the interface, and
+//! shows how the pair representation (and thus memory) grows with each
+//! added chain.
+//!
+//! ```bash
+//! cargo run --release --example multimer
+//! ```
+
+use lightnobel::perf::PerfComparison;
+use lightnobel::report::{fmt_gb, Table};
+use ln_ppm::multimer::Multimer;
+use ln_ppm::{FoldingModel, PpmConfig};
+use ln_protein::{metrics, pdb, Sequence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fold a small heterodimer numerically -----------------------
+    let dimer = Multimer::new(vec![
+        Sequence::random("multimer-example/chain-a", 36),
+        Sequence::random("multimer-example/chain-b", 28),
+    ]);
+    println!(
+        "folding a heterodimer: {} chains, {} residues total",
+        dimer.num_chains(),
+        dimer.total_len()
+    );
+
+    let model = FoldingModel::new(PpmConfig::standard());
+    let out = dimer.fold(&model, "multimer-example")?;
+    let native = dimer.native_structure("multimer-example");
+    let tm = metrics::tm_score(&out.structure, &native)?.score;
+    let contacts = dimer.interface_contacts(&out.structure, 8.0)?;
+    println!("complex TM-Score vs native: {tm:.4}");
+    println!("inter-chain interface contacts (<= 8 Å): {contacts}");
+
+    let chains = dimer.split_chains(&out.structure)?;
+    for (i, c) in chains.iter().enumerate() {
+        println!("chain {}: {} residues, Rg {:.1} Å", (b'A' + i as u8) as char, c.len(), c.radius_of_gyration());
+    }
+
+    // Export the prediction as PDB (first chain only, for brevity).
+    let pdb_text = pdb::to_pdb(&chains[0], &dimer.chains()[0], 'A');
+    println!("\nfirst PDB records of chain A:");
+    for line in pdb_text.lines().take(3) {
+        println!("  {line}");
+    }
+
+    // --- Memory growth with complex size -----------------------------
+    println!("\npair-representation growth as chains are added (640 aa each):");
+    let perf = PerfComparison::paper();
+    let mut table = Table::new(["chains", "total Ns", "pair tokens", "LightNobel peak mem"]);
+    for chains in 1..=8usize {
+        let ns = chains * 640;
+        table.add_row([
+            chains.to_string(),
+            ns.to_string(),
+            format!("{:.1}M", (ns * ns) as f64 / 1e6),
+            fmt_gb(perf.accel().peak_memory_bytes(ns)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nEach added chain grows the pair token count quadratically — the scalability \
+         pressure LightNobel's token-wise quantization absorbs."
+    );
+    Ok(())
+}

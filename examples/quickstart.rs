@@ -1,0 +1,33 @@
+//! Quickstart: fold a protein with the PPM substrate, then fold it again
+//! with Token-wise Adaptive Activation Quantization (AAQ) injected at every
+//! pair-dataflow edge, and compare the structures.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use lightnobel::accuracy::{AccuracyEvaluator, SchemeUnderTest};
+use lightnobel::report::{fmt_tm, fmt_tm_delta};
+use ln_datasets::{Dataset, Registry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Registry::standard();
+    let record = registry.dataset(Dataset::Cameo).shortest();
+    println!("folding {record} ...");
+
+    let evaluator = AccuracyEvaluator::standard();
+    let aaq = evaluator.evaluate(&SchemeUnderTest::aaq_paper(), record)?;
+
+    println!("FP32 baseline  TM vs native : {}", fmt_tm(aaq.baseline_tm_vs_native));
+    println!("AAQ quantized  TM vs native : {}", fmt_tm(aaq.tm_vs_native));
+    println!("TM change (AAQ - baseline)  : {}", fmt_tm_delta(aaq.tm_delta()));
+    println!("TM of AAQ vs FP32 prediction: {}", fmt_tm(aaq.tm_vs_baseline));
+    println!("pair-representation RMSE    : {:.6}", aaq.pair_rmse);
+
+    println!(
+        "\nAAQ quantizes every pair-dataflow activation (Group A at INT8+4 outliers, \
+         B at INT4+4, C at INT4+0) and the prediction barely moves — the paper's \
+         Fig. 13 result."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the LightNobel reproduction workspace: re-exports
+//! every member crate so the examples and integration tests (and a casual
+//! `cargo add lightnobel-suite` user) can reach the whole system through
+//! one dependency.
+//!
+//! The interesting entry points:
+//!
+//! * [`lightnobel::system::LightNobelSystem`] — fold a protein through the
+//!   AAQ-quantized trunk and project accelerator performance.
+//! * [`lightnobel::accuracy::AccuracyEvaluator`] — compare quantization
+//!   schemes by TM-Score.
+//! * [`ln_accel::Accelerator`] — the cycle-level accelerator simulator.
+//! * [`ln_gpu::EsmFoldGpuModel`] — the A100/H100 baselines.
+//!
+//! See the repository README for the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use lightnobel;
+pub use ln_accel;
+pub use ln_datasets;
+pub use ln_gpu;
+pub use ln_ppm;
+pub use ln_protein;
+pub use ln_quant;
+pub use ln_tensor;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reaches_every_crate() {
+        // One symbol per member crate, proving the re-exports resolve.
+        let _ = crate::ln_tensor::Tensor2::zeros(1, 1);
+        let _ = crate::ln_protein::Sequence::random("u", 4);
+        let _ = crate::ln_datasets::Registry::standard();
+        let _ = crate::ln_ppm::PpmConfig::tiny();
+        let _ = crate::ln_quant::scheme::AaqConfig::paper();
+        let _ = crate::ln_accel::HwConfig::paper();
+        let _ = crate::ln_gpu::H100;
+        let _ = crate::lightnobel::report::Table::new(["x"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration tests of the performance stack: accelerator
+//! simulator vs GPU models vs cost model, and the headline paper claims.
+
+use lightnobel::perf::PerfComparison;
+use ln_accel::{Accelerator, HwConfig};
+use ln_datasets::{Dataset, Registry};
+use ln_gpu::esmfold::ExecOptions;
+use ln_gpu::{A100, H100};
+
+#[test]
+fn simulator_throughput_is_physically_bounded() {
+    // The accelerator can never beat its own HBM moving the encoded bytes.
+    let accel = Accelerator::new(HwConfig::paper());
+    for ns in [512usize, 1024, 2048] {
+        let report = accel.simulate(ns);
+        let min_cycles = report.total_hbm_bytes() as f64 / accel.hw().hbm_bytes_per_cycle();
+        assert!(
+            report.total_cycles() as f64 >= min_cycles,
+            "ns {ns}: {} cycles < physical floor {min_cycles}",
+            report.total_cycles()
+        );
+    }
+}
+
+#[test]
+fn headline_claims_reproduce_in_shape() {
+    let perf = PerfComparison::paper();
+    let reg = Registry::standard();
+
+    // §8.2: with the chunk option LightNobel wins by mid-single-digit
+    // factors across datasets.
+    for d in [Dataset::Casp14, Dataset::Casp15] {
+        let lengths: Vec<usize> =
+            reg.dataset(d).records().iter().map(|r| r.length()).collect();
+        for device in [&A100, &H100] {
+            let s = perf
+                .mean_speedup(&lengths, device, ExecOptions::chunk4())
+                .expect("chunked runs fit");
+            assert!(s > 1.5, "{} chunked speedup on {}: {s}", device.name, d.name());
+        }
+    }
+
+    // §8.3: peak-memory reduction grows with length, exceeding 20x well
+    // before the CASP16 maximum.
+    let (v1, _, l1) = perf.peak_memory(512);
+    let (v2, _, l2) = perf.peak_memory(3364);
+    assert!(v2 / l2 > v1 / l1, "reduction must grow with length");
+    assert!(v2 / l2 > 20.0, "reduction at 3364: {}", v2 / l2);
+}
+
+#[test]
+fn gpu_oom_frontier_matches_dataset_design() {
+    // The registry encodes the paper's operating points: T1269 is the
+    // longest vanilla-GPU protein; everything in CAMEO runs unchunked.
+    let perf = PerfComparison::paper();
+    let reg = Registry::standard();
+    let gpu = perf.gpu(&H100);
+    assert!(gpu.fits_memory(reg.find("T1269").expect("pinned").length(), ExecOptions::vanilla()));
+    for r in reg.dataset(Dataset::Cameo).records() {
+        assert!(
+            gpu.fits_memory(r.length(), ExecOptions::vanilla()),
+            "CAMEO target {} must fit without chunking",
+            r.name()
+        );
+    }
+    // But the longest CASP16 target needs LightNobel (or chunking).
+    let h1317 = reg.find("H1317").expect("pinned").length();
+    assert!(!gpu.fits_memory(h1317, ExecOptions::vanilla()));
+    assert!(perf.accel().fits_memory(h1317));
+}
+
+#[test]
+fn accelerator_beats_both_gpus_on_chunk_required_proteins() {
+    let perf = PerfComparison::paper();
+    for ns in [2000usize, 3364, 5000] {
+        for device in [&A100, &H100] {
+            let s = perf.folding_speedup(ns, device, ExecOptions::chunk4());
+            let f = s.factor().expect("chunked fits");
+            assert!(f > 1.0, "{} at {ns}: {f}", device.name);
+        }
+    }
+}
+
+#[test]
+fn energy_advantage_exceeds_silicon_advantage() {
+    // The accelerator wins on performance *and* watts, so the efficiency
+    // gain must exceed the raw speedup.
+    use lightnobel::perf::GPU_ENVELOPES;
+    let perf = PerfComparison::paper();
+    for env in GPU_ENVELOPES {
+        let device = if env.name == "A100" { &A100 } else { &H100 };
+        let speedup = perf
+            .folding_speedup(1200, device, ExecOptions::chunk4())
+            .factor()
+            .expect("fits");
+        let gain = perf
+            .power_efficiency_gain(1200, device, env, ExecOptions::chunk4())
+            .expect("fits");
+        assert!(gain > speedup, "{}: gain {gain} vs speedup {speedup}", env.name);
+    }
+}
