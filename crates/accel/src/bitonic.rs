@@ -20,7 +20,10 @@ pub type ComparatorStage = Vec<(usize, usize)>;
 ///
 /// Panics if `n` is not a power of two.
 pub fn bitonic_stages(n: usize) -> Vec<ComparatorStage> {
-    assert!(n.is_power_of_two(), "bitonic network needs a power-of-two width");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic network needs a power-of-two width"
+    );
     let mut stages = Vec::new();
     let mut k = 2;
     while k <= n {
@@ -134,7 +137,9 @@ mod tests {
 
     #[test]
     fn top_k_matches_software_oracle() {
-        let v: Vec<f32> = (0..100).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.7).collect();
+        let v: Vec<f32> = (0..100)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.7)
+            .collect();
         for k in [0, 1, 4, 16, 100] {
             let hw = top_k_abs(&v, k);
             let sw = ln_tensor::stats::top_k_abs_indices(&v, k);

@@ -68,18 +68,30 @@ pub fn schedule(hw: &HwConfig, tiles: &[WorkTile]) -> Schedule {
     let ports = n + hw.total_vvpus() + 4;
     let arbitration_cycles = crossbar::arbitration_cycles(&requests, ports);
 
-    Schedule { assignment, tokens_per_rmpu: load, arbitration_cycles }
+    Schedule {
+        assignment,
+        tokens_per_rmpu: load,
+        arbitration_cycles,
+    }
 }
 
 /// Splits `total_tokens` of uniform work into scheduler tiles sized to the
 /// token scratchpad half (the natural dispatch granularity).
-pub fn tiles_for(hw: &HwConfig, total_tokens: usize, token_bytes: usize, lanes: usize) -> Vec<WorkTile> {
+pub fn tiles_for(
+    hw: &HwConfig,
+    total_tokens: usize,
+    token_bytes: usize,
+    lanes: usize,
+) -> Vec<WorkTile> {
     let per_tile = (hw.token_scratchpad_bytes / 2 / token_bytes.max(1)).max(1);
     let mut tiles = Vec::new();
     let mut remaining = total_tokens;
     while remaining > 0 {
         let t = remaining.min(per_tile);
-        tiles.push(WorkTile { tokens: t, lanes_per_token: lanes });
+        tiles.push(WorkTile {
+            tokens: t,
+            lanes_per_token: lanes,
+        });
         remaining -= t;
     }
     tiles
@@ -103,8 +115,14 @@ mod tests {
     fn lpt_handles_skewed_tiles() {
         let hw = HwConfig::paper().with_rmpus(4);
         // One huge tile plus many small ones: the huge one must go alone.
-        let mut tiles = vec![WorkTile { tokens: 10_000, lanes_per_token: 5 }];
-        tiles.extend((0..30).map(|_| WorkTile { tokens: 1_000, lanes_per_token: 5 }));
+        let mut tiles = vec![WorkTile {
+            tokens: 10_000,
+            lanes_per_token: 5,
+        }];
+        tiles.extend((0..30).map(|_| WorkTile {
+            tokens: 1_000,
+            lanes_per_token: 5,
+        }));
         let s = schedule(&hw, &tiles);
         // 40k total over 4 RMPUs = 10k mean; LPT keeps max at ~10-11k.
         assert!(s.imbalance() < 1.15, "imbalance {}", s.imbalance());

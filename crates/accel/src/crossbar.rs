@@ -48,7 +48,10 @@ pub fn apply_route<T: Copy + Default>(input: &[T], route: &Route) -> Vec<T> {
     let mut out = vec![T::default(); input.len()];
     let mut seen = vec![false; input.len()];
     for (i, &port) in route.iter().enumerate() {
-        assert!(!seen[port], "route is not a permutation: port {port} reused");
+        assert!(
+            !seen[port],
+            "route is not a permutation: port {port} reused"
+        );
         seen[port] = true;
         out[port] = input[i];
     }
@@ -110,8 +113,15 @@ mod tests {
         // channel order, outliers in index order (Fig. 7).
         use ln_quant::scheme::QuantScheme;
         use ln_quant::token::quantize_token;
-        let values: Vec<f32> =
-            (0..32).map(|i| if i == 5 || i == 20 { 100.0 + i as f32 } else { i as f32 * 0.1 }).collect();
+        let values: Vec<f32> = (0..32)
+            .map(|i| {
+                if i == 5 || i == 20 {
+                    100.0 + i as f32
+                } else {
+                    i as f32 * 0.1
+                }
+            })
+            .collect();
         let q = quantize_token(&values, QuantScheme::int8_with_outliers(2));
         let outliers: Vec<usize> = q.outlier_indices().iter().map(|&i| i as usize).collect();
         let route = quantization_route(32, &outliers);
@@ -121,7 +131,10 @@ mod tests {
         assert_eq!(packed[31], values[20]);
         // The head holds inliers in channel order.
         assert_eq!(packed[0], values[0]);
-        assert_eq!(packed[5], values[6], "channel 5 is an outlier, so channel 6 shifts up");
+        assert_eq!(
+            packed[5], values[6],
+            "channel 5 is an outlier, so channel 6 shifts up"
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ impl HbmModel {
                     .ceil()
             }
             AccessPattern::Strided { stride } => {
-                let bursts_per_row = (self.row_bytes / stride.max(self.bytes_per_burst))
-                    .max(1) as f64;
+                let bursts_per_row =
+                    (self.row_bytes / stride.max(self.bytes_per_burst)).max(1) as f64;
                 (bursts_per_channel as f64 / bursts_per_row).ceil()
             }
             AccessPattern::Random => bursts_per_channel as f64,

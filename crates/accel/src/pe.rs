@@ -53,7 +53,9 @@ pub fn units_per_act_act_dot(a: QuantScheme, b: QuantScheme, channels: usize) ->
 /// PE lanes required for one token dot product (ceil of units over the
 /// per-lane capacity).
 pub fn lanes_per_token_dot(hw: &HwConfig, scheme: QuantScheme, channels: usize) -> usize {
-    units_per_token_dot(scheme, channels).div_ceil(hw.four_bit_units_per_lane()).max(1)
+    units_per_token_dot(scheme, channels)
+        .div_ceil(hw.four_bit_units_per_lane())
+        .max(1)
 }
 
 /// Tokens processed per cycle by one PE Cluster under DAL constraints: the
@@ -142,10 +144,16 @@ mod tests {
         // lanes; an INT8 token needs 8 lanes (the "sums of 8 or 16 PE Lane
         // results" outputs in §5.2).
         let hw = HwConfig::paper();
-        let s16 = QuantScheme { inlier_bits: Bits::Int16, outliers: 0 };
+        let s16 = QuantScheme {
+            inlier_bits: Bits::Int16,
+            outliers: 0,
+        };
         assert_eq!(units_per_token_dot(s16, 128), 2048);
         assert_eq!(lanes_per_token_dot(&hw, s16, 128), 16);
-        let s8 = QuantScheme { inlier_bits: Bits::Int8, outliers: 0 };
+        let s8 = QuantScheme {
+            inlier_bits: Bits::Int8,
+            outliers: 0,
+        };
         assert_eq!(lanes_per_token_dot(&hw, s8, 128), 8);
     }
 

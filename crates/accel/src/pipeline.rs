@@ -167,7 +167,12 @@ impl Accelerator {
     /// scheme set.
     pub fn with_model(hw: HwConfig, model: PpmConfig, aaq: AaqConfig) -> Self {
         let hbm = HbmModel::new(&hw);
-        Accelerator { hbm, cost: CostModel::new(model), aaq, hw }
+        Accelerator {
+            hbm,
+            cost: CostModel::new(model),
+            aaq,
+            hw,
+        }
     }
 
     /// The hardware configuration.
@@ -231,10 +236,15 @@ impl Accelerator {
     /// Summarises a whole workload (e.g. a dataset's length list), the way
     /// the paper aggregates per-dataset results in Fig. 14/15.
     pub fn workload_summary(&self, lengths: &[usize]) -> WorkloadSummary {
-        let mut seconds: Vec<f64> = lengths.iter().map(|&ns| self.simulate(ns).total_seconds()).collect();
+        let mut seconds: Vec<f64> = lengths
+            .iter()
+            .map(|&ns| self.simulate(ns).total_seconds())
+            .collect();
         let total_energy: f64 = lengths.iter().map(|&ns| self.energy_joules(ns)).sum();
-        let max_peak =
-            lengths.iter().map(|&ns| self.peak_memory_bytes(ns)).fold(0.0f64, f64::max);
+        let max_peak = lengths
+            .iter()
+            .map(|&ns| self.peak_memory_bytes(ns))
+            .fold(0.0f64, f64::max);
         let oom = lengths.iter().filter(|&&ns| !self.fits_memory(ns)).count();
         seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let n = seconds.len().max(1);
@@ -288,7 +298,9 @@ impl Accelerator {
                     )
                     + vvpu::batch_cycles(
                         &self.hw,
-                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        VectorOp::Quantize {
+                            scheme: self.aaq.group_a,
+                        },
                         hz,
                         tokens,
                     )
@@ -306,8 +318,7 @@ impl Accelerator {
                 // Scores q·k and probs·v: 2 × ns³ dots of head_dim /
                 // context products, both on quantized activations.
                 let score_dots = heads * (ns as u64) * (ns as u64) * (ns as u64);
-                let scores =
-                    act_act_cycles(c_scheme, c_scheme, 2 * score_dots, cfg.pair_head_dim);
+                let scores = act_act_cycles(c_scheme, c_scheme, 2 * score_dots, cfg.pair_head_dim);
                 let softmax_rows = heads * (ns as u64) * (ns as u64);
                 let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
                     + vvpu::batch_cycles(&self.hw, VectorOp::Softmax, ns, softmax_rows)
@@ -319,7 +330,9 @@ impl Accelerator {
                     )
                     + vvpu::batch_cycles(
                         &self.hw,
-                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        VectorOp::Quantize {
+                            scheme: self.aaq.group_a,
+                        },
                         hz,
                         tokens,
                     )
@@ -338,7 +351,9 @@ impl Accelerator {
                 let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
                     + vvpu::batch_cycles(
                         &self.hw,
-                        VectorOp::Quantize { scheme: self.aaq.group_a },
+                        VectorOp::Quantize {
+                            scheme: self.aaq.group_a,
+                        },
                         hz,
                         tokens,
                     )
@@ -351,7 +366,10 @@ impl Accelerator {
                 // Sequence track: unquantized INT16 on the VVPU-heavy path;
                 // multiple VVPUs gang via the GCN (§5).
                 let macs = self.cost.stage_macs(stage, ns);
-                let s16 = QuantScheme { inlier_bits: ln_quant::scheme::Bits::Int16, outliers: 0 };
+                let s16 = QuantScheme {
+                    inlier_bits: ln_quant::scheme::Bits::Int16,
+                    outliers: 0,
+                };
                 let units = macs * 16.0;
                 let r = (units / (units_cap * 0.9)).ceil() as u64;
                 let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, cfg.hm, 2 * ns as u64);
@@ -367,8 +385,16 @@ impl Accelerator {
             Stage::InputEmbedding | Stage::StructureModule => (0, 0, 0),
         };
 
-        let hbm_cycles = self.hbm.transfer_cycles(hbm_bytes, AccessPattern::Sequential);
-        StageLatency { stage, rmpu_cycles, vvpu_cycles, hbm_cycles, hbm_bytes }
+        let hbm_cycles = self
+            .hbm
+            .transfer_cycles(hbm_bytes, AccessPattern::Sequential);
+        StageLatency {
+            stage,
+            rmpu_cycles,
+            vvpu_cycles,
+            hbm_cycles,
+            hbm_bytes,
+        }
     }
 }
 
@@ -416,7 +442,9 @@ mod tests {
         let a = accel();
         let ns = 3364;
         let ours = a.peak_memory_bytes(ns);
-        let vanilla = a.cost().peak_activation_bytes(ns, ln_ppm::cost::ExecMode::Vanilla);
+        let vanilla = a
+            .cost()
+            .peak_activation_bytes(ns, ln_ppm::cost::ExecMode::Vanilla);
         assert!(vanilla / ours > 20.0, "ratio {}", vanilla / ours);
     }
 
@@ -432,7 +460,9 @@ mod tests {
     #[test]
     fn more_rmpus_reduce_latency_until_memory_bound() {
         let t = |n: usize| {
-            Accelerator::new(HwConfig::paper().with_rmpus(n)).simulate(512).total_seconds()
+            Accelerator::new(HwConfig::paper().with_rmpus(n))
+                .simulate(512)
+                .total_seconds()
         };
         let t1 = t(1);
         let t2 = t(2);
@@ -469,7 +499,10 @@ mod tests {
         let a = accel();
         for s in &a.simulate(512).per_block_stages {
             let max = s.rmpu_cycles.max(s.vvpu_cycles).max(s.hbm_cycles);
-            assert_eq!(s.cycles(), (max as f64 * ARBITRATION_FACTOR) as u64 + FILL_DRAIN_CYCLES);
+            assert_eq!(
+                s.cycles(),
+                (max as f64 * ARBITRATION_FACTOR) as u64 + FILL_DRAIN_CYCLES
+            );
             assert!(!s.bound_by().is_empty());
         }
     }
@@ -503,7 +536,10 @@ mod tests {
         }
         assert!(trace.contains("bound="));
         let critical = r.critical_stage();
-        assert!(r.per_block_stages.iter().all(|s| s.cycles() <= critical.cycles()));
+        assert!(r
+            .per_block_stages
+            .iter()
+            .all(|s| s.cycles() <= critical.cycles()));
     }
 
     #[test]
@@ -513,8 +549,7 @@ mod tests {
             group_b: QuantScheme::int4_with_outliers(0),
             group_c: QuantScheme::int4_with_outliers(0),
         };
-        let a_cheap =
-            Accelerator::with_model(HwConfig::paper(), PpmConfig::paper_scale(), cheap);
+        let a_cheap = Accelerator::with_model(HwConfig::paper(), PpmConfig::paper_scale(), cheap);
         let a_paper = accel();
         assert!(
             a_cheap.simulate(1024).total_hbm_bytes() < a_paper.simulate(1024).total_hbm_bytes()

@@ -23,24 +23,57 @@ impl AreaPower {
     }
 
     fn scaled(self, n: f64) -> Self {
-        AreaPower { area_mm2: self.area_mm2 * n, power_mw: self.power_mw * n }
+        AreaPower {
+            area_mm2: self.area_mm2 * n,
+            power_mw: self.power_mw * n,
+        }
     }
 
     fn plus(self, other: AreaPower) -> Self {
-        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_mw: self.power_mw + other.power_mw }
+        AreaPower {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_mw: self.power_mw + other.power_mw,
+        }
     }
 }
 
 // Table 2 per-module constants (28 nm, 1 GHz).
-const TOKEN_ALIGNER: AreaPower = AreaPower { area_mm2: 0.005, power_mw: 5.959 };
-const SCRATCHPADS: AreaPower = AreaPower { area_mm2: 2.023, power_mw: 0.188 };
-const RDA: AreaPower = AreaPower { area_mm2: 0.005, power_mw: 2.844 };
-const RMPU_ENGINE: AreaPower = AreaPower { area_mm2: 1.017, power_mw: 473.903 };
-const RMPU_FIFO: AreaPower = AreaPower { area_mm2: 0.105, power_mw: 112.400 };
-const VVPU_LCN: AreaPower = AreaPower { area_mm2: 0.785, power_mw: 287.989 };
-const VVPU_SIMD_LANES: AreaPower = AreaPower { area_mm2: 0.115, power_mw: 21.094 };
-const VVPU_SSU: AreaPower = AreaPower { area_mm2: 0.001, power_mw: 0.823 };
-const CONTROLLER: AreaPower = AreaPower { area_mm2: 0.141, power_mw: 147.775 };
+const TOKEN_ALIGNER: AreaPower = AreaPower {
+    area_mm2: 0.005,
+    power_mw: 5.959,
+};
+const SCRATCHPADS: AreaPower = AreaPower {
+    area_mm2: 2.023,
+    power_mw: 0.188,
+};
+const RDA: AreaPower = AreaPower {
+    area_mm2: 0.005,
+    power_mw: 2.844,
+};
+const RMPU_ENGINE: AreaPower = AreaPower {
+    area_mm2: 1.017,
+    power_mw: 473.903,
+};
+const RMPU_FIFO: AreaPower = AreaPower {
+    area_mm2: 0.105,
+    power_mw: 112.400,
+};
+const VVPU_LCN: AreaPower = AreaPower {
+    area_mm2: 0.785,
+    power_mw: 287.989,
+};
+const VVPU_SIMD_LANES: AreaPower = AreaPower {
+    area_mm2: 0.115,
+    power_mw: 21.094,
+};
+const VVPU_SSU: AreaPower = AreaPower {
+    area_mm2: 0.001,
+    power_mw: 0.823,
+};
+const CONTROLLER: AreaPower = AreaPower {
+    area_mm2: 0.141,
+    power_mw: 147.775,
+};
 
 /// Global crossbar constants calibrated so the paper configuration
 /// (32 RMPU + 128 VVPU + 4 scratchpad ports = 164 ports) reproduces
@@ -115,11 +148,17 @@ pub struct GpuEnvelope {
 }
 
 /// NVIDIA A100 80GB PCIe.
-pub const A100_ENVELOPE: GpuEnvelope =
-    GpuEnvelope { name: "A100", area_mm2: 826.0, power_w: 300.0 };
+pub const A100_ENVELOPE: GpuEnvelope = GpuEnvelope {
+    name: "A100",
+    area_mm2: 826.0,
+    power_w: 300.0,
+};
 /// NVIDIA H100 80GB PCIe.
-pub const H100_ENVELOPE: GpuEnvelope =
-    GpuEnvelope { name: "H100", area_mm2: 814.0, power_w: 350.0 };
+pub const H100_ENVELOPE: GpuEnvelope = GpuEnvelope {
+    name: "H100",
+    area_mm2: 814.0,
+    power_w: 350.0,
+};
 
 #[cfg(test)]
 mod tests {
@@ -136,8 +175,16 @@ mod tests {
         assert!((r.one_vvpu.area_mm2 - 0.902).abs() < 0.02);
         assert!((r.one_vvpu.power_mw - 309.907).abs() < 1.0);
         // Totals: 178.802 mm², 67 804.55 mW.
-        assert!((r.total.area_mm2 - 178.802).abs() < 2.0, "area {}", r.total.area_mm2);
-        assert!((r.total.power_mw - 67_804.55).abs() < 700.0, "power {}", r.total.power_mw);
+        assert!(
+            (r.total.area_mm2 - 178.802).abs() < 2.0,
+            "area {}",
+            r.total.area_mm2
+        );
+        assert!(
+            (r.total.power_mw - 67_804.55).abs() < 700.0,
+            "power {}",
+            r.total.power_mw
+        );
     }
 
     #[test]
@@ -148,8 +195,14 @@ mod tests {
         let xbar_power = r.gcn.power_mw + VVPU_LCN.power_mw * 128.0;
         let area_share = xbar_area / r.total.area_mm2;
         let power_share = xbar_power / r.total.power_mw;
-        assert!((area_share - 0.7028).abs() < 0.02, "area share {area_share}");
-        assert!((power_share - 0.6795).abs() < 0.02, "power share {power_share}");
+        assert!(
+            (area_share - 0.7028).abs() < 0.02,
+            "area share {area_share}"
+        );
+        assert!(
+            (power_share - 0.6795).abs() < 0.02,
+            "power share {power_share}"
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub fn chunked_multiply(a: i16, na: usize, b: i16, nb: usize) -> i64 {
     let mut acc: i64 = 0;
     for (i, &x) in ca.iter().enumerate() {
         for (j, &y) in cb.iter().enumerate() {
-            acc += (x as i64) * (y as i64) << (4 * (i + j));
+            acc += ((x as i64) * (y as i64)) << (4 * (i + j));
         }
     }
     acc
@@ -62,6 +62,7 @@ pub fn chunked_multiply(a: i16, na: usize, b: i16, nb: usize) -> i64 {
 /// configuration).
 ///
 /// Returns the same value as dequantize-then-dot, up to f32 rounding.
+#[allow(clippy::too_many_arguments)] // mirrors the DAL's five-lane operand set
 pub fn dequantization_free_dot(
     inlier_levels: &[i16],
     inlier_scale: f32,
@@ -144,6 +145,9 @@ mod tests {
         for (&q, &w) in outliers.iter().zip(&w_out) {
             slow += (q as f32 * so) * (w as f32 * sw);
         }
-        assert!((fast - slow).abs() < slow.abs() * 1e-5 + 1e-5, "{fast} vs {slow}");
+        assert!(
+            (fast - slow).abs() < slow.abs() * 1e-5 + 1e-5,
+            "{fast} vs {slow}"
+        );
     }
 }

@@ -59,7 +59,10 @@ impl DoubleBuffer {
     /// Panics if the draining half still holds lines — a pipeline
     /// scheduling bug.
     pub fn swap(&mut self) {
-        assert!(self.draining.is_empty(), "swap before the drain half was consumed");
+        assert!(
+            self.draining.is_empty(),
+            "swap before the drain half was consumed"
+        );
         std::mem::swap(&mut self.filling, &mut self.draining);
         self.drain_used = self.fill_used;
         self.fill_used = 0;
@@ -137,6 +140,6 @@ mod tests {
         assert!(weight_tile_columns(&hw, 128, 2) >= 128);
         // The 512-wide transition layer needs column tiling.
         let cols = weight_tile_columns(&hw, 512, 2);
-        assert!(cols >= 64 && cols < 512, "{cols}");
+        assert!((64..512).contains(&cols), "{cols}");
     }
 }

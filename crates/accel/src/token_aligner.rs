@@ -34,7 +34,9 @@ pub struct TokenAligner {
 impl TokenAligner {
     /// Builds the aligner matched to the configuration's HBM bandwidth.
     pub fn new(hw: &HwConfig) -> Self {
-        TokenAligner { bytes_per_cycle: hw.hbm_bytes_per_cycle() as usize }
+        TokenAligner {
+            bytes_per_cycle: hw.hbm_bytes_per_cycle() as usize,
+        }
     }
 
     /// Decode throughput in bytes per cycle.
@@ -73,8 +75,9 @@ mod tests {
     fn block(n: usize, scheme: QuantScheme) -> TokenBlock {
         let tokens: Vec<_> = (0..n)
             .map(|t| {
-                let values: Vec<f32> =
-                    (0..128).map(|c| ((t * 31 + c * 7) % 53) as f32 * 0.3 - 7.0).collect();
+                let values: Vec<f32> = (0..128)
+                    .map(|c| ((t * 31 + c * 7) % 53) as f32 * 0.3 - 7.0)
+                    .collect();
                 quantize_token(&values, scheme)
             })
             .collect();

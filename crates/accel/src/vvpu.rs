@@ -88,10 +88,20 @@ mod tests {
     #[test]
     fn quantize_cost_includes_sorting_network() {
         let hw = HwConfig::paper();
-        let with_outliers =
-            op_cycles(&hw, VectorOp::Quantize { scheme: QuantScheme::int8_with_outliers(4) }, 128);
-        let without =
-            op_cycles(&hw, VectorOp::Quantize { scheme: QuantScheme::int8_with_outliers(0) }, 128);
+        let with_outliers = op_cycles(
+            &hw,
+            VectorOp::Quantize {
+                scheme: QuantScheme::int8_with_outliers(4),
+            },
+            128,
+        );
+        let without = op_cycles(
+            &hw,
+            VectorOp::Quantize {
+                scheme: QuantScheme::int8_with_outliers(0),
+            },
+            128,
+        );
         assert!(with_outliers > without);
         // The 128-wide bitonic network is 28 stages.
         assert_eq!(with_outliers - without, 28 - 7);
@@ -124,7 +134,9 @@ mod tests {
 
     #[test]
     fn hardware_quantize_matches_software() {
-        let values: Vec<f32> = (0..128).map(|i| ((i * 71 % 113) as f32 - 56.0) * 0.3).collect();
+        let values: Vec<f32> = (0..128)
+            .map(|i| ((i * 71 % 113) as f32 - 56.0) * 0.3)
+            .collect();
         for scheme in [
             QuantScheme::int4_with_outliers(4),
             QuantScheme::int8_with_outliers(4),

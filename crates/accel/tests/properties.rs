@@ -1,3 +1,7 @@
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the accelerator models.
 
 use ln_accel::bitonic::{bitonic_sort_desc_by, top_k_abs};
@@ -10,8 +14,14 @@ use ln_quant::scheme::{Bits, QuantScheme};
 use proptest::prelude::*;
 
 fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
-    (prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)], 0usize..16)
-        .prop_map(|(bits, outliers)| QuantScheme { inlier_bits: bits, outliers })
+    (
+        prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)],
+        0usize..16,
+    )
+        .prop_map(|(bits, outliers)| QuantScheme {
+            inlier_bits: bits,
+            outliers,
+        })
 }
 
 proptest! {
@@ -165,8 +175,14 @@ proptest! {
 fn skewed_tiles_do_not_break_the_scheduler() {
     let hw = HwConfig::paper().with_rmpus(3);
     let tiles = vec![
-        WorkTile { tokens: 1, lanes_per_token: 16 },
-        WorkTile { tokens: 1_000_000, lanes_per_token: 4 },
+        WorkTile {
+            tokens: 1,
+            lanes_per_token: 16,
+        },
+        WorkTile {
+            tokens: 1_000_000,
+            lanes_per_token: 4,
+        },
     ];
     let s = schedule(&hw, &tiles);
     assert_eq!(s.tokens_per_rmpu.iter().sum::<usize>(), 1_000_001);

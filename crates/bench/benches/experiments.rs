@@ -34,7 +34,11 @@ fn fig14_hw_performance(c: &mut Criterion) {
     let p = PerfComparison::paper();
     c.bench_function("fig14_speedup_row", |b| {
         b.iter(|| {
-            p.mean_speedup(black_box(&[400usize, 800, 1200]), &H100, ExecOptions::chunk4())
+            p.mean_speedup(
+                black_box(&[400usize, 800, 1200]),
+                &H100,
+                ExecOptions::chunk4(),
+            )
         })
     });
 }
@@ -52,7 +56,9 @@ fn fig15_peak_memory(c: &mut Criterion) {
             acc
         })
     });
-    c.bench_function("fig15_max_supported_length", |b| b.iter(|| p.max_supported_length()));
+    c.bench_function("fig15_max_supported_length", |b| {
+        b.iter(|| p.max_supported_length())
+    });
 }
 
 fn fig16_compute_footprint(c: &mut Criterion) {
@@ -70,14 +76,18 @@ fn fig16_compute_footprint(c: &mut Criterion) {
 fn tab01_footprints(c: &mut Criterion) {
     use lightnobel::footprint::FootprintModel;
     let m = FootprintModel::paper();
-    c.bench_function("tab01_scheme_table", |b| b.iter(|| m.table(black_box(3364))));
+    c.bench_function("tab01_scheme_table", |b| {
+        b.iter(|| m.table(black_box(3364)))
+    });
 }
 
 fn tab02_area_power(c: &mut Criterion) {
     use ln_accel::power::area_power;
     use ln_accel::HwConfig;
     let hw = HwConfig::paper();
-    c.bench_function("tab02_area_power", |b| b.iter(|| area_power(black_box(&hw))));
+    c.bench_function("tab02_area_power", |b| {
+        b.iter(|| area_power(black_box(&hw)))
+    });
 }
 
 criterion_group!(

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn token_values(n: usize) -> Vec<f32> {
-    (0..n).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.21).collect()
+    (0..n)
+        .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.21)
+        .collect()
 }
 
 fn bench_quantizer(c: &mut Criterion) {
@@ -33,7 +35,9 @@ fn bench_codec(c: &mut Criterion) {
     let scheme = QuantScheme::int4_with_outliers(4);
     let q = quantize_token(&token_values(128), scheme);
     let bytes = encode_token(&q);
-    c.bench_function("encode_token_int4_4o", |b| b.iter(|| encode_token(black_box(&q))));
+    c.bench_function("encode_token_int4_4o", |b| {
+        b.iter(|| encode_token(black_box(&q)))
+    });
     c.bench_function("decode_token_int4_4o", |b| {
         b.iter(|| decode_token(black_box(&bytes), scheme, 128).expect("valid"))
     });

@@ -22,10 +22,11 @@ fn main() {
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(96);
-    let seq: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
     let model = FoldingModel::new(PpmConfig::standard());
     let out = model.predict(&seq, &native).expect("workload folds");
     let tokens = out.pair_rep.to_token_matrix();
@@ -34,10 +35,22 @@ fn main() {
     let sym_out = quantization_rmse(&tokens, QuantScheme::int8_with_outliers(4));
     let rows = [
         ("symmetric INT8 + 4 outliers (AAQ)", sym_out),
-        ("symmetric INT8, no outliers", quantization_rmse(&tokens, QuantScheme::int8_with_outliers(0))),
-        ("asymmetric INT8 (affine)", asymmetric_rmse(&tokens, Bits::Int8)),
-        ("symmetric INT4 + 4 outliers", quantization_rmse(&tokens, QuantScheme::int4_with_outliers(4))),
-        ("asymmetric INT4 (affine)", asymmetric_rmse(&tokens, Bits::Int4)),
+        (
+            "symmetric INT8, no outliers",
+            quantization_rmse(&tokens, QuantScheme::int8_with_outliers(0)),
+        ),
+        (
+            "asymmetric INT8 (affine)",
+            asymmetric_rmse(&tokens, Bits::Int8),
+        ),
+        (
+            "symmetric INT4 + 4 outliers",
+            quantization_rmse(&tokens, QuantScheme::int4_with_outliers(4)),
+        ),
+        (
+            "asymmetric INT4 (affine)",
+            asymmetric_rmse(&tokens, Bits::Int4),
+        ),
     ];
     for (name, rmse) in rows {
         table.add_row([

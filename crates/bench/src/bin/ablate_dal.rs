@@ -45,7 +45,13 @@ fn main() {
         ("INT4+0 (Group C)", QuantScheme::int4_with_outliers(0)),
         ("INT4+4 (Group B)", QuantScheme::int4_with_outliers(4)),
         ("INT8+4 (Group A)", QuantScheme::int8_with_outliers(4)),
-        ("INT16 (unquantized)", QuantScheme { inlier_bits: Bits::Int16, outliers: 0 }),
+        (
+            "INT16 (unquantized)",
+            QuantScheme {
+                inlier_bits: Bits::Int16,
+                outliers: 0,
+            },
+        ),
     ] {
         let units = pe::units_per_token_dot(scheme, 128);
         let lanes = pe::lanes_per_token_dot(&hw, scheme, 128);

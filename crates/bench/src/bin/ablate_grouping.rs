@@ -27,7 +27,11 @@ fn channel_wise_rmse(x: &Tensor2, levels: f32) -> f64 {
     let mut err = 0.0f64;
     for i in 0..x.rows() {
         for (j, &v) in x.row(i).iter().enumerate() {
-            let s = if channel_max[j] > 0.0 { channel_max[j] / levels } else { 1.0 };
+            let s = if channel_max[j] > 0.0 {
+                channel_max[j] / levels
+            } else {
+                1.0
+            };
             let q = (v / s).round().clamp(-levels, levels) * s;
             err += ((v - q) as f64).powi(2);
         }
@@ -56,10 +60,11 @@ fn main() {
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(96);
-    let seq: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
     let model = FoldingModel::new(PpmConfig::standard());
     let out = model.predict(&seq, &native).expect("workload folds");
     let tokens = out.pair_rep.to_token_matrix();
@@ -80,8 +85,14 @@ fn main() {
     let mut table = Table::new(["granularity", "INT8 RMSE", "INT8+4o RMSE"]);
     table.add_row([
         "token-wise (AAQ)".to_owned(),
-        format!("{:.5}", quantization_rmse(&tokens, QuantScheme::int8_with_outliers(0))),
-        format!("{:.5}", quantization_rmse(&tokens, QuantScheme::int8_with_outliers(4))),
+        format!(
+            "{:.5}",
+            quantization_rmse(&tokens, QuantScheme::int8_with_outliers(0))
+        ),
+        format!(
+            "{:.5}",
+            quantization_rmse(&tokens, QuantScheme::int8_with_outliers(4))
+        ),
     ]);
     table.add_row([
         "channel-wise".to_owned(),

@@ -30,7 +30,10 @@ const EXPERIMENTS: [&str; 19] = [
 
 fn main() {
     let exe = std::env::current_exe().expect("current exe path");
-    let bin_dir = exe.parent().expect("exe has a parent directory").to_path_buf();
+    let bin_dir = exe
+        .parent()
+        .expect("exe has a parent directory")
+        .to_path_buf();
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
         let path = bin_dir.join(name);

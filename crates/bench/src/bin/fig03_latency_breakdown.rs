@@ -46,7 +46,5 @@ fn main() {
         ]);
     }
     show(&table);
-    println!(
-        "shape check: pair-dataflow share grows with length; triangular attention surges."
-    );
+    println!("shape check: pair-dataflow share grows with length; triangular attention surges.");
 }

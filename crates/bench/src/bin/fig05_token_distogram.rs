@@ -19,14 +19,17 @@ fn main() {
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(96);
-    let seq: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
 
     let model = FoldingModel::new(PpmConfig::standard());
     let mut hook = RecordingHook::new();
-    model.predict_with_hook(&seq, &native, &mut hook).expect("workload is valid");
+    model
+        .predict_with_hook(&seq, &native, &mut hook)
+        .expect("workload is valid");
 
     // First Group-A tap: the residual stream the paper plots.
     let rec = hook

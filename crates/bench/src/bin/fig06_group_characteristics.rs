@@ -18,15 +18,24 @@ fn main() {
     let mut hook = RecordingHook::new();
     for record in reg.dataset(Dataset::Cameo).records().iter().take(3) {
         let len = record.length().min(80);
-        let seq: ln_protein::Sequence =
-            record.sequence().residues()[..len].iter().copied().collect();
+        let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+            .iter()
+            .copied()
+            .collect();
         let native =
             ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
-        model.predict_with_hook(&seq, &native, &mut hook).expect("workload is valid");
+        model
+            .predict_with_hook(&seq, &native, &mut hook)
+            .expect("workload is valid");
     }
 
-    let mut table =
-        Table::new(["group", "taps", "mean |x|", "max |x|", "mean outliers/token"]);
+    let mut table = Table::new([
+        "group",
+        "taps",
+        "mean |x|",
+        "max |x|",
+        "mean outliers/token",
+    ]);
     for group in [ActivationGroup::A, ActivationGroup::B, ActivationGroup::C] {
         let recs: Vec<_> = hook
             .records()

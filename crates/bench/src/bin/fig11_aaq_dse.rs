@@ -27,8 +27,13 @@ fn main() {
     for group in [Group::A, Group::B, Group::C] {
         println!("\n-- Group {group:?} sweep (other groups fixed at the paper optimum) --");
         let points = dse::sweep_group(&eval, &records, group, 128).expect("sweep runs");
-        let mut table =
-            Table::new(["scheme", "token bytes", "TM vs baseline", "rel RMSE", "efficiency"]);
+        let mut table = Table::new([
+            "scheme",
+            "token bytes",
+            "TM vs baseline",
+            "rel RMSE",
+            "efficiency",
+        ]);
         let mut best: Option<&dse::AaqDsePoint> = None;
         for p in &points {
             table.add_row([
@@ -38,7 +43,7 @@ fn main() {
                 format!("{:.4}", p.relative_rmse),
                 format!("{:.3}", p.efficiency),
             ]);
-            if best.map_or(true, |b| p.efficiency > b.efficiency) {
+            if best.is_none_or(|b| p.efficiency > b.efficiency) {
                 best = Some(p);
             }
         }

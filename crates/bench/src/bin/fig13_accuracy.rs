@@ -31,7 +31,9 @@ fn main() {
         for &ds in &datasets {
             let records: Vec<&ln_datasets::ProteinRecord> =
                 reg.dataset(ds).records().iter().take(2).collect();
-            let r = eval.evaluate_mean(&scheme, &records).expect("evaluation runs");
+            let r = eval
+                .evaluate_mean(&scheme, &records)
+                .expect("evaluation runs");
             table.add_row([
                 scheme.name(),
                 ds.name().to_owned(),

@@ -41,8 +41,13 @@ fn main() {
     ln_fold /= n;
     ln_e2e /= n;
 
-    let mut table =
-        Table::new(["system", "end-to-end", "folding block", "LN e2e speedup", "LN folding speedup"]);
+    let mut table = Table::new([
+        "system",
+        "end-to-end",
+        "folding block",
+        "LN e2e speedup",
+        "LN folding speedup",
+    ]);
     for sys in ALL_SYSTEMS {
         let mut e2e = 0.0;
         let mut fold = 0.0;

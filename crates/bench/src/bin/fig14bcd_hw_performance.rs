@@ -34,10 +34,20 @@ fn main() {
     let vanilla_limit = 1410; // longest single-GPU protein (T1269)
 
     println!("\n-- (b) all proteins (chunk lets the GPU run everything it can) --");
-    let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk", "A100 vanilla*", "H100 vanilla*"]);
+    let mut table = Table::new([
+        "dataset",
+        "A100 chunk",
+        "H100 chunk",
+        "A100 vanilla*",
+        "H100 vanilla*",
+    ]);
     for d in ALL_DATASETS {
-        let lengths: Vec<usize> =
-            reg.dataset(d).records().iter().map(|r| r.length()).collect();
+        let lengths: Vec<usize> = reg
+            .dataset(d)
+            .records()
+            .iter()
+            .map(|r| r.length())
+            .collect();
         table.add_row([
             d.name().to_owned(),
             speedup_row(&perf, &A100, &lengths, ExecOptions::chunk4()),
@@ -50,11 +60,21 @@ fn main() {
     println!("(* vanilla means exclude OOM proteins implicitly)");
 
     println!("\n-- (c) proteins that fit the GPU without chunking (<= {vanilla_limit}) --");
-    let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk", "A100 vanilla", "H100 vanilla"]);
+    let mut table = Table::new([
+        "dataset",
+        "A100 chunk",
+        "H100 chunk",
+        "A100 vanilla",
+        "H100 vanilla",
+    ]);
     for d in ALL_DATASETS.iter().skip(1) {
         // CAMEO excluded: it is fully processable without the chunk option.
-        let lengths: Vec<usize> =
-            reg.dataset(*d).with_max_length(vanilla_limit).iter().map(|r| r.length()).collect();
+        let lengths: Vec<usize> = reg
+            .dataset(*d)
+            .with_max_length(vanilla_limit)
+            .iter()
+            .map(|r| r.length())
+            .collect();
         table.add_row([
             d.name().to_owned(),
             speedup_row(&perf, &A100, &lengths, ExecOptions::chunk4()),
@@ -68,8 +88,12 @@ fn main() {
     println!("\n-- (d) proteins that require the chunk option (> {vanilla_limit}) --");
     let mut table = Table::new(["dataset", "A100 chunk", "H100 chunk"]);
     for d in ALL_DATASETS.iter().skip(1) {
-        let lengths: Vec<usize> =
-            reg.dataset(*d).with_min_length(vanilla_limit).iter().map(|r| r.length()).collect();
+        let lengths: Vec<usize> = reg
+            .dataset(*d)
+            .with_min_length(vanilla_limit)
+            .iter()
+            .map(|r| r.length())
+            .collect();
         if lengths.is_empty() {
             continue;
         }

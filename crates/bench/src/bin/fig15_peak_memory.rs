@@ -59,9 +59,17 @@ fn main() {
             fmt_gb(chunk),
             fmt_gb(ln),
             fmt_ratio(vanilla / ln),
-            if perf.accel().fits_memory(ns) { "yes" } else { "no" }.to_owned(),
+            if perf.accel().fits_memory(ns) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
         ]);
     }
     show(&table);
-    println!("maximum supported length within 80 GB: {}", perf.max_supported_length());
+    println!(
+        "maximum supported length within 80 GB: {}",
+        perf.max_supported_length()
+    );
 }

@@ -31,7 +31,10 @@ fn main() {
         ]);
     }
     show(&table);
-    println!("mean computational-cost reduction: {}", fmt_pct(mean_compute / lengths.len() as f64));
+    println!(
+        "mean computational-cost reduction: {}",
+        fmt_pct(mean_compute / lengths.len() as f64)
+    );
 
     println!("\n-- (b) activation memory footprint (bytes moved) --");
     let mut table = Table::new(["Ns", "baseline bytes", "LightNobel bytes", "reduction"]);
@@ -48,5 +51,8 @@ fn main() {
         ]);
     }
     show(&table);
-    println!("mean memory-footprint reduction: {}", fmt_pct(mean_mem / lengths.len() as f64));
+    println!(
+        "mean memory-footprint reduction: {}",
+        fmt_pct(mean_mem / lengths.len() as f64)
+    );
 }

@@ -17,15 +17,27 @@ fn main() {
     let r = area_power(&hw);
     let mut table = Table::new(["module", "area (mm2)", "power (mW)"]);
     let row = |t: &mut Table, name: &str, ap: ln_accel::power::AreaPower| {
-        t.add_row([name.to_owned(), format!("{:.3}", ap.area_mm2), format!("{:.3}", ap.power_mw)]);
+        t.add_row([
+            name.to_owned(),
+            format!("{:.3}", ap.area_mm2),
+            format!("{:.3}", ap.power_mw),
+        ]);
     };
     row(&mut table, "Token Aligner", r.token_aligner);
     row(&mut table, "Scratchpads", r.scratchpads);
     row(&mut table, "1 RMPU (RDA + Engine + FIFO)", r.one_rmpu);
-    row(&mut table, &format!("{} RMPUs total", hw.num_rmpus), r.rmpus);
+    row(
+        &mut table,
+        &format!("{} RMPUs total", hw.num_rmpus),
+        r.rmpus,
+    );
     row(&mut table, "Global Crossbar Network", r.gcn);
     row(&mut table, "1 VVPU (LCN + SIMD + SSU)", r.one_vvpu);
-    row(&mut table, &format!("{} VVPUs total", hw.total_vvpus()), r.vvpus);
+    row(
+        &mut table,
+        &format!("{} VVPUs total", hw.total_vvpus()),
+        r.vvpus,
+    );
     row(&mut table, "Controller & Others", r.controller);
     row(&mut table, "LightNobel Accelerator", r.total);
     show(&table);

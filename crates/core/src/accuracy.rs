@@ -85,14 +85,20 @@ impl AccuracyEvaluator {
     /// Full-fidelity evaluator: `Hz = 128` trunk (the dimension AAQ and the
     /// hardware are built around), two folding blocks.
     pub fn standard() -> Self {
-        AccuracyEvaluator { model: FoldingModel::new(PpmConfig::standard()), max_len: 160 }
+        AccuracyEvaluator {
+            model: FoldingModel::new(PpmConfig::standard()),
+            max_len: 160,
+        }
     }
 
     /// Faster evaluator for tests and smoke runs.
     pub fn fast() -> Self {
         let mut cfg = PpmConfig::standard();
         cfg.blocks = 1;
-        AccuracyEvaluator { model: FoldingModel::new(cfg), max_len: 96 }
+        AccuracyEvaluator {
+            model: FoldingModel::new(cfg),
+            max_len: 96,
+        }
     }
 
     /// The folding model in use.
@@ -118,10 +124,12 @@ impl AccuracyEvaluator {
         record: &ProteinRecord,
     ) -> Result<AccuracyResult, PpmError> {
         let len = record.length().min(self.max_len);
-        let seq: ln_protein::Sequence =
-            record.sequence().residues()[..len].iter().copied().collect();
-        let native = ln_protein::generator::StructureGenerator::new(&record.seed_label())
-            .generate(len);
+        let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+            .iter()
+            .copied()
+            .collect();
+        let native =
+            ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
 
         let reference = self.model.predict_with_hook(&seq, &native, &mut NoopHook)?;
         let quantized = match scheme {
@@ -138,7 +146,8 @@ impl AccuracyEvaluator {
                     0.6,
                 );
                 let mut hook = BaselineHook::new(BaselineScheme::MeFold);
-                self.model.predict_with_hook(&seq, &degraded_prior, &mut hook)?
+                self.model
+                    .predict_with_hook(&seq, &degraded_prior, &mut hook)?
             }
             SchemeUnderTest::Baseline(b) => {
                 let mut hook = BaselineHook::new(*b);
@@ -163,7 +172,12 @@ impl AccuracyEvaluator {
             .pair_rep
             .rmse(&reference.pair_rep)
             .expect("same-shape pair representations by construction");
-        Ok(AccuracyResult { tm_vs_native, baseline_tm_vs_native, tm_vs_baseline, pair_rmse })
+        Ok(AccuracyResult {
+            tm_vs_native,
+            baseline_tm_vs_native,
+            tm_vs_baseline,
+            pair_rmse,
+        })
     }
 
     /// Mean accuracy of a scheme over several records. Records are
@@ -221,10 +235,12 @@ impl AccuracyEvaluator {
         use ln_quant::scheme::QuantScheme;
         use ln_quant::token::quantization_rmse;
         let len = record.length().min(self.max_len);
-        let seq: ln_protein::Sequence =
-            record.sequence().residues()[..len].iter().copied().collect();
-        let native = ln_protein::generator::StructureGenerator::new(&record.seed_label())
-            .generate(len);
+        let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+            .iter()
+            .copied()
+            .collect();
+        let native =
+            ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
         let out = self.model.predict(&seq, &native)?;
         let tokens = out.pair_rep.to_token_matrix();
         let with = quantization_rmse(&tokens, QuantScheme::int8_with_outliers(4));
@@ -249,7 +265,10 @@ mod tests {
     use ln_datasets::{Dataset, Registry};
 
     fn record() -> ProteinRecord {
-        Registry::standard().dataset(Dataset::Cameo).shortest().clone()
+        Registry::standard()
+            .dataset(Dataset::Cameo)
+            .shortest()
+            .clone()
     }
 
     #[test]
@@ -266,8 +285,14 @@ mod tests {
         // Fig. 13: AAQ's TM change < 0.001 in the paper; our trunk is
         // shallower, so we assert the same shape with margin.
         let eval = AccuracyEvaluator::fast();
-        let r = eval.evaluate(&SchemeUnderTest::aaq_paper(), &record()).unwrap();
-        assert!(r.tm_vs_baseline > 0.95, "tm vs baseline {}", r.tm_vs_baseline);
+        let r = eval
+            .evaluate(&SchemeUnderTest::aaq_paper(), &record())
+            .unwrap();
+        assert!(
+            r.tm_vs_baseline > 0.95,
+            "tm vs baseline {}",
+            r.tm_vs_baseline
+        );
         assert!(r.tm_delta().abs() < 0.05, "delta {}", r.tm_delta());
         assert!(r.pair_rmse > 0.0);
     }
@@ -276,22 +301,35 @@ mod tests {
     fn aggressive_int4_everywhere_hurts_more_than_aaq() {
         use ln_quant::scheme::{AaqConfig, QuantScheme};
         let eval = AccuracyEvaluator::fast();
-        let aaq = eval.evaluate(&SchemeUnderTest::aaq_paper(), &record()).unwrap();
+        let aaq = eval
+            .evaluate(&SchemeUnderTest::aaq_paper(), &record())
+            .unwrap();
         let crushed = AaqConfig {
             group_a: QuantScheme::int4_with_outliers(0),
             group_b: QuantScheme::int4_with_outliers(0),
             group_c: QuantScheme::int4_with_outliers(0),
         };
-        let bad = eval.evaluate(&SchemeUnderTest::Aaq(crushed), &record()).unwrap();
-        assert!(bad.pair_rmse > aaq.pair_rmse, "{} vs {}", bad.pair_rmse, aaq.pair_rmse);
+        let bad = eval
+            .evaluate(&SchemeUnderTest::Aaq(crushed), &record())
+            .unwrap();
+        assert!(
+            bad.pair_rmse > aaq.pair_rmse,
+            "{} vs {}",
+            bad.pair_rmse,
+            aaq.pair_rmse
+        );
         assert!(bad.tm_vs_baseline <= aaq.tm_vs_baseline + 1e-9);
     }
 
     #[test]
     fn evaluate_mean_averages() {
         let reg = Registry::standard();
-        let recs: Vec<&ProteinRecord> =
-            reg.dataset(Dataset::Cameo).records().iter().take(2).collect();
+        let recs: Vec<&ProteinRecord> = reg
+            .dataset(Dataset::Cameo)
+            .records()
+            .iter()
+            .take(2)
+            .collect();
         let eval = AccuracyEvaluator::fast();
         let r = eval.evaluate_mean(&SchemeUnderTest::Fp32, &recs).unwrap();
         assert!((r.tm_vs_baseline - 1.0).abs() < 1e-9);

@@ -48,7 +48,12 @@ pub fn group_tolerance(group: Group) -> f64 {
 /// depth near-lossless schemes all sit below TM measurement resolution —
 /// the relative quantization RMSE at the swept group's taps, judged
 /// against that group's tolerance ([`group_tolerance`]).
-pub fn efficiency(compression: f64, tm_vs_baseline: f64, relative_rmse: f64, tolerance: f64) -> f64 {
+pub fn efficiency(
+    compression: f64,
+    tm_vs_baseline: f64,
+    relative_rmse: f64,
+    tolerance: f64,
+) -> f64 {
     let tm_loss = (1.0 - tm_vs_baseline).max(0.0);
     let penalty = (tm_loss / 0.002).powi(2) + (relative_rmse / tolerance).powi(2);
     compression / (1.0 + penalty)
@@ -59,7 +64,10 @@ pub fn candidate_schemes() -> Vec<QuantScheme> {
     let mut v = Vec::new();
     for bits in [Bits::Int4, Bits::Int8] {
         for outliers in [0usize, 4, 8, 16, 32] {
-            v.push(QuantScheme { inlier_bits: bits, outliers });
+            v.push(QuantScheme {
+                inlier_bits: bits,
+                outliers,
+            });
         }
     }
     v
@@ -87,10 +95,12 @@ pub fn sweep_group(
         let mut rmse_sum = 0.0;
         for record in records {
             let len = record.length().min(eval.max_len());
-            let seq: ln_protein::Sequence =
-                record.sequence().residues()[..len].iter().copied().collect();
-            let native = ln_protein::generator::StructureGenerator::new(&record.seed_label())
-                .generate(len);
+            let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+                .iter()
+                .copied()
+                .collect();
+            let native =
+                ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
             let reference = eval.model().predict(&seq, &native)?;
             let mut hook = AaqHook::new(cfg);
             let quantized = eval.model().predict_with_hook(&seq, &native, &mut hook)?;
@@ -135,9 +145,14 @@ pub struct HwDsePoint {
 pub fn sweep_vvpus(rmpus: usize, lengths: &[usize]) -> Vec<HwDsePoint> {
     (1..=8)
         .map(|v| {
-            let accel = Accelerator::new(HwConfig::paper().with_rmpus(rmpus).with_vvpus_per_rmpu(v));
+            let accel =
+                Accelerator::new(HwConfig::paper().with_rmpus(rmpus).with_vvpus_per_rmpu(v));
             let seconds = mean_latency(&accel, lengths);
-            HwDsePoint { rmpus, vvpus_per_rmpu: v, seconds }
+            HwDsePoint {
+                rmpus,
+                vvpus_per_rmpu: v,
+                seconds,
+            }
         })
         .collect()
 }
@@ -148,13 +163,20 @@ pub fn sweep_rmpus(lengths: &[usize]) -> Vec<HwDsePoint> {
         .iter()
         .map(|&r| {
             let accel = Accelerator::new(HwConfig::paper().with_rmpus(r));
-            HwDsePoint { rmpus: r, vvpus_per_rmpu: 4, seconds: mean_latency(&accel, lengths) }
+            HwDsePoint {
+                rmpus: r,
+                vvpus_per_rmpu: 4,
+                seconds: mean_latency(&accel, lengths),
+            }
         })
         .collect()
 }
 
 fn mean_latency(accel: &Accelerator, lengths: &[usize]) -> f64 {
-    let total: f64 = lengths.iter().map(|&ns| accel.simulate(ns).total_seconds()).sum();
+    let total: f64 = lengths
+        .iter()
+        .map(|&ns| accel.simulate(ns).total_seconds())
+        .sum();
     total / lengths.len().max(1) as f64
 }
 
@@ -215,8 +237,12 @@ mod tests {
     #[ignore = "numeric DSE sweep; run with --ignored in release mode"]
     fn paper_schemes_win_their_groups() {
         let reg = Registry::standard();
-        let recs: Vec<&ln_datasets::ProteinRecord> =
-            reg.dataset(Dataset::Cameo).records().iter().take(1).collect();
+        let recs: Vec<&ln_datasets::ProteinRecord> = reg
+            .dataset(Dataset::Cameo)
+            .records()
+            .iter()
+            .take(1)
+            .collect();
         let eval = AccuracyEvaluator::fast();
         for (group, best) in [
             (Group::A, QuantScheme::int8_with_outliers(4)),

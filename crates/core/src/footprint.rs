@@ -37,8 +37,7 @@ impl FootprintRow {
 /// From the tap inventory (`ln_ppm::taps::ALL_SITES`) weighted by tensor
 /// widths: 3 Group-A taps (Hz), 4 Group-B taps (Hz/tri-mul width), and the
 /// Group-C projections (128–512 channels each).
-const GROUP_SHARE: [(Group, f64); 3] =
-    [(Group::A, 0.20), (Group::B, 0.27), (Group::C, 0.53)];
+const GROUP_SHARE: [(Group, f64); 3] = [(Group::A, 0.20), (Group::B, 0.27), (Group::C, 0.53)];
 
 /// The Table 1 accounting model.
 #[derive(Debug, Clone)]
@@ -49,7 +48,9 @@ pub struct FootprintModel {
 impl FootprintModel {
     /// Paper-scale model.
     pub fn paper() -> Self {
-        FootprintModel { cost: CostModel::paper() }
+        FootprintModel {
+            cost: CostModel::paper(),
+        }
     }
 
     /// Non-score activation footprint (bytes at FP16) of the pair dataflow:

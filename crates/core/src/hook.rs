@@ -178,7 +178,11 @@ mod tests {
     use ln_ppm::taps::{ActivationSite, Tap};
 
     fn tap(site: ActivationSite) -> Tap {
-        Tap { block: 0, recycle: 0, site }
+        Tap {
+            block: 0,
+            recycle: 0,
+            site,
+        }
     }
 
     fn activation() -> Tensor2 {
@@ -240,7 +244,7 @@ mod tests {
         let orig = activation();
         let mut a = orig.clone();
         hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut a); // group A
-        // Only f16 rounding.
+                                                                           // Only f16 rounding.
         assert!(a.rmse(&orig).unwrap() < 0.05);
         let mut c = orig.clone();
         hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut c); // group C

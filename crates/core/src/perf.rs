@@ -72,12 +72,21 @@ impl PerfComparison {
         } else {
             None
         };
-        Speedup { ns, lightnobel_seconds: self.lightnobel_folding_seconds(ns), gpu_seconds }
+        Speedup {
+            ns,
+            lightnobel_seconds: self.lightnobel_folding_seconds(ns),
+            gpu_seconds,
+        }
     }
 
     /// Mean speedup over a workload, skipping GPU-OOM proteins (the
     /// paper's Fig. 14(c) filtering).
-    pub fn mean_speedup(&self, lengths: &[usize], device: &GpuDevice, opts: ExecOptions) -> Option<f64> {
+    pub fn mean_speedup(
+        &self,
+        lengths: &[usize],
+        device: &GpuDevice,
+        opts: ExecOptions,
+    ) -> Option<f64> {
         let factors: Vec<f64> = lengths
             .iter()
             .filter_map(|&ns| self.folding_speedup(ns, device, opts).factor())
@@ -229,7 +238,11 @@ mod tests {
         assert!(vanilla > chunk && chunk > ln, "{vanilla} {chunk} {ln}");
         // §8.3: up to 120× vs vanilla; 1.26–5.05× vs chunked.
         assert!(vanilla / ln > 20.0, "vanilla/LN {}", vanilla / ln);
-        assert!((1.1..20.0).contains(&(chunk / ln)), "chunk/LN {}", chunk / ln);
+        assert!(
+            (1.1..20.0).contains(&(chunk / ln)),
+            "chunk/LN {}",
+            chunk / ln
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -26,7 +29,11 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn add_row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
         self
     }

@@ -130,10 +130,12 @@ impl LightNobelSystem {
     /// Propagates [`PpmError`] from the folding model.
     pub fn fold(&self, record: &ProteinRecord) -> Result<FoldReport, PpmError> {
         let len = record.length().min(self.max_len);
-        let seq: ln_protein::Sequence =
-            record.sequence().residues()[..len].iter().copied().collect();
-        let native = ln_protein::generator::StructureGenerator::new(&record.seed_label())
-            .generate(len);
+        let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+            .iter()
+            .copied()
+            .collect();
+        let native =
+            ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
         let reference = self.model.predict(&seq, &native)?;
         let mut hook = AaqHook::new(self.aaq);
         let quantized = self.model.predict_with_hook(&seq, &native, &mut hook)?;
@@ -194,7 +196,11 @@ mod tests {
         let r = system.fold(record).expect("folds");
         assert!(r.tm_vs_reference > 0.95, "{}", r.tm_vs_reference);
         assert!(r.tm_vs_native > 0.5, "{}", r.tm_vs_native);
-        assert!(r.compression() > 1.5 && r.compression() < 4.0, "{}", r.compression());
+        assert!(
+            r.compression() > 1.5 && r.compression() < 4.0,
+            "{}",
+            r.compression()
+        );
         assert_eq!(r.structure.len(), record.length().min(96));
     }
 
@@ -206,7 +212,10 @@ mod tests {
         assert!(short.speedup_vs_h100_chunk().expect("fits") > 1.0);
         let long = system.project(6879);
         assert!(long.h100_vanilla_seconds.is_none(), "6879 must OOM vanilla");
-        assert!(long.h100_chunk_seconds.is_none(), "6879 must OOM even chunked");
+        assert!(
+            long.h100_chunk_seconds.is_none(),
+            "6879 must OOM even chunked"
+        );
         assert!(long.lightnobel_peak_bytes < 80e9, "LightNobel fits");
         assert!(long.accelerator_watts > 10.0 && long.accelerator_watts < 100.0);
     }

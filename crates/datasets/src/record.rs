@@ -28,7 +28,11 @@ pub struct ProteinRecord {
 impl ProteinRecord {
     /// Creates a record.
     pub fn new(dataset: Dataset, name: &str, length: usize) -> Self {
-        ProteinRecord { dataset, name: name.to_owned(), length }
+        ProteinRecord {
+            dataset,
+            name: name.to_owned(),
+            length,
+        }
     }
 
     /// The dataset this target belongs to.
@@ -64,7 +68,13 @@ impl ProteinRecord {
 
 impl fmt::Display for ProteinRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} ({} aa)", self.dataset.name(), self.name, self.length)
+        write!(
+            f,
+            "{} {} ({} aa)",
+            self.dataset.name(),
+            self.name,
+            self.length
+        )
     }
 }
 

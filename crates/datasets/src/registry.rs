@@ -57,7 +57,11 @@ pub struct DatasetView {
 
 impl DatasetView {
     fn new(dataset: Dataset, mut records: Vec<ProteinRecord>) -> Self {
-        records.sort_by(|a, b| a.length().cmp(&b.length()).then_with(|| a.name().cmp(b.name())));
+        records.sort_by(|a, b| {
+            a.length()
+                .cmp(&b.length())
+                .then_with(|| a.name().cmp(b.name()))
+        });
         DatasetView { dataset, records }
     }
 
@@ -79,12 +83,18 @@ impl DatasetView {
     /// Records no longer than `max_len` (the paper's "fits in 80 GB"-style
     /// filters for Fig. 14).
     pub fn with_max_length(&self, max_len: usize) -> Vec<&ProteinRecord> {
-        self.records.iter().filter(|r| r.length() <= max_len).collect()
+        self.records
+            .iter()
+            .filter(|r| r.length() <= max_len)
+            .collect()
     }
 
     /// Records strictly longer than `min_len`.
     pub fn with_min_length(&self, min_len: usize) -> Vec<&ProteinRecord> {
-        self.records.iter().filter(|r| r.length() > min_len).collect()
+        self.records
+            .iter()
+            .filter(|r| r.length() > min_len)
+            .collect()
     }
 
     /// The longest record.
@@ -238,7 +248,9 @@ impl Registry {
 
     /// Iterator over every record in every dataset (giants excluded).
     pub fn iter_all(&self) -> impl Iterator<Item = &ProteinRecord> {
-        ALL_DATASETS.iter().flat_map(move |&d| self.dataset(d).records().iter())
+        ALL_DATASETS
+            .iter()
+            .flat_map(move |&d| self.dataset(d).records().iter())
     }
 
     /// Looks up a record by name across all datasets (giants included).
@@ -318,7 +330,10 @@ mod tests {
     #[test]
     fn iter_all_counts() {
         let reg = Registry::standard();
-        let total: usize = ALL_DATASETS.iter().map(|&d| reg.dataset(d).records().len()).sum();
+        let total: usize = ALL_DATASETS
+            .iter()
+            .map(|&d| reg.dataset(d).records().len())
+            .sum();
         assert_eq!(reg.iter_all().count(), total);
         assert_eq!(total, 15 + 17 + 17 + 16);
     }

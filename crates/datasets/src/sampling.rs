@@ -7,7 +7,7 @@
 
 use crate::{Dataset, ProteinRecord, Registry};
 use ln_tensor::rng;
-use rand::seq::SliceRandom;
+use ln_tensor::rng::SliceRandom;
 
 /// Deterministically samples up to `n` records from a dataset.
 ///
@@ -38,11 +38,12 @@ pub fn sample_capped<'a>(
 ) -> Vec<&'a ProteinRecord> {
     let mut out = Vec::new();
     for &d in datasets {
-        let mut picked: Vec<&ProteinRecord> = sample(registry, d, registry.dataset(d).records().len(), label)
-            .into_iter()
-            .filter(|r| r.length() <= max_len)
-            .take(n_per_dataset)
-            .collect();
+        let mut picked: Vec<&ProteinRecord> =
+            sample(registry, d, registry.dataset(d).records().len(), label)
+                .into_iter()
+                .filter(|r| r.length() <= max_len)
+                .take(n_per_dataset)
+                .collect();
         out.append(&mut picked);
     }
     out
@@ -76,8 +77,7 @@ mod tests {
         let reg = Registry::standard();
         for d in ALL_DATASETS {
             let picked = sample(&reg, d, 10, "uniq");
-            let names: std::collections::HashSet<&str> =
-                picked.iter().map(|r| r.name()).collect();
+            let names: std::collections::HashSet<&str> = picked.iter().map(|r| r.name()).collect();
             assert_eq!(names.len(), picked.len());
         }
     }

@@ -71,8 +71,10 @@ mod tests {
     fn dataset_maxima_are_ordered_like_the_paper() {
         // CAMEO < CASP14 < CASP15 < CASP16 in maximum target length.
         let reg = Registry::standard();
-        let maxima: Vec<usize> =
-            ALL_DATASETS.iter().map(|&d| dataset_stats(reg.dataset(d)).max).collect();
+        let maxima: Vec<usize> = ALL_DATASETS
+            .iter()
+            .map(|&d| dataset_stats(reg.dataset(d)).max)
+            .collect();
         assert!(maxima.windows(2).all(|w| w[0] < w[1]), "{maxima:?}");
     }
 }

@@ -93,6 +93,7 @@ impl GpuDevice {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::assertions_on_constants)] // datasheet consts are the point
     use super::*;
 
     #[test]

@@ -56,7 +56,9 @@ impl GpuRunOutcome {
     /// Folding seconds, if the run completed.
     pub fn folding_seconds(&self) -> Option<f64> {
         match self {
-            GpuRunOutcome::Completed { folding_seconds, .. } => Some(*folding_seconds),
+            GpuRunOutcome::Completed {
+                folding_seconds, ..
+            } => Some(*folding_seconds),
             GpuRunOutcome::OutOfMemory { .. } => None,
         }
     }
@@ -96,12 +98,18 @@ fn vanilla_kernels(stage: Stage) -> f64 {
 impl EsmFoldGpuModel {
     /// Builds the model at paper scale for a device.
     pub fn new(device: GpuDevice) -> Self {
-        EsmFoldGpuModel { device, cost: CostModel::paper() }
+        EsmFoldGpuModel {
+            device,
+            cost: CostModel::paper(),
+        }
     }
 
     /// Builds the model for an arbitrary PPM configuration.
     pub fn with_model(device: GpuDevice, config: PpmConfig) -> Self {
-        EsmFoldGpuModel { device, cost: CostModel::new(config) }
+        EsmFoldGpuModel {
+            device,
+            cost: CostModel::new(config),
+        }
     }
 
     /// The device.
@@ -116,8 +124,7 @@ impl EsmFoldGpuModel {
 
     /// Peak memory (bytes) of a run: activations + weights.
     pub fn peak_memory_bytes(&self, ns: usize, opts: ExecOptions) -> f64 {
-        self.cost.peak_activation_bytes(ns, opts.exec_mode())
-            + self.cost.total_weight_bytes_fp16()
+        self.cost.peak_activation_bytes(ns, opts.exec_mode()) + self.cost.total_weight_bytes_fp16()
     }
 
     /// Whether a protein fits the device memory.
@@ -190,7 +197,9 @@ impl EsmFoldGpuModel {
     pub fn run(&self, ns: usize, opts: ExecOptions) -> GpuRunOutcome {
         let peak = self.peak_memory_bytes(ns, opts);
         if peak > self.device.vram_bytes as f64 {
-            return GpuRunOutcome::OutOfMemory { required_bytes: peak };
+            return GpuRunOutcome::OutOfMemory {
+                required_bytes: peak,
+            };
         }
         let folding = self.folding_seconds(ns, opts);
         let total = self.embedding_seconds(ns) + folding + self.structure_seconds(ns);
@@ -207,10 +216,14 @@ impl EsmFoldGpuModel {
         let cfg = self.cost.config();
         let inv = (cfg.blocks * cfg.recycles) as f64;
         let emb = self.embedding_seconds(ns);
-        let seq: f64 = [Stage::SeqAttention, Stage::SeqTransition, Stage::OuterProductMean]
-            .iter()
-            .map(|&s| self.stage_seconds(s, ns, opts))
-            .sum::<f64>()
+        let seq: f64 = [
+            Stage::SeqAttention,
+            Stage::SeqTransition,
+            Stage::OuterProductMean,
+        ]
+        .iter()
+        .map(|&s| self.stage_seconds(s, ns, opts))
+        .sum::<f64>()
             * inv;
         let tri_mul: f64 = [Stage::TriMulOutgoing, Stage::TriMulIncoming]
             .iter()
@@ -225,7 +238,13 @@ impl EsmFoldGpuModel {
             + self.stage_seconds(Stage::PairTransition, ns, opts) * inv;
         let st = self.structure_seconds(ns);
         let total = emb + seq + tri_mul + tri_attn + st;
-        [emb / total, seq / total, tri_mul / total, tri_attn / total, st / total]
+        [
+            emb / total,
+            seq / total,
+            tri_mul / total,
+            tri_attn / total,
+            st / total,
+        ]
     }
 }
 
@@ -257,7 +276,10 @@ mod tests {
         let ns = 512;
         let vanilla = m.folding_seconds(ns, ExecOptions::vanilla());
         let chunked = m.folding_seconds(ns, opts);
-        assert!(chunked > 1.5 * vanilla, "chunk {chunked} vs vanilla {vanilla}");
+        assert!(
+            chunked > 1.5 * vanilla,
+            "chunk {chunked} vs vanilla {vanilla}"
+        );
     }
 
     #[test]
@@ -301,10 +323,17 @@ mod tests {
     fn completed_run_has_consistent_parts() {
         let m = h100();
         match m.run(512, ExecOptions::vanilla()) {
-            GpuRunOutcome::Completed { total_seconds, folding_seconds, peak_memory_bytes } => {
+            GpuRunOutcome::Completed {
+                total_seconds,
+                folding_seconds,
+                peak_memory_bytes,
+            } => {
                 assert!(folding_seconds < total_seconds);
                 assert!(peak_memory_bytes > 0.0);
-                assert_eq!(m.run(512, ExecOptions::vanilla()).folding_seconds(), Some(folding_seconds));
+                assert_eq!(
+                    m.run(512, ExecOptions::vanilla()).folding_seconds(),
+                    Some(folding_seconds)
+                );
             }
             other => panic!("expected completion, got {other:?}"),
         }

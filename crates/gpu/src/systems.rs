@@ -55,7 +55,10 @@ impl PpmSystem {
     /// Whether the system embeds with a protein language model (vs a
     /// database search).
     pub fn uses_language_model(self) -> bool {
-        matches!(self, PpmSystem::EsmFold | PpmSystem::Ptq4Protein | PpmSystem::MeFold)
+        matches!(
+            self,
+            PpmSystem::EsmFold | PpmSystem::Ptq4Protein | PpmSystem::MeFold
+        )
     }
 
     /// Input-embedding seconds on top of (or replacing) the LM embedding.
@@ -111,10 +114,7 @@ impl PpmSystem {
 
 /// Convenience: the Fig. 14(a) table rows (system, end-to-end seconds,
 /// folding seconds) on a device, averaged over a workload of lengths.
-pub fn system_comparison(
-    device: GpuDevice,
-    lengths: &[usize],
-) -> Vec<(PpmSystem, f64, f64)> {
+pub fn system_comparison(device: GpuDevice, lengths: &[usize]) -> Vec<(PpmSystem, f64, f64)> {
     let baseline = EsmFoldGpuModel::new(device);
     ALL_SYSTEMS
         .iter()
@@ -158,10 +158,19 @@ mod tests {
     #[test]
     fn database_search_dominates_alphafold_family() {
         let b = baseline();
-        for sys in [PpmSystem::AlphaFold2, PpmSystem::FastFold, PpmSystem::AlphaFold3] {
+        for sys in [
+            PpmSystem::AlphaFold2,
+            PpmSystem::FastFold,
+            PpmSystem::AlphaFold3,
+        ] {
             let e2e = sys.end_to_end_seconds(&b, 500);
             let fold = sys.folding_seconds(&b, 500);
-            assert!(fold / e2e < 0.5, "{}: folding share {}", sys.name(), fold / e2e);
+            assert!(
+                fold / e2e < 0.5,
+                "{}: folding share {}",
+                sys.name(),
+                fold / e2e
+            );
         }
     }
 

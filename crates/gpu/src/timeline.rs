@@ -85,8 +85,16 @@ pub fn folding_block_timeline(cost: &CostModel, ns: usize, mode: ExecMode) -> Ti
     push("tri_attn_qkv", 3.0 * tokens * attn * FP16_BYTES, false);
 
     // --- Pair transition ---------------------------------------------
-    push("transition_hidden", tokens * cfg.hz as f64 * cfg.transition_factor as f64 * FP16_BYTES, true);
-    push("transition_hidden", tokens * cfg.hz as f64 * cfg.transition_factor as f64 * FP16_BYTES, false);
+    push(
+        "transition_hidden",
+        tokens * cfg.hz as f64 * cfg.transition_factor as f64 * FP16_BYTES,
+        true,
+    );
+    push(
+        "transition_hidden",
+        tokens * cfg.hz as f64 * cfg.transition_factor as f64 * FP16_BYTES,
+        false,
+    );
 
     push("pair_residual", pair, false);
 
@@ -105,7 +113,11 @@ pub fn folding_block_timeline(cost: &CostModel, ns: usize, mode: ExecMode) -> Ti
             live -= e.bytes;
         }
     }
-    Timeline { events, peak_bytes: peak, peak_at }
+    Timeline {
+        events,
+        peak_bytes: peak,
+        peak_at,
+    }
 }
 
 #[cfg(test)]

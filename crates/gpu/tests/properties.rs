@@ -1,3 +1,7 @@
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the GPU baseline models.
 
 use ln_gpu::esmfold::{EsmFoldGpuModel, ExecOptions};

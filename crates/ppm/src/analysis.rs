@@ -13,6 +13,7 @@ use ln_tensor::{Tensor2, Tensor3};
 pub const CONTACT_THRESHOLD: f64 = 8.0;
 
 /// A binary contact map for residue pairs with `|i-j| >= separation`.
+#[allow(clippy::needless_range_loop)] // symmetric (i, j) pair walk
 pub fn contact_map(structure: &Structure, separation: usize) -> Vec<Vec<bool>> {
     let n = structure.len();
     let mut map = vec![vec![false; n]; n];
@@ -139,7 +140,10 @@ mod tests {
         assert_eq!(score.precision, 1.0);
         assert_eq!(score.recall, 1.0);
         assert_eq!(score.f1(), 1.0);
-        assert!(score.native_contacts > 0, "a globule has long-range contacts");
+        assert!(
+            score.native_contacts > 0,
+            "a globule has long-range contacts"
+        );
     }
 
     #[test]
@@ -147,11 +151,17 @@ mod tests {
         let s = native(60);
         let slight = contact_score(&perturbed(&s, "c1", 0.5), &s);
         let heavy = contact_score(&perturbed(&s, "c2", 6.0), &s);
-        assert!(slight.f1() > heavy.f1(), "{} vs {}", slight.f1(), heavy.f1());
+        assert!(
+            slight.f1() > heavy.f1(),
+            "{} vs {}",
+            slight.f1(),
+            heavy.f1()
+        );
         assert!(slight.f1() > 0.7);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn contact_map_respects_separation() {
         let s = native(30);
         let map = contact_map(&s, 6);

@@ -84,7 +84,8 @@ impl FoldingBlock {
         // Pair-representation dataflow (the paper's main bottleneck).
         self.tri_mul_out.forward(pair_rep, hook, block, recycle)?;
         self.tri_mul_in.forward(pair_rep, hook, block, recycle)?;
-        self.tri_attn_start.forward(pair_rep, hook, block, recycle)?;
+        self.tri_attn_start
+            .forward(pair_rep, hook, block, recycle)?;
         self.tri_attn_end.forward(pair_rep, hook, block, recycle)?;
         self.transition.forward(pair_rep, hook, block, recycle)?;
         Ok(())
@@ -188,8 +189,12 @@ mod tests {
         let (cfg, mut s1, mut z1) = setup(10);
         let (_, mut s2, mut z2) = setup(10);
         let block = FoldingBlock::new(&cfg, "w", 0);
-        block.forward(&mut s1, &mut z1, &mut NoopHook, 0, 0).unwrap();
-        block.forward(&mut s2, &mut z2, &mut NoopHook, 0, 0).unwrap();
+        block
+            .forward(&mut s1, &mut z1, &mut NoopHook, 0, 0)
+            .unwrap();
+        block
+            .forward(&mut s2, &mut z2, &mut NoopHook, 0, 0)
+            .unwrap();
         assert_eq!(z1, z2);
         assert_eq!(s1, s2);
     }

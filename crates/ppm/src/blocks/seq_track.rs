@@ -196,8 +196,12 @@ mod tests {
         track.forward(&mut s1, &mut z1).unwrap();
         track.forward(&mut s2, &mut z2).unwrap();
         // The bias at (1, 2) shifts row 1's attention: seq row 1 changes.
-        let diff: f32 =
-            s1.row(1).iter().zip(s2.row(1)).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = s1
+            .row(1)
+            .iter()
+            .zip(s2.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 1e-6, "pair bias must influence sequence attention");
     }
 
@@ -220,7 +224,10 @@ mod tests {
             .zip(z2.token(3, 5))
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1e-6, "OPM must write sequence info into the pair stream");
+        assert!(
+            diff > 1e-6,
+            "OPM must write sequence info into the pair stream"
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl PairTransition {
         recycle: usize,
     ) -> Result<(), PpmError> {
         let (ns, _, _) = pair.shape();
-        let tap = |site| Tap { block, recycle, site };
+        let tap = |site| Tap {
+            block,
+            recycle,
+            site,
+        };
 
         let mut tokens = pair.to_token_matrix();
         hook.on_activation(tap(ActivationSite::TransitionResidualIn), &mut tokens);

@@ -95,7 +95,11 @@ impl TriangularAttention {
         recycle: usize,
     ) -> Result<(), PpmError> {
         let (ns, _, hz) = pair.shape();
-        let tap = |site| Tap { block, recycle, site };
+        let tap = |site| Tap {
+            block,
+            recycle,
+            site,
+        };
 
         let mut tokens = pair.to_token_matrix();
         hook.on_activation(tap(ActivationSite::TriAttnResidualIn), &mut tokens);
@@ -127,9 +131,7 @@ impl TriangularAttention {
                 AttentionNode::Starting => {
                     (q3.slice_d0(lane), k3.slice_d0(lane), v3.slice_d0(lane))
                 }
-                AttentionNode::Ending => {
-                    (q3.slice_d1(lane), k3.slice_d1(lane), v3.slice_d1(lane))
-                }
+                AttentionNode::Ending => (q3.slice_d1(lane), k3.slice_d1(lane), v3.slice_d1(lane)),
             };
             for h in 0..self.heads {
                 let qh = head_slice(&ql, h, self.head_dim);
@@ -165,8 +167,7 @@ impl TriangularAttention {
                         AttentionNode::Starting => ctx.token_mut(lane, j),
                         AttentionNode::Ending => ctx.token_mut(j, lane),
                     };
-                    dst[h * self.head_dim..(h + 1) * self.head_dim]
-                        .copy_from_slice(ctx_h.row(j));
+                    dst[h * self.head_dim..(h + 1) * self.head_dim].copy_from_slice(ctx_h.row(j));
                 }
             }
         }
@@ -266,8 +267,8 @@ pub fn chunked_attention(
         }
         start = end;
     }
-    for j in 0..n {
-        let z = running_sum[j].max(1e-30);
+    for (j, s) in running_sum.iter().enumerate().take(n) {
+        let z = s.max(1e-30);
         for o in out.row_mut(j) {
             *o /= z;
         }
@@ -281,7 +282,9 @@ mod tests {
     use crate::taps::{NoopHook, RecordingHook};
 
     fn pair(ns: usize, hz: usize) -> Tensor3 {
-        Tensor3::from_fn(ns, ns, hz, |i, j, k| ((i * 17 + j * 5 + k) % 11) as f32 * 0.4 - 2.0)
+        Tensor3::from_fn(ns, ns, hz, |i, j, k| {
+            ((i * 17 + j * 5 + k) % 11) as f32 * 0.4 - 2.0
+        })
     }
 
     #[test]
@@ -378,7 +381,9 @@ mod tests {
         let mut hook = RecordingHook::new();
         unit.forward(&mut z, &mut hook, 0, 0).unwrap();
         assert!(
-            hook.records().iter().all(|r| r.tap.site != ActivationSite::TriAttnScores),
+            hook.records()
+                .iter()
+                .all(|r| r.tap.site != ActivationSite::TriAttnScores),
             "score tensors must not exist in low-memory mode"
         );
     }

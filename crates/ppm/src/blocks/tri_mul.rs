@@ -82,7 +82,11 @@ impl TriangularMultiplication {
         recycle: usize,
     ) -> Result<(), PpmError> {
         let (ns, _, _) = pair.shape();
-        let tap = |site| Tap { block, recycle, site };
+        let tap = |site| Tap {
+            block,
+            recycle,
+            site,
+        };
 
         // Group A: residual stream entering the unit.
         let mut tokens = pair.to_token_matrix();
@@ -157,7 +161,9 @@ impl TriangularMultiplication {
         let mut g = nn::sigmoid(&self.gate_out.forward(&x)?);
         hook.on_activation(tap(ActivationSite::TriMulOutGate), &mut g);
 
-        let update = g.hadamard(&self.proj_out.forward(&y)?)?.scaled(self.update_gain);
+        let update = g
+            .hadamard(&self.proj_out.forward(&y)?)?
+            .scaled(self.update_gain);
         let update3 = Tensor3::from_token_matrix(ns, ns, update)?;
         // The hook may have rewritten `tokens` (quantization): rebuild the
         // residual stream from the processed tokens plus the update.

@@ -116,12 +116,17 @@ impl PpmConfig {
         ];
         for (name, v) in positive {
             if v == 0 {
-                return Err(PpmError::InvalidConfig { what: format!("{name} must be positive") });
+                return Err(PpmError::InvalidConfig {
+                    what: format!("{name} must be positive"),
+                });
             }
         }
-        if self.hm % self.seq_heads != 0 {
+        if !self.hm.is_multiple_of(self.seq_heads) {
             return Err(PpmError::InvalidConfig {
-                what: format!("hm ({}) must be divisible by seq_heads ({})", self.hm, self.seq_heads),
+                what: format!(
+                    "hm ({}) must be divisible by seq_heads ({})",
+                    self.hm, self.seq_heads
+                ),
             });
         }
         if !(0.0..=1.0).contains(&self.update_gain) {

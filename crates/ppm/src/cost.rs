@@ -121,7 +121,9 @@ impl CostModel {
     /// Cost model at paper scale (ESMFold trunk, 48 blocks, `Hz`=128,
     /// `Hm`=1024, 3 recycles).
     pub fn paper() -> Self {
-        CostModel { config: PpmConfig::paper_scale() }
+        CostModel {
+            config: PpmConfig::paper_scale(),
+        }
     }
 
     /// Cost model for an arbitrary configuration.
@@ -155,19 +157,15 @@ impl CostModel {
             + 2 * hm // ln_o
             + 2 * (hm * opm + opm) // opm projections
             + (opm * opm * hz + hz); // opm out
-        // One triangular multiplication unit.
-        let tri_mul = 2 * hz
-            + 4 * (hz * cm + cm)
-            + 2 * cm
-            + (hz * hz + hz)
-            + (cm * hz + hz);
+                                     // One triangular multiplication unit.
+        let tri_mul = 2 * hz + 4 * (hz * cm + cm) + 2 * cm + (hz * hz + hz) + (cm * hz + hz);
         // One triangular attention unit.
         let tri_attn = 2 * hz
             + 3 * (hz * attn + attn)
             + (hz * heads + heads)
             + (hz * attn + attn) // gate
             + (attn * hz + hz); // out
-        // Pair transition.
+                                // Pair transition.
         let tf = c.transition_factor as u64;
         let transition = 2 * hz + (hz * hz * tf + hz * tf) + (hz * tf * hz + hz);
         let per_block = seq + 2 * tri_mul + 2 * tri_attn + transition;
@@ -200,9 +198,7 @@ impl CostModel {
         match stage {
             // Transformer LM: ~2 MACs per parameter per token.
             Stage::InputEmbedding => 2.0 * ESM2_PARAMS as f64 * n,
-            Stage::SeqAttention => {
-                4.0 * n * hm * hm + 2.0 * n * n * hm + n * n * hz * heads
-            }
+            Stage::SeqAttention => 4.0 * n * hm * hm + 2.0 * n * n * hm + n * n * hz * heads,
             Stage::SeqTransition => 4.0 * n * hm * hm,
             Stage::OuterProductMean => 2.0 * n * hm * opm + n * n * opm * opm * hz,
             Stage::TriMulOutgoing | Stage::TriMulIncoming => {
@@ -233,8 +229,7 @@ impl CostModel {
             .filter(|s| s.is_per_block())
             .map(|&s| self.stage_macs(s, ns))
             .sum();
-        per_model
-            + per_block * self.config.blocks as f64 * self.config.recycles as f64
+        per_model + per_block * self.config.blocks as f64 * self.config.recycles as f64
     }
 
     /// MACs spent in the Pair Representation dataflow only.
@@ -286,7 +281,10 @@ impl CostModel {
                 2.0 * pair + n * n * hz + 4.0 * n * n * cm + 2.0 * n * n * cm + pair
             }
             Stage::TriAttnStarting | Stage::TriAttnEnding => {
-                2.0 * pair + n * n * hz + 3.0 * n * n * attn + 3.0 * self.score_elems(ns)
+                2.0 * pair
+                    + n * n * hz
+                    + 3.0 * n * n * attn
+                    + 3.0 * self.score_elems(ns)
                     + n * n * attn
             }
             Stage::PairTransition => {
@@ -309,8 +307,7 @@ impl CostModel {
             .filter(|s| s.is_per_block())
             .map(|&s| self.stage_traffic_bytes(s, ns))
             .sum();
-        per_model
-            + per_block * self.config.blocks as f64 * self.config.recycles as f64
+        per_model + per_block * self.config.blocks as f64 * self.config.recycles as f64
     }
 
     /// Peak activation residency (bytes, FP16) of the baseline PPM.
@@ -331,8 +328,7 @@ impl CostModel {
                 (scores + qkv + 2.0 * pair) * FP16_BYTES
             }
             ExecMode::Chunked { rows } => {
-                let live_scores =
-                    2.0 * c.pair_heads as f64 * rows.max(1) as f64 * n * n;
+                let live_scores = 2.0 * c.pair_heads as f64 * rows.max(1) as f64 * n * n;
                 // z, x, update, and the tri-mul left/right intermediates
                 // stay resident across the chunk loop.
                 let resident = 3.0 * pair + 2.0 * n * n * c.tri_mul_dim as f64;
@@ -409,7 +405,11 @@ mod tests {
             .filter(|s| s.is_per_block())
             .map(|&s| m.stage_macs(s, ns))
             .sum();
-        assert!(attn / per_block > 0.5, "tri-attn share {}", attn / per_block);
+        assert!(
+            attn / per_block > 0.5,
+            "tri-attn share {}",
+            attn / per_block
+        );
     }
 
     #[test]

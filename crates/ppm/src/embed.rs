@@ -95,10 +95,16 @@ impl Embedding {
     ) -> Result<(Tensor2, Tensor3), PpmError> {
         let ns = sequence.len();
         if ns < MIN_SEQUENCE_LEN {
-            return Err(PpmError::SequenceTooShort { len: ns, min: MIN_SEQUENCE_LEN });
+            return Err(PpmError::SequenceTooShort {
+                len: ns,
+                min: MIN_SEQUENCE_LEN,
+            });
         }
         if native.len() != ns {
-            return Err(PpmError::NativeLengthMismatch { sequence: ns, native: native.len() });
+            return Err(PpmError::NativeLengthMismatch {
+                sequence: ns,
+                native: native.len(),
+            });
         }
         let seq_rep = self.embed_sequence(sequence);
         let pair_rep = self.embed_pair(sequence, native);
@@ -173,8 +179,11 @@ impl Embedding {
                 let k = c - nd;
                 let rel = j as f32 - i as f32;
                 let freq = 1.0 / (10.0f32.powf(k as f32 * 4.0 / quarter.max(1) as f32) * 2.0);
-                let wave =
-                    if k % 2 == 0 { (rel * freq).sin() } else { (rel * freq).cos() };
+                let wave = if k.is_multiple_of(2) {
+                    (rel * freq).sin()
+                } else {
+                    (rel * freq).cos()
+                };
                 wave * 0.8 * token_scale
             } else {
                 let k = c - nd - quarter;
@@ -213,7 +222,10 @@ mod tests {
     use ln_tensor::stats;
 
     fn setup(ns: usize) -> (Sequence, Structure) {
-        (Sequence::random("emb", ns), StructureGenerator::new("emb").generate(ns))
+        (
+            Sequence::random("emb", ns),
+            StructureGenerator::new("emb").generate(ns),
+        )
     }
 
     #[test]
@@ -241,7 +253,10 @@ mod tests {
         let e = Embedding::new(PpmConfig::tiny());
         let (seq, _) = setup(16);
         let native = StructureGenerator::new("other").generate(17);
-        assert!(matches!(e.embed(&seq, &native), Err(PpmError::NativeLengthMismatch { .. })));
+        assert!(matches!(
+            e.embed(&seq, &native),
+            Err(PpmError::NativeLengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -332,13 +347,14 @@ mod tests {
                     .fold(0.0f32, |a, (_, &v)| a.max(v.abs()))
             })
             .collect();
-        let outlier_sets: Vec<Vec<usize>> =
-            (0..m.rows()).map(|i| stats::top_k_abs_indices(m.row(i), 4)).collect();
+        let outlier_sets: Vec<Vec<usize>> = (0..m.rows())
+            .map(|i| stats::top_k_abs_indices(m.row(i), 4))
+            .collect();
         let quant_rmse_outlier = |scales: &dyn Fn(usize) -> f32| -> f64 {
             let mut err = 0.0f64;
-            for i in 0..m.rows() {
+            for (i, outliers) in outlier_sets.iter().enumerate() {
                 for (j, &v) in m.row(i).iter().enumerate() {
-                    if outlier_sets[i].contains(&j) {
+                    if outliers.contains(&j) {
                         continue; // outliers kept at high precision
                     }
                     let s = scales(i).max(1e-9) / 127.0;

@@ -37,7 +37,10 @@ impl fmt::Display for PpmError {
                 write!(f, "sequence length {len} is below the minimum {min}")
             }
             PpmError::NativeLengthMismatch { sequence, native } => {
-                write!(f, "native structure length {native} does not match sequence length {sequence}")
+                write!(
+                    f,
+                    "native structure length {native} does not match sequence length {sequence}"
+                )
             }
             PpmError::InvalidConfig { what } => write!(f, "invalid PPM configuration: {what}"),
         }

@@ -51,8 +51,9 @@ impl FoldingModel {
     /// Builds a model with weights derived from an explicit label.
     pub fn with_label(config: PpmConfig, label: &str) -> Self {
         config.validate().expect("preset configurations are valid");
-        let blocks =
-            (0..config.blocks).map(|i| FoldingBlock::new(&config, label, i)).collect();
+        let blocks = (0..config.blocks)
+            .map(|i| FoldingBlock::new(&config, label, i))
+            .collect();
         FoldingModel {
             embedding: Embedding::new(config.clone()),
             recycle_norm: LayerNorm::deterministic(&format!("{label}/recycle_ln"), config.hz, 0.1),
@@ -68,7 +69,10 @@ impl FoldingModel {
 
     /// Total number of weight parameters in the folding trunk.
     pub fn num_params(&self) -> usize {
-        self.blocks.iter().map(FoldingBlock::num_params).sum::<usize>()
+        self.blocks
+            .iter()
+            .map(FoldingBlock::num_params)
+            .sum::<usize>()
             + self.recycle_norm.num_params()
     }
 
@@ -123,7 +127,10 @@ impl FoldingModel {
         }
 
         let structure = structure_module::decode_structure(&pair)?;
-        Ok(PredictionOutput { structure, pair_rep: pair })
+        Ok(PredictionOutput {
+            structure,
+            pair_rep: pair,
+        })
     }
 }
 
@@ -148,7 +155,10 @@ mod tests {
     use ln_protein::metrics;
 
     fn workload(ns: usize, label: &str) -> (Sequence, Structure) {
-        (Sequence::random(label, ns), StructureGenerator::new(label).generate(ns))
+        (
+            Sequence::random(label, ns),
+            StructureGenerator::new(label).generate(ns),
+        )
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Multimer {
             }
             offset += c.len();
         }
-        panic!("residue {residue} out of range for complex of {} residues", self.total_len());
+        panic!(
+            "residue {residue} out of range for complex of {} residues",
+            self.total_len()
+        );
     }
 
     /// Residue offsets where each chain starts.
@@ -127,7 +130,9 @@ impl Multimer {
         let mut out = Vec::with_capacity(self.chains.len());
         let mut offset = 0;
         for c in &self.chains {
-            out.push(Structure::new(combined.coords()[offset..offset + c.len()].to_vec()));
+            out.push(Structure::new(
+                combined.coords()[offset..offset + c.len()].to_vec(),
+            ));
             offset += c.len();
         }
         Ok(out)
@@ -140,11 +145,7 @@ impl Multimer {
     /// # Errors
     ///
     /// Returns [`PpmError::NativeLengthMismatch`] on a length mismatch.
-    pub fn interface_contacts(
-        &self,
-        combined: &Structure,
-        cutoff: f64,
-    ) -> Result<usize, PpmError> {
+    pub fn interface_contacts(&self, combined: &Structure, cutoff: f64) -> Result<usize, PpmError> {
         if combined.len() != self.total_len() {
             return Err(PpmError::NativeLengthMismatch {
                 sequence: self.total_len(),
@@ -171,7 +172,10 @@ mod tests {
     use ln_protein::metrics;
 
     fn dimer() -> Multimer {
-        Multimer::new(vec![Sequence::random("mm-a", 20), Sequence::random("mm-b", 14)])
+        Multimer::new(vec![
+            Sequence::random("mm-a", 20),
+            Sequence::random("mm-b", 14),
+        ])
     }
 
     #[test]
@@ -205,7 +209,9 @@ mod tests {
         assert_eq!(chains[1].len(), 14);
         // The complex prediction matches the complex native.
         let native = m.native_structure("dimer-test");
-        let tm = metrics::tm_score(&out.structure, &native).expect("same length").score;
+        let tm = metrics::tm_score(&out.structure, &native)
+            .expect("same length")
+            .score;
         assert!(tm > 0.5, "complex tm {tm}");
     }
 
@@ -214,7 +220,10 @@ mod tests {
         let m = dimer();
         let native = m.native_structure("dimer-iface");
         let contacts = m.interface_contacts(&native, 8.0).expect("lengths match");
-        assert!(contacts > 0, "a compact co-folded complex must have inter-chain contacts");
+        assert!(
+            contacts > 0,
+            "a compact co-folded complex must have inter-chain contacts"
+        );
     }
 
     #[test]

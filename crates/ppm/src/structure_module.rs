@@ -12,7 +12,7 @@
 //! TM-Score — the paper's accuracy pathway.
 
 use crate::embed::{distogram_center, distogram_channels, DISTOGRAM_MAX, DISTOGRAM_MIN};
-use crate::{PpmError};
+use crate::PpmError;
 use ln_protein::geometry::Vec3;
 use ln_protein::Structure;
 use ln_tensor::{Tensor2, Tensor3};
@@ -135,10 +135,14 @@ pub fn complete_distances(decoded: &Tensor2, cap: f32) -> Tensor2 {
 pub fn mds_embed(distances: &Tensor2) -> Result<Structure, PpmError> {
     let n = distances.rows();
     if distances.cols() != n {
-        return Err(PpmError::InvalidConfig { what: "distance matrix must be square".into() });
+        return Err(PpmError::InvalidConfig {
+            what: "distance matrix must be square".into(),
+        });
     }
     if n < 3 {
-        return Err(PpmError::InvalidConfig { what: "need at least 3 residues for MDS".into() });
+        return Err(PpmError::InvalidConfig {
+            what: "need at least 3 residues for MDS".into(),
+        });
     }
 
     // Gram matrix: G = -1/2 J D² J with J = I - 11ᵀ/n (double centring).
@@ -149,8 +153,9 @@ pub fn mds_embed(distances: &Tensor2) -> Result<Structure, PpmError> {
             sq[i * n + j] = d * d;
         }
     }
-    let row_means: Vec<f64> =
-        (0..n).map(|i| sq[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64).collect();
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| sq[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = row_means.iter().sum::<f64>() / n as f64;
     let mut g = vec![0.0f64; n * n];
     for i in 0..n {
@@ -188,8 +193,9 @@ pub fn mds_embed(distances: &Tensor2) -> Result<Structure, PpmError> {
 /// Power iteration for the dominant eigenpair of a symmetric matrix.
 fn dominant_eigenpair(m: &[f64], n: usize, seed: usize) -> (f64, Vec<f64>) {
     // Deterministic start vector, varied per axis to avoid orthogonal starts.
-    let mut v: Vec<f64> =
-        (0..n).map(|i| ((i * 2654435761 + seed * 40503 + 1) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761 + seed * 40503 + 1) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
     normalize(&mut v);
     let mut lambda = 0.0f64;
     for _ in 0..300 {
@@ -263,7 +269,11 @@ pub fn residue_confidence(pair: &Tensor3) -> Vec<f32> {
                 cnt += 1;
             }
         }
-        out.push(if cnt > 0 { (acc / cnt as f64) as f32 } else { 0.0 });
+        out.push(if cnt > 0 {
+            (acc / cnt as f64) as f32
+        } else {
+            0.0
+        });
     }
     out
 }
@@ -327,7 +337,7 @@ pub fn refine_against_distances(
                     continue;
                 }
                 let target = distances.at(i, j);
-                let w = if target < confident { 1.0 } else { 0.05 } as f64;
+                let w = if target < confident { 1.0 } else { 0.05 };
                 let delta = coords[i] - cj;
                 let dist = delta.norm().max(1e-6);
                 // d(stress)/d(x_i) = 2 w (dist - target) * delta / dist.
@@ -400,7 +410,7 @@ mod tests {
     #[test]
     fn confidence_drops_under_noise() {
         use ln_tensor::rng;
-        use rand::Rng;
+        use ln_tensor::rng::Rng;
         let cfg = PpmConfig::standard();
         let ns = 32;
         let seq = Sequence::random("conf", ns);
@@ -431,7 +441,7 @@ mod tests {
         // Corrupt the pair rows of a few residues only: their confidence
         // must fall below the untouched residues'.
         use ln_tensor::rng;
-        use rand::Rng;
+        use ln_tensor::rng::Rng;
         let cfg = PpmConfig::standard();
         let ns = 32;
         let seq = Sequence::random("conf2", ns);

@@ -104,9 +104,7 @@ impl ActivationSite {
         use ActivationSite::*;
         match self {
             TriMulResidualIn | TriAttnResidualIn | TransitionResidualIn => ActivationGroup::A,
-            TriMulPostLn | TriMulOutPostLn | TriAttnPostLn | TransitionPostLn => {
-                ActivationGroup::B
-            }
+            TriMulPostLn | TriMulOutPostLn | TriAttnPostLn | TransitionPostLn => ActivationGroup::B,
             _ => ActivationGroup::C,
         }
     }
@@ -236,7 +234,10 @@ impl RecordingHook {
 
     /// Records for a given group only.
     pub fn records_for_group(&self, group: ActivationGroup) -> Vec<&TapRecord> {
-        self.records.iter().filter(|r| r.tap.group() == group).collect()
+        self.records
+            .iter()
+            .filter(|r| r.tap.group() == group)
+            .collect()
     }
 }
 
@@ -305,7 +306,11 @@ mod tests {
     fn recording_hook_measures_statistics() {
         let mut hook = RecordingHook::new();
         let mut x = Tensor2::from_fn(4, 16, |_, j| if j == 0 { 100.0 } else { 0.1 });
-        let tap = Tap { block: 0, recycle: 0, site: ActivationSite::TriMulResidualIn };
+        let tap = Tap {
+            block: 0,
+            recycle: 0,
+            site: ActivationSite::TriMulResidualIn,
+        };
         hook.on_activation(tap, &mut x);
         let r = &hook.records()[0];
         assert_eq!(r.tokens, 4);
@@ -319,7 +324,11 @@ mod tests {
 
     #[test]
     fn tap_display_is_informative() {
-        let tap = Tap { block: 3, recycle: 1, site: ActivationSite::TriAttnQuery };
+        let tap = Tap {
+            block: 3,
+            recycle: 1,
+            site: ActivationSite::TriAttnQuery,
+        };
         assert_eq!(tap.to_string(), "r1.b3.tri_attn.query");
     }
 }

@@ -1,3 +1,7 @@
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the PPM substrate.
 
 use ln_ppm::blocks::chunked_attention;
@@ -122,7 +126,9 @@ fn low_memory_full_model_matches_vanilla() {
     let low_mem = FoldingModel::new(cfg);
     let a = vanilla.predict(&seq, &native).expect("folds");
     let b = low_mem.predict(&seq, &native).expect("folds");
-    let tm = metrics::tm_score(&a.structure, &b.structure).expect("same length").score;
+    let tm = metrics::tm_score(&a.structure, &b.structure)
+        .expect("same length")
+        .score;
     assert!(tm > 0.999, "tm {tm}");
 }
 
@@ -132,9 +138,13 @@ fn recording_and_noop_hooks_see_identical_dataflow() {
     let seq = Sequence::random("hookeq", 16);
     let native = StructureGenerator::new("hookeq").generate(16);
     let model = FoldingModel::new(PpmConfig::tiny());
-    let a = model.predict_with_hook(&seq, &native, &mut NoopHook).expect("folds");
+    let a = model
+        .predict_with_hook(&seq, &native, &mut NoopHook)
+        .expect("folds");
     let mut rec = RecordingHook::new();
-    let b = model.predict_with_hook(&seq, &native, &mut rec).expect("folds");
+    let b = model
+        .predict_with_hook(&seq, &native, &mut rec)
+        .expect("folds");
     assert_eq!(a.pair_rep, b.pair_rep);
     assert!(!rec.records().is_empty());
 }

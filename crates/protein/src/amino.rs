@@ -67,8 +67,8 @@ pub const ALL_AMINO_ACIDS: [AminoAcid; 20] = [
 ];
 
 const CODES: [char; 20] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 impl AminoAcid {
@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn invalid_code_is_error() {
-        assert_eq!(AminoAcid::from_code('B'), Err(ProteinError::InvalidResidue { code: 'B' }));
+        assert_eq!(
+            AminoAcid::from_code('B'),
+            Err(ProteinError::InvalidResidue { code: 'B' })
+        );
         assert!(AminoAcid::from_code('1').is_err());
     }
 

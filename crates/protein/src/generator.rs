@@ -13,8 +13,7 @@
 use crate::geometry::{Mat3, Vec3};
 use crate::Structure;
 use ln_tensor::rng;
-use rand::rngs::StdRng;
-use rand::Rng;
+use ln_tensor::rng::{Rng, StdRng};
 
 /// Canonical Cα–Cα distance in Ångström.
 pub const CA_CA_DISTANCE: f64 = 3.8;
@@ -81,12 +80,18 @@ pub struct StructureGenerator {
 impl StructureGenerator {
     /// Creates a generator seeded by `label` with the default configuration.
     pub fn new(label: &str) -> Self {
-        StructureGenerator { label: label.to_owned(), config: GeneratorConfig::default() }
+        StructureGenerator {
+            label: label.to_owned(),
+            config: GeneratorConfig::default(),
+        }
     }
 
     /// Creates a generator with an explicit configuration.
     pub fn with_config(label: &str, config: GeneratorConfig) -> Self {
-        StructureGenerator { label: label.to_owned(), config }
+        StructureGenerator {
+            label: label.to_owned(),
+            config,
+        }
     }
 
     /// The seed label.
@@ -183,8 +188,8 @@ impl StructureGenerator {
                 for k in 1..=seg_len {
                     let prev = *coords.last().expect("non-empty");
                     let side = if k % 2 == 0 { 1.0 } else { -1.0 };
-                    let step = (axis * rise + u * (side * 2.0 * wobble)).normalized()
-                        * CA_CA_DISTANCE;
+                    let step =
+                        (axis * rise + u * (side * 2.0 * wobble)).normalized() * CA_CA_DISTANCE;
                     coords.push(prev + step);
                 }
             }
@@ -201,7 +206,15 @@ impl StructureGenerator {
     }
 }
 
-fn helix_point(u: Vec3, v: Vec3, axis: Vec3, radius: f64, rise: f64, phase0: f64, k: usize) -> Vec3 {
+fn helix_point(
+    u: Vec3,
+    v: Vec3,
+    axis: Vec3,
+    radius: f64,
+    rise: f64,
+    phase0: f64,
+    k: usize,
+) -> Vec3 {
     let theta = phase0 + k as f64 * 100.0f64.to_radians();
     u * (radius * theta.cos()) + v * (radius * theta.sin()) + axis * (rise * k as f64)
 }
@@ -230,8 +243,11 @@ fn random_unit(rng: &mut StdRng) -> Vec3 {
 /// Returns two unit vectors orthogonal to `w` and to each other.
 fn orthonormal_pair(w: Vec3) -> (Vec3, Vec3) {
     let w = w.normalized();
-    let helper =
-        if w.x.abs() < 0.9 { Vec3::new(1.0, 0.0, 0.0) } else { Vec3::new(0.0, 1.0, 0.0) };
+    let helper = if w.x.abs() < 0.9 {
+        Vec3::new(1.0, 0.0, 0.0)
+    } else {
+        Vec3::new(0.0, 1.0, 0.0)
+    };
     let u = w.cross(helper).normalized();
     let v = w.cross(u).normalized();
     (u, v)

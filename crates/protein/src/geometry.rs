@@ -106,7 +106,9 @@ pub struct Mat3 {
 impl Mat3 {
     /// The identity matrix.
     pub fn identity() -> Self {
-        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+        Mat3 {
+            rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// Rotation about an arbitrary axis by `angle` radians (Rodrigues).
@@ -116,9 +118,21 @@ impl Mat3 {
         let t = 1.0 - c;
         Mat3 {
             rows: [
-                [t * a.x * a.x + c, t * a.x * a.y - s * a.z, t * a.x * a.z + s * a.y],
-                [t * a.x * a.y + s * a.z, t * a.y * a.y + c, t * a.y * a.z - s * a.x],
-                [t * a.x * a.z - s * a.y, t * a.y * a.z + s * a.x, t * a.z * a.z + c],
+                [
+                    t * a.x * a.x + c,
+                    t * a.x * a.y - s * a.z,
+                    t * a.x * a.z + s * a.y,
+                ],
+                [
+                    t * a.x * a.y + s * a.z,
+                    t * a.y * a.y + c,
+                    t * a.y * a.z - s * a.x,
+                ],
+                [
+                    t * a.x * a.z - s * a.y,
+                    t * a.y * a.z + s * a.x,
+                    t * a.z * a.z + c,
+                ],
             ],
         }
     }
@@ -188,7 +202,10 @@ pub struct RigidTransform {
 impl RigidTransform {
     /// The identity transform.
     pub fn identity() -> Self {
-        RigidTransform { rotation: Mat3::identity(), translation: Vec3::zero() }
+        RigidTransform {
+            rotation: Mat3::identity(),
+            translation: Vec3::zero(),
+        }
     }
 
     /// Applies the transform to a point.
@@ -214,7 +231,10 @@ pub fn kabsch_weighted(mobile: &[Vec3], target: &[Vec3], weights: &[f64]) -> Rig
 
     let wsum: f64 = weights.iter().sum::<f64>().max(1e-12);
     let centroid = |pts: &[Vec3]| {
-        pts.iter().zip(weights).fold(Vec3::zero(), |acc, (&p, &w)| acc + p * w) * (1.0 / wsum)
+        pts.iter()
+            .zip(weights)
+            .fold(Vec3::zero(), |acc, (&p, &w)| acc + p * w)
+            * (1.0 / wsum)
     };
     let cm = centroid(mobile);
     let ct = centroid(target);
@@ -248,7 +268,10 @@ pub fn kabsch_weighted(mobile: &[Vec3], target: &[Vec3], weights: &[f64]) -> Rig
     let q = dominant_eigenvector4(&k);
     let rotation = Mat3::from_quaternion(q);
     let translation = ct - rotation.apply(cm);
-    RigidTransform { rotation, translation }
+    RigidTransform {
+        rotation,
+        translation,
+    }
 }
 
 /// Computes the optimal (unweighted) rigid superposition of `mobile` onto
@@ -264,6 +287,7 @@ pub fn kabsch(mobile: &[Vec3], target: &[Vec3]) -> RigidTransform {
 
 /// Eigenvector of the algebraically-largest eigenvalue of a symmetric 4×4
 /// matrix, via the cyclic Jacobi method; returns a unit quaternion.
+#[allow(clippy::needless_range_loop)] // (p, q) index a fixed 4×4 rotation pair
 fn dominant_eigenvector4(k: &[[f64; 4]; 4]) -> [f64; 4] {
     let mut a = *k;
     // Accumulated eigenvector matrix (columns are eigenvectors).
@@ -396,7 +420,11 @@ mod tests {
     fn kabsch_weighted_prioritises_heavy_points() {
         // Two heavy points define an exact correspondence; the light point is
         // displaced. The transform should fit the heavy pair nearly exactly.
-        let mobile = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)];
+        let mobile = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        ];
         let mut target = mobile.clone();
         target[2] = Vec3::new(0.0, 5.0, 0.0);
         let xf = kabsch_weighted(&mobile, &target, &[100.0, 100.0, 0.01]);
@@ -418,7 +446,11 @@ mod tests {
             Vec3::new(0.0, 1.0, 0.0),
         ];
         let xf = kabsch(&mobile, &target);
-        assert!((xf.rotation.det() - 1.0).abs() < 1e-9, "det {}", xf.rotation.det());
+        assert!(
+            (xf.rotation.det() - 1.0).abs() < 1e-9,
+            "det {}",
+            xf.rotation.det()
+        );
     }
 
     #[test]

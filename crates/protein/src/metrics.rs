@@ -103,7 +103,11 @@ pub fn tm_score(model: &Structure, native: &Structure) -> Result<TmScoreResult, 
         frag = (frag / 2).max(4);
     }
 
-    Ok(TmScoreResult { score: best_score, rmsd_aligned: rmsd_under(model, native, &best_xf), d0 })
+    Ok(TmScoreResult {
+        score: best_score,
+        rmsd_aligned: rmsd_under(model, native, &best_xf),
+        d0,
+    })
 }
 
 /// Iteratively refines a superposition starting from the residues in `seed`:
@@ -132,9 +136,12 @@ fn refine_superposition(
         let dists: Vec<f64> = (0..n)
             .map(|i| xf.apply(model.coords()[i]).distance(native.coords()[i]))
             .collect();
-        let score: f64 =
-            dists.iter().map(|&d| 1.0 / (1.0 + (d / d0).powi(2))).sum::<f64>() / n as f64;
-        if best.map_or(true, |(s, _)| score > s) {
+        let score: f64 = dists
+            .iter()
+            .map(|&d| 1.0 / (1.0 + (d / d0).powi(2)))
+            .sum::<f64>()
+            / n as f64;
+        if best.is_none_or(|(s, _)| score > s) {
             best = Some((score, xf));
         }
         // Distance cutoff schedule: start permissive, tighten toward d0 + 1.5 Å.
@@ -290,16 +297,31 @@ mod tests {
     fn length_mismatch_is_error() {
         let a = native(10);
         let b = native(12);
-        assert!(matches!(tm_score(&a, &b), Err(ProteinError::LengthMismatch { .. })));
-        assert!(matches!(rmsd(&a, &b), Err(ProteinError::LengthMismatch { .. })));
-        assert!(matches!(gdt_ts(&a, &b), Err(ProteinError::LengthMismatch { .. })));
-        assert!(matches!(lddt(&a, &b), Err(ProteinError::LengthMismatch { .. })));
+        assert!(matches!(
+            tm_score(&a, &b),
+            Err(ProteinError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            rmsd(&a, &b),
+            Err(ProteinError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            gdt_ts(&a, &b),
+            Err(ProteinError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            lddt(&a, &b),
+            Err(ProteinError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn too_short_is_error() {
         let a = Structure::new(vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)]);
-        assert!(matches!(tm_score(&a, &a), Err(ProteinError::TooShort { .. })));
+        assert!(matches!(
+            tm_score(&a, &a),
+            Err(ProteinError::TooShort { .. })
+        ));
     }
 
     #[test]

@@ -138,6 +138,9 @@ mod tests {
 
     #[test]
     fn empty_input_is_an_error() {
-        assert!(matches!(from_pdb("END\n"), Err(ProteinError::TooShort { .. })));
+        assert!(matches!(
+            from_pdb("END\n"),
+            Err(ProteinError::TooShort { .. })
+        ));
     }
 }

@@ -79,8 +79,14 @@ pub fn composition(classes: &[SecondaryStructure]) -> (f64, f64, f64) {
         return (0.0, 0.0, 0.0);
     }
     let n = classes.len() as f64;
-    let h = classes.iter().filter(|&&c| c == SecondaryStructure::Helix).count() as f64;
-    let s = classes.iter().filter(|&&c| c == SecondaryStructure::Strand).count() as f64;
+    let h = classes
+        .iter()
+        .filter(|&&c| c == SecondaryStructure::Helix)
+        .count() as f64;
+    let s = classes
+        .iter()
+        .filter(|&&c| c == SecondaryStructure::Strand)
+        .count() as f64;
     (h / n, s / n, (n - h - s) / n)
 }
 
@@ -145,18 +151,25 @@ mod tests {
 
     #[test]
     fn helix_heavy_config_yields_more_helix() {
-        let mut helical = GeneratorConfig::default();
-        helical.helix_prob = 0.9;
-        helical.strand_prob = 0.05;
-        let mut stranded = GeneratorConfig::default();
-        stranded.helix_prob = 0.05;
-        stranded.strand_prob = 0.9;
+        let helical = GeneratorConfig {
+            helix_prob: 0.9,
+            strand_prob: 0.05,
+            ..GeneratorConfig::default()
+        };
+        let stranded = GeneratorConfig {
+            helix_prob: 0.05,
+            strand_prob: 0.9,
+            ..GeneratorConfig::default()
+        };
         let hs = StructureGenerator::with_config("cmp", helical).generate(300);
         let ss = StructureGenerator::with_config("cmp", stranded).generate(300);
         let (h_frac, _, _) = composition(&assign(&hs));
         let (h_frac2, s_frac2, _) = composition(&assign(&ss));
         assert!(h_frac > h_frac2, "{h_frac} vs {h_frac2}");
-        assert!(s_frac2 > 0.05, "strand-heavy config shows strands: {s_frac2}");
+        assert!(
+            s_frac2 > 0.05,
+            "strand-heavy config shows strands: {s_frac2}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::{AminoAcid, ProteinError};
 use ln_tensor::rng;
-use rand::Rng;
+use ln_tensor::rng::Rng;
 use std::fmt;
 
 /// An amino-acid sequence.
@@ -32,8 +32,10 @@ impl Sequence {
     ///
     /// Returns [`ProteinError::InvalidResidue`] on the first unknown code.
     pub fn from_str_codes(codes: &str) -> Result<Self, ProteinError> {
-        let residues =
-            codes.chars().map(AminoAcid::from_code).collect::<Result<Vec<_>, _>>()?;
+        let residues = codes
+            .chars()
+            .map(AminoAcid::from_code)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Sequence { residues })
     }
 
@@ -43,7 +45,9 @@ impl Sequence {
     /// stream so the same `(label, len)` always produces the same sequence.
     pub fn random(label: &str, len: usize) -> Self {
         let mut rng = rng::stream_indexed(label, len as u64);
-        let residues = (0..len).map(|_| AminoAcid::from_index(rng.gen_range(0..20))).collect();
+        let residues = (0..len)
+            .map(|_| AminoAcid::from_index(rng.gen_range(0..20)))
+            .collect();
         Sequence { residues }
     }
 
@@ -99,7 +103,9 @@ impl std::str::FromStr for Sequence {
 
 impl FromIterator<AminoAcid> for Sequence {
     fn from_iter<T: IntoIterator<Item = AminoAcid>>(iter: T) -> Self {
-        Sequence { residues: iter.into_iter().collect() }
+        Sequence {
+            residues: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -136,7 +142,10 @@ mod tests {
         for r in s.residues() {
             seen[r.index()] = true;
         }
-        assert!(seen.iter().all(|&x| x), "all 20 residues should appear in 2000 samples");
+        assert!(
+            seen.iter().all(|&x| x),
+            "all 20 residues should appear in 2000 samples"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl Structure {
 
     /// Returns a copy with the rigid transform applied to every residue.
     pub fn transformed(&self, xf: &RigidTransform) -> Structure {
-        Structure { coords: self.coords.iter().map(|&p| xf.apply(p)).collect() }
+        Structure {
+            coords: self.coords.iter().map(|&p| xf.apply(p)).collect(),
+        }
     }
 
     /// Distance between residues `i` and `j`.
@@ -95,7 +97,10 @@ impl Structure {
     /// Returns [`ProteinError::LengthMismatch`] otherwise.
     pub fn check_same_length(&self, other: &Structure) -> Result<(), ProteinError> {
         if self.len() != other.len() {
-            return Err(ProteinError::LengthMismatch { lhs: self.len(), rhs: other.len() });
+            return Err(ProteinError::LengthMismatch {
+                lhs: self.len(),
+                rhs: other.len(),
+            });
         }
         Ok(())
     }
@@ -103,7 +108,9 @@ impl Structure {
 
 impl FromIterator<Vec3> for Structure {
     fn from_iter<T: IntoIterator<Item = Vec3>>(iter: T) -> Self {
-        Structure { coords: iter.into_iter().collect() }
+        Structure {
+            coords: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -24,10 +24,16 @@ pub struct AsymmetricToken {
 impl AsymmetricToken {
     /// Quantizes one token asymmetrically at the given precision.
     pub fn quantize(values: &[f32], bits: Bits) -> AsymmetricToken {
-        let (min, max) = values.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
-        let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let (min, max) = values
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let (min, max) = if values.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        };
         let span = (max - min).max(1e-12);
         let num_levels = (1u32 << bits.width()) - 1;
         let scale = span / num_levels as f32;
@@ -36,7 +42,12 @@ impl AsymmetricToken {
             .iter()
             .map(|&v| (((v - zero_point) / scale).round() as i32).clamp(0, num_levels as i32))
             .collect();
-        AsymmetricToken { bits, levels, scale, zero_point }
+        AsymmetricToken {
+            bits,
+            levels,
+            scale,
+            zero_point,
+        }
     }
 
     /// The precision used.
@@ -56,7 +67,10 @@ impl AsymmetricToken {
 
     /// Reconstructs the token.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.levels.iter().map(|&l| l as f32 * self.scale + self.zero_point).collect()
+        self.levels
+            .iter()
+            .map(|&l| l as f32 * self.scale + self.zero_point)
+            .collect()
     }
 }
 
@@ -93,7 +107,10 @@ mod tests {
         for bits in [Bits::Int4, Bits::Int8] {
             let q = AsymmetricToken::quantize(&values, bits);
             for (&a, b) in values.iter().zip(q.dequantize()) {
-                assert!((a - b).abs() <= q.scale() * 0.51 + 1e-6, "{bits}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() <= q.scale() * 0.51 + 1e-6,
+                    "{bits}: {a} vs {b}"
+                );
             }
         }
     }

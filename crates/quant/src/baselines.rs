@@ -276,7 +276,15 @@ mod tests {
 
     #[test]
     fn f16_rounding_is_idempotent_and_close() {
-        for v in [0.0f32, 1.0, -1.0, 3.14159, 1e-3, -123.456, 6e4] {
+        for v in [
+            0.0f32,
+            1.0,
+            -1.0,
+            core::f32::consts::PI,
+            1e-3,
+            -123.456,
+            6e4,
+        ] {
             let r = round_to_f16(v);
             assert_eq!(round_to_f16(r), r, "{v}");
             assert!((r - v).abs() <= v.abs() * 1e-3 + 1e-7, "{v} -> {r}");
@@ -299,7 +307,10 @@ mod tests {
         assert!(SmoothQuant.covers_group(Group::B));
         assert!(!Ptq4Protein.covers_group(Group::B));
         assert!(Tender.covers_group(Group::C));
-        assert!(Tender.covers_group(Group::A), "channel-wise INT4 hits the residual stream");
+        assert!(
+            Tender.covers_group(Group::A),
+            "channel-wise INT4 hits the residual stream"
+        );
         assert!(!MeFold.covers_group(Group::C));
         for s in ALL_BASELINES {
             assert!(!s.covers_scores());
@@ -320,7 +331,10 @@ mod tests {
         let tender = err(BaselineScheme::Tender);
         assert!(fp16 < sq, "fp16 {fp16} < smoothquant {sq}");
         assert!(sq < tensor, "smoothquant {sq} < tensorwise {tensor}");
-        assert!(tensor < tender, "tensorwise int8 {tensor} < channelwise int4 {tender}");
+        assert!(
+            tensor < tender,
+            "tensorwise int8 {tensor} < channelwise int4 {tender}"
+        );
     }
 
     #[test]
@@ -341,7 +355,10 @@ mod tests {
         let mut x = x0.clone();
         BaselineScheme::Ptq4Protein.process(Group::A, false, &mut x);
         let rmse = x.rmse(&x0).unwrap();
-        assert!(rmse < 0.05, "group A must only see f16 rounding, rmse {rmse}");
+        assert!(
+            rmse < 0.05,
+            "group A must only see f16 rounding, rmse {rmse}"
+        );
     }
 
     #[test]

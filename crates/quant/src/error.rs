@@ -33,7 +33,9 @@ mod tests {
 
     #[test]
     fn display_has_context() {
-        let e = QuantError::CorruptBlock { what: "truncated at byte 7".into() };
+        let e = QuantError::CorruptBlock {
+            what: "truncated at byte 7".into(),
+        };
         assert!(e.to_string().contains("byte 7"));
     }
 }

@@ -90,10 +90,16 @@ pub fn decode_token(
     let (scale_raw, index_raw) = rest.split_at(scale_bytes);
 
     let inlier_scale = f32::from_le_bytes(
-        scale_raw[0..4].try_into().expect("slice length checked above"),
+        scale_raw[0..4]
+            .try_into()
+            .expect("slice length checked above"),
     );
     let outlier_scale = if scheme.outliers > 0 {
-        f32::from_le_bytes(scale_raw[4..8].try_into().expect("slice length checked above"))
+        f32::from_le_bytes(
+            scale_raw[4..8]
+                .try_into()
+                .expect("slice length checked above"),
+        )
     } else {
         1.0
     };
@@ -105,7 +111,11 @@ pub fn decode_token(
                 let byte = inlier_raw[k / 2];
                 let nib = if k % 2 == 0 { byte & 0x0F } else { byte >> 4 };
                 // Sign-extend the 4-bit value.
-                let v = if nib & 0x8 != 0 { nib as i16 - 16 } else { nib as i16 };
+                let v = if nib & 0x8 != 0 {
+                    nib as i16 - 16
+                } else {
+                    nib as i16
+                };
                 levels.push(v);
             }
         }
@@ -117,7 +127,9 @@ pub fn decode_token(
         Bits::Int16 => {
             for k in 0..n_inliers {
                 levels.push(i16::from_le_bytes(
-                    inlier_raw[k * 2..k * 2 + 2].try_into().expect("length checked"),
+                    inlier_raw[k * 2..k * 2 + 2]
+                        .try_into()
+                        .expect("length checked"),
                 ));
             }
         }
@@ -138,8 +150,11 @@ pub fn decode_token(
             });
         }
         outlier_mask[idx] = true;
-        let level =
-            i16::from_le_bytes(outlier_raw[k * 2..k * 2 + 2].try_into().expect("length checked"));
+        let level = i16::from_le_bytes(
+            outlier_raw[k * 2..k * 2 + 2]
+                .try_into()
+                .expect("length checked"),
+        );
         out[idx] = level as f32 * outlier_scale;
     }
     let mut level_iter = levels.into_iter();
@@ -176,7 +191,12 @@ impl TokenBlock {
             assert_eq!(t.channels(), channels, "mixed widths in block");
             bytes.extend_from_slice(&encode_token(t));
         }
-        TokenBlock { scheme, channels, tokens: tokens.len(), bytes }
+        TokenBlock {
+            scheme,
+            channels,
+            tokens: tokens.len(),
+            bytes,
+        }
     }
 
     /// The shared scheme.
@@ -216,7 +236,13 @@ impl TokenBlock {
             });
         }
         (0..self.tokens)
-            .map(|t| decode_token(&self.bytes[t * stride..(t + 1) * stride], self.scheme, self.channels))
+            .map(|t| {
+                decode_token(
+                    &self.bytes[t * stride..(t + 1) * stride],
+                    self.scheme,
+                    self.channels,
+                )
+            })
             .collect()
     }
 
@@ -232,7 +258,9 @@ mod tests {
     use crate::token::quantize_token;
 
     fn sample_values(n: usize, seed: usize) -> Vec<f32> {
-        (0..n).map(|i| (((i * 31 + seed * 17) % 97) as f32 - 48.0) * 0.21).collect()
+        (0..n)
+            .map(|i| (((i * 31 + seed * 17) % 97) as f32 - 48.0) * 0.21)
+            .collect()
     }
 
     #[test]
@@ -331,8 +359,9 @@ mod tests {
     #[test]
     fn block_round_trip() {
         let scheme = QuantScheme::int4_with_outliers(4);
-        let tokens: Vec<_> =
-            (0..10).map(|s| quantize_token(&sample_values(128, s), scheme)).collect();
+        let tokens: Vec<_> = (0..10)
+            .map(|s| quantize_token(&sample_values(128, s), scheme))
+            .collect();
         let block = TokenBlock::encode(&tokens);
         assert_eq!(block.num_tokens(), 10);
         assert_eq!(block.encoded_bytes(), 10 * scheme.token_bytes(128));

@@ -55,12 +55,18 @@ pub struct QuantScheme {
 impl QuantScheme {
     /// INT8 inliers with `k` outliers.
     pub fn int8_with_outliers(k: usize) -> Self {
-        QuantScheme { inlier_bits: Bits::Int8, outliers: k }
+        QuantScheme {
+            inlier_bits: Bits::Int8,
+            outliers: k,
+        }
     }
 
     /// INT4 inliers with `k` outliers.
     pub fn int4_with_outliers(k: usize) -> Self {
-        QuantScheme { inlier_bits: Bits::Int4, outliers: k }
+        QuantScheme {
+            inlier_bits: Bits::Int4,
+            outliers: k,
+        }
     }
 
     /// Validates the scheme against a token width.

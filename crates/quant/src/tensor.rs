@@ -48,8 +48,14 @@ impl QuantizedTensor {
     /// Panics if the scheme's outlier budget is not below the channel
     /// count or channels exceed 256 (the hardware token width bound).
     pub fn from_tensor(x: &Tensor2, scheme: QuantScheme) -> Self {
-        let tokens = (0..x.rows()).map(|t| quantize_token(x.row(t), scheme)).collect();
-        QuantizedTensor { scheme, channels: x.cols(), tokens }
+        let tokens = (0..x.rows())
+            .map(|t| quantize_token(x.row(t), scheme))
+            .collect();
+        QuantizedTensor {
+            scheme,
+            channels: x.cols(),
+            tokens,
+        }
     }
 
     /// The shared scheme.
@@ -76,7 +82,10 @@ impl QuantizedTensor {
     pub fn to_blocks(&self) -> Vec<TokenBlock> {
         let per_block =
             TokenBlock::tokens_per_block(self.scheme, self.channels, DEFAULT_BLOCK_BYTES);
-        self.tokens.chunks(per_block).map(TokenBlock::encode).collect()
+        self.tokens
+            .chunks(per_block)
+            .map(TokenBlock::encode)
+            .collect()
     }
 
     /// Rebuilds the container from blocks.
@@ -93,7 +102,11 @@ impl QuantizedTensor {
                 tokens.push(quantize_token(&values, scheme));
             }
         }
-        Ok(QuantizedTensor { scheme, channels, tokens })
+        Ok(QuantizedTensor {
+            scheme,
+            channels,
+            tokens,
+        })
     }
 
     /// Decodes back to full precision.
@@ -207,7 +220,10 @@ mod tests {
             let fast = q.matmul(&w).expect("shapes match");
             let slow = q.decode().matmul(&w).expect("shapes match");
             for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!((a - b).abs() < 1e-3 * b.abs().max(1.0), "{scheme}: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-3 * b.abs().max(1.0),
+                    "{scheme}: {a} vs {b}"
+                );
             }
         }
     }

@@ -107,7 +107,10 @@ impl QuantizedToken {
 /// `Hz = 128` fits comfortably).
 pub fn quantize_token(values: &[f32], scheme: QuantScheme) -> QuantizedToken {
     assert!(values.len() <= 256, "token width above u8 index range");
-    assert!(scheme.outliers < values.len().max(1), "outlier budget must leave inliers");
+    assert!(
+        scheme.outliers < values.len().max(1),
+        "outlier budget must leave inliers"
+    );
 
     let mut outlier_indices: Vec<usize> = if scheme.outliers > 0 {
         stats::top_k_abs_indices(values, scheme.outliers)
@@ -193,8 +196,7 @@ pub fn fake_quantize_tokens(x: &mut Tensor2, scheme: QuantScheme) {
                 continue;
             }
             let q = quantize_token(seg, seg_scheme);
-            out[seg_idx * SEGMENT..seg_idx * SEGMENT + seg.len()]
-                .copy_from_slice(&q.dequantize());
+            out[seg_idx * SEGMENT..seg_idx * SEGMENT + seg.len()].copy_from_slice(&q.dequantize());
         }
     }
 }
@@ -219,7 +221,9 @@ mod tests {
 
     #[test]
     fn round_trip_error_is_bounded_by_half_scale() {
-        let values: Vec<f32> = (0..128).map(|i| ((i * 37 % 100) as f32 - 50.0) * 0.1).collect();
+        let values: Vec<f32> = (0..128)
+            .map(|i| ((i * 37 % 100) as f32 - 50.0) * 0.1)
+            .collect();
         for scheme in [
             QuantScheme::int8_with_outliers(0),
             QuantScheme::int8_with_outliers(4),

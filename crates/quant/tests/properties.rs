@@ -1,3 +1,7 @@
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for quantization and the Fig. 7 memory layout.
 
 use ln_quant::layout::{decode_token, encode_token, TokenBlock};
@@ -6,8 +10,14 @@ use ln_quant::token::{quantize_token, quantize_value};
 use proptest::prelude::*;
 
 fn arb_scheme() -> impl Strategy<Value = QuantScheme> {
-    (prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)], 0usize..8)
-        .prop_map(|(bits, outliers)| QuantScheme { inlier_bits: bits, outliers })
+    (
+        prop_oneof![Just(Bits::Int4), Just(Bits::Int8), Just(Bits::Int16)],
+        0usize..8,
+    )
+        .prop_map(|(bits, outliers)| QuantScheme {
+            inlier_bits: bits,
+            outliers,
+        })
 }
 
 fn arb_token() -> impl Strategy<Value = Vec<f32>> {

@@ -1,0 +1,305 @@
+//! The length-bucketed dynamic batcher.
+//!
+//! One bounded FIFO queue per length bucket. A bucket becomes *ready* when
+//! it holds a full batch or its head has waited `max_wait_seconds`; a
+//! ready bucket is drained front-to-front into a batch, never crossing
+//! bucket boundaries. Admission is non-blocking: a full queue rejects.
+
+use crate::bucket::BucketPolicy;
+use crate::request::FoldRequest;
+use std::collections::VecDeque;
+
+/// Batching and admission parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatcherConfig {
+    /// Maximum requests per batch (1 = sequential dispatch).
+    pub max_batch: usize,
+    /// Maximum seconds the head of a bucket may wait before the bucket is
+    /// flushed even when under-full.
+    pub max_wait_seconds: f64,
+    /// Bounded per-bucket queue depth; offers beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Service-time budget per batch, virtual seconds: a batch stops
+    /// growing once its predicted execution time would exceed this. Keeps
+    /// long-sequence buckets from forming minutes-long batches that
+    /// serialize one backend while the rest idle (the batch always admits
+    /// its head, so no request can be starved by the budget).
+    pub max_batch_seconds: f64,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 8,
+            max_wait_seconds: 2.0,
+            queue_capacity: 64,
+            max_batch_seconds: f64::INFINITY,
+        }
+    }
+}
+
+impl BatcherConfig {
+    /// Sequential dispatch: one request per batch, no batching delay.
+    pub fn sequential() -> Self {
+        BatcherConfig {
+            max_batch: 1,
+            max_wait_seconds: 0.0,
+            ..BatcherConfig::default()
+        }
+    }
+}
+
+/// Per-bucket bounded queues plus the flush policy.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    policy: BucketPolicy,
+    cfg: BatcherConfig,
+    queues: Vec<VecDeque<FoldRequest>>,
+}
+
+impl Batcher {
+    /// Builds a batcher for a bucket policy.
+    pub fn new(policy: BucketPolicy, cfg: BatcherConfig) -> Self {
+        let queues = (0..policy.num_buckets()).map(|_| VecDeque::new()).collect();
+        Batcher {
+            policy,
+            cfg,
+            queues,
+        }
+    }
+
+    /// The bucket policy.
+    pub fn policy(&self) -> &BucketPolicy {
+        &self.policy
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BatcherConfig {
+        &self.cfg
+    }
+
+    /// Queue depth of one bucket.
+    pub fn depth(&self, bucket: usize) -> usize {
+        self.queues[bucket].len()
+    }
+
+    /// Total queued requests across buckets.
+    pub fn total_depth(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Admits a request into its bucket's queue, or returns it when the
+    /// queue is at capacity (the caller turns that into a rejection —
+    /// admission never blocks).
+    pub fn offer(&mut self, request: FoldRequest) -> Result<usize, FoldRequest> {
+        let bucket = self.policy.bucket_of(request.length);
+        if self.queues[bucket].len() >= self.cfg.queue_capacity {
+            return Err(request);
+        }
+        self.queues[bucket].push_back(request);
+        Ok(bucket)
+    }
+
+    /// Removes and returns every queued request whose dispatch deadline has
+    /// passed at virtual time `now`.
+    pub fn expire(&mut self, now: f64) -> Vec<FoldRequest> {
+        let mut expired = Vec::new();
+        for q in &mut self.queues {
+            let mut i = 0;
+            while i < q.len() {
+                if now >= q[i].deadline() {
+                    expired.push(q.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        expired.sort_by_key(|a| a.id);
+        expired
+    }
+
+    /// Buckets eligible for flushing at `now`, oldest head first (ties
+    /// break on bucket index, keeping the schedule deterministic). With
+    /// `drain` set every non-empty bucket is eligible (shutdown flush).
+    pub fn ready_buckets(&self, now: f64, drain: bool) -> Vec<usize> {
+        let mut ready: Vec<(f64, u64, usize)> = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(b, q)| {
+                let head = q.front()?;
+                let full = q.len() >= self.cfg.max_batch;
+                let waited = now - head.arrival_seconds >= self.cfg.max_wait_seconds;
+                (drain || full || waited).then_some((head.arrival_seconds, head.id, b))
+            })
+            .collect();
+        ready.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ready.into_iter().map(|(_, _, b)| b).collect()
+    }
+
+    /// Sequence length at the head of a bucket.
+    pub fn head_length(&self, bucket: usize) -> Option<usize> {
+        self.queues[bucket].front().map(|r| r.length)
+    }
+
+    /// The earliest future virtual time at which anything changes on its
+    /// own: a bucket's max-wait flush or a request's timeout.
+    pub fn next_deadline(&self) -> Option<f64> {
+        let mut t: Option<f64> = None;
+        let mut fold = |cand: f64| t = Some(t.map_or(cand, |cur: f64| cur.min(cand)));
+        for q in &self.queues {
+            if let Some(head) = q.front() {
+                fold(head.arrival_seconds + self.cfg.max_wait_seconds);
+            }
+            for r in q {
+                fold(r.deadline());
+            }
+        }
+        t
+    }
+
+    /// Pops a batch from the front of a bucket: up to `max_batch` requests,
+    /// greedily extended while `fits` accepts the accumulated lengths.
+    ///
+    /// The caller must have verified that the head alone fits; buckets are
+    /// never mixed, so every returned request maps to `bucket`.
+    pub fn take_batch(
+        &mut self,
+        bucket: usize,
+        fits: impl Fn(&[usize]) -> bool,
+    ) -> Vec<FoldRequest> {
+        let q = &mut self.queues[bucket];
+        let mut batch: Vec<FoldRequest> = Vec::new();
+        let mut lengths: Vec<usize> = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            let Some(next) = q.front() else { break };
+            lengths.push(next.length);
+            if !batch.is_empty() && !fits(&lengths) {
+                break;
+            }
+            batch.push(q.pop_front().expect("front exists"));
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, length: usize, arrival: f64) -> FoldRequest {
+        FoldRequest {
+            id,
+            name: format!("r{id}"),
+            length,
+            arrival_seconds: arrival,
+            timeout_seconds: 100.0,
+        }
+    }
+
+    fn batcher(max_batch: usize, cap: usize) -> Batcher {
+        Batcher::new(
+            BucketPolicy::fixed(vec![100, 500]),
+            BatcherConfig {
+                max_batch,
+                max_wait_seconds: 2.0,
+                queue_capacity: cap,
+                ..BatcherConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn offer_routes_to_length_bucket_and_bounds_depth() {
+        let mut b = batcher(4, 2);
+        assert_eq!(b.offer(req(1, 50, 0.0)), Ok(0));
+        assert_eq!(b.offer(req(2, 300, 0.0)), Ok(1));
+        assert_eq!(b.offer(req(3, 80, 0.0)), Ok(0));
+        // Bucket 0 is now at capacity 2: the next short request bounces.
+        let bounced = b.offer(req(4, 90, 0.0)).expect_err("queue full");
+        assert_eq!(bounced.id, 4);
+        // Other buckets are unaffected by bucket 0's backpressure.
+        assert_eq!(b.offer(req(5, 600, 0.0)), Ok(2));
+        assert_eq!(b.total_depth(), 4);
+    }
+
+    #[test]
+    fn ready_on_full_batch_or_head_wait() {
+        let mut b = batcher(2, 10);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        assert!(
+            b.ready_buckets(0.1, false).is_empty(),
+            "single fresh request waits"
+        );
+        assert_eq!(b.ready_buckets(2.0, false), vec![0], "head waited max_wait");
+        b.offer(req(2, 60, 0.1)).unwrap();
+        assert_eq!(
+            b.ready_buckets(0.1, false),
+            vec![0],
+            "full batch is ready immediately"
+        );
+    }
+
+    #[test]
+    fn ready_order_is_oldest_head_first() {
+        let mut b = batcher(1, 10);
+        b.offer(req(1, 600, 0.5)).unwrap();
+        b.offer(req(2, 50, 0.2)).unwrap();
+        b.offer(req(3, 300, 0.2)).unwrap();
+        // max_batch = 1: every non-empty bucket is ready; ties break on id.
+        assert_eq!(b.ready_buckets(5.0, false), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_flushes_underfull_buckets() {
+        let mut b = batcher(8, 10);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        assert!(b.ready_buckets(0.0, false).is_empty());
+        assert_eq!(b.ready_buckets(0.0, true), vec![0]);
+    }
+
+    #[test]
+    fn take_batch_respects_cap_and_fit() {
+        let mut b = batcher(3, 10);
+        for i in 0..5 {
+            b.offer(req(i, 50 + i as usize, 0.0)).unwrap();
+        }
+        // Fit closure caps accumulated "memory" at two sequences.
+        let batch = b.take_batch(0, |lens| lens.len() <= 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].id, 0);
+        assert_eq!(batch[1].id, 1);
+        let rest = b.take_batch(0, |_| true);
+        assert_eq!(rest.len(), 3, "max_batch caps the flush");
+        assert_eq!(b.depth(0), 0);
+    }
+
+    #[test]
+    fn expire_removes_past_deadline_in_id_order() {
+        let mut b = batcher(8, 10);
+        let mut r1 = req(1, 50, 0.0);
+        r1.timeout_seconds = 1.0;
+        let mut r2 = req(2, 600, 0.0);
+        r2.timeout_seconds = 5.0;
+        b.offer(r1).unwrap();
+        b.offer(r2).unwrap();
+        let gone = b.expire(1.0);
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].id, 1);
+        assert_eq!(b.total_depth(), 1);
+        assert!(b.expire(4.9).is_empty());
+        assert_eq!(b.expire(5.0).len(), 1);
+    }
+
+    #[test]
+    fn next_deadline_is_min_of_flush_and_timeout() {
+        let mut b = batcher(8, 10);
+        assert_eq!(b.next_deadline(), None);
+        let mut r = req(1, 50, 1.0);
+        r.timeout_seconds = 0.5; // deadline 1.5 < flush 1.0 + 2.0
+        b.offer(r).unwrap();
+        assert_eq!(b.next_deadline(), Some(1.5));
+        b.offer(req(2, 600, 1.2)).unwrap(); // flush at 3.2, timeout at 101.2
+        assert_eq!(b.next_deadline(), Some(1.5));
+    }
+}

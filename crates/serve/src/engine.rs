@@ -1,0 +1,421 @@
+//! The deterministic virtual-time scheduler.
+//!
+//! A discrete-event loop over three event kinds — request arrivals, batch
+//! completions, and batcher deadlines (max-wait flushes and request
+//! timeouts) — with all latencies drawn from the backends' device models.
+//! Nothing reads wall-clock, every tie breaks on `(time, id)`, and
+//! iteration orders are fixed, so an identical workload always yields an
+//! identical batch schedule and statistics (the reproducibility the
+//! integration tests pin).
+
+use crate::backend::Backend;
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::bucket::BucketPolicy;
+use crate::request::{FoldOutcome, FoldRequest, FoldResponse, RejectReason};
+use crate::stats::{BatchRecord, ServeStats};
+
+/// A batch in flight on a backend.
+#[derive(Debug, Clone)]
+struct InFlight {
+    finish_seconds: f64,
+    start_seconds: f64,
+    bucket: usize,
+    requests: Vec<FoldRequest>,
+}
+
+/// The result of driving a workload through the engine.
+#[derive(Debug)]
+pub struct EngineOutcome {
+    /// One response per workload request, in request-id order.
+    pub responses: Vec<FoldResponse>,
+    /// The statistics collector (schedule, percentiles, counters).
+    pub stats: ServeStats,
+}
+
+/// The batched folding scheduler over a pool of simulated backends.
+pub struct Engine {
+    batcher: Batcher,
+    backends: Vec<Box<dyn Backend>>,
+    /// `max_single_length` per backend (its routing capacity).
+    capacities: Vec<usize>,
+    /// Backend indices sorted by ascending capacity: dispatch prefers the
+    /// least capable device that fits, keeping AAQ-capable memory free for
+    /// the long-sequence buckets.
+    dispatch_order: Vec<usize>,
+    in_flight: Vec<Option<InFlight>>,
+}
+
+impl Engine {
+    /// Builds an engine over a backend pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn new(policy: BucketPolicy, cfg: BatcherConfig, backends: Vec<Box<dyn Backend>>) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        let capacities: Vec<usize> = backends.iter().map(|b| b.max_single_length()).collect();
+        let mut dispatch_order: Vec<usize> = (0..backends.len()).collect();
+        dispatch_order.sort_by_key(|&i| capacities[i]);
+        let in_flight = backends.iter().map(|_| None).collect();
+        Engine {
+            batcher: Batcher::new(policy, cfg),
+            backends,
+            capacities,
+            dispatch_order,
+            in_flight,
+        }
+    }
+
+    /// The longest sequence any backend in the pool can fold.
+    pub fn max_routable_length(&self) -> usize {
+        self.capacities.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Runs a workload to completion and returns responses plus stats.
+    ///
+    /// The workload is processed in `(arrival, id)` order regardless of
+    /// input order, so shuffled inputs yield the same schedule.
+    pub fn run(&mut self, workload: &[FoldRequest]) -> EngineOutcome {
+        let mut arrivals: Vec<FoldRequest> = workload.to_vec();
+        arrivals.sort_by(|a, b| {
+            a.arrival_seconds
+                .total_cmp(&b.arrival_seconds)
+                .then(a.id.cmp(&b.id))
+        });
+        let mut stats = ServeStats::new(self.batcher.policy().num_buckets());
+        let mut responses: Vec<FoldResponse> = Vec::with_capacity(arrivals.len());
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            // Pick the next event time. Arrivals and completions consume
+            // themselves, so candidates at `now` are fine; deadlines do
+            // not, so only strictly-future ones count (a stale flush
+            // deadline just means the bucket is already ready and waiting
+            // for a backend — a completion will wake it).
+            let mut next: Option<f64> = None;
+            let mut fold = |cand: f64| next = Some(next.map_or(cand, |cur: f64| cur.min(cand)));
+            if next_arrival < arrivals.len() {
+                fold(arrivals[next_arrival].arrival_seconds.max(now));
+            }
+            for f in self.in_flight.iter().flatten() {
+                fold(f.finish_seconds.max(now));
+            }
+            if let Some(d) = self.batcher.next_deadline() {
+                if d > now {
+                    fold(d);
+                }
+            }
+            let Some(t) = next else { break };
+            now = t;
+
+            // 1. Completions due by now, in (finish, backend) order.
+            loop {
+                let due = self
+                    .in_flight
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, f)| f.as_ref().map(|f| (f.finish_seconds, i)))
+                    .filter(|&(fin, _)| fin <= now)
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let Some((_, idx)) = due else { break };
+                let f = self.in_flight[idx].take().expect("selected above");
+                let backend_name = self.backends[idx].name().to_string();
+                let latencies: Vec<f64> = f
+                    .requests
+                    .iter()
+                    .map(|r| f.finish_seconds - r.arrival_seconds)
+                    .collect();
+                stats.record_batch(
+                    BatchRecord {
+                        bucket: f.bucket,
+                        backend: backend_name.clone(),
+                        lengths: f.requests.iter().map(|r| r.length).collect(),
+                        start_seconds: f.start_seconds,
+                        finish_seconds: f.finish_seconds,
+                    },
+                    &latencies,
+                );
+                let batch_size = f.requests.len();
+                for r in f.requests {
+                    responses.push(FoldResponse {
+                        id: r.id,
+                        name: r.name,
+                        length: r.length,
+                        outcome: FoldOutcome::Completed {
+                            backend: backend_name.clone(),
+                            started_seconds: f.start_seconds,
+                            finished_seconds: f.finish_seconds,
+                            batch_size,
+                        },
+                    });
+                }
+            }
+
+            // 2. Arrivals due by now: admission control.
+            while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_seconds <= now {
+                let req = arrivals[next_arrival].clone();
+                next_arrival += 1;
+                let bucket = self.batcher.policy().bucket_of(req.length);
+                if req.length > self.max_routable_length() {
+                    stats.record_rejection(bucket);
+                    responses.push(reject(req, RejectReason::TooLong));
+                    continue;
+                }
+                match self.batcher.offer(req) {
+                    Ok(b) => stats.record_depth(b, self.batcher.depth(b)),
+                    Err(req) => {
+                        stats.record_rejection(bucket);
+                        responses.push(reject(req, RejectReason::QueueFull));
+                    }
+                }
+            }
+
+            // 3. Dispatch every ready bucket that has an idle, fitting
+            //    backend (requests get their dispatch chance before the
+            //    same-instant timeout check below).
+            self.dispatch(now, false, &mut stats);
+
+            // 4. Timeouts.
+            for r in self.batcher.expire(now) {
+                let bucket = self.batcher.policy().bucket_of(r.length);
+                stats.record_timeout(bucket);
+                responses.push(FoldResponse {
+                    id: r.id,
+                    name: r.name,
+                    length: r.length,
+                    outcome: FoldOutcome::TimedOut {
+                        waited_seconds: now - r.arrival_seconds,
+                    },
+                });
+            }
+
+            let drained = next_arrival >= arrivals.len() && self.batcher.total_depth() == 0;
+            if drained && self.in_flight.iter().all(Option::is_none) {
+                break;
+            }
+        }
+
+        stats.finish(now);
+        responses.sort_by_key(|r| r.id);
+        EngineOutcome { responses, stats }
+    }
+
+    /// Greedily dispatches ready buckets onto idle backends.
+    fn dispatch(&mut self, now: f64, drain: bool, stats: &mut ServeStats) {
+        loop {
+            let mut dispatched = false;
+            for bucket in self.batcher.ready_buckets(now, drain) {
+                let Some(head_len) = self.batcher.head_length(bucket) else {
+                    continue;
+                };
+                // Least-capable idle backend that fits the head: long
+                // sequences end up on AAQ-capable memory, short ones leave
+                // it free.
+                let Some(&idx) = self.dispatch_order.iter().find(|&&i| {
+                    self.in_flight[i].is_none() && self.backends[i].fits_batch(&[head_len])
+                }) else {
+                    continue;
+                };
+                let backend = &self.backends[idx];
+                let budget = self.batcher.config().max_batch_seconds;
+                let batch = self.batcher.take_batch(bucket, |lens| {
+                    backend.fits_batch(lens) && backend.batch_seconds(lens) <= budget
+                });
+                debug_assert!(!batch.is_empty());
+                let lengths: Vec<usize> = batch.iter().map(|r| r.length).collect();
+                let finish = now + backend.batch_seconds(&lengths);
+                self.in_flight[idx] = Some(InFlight {
+                    finish_seconds: finish,
+                    start_seconds: now,
+                    bucket,
+                    requests: batch,
+                });
+                stats.record_depth(bucket, self.batcher.depth(bucket));
+                dispatched = true;
+                break; // ready set changed; recompute.
+            }
+            if !dispatched {
+                return;
+            }
+        }
+    }
+}
+
+fn reject(req: FoldRequest, reason: RejectReason) -> FoldResponse {
+    FoldResponse {
+        id: req.id,
+        name: req.name,
+        length: req.length,
+        outcome: FoldOutcome::Rejected(reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::standard_backends;
+
+    fn req(id: u64, length: usize, arrival: f64, timeout: f64) -> FoldRequest {
+        FoldRequest {
+            id,
+            name: format!("r{id}"),
+            length,
+            arrival_seconds: arrival,
+            timeout_seconds: timeout,
+        }
+    }
+
+    fn small_policy() -> BucketPolicy {
+        BucketPolicy::fixed(vec![256, 1024, 4096])
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_response() {
+        let workload: Vec<FoldRequest> = (0..24)
+            .map(|i| req(i, 100 + (i as usize * 137) % 1200, i as f64 * 0.3, 1e6))
+            .collect();
+        let mut e = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out = e.run(&workload);
+        assert_eq!(out.responses.len(), workload.len());
+        assert!(out.responses.iter().all(|r| r.outcome.is_completed()));
+        assert_eq!(out.stats.completed(), 24);
+        let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_never_cross_buckets() {
+        let workload: Vec<FoldRequest> = (0..40)
+            .map(|i| req(i, 60 + (i as usize * 211) % 3000, i as f64 * 0.1, 1e6))
+            .collect();
+        let policy = small_policy();
+        let mut e = Engine::new(
+            policy.clone(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out = e.run(&workload);
+        for b in &out.stats.batch_log {
+            for &len in &b.lengths {
+                assert_eq!(policy.bucket_of(len), b.bucket, "{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_as_unroutable() {
+        let mut e = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out = e.run(&[req(0, 150_000, 0.0, 1e6), req(1, 200, 0.0, 1e6)]);
+        assert_eq!(
+            out.responses[0].outcome,
+            FoldOutcome::Rejected(RejectReason::TooLong)
+        );
+        assert!(out.responses[1].outcome.is_completed());
+        assert_eq!(out.stats.rejected(), 1);
+    }
+
+    #[test]
+    fn long_sequences_route_to_lightnobel() {
+        // One residue past the chunked GPUs' memory reach: only the
+        // AAQ-quantized accelerator can hold it (~10k, paper §8.3).
+        let gpu_reach = crate::GpuBackend::h100_chunk4()
+            .max_single_length()
+            .max(crate::GpuBackend::a100_chunk4().max_single_length());
+        let workload = vec![req(0, gpu_reach + 1, 0.0, 1e6)];
+        let mut e = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out = e.run(&workload);
+        match &out.responses[0].outcome {
+            FoldOutcome::Completed { backend, .. } => assert_eq!(backend, "LightNobel"),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_service_time_budget_caps_batches() {
+        // 2 000-residue folds take ~10 s each on the accelerator: a 1 s
+        // budget must force singleton batches, while no budget batches them.
+        let workload: Vec<FoldRequest> = (0..8).map(|i| req(i, 2000, 0.0, 1e6)).collect();
+        let free = BatcherConfig::default();
+        let capped = BatcherConfig {
+            max_batch_seconds: 1.0,
+            ..free
+        };
+        let mut unbounded = Engine::new(small_policy(), free, standard_backends());
+        let out = unbounded.run(&workload);
+        assert!(out.stats.batch_log.iter().any(|b| b.lengths.len() > 1));
+        let mut bounded = Engine::new(small_policy(), capped, standard_backends());
+        let out = bounded.run(&workload);
+        assert!(
+            out.stats.batch_log.iter().all(|b| b.lengths.len() == 1),
+            "{:?}",
+            out.stats.batch_log
+        );
+        assert_eq!(
+            out.stats.completed(),
+            8,
+            "the budget never rejects, only splits"
+        );
+    }
+
+    #[test]
+    fn saturated_queue_rejects_and_starved_requests_time_out() {
+        // One-slot queues and a tiny timeout under a burst: some requests
+        // bounce at admission, some expire while the backend is busy.
+        let cfg = BatcherConfig {
+            max_batch: 1,
+            max_wait_seconds: 0.0,
+            queue_capacity: 1,
+            ..BatcherConfig::default()
+        };
+        let workload: Vec<FoldRequest> = (0..30).map(|i| req(i, 900, 0.0, 0.5)).collect();
+        let mut e = Engine::new(small_policy(), cfg, standard_backends());
+        let out = e.run(&workload);
+        assert!(
+            out.stats.rejected() > 0,
+            "burst must overflow the 1-deep queue"
+        );
+        assert_eq!(out.responses.len(), 30);
+        assert_eq!(
+            out.stats.completed() + out.stats.rejected() + out.stats.timed_out(),
+            30,
+            "every request is accounted for"
+        );
+    }
+
+    #[test]
+    fn identical_runs_identical_schedules() {
+        let workload: Vec<FoldRequest> = (0..32)
+            .map(|i| req(i, 80 + (i as usize * 311) % 2000, i as f64 * 0.25, 50.0))
+            .collect();
+        let run = |w: &[FoldRequest]| {
+            Engine::new(
+                small_policy(),
+                BatcherConfig::default(),
+                standard_backends(),
+            )
+            .run(w)
+        };
+        let a = run(&workload);
+        let b = run(&workload);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.responses, b.responses);
+        // Input order must not matter either.
+        let mut shuffled = workload.clone();
+        shuffled.reverse();
+        let c = run(&shuffled);
+        assert_eq!(a.stats.fingerprint(), c.stats.fingerprint());
+    }
+}

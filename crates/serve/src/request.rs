@@ -1,0 +1,140 @@
+//! The folding-service request/response API.
+
+use std::fmt;
+
+/// A folding request as admitted to the scheduler.
+///
+/// Times are *virtual* seconds on the service clock (the engine advances
+/// it deterministically; the threaded service maps wall-clock onto it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldRequest {
+    /// Monotonic request id (also the deterministic tie-breaker).
+    pub id: u64,
+    /// Target name (e.g. a CASP target like `"T1169"`).
+    pub name: String,
+    /// Sequence length in residues — the only feature the scheduler needs.
+    pub length: usize,
+    /// Arrival time on the virtual clock, seconds.
+    pub arrival_seconds: f64,
+    /// Queueing budget: the request times out if not *dispatched* within
+    /// this many seconds of arrival.
+    pub timeout_seconds: f64,
+}
+
+impl FoldRequest {
+    /// Latest virtual time at which the request may still be dispatched.
+    pub fn deadline(&self) -> f64 {
+        self.arrival_seconds + self.timeout_seconds
+    }
+}
+
+/// Why a request was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bucket's bounded queue was full (backpressure).
+    QueueFull,
+    /// No backend in the pool can ever fit the sequence in memory.
+    TooLong,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => f.write_str("queue full"),
+            RejectReason::TooLong => f.write_str("no backend fits sequence"),
+        }
+    }
+}
+
+/// Terminal outcome of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldOutcome {
+    /// The fold ran to completion.
+    Completed {
+        /// Backend that executed the batch.
+        backend: String,
+        /// Virtual dispatch time, seconds.
+        started_seconds: f64,
+        /// Virtual completion time, seconds.
+        finished_seconds: f64,
+        /// Number of requests co-batched with this one (including it).
+        batch_size: usize,
+    },
+    /// Admission control refused the request.
+    Rejected(RejectReason),
+    /// The request waited past its deadline without being dispatched.
+    TimedOut {
+        /// How long it waited before expiring, seconds.
+        waited_seconds: f64,
+    },
+}
+
+impl FoldOutcome {
+    /// End-to-end latency (arrival → completion), when completed.
+    pub fn latency_seconds(&self, arrival_seconds: f64) -> Option<f64> {
+        match self {
+            FoldOutcome::Completed {
+                finished_seconds, ..
+            } => Some(finished_seconds - arrival_seconds),
+            _ => None,
+        }
+    }
+
+    /// Whether the fold completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FoldOutcome::Completed { .. })
+    }
+}
+
+/// The response delivered for every admitted or refused request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldResponse {
+    /// Id of the originating request.
+    pub id: u64,
+    /// Target name echoed back.
+    pub name: String,
+    /// Sequence length echoed back.
+    pub length: usize,
+    /// What happened.
+    pub outcome: FoldOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_for_completed() {
+        let done = FoldOutcome::Completed {
+            backend: "ln".into(),
+            started_seconds: 1.0,
+            finished_seconds: 3.5,
+            batch_size: 4,
+        };
+        assert_eq!(done.latency_seconds(0.5), Some(3.0));
+        assert!(done.is_completed());
+        assert_eq!(
+            FoldOutcome::Rejected(RejectReason::QueueFull).latency_seconds(0.0),
+            None
+        );
+        assert_eq!(
+            FoldOutcome::TimedOut {
+                waited_seconds: 9.0
+            }
+            .latency_seconds(0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn deadline_is_arrival_plus_timeout() {
+        let r = FoldRequest {
+            id: 1,
+            name: "x".into(),
+            length: 100,
+            arrival_seconds: 2.0,
+            timeout_seconds: 30.0,
+        };
+        assert_eq!(r.deadline(), 32.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The threaded serving front-end.
+//!
+//! [`FoldService`] runs one worker thread per backend over the shared
+//! length-bucketed batcher, built entirely on std primitives (`thread`,
+//! `Mutex`/`Condvar`, `mpsc`). `submit` is non-blocking: a full bucket
+//! queue rejects immediately with [`SubmitError::QueueFull`] instead of
+//! applying backpressure by stalling the caller.
+//!
+//! Wall-clock is used only to *pace* the service (max-wait flushes and
+//! queueing timeouts); all reported latencies are virtual seconds from the
+//! backends' device models, the same numbers the deterministic
+//! [`crate::engine::Engine`] produces.
+
+use crate::backend::Backend;
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::bucket::BucketPolicy;
+use crate::request::{FoldOutcome, FoldRequest, FoldResponse};
+use crate::stats::{BatchRecord, ServeStats};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Why `submit` refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The length bucket's bounded queue is full (backpressure).
+    QueueFull,
+    /// No backend in the pool can ever fit the sequence.
+    TooLong,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Batching and admission parameters.
+    pub batcher: BatcherConfig,
+    /// Wall-clock delay a worker holds per dispatched batch, emulating
+    /// device occupancy so queueing (and hence rejection/timeout paths)
+    /// is observable in tests. Zero by default.
+    pub dispatch_wall_delay: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batcher: BatcherConfig::default(),
+            dispatch_wall_delay: Duration::ZERO,
+        }
+    }
+}
+
+struct State {
+    batcher: Batcher,
+    senders: HashMap<u64, Sender<FoldResponse>>,
+    stats: ServeStats,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    started: Instant,
+    config: ServiceConfig,
+    max_routable: usize,
+}
+
+impl Shared {
+    fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A running folding service: worker threads, bounded queues, graceful
+/// shutdown.
+pub struct FoldService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FoldService {
+    /// Starts the service with one worker thread per backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn start(
+        policy: BucketPolicy,
+        config: ServiceConfig,
+        backends: Vec<Box<dyn Backend>>,
+    ) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        let max_routable = backends
+            .iter()
+            .map(|b| b.max_single_length())
+            .max()
+            .expect("non-empty pool");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batcher: Batcher::new(policy.clone(), config.batcher),
+                senders: HashMap::new(),
+                stats: ServeStats::new(policy.num_buckets()),
+                next_id: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            started: Instant::now(),
+            config,
+            max_routable,
+        });
+        let workers = backends
+            .into_iter()
+            .map(|b| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker(shared, b))
+            })
+            .collect();
+        FoldService { shared, workers }
+    }
+
+    /// Submits a fold request. Never blocks: a full queue or unroutable
+    /// length returns an error immediately. On success the returned
+    /// channel eventually yields exactly one [`FoldResponse`].
+    pub fn submit(
+        &self,
+        name: &str,
+        length: usize,
+        timeout_seconds: f64,
+    ) -> Result<Receiver<FoldResponse>, SubmitError> {
+        let now = self.shared.now();
+        let mut st = self.shared.state.lock().expect("service lock");
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let bucket = st.batcher.policy().bucket_of(length);
+        if length > self.shared.max_routable {
+            st.stats.record_rejection(bucket);
+            return Err(SubmitError::TooLong);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let request = FoldRequest {
+            id,
+            name: name.to_string(),
+            length,
+            arrival_seconds: now,
+            timeout_seconds,
+        };
+        match st.batcher.offer(request) {
+            Ok(b) => {
+                let depth = st.batcher.depth(b);
+                st.stats.record_depth(b, depth);
+            }
+            Err(_) => {
+                st.stats.record_rejection(bucket);
+                return Err(SubmitError::QueueFull);
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        st.senders.insert(id, tx);
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(rx)
+    }
+
+    /// Current queued-request count (all buckets).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("service lock")
+            .batcher
+            .total_depth()
+    }
+
+    /// Drains the queues, stops the workers, and returns the collected
+    /// statistics.
+    pub fn shutdown(self) -> ServeStats {
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let mut st = self.shared.state.lock().expect("service lock");
+        let now = self.shared.now();
+        st.stats.finish(now);
+        st.stats.clone()
+    }
+}
+
+/// One backend's worker loop: expire, pick a ready bucket that fits,
+/// execute, deliver; otherwise sleep until the next deadline or signal.
+fn worker(shared: Arc<Shared>, backend: Box<dyn Backend>) {
+    let mut st = shared.state.lock().expect("service lock");
+    loop {
+        let now = shared.now();
+
+        // Expire overdue requests.
+        for r in st.batcher.expire(now) {
+            let bucket = st.batcher.policy().bucket_of(r.length);
+            st.stats.record_timeout(bucket);
+            if let Some(tx) = st.senders.remove(&r.id) {
+                let _ = tx.send(FoldResponse {
+                    id: r.id,
+                    name: r.name.clone(),
+                    length: r.length,
+                    outcome: FoldOutcome::TimedOut {
+                        waited_seconds: now - r.arrival_seconds,
+                    },
+                });
+            }
+        }
+
+        // Find the oldest ready bucket whose head this backend fits
+        // (drain mode after shutdown flushes under-full buckets too).
+        let drain = st.shutdown;
+        let candidate = st.batcher.ready_buckets(now, drain).into_iter().find(|&b| {
+            st.batcher
+                .head_length(b)
+                .is_some_and(|len| backend.fits_batch(&[len]))
+        });
+
+        if let Some(bucket) = candidate {
+            let budget = st.batcher.config().max_batch_seconds;
+            let batch = st.batcher.take_batch(bucket, |lens| {
+                backend.fits_batch(lens) && backend.batch_seconds(lens) <= budget
+            });
+            let lengths: Vec<usize> = batch.iter().map(|r| r.length).collect();
+            let start = now;
+            let finish = start + backend.batch_seconds(&lengths);
+            let latencies: Vec<f64> = batch.iter().map(|r| finish - r.arrival_seconds).collect();
+            st.stats.record_batch(
+                BatchRecord {
+                    bucket,
+                    backend: backend.name().to_string(),
+                    lengths,
+                    start_seconds: start,
+                    finish_seconds: finish,
+                },
+                &latencies,
+            );
+            let mut deliveries: Vec<(Sender<FoldResponse>, FoldResponse)> = Vec::new();
+            let batch_size = batch.len();
+            for r in &batch {
+                if let Some(tx) = st.senders.remove(&r.id) {
+                    deliveries.push((
+                        tx,
+                        FoldResponse {
+                            id: r.id,
+                            name: r.name.clone(),
+                            length: r.length,
+                            outcome: FoldOutcome::Completed {
+                                backend: backend.name().to_string(),
+                                started_seconds: start,
+                                finished_seconds: finish,
+                                batch_size,
+                            },
+                        },
+                    ));
+                }
+            }
+            drop(st);
+            // Hold the device for the configured wall slice so queueing
+            // pressure is observable, then deliver.
+            if !shared.config.dispatch_wall_delay.is_zero() {
+                thread::sleep(shared.config.dispatch_wall_delay);
+            }
+            for (tx, resp) in deliveries {
+                let _ = tx.send(resp);
+            }
+            shared.work.notify_all();
+            st = shared.state.lock().expect("service lock");
+            continue;
+        }
+
+        if st.shutdown && st.batcher.total_depth() == 0 {
+            return;
+        }
+
+        // Sleep until the next flush/timeout deadline or a new submission.
+        let wait = st
+            .batcher
+            .next_deadline()
+            .map(|d| (d - shared.now()).max(0.001))
+            .unwrap_or(0.05)
+            .min(0.05);
+        let (guard, _) = shared
+            .work
+            .wait_timeout(st, Duration::from_secs_f64(wait))
+            .expect("service lock");
+        st = guard;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::standard_backends;
+
+    fn policy() -> BucketPolicy {
+        BucketPolicy::fixed(vec![256, 1024, 4096])
+    }
+
+    #[test]
+    fn submits_fold_and_shutdown_drains() {
+        let svc = FoldService::start(policy(), ServiceConfig::default(), standard_backends());
+        let rxs: Vec<_> = (0..6)
+            .map(|i| {
+                svc.submit(&format!("t{i}"), 200 + i * 150, 60.0)
+                    .expect("admitted")
+            })
+            .collect();
+        let stats = svc.shutdown();
+        for rx in rxs {
+            let resp = rx.recv().expect("response delivered");
+            assert!(resp.outcome.is_completed(), "{resp:?}");
+        }
+        assert_eq!(stats.completed(), 6);
+        assert_eq!(stats.rejected() + stats.timed_out(), 0);
+    }
+
+    #[test]
+    fn too_long_is_refused_up_front() {
+        let svc = FoldService::start(policy(), ServiceConfig::default(), standard_backends());
+        assert_eq!(
+            svc.submit("giant", 150_000, 60.0).unwrap_err(),
+            SubmitError::TooLong
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.rejected(), 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let svc = FoldService::start(policy(), ServiceConfig::default(), standard_backends());
+        {
+            let mut st = svc.shared.state.lock().expect("lock");
+            st.shutdown = true;
+        }
+        assert_eq!(
+            svc.submit("late", 100, 60.0).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Serving statistics: throughput, latency percentiles, queue depth and
+//! per-bucket occupancy, rendered as `lightnobel::report` tables.
+
+use crate::bucket::BucketPolicy;
+use lightnobel::report::{fmt_pct, fmt_seconds, Table};
+
+/// One dispatched batch (the unit of the deterministic schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Length bucket the batch was drawn from.
+    pub bucket: usize,
+    /// Executing backend.
+    pub backend: String,
+    /// Sequence lengths in dispatch order.
+    pub lengths: Vec<usize>,
+    /// Virtual dispatch time, seconds.
+    pub start_seconds: f64,
+    /// Virtual completion time, seconds.
+    pub finish_seconds: f64,
+}
+
+/// Counters and samples for one length bucket.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BucketStats {
+    /// Requests folded to completion.
+    pub completed: u64,
+    /// Requests refused at admission (queue full / unroutable).
+    pub rejected: u64,
+    /// Requests that expired while queued.
+    pub timed_out: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of batch sizes (for occupancy).
+    pub co_batched: u64,
+    /// End-to-end latencies of completed requests, seconds.
+    latencies: Vec<f64>,
+    depth_sum: f64,
+    depth_samples: u64,
+}
+
+impl BucketStats {
+    /// Latency percentile (0.0–1.0) over completed requests.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+
+    /// Mean queue depth over recorded samples.
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum / self.depth_samples as f64
+        }
+    }
+
+    /// Mean batch fill ratio against the configured maximum batch size.
+    pub fn occupancy(&self, max_batch: usize) -> f64 {
+        if self.batches == 0 || max_batch == 0 {
+            0.0
+        } else {
+            self.co_batched as f64 / (self.batches * max_batch as u64) as f64
+        }
+    }
+}
+
+/// The service-wide statistics collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    buckets: Vec<BucketStats>,
+    /// Every dispatched batch, in dispatch order.
+    pub batch_log: Vec<BatchRecord>,
+    /// Virtual time of the last event, seconds.
+    pub makespan_seconds: f64,
+}
+
+impl ServeStats {
+    /// An empty collector for `n_buckets` buckets.
+    pub fn new(n_buckets: usize) -> Self {
+        ServeStats {
+            buckets: vec![BucketStats::default(); n_buckets],
+            batch_log: Vec::new(),
+            makespan_seconds: 0.0,
+        }
+    }
+
+    /// Per-bucket statistics.
+    pub fn bucket(&self, bucket: usize) -> &BucketStats {
+        &self.buckets[bucket]
+    }
+
+    /// Records a refused request.
+    pub fn record_rejection(&mut self, bucket: usize) {
+        self.buckets[bucket].rejected += 1;
+    }
+
+    /// Records an expired request.
+    pub fn record_timeout(&mut self, bucket: usize) {
+        self.buckets[bucket].timed_out += 1;
+    }
+
+    /// Records a queue-depth observation.
+    pub fn record_depth(&mut self, bucket: usize, depth: usize) {
+        let b = &mut self.buckets[bucket];
+        b.depth_sum += depth as f64;
+        b.depth_samples += 1;
+    }
+
+    /// Records a dispatched batch and its per-request latencies.
+    pub fn record_batch(&mut self, record: BatchRecord, latencies: &[f64]) {
+        let b = &mut self.buckets[record.bucket];
+        b.batches += 1;
+        b.co_batched += record.lengths.len() as u64;
+        b.completed += latencies.len() as u64;
+        b.latencies.extend_from_slice(latencies);
+        self.makespan_seconds = self.makespan_seconds.max(record.finish_seconds);
+        self.batch_log.push(record);
+    }
+
+    /// Marks the end of the run on the virtual clock.
+    pub fn finish(&mut self, now: f64) {
+        self.makespan_seconds = self.makespan_seconds.max(now);
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.buckets.iter().map(|b| b.completed).sum()
+    }
+
+    /// Total rejected requests.
+    pub fn rejected(&self) -> u64 {
+        self.buckets.iter().map(|b| b.rejected).sum()
+    }
+
+    /// Total timed-out requests.
+    pub fn timed_out(&self) -> u64 {
+        self.buckets.iter().map(|b| b.timed_out).sum()
+    }
+
+    /// Completed requests per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_seconds <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / self.makespan_seconds
+        }
+    }
+
+    /// Global latency percentile across buckets.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        let mut all: Vec<f64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.latencies.clone())
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(f64::total_cmp);
+        let idx = ((p * (all.len() - 1) as f64).round() as usize).min(all.len() - 1);
+        Some(all[idx])
+    }
+
+    /// The per-bucket report table (the acceptance artifact: p50/p99
+    /// latency, rejection and timeout counts, occupancy, mean depth).
+    pub fn table(&self, policy: &BucketPolicy, max_batch: usize) -> Table {
+        let mut t = Table::new([
+            "bucket", "done", "rej", "tout", "batches", "occup", "depth", "p50", "p99",
+        ]);
+        let dash = || "-".to_string();
+        for (i, b) in self.buckets.iter().enumerate() {
+            t.add_row([
+                policy.label(i),
+                b.completed.to_string(),
+                b.rejected.to_string(),
+                b.timed_out.to_string(),
+                b.batches.to_string(),
+                fmt_pct(b.occupancy(max_batch)),
+                format!("{:.2}", b.mean_depth()),
+                b.latency_percentile(0.5).map_or_else(dash, fmt_seconds),
+                b.latency_percentile(0.99).map_or_else(dash, fmt_seconds),
+            ]);
+        }
+        t
+    }
+
+    /// A deterministic digest of the full schedule and counters: equal
+    /// digests ⇔ equal batch schedules, used by the reproducibility tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = String::new();
+        for r in &self.batch_log {
+            desc.push_str(&format!(
+                "{}|{}|{:?}|{:.9}|{:.9};",
+                r.bucket, r.backend, r.lengths, r.start_seconds, r.finish_seconds
+            ));
+        }
+        for b in &self.buckets {
+            desc.push_str(&format!("{},{},{};", b.completed, b.rejected, b.timed_out));
+        }
+        desc.push_str(&format!("{:.9}", self.makespan_seconds));
+        ln_tensor::rng::seed_from_label(&desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bucket: usize, lengths: Vec<usize>, start: f64, finish: f64) -> BatchRecord {
+        BatchRecord {
+            bucket,
+            backend: "b".into(),
+            lengths,
+            start_seconds: start,
+            finish_seconds: finish,
+        }
+    }
+
+    #[test]
+    fn counters_and_percentiles() {
+        let mut s = ServeStats::new(2);
+        s.record_batch(record(0, vec![10, 20], 0.0, 1.0), &[1.0, 2.0]);
+        s.record_batch(record(0, vec![30], 1.0, 3.0), &[3.0]);
+        s.record_rejection(1);
+        s.record_timeout(0);
+        assert_eq!(s.completed(), 3);
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.timed_out(), 1);
+        assert_eq!(s.bucket(0).latency_percentile(0.5), Some(2.0));
+        assert_eq!(s.bucket(0).latency_percentile(0.99), Some(3.0));
+        assert_eq!(s.makespan_seconds, 3.0);
+        assert_eq!(s.throughput(), 1.0);
+        assert!((s.bucket(0).occupancy(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_mean() {
+        let mut s = ServeStats::new(1);
+        assert_eq!(s.bucket(0).mean_depth(), 0.0);
+        s.record_depth(0, 2);
+        s.record_depth(0, 4);
+        assert_eq!(s.bucket(0).mean_depth(), 3.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_schedule() {
+        let mut a = ServeStats::new(1);
+        let mut b = ServeStats::new(1);
+        a.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        b.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record_batch(record(0, vec![11], 1.0, 2.0), &[1.0]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn table_has_one_row_per_bucket() {
+        let policy = BucketPolicy::fixed(vec![100]);
+        let mut s = ServeStats::new(policy.num_buckets());
+        s.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        let t = s.table(&policy, 8);
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.render().contains("(0, 100]"));
+    }
+}

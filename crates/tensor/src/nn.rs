@@ -5,8 +5,8 @@
 //! LayerNorm normalises each token, and softmax normalises each row.
 
 use crate::rng;
+use crate::rng::Rng;
 use crate::{Tensor2, TensorError};
-use rand::Rng;
 
 /// A dense affine layer `y = x W + b` over the channel dimension.
 ///
@@ -62,7 +62,10 @@ impl Linear {
         rng::fill_normal(&mut rng, &mut data, std);
         let weight = Tensor2::from_vec(in_features, out_features, data)
             .expect("shape is consistent by construction");
-        Linear { weight, bias: vec![0.0; out_features] }
+        Linear {
+            weight,
+            bias: vec![0.0; out_features],
+        }
     }
 
     /// Deterministic initialisation with a bias drawn uniformly from
@@ -141,7 +144,11 @@ pub struct LayerNorm {
 impl LayerNorm {
     /// Creates a LayerNorm with unit scale and zero shift.
     pub fn new(features: usize) -> Self {
-        LayerNorm { gamma: vec![1.0; features], beta: vec![0.0; features], epsilon: 1e-5 }
+        LayerNorm {
+            gamma: vec![1.0; features],
+            beta: vec![0.0; features],
+            epsilon: 1e-5,
+        }
     }
 
     /// Creates a LayerNorm with deterministic near-unit scale parameters.
@@ -168,7 +175,11 @@ impl LayerNorm {
         let beta = (0..features)
             .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * spread * 0.5 * scale)
             .collect();
-        LayerNorm { gamma, beta, epsilon: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            epsilon: 1e-5,
+        }
     }
 
     /// Number of normalised channels.
@@ -308,7 +319,12 @@ mod tests {
         let x = Tensor2::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = ln.forward(&x).unwrap();
         let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -334,9 +350,8 @@ mod tests {
         let x = Tensor2::from_fn(4, 32, |i, j| ((i * 13 + j * 7) % 17) as f32 - 8.0);
         let y1 = ln1.forward(&x).unwrap();
         let y4 = ln4.forward(&x).unwrap();
-        let mean_abs = |t: &Tensor2| {
-            t.as_slice().iter().map(|v| v.abs()).sum::<f32>() / t.len() as f32
-        };
+        let mean_abs =
+            |t: &Tensor2| t.as_slice().iter().map(|v| v.abs()).sum::<f32>() / t.len() as f32;
         let ratio = mean_abs(&y4) / mean_abs(&y1);
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
     }

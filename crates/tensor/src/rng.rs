@@ -4,9 +4,11 @@
 //! datasets, workloads) is derived from a human-readable label via
 //! [`seed_from_label`], so experiments regenerate bit-identically across
 //! runs and machines.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! splitmix64 — no external crates, so the workspace builds with zero
+//! network access. The [`Rng`] and [`SliceRandom`] traits mirror the small
+//! slice of the `rand` API the reproduction uses.
 
 /// Derives a 64-bit seed from a label using the FNV-1a hash.
 ///
@@ -31,12 +33,196 @@ pub fn seed_from_label(label: &str) -> u64 {
     h
 }
 
+/// One splitmix64 step: the recommended seeder for xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ pseudo-random generator.
+///
+/// Small, fast, and statistically solid for simulation workloads; the
+/// 256-bit state is expanded from a 64-bit seed via splitmix64 (the
+/// construction recommended by the xoshiro authors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// The workspace's standard RNG (alias kept so call sites read like the
+/// original `rand::rngs::StdRng` they replaced).
+pub type StdRng = Xoshiro256pp;
+
+impl Xoshiro256pp {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A value type samplable from raw RNG output.
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range samplable by [`Rng::gen_range`] (mirrors `rand`'s range
+/// arguments: `gen_range(0..20)` and `gen_range(lo..=hi)`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return lo + rng.next_u64() as $ty;
+                }
+                lo + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32);
+
+/// The generator interface: everything is derived from [`Rng::next_u64`].
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` (`f32`/`f64` are uniform in `[0, 1)`).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// In-place slice randomisation (mirrors `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly-chosen element, or `None` when empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
 /// Creates a deterministic RNG stream for the given label.
 ///
 /// # Example
 ///
 /// ```
-/// use rand::Rng;
+/// use ln_tensor::rng::Rng;
 /// let mut r1 = ln_tensor::rng::stream("demo");
 /// let mut r2 = ln_tensor::rng::stream("demo");
 /// assert_eq!(r1.gen::<u32>(), r2.gen::<u32>());
@@ -83,6 +269,18 @@ mod tests {
     }
 
     #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ from the canonical state {1, 2, 3, 4}: the first
+        // outputs published with the reference C implementation.
+        let mut r = Xoshiro256pp { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
+    }
+
+    #[test]
     fn streams_are_reproducible() {
         let mut a = stream("x");
         let mut b = stream("x");
@@ -98,6 +296,53 @@ mod tests {
         let va: Vec<u32> = (0..4).map(|_| a.gen()).collect();
         let vb: Vec<u32> = (0..4).map(|_| b.gen()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = stream("unit");
+        for _ in 0..10_000 {
+            let x: f32 = r.gen();
+            let y: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+            assert!((0.0..1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut r = stream("range");
+        let mut seen = [false; 20];
+        for _ in 0..2_000 {
+            seen[r.gen_range(0..20usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..100 {
+            let v = r.gen_range(4..=12usize);
+            assert!((4..=12).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = stream("shuffle");
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_stays_in_slice() {
+        let mut r = stream("choose");
+        let v = [7usize, 8, 9];
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut r).expect("non-empty")));
+        }
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
     }
 
     #[test]

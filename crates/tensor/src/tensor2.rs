@@ -28,12 +28,20 @@ pub struct Tensor2 {
 impl Tensor2 {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor2 { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor2 { rows, cols, data: vec![value; rows * cols] }
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -52,7 +60,10 @@ impl Tensor2 {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Tensor2 { rows, cols, data })
     }
@@ -115,7 +126,11 @@ impl Tensor2 {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {:?}", (self.rows, self.cols));
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {:?}",
+            (self.rows, self.cols)
+        );
         self.data[i * self.cols + j]
     }
 
@@ -126,7 +141,11 @@ impl Tensor2 {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f32) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {:?}", (self.rows, self.cols));
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {:?}",
+            (self.rows, self.cols)
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -137,7 +156,11 @@ impl Tensor2 {
     /// Panics if `i >= rows`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -148,7 +171,11 @@ impl Tensor2 {
     /// Panics if `i >= rows`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -163,8 +190,14 @@ impl Tensor2 {
     ///
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f32> {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Matrix product `self × rhs`.
@@ -358,7 +391,12 @@ impl Tensor2 {
         Ok(Tensor2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
     }
 }
@@ -377,7 +415,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor2::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Tensor2::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -392,7 +436,10 @@ mod tests {
     fn matmul_shape_mismatch_is_error() {
         let a = Tensor2::zeros(2, 3);
         let b = Tensor2::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { op: "matmul", .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// Creates a `(d0, d1, d2)` tensor filled with zeros.
     pub fn zeros(d0: usize, d1: usize, d2: usize) -> Self {
-        Tensor3 { d0, d1, d2, data: vec![0.0; d0 * d1 * d2] }
+        Tensor3 {
+            d0,
+            d1,
+            d2,
+            data: vec![0.0; d0 * d1 * d2],
+        }
     }
 
     /// Creates a tensor from a row-major data vector.
@@ -38,7 +43,10 @@ impl Tensor3 {
     /// `d0 * d1 * d2`.
     pub fn from_vec(d0: usize, d1: usize, d2: usize, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != d0 * d1 * d2 {
-            return Err(TensorError::LengthMismatch { expected: d0 * d1 * d2, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: d0 * d1 * d2,
+                actual: data.len(),
+            });
         }
         Ok(Tensor3 { d0, d1, d2, data })
     }
@@ -143,7 +151,11 @@ impl Tensor3 {
     /// Panics if `i >= d0` or `j >= d1`.
     #[inline]
     pub fn token(&self, i: usize, j: usize) -> &[f32] {
-        assert!(i < self.d0 && j < self.d1, "token ({i},{j}) out of bounds for {:?}", self.shape());
+        assert!(
+            i < self.d0 && j < self.d1,
+            "token ({i},{j}) out of bounds for {:?}",
+            self.shape()
+        );
         let base = (i * self.d1 + j) * self.d2;
         &self.data[base..base + self.d2]
     }
@@ -155,7 +167,11 @@ impl Tensor3 {
     /// Panics if `i >= d0` or `j >= d1`.
     #[inline]
     pub fn token_mut(&mut self, i: usize, j: usize) -> &mut [f32] {
-        assert!(i < self.d0 && j < self.d1, "token ({i},{j}) out of bounds for {:?}", self.shape());
+        assert!(
+            i < self.d0 && j < self.d1,
+            "token ({i},{j}) out of bounds for {:?}",
+            self.shape()
+        );
         let base = (i * self.d1 + j) * self.d2;
         &mut self.data[base..base + self.d2]
     }
@@ -207,8 +223,12 @@ impl Tensor3 {
     pub fn slice_d0(&self, i: usize) -> Tensor2 {
         assert!(i < self.d0, "slice {i} out of bounds for d0={}", self.d0);
         let base = i * self.d1 * self.d2;
-        Tensor2::from_vec(self.d1, self.d2, self.data[base..base + self.d1 * self.d2].to_vec())
-            .expect("shape is consistent by construction")
+        Tensor2::from_vec(
+            self.d1,
+            self.d2,
+            self.data[base..base + self.d1 * self.d2].to_vec(),
+        )
+        .expect("shape is consistent by construction")
     }
 
     /// Copies the 2-D slice at fixed second index `j` into a `(d0, d2)` matrix
@@ -222,7 +242,8 @@ impl Tensor3 {
         let mut out = Tensor2::zeros(self.d0, self.d2);
         for i in 0..self.d0 {
             let base = (i * self.d1 + j) * self.d2;
-            out.row_mut(i).copy_from_slice(&self.data[base..base + self.d2]);
+            out.row_mut(i)
+                .copy_from_slice(&self.data[base..base + self.d2]);
         }
         out
     }
@@ -263,8 +284,18 @@ impl Tensor3 {
                 rhs: vec![rhs.d0, rhs.d1, rhs.d2],
             });
         }
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a + b).collect();
-        Ok(Tensor3 { d0: self.d0, d1: self.d1, d2: self.d2, data })
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(Tensor3 {
+            d0: self.d0,
+            d1: self.d1,
+            d2: self.d2,
+            data,
+        })
     }
 
     /// In-place element-wise sum.
@@ -341,7 +372,10 @@ mod tests {
     #[test]
     fn from_fn_layout_is_row_major() {
         let t = Tensor3::from_fn(2, 2, 2, |i, j, k| (i * 100 + j * 10 + k) as f32);
-        assert_eq!(t.as_slice(), &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+        assert_eq!(
+            t.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
+        );
     }
 
     #[test]

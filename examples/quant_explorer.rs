@@ -18,10 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = Registry::standard();
     let record = registry.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(80);
-    let sequence: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let sequence: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
 
     // Capture all activations of a full forward pass.
     let model = FoldingModel::new(PpmConfig::standard());
@@ -87,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         QuantScheme::int4_with_outliers(0),
         QuantScheme::int8_with_outliers(0),
     ] {
-        table.add_row([scheme.to_string(), format!("{:.5}", quantization_rmse(&tokens, scheme))]);
+        table.add_row([
+            scheme.to_string(),
+            format!("{:.5}", quantization_rmse(&tokens, scheme)),
+        ]);
     }
     print!("{}", table.render());
     println!(

@@ -18,10 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = AccuracyEvaluator::standard();
     let aaq = evaluator.evaluate(&SchemeUnderTest::aaq_paper(), record)?;
 
-    println!("FP32 baseline  TM vs native : {}", fmt_tm(aaq.baseline_tm_vs_native));
+    println!(
+        "FP32 baseline  TM vs native : {}",
+        fmt_tm(aaq.baseline_tm_vs_native)
+    );
     println!("AAQ quantized  TM vs native : {}", fmt_tm(aaq.tm_vs_native));
-    println!("TM change (AAQ - baseline)  : {}", fmt_tm_delta(aaq.tm_delta()));
-    println!("TM of AAQ vs FP32 prediction: {}", fmt_tm(aaq.tm_vs_baseline));
+    println!(
+        "TM change (AAQ - baseline)  : {}",
+        fmt_tm_delta(aaq.tm_delta())
+    );
+    println!(
+        "TM of AAQ vs FP32 prediction: {}",
+        fmt_tm(aaq.tm_vs_baseline)
+    );
     println!("pair-representation RMSE    : {:.6}", aaq.pair_rmse);
 
     println!(

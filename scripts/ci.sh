@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the LightNobel reproduction workspace.
+#
+# Runs, in order and failing fast:
+#   1. cargo fmt --check                                  (formatting)
+#   2. cargo clippy --workspace --all-targets -D warnings (lints)
+#   3. cargo build --release                              (offline build)
+#   4. cargo test -q                                      (test suite)
+#
+# The workspace is dependency-free on purpose: everything here must pass
+# with zero network access. See ROADMAP.md ("Tier-1 gate script").
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo fmt --all -- --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step cargo build --release
+step cargo test -q
+
+echo
+echo "ci.sh: all tier-1 checks passed"

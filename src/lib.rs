@@ -11,6 +11,8 @@
 //!   schemes by TM-Score.
 //! * [`ln_accel::Accelerator`] — the cycle-level accelerator simulator.
 //! * [`ln_gpu::EsmFoldGpuModel`] — the A100/H100 baselines.
+//! * [`ln_serve::FoldService`] / [`ln_serve::Engine`] — the batched
+//!   folding-request scheduler (length-bucketed dispatch, backpressure).
 //!
 //! See the repository README for the experiment index.
 
@@ -23,6 +25,7 @@ pub use ln_gpu;
 pub use ln_ppm;
 pub use ln_protein;
 pub use ln_quant;
+pub use ln_serve;
 pub use ln_tensor;
 
 #[cfg(test)]
@@ -37,6 +40,7 @@ mod tests {
         let _ = crate::ln_quant::scheme::AaqConfig::paper();
         let _ = crate::ln_accel::HwConfig::paper();
         let _ = crate::ln_gpu::H100;
+        let _ = crate::ln_serve::BatcherConfig::default();
         let _ = crate::lightnobel::report::Table::new(["x"]);
     }
 }

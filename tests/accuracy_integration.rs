@@ -16,11 +16,20 @@ fn scheme_accuracy_ordering_reproduces_fig13() {
     // INT8-class schemes and AAQ are lossless; MEFold and Tender lose TM.
     let eval = AccuracyEvaluator::fast();
     let reg = Registry::standard();
-    let record = reg.dataset(Dataset::Cameo).records().first().expect("non-empty");
+    let record = reg
+        .dataset(Dataset::Cameo)
+        .records()
+        .first()
+        .expect("non-empty");
 
-    let aaq = eval.evaluate(&SchemeUnderTest::aaq_paper(), record).expect("runs");
+    let aaq = eval
+        .evaluate(&SchemeUnderTest::aaq_paper(), record)
+        .expect("runs");
     let smooth = eval
-        .evaluate(&SchemeUnderTest::Baseline(BaselineScheme::SmoothQuant), record)
+        .evaluate(
+            &SchemeUnderTest::Baseline(BaselineScheme::SmoothQuant),
+            record,
+        )
         .expect("runs");
     let tender = eval
         .evaluate(&SchemeUnderTest::Baseline(BaselineScheme::Tender), record)
@@ -30,7 +39,11 @@ fn scheme_accuracy_ordering_reproduces_fig13() {
         .expect("runs");
 
     assert!(aaq.tm_vs_baseline > 0.99, "AAQ {}", aaq.tm_vs_baseline);
-    assert!(smooth.tm_vs_baseline > 0.99, "SmoothQuant {}", smooth.tm_vs_baseline);
+    assert!(
+        smooth.tm_vs_baseline > 0.99,
+        "SmoothQuant {}",
+        smooth.tm_vs_baseline
+    );
     assert!(
         tender.tm_vs_baseline < aaq.tm_vs_baseline - 0.01,
         "Tender must degrade: {} vs {}",
@@ -58,14 +71,18 @@ fn quantized_multimer_folding_works_end_to_end() {
 
     let reference = model.predict(&seq, &native).expect("folds");
     let mut hook = AaqHook::paper();
-    let quantized = model.predict_with_hook(&seq, &native, &mut hook).expect("folds");
+    let quantized = model
+        .predict_with_hook(&seq, &native, &mut hook)
+        .expect("folds");
     let tm = metrics::tm_score(&quantized.structure, &reference.structure)
         .expect("same length")
         .score;
     assert!(tm > 0.9, "quantized complex tracks reference: {tm}");
 
     // Chain extraction + PDB export of the quantized prediction.
-    let chains = dimer.split_chains(&quantized.structure).expect("lengths match");
+    let chains = dimer
+        .split_chains(&quantized.structure)
+        .expect("lengths match");
     let text = pdb::to_pdb(&chains[1], &dimer.chains()[1], 'B');
     let parsed = pdb::from_pdb(&text).expect("own output parses");
     assert_eq!(parsed.len(), 16);
@@ -78,13 +95,16 @@ fn quantization_byte_accounting_matches_scheme_formulas() {
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(32);
-    let seq: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
     let model = FoldingModel::new(PpmConfig::tiny());
     let mut hook = AaqHook::paper();
-    model.predict_with_hook(&seq, &native, &mut hook).expect("folds");
+    model
+        .predict_with_hook(&seq, &native, &mut hook)
+        .expect("folds");
     assert!(hook.encoded_bytes() > 0);
     // Compression against FP16 must sit between the best single-scheme
     // compression (INT4+0 ≈ 3.8x) and none.

@@ -17,7 +17,10 @@ use ln_tensor::rng;
 #[test]
 fn seed_derivation_is_pinned() {
     // FNV-1a: any change here silently reshuffles every dataset and weight.
-    assert_eq!(rng::seed_from_label("lightnobel/ppm"), 1_248_315_138_913_768_115);
+    assert_eq!(
+        rng::seed_from_label("lightnobel/ppm"),
+        1_248_315_138_913_768_115
+    );
     assert_eq!(rng::seed_from_label(""), 0xcbf2_9ce4_8422_2325);
 }
 
@@ -49,14 +52,20 @@ fn quantized_token_encoding_is_pinned() {
     let values: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.5).collect();
     let q = quantize_token(&values, QuantScheme::int8_with_outliers(2));
     let bytes = encode_token(&q);
-    assert_eq!(bytes.len(), QuantScheme::int8_with_outliers(2).token_bytes(16));
+    assert_eq!(
+        bytes.len(),
+        QuantScheme::int8_with_outliers(2).token_bytes(16)
+    );
     // Outliers are the two largest magnitudes: -4.0 (index 0) and the
     // -3.5 at index 1 (the 3.5 at index 15 loses the tie to the lower index).
     assert_eq!(q.outlier_indices(), &[0, 1]);
     // Inlier scale = 3.5 / 127 (largest remaining magnitude).
     assert!((q.inlier_scale() - 3.5 / 127.0).abs() < 1e-7);
     // Encoding is stable across calls.
-    assert_eq!(bytes, encode_token(&quantize_token(&values, QuantScheme::int8_with_outliers(2))));
+    assert_eq!(
+        bytes,
+        encode_token(&quantize_token(&values, QuantScheme::int8_with_outliers(2)))
+    );
 }
 
 #[test]
@@ -67,8 +76,10 @@ fn registry_identities_are_pinned() {
     // The first residues of T1269's synthetic sequence are stable API for
     // every accuracy experiment.
     let prefix: String = seq.residues()[..8].iter().map(|a| a.code()).collect();
-    let again: String =
-        t1269.sequence().residues()[..8].iter().map(|a| a.code()).collect();
+    let again: String = t1269.sequence().residues()[..8]
+        .iter()
+        .map(|a| a.code())
+        .collect();
     assert_eq!(prefix, again);
     assert_eq!(seq.len(), 1410);
 }
@@ -79,8 +90,7 @@ fn trunk_prediction_is_pinned_within_run() {
     let reg = Registry::standard();
     let rec = reg.dataset(Dataset::Cameo).shortest();
     let len = rec.length().min(24);
-    let seq: ln_protein::Sequence =
-        rec.sequence().residues()[..len].iter().copied().collect();
+    let seq: ln_protein::Sequence = rec.sequence().residues()[..len].iter().copied().collect();
     let native = StructureGenerator::new(&rec.seed_label()).generate(len);
     let model = FoldingModel::new(PpmConfig::tiny());
     let a = model.predict(&seq, &native).expect("folds");

@@ -30,13 +30,22 @@ fn headline_claims_reproduce_in_shape() {
     // §8.2: with the chunk option LightNobel wins by mid-single-digit
     // factors across datasets.
     for d in [Dataset::Casp14, Dataset::Casp15] {
-        let lengths: Vec<usize> =
-            reg.dataset(d).records().iter().map(|r| r.length()).collect();
+        let lengths: Vec<usize> = reg
+            .dataset(d)
+            .records()
+            .iter()
+            .map(|r| r.length())
+            .collect();
         for device in [&A100, &H100] {
             let s = perf
                 .mean_speedup(&lengths, device, ExecOptions::chunk4())
                 .expect("chunked runs fit");
-            assert!(s > 1.5, "{} chunked speedup on {}: {s}", device.name, d.name());
+            assert!(
+                s > 1.5,
+                "{} chunked speedup on {}: {s}",
+                device.name,
+                d.name()
+            );
         }
     }
 
@@ -55,7 +64,10 @@ fn gpu_oom_frontier_matches_dataset_design() {
     let perf = PerfComparison::paper();
     let reg = Registry::standard();
     let gpu = perf.gpu(&H100);
-    assert!(gpu.fits_memory(reg.find("T1269").expect("pinned").length(), ExecOptions::vanilla()));
+    assert!(gpu.fits_memory(
+        reg.find("T1269").expect("pinned").length(),
+        ExecOptions::vanilla()
+    ));
     for r in reg.dataset(Dataset::Cameo).records() {
         assert!(
             gpu.fits_memory(r.length(), ExecOptions::vanilla()),
@@ -96,6 +108,10 @@ fn energy_advantage_exceeds_silicon_advantage() {
         let gain = perf
             .power_efficiency_gain(1200, device, env, ExecOptions::chunk4())
             .expect("fits");
-        assert!(gain > speedup, "{}: gain {gain} vs speedup {speedup}", env.name);
+        assert!(
+            gain > speedup,
+            "{}: gain {gain} vs speedup {speedup}",
+            env.name
+        );
     }
 }

@@ -12,10 +12,11 @@ fn workload(max_len: usize) -> (ln_protein::Sequence, ln_protein::Structure) {
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
     let len = record.length().min(max_len);
-    let seq: ln_protein::Sequence =
-        record.sequence().residues()[..len].iter().copied().collect();
-    let native =
-        ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
+    let seq: ln_protein::Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = ln_protein::generator::StructureGenerator::new(&record.seed_label()).generate(len);
     (seq, native)
 }
 
@@ -25,7 +26,9 @@ fn dataset_to_structure_full_pipeline() {
     let model = FoldingModel::new(PpmConfig::standard());
     let out = model.predict(&seq, &native).expect("pipeline runs");
     assert_eq!(out.structure.len(), seq.len());
-    let tm = metrics::tm_score(&out.structure, &native).expect("same length").score;
+    let tm = metrics::tm_score(&out.structure, &native)
+        .expect("same length")
+        .score;
     assert!(tm > 0.6, "end-to-end baseline TM {tm}");
 }
 
@@ -35,7 +38,9 @@ fn aaq_pipeline_tracks_baseline_closely() {
     let model = FoldingModel::new(PpmConfig::standard());
     let reference = model.predict(&seq, &native).expect("baseline runs");
     let mut hook = AaqHook::paper();
-    let quantized = model.predict_with_hook(&seq, &native, &mut hook).expect("AAQ runs");
+    let quantized = model
+        .predict_with_hook(&seq, &native, &mut hook)
+        .expect("AAQ runs");
     let tm = metrics::tm_score(&quantized.structure, &reference.structure)
         .expect("same length")
         .score;
@@ -52,7 +57,9 @@ fn scheme_quality_ordering_is_stable() {
     let eval = AccuracyEvaluator::fast();
     let reg = Registry::standard();
     let record = reg.dataset(Dataset::Cameo).shortest();
-    let aaq = eval.evaluate(&SchemeUnderTest::aaq_paper(), record).expect("AAQ runs");
+    let aaq = eval
+        .evaluate(&SchemeUnderTest::aaq_paper(), record)
+        .expect("AAQ runs");
     let tender = eval
         .evaluate(&SchemeUnderTest::Baseline(BaselineScheme::Tender), record)
         .expect("Tender runs");
@@ -75,8 +82,12 @@ fn determinism_across_full_stack() {
     // And with quantization hooks.
     let mut h1 = AaqHook::paper();
     let mut h2 = AaqHook::paper();
-    let qa = model.predict_with_hook(&seq, &native, &mut h1).expect("runs");
-    let qb = model.predict_with_hook(&seq, &native, &mut h2).expect("runs");
+    let qa = model
+        .predict_with_hook(&seq, &native, &mut h1)
+        .expect("runs");
+    let qb = model
+        .predict_with_hook(&seq, &native, &mut h2)
+        .expect("runs");
     assert_eq!(qa.structure, qb.structure);
     assert_eq!(h1.encoded_bytes(), h2.encoded_bytes());
 }
