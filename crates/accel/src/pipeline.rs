@@ -236,16 +236,23 @@ impl Accelerator {
     /// Summarises a whole workload (e.g. a dataset's length list), the way
     /// the paper aggregates per-dataset results in Fig. 14/15.
     pub fn workload_summary(&self, lengths: &[usize]) -> WorkloadSummary {
-        let mut seconds: Vec<f64> = lengths
-            .iter()
-            .map(|&ns| self.simulate(ns).total_seconds())
-            .collect();
-        let total_energy: f64 = lengths.iter().map(|&ns| self.energy_joules(ns)).sum();
-        let max_peak = lengths
-            .iter()
-            .map(|&ns| self.peak_memory_bytes(ns))
-            .fold(0.0f64, f64::max);
-        let oom = lengths.iter().filter(|&&ns| !self.fits_memory(ns)).count();
+        // Per-protein simulations are independent pure functions of `ns`,
+        // so they fan out across the pool; the fold below stays serial and
+        // in input order. One simulate per length (energy reuses it,
+        // numerically identical to `energy_joules`).
+        let watts = crate::power::area_power(&self.hw).total.power_mw / 1000.0;
+        let per_length: Vec<(f64, f64, bool)> =
+            ln_par::metrics::time_kernel("accel.simulate", lengths.len() as u64, || {
+                ln_par::par_map_collect(lengths.len(), 1, |idx| {
+                    let ns = lengths[idx];
+                    let secs = self.simulate(ns).total_seconds();
+                    (secs, self.peak_memory_bytes(ns), self.fits_memory(ns))
+                })
+            });
+        let mut seconds: Vec<f64> = per_length.iter().map(|p| p.0).collect();
+        let total_energy: f64 = per_length.iter().map(|p| p.0 * watts).sum();
+        let max_peak = per_length.iter().map(|p| p.1).fold(0.0f64, f64::max);
+        let oom = per_length.iter().filter(|p| !p.2).count();
         seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let n = seconds.len().max(1);
         let pct = |p: f64| seconds[((p * (n - 1) as f64).round() as usize).min(n - 1)];

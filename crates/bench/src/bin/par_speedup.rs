@@ -1,0 +1,256 @@
+//! Serial-vs-parallel wall time for the ln-par-driven kernels: blocked
+//! matmul, token-wise AAQ encode, and one full Evoformer (folding) block.
+//!
+//! Both phases run the *same* kernels — serial pins a one-thread pool,
+//! parallel uses a multi-thread pool — and every result is compared bit for
+//! bit, which is the whole point of ln-par's ownership-per-row design. The
+//! full run writes `BENCH_PAR.json` at the repo root so future PRs have a
+//! perf trajectory; `--quick` runs small shapes and exits non-zero **only**
+//! if parallel output diverges from serial (never for missing speedup, so
+//! the CI smoke stays meaningful on single-core machines).
+
+use std::time::Instant;
+
+use ln_bench::{banner, paper_note, show};
+use ln_par::{with_pool, Pool};
+use ln_ppm::blocks::FoldingBlock;
+use ln_ppm::taps::NoopHook;
+use ln_ppm::PpmConfig;
+use ln_quant::scheme::QuantScheme;
+use ln_quant::token::fake_quantize_tokens;
+use ln_tensor::{Tensor2, Tensor3};
+
+use lightnobel::report::{fmt_ratio, fmt_seconds, Table};
+
+struct BenchResult {
+    kernel: &'static str,
+    l: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    bitwise_identical: bool,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_seconds > 0.0 {
+            self.serial_seconds / self.parallel_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Best-of-`reps` wall time for `f`, returning the last result.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let r = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn bits2(x: &Tensor2) -> Vec<u32> {
+    x.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits3(x: &Tensor3) -> Vec<u32> {
+    x.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bench_matmul(
+    l: usize,
+    reps: usize,
+    serial: &std::sync::Arc<Pool>,
+    parallel: &std::sync::Arc<Pool>,
+) -> BenchResult {
+    let a = Tensor2::from_fn(l, l, |i, j| ((i * 31 + j * 17) % 23) as f32 * 0.21 - 2.1);
+    let b = Tensor2::from_fn(l, l, |i, j| ((i * 13 + j * 29) % 19) as f32 * 0.17 - 1.5);
+    let (ts, rs) = with_pool(serial, || {
+        time_best(reps, || a.matmul(&b).expect("shapes agree"))
+    });
+    let (tp, rp) = with_pool(parallel, || {
+        time_best(reps, || a.matmul(&b).expect("shapes agree"))
+    });
+    BenchResult {
+        kernel: "matmul",
+        l,
+        serial_seconds: ts,
+        parallel_seconds: tp,
+        bitwise_identical: bits2(&rs) == bits2(&rp),
+    }
+}
+
+fn bench_aaq_encode(
+    l: usize,
+    reps: usize,
+    serial: &std::sync::Arc<Pool>,
+    parallel: &std::sync::Arc<Pool>,
+) -> BenchResult {
+    // 4L tokens at the hardware's Hz = 128 token width, spiky like PPM
+    // activations so the top-k path does real work.
+    let x = Tensor2::from_fn(4 * l, 128, |i, j| {
+        let spike = if j == (i * 7) % 128 { 60.0 } else { 1.0 };
+        spike * (((i * 13 + j * 5) % 17) as f32 * 0.2 - 1.6)
+    });
+    let scheme = QuantScheme::int4_with_outliers(4);
+    let run = |x: &Tensor2| {
+        let mut enc = x.clone();
+        fake_quantize_tokens(&mut enc, scheme);
+        enc
+    };
+    let (ts, rs) = with_pool(serial, || time_best(reps, || run(&x)));
+    let (tp, rp) = with_pool(parallel, || time_best(reps, || run(&x)));
+    BenchResult {
+        kernel: "aaq_encode",
+        l,
+        serial_seconds: ts,
+        parallel_seconds: tp,
+        bitwise_identical: bits2(&rs) == bits2(&rp),
+    }
+}
+
+fn bench_evoformer(
+    l: usize,
+    serial: &std::sync::Arc<Pool>,
+    parallel: &std::sync::Arc<Pool>,
+) -> BenchResult {
+    let cfg = PpmConfig::tiny();
+    let block = FoldingBlock::new(&cfg, "par_speedup", 0);
+    let seq0 = Tensor2::from_fn(l, cfg.hm, |i, j| ((i * 7 + j * 3) % 13) as f32 * 0.1 - 0.6);
+    let pair0 = Tensor3::from_fn(l, l, cfg.hz, |i, j, k| {
+        ((i * 5 + j * 11 + k * 3) % 17) as f32 * 0.05 - 0.4
+    });
+    let run = || {
+        let mut seq = seq0.clone();
+        let mut pair = pair0.clone();
+        block
+            .forward(&mut seq, &mut pair, &mut NoopHook, 0, 0)
+            .expect("tiny config is valid");
+        (seq, pair)
+    };
+    let (ts, (seq_s, pair_s)) = with_pool(serial, || time_best(1, run));
+    let (tp, (seq_p, pair_p)) = with_pool(parallel, || time_best(1, run));
+    BenchResult {
+        kernel: "evoformer_block",
+        l,
+        serial_seconds: ts,
+        parallel_seconds: tp,
+        bitwise_identical: bits2(&seq_s) == bits2(&seq_p) && bits3(&pair_s) == bits3(&pair_p),
+    }
+}
+
+fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"par_speedup\",\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"l\": {}, \"serial_seconds\": {:.6}, \
+             \"parallel_seconds\": {:.6}, \"speedup\": {:.3}, \"bitwise_identical\": {}}}{}\n",
+            r.kernel,
+            r.l,
+            r.serial_seconds,
+            r.parallel_seconds,
+            r.speedup(),
+            r.bitwise_identical,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(if quick {
+        "par_speedup --quick — parallel-vs-serial divergence smoke (ln-par)"
+    } else {
+        "par_speedup — serial vs ln-par parallel kernels"
+    });
+    paper_note(
+        "software analogue of the paper's 32-RMPU/128-VVPU parallel axes: \
+         row-parallel blocked matmul, token-parallel AAQ, pair-row-parallel \
+         Evoformer; identical bits to serial by ownership-per-row design",
+    );
+
+    let serial = Pool::new(1);
+    // At least two executors so the parallel machinery is genuinely
+    // exercised (chunk claiming, latch, worker handoff) even on one core.
+    let threads = ln_par::global().threads().max(2);
+    let parallel = Pool::new(threads);
+
+    let results: Vec<BenchResult> = if quick {
+        vec![
+            bench_matmul(96, 2, &serial, &parallel),
+            bench_aaq_encode(32, 2, &serial, &parallel),
+            bench_evoformer(12, &serial, &parallel),
+        ]
+    } else {
+        let mut v = Vec::new();
+        for l in [256, 512, 1024] {
+            v.push(bench_matmul(
+                l,
+                if l <= 512 { 3 } else { 2 },
+                &serial,
+                &parallel,
+            ));
+        }
+        for l in [256, 512, 1024] {
+            v.push(bench_aaq_encode(l, 2, &serial, &parallel));
+        }
+        for l in [256, 512, 1024] {
+            v.push(bench_evoformer(l, &serial, &parallel));
+        }
+        v
+    };
+
+    let mut t = Table::new([
+        "kernel",
+        "L",
+        "serial",
+        "parallel",
+        "speedup",
+        "bit-identical",
+    ]);
+    for r in &results {
+        t.add_row([
+            r.kernel.to_string(),
+            r.l.to_string(),
+            fmt_seconds(r.serial_seconds),
+            fmt_seconds(r.parallel_seconds),
+            fmt_ratio(r.speedup()),
+            r.bitwise_identical.to_string(),
+        ]);
+    }
+    show(&t);
+    println!(
+        "pool: {} threads (host parallelism {}); speedup is only expected on multi-core hosts",
+        threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let diverged: Vec<&BenchResult> = results.iter().filter(|r| !r.bitwise_identical).collect();
+    if !quick {
+        write_json("BENCH_PAR.json", threads, &results).expect("write BENCH_PAR.json");
+        println!("wrote BENCH_PAR.json");
+    }
+    if !diverged.is_empty() {
+        for r in diverged {
+            eprintln!(
+                "DIVERGENCE: {} at L={} is not bit-identical to serial",
+                r.kernel, r.l
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("all kernels bit-identical to serial");
+}

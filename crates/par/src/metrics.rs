@@ -1,0 +1,195 @@
+//! Runtime observability: pool occupancy counters and per-kernel wall-time
+//! aggregation, surfaced by `lightnobel::report` and the ln-serve stats.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static PARALLEL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static CHUNKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Mutex<Instant> {
+    static EPOCH: OnceLock<Mutex<Instant>> = OnceLock::new();
+    EPOCH.get_or_init(|| Mutex::new(Instant::now()))
+}
+
+fn kernels() -> &'static Mutex<BTreeMap<&'static str, KernelStat>> {
+    static KERNELS: OnceLock<Mutex<BTreeMap<&'static str, KernelStat>>> = OnceLock::new();
+    KERNELS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+pub(crate) fn note_parallel() {
+    PARALLEL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_serial() {
+    SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_chunk(elapsed: Duration) {
+    CHUNKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    BUSY_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// A point-in-time view of the pool counters since process start (or the
+/// last [`reset`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Executors in the active pool.
+    pub threads: usize,
+    /// Jobs dispatched across the pool (more than one chunk).
+    pub parallel_dispatches: u64,
+    /// Calls that ran inline (below grain, one thread, or nested).
+    pub serial_fallbacks: u64,
+    /// Chunks executed by pool jobs.
+    pub chunks_executed: u64,
+    /// Wall time spent inside pool chunks, summed over executors, seconds.
+    pub busy_seconds: f64,
+    /// Wall time elapsed since the counters started, seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl Snapshot {
+    /// Fraction of total pool capacity (threads × elapsed) spent busy in
+    /// chunks. Only parallel-dispatched work counts; inline serial work does
+    /// not occupy the pool.
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.threads as f64 * self.elapsed_seconds;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_seconds / capacity).min(1.0)
+        }
+    }
+}
+
+/// Reads the current pool counters.
+pub fn snapshot() -> Snapshot {
+    let elapsed = epoch().lock().expect("ln-par: epoch poisoned").elapsed();
+    Snapshot {
+        threads: crate::active().threads(),
+        parallel_dispatches: PARALLEL_DISPATCHES.load(Ordering::Relaxed),
+        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
+        chunks_executed: CHUNKS_EXECUTED.load(Ordering::Relaxed),
+        busy_seconds: BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        elapsed_seconds: elapsed.as_secs_f64(),
+    }
+}
+
+/// Zeroes all counters (pool and kernel timers) and restarts the occupancy
+/// clock. Benches call this between serial and parallel phases.
+pub fn reset() {
+    PARALLEL_DISPATCHES.store(0, Ordering::Relaxed);
+    SERIAL_FALLBACKS.store(0, Ordering::Relaxed);
+    CHUNKS_EXECUTED.store(0, Ordering::Relaxed);
+    BUSY_NANOS.store(0, Ordering::Relaxed);
+    *epoch().lock().expect("ln-par: epoch poisoned") = Instant::now();
+    kernels().lock().expect("ln-par: kernels poisoned").clear();
+}
+
+/// Accumulated wall time for one named kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Times the kernel was entered.
+    pub calls: u64,
+    /// Total wall time inside the kernel, nanoseconds.
+    pub nanos: u64,
+    /// Caller-defined work items processed (rows, tokens, lengths …).
+    pub items: u64,
+}
+
+impl KernelStat {
+    /// Total wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Mean wall time per call in seconds (0 when never called).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_seconds() / self.calls as f64
+        }
+    }
+}
+
+/// Times `f()` under the given kernel name, attributing `items` work items
+/// to the call, and returns `f`'s result. Nested timers each record their
+/// own wall time (inner time is included in the outer kernel too).
+pub fn time_kernel<R>(name: &'static str, items: u64, f: impl FnOnce() -> R) -> R {
+    let started = Instant::now();
+    let out = f();
+    let nanos = started.elapsed().as_nanos() as u64;
+    let mut map = kernels().lock().expect("ln-par: kernels poisoned");
+    let stat = map.entry(name).or_default();
+    stat.calls += 1;
+    stat.nanos += nanos;
+    stat.items += items;
+    out
+}
+
+/// All kernel timers in name order.
+pub fn kernel_stats() -> Vec<(&'static str, KernelStat)> {
+    kernels()
+        .lock()
+        .expect("ln-par: kernels poisoned")
+        .iter()
+        .map(|(name, stat)| (*name, *stat))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_timer_accumulates() {
+        let _guard = crate::test_lock();
+        reset();
+        let out = time_kernel("test.alpha", 10, || 41 + 1);
+        assert_eq!(out, 42);
+        time_kernel("test.alpha", 5, || ());
+        let stats = kernel_stats();
+        let (_, stat) = stats
+            .iter()
+            .find(|(name, _)| *name == "test.alpha")
+            .expect("kernel recorded");
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.items, 15);
+        assert!(stat.total_seconds() >= 0.0);
+        assert!(stat.mean_seconds() <= stat.total_seconds());
+    }
+
+    #[test]
+    fn pool_counters_track_dispatch_modes() {
+        let _guard = crate::test_lock();
+        reset();
+        let pool = crate::Pool::new(2);
+        crate::with_pool(&pool, || {
+            crate::par_for(64, 1, |_| {});
+        });
+        let snap = snapshot();
+        assert_eq!(snap.parallel_dispatches, 1);
+        assert!(snap.chunks_executed >= 2);
+        crate::with_pool(&crate::Pool::new(1), || {
+            crate::par_for(64, 1, |_| {});
+        });
+        assert_eq!(snapshot().serial_fallbacks, 1);
+        assert!(snapshot().occupancy() >= 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _guard = crate::test_lock();
+        time_kernel("test.reset", 1, || ());
+        reset();
+        assert!(kernel_stats().iter().all(|(n, _)| *n != "test.reset"));
+        let snap = snapshot();
+        assert_eq!(snap.parallel_dispatches, 0);
+        assert_eq!(snap.chunks_executed, 0);
+    }
+}

@@ -78,16 +78,25 @@ impl FoldingBlock {
         block: usize,
         recycle: usize,
     ) -> Result<(), PpmError> {
+        let tokens = pair_rep.num_tokens() as u64;
         // Sequence track first (as in the Evoformer/folding trunk), feeding
         // the outer-product-mean update into the pair stream.
-        self.seq_track.forward(seq_rep, pair_rep)?;
+        ln_par::metrics::time_kernel("ppm.seq_track", tokens, || {
+            self.seq_track.forward(seq_rep, pair_rep)
+        })?;
         // Pair-representation dataflow (the paper's main bottleneck).
-        self.tri_mul_out.forward(pair_rep, hook, block, recycle)?;
-        self.tri_mul_in.forward(pair_rep, hook, block, recycle)?;
-        self.tri_attn_start
-            .forward(pair_rep, hook, block, recycle)?;
-        self.tri_attn_end.forward(pair_rep, hook, block, recycle)?;
-        self.transition.forward(pair_rep, hook, block, recycle)?;
+        ln_par::metrics::time_kernel("ppm.tri_mul", tokens, || {
+            self.tri_mul_out.forward(pair_rep, hook, block, recycle)?;
+            self.tri_mul_in.forward(pair_rep, hook, block, recycle)
+        })?;
+        ln_par::metrics::time_kernel("ppm.tri_attn", tokens, || {
+            self.tri_attn_start
+                .forward(pair_rep, hook, block, recycle)?;
+            self.tri_attn_end.forward(pair_rep, hook, block, recycle)
+        })?;
+        ln_par::metrics::time_kernel("ppm.transition", tokens, || {
+            self.transition.forward(pair_rep, hook, block, recycle)
+        })?;
         Ok(())
     }
 

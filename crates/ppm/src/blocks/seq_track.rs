@@ -138,15 +138,21 @@ impl SequenceTrack {
         let a = self.opm_left.forward(&o)?;
         let b = self.opm_right.forward(&o)?;
         let mut outer = Tensor2::zeros(ns * ns, OPM_DIM * OPM_DIM);
-        for i in 0..ns {
-            for j in 0..ns {
-                let row = outer.row_mut(i * ns + j);
-                for (p, &ap) in a.row(i).iter().enumerate() {
-                    for (qi, &bq) in b.row(j).iter().enumerate() {
-                        row[p * OPM_DIM + qi] = ap * bq;
+        if ns > 0 {
+            // One pair-row i per chunk: the ns × 64 outer-product rows for a
+            // given i are written by exactly one executor.
+            let slab = ns * OPM_DIM * OPM_DIM;
+            let (a, b) = (&a, &b);
+            ln_par::par_chunks_mut(outer.as_mut_slice(), slab, |i, chunk| {
+                for j in 0..ns {
+                    let row = &mut chunk[j * OPM_DIM * OPM_DIM..(j + 1) * OPM_DIM * OPM_DIM];
+                    for (p, &ap) in a.row(i).iter().enumerate() {
+                        for (qi, &bq) in b.row(j).iter().enumerate() {
+                            row[p * OPM_DIM + qi] = ap * bq;
+                        }
                     }
                 }
-            }
+            });
         }
         let opm_update = self.opm_out.forward(&outer)?.scaled(self.update_gain);
         let opm3 = Tensor3::from_token_matrix(ns, ns, opm_update)?;

@@ -211,7 +211,7 @@ pub fn chunked_attention(
     q: &Tensor2,
     k: &Tensor2,
     v: &Tensor2,
-    bias: &dyn Fn(usize, usize) -> f32,
+    bias: &(dyn Fn(usize, usize) -> f32 + Sync),
     inv_sqrt: f32,
     chunk: usize,
 ) -> Tensor2 {
@@ -222,19 +222,25 @@ pub fn chunked_attention(
     assert_eq!(v.rows(), n, "value count must match key count");
     let dv = v.cols();
     let chunk = chunk.max(1);
+    if n == 0 || dv == 0 {
+        return Tensor2::zeros(n, dv);
+    }
 
-    let mut out = Tensor2::zeros(n, dv);
-    let mut running_max = vec![f32::NEG_INFINITY; n];
-    let mut running_sum = vec![0.0f32; n];
-
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + chunk).min(n);
-        for j in 0..n {
-            let q_row = q.row(j);
+    // Each query row carries its own online-softmax state and visits key
+    // chunks in the same ascending order as the serial implementation, so
+    // the per-query parallel dispatch is bit-identical to serial.
+    let grain_rows = ((1usize << 13) / (n * (dim + dv)).max(1)).max(1);
+    let data = ln_par::par_map_rows(n, dv, grain_rows, |j, out_row| {
+        let q_row = q.row(j);
+        let mut running_max = f32::NEG_INFINITY;
+        let mut running_sum = 0.0f32;
+        let mut scores: Vec<f32> = Vec::with_capacity(chunk.min(n));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
             // Chunk-local scores.
             let mut local_max = f32::NEG_INFINITY;
-            let mut scores = Vec::with_capacity(end - start);
+            scores.clear();
             for t in start..end {
                 let mut s = 0.0f32;
                 for (a, b) in q_row.iter().zip(k.row(t)) {
@@ -245,35 +251,33 @@ pub fn chunked_attention(
                 scores.push(s);
             }
             // Online-softmax rescale of the accumulated state.
-            let new_max = running_max[j].max(local_max);
-            let correction = if running_max[j] == f32::NEG_INFINITY {
+            let new_max = running_max.max(local_max);
+            let correction = if running_max == f32::NEG_INFINITY {
                 0.0
             } else {
-                (running_max[j] - new_max).exp()
+                (running_max - new_max).exp()
             };
-            running_sum[j] *= correction;
-            for value in out.row_mut(j) {
+            running_sum *= correction;
+            for value in out_row.iter_mut() {
                 *value *= correction;
             }
             for (offset, &s) in scores.iter().enumerate() {
                 let w = (s - new_max).exp();
-                running_sum[j] += w;
+                running_sum += w;
                 let v_row = v.row(start + offset);
-                for (o, &vv) in out.row_mut(j).iter_mut().zip(v_row) {
+                for (o, &vv) in out_row.iter_mut().zip(v_row) {
                     *o += w * vv;
                 }
             }
-            running_max[j] = new_max;
+            running_max = new_max;
+            start = end;
         }
-        start = end;
-    }
-    for (j, s) in running_sum.iter().enumerate().take(n) {
-        let z = s.max(1e-30);
-        for o in out.row_mut(j) {
+        let z = running_sum.max(1e-30);
+        for o in out_row.iter_mut() {
             *o /= z;
         }
-    }
-    out
+    });
+    Tensor2::from_vec(n, dv, data).expect("row-major dims are consistent")
 }
 
 #[cfg(test)]

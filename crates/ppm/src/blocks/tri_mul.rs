@@ -115,42 +115,29 @@ impl TriangularMultiplication {
         // The triangle einsum; 1/√Ns keeps magnitudes length-independent.
         let scale = 1.0 / (ns as f32).sqrt();
         let mut tri = Tensor3::zeros(ns, ns, c);
-        match self.direction {
-            TriangleDirection::Outgoing => {
-                for i in 0..ns {
-                    for j in 0..ns {
-                        let out = tri.token_mut(i, j);
-                        for k in 0..ns {
-                            let a = left3.token(i, k);
-                            let b = right3.token(j, k);
-                            for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
-                                *o += av * bv;
-                            }
-                        }
-                        for o in out.iter_mut() {
-                            *o *= scale;
-                        }
-                    }
-                }
-            }
-            TriangleDirection::Incoming => {
-                for i in 0..ns {
-                    for j in 0..ns {
-                        let out = tri.token_mut(i, j);
-                        for k in 0..ns {
-                            let a = left3.token(k, i);
-                            let b = right3.token(k, j);
-                            for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
-                                *o += av * bv;
-                            }
-                        }
-                        for o in out.iter_mut() {
-                            *o *= scale;
+        // The triangle einsum is independent per pair-row i (each (i, j)
+        // token accumulates its own k terms in ascending order), so the
+        // per-i parallel dispatch is bit-identical to the serial loops.
+        let direction = self.direction;
+        ln_par::metrics::time_kernel("ppm.tri_mul.einsum", (ns * ns) as u64, || {
+            tri.par_for_each_d0_mut(|i, slab| {
+                for j in 0..ns {
+                    let out = &mut slab[j * c..(j + 1) * c];
+                    for k in 0..ns {
+                        let (a, b) = match direction {
+                            TriangleDirection::Outgoing => (left3.token(i, k), right3.token(j, k)),
+                            TriangleDirection::Incoming => (left3.token(k, i), right3.token(k, j)),
+                        };
+                        for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+                            *o += av * bv;
                         }
                     }
+                    for o in out.iter_mut() {
+                        *o *= scale;
+                    }
                 }
-            }
-        }
+            });
+        });
 
         let mut tri_tokens = tri.into_token_matrix();
         hook.on_activation(tap(ActivationSite::TriMulTriangleOut), &mut tri_tokens);

@@ -9,6 +9,7 @@
 //! place, symmetric quantization is accurate enough — this module exists to
 //! regenerate that ablation.
 
+use crate::scale::{affine_scale_zero_point, min_max};
 use crate::scheme::Bits;
 use ln_tensor::Tensor2;
 
@@ -24,20 +25,9 @@ pub struct AsymmetricToken {
 impl AsymmetricToken {
     /// Quantizes one token asymmetrically at the given precision.
     pub fn quantize(values: &[f32], bits: Bits) -> AsymmetricToken {
-        let (min, max) = values
-            .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
-        let (min, max) = if values.is_empty() {
-            (0.0, 0.0)
-        } else {
-            (min, max)
-        };
-        let span = (max - min).max(1e-12);
+        let (min, max) = min_max(values);
         let num_levels = (1u32 << bits.width()) - 1;
-        let scale = span / num_levels as f32;
-        let zero_point = min;
+        let (scale, zero_point) = affine_scale_zero_point(min, max, num_levels);
         let levels = values
             .iter()
             .map(|&v| (((v - zero_point) / scale).round() as i32).clamp(0, num_levels as i32))
@@ -75,13 +65,24 @@ impl AsymmetricToken {
 }
 
 /// Quantize→dequantize a whole activation asymmetrically, per token.
+/// Tokens quantize independently, so the row-parallel dispatch is
+/// bit-identical to the serial loop.
 pub fn fake_quantize_asymmetric(x: &mut Tensor2, bits: Bits) {
-    for t in 0..x.rows() {
-        let row = x.row(t).to_vec();
-        let q = AsymmetricToken::quantize(&row, bits);
-        x.row_mut(t).copy_from_slice(&q.dequantize());
+    let cols = x.cols();
+    if cols == 0 || x.rows() == 0 {
+        return;
     }
+    let rows_per_chunk = ln_par::chunk_len(x.rows(), TOKEN_PAR_GRAIN_ROWS);
+    ln_par::par_chunks_mut(x.as_mut_slice(), rows_per_chunk * cols, |_, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            let q = AsymmetricToken::quantize(row, bits);
+            row.copy_from_slice(&q.dequantize());
+        }
+    });
 }
+
+/// Minimum tokens per chunk for row-parallel quantization loops.
+pub(crate) const TOKEN_PAR_GRAIN_ROWS: usize = 8;
 
 /// RMSE of asymmetric per-token quantization over an activation.
 pub fn asymmetric_rmse(x: &Tensor2, bits: Bits) -> f64 {

@@ -19,6 +19,9 @@ use crate::QuantError;
 /// blocks by the memory-channel bandwidth).
 pub const DEFAULT_BLOCK_BYTES: usize = 1024;
 
+/// Minimum tokens per chunk for the parallel block encode/decode paths.
+const BLOCK_PAR_GRAIN_TOKENS: usize = 16;
+
 /// Encodes one quantized token into the Fig. 7 byte layout.
 pub fn encode_token(token: &QuantizedToken) -> Vec<u8> {
     let scheme = token.scheme();
@@ -185,12 +188,22 @@ impl TokenBlock {
         assert!(!tokens.is_empty(), "block needs at least one token");
         let scheme = tokens[0].scheme();
         let channels = tokens[0].channels();
-        let mut bytes = Vec::with_capacity(tokens.len() * scheme.token_bytes(channels));
         for t in tokens {
             assert_eq!(t.scheme(), scheme, "mixed schemes in block");
             assert_eq!(t.channels(), channels, "mixed widths in block");
-            bytes.extend_from_slice(&encode_token(t));
         }
+        // Uniform scheme ⇒ fixed stride, so tokens encode independently
+        // into disjoint byte ranges (the paper's 128-VVPU token axis).
+        let stride = scheme.token_bytes(channels);
+        let mut bytes = vec![0u8; tokens.len() * stride];
+        ln_par::metrics::time_kernel("aaq.block_encode", tokens.len() as u64, || {
+            let per_chunk = ln_par::chunk_len(tokens.len(), BLOCK_PAR_GRAIN_TOKENS);
+            ln_par::par_chunks_mut(&mut bytes, per_chunk * stride, |c, chunk| {
+                for (local, dst) in chunk.chunks_mut(stride).enumerate() {
+                    dst.copy_from_slice(&encode_token(&tokens[c * per_chunk + local]));
+                }
+            });
+        });
         TokenBlock {
             scheme,
             channels,
@@ -235,15 +248,17 @@ impl TokenBlock {
                 ),
             });
         }
-        (0..self.tokens)
-            .map(|t| {
+        ln_par::metrics::time_kernel("aaq.block_decode", self.tokens as u64, || {
+            ln_par::par_map_collect(self.tokens, BLOCK_PAR_GRAIN_TOKENS, |t| {
                 decode_token(
                     &self.bytes[t * stride..(t + 1) * stride],
                     self.scheme,
                     self.channels,
                 )
             })
+            .into_iter()
             .collect()
+        })
     }
 
     /// How many tokens of this shape fit a target block size.

@@ -43,6 +43,7 @@ pub mod asymmetric;
 pub mod baselines;
 mod error;
 pub mod layout;
+pub mod scale;
 pub mod scheme;
 pub mod tensor;
 pub mod token;

@@ -1,0 +1,71 @@
+//! Shared per-row scale / zero-point arithmetic.
+//!
+//! Both quantizers reduce a group of values to a scale: the symmetric
+//! token-wise AAQ path (`token.rs`, Eq. 1 of the paper) and the asymmetric
+//! ablation (`asymmetric.rs`). The formulas live here once so the two paths
+//! cannot drift apart.
+
+/// `(min, max)` over `values`; `(0.0, 0.0)` for an empty slice.
+pub fn min_max(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    values
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+}
+
+/// Affine `(scale, zero_point)` mapping `[min, max]` onto `num_levels`
+/// integer steps. The span is clamped to `1e-12` so constant tokens stay
+/// finite; the zero point is the minimum (level 0 reconstructs `min`).
+pub fn affine_scale_zero_point(min: f32, max: f32, num_levels: u32) -> (f32, f32) {
+    let span = (max - min).max(1e-12);
+    (span / num_levels as f32, min)
+}
+
+/// Symmetric scale `σ = max|x| / max_level` (Eq. 1), falling back to `1.0`
+/// for an all-zero group so dequantization stays exact.
+pub fn symmetric_scale(max_abs: f32, max_level: i32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / max_level as f32
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_handles_empty_and_negatives() {
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+        assert_eq!(min_max(&[-3.0, 2.0, -7.5, 1.0]), (-7.5, 2.0));
+        assert_eq!(min_max(&[4.0]), (4.0, 4.0));
+    }
+
+    #[test]
+    fn affine_covers_the_span() {
+        let (scale, zp) = affine_scale_zero_point(-1.0, 3.0, 255);
+        assert!((scale - 4.0 / 255.0).abs() < 1e-9);
+        assert_eq!(zp, -1.0);
+        // Level 0 reconstructs min, the top level reconstructs max.
+        assert!((zp + 255.0 * scale - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn affine_clamps_degenerate_span() {
+        let (scale, zp) = affine_scale_zero_point(2.0, 2.0, 15);
+        assert!(scale > 0.0);
+        assert_eq!(zp, 2.0);
+    }
+
+    #[test]
+    fn symmetric_scale_matches_eq1_and_zero_fallback() {
+        assert!((symmetric_scale(6.35, 127) - 0.05).abs() < 1e-6);
+        assert_eq!(symmetric_scale(0.0, 127), 1.0);
+        assert_eq!(symmetric_scale(-0.0, 7), 1.0);
+    }
+}

@@ -48,9 +48,12 @@ impl QuantizedTensor {
     /// Panics if the scheme's outlier budget is not below the channel
     /// count or channels exceed 256 (the hardware token width bound).
     pub fn from_tensor(x: &Tensor2, scheme: QuantScheme) -> Self {
-        let tokens = (0..x.rows())
-            .map(|t| quantize_token(x.row(t), scheme))
-            .collect();
+        // One token per row, quantized independently (the VVPU axis).
+        let tokens = ln_par::metrics::time_kernel("aaq.from_tensor", x.rows() as u64, || {
+            ln_par::par_map_collect(x.rows(), crate::asymmetric::TOKEN_PAR_GRAIN_ROWS, |t| {
+                quantize_token(x.row(t), scheme)
+            })
+        });
         QuantizedTensor {
             scheme,
             channels: x.cols(),
@@ -137,36 +140,49 @@ impl QuantizedTensor {
         }
         let out_features = weights.cols();
         let mut out = Tensor2::zeros(self.tokens.len(), out_features);
-        for (t, q) in self.tokens.iter().enumerate() {
-            // Channel index of each inlier (outlier positions skipped), in
-            // layout order.
-            let outlier_set: Vec<bool> = {
-                let mut v = vec![false; self.channels];
-                for &i in q.outlier_indices() {
-                    v[i as usize] = true;
-                }
-                v
-            };
-            let inlier_channels: Vec<usize> =
-                (0..self.channels).filter(|&c| !outlier_set[c]).collect();
-            let row = out.row_mut(t);
-            for (o, slot) in row.iter_mut().enumerate() {
-                let mut inlier_acc = 0.0f64;
-                for (&level, &c) in q.inliers().iter().zip(&inlier_channels) {
-                    inlier_acc += level as f64 * weights.at(c, o) as f64;
-                }
-                let mut outlier_acc = 0.0f64;
-                for (&level, &idx) in q.outliers().iter().zip(q.outlier_indices()) {
-                    outlier_acc += level as f64 * weights.at(idx as usize, o) as f64;
-                }
-                // Scales applied once per accumulator, never per element.
-                *slot = (inlier_acc * q.inlier_scale() as f64
-                    + outlier_acc * q.outlier_scale() as f64) as f32;
-            }
+        if out_features == 0 || self.tokens.is_empty() {
+            return Ok(out);
         }
+        let tokens = &self.tokens;
+        let channels = self.channels;
+        let per_chunk = ln_par::chunk_len(tokens.len(), QMATMUL_PAR_GRAIN_TOKENS);
+        ln_par::par_chunks_mut(out.as_mut_slice(), per_chunk * out_features, |c, chunk| {
+            for (local, row) in chunk.chunks_mut(out_features).enumerate() {
+                let t = c * per_chunk + local;
+                let q = &tokens[t];
+                // Channel index of each inlier (outlier positions skipped),
+                // in layout order.
+                let outlier_set: Vec<bool> = {
+                    let mut v = vec![false; channels];
+                    for &i in q.outlier_indices() {
+                        v[i as usize] = true;
+                    }
+                    v
+                };
+                let inlier_channels: Vec<usize> =
+                    (0..channels).filter(|&c| !outlier_set[c]).collect();
+                for (o, slot) in row.iter_mut().enumerate() {
+                    let mut inlier_acc = 0.0f64;
+                    for (&level, &ch) in q.inliers().iter().zip(&inlier_channels) {
+                        inlier_acc += level as f64 * weights.at(ch, o) as f64;
+                    }
+                    let mut outlier_acc = 0.0f64;
+                    for (&level, &idx) in q.outliers().iter().zip(q.outlier_indices()) {
+                        outlier_acc += level as f64 * weights.at(idx as usize, o) as f64;
+                    }
+                    // Scales applied once per accumulator, never per element.
+                    *slot = (inlier_acc * q.inlier_scale() as f64
+                        + outlier_acc * q.outlier_scale() as f64)
+                        as f32;
+                }
+            }
+        });
         Ok(out)
     }
 }
+
+/// Minimum tokens per chunk for the dequantization-free matmul.
+const QMATMUL_PAR_GRAIN_TOKENS: usize = 4;
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,7 @@
 //! scaling via SIMD lanes, and reordering via the local crossbar network.
 //! `ln-accel`'s VVPU model is cross-validated against this implementation.
 
+use crate::scale::symmetric_scale;
 use crate::scheme::{Bits, QuantScheme};
 use ln_tensor::stats;
 use ln_tensor::Tensor2;
@@ -132,11 +133,7 @@ pub fn quantize_token(values: &[f32], scheme: QuantScheme) -> QuantizedToken {
         .enumerate()
         .filter(|&(i, _)| !is_outlier[i])
         .fold(0.0f32, |a, (_, &v)| a.max(v.abs()));
-    let inlier_scale = if inlier_max > 0.0 {
-        inlier_max / scheme.inlier_bits.max_level() as f32
-    } else {
-        1.0
-    };
+    let inlier_scale = symmetric_scale(inlier_max, scheme.inlier_bits.max_level());
 
     let inliers: Vec<i16> = values
         .iter()
@@ -148,11 +145,7 @@ pub fn quantize_token(values: &[f32], scheme: QuantScheme) -> QuantizedToken {
     let outlier_max = outlier_indices
         .iter()
         .fold(0.0f32, |a, &i| a.max(values[i].abs()));
-    let outlier_scale = if outlier_max > 0.0 {
-        outlier_max / Bits::Int16.max_level() as f32
-    } else {
-        1.0
-    };
+    let outlier_scale = symmetric_scale(outlier_max, Bits::Int16.max_level());
     let outliers: Vec<i16> = outlier_indices
         .iter()
         .map(|&i| quantize_value(values[i], outlier_scale, Bits::Int16))
@@ -184,21 +177,33 @@ pub fn quantize_value(v: f32, scale: f32, bits: Bits) -> i16 {
 /// VVPU SIMD width and the bitonic network are 128 lanes).
 pub fn fake_quantize_tokens(x: &mut Tensor2, scheme: QuantScheme) {
     const SEGMENT: usize = 128;
-    for t in 0..x.rows() {
-        let row = x.row(t).to_vec();
-        let out = x.row_mut(t);
-        for (seg_idx, seg) in row.chunks(SEGMENT).enumerate() {
-            let mut seg_scheme = scheme;
-            if seg_scheme.outliers >= seg.len() {
-                seg_scheme.outliers = seg.len().saturating_sub(1);
-            }
-            if seg.len() < 2 {
-                continue;
-            }
-            let q = quantize_token(seg, seg_scheme);
-            out[seg_idx * SEGMENT..seg_idx * SEGMENT + seg.len()].copy_from_slice(&q.dequantize());
-        }
+    let cols = x.cols();
+    let rows = x.rows();
+    if cols == 0 || rows == 0 {
+        return;
     }
+    // Tokens quantize independently (the 128-VVPU axis), so row-chunk
+    // parallelism reproduces the serial loop bit for bit.
+    ln_par::metrics::time_kernel("aaq.fake_quantize", rows as u64, || {
+        let rows_per_chunk = ln_par::chunk_len(rows, crate::asymmetric::TOKEN_PAR_GRAIN_ROWS);
+        ln_par::par_chunks_mut(x.as_mut_slice(), rows_per_chunk * cols, |_, chunk| {
+            for out in chunk.chunks_mut(cols) {
+                let row = out.to_vec();
+                for (seg_idx, seg) in row.chunks(SEGMENT).enumerate() {
+                    let mut seg_scheme = scheme;
+                    if seg_scheme.outliers >= seg.len() {
+                        seg_scheme.outliers = seg.len().saturating_sub(1);
+                    }
+                    if seg.len() < 2 {
+                        continue;
+                    }
+                    let q = quantize_token(seg, seg_scheme);
+                    out[seg_idx * SEGMENT..seg_idx * SEGMENT + seg.len()]
+                        .copy_from_slice(&q.dequantize());
+                }
+            }
+        });
+    });
 }
 
 /// Root-mean-square quantization error of a scheme over an activation

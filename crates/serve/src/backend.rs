@@ -21,8 +21,9 @@ use ln_gpu::{GpuDevice, A100, H100};
 ///
 /// All times are virtual seconds from the device's latency model — never
 /// wall-clock — so every scheduling decision derived from them is
-/// deterministic.
-pub trait Backend: Send {
+/// deterministic. Backends are plain latency-model data (`Send + Sync`), so
+/// the engine can probe their capacities from the ln-par pool at startup.
+pub trait Backend: Send + Sync {
     /// Display name (unique within a pool, e.g. `"LightNobel"`, `"A100-chunk4"`).
     fn name(&self) -> &str;
 

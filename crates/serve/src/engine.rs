@@ -53,7 +53,11 @@ impl Engine {
     /// Panics if the pool is empty.
     pub fn new(policy: BucketPolicy, cfg: BatcherConfig, backends: Vec<Box<dyn Backend>>) -> Self {
         assert!(!backends.is_empty(), "need at least one backend");
-        let capacities: Vec<usize> = backends.iter().map(|b| b.max_single_length()).collect();
+        // Each capacity probe binary-searches one backend's latency model —
+        // independent pure work, fanned out per backend. Order is preserved,
+        // so the deterministic schedule is unchanged.
+        let capacities: Vec<usize> =
+            ln_par::par_map_collect(backends.len(), 1, |i| backends[i].max_single_length());
         let mut dispatch_order: Vec<usize> = (0..backends.len()).collect();
         dispatch_order.sort_by_key(|&i| capacities[i]);
         let in_flight = backends.iter().map(|_| None).collect();

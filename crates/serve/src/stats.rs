@@ -189,6 +189,17 @@ impl ServeStats {
         t
     }
 
+    /// The ln-par runtime companion tables for a serving report: thread-pool
+    /// occupancy and per-kernel wall time, rendered alongside the p50/p99
+    /// latency table so one report shows both the virtual schedule and the
+    /// real compute spent producing it.
+    pub fn runtime_tables() -> (Table, Table) {
+        (
+            lightnobel::report::runtime_table(),
+            lightnobel::report::kernel_table(),
+        )
+    }
+
     /// A deterministic digest of the full schedule and counters: equal
     /// digests ⇔ equal batch schedules, used by the reproducibility tests.
     pub fn fingerprint(&self) -> u64 {
@@ -256,6 +267,14 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.record_batch(record(0, vec![11], 1.0, 2.0), &[1.0]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn runtime_tables_render_pool_state() {
+        let (runtime, kernels) = ServeStats::runtime_tables();
+        assert_eq!(runtime.num_rows(), 1);
+        assert!(runtime.render().contains("occup"));
+        assert!(kernels.render().contains("kernel"));
     }
 
     #[test]

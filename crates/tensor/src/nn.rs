@@ -206,28 +206,50 @@ impl LayerNorm {
             });
         }
         let mut out = x.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-            let inv = 1.0 / (var + self.epsilon).sqrt();
-            for (k, v) in row.iter_mut().enumerate() {
-                *v = (*v - mean) * inv * self.gamma[k] + self.beta[k];
-            }
+        let cols = out.cols();
+        if cols == 0 || out.rows() == 0 {
+            return Ok(out);
         }
+        // Rows normalise independently, so row-chunk parallelism is
+        // bit-identical to the serial loop.
+        let rows_per_chunk = ln_par::chunk_len(out.rows(), ROW_PAR_GRAIN_ELEMS.div_ceil(cols));
+        let gamma = &self.gamma;
+        let beta = &self.beta;
+        let epsilon = self.epsilon;
+        ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * cols, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let n = row.len() as f32;
+                let mean = row.iter().sum::<f32>() / n;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                let inv = 1.0 / (var + epsilon).sqrt();
+                for (k, v) in row.iter_mut().enumerate() {
+                    *v = (*v - mean) * inv * gamma[k] + beta[k];
+                }
+            }
+        });
         Ok(out)
     }
 }
+
+/// Minimum elements per chunk for the row-parallel pointwise ops
+/// (layer-norm, softmax); below this the work runs inline.
+const ROW_PAR_GRAIN_ELEMS: usize = 1 << 13;
 
 /// Row-wise numerically-stable softmax.
 ///
 /// Each row of the result sums to 1.
 pub fn softmax_rows(x: &Tensor2) -> Tensor2 {
     let mut out = x.clone();
-    for i in 0..out.rows() {
-        softmax_inplace(out.row_mut(i));
+    let cols = out.cols();
+    if cols == 0 || out.rows() == 0 {
+        return out;
     }
+    let rows_per_chunk = ln_par::chunk_len(out.rows(), ROW_PAR_GRAIN_ELEMS.div_ceil(cols));
+    ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * cols, |_, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            softmax_inplace(row);
+        }
+    });
     out
 }
 

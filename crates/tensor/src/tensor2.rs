@@ -202,6 +202,12 @@ impl Tensor2 {
 
     /// Matrix product `self × rhs`.
     ///
+    /// Cache-blocked over (row-block, k-panel) and parallelised across
+    /// output-row chunks on the `ln-par` pool. Every output row accumulates
+    /// its `k` terms in ascending order exactly as the serial ikj kernel
+    /// does, so results are bit-identical to serial execution for any pool
+    /// size (see the ln-par crate docs).
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.rows`.
@@ -213,25 +219,28 @@ impl Tensor2 {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
-        let mut out = Tensor2::zeros(self.rows, rhs.cols);
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor2::zeros(m, n);
+        if m == 0 || n == 0 {
+            return Ok(out);
         }
+        ln_par::metrics::time_kernel("tensor2.matmul", (m * n) as u64, || {
+            let grain_rows = (MATMUL_PAR_FLOPS / (k * n).max(1)).max(1);
+            let rows_per_chunk = ln_par::chunk_len(m, grain_rows);
+            let a = &self.data;
+            let b = &rhs.data;
+            ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |c, chunk| {
+                matmul_block(a, b, k, n, c * rows_per_chunk, chunk);
+            });
+        });
         Ok(out)
     }
 
     /// Matrix product `self × rhsᵀ` without materialising the transpose.
+    ///
+    /// Tiled over RHS rows (so a j-tile of B stays cache-resident across
+    /// LHS rows) and parallelised across output-row chunks; each dot
+    /// product runs k-ascending, bit-identical to the serial kernel.
     ///
     /// # Errors
     ///
@@ -244,18 +253,20 @@ impl Tensor2 {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
-        let mut out = Tensor2::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Tensor2::zeros(m, n);
+        if m == 0 || n == 0 {
+            return Ok(out);
         }
+        ln_par::metrics::time_kernel("tensor2.matmul_t", (m * n) as u64, || {
+            let grain_rows = (MATMUL_PAR_FLOPS / (k * n).max(1)).max(1);
+            let rows_per_chunk = ln_par::chunk_len(m, grain_rows);
+            let a = &self.data;
+            let b = &rhs.data;
+            ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |c, chunk| {
+                matmul_transposed_block(a, b, k, n, c * rows_per_chunk, chunk);
+            });
+        });
         Ok(out)
     }
 
@@ -398,6 +409,68 @@ impl Tensor2 {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         })
+    }
+}
+
+/// Approximate flop count below which a matmul is not worth a thread
+/// crossing; the per-call row grain is derived from it.
+const MATMUL_PAR_FLOPS: usize = 1 << 19;
+
+/// Row block (output rows sharing a k-panel of B) for the blocked matmul.
+const MATMUL_ROW_BLOCK: usize = 16;
+/// k-panel depth: `MATMUL_K_BLOCK × n` elements of B stay cache-resident
+/// while a row block accumulates.
+const MATMUL_K_BLOCK: usize = 128;
+/// RHS-row tile width for `matmul_transposed`.
+const MATMUL_T_J_BLOCK: usize = 32;
+
+/// Computes `out[i][j] += Σ_k a[row0 + i][k] · b[k][j]` for the output-row
+/// chunk `out` (`out.len() / n` rows starting at global row `row0`).
+///
+/// Blocking reorders only *which rows* are touched when; per row the k
+/// terms still accumulate in ascending order, so any chunking (including
+/// the single-chunk serial case) produces bit-identical results.
+fn matmul_block(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
+    let rows = out.len() / n;
+    for ib in (0..rows).step_by(MATMUL_ROW_BLOCK) {
+        let i_end = (ib + MATMUL_ROW_BLOCK).min(rows);
+        let mut kb = 0;
+        while kb < k {
+            let k_end = (kb + MATMUL_K_BLOCK).min(k);
+            for i in ib..i_end {
+                let a_row = &a[(row0 + i) * k + kb..(row0 + i) * k + k_end];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (dk, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[(kb + dk) * n..(kb + dk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            kb = k_end;
+        }
+    }
+}
+
+/// Computes `out[i][j] = Σ_k a[row0 + i][k] · b[j][k]` (B accessed by rows,
+/// i.e. `self × rhsᵀ`) for the output-row chunk `out`. Each dot product is
+/// k-ascending — identical order to the serial kernel.
+fn matmul_transposed_block(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
+    let rows = out.len() / n;
+    for jb in (0..n).step_by(MATMUL_T_J_BLOCK) {
+        let j_end = (jb + MATMUL_T_J_BLOCK).min(n);
+        for i in 0..rows {
+            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row[jb..j_end].iter_mut().enumerate() {
+                let b_row = &b[(jb + j) * k..(jb + j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
     }
 }
 

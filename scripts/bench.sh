@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PAR.json at the repo root: the serial-vs-parallel wall
+# time and bitwise-identity record for the ln-par-driven kernels (blocked
+# matmul, token-wise AAQ encode, full Evoformer block) at L in {256, 512,
+# 1024}. Fully offline; respects LN_THREADS for the parallel pool size.
+#
+# Expect a long run on small machines — the L = 1024 Evoformer block alone
+# is minutes of serial compute. Speedup > 1 is only expected on multi-core
+# hosts; bit-identity must hold everywhere.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p ln-bench --bin par_speedup
+exec ./target/release/par_speedup

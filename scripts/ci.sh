@@ -6,6 +6,11 @@
 #   2. cargo clippy --workspace --all-targets -D warnings (lints)
 #   3. cargo build --release                              (offline build)
 #   4. cargo test -q                                      (test suite)
+#   5. par_speedup --quick                                (ln-par smoke)
+#
+# Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
+# its serial execution — never for missing speedup — so it stays meaningful
+# on single-core CI machines.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -23,6 +28,7 @@ step cargo fmt --all -- --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step cargo build --release
 step cargo test -q
+step ./target/release/par_speedup --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

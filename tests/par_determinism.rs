@@ -1,0 +1,193 @@
+//! Cross-crate determinism guarantees for the ln-par runtime: every
+//! parallelised kernel must be **bitwise identical** to its serial execution
+//! for any pool size, because each output row is owned by exactly one worker
+//! and the per-row arithmetic order never changes (see DESIGN.md, "ln-par
+//! execution model").
+//!
+//! The seeded tests below always run offline; a property-based section at
+//! the bottom widens the input space when the `proptest` feature (and the
+//! external crate it gates) is available.
+
+use ln_par::{with_pool, Pool};
+use ln_ppm::blocks::FoldingBlock;
+use ln_ppm::taps::NoopHook;
+use ln_ppm::PpmConfig;
+use ln_quant::layout::TokenBlock;
+use ln_quant::scheme::QuantScheme;
+use ln_quant::tensor::QuantizedTensor;
+use ln_quant::token::{fake_quantize_tokens, quantize_token};
+use ln_tensor::rng::{fill_normal, stream};
+use ln_tensor::{Tensor2, Tensor3};
+
+/// Pool sizes exercised by every test: serial, minimal parallel, and a size
+/// guaranteed to exceed the chunk count of the smallest inputs.
+const POOL_SIZES: [usize; 3] = [1, 2, 4];
+
+fn seeded_tensor2(label: &str, rows: usize, cols: usize) -> Tensor2 {
+    let mut rng = stream(label);
+    let mut data = vec![0.0f32; rows * cols];
+    fill_normal(&mut rng, &mut data, 1.0);
+    Tensor2::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn bits(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` under a one-thread pool, then under each multi-thread pool size,
+/// asserting that every parallel result is byte-identical to the serial one.
+fn assert_pool_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let serial = with_pool(&Pool::new(1), &f);
+    for threads in POOL_SIZES {
+        let parallel = with_pool(&Pool::new(threads), &f);
+        assert_eq!(serial, parallel, "diverged at pool size {threads}");
+    }
+}
+
+#[test]
+fn matmul_is_bitwise_pool_invariant() {
+    // 37x53: deliberately not a multiple of any block or chunk size, so the
+    // row-chunk boundaries land mid-block in every pool configuration.
+    let a = seeded_tensor2("par-det/matmul/a", 37, 53);
+    let b = seeded_tensor2("par-det/matmul/b", 53, 29);
+    assert_pool_invariant(|| bits(a.matmul(&b).expect("shapes agree").as_slice()));
+}
+
+#[test]
+fn matmul_transposed_is_bitwise_pool_invariant() {
+    let a = seeded_tensor2("par-det/matmul_t/a", 41, 23);
+    let b = seeded_tensor2("par-det/matmul_t/b", 31, 23);
+    assert_pool_invariant(|| {
+        bits(
+            a.matmul_transposed(&b)
+                .expect("shared inner dimension")
+                .as_slice(),
+        )
+    });
+}
+
+#[test]
+fn matmul_edge_shapes_are_pool_invariant() {
+    // Empty output and a single owned row: the smallest ownership units.
+    for (m, k, n) in [(0, 4, 4), (1, 7, 5), (2, 1, 1)] {
+        let a = seeded_tensor2("par-det/matmul-edge/a", m, k);
+        let b = seeded_tensor2("par-det/matmul-edge/b", k, n);
+        assert_pool_invariant(|| bits(a.matmul(&b).expect("shapes agree").as_slice()));
+    }
+}
+
+#[test]
+fn aaq_fake_quantize_is_bitwise_pool_invariant() {
+    let scheme = QuantScheme::int4_with_outliers(4);
+    // Spiky activations so the outlier top-k path participates.
+    let mut x = seeded_tensor2("par-det/aaq", 33, 128);
+    for t in 0..x.rows() {
+        let cols = x.cols();
+        x.as_mut_slice()[t * cols + (t * 7) % cols] *= 50.0;
+    }
+    assert_pool_invariant(|| {
+        let mut q = x.clone();
+        fake_quantize_tokens(&mut q, scheme);
+        bits(q.as_slice())
+    });
+}
+
+#[test]
+fn aaq_block_round_trip_is_pool_invariant() {
+    let scheme = QuantScheme::int4_with_outliers(2);
+    let x = seeded_tensor2("par-det/block", 19, 64);
+    assert_pool_invariant(|| {
+        let tokens: Vec<_> = (0..x.rows())
+            .map(|t| quantize_token(x.row(t), scheme))
+            .collect();
+        let block = TokenBlock::encode(&tokens);
+        let decoded = block.decode().expect("round trip");
+        (
+            block.as_bytes().to_vec(),
+            decoded.iter().flat_map(|v| bits(v)).collect::<Vec<u32>>(),
+        )
+    });
+}
+
+#[test]
+fn quantized_matmul_is_bitwise_pool_invariant() {
+    let scheme = QuantScheme::int8_with_outliers(2);
+    let x = seeded_tensor2("par-det/qmm/x", 13, 24);
+    let w = seeded_tensor2("par-det/qmm/w", 24, 17);
+    let q = QuantizedTensor::from_tensor(&x, scheme);
+    assert_pool_invariant(|| bits(q.matmul(&w).expect("shapes agree").as_slice()));
+}
+
+#[test]
+fn evoformer_block_is_bitwise_pool_invariant() {
+    let cfg = PpmConfig::tiny();
+    let block = FoldingBlock::new(&cfg, "par-det", 0);
+    let ns = 9;
+    let seq0 = seeded_tensor2("par-det/evo/seq", ns, cfg.hm);
+    let mut rng = stream("par-det/evo/pair");
+    let mut pair_data = vec![0.0f32; ns * ns * cfg.hz];
+    fill_normal(&mut rng, &mut pair_data, 0.5);
+    let pair0 = Tensor3::from_vec(ns, ns, cfg.hz, pair_data).expect("shape matches data");
+    assert_pool_invariant(|| {
+        let mut seq = seq0.clone();
+        let mut pair = pair0.clone();
+        block
+            .forward(&mut seq, &mut pair, &mut NoopHook, 0, 0)
+            .expect("tiny config is valid");
+        (bits(seq.as_slice()), bits(pair.as_slice()))
+    });
+}
+
+#[test]
+fn layernorm_and_softmax_are_pool_invariant() {
+    use ln_tensor::nn::{softmax_rows, LayerNorm};
+    let ln = LayerNorm::new(48);
+    let x = seeded_tensor2("par-det/ln", 27, 48);
+    assert_pool_invariant(|| {
+        let normed = ln.forward(&x).expect("channel counts match");
+        let soft = softmax_rows(&x);
+        (bits(normed.as_slice()), bits(soft.as_slice()))
+    });
+}
+
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#[cfg(feature = "proptest")]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn matmul_pool_invariant_for_arbitrary_shapes(
+            m in 0usize..24, k in 1usize..24, n in 1usize..24, seed in any::<u64>()
+        ) {
+            let mut rng = ln_tensor::rng::Xoshiro256pp::seed_from_u64(seed);
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            fill_normal(&mut rng, &mut a, 1.0);
+            fill_normal(&mut rng, &mut b, 1.0);
+            let a = Tensor2::from_vec(m, k, a).unwrap();
+            let b = Tensor2::from_vec(k, n, b).unwrap();
+            assert_pool_invariant(|| bits(a.matmul(&b).unwrap().as_slice()));
+        }
+
+        #[test]
+        fn aaq_pool_invariant_for_arbitrary_tokens(
+            rows in 1usize..32, seed in any::<u64>()
+        ) {
+            let mut rng = ln_tensor::rng::Xoshiro256pp::seed_from_u64(seed);
+            let mut data = vec![0.0f32; rows * 16];
+            fill_normal(&mut rng, &mut data, 10.0);
+            let x = Tensor2::from_vec(rows, 16, data).unwrap();
+            let scheme = QuantScheme::int4_with_outliers(2);
+            assert_pool_invariant(|| {
+                let mut q = x.clone();
+                fake_quantize_tokens(&mut q, scheme);
+                bits(q.as_slice())
+            });
+        }
+    }
+}
