@@ -67,6 +67,14 @@ impl HwConfig {
         self
     }
 
+    /// A derived configuration with a different HBM capacity — used by
+    /// capacity-pressure experiments (fault injection shrinks the usable
+    /// device memory without touching bandwidth).
+    pub fn with_hbm_capacity(mut self, bytes: u64) -> Self {
+        self.hbm_capacity_bytes = bytes;
+        self
+    }
+
     /// Total VVPUs in the system.
     pub fn total_vvpus(&self) -> usize {
         self.num_rmpus * self.vvpus_per_rmpu

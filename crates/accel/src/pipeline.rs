@@ -222,9 +222,28 @@ impl Accelerator {
         activations + weights
     }
 
+    /// The activation share of [`Accelerator::peak_memory_bytes`] — what a
+    /// precision-degradation ladder can actually shrink (weights stay
+    /// resident at INT16 whatever the activation rung).
+    pub fn activation_bytes(&self, ns: usize) -> f64 {
+        self.peak_memory_bytes(ns) - self.weight_bytes()
+    }
+
+    /// Resident weight bytes (trunk parameters at INT16).
+    pub fn weight_bytes(&self) -> f64 {
+        self.cost.trunk_params() as f64 * 2.0
+    }
+
     /// Whether a protein of length `ns` fits device memory.
     pub fn fits_memory(&self, ns: usize) -> bool {
-        self.peak_memory_bytes(ns) <= self.hw.hbm_capacity_bytes as f64
+        self.fits_memory_in(ns, self.hw.hbm_capacity_bytes as f64)
+    }
+
+    /// Whether a protein of length `ns` fits in `available_bytes` of device
+    /// memory — the capacity-pressure hook: fault injection passes a
+    /// shrunken budget while the hardware configuration stays fixed.
+    pub fn fits_memory_in(&self, ns: usize, available_bytes: f64) -> bool {
+        self.peak_memory_bytes(ns) <= available_bytes
     }
 
     /// Energy for one folding run, joules (accelerator power × latency).
@@ -525,6 +544,21 @@ mod tests {
         assert!(s.total_energy_joules > 0.0);
         assert_eq!(s.oom_count, 1, "12000 exceeds 80 GB");
         assert!(s.max_peak_bytes > 80e9);
+    }
+
+    #[test]
+    fn capacity_pressure_hooks_are_consistent() {
+        let a = accel();
+        let ns = 6879;
+        assert!((a.activation_bytes(ns) + a.weight_bytes() - a.peak_memory_bytes(ns)).abs() < 1.0);
+        assert!(a.fits_memory(ns));
+        // Shrink the budget to just under the requirement: no longer fits.
+        let need = a.peak_memory_bytes(ns);
+        assert!(!a.fits_memory_in(ns, need * 0.99));
+        assert!(a.fits_memory_in(ns, need));
+        // with_hbm_capacity threads through fits_memory.
+        let small = Accelerator::new(HwConfig::paper().with_hbm_capacity(need as u64 / 2));
+        assert!(!small.fits_memory(ns));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    title: Option<String>,
 }
 
 impl Table {
@@ -19,7 +20,16 @@ impl Table {
         Table {
             headers: headers.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
+            title: None,
         }
+    }
+
+    /// Sets a title line printed above the rendered table (multi-table
+    /// reports like the resilience dashboard need each table labelled;
+    /// `to_csv` stays title-free so machine consumers are unaffected).
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
     }
 
     /// Appends a row.
@@ -76,6 +86,9 @@ impl Table {
             }
         }
         let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
         let sep = |out: &mut String| {
             for w in &widths {
                 let _ = write!(out, "+{}", "-".repeat(w + 2));
@@ -200,6 +213,14 @@ mod tests {
             s.lines().map(|l| l.chars().count()).collect();
         assert_eq!(widths.len(), 1, "{s}");
         assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn title_renders_above_table_but_not_in_csv() {
+        let mut t = Table::new(["a"]).with_title("faults by backend");
+        t.add_row(["1"]);
+        assert!(t.render().starts_with("== faults by backend ==\n"));
+        assert!(!t.to_csv().contains("faults by backend"));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! # ln-fault
+//!
+//! Deterministic fault injection and resilience primitives for the serving
+//! stack. The north star is a production service, but the rest of the
+//! workspace models a *healthy* machine; this crate supplies the unhealthy
+//! one — reproducibly. Every fault is scheduled from a seed label through
+//! `ln_tensor::rng`, so a chaos run is as bit-replayable as any other
+//! experiment in the reproduction (the property `scripts/ci.sh chaos
+//! --quick` gates on).
+//!
+//! The moving parts:
+//!
+//! * [`plan`] — the [`FaultPlan`]: per-backend dispatch faults (stalls,
+//!   transient compute errors, worker panics), HBM capacity-pressure
+//!   windows scaled against a device's memory model, and bucket-queue
+//!   poison events; either built explicitly or sampled from a
+//!   [`ChaosSpec`] under a seed label.
+//! * [`retry`] — [`RetryPolicy`]: bounded retries with exponential backoff
+//!   and *deterministic* jitter (the jitter stream is keyed by request id
+//!   and attempt, never by wall-clock).
+//! * [`breaker`] — [`CircuitBreaker`]: the closed → open → half-open probe
+//!   state machine, driven entirely by a caller-supplied clock so the
+//!   virtual-time engine and the threaded service share one
+//!   implementation.
+//!
+//! Consumers (the `ln-serve` engine and service) ask the plan "what
+//! happens to dispatch *k* on backend *i*?" and "how much device memory is
+//! available at time *t*?", and route the answers through the retry policy
+//! and breakers. Nothing in this crate reads wall-clock or global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod plan;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker};
+pub use plan::{
+    ChaosSpec, DispatchFault, FaultPlan, FaultPlanBuilder, PoisonEvent, PressureWindow,
+};
+pub use retry::RetryPolicy;
+
+/// The resilience knobs a serving layer threads through its scheduler:
+/// one retry policy for failed batches plus one circuit-breaker
+/// configuration applied per backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// Retry/backoff policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-backend circuit-breaker configuration.
+    pub breaker: BreakerConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_usable() {
+        let c = ResilienceConfig::default();
+        assert!(c.retry.max_attempts >= 1);
+        assert!(c.breaker.failure_threshold >= 1);
+        assert!(c.breaker.cooldown_seconds > 0.0);
+    }
+}

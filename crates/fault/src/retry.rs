@@ -1,0 +1,107 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! The jitter stream is keyed by `(key, attempt)` through
+//! `ln_tensor::rng`, so two schedulers replaying the same failure history
+//! compute byte-identical backoff schedules — wall-clock never enters the
+//! calculation. `key` is normally a request id.
+
+use ln_tensor::rng::{self, Rng};
+
+/// Retry/backoff policy for transient batch failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts, counting the first (so `3` means the
+    /// original try plus two retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub base_seconds: f64,
+    /// Multiplier applied per additional failed attempt.
+    pub multiplier: f64,
+    /// Ceiling on the un-jittered backoff, seconds.
+    pub max_seconds: f64,
+    /// Jitter amplitude in `[0, 1]`: the delay is scaled by a factor drawn
+    /// uniformly from `[1 - jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_seconds: 0.25,
+            multiplier: 2.0,
+            max_seconds: 8.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether a request that has already made `attempts` tries is out of
+    /// budget.
+    pub fn exhausted(&self, attempts: u32) -> bool {
+        attempts >= self.max_attempts.max(1)
+    }
+
+    /// Backoff before retry number `attempt` (1 = first retry) for the
+    /// request identified by `key`. Deterministic in `(self, key, attempt)`.
+    pub fn backoff_seconds(&self, key: u64, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(63);
+        let raw = (self.base_seconds * self.multiplier.powi(exp as i32)).min(self.max_seconds);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return raw;
+        }
+        let mut r = rng::stream_indexed("fault/backoff", key ^ ((attempt as u64) << 48));
+        let scale = 1.0 + jitter * (r.gen::<f64>() - 0.5);
+        raw * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_counts_the_first_attempt() {
+        let p = RetryPolicy::default();
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_key_sensitive() {
+        let p = RetryPolicy::default();
+        let a = p.backoff_seconds(7, 1);
+        let b = p.backoff_seconds(7, 1);
+        let c = p.backoff_seconds(8, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_seconds(0, 1), 0.25);
+        assert_eq!(p.backoff_seconds(0, 2), 0.5);
+        assert_eq!(p.backoff_seconds(0, 3), 1.0);
+        assert_eq!(p.backoff_seconds(0, 20), 8.0, "capped at max_seconds");
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let p = RetryPolicy::default();
+        for key in 0..200u64 {
+            let d = p.backoff_seconds(key, 1);
+            assert!(
+                (0.25 * 0.75..=0.25 * 1.25).contains(&d),
+                "jittered delay {d} outside ±25% band"
+            );
+        }
+    }
+}

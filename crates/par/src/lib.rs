@@ -160,6 +160,22 @@ struct PoolShared {
     work_available: Condvar,
 }
 
+/// A parallel job had at least one chunk panic. Every chunk still ran to a
+/// claimed/finished state (the pool survives), but results derived from the
+/// panicking closure must be considered torn. Returned by [`Pool::try_run`]
+/// and [`try_par_for`] so resilience layers can contain worker death as a
+/// typed error instead of a rethrown panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPanicked;
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ln-par: a parallel task panicked")
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
 /// A persistent worker pool. `Pool::new(n)` provides `n` executors: `n - 1`
 /// spawned worker threads plus the submitting caller, which participates in
 /// every job it submits.
@@ -208,15 +224,29 @@ impl Pool {
     /// pool has one thread, there is at most one chunk, or the caller is
     /// itself a pool executor (nested call).
     pub fn run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.try_run(chunks, f).is_err() {
+            panic!("ln-par: a parallel task panicked");
+        }
+    }
+
+    /// Like [`Pool::run`], but contains chunk panics instead of re-raising
+    /// them: returns `Err(JobPanicked)` when any chunk panicked, after all
+    /// chunks have been claimed and the pool is healthy again. In the
+    /// inline serial fallback each index is wrapped in `catch_unwind`, so
+    /// the containment guarantee is pool-size independent.
+    pub fn try_run(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobPanicked> {
         if chunks == 0 {
-            return;
+            return Ok(());
         }
         if self.threads <= 1 || chunks == 1 || in_pool() {
             metrics::note_serial();
+            let mut panicked = false;
             for chunk in 0..chunks {
-                f(chunk);
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(chunk))).is_err() {
+                    panicked = true;
+                }
             }
-            return;
+            return if panicked { Err(JobPanicked) } else { Ok(()) };
         }
         let job = Arc::new(Job {
             task: RawTask::erase(f),
@@ -238,7 +268,9 @@ impl Pool {
         IN_POOL.with(|flag| flag.set(false));
         job.wait();
         if job.panicked.load(Ordering::Relaxed) {
-            panic!("ln-par: a parallel task panicked");
+            Err(JobPanicked)
+        } else {
+            Ok(())
         }
     }
 }
@@ -379,6 +411,38 @@ pub fn par_for(n: usize, grain: usize, f: impl Fn(usize) + Sync) {
             f(i);
         }
     });
+}
+
+/// Panic-containing [`par_for`]: every index is attempted (a panicking
+/// index does not suppress its chunk-mates — each index runs under its own
+/// `catch_unwind`), and worker death surfaces as `Err(JobPanicked)` instead
+/// of a rethrown panic. The serving layer uses this to turn an injected
+/// worker panic into a typed, retryable error.
+pub fn try_par_for(n: usize, grain: usize, f: impl Fn(usize) + Sync) -> Result<(), JobPanicked> {
+    if n == 0 {
+        return Ok(());
+    }
+    let pool = active();
+    let chunk = chunk_len_for(n, grain, pool.threads());
+    let chunks = n.div_ceil(chunk);
+    let panicked = AtomicBool::new(false);
+    let task = |c: usize| {
+        let start = c * chunk;
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_err() {
+                panicked.store(true, Ordering::Relaxed);
+            }
+        }
+    };
+    // Per-index catch_unwind above already contains everything `try_run`
+    // would see, but keep its verdict too in case a chunk fails outside f.
+    let job = pool.try_run(chunks, &task);
+    if panicked.load(Ordering::Relaxed) || job.is_err() {
+        Err(JobPanicked)
+    } else {
+        Ok(())
+    }
 }
 
 /// Splits `data` into consecutive `chunk_len`-item chunks (last may be
@@ -614,6 +678,52 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn try_run_contains_panics_across_pool_sizes() {
+        let _guard = test_lock();
+        for threads in [1, 3] {
+            let pool = Pool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+            let result = pool.try_run(16, &|c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+                if c == 7 {
+                    panic!("boom");
+                }
+            });
+            assert_eq!(result, Err(JobPanicked), "threads={threads}");
+            // Every chunk was still attempted and the pool is reusable.
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert_eq!(pool.try_run(4, &|_| {}), Ok(()));
+        }
+    }
+
+    #[test]
+    fn try_par_for_attempts_every_index_despite_panics() {
+        let _guard = test_lock();
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            with_pool(&pool, || {
+                let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+                let result = try_par_for(100, 1, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                    if i % 31 == 0 {
+                        panic!("index {i} dies");
+                    }
+                });
+                assert_eq!(result, Err(JobPanicked), "threads={threads}");
+                // Chunk-mates of a panicking index still run.
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                assert_eq!(try_par_for(10, 1, |_| {}), Ok(()));
+            });
+        }
+    }
+
+    #[test]
+    fn job_panicked_formats_as_an_error() {
+        let e: Box<dyn std::error::Error> = Box::new(JobPanicked);
+        assert!(e.to_string().contains("panicked"));
     }
 
     #[test]

@@ -49,3 +49,4 @@ pub mod tensor;
 pub mod token;
 
 pub use error::QuantError;
+pub use scheme::ActPrecision;

@@ -42,6 +42,66 @@ impl fmt::Display for Bits {
     }
 }
 
+/// A rung of the AAQ activation-precision ladder, as seen by a *serving*
+/// layer deciding how to route a request under memory pressure.
+///
+/// The full [`AaqConfig`] describes per-group schemes; `ActPrecision`
+/// collapses that to the coarse question capacity planning asks: what
+/// fraction of an FP32 activation footprint does this run need? `Fp32`
+/// models an unquantized baseline backend, `Int8` a uniformly-INT8
+/// activation regime, and `Int4` the paper's most aggressive rung
+/// (Fig. 11's C-group scheme applied everywhere). Degrading down the
+/// ladder trades activation fidelity for memory headroom — the dynamic
+/// counterpart of what MEFold/PTQ4Protein do statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActPrecision {
+    /// Full-precision activations (no AAQ): scale 1.0.
+    Fp32,
+    /// INT8 activations: ~4× smaller than FP32.
+    Int8,
+    /// INT4 activations: ~8× smaller than FP32 (the floor of the ladder).
+    Int4,
+}
+
+impl ActPrecision {
+    /// The ladder from most to least precise.
+    pub const LADDER: [ActPrecision; 3] =
+        [ActPrecision::Fp32, ActPrecision::Int8, ActPrecision::Int4];
+
+    /// Activation-footprint multiplier relative to FP32.
+    pub fn activation_scale(self) -> f64 {
+        match self {
+            ActPrecision::Fp32 => 1.0,
+            ActPrecision::Int8 => 0.25,
+            ActPrecision::Int4 => 0.125,
+        }
+    }
+
+    /// The next rung down the ladder, or `None` at the INT4 floor.
+    pub fn degrade(self) -> Option<ActPrecision> {
+        match self {
+            ActPrecision::Fp32 => Some(ActPrecision::Int8),
+            ActPrecision::Int8 => Some(ActPrecision::Int4),
+            ActPrecision::Int4 => None,
+        }
+    }
+
+    /// Whether this rung is below full precision.
+    pub fn is_degraded(self) -> bool {
+        self != ActPrecision::Fp32
+    }
+}
+
+impl fmt::Display for ActPrecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActPrecision::Fp32 => write!(f, "FP32"),
+            ActPrecision::Int8 => write!(f, "INT8"),
+            ActPrecision::Int4 => write!(f, "INT4"),
+        }
+    }
+}
+
 /// A token-wise quantization scheme: inlier precision plus a dynamic
 /// outlier budget (top-k values kept at INT16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -273,5 +333,20 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(QuantScheme::int4_with_outliers(4).to_string(), "INT4+4o");
+    }
+
+    #[test]
+    fn precision_ladder_descends_to_a_floor() {
+        assert_eq!(ActPrecision::Fp32.degrade(), Some(ActPrecision::Int8));
+        assert_eq!(ActPrecision::Int8.degrade(), Some(ActPrecision::Int4));
+        assert_eq!(ActPrecision::Int4.degrade(), None);
+        assert_eq!(ActPrecision::LADDER.len(), 3);
+        // Scales strictly shrink down the ladder.
+        for w in ActPrecision::LADDER.windows(2) {
+            assert!(w[0].activation_scale() > w[1].activation_scale());
+        }
+        assert!(!ActPrecision::Fp32.is_degraded());
+        assert!(ActPrecision::Int4.is_degraded());
+        assert_eq!(ActPrecision::Int4.to_string(), "INT4");
     }
 }

@@ -16,6 +16,7 @@
 use ln_accel::{Accelerator, HwConfig};
 use ln_gpu::esmfold::{EsmFoldGpuModel, ExecOptions};
 use ln_gpu::{GpuDevice, A100, H100};
+use ln_quant::ActPrecision;
 
 /// A simulated folding device the scheduler can dispatch batches to.
 ///
@@ -51,16 +52,37 @@ pub trait Backend: Send + Sync {
     /// Peak memory of a batch: weights once, activations summed (every
     /// co-batched sequence's working set is resident concurrently).
     fn batch_peak_bytes(&self, lengths: &[usize]) -> f64 {
+        self.batch_peak_bytes_at(lengths, ActPrecision::Fp32)
+    }
+
+    /// Peak memory of a batch with activations re-quantized to `precision`
+    /// down the AAQ ladder. Weights stay resident at their native encoding;
+    /// only the activation share shrinks — the memory model behind the
+    /// precision-degradation fallback.
+    fn batch_peak_bytes_at(&self, lengths: &[usize], precision: ActPrecision) -> f64 {
         let w = self.weight_bytes();
         w + lengths
             .iter()
             .map(|&ns| (self.peak_bytes(ns) - w).max(0.0))
             .sum::<f64>()
+            * precision.activation_scale()
     }
 
     /// Whether a batch fits device memory.
     fn fits_batch(&self, lengths: &[usize]) -> bool {
         self.batch_peak_bytes(lengths) <= self.memory_capacity_bytes()
+    }
+
+    /// Whether a batch at `precision` fits in `available_bytes` — the
+    /// capacity-pressure hook: fault injection passes a shrunken budget,
+    /// degradation passes a lower rung, the device model stays fixed.
+    fn fits_batch_at(
+        &self,
+        lengths: &[usize],
+        precision: ActPrecision,
+        available_bytes: f64,
+    ) -> bool {
+        self.batch_peak_bytes_at(lengths, precision) <= available_bytes
     }
 
     /// Virtual seconds to execute a batch: one setup pass sized by the
@@ -300,6 +322,28 @@ mod tests {
         let n = b.max_single_length();
         assert!(b.fits_batch(&[n]));
         assert!(!b.fits_batch(&[n, n]));
+    }
+
+    #[test]
+    fn precision_degradation_extends_memory_reach() {
+        let b = LightNobelBackend::paper("ln");
+        let n = b.max_single_length();
+        let capacity = b.memory_capacity_bytes();
+        // At full capacity the rungs nest: whatever fits at FP32 fits at
+        // INT8, and INT4 extends past both.
+        assert!(b.fits_batch_at(&[n], ActPrecision::Int8, capacity));
+        assert!(b.fits_batch_at(&[2 * n], ActPrecision::Int4, capacity));
+        assert!(!b.fits_batch(&[2 * n]));
+        // Under pressure (a fraction of capacity) FP32 stops fitting long
+        // before INT4 does — the degradation window the fallback exploits.
+        let squeezed = b.batch_peak_bytes_at(&[n], ActPrecision::Int4) * 1.2;
+        assert!(!b.fits_batch_at(&[n], ActPrecision::Fp32, squeezed));
+        assert!(b.fits_batch_at(&[n], ActPrecision::Int4, squeezed));
+        // FP32 rung is exactly the legacy model.
+        assert_eq!(
+            b.batch_peak_bytes(&[500, 700]),
+            b.batch_peak_bytes_at(&[500, 700], ActPrecision::Fp32)
+        );
     }
 
     #[test]

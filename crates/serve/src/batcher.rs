@@ -4,6 +4,12 @@
 //! it holds a full batch or its head has waited `max_wait_seconds`; a
 //! ready bucket is drained front-to-front into a batch, never crossing
 //! bucket boundaries. Admission is non-blocking: a full queue rejects.
+//!
+//! Queued entries carry retry state ([`QueuedRequest`]): a failed batch's
+//! requests are [`Batcher::requeue`]d with an `earliest_seconds` backoff
+//! gate, and a bucket whose head is still backing off is not ready until
+//! the gate passes (FIFO order is preserved — a parked head parks the
+//! bucket, and the per-request deadline still bounds the wait).
 
 use crate::bucket::BucketPolicy;
 use crate::request::FoldRequest;
@@ -49,12 +55,35 @@ impl BatcherConfig {
     }
 }
 
+/// A queued request plus its retry state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// The request itself.
+    pub request: FoldRequest,
+    /// Completed dispatch attempts (0 = never dispatched).
+    pub attempt: u32,
+    /// Backoff gate: not dispatchable before this virtual time.
+    pub earliest_seconds: f64,
+}
+
+impl QueuedRequest {
+    /// Wraps a freshly admitted request (no attempts, no backoff).
+    pub fn fresh(request: FoldRequest) -> Self {
+        let earliest_seconds = request.arrival_seconds;
+        QueuedRequest {
+            request,
+            attempt: 0,
+            earliest_seconds,
+        }
+    }
+}
+
 /// Per-bucket bounded queues plus the flush policy.
 #[derive(Debug, Clone)]
 pub struct Batcher {
     policy: BucketPolicy,
     cfg: BatcherConfig,
-    queues: Vec<VecDeque<FoldRequest>>,
+    queues: Vec<VecDeque<QueuedRequest>>,
 }
 
 impl Batcher {
@@ -96,31 +125,54 @@ impl Batcher {
         if self.queues[bucket].len() >= self.cfg.queue_capacity {
             return Err(request);
         }
-        self.queues[bucket].push_back(request);
+        self.queues[bucket].push_back(QueuedRequest::fresh(request));
         Ok(bucket)
     }
 
+    /// Re-admits a request after a failed attempt. Unlike [`Batcher::offer`]
+    /// this never bounces: a request that was already admitted must reach a
+    /// terminal outcome, so retries bypass the capacity bound rather than
+    /// silently dropping the request. Returns the bucket.
+    pub fn requeue(&mut self, queued: QueuedRequest) -> usize {
+        let bucket = self.policy.bucket_of(queued.request.length);
+        self.queues[bucket].push_back(queued);
+        bucket
+    }
+
     /// Removes and returns every queued request whose dispatch deadline has
-    /// passed at virtual time `now`.
+    /// passed at virtual time `now`, in id order.
     pub fn expire(&mut self, now: f64) -> Vec<FoldRequest> {
         let mut expired = Vec::new();
         for q in &mut self.queues {
-            let mut i = 0;
-            while i < q.len() {
-                if now >= q[i].deadline() {
-                    expired.push(q.remove(i).expect("index in bounds"));
+            let mut keep = VecDeque::with_capacity(q.len());
+            for entry in std::mem::take(q) {
+                if now >= entry.request.deadline() {
+                    expired.push(entry.request);
                 } else {
-                    i += 1;
+                    keep.push_back(entry);
                 }
             }
+            *q = keep;
         }
-        expired.sort_by_key(|a| a.id);
+        expired.sort_by_key(|r| r.id);
         expired
     }
 
+    /// Wipes one bucket's queue (the injected queue-poison fault) and
+    /// returns the victims in queue order for the caller to re-admit or
+    /// fail.
+    pub fn poison_bucket(&mut self, bucket: usize) -> Vec<QueuedRequest> {
+        self.queues
+            .get_mut(bucket)
+            .map(|q| std::mem::take(q).into())
+            .unwrap_or_default()
+    }
+
     /// Buckets eligible for flushing at `now`, oldest head first (ties
-    /// break on bucket index, keeping the schedule deterministic). With
-    /// `drain` set every non-empty bucket is eligible (shutdown flush).
+    /// break on bucket index, keeping the schedule deterministic). A head
+    /// still inside its backoff gate parks its bucket. With `drain` set
+    /// every non-empty bucket is eligible regardless of gates (shutdown
+    /// flush).
     pub fn ready_buckets(&self, now: f64, drain: bool) -> Vec<usize> {
         let mut ready: Vec<(f64, u64, usize)> = self
             .queues
@@ -128,9 +180,17 @@ impl Batcher {
             .enumerate()
             .filter_map(|(b, q)| {
                 let head = q.front()?;
+                if !drain && head.earliest_seconds > now {
+                    return None;
+                }
                 let full = q.len() >= self.cfg.max_batch;
-                let waited = now - head.arrival_seconds >= self.cfg.max_wait_seconds;
-                (drain || full || waited).then_some((head.arrival_seconds, head.id, b))
+                let waited = now - head.request.arrival_seconds >= self.cfg.max_wait_seconds;
+                let retried = head.attempt > 0;
+                (drain || full || waited || retried).then_some((
+                    head.request.arrival_seconds,
+                    head.request.id,
+                    b,
+                ))
             })
             .collect();
         ready.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -139,45 +199,62 @@ impl Batcher {
 
     /// Sequence length at the head of a bucket.
     pub fn head_length(&self, bucket: usize) -> Option<usize> {
-        self.queues[bucket].front().map(|r| r.length)
+        self.queues[bucket].front().map(|r| r.request.length)
     }
 
-    /// The earliest future virtual time at which anything changes on its
-    /// own: a bucket's max-wait flush or a request's timeout.
-    pub fn next_deadline(&self) -> Option<f64> {
+    /// The earliest time strictly after `now` at which anything changes on
+    /// its own: a bucket's max-wait flush, a backoff gate opening, or a
+    /// request's timeout. Candidates at or before `now` are stale — the
+    /// bucket is already ready (or expired) and only a backend becoming
+    /// idle can move it — so they are excluded rather than returned as a
+    /// zero-length sleep.
+    pub fn next_deadline(&self, now: f64) -> Option<f64> {
         let mut t: Option<f64> = None;
-        let mut fold = |cand: f64| t = Some(t.map_or(cand, |cur: f64| cur.min(cand)));
+        let mut fold = |cand: f64| {
+            if cand > now {
+                t = Some(t.map_or(cand, |cur: f64| cur.min(cand)));
+            }
+        };
         for q in &self.queues {
             if let Some(head) = q.front() {
-                fold(head.arrival_seconds + self.cfg.max_wait_seconds);
+                fold(head.request.arrival_seconds + self.cfg.max_wait_seconds);
+                fold(head.earliest_seconds);
             }
             for r in q {
-                fold(r.deadline());
+                fold(r.request.deadline());
             }
         }
         t
     }
 
     /// Pops a batch from the front of a bucket: up to `max_batch` requests,
-    /// greedily extended while `fits` accepts the accumulated lengths.
+    /// greedily extended while `fits` accepts the accumulated lengths and
+    /// the next entry's backoff gate has opened (pass `now = f64::INFINITY`
+    /// to ignore gates when draining at shutdown).
     ///
     /// The caller must have verified that the head alone fits; buckets are
     /// never mixed, so every returned request maps to `bucket`.
     pub fn take_batch(
         &mut self,
         bucket: usize,
+        now: f64,
         fits: impl Fn(&[usize]) -> bool,
-    ) -> Vec<FoldRequest> {
+    ) -> Vec<QueuedRequest> {
         let q = &mut self.queues[bucket];
-        let mut batch: Vec<FoldRequest> = Vec::new();
+        let mut batch: Vec<QueuedRequest> = Vec::new();
         let mut lengths: Vec<usize> = Vec::new();
         while batch.len() < self.cfg.max_batch {
-            let Some(next) = q.front() else { break };
-            lengths.push(next.length);
-            if !batch.is_empty() && !fits(&lengths) {
+            let Some(next) = q.pop_front() else { break };
+            if next.earliest_seconds > now {
+                q.push_front(next);
                 break;
             }
-            batch.push(q.pop_front().expect("front exists"));
+            lengths.push(next.request.length);
+            if !batch.is_empty() && !fits(&lengths) {
+                q.push_front(next);
+                break;
+            }
+            batch.push(next);
         }
         batch
     }
@@ -265,11 +342,11 @@ mod tests {
             b.offer(req(i, 50 + i as usize, 0.0)).unwrap();
         }
         // Fit closure caps accumulated "memory" at two sequences.
-        let batch = b.take_batch(0, |lens| lens.len() <= 2);
+        let batch = b.take_batch(0, 0.0, |lens| lens.len() <= 2);
         assert_eq!(batch.len(), 2);
-        assert_eq!(batch[0].id, 0);
-        assert_eq!(batch[1].id, 1);
-        let rest = b.take_batch(0, |_| true);
+        assert_eq!(batch[0].request.id, 0);
+        assert_eq!(batch[1].request.id, 1);
+        let rest = b.take_batch(0, 0.0, |_| true);
         assert_eq!(rest.len(), 3, "max_batch caps the flush");
         assert_eq!(b.depth(0), 0);
     }
@@ -294,12 +371,83 @@ mod tests {
     #[test]
     fn next_deadline_is_min_of_flush_and_timeout() {
         let mut b = batcher(8, 10);
-        assert_eq!(b.next_deadline(), None);
+        assert_eq!(b.next_deadline(0.0), None);
         let mut r = req(1, 50, 1.0);
         r.timeout_seconds = 0.5; // deadline 1.5 < flush 1.0 + 2.0
         b.offer(r).unwrap();
-        assert_eq!(b.next_deadline(), Some(1.5));
+        assert_eq!(b.next_deadline(1.0), Some(1.5));
         b.offer(req(2, 600, 1.2)).unwrap(); // flush at 3.2, timeout at 101.2
-        assert_eq!(b.next_deadline(), Some(1.5));
+        assert_eq!(b.next_deadline(1.2), Some(1.5));
+        assert_eq!(b.next_deadline(1.5), Some(3.0), "past candidates excluded");
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_backoff_parks_the_bucket() {
+        let mut b = batcher(8, 1);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        // Queue is at capacity 1, but the retry must still land.
+        let retry = QueuedRequest {
+            request: req(2, 60, 0.0),
+            attempt: 1,
+            earliest_seconds: 5.0,
+        };
+        assert_eq!(b.requeue(retry), 0);
+        assert_eq!(b.depth(0), 2);
+        // Head (id 1, fresh) hasn't waited max_wait at t=1.0 → not ready.
+        assert!(b.ready_buckets(1.0, false).is_empty());
+        // At t=2.0 it is; the batch stops before the gated retry.
+        assert_eq!(b.ready_buckets(2.0, false), vec![0]);
+        let batch = b.take_batch(0, 2.0, |_| true);
+        assert_eq!(batch.len(), 1, "gated retry stays queued");
+        assert_eq!(batch[0].request.id, 1);
+        // Now the retry is the head: parked until its gate opens.
+        assert!(b.ready_buckets(4.9, false).is_empty());
+        let ready = b.ready_buckets(5.0, false);
+        assert_eq!(ready, vec![0], "retried head is ready as soon as gated");
+        let batch = b.take_batch(0, 5.0, |_| true);
+        assert_eq!(batch[0].attempt, 1);
+    }
+
+    #[test]
+    fn next_deadline_includes_backoff_gates() {
+        let mut b = batcher(8, 10);
+        b.requeue(QueuedRequest {
+            request: req(1, 50, 0.0),
+            attempt: 1,
+            earliest_seconds: 7.5,
+        });
+        // Min of flush (0 + 2.0), gate (7.5) and deadline (100): the flush.
+        assert_eq!(b.next_deadline(0.0), Some(2.0));
+        // Past the stale flush, the backoff gate is the next wake point.
+        assert_eq!(b.next_deadline(3.0), Some(7.5));
+    }
+
+    #[test]
+    fn drain_ignores_backoff_gates() {
+        let mut b = batcher(8, 10);
+        b.requeue(QueuedRequest {
+            request: req(1, 50, 0.0),
+            attempt: 2,
+            earliest_seconds: 1e9,
+        });
+        assert!(b.ready_buckets(0.0, false).is_empty());
+        assert_eq!(b.ready_buckets(0.0, true), vec![0]);
+        let batch = b.take_batch(0, f64::INFINITY, |_| true);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn poison_bucket_returns_victims_in_order() {
+        let mut b = batcher(8, 10);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        b.offer(req(2, 60, 0.1)).unwrap();
+        b.offer(req(3, 600, 0.0)).unwrap();
+        let victims = b.poison_bucket(0);
+        assert_eq!(victims.len(), 2);
+        assert_eq!(victims[0].request.id, 1);
+        assert_eq!(victims[1].request.id, 2);
+        assert_eq!(b.depth(0), 0);
+        assert_eq!(b.depth(2), 1, "other buckets untouched");
+        assert!(b.poison_bucket(99).is_empty(), "out-of-range is a no-op");
     }
 }

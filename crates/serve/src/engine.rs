@@ -1,18 +1,35 @@
 //! The deterministic virtual-time scheduler.
 //!
-//! A discrete-event loop over three event kinds — request arrivals, batch
-//! completions, and batcher deadlines (max-wait flushes and request
-//! timeouts) — with all latencies drawn from the backends' device models.
-//! Nothing reads wall-clock, every tie breaks on `(time, id)`, and
-//! iteration orders are fixed, so an identical workload always yields an
-//! identical batch schedule and statistics (the reproducibility the
-//! integration tests pin).
+//! A discrete-event loop over the event kinds — request arrivals, batch
+//! completions (or failures), batcher deadlines (max-wait flushes, backoff
+//! gates, request timeouts), breaker cooldowns, pressure-window boundaries
+//! and queue-poison instants — with all latencies drawn from the backends'
+//! device models. Nothing reads wall-clock, every tie breaks on
+//! `(time, id)`, and iteration orders are fixed, so an identical workload
+//! under an identical [`FaultPlan`] always yields an identical batch
+//! schedule and statistics (the reproducibility the integration and chaos
+//! tests pin).
+//!
+//! Resilience semantics (shared with the threaded service):
+//!
+//! * an injected **stall** completes late (modeled time × factor) but
+//!   successfully;
+//! * a **transient error** burns the batch's modeled time, then fails it —
+//!   its requests retry with exponential backoff and deterministic jitter;
+//! * a **worker panic** kills the batch a quarter of the way in;
+//! * consecutive failures trip the backend's **circuit breaker** (open →
+//!   cooldown → half-open probe), rerouting traffic to surviving backends;
+//! * under **memory pressure** dispatch first tries every backend at FP32,
+//!   then walks the AAQ ladder (INT8, INT4) — degrading the activation
+//!   precision of the route instead of rejecting the request.
 
 use crate::backend::Backend;
-use crate::batcher::{Batcher, BatcherConfig};
+use crate::batcher::{Batcher, BatcherConfig, QueuedRequest};
 use crate::bucket::BucketPolicy;
-use crate::request::{FoldOutcome, FoldRequest, FoldResponse, RejectReason};
+use crate::request::{FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason};
 use crate::stats::{BatchRecord, ServeStats};
+use ln_fault::{CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
+use ln_quant::ActPrecision;
 
 /// A batch in flight on a backend.
 #[derive(Debug, Clone)]
@@ -20,7 +37,11 @@ struct InFlight {
     finish_seconds: f64,
     start_seconds: f64,
     bucket: usize,
-    requests: Vec<FoldRequest>,
+    precision: ActPrecision,
+    /// The injected fault afflicting this dispatch, if any; decides at
+    /// `finish_seconds` whether the batch completes or fails.
+    fault: Option<DispatchFault>,
+    requests: Vec<QueuedRequest>,
 }
 
 /// The result of driving a workload through the engine.
@@ -43,15 +64,43 @@ pub struct Engine {
     /// the long-sequence buckets.
     dispatch_order: Vec<usize>,
     in_flight: Vec<Option<InFlight>>,
+    plan: FaultPlan,
+    resilience: ResilienceConfig,
+    breakers: Vec<CircuitBreaker>,
+    /// Per-backend dispatch sequence numbers (the fault-plan key).
+    dispatch_seq: Vec<u64>,
 }
 
 impl Engine {
-    /// Builds an engine over a backend pool.
+    /// Builds an engine over a backend pool with no injected faults and the
+    /// default resilience policy.
     ///
     /// # Panics
     ///
     /// Panics if the pool is empty.
     pub fn new(policy: BucketPolicy, cfg: BatcherConfig, backends: Vec<Box<dyn Backend>>) -> Self {
+        Engine::with_resilience(
+            policy,
+            cfg,
+            backends,
+            FaultPlan::none(),
+            ResilienceConfig::default(),
+        )
+    }
+
+    /// Builds an engine with an explicit fault schedule and resilience
+    /// policy (the chaos-testing entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn with_resilience(
+        policy: BucketPolicy,
+        cfg: BatcherConfig,
+        backends: Vec<Box<dyn Backend>>,
+        plan: FaultPlan,
+        resilience: ResilienceConfig,
+    ) -> Self {
         assert!(!backends.is_empty(), "need at least one backend");
         // Each capacity probe binary-searches one backend's latency model —
         // independent pure work, fanned out per backend. Order is preserved,
@@ -61,12 +110,21 @@ impl Engine {
         let mut dispatch_order: Vec<usize> = (0..backends.len()).collect();
         dispatch_order.sort_by_key(|&i| capacities[i]);
         let in_flight = backends.iter().map(|_| None).collect();
+        let breakers = backends
+            .iter()
+            .map(|_| CircuitBreaker::new(resilience.breaker))
+            .collect();
+        let dispatch_seq = vec![0; backends.len()];
         Engine {
             batcher: Batcher::new(policy, cfg),
             backends,
             capacities,
             dispatch_order,
             in_flight,
+            plan,
+            resilience,
+            breakers,
+            dispatch_seq,
         }
     }
 
@@ -75,11 +133,37 @@ impl Engine {
         self.capacities.iter().copied().max().unwrap_or(0)
     }
 
+    /// Best-case service seconds for a single sequence of `length`: the
+    /// fastest backend whose memory fits it at FP32, ignoring all queueing.
+    /// `None` when nothing fits (the `TooLong` case).
+    fn best_case_seconds(&self, length: usize) -> Option<f64> {
+        self.backends
+            .iter()
+            .filter(|b| b.fits_batch(&[length]))
+            .map(|b| b.batch_seconds(&[length]))
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |cur| cur.min(t)))
+            })
+    }
+
     /// Runs a workload to completion and returns responses plus stats.
     ///
     /// The workload is processed in `(arrival, id)` order regardless of
-    /// input order, so shuffled inputs yield the same schedule.
+    /// input order, so shuffled inputs yield the same schedule. Every
+    /// admitted request reaches a definite [`FoldOutcome`] — completion
+    /// (possibly precision-degraded), typed failure, rejection or timeout —
+    /// even under an adversarial fault plan.
     pub fn run(&mut self, workload: &[FoldRequest]) -> EngineOutcome {
+        // Reset per-run fault/breaker state so reusing an engine replays
+        // the same plan identically.
+        self.breakers = self
+            .backends
+            .iter()
+            .map(|_| CircuitBreaker::new(self.resilience.breaker))
+            .collect();
+        self.dispatch_seq = vec![0; self.backends.len()];
+        let mut next_poison = 0usize;
+
         let mut arrivals: Vec<FoldRequest> = workload.to_vec();
         arrivals.sort_by(|a, b| {
             a.arrival_seconds
@@ -87,16 +171,20 @@ impl Engine {
                 .then(a.id.cmp(&b.id))
         });
         let mut stats = ServeStats::new(self.batcher.policy().num_buckets());
+        stats
+            .resilience
+            .register_backends(self.backends.iter().map(|b| b.name().to_string()));
         let mut responses: Vec<FoldResponse> = Vec::with_capacity(arrivals.len());
         let mut next_arrival = 0usize;
         let mut now = 0.0f64;
 
         loop {
-            // Pick the next event time. Arrivals and completions consume
-            // themselves, so candidates at `now` are fine; deadlines do
-            // not, so only strictly-future ones count (a stale flush
-            // deadline just means the bucket is already ready and waiting
-            // for a backend — a completion will wake it).
+            // Pick the next event time. Arrivals, completions and poisons
+            // consume themselves, so candidates at `now` are fine;
+            // deadlines and breaker/pressure boundaries do not, so only
+            // strictly-future ones count (a stale flush deadline just
+            // means the bucket is already ready and waiting for a backend
+            // — a completion will wake it).
             let mut next: Option<f64> = None;
             let mut fold = |cand: f64| next = Some(next.map_or(cand, |cur: f64| cur.min(cand)));
             if next_arrival < arrivals.len() {
@@ -105,15 +193,36 @@ impl Engine {
             for f in self.in_flight.iter().flatten() {
                 fold(f.finish_seconds.max(now));
             }
-            if let Some(d) = self.batcher.next_deadline() {
-                if d > now {
-                    fold(d);
+            if let Some(d) = self.batcher.next_deadline(now) {
+                fold(d);
+            }
+            for b in &self.breakers {
+                if let Some(t) = b.next_transition_seconds() {
+                    if t > now {
+                        fold(t);
+                    }
                 }
+            }
+            if self.batcher.total_depth() > 0 {
+                if let Some(t) = self.plan.next_pressure_boundary(now) {
+                    fold(t);
+                }
+            }
+            if next_poison < self.plan.poisons().len() {
+                fold(self.plan.poisons()[next_poison].at_seconds.max(now));
             }
             let Some(t) = next else { break };
             now = t;
 
-            // 1. Completions due by now, in (finish, backend) order.
+            // 0. Time-driven breaker transitions (open → half-open probe).
+            for (i, b) in self.breakers.iter_mut().enumerate() {
+                if let Some(ev) = b.poll(now) {
+                    stats.resilience.backends[i].record_breaker(ev);
+                }
+            }
+
+            // 1. Completions (and fault manifestations) due by now, in
+            //    (finish, backend) order.
             loop {
                 let due = self
                     .in_flight
@@ -123,37 +232,10 @@ impl Engine {
                     .filter(|&(fin, _)| fin <= now)
                     .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 let Some((_, idx)) = due else { break };
-                let f = self.in_flight[idx].take().expect("selected above");
-                let backend_name = self.backends[idx].name().to_string();
-                let latencies: Vec<f64> = f
-                    .requests
-                    .iter()
-                    .map(|r| f.finish_seconds - r.arrival_seconds)
-                    .collect();
-                stats.record_batch(
-                    BatchRecord {
-                        bucket: f.bucket,
-                        backend: backend_name.clone(),
-                        lengths: f.requests.iter().map(|r| r.length).collect(),
-                        start_seconds: f.start_seconds,
-                        finish_seconds: f.finish_seconds,
-                    },
-                    &latencies,
-                );
-                let batch_size = f.requests.len();
-                for r in f.requests {
-                    responses.push(FoldResponse {
-                        id: r.id,
-                        name: r.name,
-                        length: r.length,
-                        outcome: FoldOutcome::Completed {
-                            backend: backend_name.clone(),
-                            started_seconds: f.start_seconds,
-                            finished_seconds: f.finish_seconds,
-                            batch_size,
-                        },
-                    });
-                }
+                let Some(f) = self.in_flight[idx].take() else {
+                    break;
+                };
+                self.settle_batch(idx, f, &mut stats, &mut responses);
             }
 
             // 2. Arrivals due by now: admission control.
@@ -161,9 +243,17 @@ impl Engine {
                 let req = arrivals[next_arrival].clone();
                 next_arrival += 1;
                 let bucket = self.batcher.policy().bucket_of(req.length);
-                if req.length > self.max_routable_length() {
+                let Some(best) = self.best_case_seconds(req.length) else {
                     stats.record_rejection(bucket);
                     responses.push(reject(req, RejectReason::TooLong));
+                    continue;
+                };
+                if best > req.timeout_seconds {
+                    // Even the best bucket cannot meet the deadline: refuse
+                    // up front instead of burning backend time.
+                    stats.record_rejection(bucket);
+                    stats.resilience.deadline_unmeetable += 1;
+                    responses.push(reject(req, RejectReason::DeadlineUnmeetable));
                     continue;
                 }
                 match self.batcher.offer(req) {
@@ -175,12 +265,37 @@ impl Engine {
                 }
             }
 
-            // 3. Dispatch every ready bucket that has an idle, fitting
-            //    backend (requests get their dispatch chance before the
-            //    same-instant timeout check below).
-            self.dispatch(now, false, &mut stats);
+            // 3. Injected queue poisons due by now: the bucket's queue is
+            //    wiped; victims re-admit (no backoff — the queue, not the
+            //    backend, failed) or fail typed when out of attempts.
+            while next_poison < self.plan.poisons().len()
+                && self.plan.poisons()[next_poison].at_seconds <= now
+            {
+                let ev = self.plan.poisons()[next_poison];
+                next_poison += 1;
+                stats.resilience.poison_events += 1;
+                for q in self.batcher.poison_bucket(ev.bucket) {
+                    let attempt = q.attempt + 1;
+                    let cause = FoldError::QueuePoisoned { bucket: ev.bucket };
+                    if self.resilience.retry.exhausted(attempt) {
+                        stats.record_failure(ev.bucket);
+                        responses.push(fail(q.request, terminal_error(cause, attempt)));
+                    } else {
+                        self.batcher.requeue(QueuedRequest {
+                            request: q.request,
+                            attempt,
+                            earliest_seconds: now,
+                        });
+                    }
+                }
+            }
 
-            // 4. Timeouts.
+            // 4. Dispatch every ready bucket that has an idle, fitting,
+            //    breaker-permitting backend (requests get their dispatch
+            //    chance before the same-instant timeout check below).
+            self.dispatch(now, &mut stats);
+
+            // 5. Timeouts.
             for r in self.batcher.expire(now) {
                 let bucket = self.batcher.policy().bucket_of(r.length);
                 stats.record_timeout(bucket);
@@ -205,43 +320,210 @@ impl Engine {
         EngineOutcome { responses, stats }
     }
 
+    /// Resolves a finished in-flight batch: success (including absorbed
+    /// stalls) records it and answers its requests; an injected transient
+    /// or worker panic fails it, feeds the breaker, and retries or fails
+    /// each request.
+    fn settle_batch(
+        &mut self,
+        idx: usize,
+        f: InFlight,
+        stats: &mut ServeStats,
+        responses: &mut Vec<FoldResponse>,
+    ) {
+        let backend_name = self.backends[idx].name().to_string();
+        let now = f.finish_seconds;
+        match f.fault {
+            None | Some(DispatchFault::Stall { .. }) => {
+                if let Some(ev) = self.breakers[idx].on_success() {
+                    stats.resilience.backends[idx].record_breaker(ev);
+                }
+                let latencies: Vec<f64> = f
+                    .requests
+                    .iter()
+                    .map(|q| now - q.request.arrival_seconds)
+                    .collect();
+                stats.record_batch(
+                    BatchRecord {
+                        bucket: f.bucket,
+                        backend: backend_name.clone(),
+                        lengths: f.requests.iter().map(|q| q.request.length).collect(),
+                        start_seconds: f.start_seconds,
+                        finish_seconds: now,
+                        precision: f.precision,
+                    },
+                    &latencies,
+                );
+                let batch_size = f.requests.len();
+                for q in f.requests {
+                    responses.push(FoldResponse {
+                        id: q.request.id,
+                        name: q.request.name,
+                        length: q.request.length,
+                        outcome: FoldOutcome::Completed {
+                            backend: backend_name.clone(),
+                            started_seconds: f.start_seconds,
+                            finished_seconds: now,
+                            batch_size,
+                            precision: f.precision,
+                        },
+                    });
+                }
+            }
+            Some(fault @ (DispatchFault::Transient | DispatchFault::WorkerPanic)) => {
+                let cause = match fault {
+                    DispatchFault::Transient => {
+                        stats.resilience.backends[idx].transients += 1;
+                        FoldError::Transient {
+                            backend: backend_name,
+                        }
+                    }
+                    _ => {
+                        stats.resilience.backends[idx].panics += 1;
+                        FoldError::WorkerPanic {
+                            backend: backend_name,
+                        }
+                    }
+                };
+                if let Some(ev) = self.breakers[idx].on_failure(now) {
+                    stats.resilience.backends[idx].record_breaker(ev);
+                }
+                for q in f.requests {
+                    let attempt = q.attempt + 1;
+                    if self.resilience.retry.exhausted(attempt) {
+                        stats.record_failure(f.bucket);
+                        responses.push(fail(q.request, terminal_error(cause.clone(), attempt)));
+                    } else {
+                        stats.resilience.retries += 1;
+                        let backoff = self.resilience.retry.backoff_seconds(q.request.id, attempt);
+                        self.batcher.requeue(QueuedRequest {
+                            request: q.request,
+                            attempt,
+                            earliest_seconds: now + backoff,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Greedily dispatches ready buckets onto idle backends.
-    fn dispatch(&mut self, now: f64, drain: bool, stats: &mut ServeStats) {
+    ///
+    /// Two-pass precision policy: the FP32 rung is tried on *every*
+    /// permitted backend first (preserving least-capable-first routing), and
+    /// only when no backend fits the head at FP32 under the current
+    /// pressure-adjusted capacity does dispatch walk down the AAQ ladder —
+    /// degradation is strictly a fallback, never a preference.
+    fn dispatch(&mut self, now: f64, stats: &mut ServeStats) {
         loop {
             let mut dispatched = false;
-            for bucket in self.batcher.ready_buckets(now, drain) {
+            'buckets: for bucket in self.batcher.ready_buckets(now, false) {
                 let Some(head_len) = self.batcher.head_length(bucket) else {
                     continue;
                 };
-                // Least-capable idle backend that fits the head: long
-                // sequences end up on AAQ-capable memory, short ones leave
-                // it free.
-                let Some(&idx) = self.dispatch_order.iter().find(|&&i| {
-                    self.in_flight[i].is_none() && self.backends[i].fits_batch(&[head_len])
-                }) else {
-                    continue;
-                };
-                let backend = &self.backends[idx];
-                let budget = self.batcher.config().max_batch_seconds;
-                let batch = self.batcher.take_batch(bucket, |lens| {
-                    backend.fits_batch(lens) && backend.batch_seconds(lens) <= budget
-                });
-                debug_assert!(!batch.is_empty());
-                let lengths: Vec<usize> = batch.iter().map(|r| r.length).collect();
-                let finish = now + backend.batch_seconds(&lengths);
-                self.in_flight[idx] = Some(InFlight {
-                    finish_seconds: finish,
-                    start_seconds: now,
-                    bucket,
-                    requests: batch,
-                });
-                stats.record_depth(bucket, self.batcher.depth(bucket));
-                dispatched = true;
-                break; // ready set changed; recompute.
+                for precision in ActPrecision::LADDER {
+                    // Least-capable idle backend that fits the head: long
+                    // sequences end up on AAQ-capable memory, short ones
+                    // leave it free.
+                    let candidate = self.dispatch_order.iter().copied().find(|&i| {
+                        self.in_flight[i].is_none()
+                            && self.breakers[i].can_dispatch()
+                            && self.permits(i, &[head_len], precision, now)
+                    });
+                    let Some(idx) = candidate else { continue };
+                    self.launch(idx, bucket, precision, now, stats);
+                    dispatched = true;
+                    break 'buckets; // ready set changed; recompute.
+                }
             }
             if !dispatched {
                 return;
             }
+        }
+    }
+
+    /// Pressure-adjusted usable memory of backend `i` at `now`.
+    fn available_bytes(&self, i: usize, now: f64) -> f64 {
+        self.backends[i].memory_capacity_bytes() * self.plan.available_fraction(i, now)
+    }
+
+    /// Whether backend `i` may run `lens` at `precision` at `now`.
+    ///
+    /// FP32 only has to fit the pressure-adjusted capacity. A degraded
+    /// rung is permitted solely as a *pressure* fallback: the backend must
+    /// actually be squeezed (available fraction < 1) and the batch must fit
+    /// its full FP32 capacity — degradation recovers memory a fault took
+    /// away; it never extends a backend's reach beyond what admission and
+    /// least-capable-first routing promised.
+    fn permits(&self, i: usize, lens: &[usize], precision: ActPrecision, now: f64) -> bool {
+        let backend = &self.backends[i];
+        if !backend.fits_batch_at(lens, precision, self.available_bytes(i, now)) {
+            return false;
+        }
+        precision == ActPrecision::Fp32
+            || (self.plan.available_fraction(i, now) < 1.0 && backend.fits_batch(lens))
+    }
+
+    /// Takes a batch from `bucket` and puts it in flight on backend `idx`
+    /// at `precision`, consulting the fault plan for this dispatch.
+    fn launch(
+        &mut self,
+        idx: usize,
+        bucket: usize,
+        precision: ActPrecision,
+        now: f64,
+        stats: &mut ServeStats,
+    ) {
+        let avail = self.available_bytes(idx, now);
+        let squeezed = self.plan.available_fraction(idx, now) < 1.0;
+        let backend = &self.backends[idx];
+        let budget = self.batcher.config().max_batch_seconds;
+        let batch = self.batcher.take_batch(bucket, now, |lens| {
+            backend.fits_batch_at(lens, precision, avail)
+                && (precision == ActPrecision::Fp32 || (squeezed && backend.fits_batch(lens)))
+                && backend.batch_seconds(lens) <= budget
+        });
+        debug_assert!(!batch.is_empty());
+        let lengths: Vec<usize> = batch.iter().map(|q| q.request.length).collect();
+        let base = backend.batch_seconds(&lengths);
+        let seq = self.dispatch_seq[idx];
+        self.dispatch_seq[idx] += 1;
+        let fault = self.plan.dispatch_fault(idx, seq);
+        // Fault timing: a stall completes late; a transient burns the full
+        // modeled time before failing; a panic kills the worker a quarter
+        // of the way in.
+        let finish_seconds = match fault {
+            Some(DispatchFault::Stall { factor }) => {
+                stats.resilience.backends[idx].stalls += 1;
+                now + base * factor
+            }
+            Some(DispatchFault::WorkerPanic) => now + 0.25 * base,
+            Some(DispatchFault::Transient) | None => now + base,
+        };
+        self.breakers[idx].on_dispatch();
+        stats.resilience.backends[idx].dispatches += 1;
+        stats.resilience.backends[idx].record_precision(precision);
+        self.in_flight[idx] = Some(InFlight {
+            finish_seconds,
+            start_seconds: now,
+            bucket,
+            precision,
+            fault,
+            requests: batch,
+        });
+        stats.record_depth(bucket, self.batcher.depth(bucket));
+    }
+}
+
+/// Shapes the terminal error after `attempts` tries: a single-attempt
+/// failure keeps its direct cause; an exhausted retry budget wraps it.
+fn terminal_error(cause: FoldError, attempts: u32) -> FoldError {
+    if attempts <= 1 {
+        cause
+    } else {
+        FoldError::RetriesExhausted {
+            attempts,
+            last: cause.to_string(),
         }
     }
 }
@@ -255,10 +537,20 @@ fn reject(req: FoldRequest, reason: RejectReason) -> FoldResponse {
     }
 }
 
+fn fail(req: FoldRequest, error: FoldError) -> FoldResponse {
+    FoldResponse {
+        id: req.id,
+        name: req.name,
+        length: req.length,
+        outcome: FoldOutcome::Failed(error),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::standard_backends;
+    use crate::backend::{standard_backends, LightNobelBackend};
+    use ln_fault::{BreakerConfig, ChaosSpec, PressureWindow, RetryPolicy};
 
     fn req(id: u64, length: usize, arrival: f64, timeout: f64) -> FoldRequest {
         FoldRequest {
@@ -274,6 +566,23 @@ mod tests {
         BucketPolicy::fixed(vec![256, 1024, 4096])
     }
 
+    fn single_lightnobel() -> Vec<Box<dyn Backend>> {
+        vec![Box::new(LightNobelBackend::paper("LightNobel"))]
+    }
+
+    fn fast_retry(max_attempts: u32) -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy {
+                max_attempts,
+                base_seconds: 0.05,
+                multiplier: 2.0,
+                max_seconds: 1.0,
+                jitter: 0.0,
+            },
+            breaker: BreakerConfig::default(),
+        }
+    }
+
     #[test]
     fn every_request_gets_exactly_one_response() {
         let workload: Vec<FoldRequest> = (0..24)
@@ -287,6 +596,7 @@ mod tests {
         let out = e.run(&workload);
         assert_eq!(out.responses.len(), workload.len());
         assert!(out.responses.iter().all(|r| r.outcome.is_completed()));
+        assert!(out.responses.iter().all(|r| !r.outcome.is_degraded()));
         assert_eq!(out.stats.completed(), 24);
         let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
         assert_eq!(ids, (0..24).collect::<Vec<_>>());
@@ -342,7 +652,16 @@ mod tests {
         );
         let out = e.run(&workload);
         match &out.responses[0].outcome {
-            FoldOutcome::Completed { backend, .. } => assert_eq!(backend, "LightNobel"),
+            FoldOutcome::Completed {
+                backend, precision, ..
+            } => {
+                assert_eq!(backend, "LightNobel");
+                assert_eq!(
+                    *precision,
+                    ActPrecision::Fp32,
+                    "no pressure, no degradation"
+                );
+            }
             other => panic!("expected completion, got {other:?}"),
         }
     }
@@ -376,8 +695,9 @@ mod tests {
 
     #[test]
     fn saturated_queue_rejects_and_starved_requests_time_out() {
-        // One-slot queues and a tiny timeout under a burst: some requests
-        // bounce at admission, some expire while the backend is busy.
+        // One-slot queues under a burst: requests bounce at admission
+        // (queue full, or deadline already unmeetable for the tight-budget
+        // variant) while at most a queue's worth completes.
         let cfg = BatcherConfig {
             max_batch: 1,
             max_wait_seconds: 0.0,
@@ -393,10 +713,285 @@ mod tests {
         );
         assert_eq!(out.responses.len(), 30);
         assert_eq!(
-            out.stats.completed() + out.stats.rejected() + out.stats.timed_out(),
+            out.stats.completed()
+                + out.stats.rejected()
+                + out.stats.timed_out()
+                + out.stats.failed(),
             30,
             "every request is accounted for"
         );
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_rejected_at_admission() {
+        // Far below any backend's service time for 2 000 residues: the
+        // request must bounce at admission with zero backend time burnt.
+        let mut e = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out = e.run(&[req(0, 2000, 0.0, 1e-3), req(1, 2000, 0.0, 1e6)]);
+        assert_eq!(
+            out.responses[0].outcome,
+            FoldOutcome::Rejected(RejectReason::DeadlineUnmeetable)
+        );
+        assert!(out.responses[1].outcome.is_completed());
+        assert_eq!(out.stats.resilience.deadline_unmeetable, 1);
+        assert_eq!(
+            out.stats.batch_log.len(),
+            1,
+            "the doomed request never reached a backend"
+        );
+    }
+
+    #[test]
+    fn injected_transient_retries_and_completes() {
+        // First dispatch on every backend fails transiently; the retry
+        // (dispatch seq 1) succeeds.
+        let plan = FaultPlan::builder()
+            .transient(0, 0)
+            .transient(1, 0)
+            .transient(2, 0)
+            .build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+            plan,
+            fast_retry(3),
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        assert!(out.responses[0].outcome.is_completed());
+        assert_eq!(out.stats.resilience.retries, 1);
+        assert_eq!(out.stats.resilience.faults(), 1);
+        assert_eq!(out.stats.completed(), 1);
+        assert_eq!(out.stats.failed(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let plan = FaultPlan::builder().transient(0, 0).transient(0, 1).build();
+        let resilience = ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_seconds: 1.0,
+            },
+            ..fast_retry(5)
+        };
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan,
+            resilience,
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        assert!(out.responses[0].outcome.is_completed());
+        let b = &out.stats.resilience.backends[0];
+        assert_eq!(b.transients, 2);
+        assert_eq!(b.breaker_opens, 1, "two consecutive failures trip it");
+        assert_eq!(b.breaker_probes, 1, "cooldown elapsed, probe admitted");
+        assert_eq!(b.breaker_closes, 1, "probe success closes it");
+        assert_eq!(out.stats.resilience.retries, 2);
+    }
+
+    #[test]
+    fn open_breaker_reroutes_to_surviving_backends() {
+        // Trip the least-capable backend's breaker with a failure barrage;
+        // later short requests must complete on another backend while it
+        // cools down, rather than waiting or failing.
+        let mut e0 = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let probe = e0.run(&[req(0, 300, 0.0, 1e6)]);
+        let first_choice = match &probe.responses[0].outcome {
+            FoldOutcome::Completed { backend, .. } => backend.clone(),
+            other => panic!("probe should complete, got {other:?}"),
+        };
+        let victim = standard_backends()
+            .iter()
+            .position(|b| b.name() == first_choice)
+            .expect("probe backend is in the pool");
+        let mut builder = FaultPlan::builder();
+        for seq in 0..8 {
+            builder = builder.transient(victim, seq);
+        }
+        let resilience = ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                cooldown_seconds: 1e5,
+            },
+            ..fast_retry(4)
+        };
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+            builder.build(),
+            resilience,
+        );
+        let workload: Vec<FoldRequest> = (0..6).map(|i| req(i, 300, i as f64, 1e6)).collect();
+        let out = e.run(&workload);
+        assert_eq!(out.stats.completed(), 6, "all rerouted and completed");
+        let routed_elsewhere = out
+            .stats
+            .batch_log
+            .iter()
+            .filter(|b| b.backend != first_choice)
+            .count();
+        assert!(routed_elsewhere > 0, "{:?}", out.stats.batch_log);
+        assert_eq!(out.stats.resilience.backends[victim].breaker_opens, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_typed_error() {
+        // Single attempt: the panic surfaces as its direct typed cause.
+        let plan = FaultPlan::builder().worker_panic(0, 0).build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan.clone(),
+            fast_retry(1),
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        assert_eq!(
+            out.responses[0].outcome,
+            FoldOutcome::Failed(FoldError::WorkerPanic {
+                backend: "LightNobel".into()
+            })
+        );
+        assert_eq!(out.stats.failed(), 1);
+        assert_eq!(out.stats.resilience.backends[0].panics, 1);
+        assert!(out.stats.batch_log.is_empty(), "failed batches not logged");
+
+        // Exhausted retry budget: the last cause is wrapped with the count.
+        let plan = FaultPlan::builder()
+            .worker_panic(0, 0)
+            .worker_panic(0, 1)
+            .build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan,
+            fast_retry(2),
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        match &out.responses[0].outcome {
+            FoldOutcome::Failed(FoldError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(*attempts, 2);
+                assert!(last.contains("panic"), "{last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_pressure_degrades_precision_instead_of_rejecting() {
+        // Leave only ~1.2× the INT4 footprint of a near-capacity sequence
+        // available: FP32 and INT8 cannot fit, INT4 can — the request must
+        // complete degraded rather than starve.
+        let ln = LightNobelBackend::paper("LightNobel");
+        let n = {
+            use crate::backend::Backend as _;
+            ln.max_single_length()
+        };
+        let fraction = {
+            use crate::backend::Backend as _;
+            ln.batch_peak_bytes_at(&[n], ActPrecision::Int4) * 1.2 / ln.memory_capacity_bytes()
+        };
+        let plan = FaultPlan::builder()
+            .pressure(PressureWindow {
+                backend: 0,
+                start_seconds: 0.0,
+                end_seconds: 1e9,
+                available_fraction: fraction,
+            })
+            .build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan,
+            ResilienceConfig::default(),
+        );
+        let out = e.run(&[req(0, n, 0.0, 1e6)]);
+        match &out.responses[0].outcome {
+            FoldOutcome::Completed { precision, .. } => {
+                assert_eq!(*precision, ActPrecision::Int4)
+            }
+            other => panic!("expected degraded completion, got {other:?}"),
+        }
+        assert!(out.responses[0].outcome.is_degraded());
+        assert_eq!(out.stats.resilience.backends[0].degraded_int4, 1);
+        assert_eq!(out.stats.resilience.degraded_batches(), 1);
+    }
+
+    #[test]
+    fn poisoned_bucket_requeues_then_fails_when_exhausted() {
+        // With retry budget left, a poison victim is re-admitted and still
+        // completes.
+        let plan = FaultPlan::builder().poison(1, 0.0).build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan.clone(),
+            fast_retry(3),
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        assert!(out.responses[0].outcome.is_completed());
+        assert_eq!(out.stats.resilience.poison_events, 1);
+
+        // Without budget, the victim fails typed.
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan,
+            fast_retry(1),
+        );
+        let out = e.run(&[req(0, 500, 0.0, 1e6)]);
+        assert_eq!(
+            out.responses[0].outcome,
+            FoldOutcome::Failed(FoldError::QueuePoisoned { bucket: 1 })
+        );
+        assert_eq!(out.stats.failed(), 1);
+    }
+
+    #[test]
+    fn seeded_chaos_runs_are_reproducible() {
+        let spec = ChaosSpec {
+            worker_panics: 1,
+            poisons: vec![ln_fault::PoisonEvent {
+                bucket: 1,
+                at_seconds: 2.0,
+            }],
+            ..ChaosSpec::light(3)
+        };
+        let plan = FaultPlan::seeded("engine/chaos", &spec);
+        let workload: Vec<FoldRequest> = (0..24)
+            .map(|i| req(i, 80 + (i as usize * 311) % 2000, i as f64 * 0.25, 300.0))
+            .collect();
+        let run = |w: &[FoldRequest]| {
+            Engine::with_resilience(
+                small_policy(),
+                BatcherConfig::default(),
+                standard_backends(),
+                plan.clone(),
+                ResilienceConfig::default(),
+            )
+            .run(w)
+        };
+        let a = run(&workload);
+        let b = run(&workload);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.responses.len(), 24, "definite outcome per request");
     }
 
     #[test]

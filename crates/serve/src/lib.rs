@@ -11,7 +11,9 @@
 //! The moving parts:
 //!
 //! * [`request`] — the [`FoldRequest`]/[`FoldResponse`] API with explicit
-//!   [`FoldOutcome::Rejected`] and [`FoldOutcome::TimedOut`] outcomes.
+//!   [`FoldOutcome::Rejected`], [`FoldOutcome::TimedOut`] and typed
+//!   [`FoldOutcome::Failed`] outcomes: every admitted request terminates
+//!   definitely, even under injected faults.
 //! * [`bucket`] — the length-bucket policy; boundaries are derived from
 //!   `ln-datasets` length distributions so buckets match real traffic.
 //! * [`batcher`] — the length-bucketed dynamic batcher: per-bucket bounded
@@ -25,10 +27,26 @@
 //!   in, identical batch schedule and statistics out. All latency numbers
 //!   come from the device models, never from wall-clock.
 //! * [`service`] — the threaded front-end ([`FoldService`]): one worker
-//!   thread per backend, non-blocking `submit`, graceful shutdown.
+//!   thread per backend, non-blocking `submit`, graceful shutdown with a
+//!   `Cancelled` sweep, and panic containment per worker.
 //! * [`workload`] — deterministic synthetic CAMEO/CASP-mix traffic.
-//! * [`stats`] — throughput, p50/p99 latency, queue depth and per-bucket
-//!   occupancy, rendered via `lightnobel::report`.
+//! * [`stats`] — throughput, p50/p99 latency, queue depth, per-bucket
+//!   occupancy, plus the resilience counters (faults, retries, breaker
+//!   transitions, precision degradations), rendered via
+//!   `lightnobel::report`.
+//!
+//! # Resilience
+//!
+//! Both schedulers accept a seeded, deterministic
+//! [`ln_fault::FaultPlan`] (backend stalls, transient errors, worker
+//! panics, HBM pressure windows, queue poison) through
+//! [`Engine::with_resilience`] / [`FoldService::start_with_resilience`],
+//! and answer it with bounded retry + deterministic backoff, a per-backend
+//! circuit breaker, and the AAQ precision-degradation fallback: under
+//! memory pressure a route is re-quantized down the
+//! [`ln_quant::ActPrecision`] ladder (FP32 → INT8 → INT4) instead of
+//! rejected, with the degradation recorded in the response and in
+//! [`ServeStats::resilience_tables`].
 //!
 //! # Quickstart
 //!
@@ -57,10 +75,10 @@ pub mod stats;
 pub mod workload;
 
 pub use backend::{standard_backends, Backend, GpuBackend, LightNobelBackend};
-pub use batcher::{Batcher, BatcherConfig};
+pub use batcher::{Batcher, BatcherConfig, QueuedRequest};
 pub use bucket::BucketPolicy;
 pub use engine::{Engine, EngineOutcome};
-pub use request::{FoldOutcome, FoldRequest, FoldResponse, RejectReason};
+pub use request::{FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason};
 pub use service::{FoldService, ServiceConfig, SubmitError};
-pub use stats::{BatchRecord, ServeStats};
+pub use stats::{BackendResilience, BatchRecord, ResilienceStats, ServeStats};
 pub use workload::WorkloadSpec;

@@ -1,5 +1,6 @@
 //! The folding-service request/response API.
 
+use ln_quant::ActPrecision;
 use std::fmt;
 
 /// A folding request as admitted to the scheduler.
@@ -35,6 +36,10 @@ pub enum RejectReason {
     QueueFull,
     /// No backend in the pool can ever fit the sequence in memory.
     TooLong,
+    /// Even with zero queueing, the fastest fitting backend's service time
+    /// exceeds the request's budget — rejected up front instead of burning
+    /// backend time on a fold that cannot meet its deadline.
+    DeadlineUnmeetable,
 }
 
 impl fmt::Display for RejectReason {
@@ -42,9 +47,62 @@ impl fmt::Display for RejectReason {
         match self {
             RejectReason::QueueFull => f.write_str("queue full"),
             RejectReason::TooLong => f.write_str("no backend fits sequence"),
+            RejectReason::DeadlineUnmeetable => {
+                f.write_str("deadline shorter than best-case service time")
+            }
         }
     }
 }
+
+/// A typed terminal failure — the resilience layer's replacement for the
+/// panic paths. Every variant is a definite outcome: the client never hangs
+/// and never sees an unwinding worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldError {
+    /// The executing backend hit a transient compute error.
+    Transient {
+        /// The backend that failed.
+        backend: String,
+    },
+    /// The worker executing the batch panicked (contained, never escapes).
+    WorkerPanic {
+        /// The backend whose worker died.
+        backend: String,
+    },
+    /// The request's bucket queue was poisoned while it waited.
+    QueuePoisoned {
+        /// The poisoned length bucket.
+        bucket: usize,
+    },
+    /// The retry budget ran out.
+    RetriesExhausted {
+        /// Total attempts made (counting the first).
+        attempts: u32,
+        /// Description of the last failure.
+        last: String,
+    },
+    /// The service shut down before the request reached a backend.
+    Cancelled,
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::Transient { backend } => write!(f, "transient error on {backend}"),
+            FoldError::WorkerPanic { backend } => write!(f, "worker panic on {backend}"),
+            FoldError::QueuePoisoned { bucket } => write!(f, "bucket {bucket} queue poisoned"),
+            FoldError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts (last: {last})"
+                )
+            }
+            FoldError::Cancelled => f.write_str("cancelled at shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
 
 /// Terminal outcome of a request.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +117,11 @@ pub enum FoldOutcome {
         finished_seconds: f64,
         /// Number of requests co-batched with this one (including it).
         batch_size: usize,
+        /// Activation precision the batch ran at. [`ActPrecision::Fp32`]
+        /// is the backend's native regime; a degraded rung means memory
+        /// pressure forced the route down the AAQ ladder instead of
+        /// rejecting the request.
+        precision: ActPrecision,
     },
     /// Admission control refused the request.
     Rejected(RejectReason),
@@ -67,6 +130,10 @@ pub enum FoldOutcome {
         /// How long it waited before expiring, seconds.
         waited_seconds: f64,
     },
+    /// The request failed with a typed error after admission (transient
+    /// errors past the retry budget, contained worker panics, queue
+    /// poison, shutdown cancellation).
+    Failed(FoldError),
 }
 
 impl FoldOutcome {
@@ -83,6 +150,14 @@ impl FoldOutcome {
     /// Whether the fold completed.
     pub fn is_completed(&self) -> bool {
         matches!(self, FoldOutcome::Completed { .. })
+    }
+
+    /// Whether the fold completed at a degraded activation precision.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            FoldOutcome::Completed { precision, .. } if precision.is_degraded()
+        )
     }
 }
 
@@ -110,9 +185,11 @@ mod tests {
             started_seconds: 1.0,
             finished_seconds: 3.5,
             batch_size: 4,
+            precision: ActPrecision::Fp32,
         };
         assert_eq!(done.latency_seconds(0.5), Some(3.0));
         assert!(done.is_completed());
+        assert!(!done.is_degraded());
         assert_eq!(
             FoldOutcome::Rejected(RejectReason::QueueFull).latency_seconds(0.0),
             None
@@ -124,6 +201,23 @@ mod tests {
             .latency_seconds(0.0),
             None
         );
+        assert_eq!(
+            FoldOutcome::Failed(FoldError::Cancelled).latency_seconds(0.0),
+            None
+        );
+    }
+
+    #[test]
+    fn degraded_completion_is_flagged() {
+        let degraded = FoldOutcome::Completed {
+            backend: "ln".into(),
+            started_seconds: 0.0,
+            finished_seconds: 1.0,
+            batch_size: 1,
+            precision: ActPrecision::Int4,
+        };
+        assert!(degraded.is_completed());
+        assert!(degraded.is_degraded());
     }
 
     #[test]
@@ -136,5 +230,30 @@ mod tests {
             timeout_seconds: 30.0,
         };
         assert_eq!(r.deadline(), 32.0);
+    }
+
+    #[test]
+    fn fold_errors_display_their_context() {
+        assert_eq!(
+            FoldError::Transient {
+                backend: "A100".into()
+            }
+            .to_string(),
+            "transient error on A100"
+        );
+        assert!(FoldError::WorkerPanic {
+            backend: "H100".into()
+        }
+        .to_string()
+        .contains("panic"));
+        assert!(FoldError::QueuePoisoned { bucket: 2 }
+            .to_string()
+            .contains("2"));
+        let e = FoldError::RetriesExhausted {
+            attempts: 3,
+            last: "transient error on A100".into(),
+        };
+        assert!(e.to_string().contains("3 attempts"));
+        assert!(e.to_string().contains("A100"));
     }
 }

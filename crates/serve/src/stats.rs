@@ -1,8 +1,12 @@
 //! Serving statistics: throughput, latency percentiles, queue depth and
-//! per-bucket occupancy, rendered as `lightnobel::report` tables.
+//! per-bucket occupancy, rendered as `lightnobel::report` tables — plus
+//! the resilience counters (injected faults, retries, breaker
+//! transitions, precision degradations) added with the fault layer.
 
 use crate::bucket::BucketPolicy;
 use lightnobel::report::{fmt_pct, fmt_seconds, Table};
+use ln_fault::BreakerEvent;
+use ln_quant::ActPrecision;
 
 /// One dispatched batch (the unit of the deterministic schedule).
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +21,8 @@ pub struct BatchRecord {
     pub start_seconds: f64,
     /// Virtual completion time, seconds.
     pub finish_seconds: f64,
+    /// Activation precision the batch executed at.
+    pub precision: ActPrecision,
 }
 
 /// Counters and samples for one length bucket.
@@ -24,10 +30,12 @@ pub struct BatchRecord {
 pub struct BucketStats {
     /// Requests folded to completion.
     pub completed: u64,
-    /// Requests refused at admission (queue full / unroutable).
+    /// Requests refused at admission (queue full / unroutable / deadline).
     pub rejected: u64,
     /// Requests that expired while queued.
     pub timed_out: u64,
+    /// Requests that reached a typed terminal failure after admission.
+    pub failed: u64,
     /// Batches dispatched.
     pub batches: u64,
     /// Sum of batch sizes (for occupancy).
@@ -69,14 +77,108 @@ impl BucketStats {
     }
 }
 
+/// Resilience counters for one backend in the pool.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BackendResilience {
+    /// Backend name (pool order is preserved, so rows are deterministic).
+    pub name: String,
+    /// Batches dispatched to this backend (including ones that later
+    /// failed).
+    pub dispatches: u64,
+    /// Injected stalls absorbed (the batch still completed, late).
+    pub stalls: u64,
+    /// Injected transient compute errors.
+    pub transients: u64,
+    /// Contained worker panics.
+    pub panics: u64,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_opens: u64,
+    /// Half-open probe dispatches granted after cooldown.
+    pub breaker_probes: u64,
+    /// Breaker recoveries (half-open probe succeeded → closed).
+    pub breaker_closes: u64,
+    /// Batches executed at INT8 under memory pressure.
+    pub degraded_int8: u64,
+    /// Batches executed at INT4 under memory pressure.
+    pub degraded_int4: u64,
+}
+
+impl BackendResilience {
+    /// Records a batch executing at `precision` (no-op at FP32).
+    pub fn record_precision(&mut self, precision: ActPrecision) {
+        match precision {
+            ActPrecision::Fp32 => {}
+            ActPrecision::Int8 => self.degraded_int8 += 1,
+            ActPrecision::Int4 => self.degraded_int4 += 1,
+        }
+    }
+
+    /// Records a breaker state transition.
+    pub fn record_breaker(&mut self, event: BreakerEvent) {
+        match event {
+            BreakerEvent::Opened => self.breaker_opens += 1,
+            BreakerEvent::HalfOpened => self.breaker_probes += 1,
+            BreakerEvent::Closed => self.breaker_closes += 1,
+        }
+    }
+}
+
+/// Service-wide resilience counters (fault layer observability).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceStats {
+    /// Per-backend fault/breaker/degradation rows, in pool order.
+    pub backends: Vec<BackendResilience>,
+    /// Re-dispatch attempts scheduled after a failed batch.
+    pub retries: u64,
+    /// Injected bucket-queue poison events that fired.
+    pub poison_events: u64,
+    /// Admission rejections because the best-case service time already
+    /// exceeded the request's deadline.
+    pub deadline_unmeetable: u64,
+    /// Requests answered `Cancelled` at shutdown.
+    pub cancelled: u64,
+}
+
+impl ResilienceStats {
+    /// Registers the backend pool (row order = pool order).
+    pub fn register_backends<S: Into<String>>(&mut self, names: impl IntoIterator<Item = S>) {
+        self.backends = names
+            .into_iter()
+            .map(|n| BackendResilience {
+                name: n.into(),
+                ..BackendResilience::default()
+            })
+            .collect();
+    }
+
+    /// Total injected faults observed across backends.
+    pub fn faults(&self) -> u64 {
+        self.backends
+            .iter()
+            .map(|b| b.stalls + b.transients + b.panics)
+            .sum()
+    }
+
+    /// Total batches executed below FP32.
+    pub fn degraded_batches(&self) -> u64 {
+        self.backends
+            .iter()
+            .map(|b| b.degraded_int8 + b.degraded_int4)
+            .sum()
+    }
+}
+
 /// The service-wide statistics collector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
     buckets: Vec<BucketStats>,
-    /// Every dispatched batch, in dispatch order.
+    /// Every successfully completed batch, in dispatch order (failed
+    /// batches are counted in [`ResilienceStats`], not logged here).
     pub batch_log: Vec<BatchRecord>,
     /// Virtual time of the last event, seconds.
     pub makespan_seconds: f64,
+    /// Fault/retry/breaker/degradation counters.
+    pub resilience: ResilienceStats,
 }
 
 impl ServeStats {
@@ -86,6 +188,7 @@ impl ServeStats {
             buckets: vec![BucketStats::default(); n_buckets],
             batch_log: Vec::new(),
             makespan_seconds: 0.0,
+            resilience: ResilienceStats::default(),
         }
     }
 
@@ -104,6 +207,11 @@ impl ServeStats {
         self.buckets[bucket].timed_out += 1;
     }
 
+    /// Records a typed terminal failure.
+    pub fn record_failure(&mut self, bucket: usize) {
+        self.buckets[bucket].failed += 1;
+    }
+
     /// Records a queue-depth observation.
     pub fn record_depth(&mut self, bucket: usize, depth: usize) {
         let b = &mut self.buckets[bucket];
@@ -111,7 +219,7 @@ impl ServeStats {
         b.depth_samples += 1;
     }
 
-    /// Records a dispatched batch and its per-request latencies.
+    /// Records a completed batch and its per-request latencies.
     pub fn record_batch(&mut self, record: BatchRecord, latencies: &[f64]) {
         let b = &mut self.buckets[record.bucket];
         b.batches += 1;
@@ -142,6 +250,22 @@ impl ServeStats {
         self.buckets.iter().map(|b| b.timed_out).sum()
     }
 
+    /// Total requests with a typed terminal failure.
+    pub fn failed(&self) -> u64 {
+        self.buckets.iter().map(|b| b.failed).sum()
+    }
+
+    /// Fraction of terminal outcomes that are completions (degraded
+    /// completions count: the client got a structure).
+    pub fn availability(&self) -> f64 {
+        let total = self.completed() + self.rejected() + self.timed_out() + self.failed();
+        if total == 0 {
+            1.0
+        } else {
+            self.completed() as f64 / total as f64
+        }
+    }
+
     /// Completed requests per virtual second.
     pub fn throughput(&self) -> f64 {
         if self.makespan_seconds <= 0.0 {
@@ -167,10 +291,10 @@ impl ServeStats {
     }
 
     /// The per-bucket report table (the acceptance artifact: p50/p99
-    /// latency, rejection and timeout counts, occupancy, mean depth).
+    /// latency, rejection/timeout/failure counts, occupancy, mean depth).
     pub fn table(&self, policy: &BucketPolicy, max_batch: usize) -> Table {
         let mut t = Table::new([
-            "bucket", "done", "rej", "tout", "batches", "occup", "depth", "p50", "p99",
+            "bucket", "done", "rej", "tout", "fail", "batches", "occup", "depth", "p50", "p99",
         ]);
         let dash = || "-".to_string();
         for (i, b) in self.buckets.iter().enumerate() {
@@ -179,6 +303,7 @@ impl ServeStats {
                 b.completed.to_string(),
                 b.rejected.to_string(),
                 b.timed_out.to_string(),
+                b.failed.to_string(),
                 b.batches.to_string(),
                 fmt_pct(b.occupancy(max_batch)),
                 format!("{:.2}", b.mean_depth()),
@@ -187,6 +312,52 @@ impl ServeStats {
             ]);
         }
         t
+    }
+
+    /// The resilience report: a per-backend fault/breaker/degradation
+    /// table and a service-wide summary table (retries, poison events,
+    /// deadline rejections, availability).
+    pub fn resilience_tables(&self) -> (Table, Table) {
+        let mut per_backend = Table::new([
+            "backend", "disp", "stall", "trans", "panic", "open", "probe", "close", "int8", "int4",
+        ])
+        .with_title("faults and degradation by backend");
+        for b in &self.resilience.backends {
+            per_backend.add_row([
+                b.name.clone(),
+                b.dispatches.to_string(),
+                b.stalls.to_string(),
+                b.transients.to_string(),
+                b.panics.to_string(),
+                b.breaker_opens.to_string(),
+                b.breaker_probes.to_string(),
+                b.breaker_closes.to_string(),
+                b.degraded_int8.to_string(),
+                b.degraded_int4.to_string(),
+            ]);
+        }
+        let mut summary = Table::new([
+            "faults",
+            "retries",
+            "poison",
+            "deadline-rej",
+            "failed",
+            "degraded",
+            "cancelled",
+            "availability",
+        ])
+        .with_title("resilience summary");
+        summary.add_row([
+            self.resilience.faults().to_string(),
+            self.resilience.retries.to_string(),
+            self.resilience.poison_events.to_string(),
+            self.resilience.deadline_unmeetable.to_string(),
+            self.failed().to_string(),
+            self.resilience.degraded_batches().to_string(),
+            self.resilience.cancelled.to_string(),
+            fmt_pct(self.availability()),
+        ]);
+        (per_backend, summary)
     }
 
     /// The ln-par runtime companion tables for a serving report: thread-pool
@@ -200,19 +371,46 @@ impl ServeStats {
         )
     }
 
-    /// A deterministic digest of the full schedule and counters: equal
-    /// digests ⇔ equal batch schedules, used by the reproducibility tests.
+    /// A deterministic digest of the full schedule and counters (now
+    /// including precision and the resilience counters): equal digests ⇔
+    /// equal schedules *and* equal fault handling, used by the
+    /// reproducibility and chaos tests.
     pub fn fingerprint(&self) -> u64 {
         let mut desc = String::new();
         for r in &self.batch_log {
             desc.push_str(&format!(
-                "{}|{}|{:?}|{:.9}|{:.9};",
-                r.bucket, r.backend, r.lengths, r.start_seconds, r.finish_seconds
+                "{}|{}|{:?}|{:.9}|{:.9}|{};",
+                r.bucket, r.backend, r.lengths, r.start_seconds, r.finish_seconds, r.precision
             ));
         }
         for b in &self.buckets {
-            desc.push_str(&format!("{},{},{};", b.completed, b.rejected, b.timed_out));
+            desc.push_str(&format!(
+                "{},{},{},{};",
+                b.completed, b.rejected, b.timed_out, b.failed
+            ));
         }
+        for b in &self.resilience.backends {
+            desc.push_str(&format!(
+                "{}:{},{},{},{},{},{},{},{},{};",
+                b.name,
+                b.dispatches,
+                b.stalls,
+                b.transients,
+                b.panics,
+                b.breaker_opens,
+                b.breaker_probes,
+                b.breaker_closes,
+                b.degraded_int8,
+                b.degraded_int4
+            ));
+        }
+        desc.push_str(&format!(
+            "r{},p{},d{},c{};",
+            self.resilience.retries,
+            self.resilience.poison_events,
+            self.resilience.deadline_unmeetable,
+            self.resilience.cancelled
+        ));
         desc.push_str(&format!("{:.9}", self.makespan_seconds));
         ln_tensor::rng::seed_from_label(&desc)
     }
@@ -229,6 +427,7 @@ mod tests {
             lengths,
             start_seconds: start,
             finish_seconds: finish,
+            precision: ActPrecision::Fp32,
         }
     }
 
@@ -239,14 +438,17 @@ mod tests {
         s.record_batch(record(0, vec![30], 1.0, 3.0), &[3.0]);
         s.record_rejection(1);
         s.record_timeout(0);
+        s.record_failure(1);
         assert_eq!(s.completed(), 3);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.timed_out(), 1);
+        assert_eq!(s.failed(), 1);
         assert_eq!(s.bucket(0).latency_percentile(0.5), Some(2.0));
         assert_eq!(s.bucket(0).latency_percentile(0.99), Some(3.0));
         assert_eq!(s.makespan_seconds, 3.0);
         assert_eq!(s.throughput(), 1.0);
         assert!((s.bucket(0).occupancy(2) - 0.75).abs() < 1e-12);
+        assert!((s.availability() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -267,6 +469,65 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.record_batch(record(0, vec![11], 1.0, 2.0), &[1.0]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_resilience_counters() {
+        let mut a = ServeStats::new(1);
+        let mut b = ServeStats::new(1);
+        a.resilience.register_backends(["ln"]);
+        b.resilience.register_backends(["ln"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.resilience.backends[0].transients += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = ServeStats::new(1);
+        c.resilience.register_backends(["ln"]);
+        c.resilience.retries += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn resilience_counters_roll_up() {
+        let mut s = ServeStats::new(1);
+        s.resilience.register_backends(["ln", "a100"]);
+        s.resilience.backends[0].stalls += 2;
+        s.resilience.backends[1].transients += 1;
+        s.resilience.backends[1].panics += 1;
+        s.resilience.backends[0].record_precision(ActPrecision::Int4);
+        s.resilience.backends[0].record_precision(ActPrecision::Fp32);
+        s.resilience.backends[1].record_precision(ActPrecision::Int8);
+        assert_eq!(s.resilience.faults(), 4);
+        assert_eq!(s.resilience.degraded_batches(), 2);
+        s.resilience.backends[0].record_breaker(BreakerEvent::Opened);
+        s.resilience.backends[0].record_breaker(BreakerEvent::HalfOpened);
+        s.resilience.backends[0].record_breaker(BreakerEvent::Closed);
+        assert_eq!(s.resilience.backends[0].breaker_opens, 1);
+        assert_eq!(s.resilience.backends[0].breaker_probes, 1);
+        assert_eq!(s.resilience.backends[0].breaker_closes, 1);
+    }
+
+    #[test]
+    fn resilience_tables_render_counters() {
+        let mut s = ServeStats::new(1);
+        s.resilience.register_backends(["LightNobel"]);
+        s.resilience.backends[0].dispatches = 7;
+        s.resilience.backends[0].degraded_int4 = 1;
+        s.resilience.retries = 3;
+        s.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        let (per_backend, summary) = s.resilience_tables();
+        assert_eq!(per_backend.num_rows(), 1);
+        let rendered = per_backend.render();
+        assert!(rendered.starts_with("== faults and degradation by backend =="));
+        assert!(rendered.contains("LightNobel"));
+        let sum = summary.render();
+        assert!(sum.contains("availability"));
+        assert!(sum.contains("100.0%"));
+    }
+
+    #[test]
+    fn availability_is_one_when_empty() {
+        let s = ServeStats::new(1);
+        assert_eq!(s.availability(), 1.0);
     }
 
     #[test]

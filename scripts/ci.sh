@@ -7,10 +7,13 @@
 #   3. cargo build --release                              (offline build)
 #   4. cargo test -q                                      (test suite)
 #   5. par_speedup --quick                                (ln-par smoke)
+#   6. chaos --quick                                      (ln-fault smoke)
 #
 # Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
 # its serial execution — never for missing speedup — so it stays meaningful
-# on single-core CI machines.
+# on single-core CI machines. Step 6 drives a fixed-seed FaultPlan through
+# the virtual-time engine and exits non-zero if any request hangs or the
+# resilience stats are not byte-identical across two runs.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -29,6 +32,7 @@ step cargo clippy --workspace --all-targets -- -D warnings
 step cargo build --release
 step cargo test -q
 step ./target/release/par_speedup --quick
+step ./target/release/chaos --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"
