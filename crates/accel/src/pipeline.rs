@@ -14,6 +14,8 @@ use crate::HwConfig;
 use ln_ppm::cost::{CostModel, Stage, ALL_STAGES};
 use ln_ppm::PpmConfig;
 use ln_quant::scheme::{AaqConfig, QuantScheme};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Pipeline fill/drain overhead charged once per stage invocation, in
 /// cycles (scratchpad double-buffer priming + crossbar setup).
@@ -23,6 +25,69 @@ const FILL_DRAIN_CYCLES: u64 = 400;
 /// RMPU↔VVPU hand-off stalls (cross-validated against the paper's
 /// RTL-vs-simulator discrepancy analysis, §6).
 const ARBITRATION_FACTOR: f64 = 1.35;
+
+/// Per-stage observability handles, resolved once against the global
+/// registry so the `simulate()` hot path (it sits inside binary searches
+/// like `max_single_length`) only does atomic stores.
+struct StageObs {
+    cycles: ln_obs::Gauge,
+    hbm_bytes: ln_obs::Gauge,
+}
+
+struct AccelObs {
+    simulations: ln_obs::Counter,
+    hbm_bandwidth_gbps: ln_obs::Gauge,
+    stages: BTreeMap<&'static str, StageObs>,
+}
+
+fn accel_obs() -> &'static AccelObs {
+    static OBS: OnceLock<AccelObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ln_obs::registry();
+        let stages = ALL_STAGES
+            .iter()
+            .filter(|s| s.is_per_block())
+            .map(|&s| {
+                let name = s.name();
+                let labels = [("stage", name)];
+                (
+                    name,
+                    StageObs {
+                        cycles: reg.gauge(&ln_obs::labeled("accel_stage_cycles", &labels)),
+                        hbm_bytes: reg.gauge(&ln_obs::labeled("accel_stage_hbm_bytes", &labels)),
+                    },
+                )
+            })
+            .collect();
+        AccelObs {
+            simulations: reg.counter("accel_simulations_total"),
+            hbm_bandwidth_gbps: reg.gauge("accel_hbm_bandwidth_gbps"),
+            stages,
+        }
+    })
+}
+
+/// Mirrors a simulation's per-stage breakdown into the metrics registry:
+/// last-seen cycle and HBM-byte gauges per stage, an effective-bandwidth
+/// gauge, and a simulation counter.
+fn record_obs(report: &LatencyReport) {
+    if ln_obs::level() == ln_obs::ObsLevel::Off {
+        return;
+    }
+    let obs = accel_obs();
+    obs.simulations.inc();
+    for s in &report.per_block_stages {
+        if let Some(h) = obs.stages.get(s.stage.name()) {
+            h.cycles.set(s.cycles() as f64);
+            h.hbm_bytes.set(s.hbm_bytes as f64);
+        }
+    }
+    let seconds = report.total_seconds();
+    if seconds > 0.0 {
+        obs.hbm_bandwidth_gbps
+            .set(report.total_hbm_bytes() as f64 / seconds / 1e9);
+    }
+}
 
 /// Latency breakdown of one stage invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -198,12 +263,14 @@ impl Accelerator {
             .filter(|s| s.is_per_block())
             .map(|&s| self.stage_latency(s, ns))
             .collect();
-        LatencyReport {
+        let report = LatencyReport {
             ns,
             per_block_stages,
             block_invocations: cfg.blocks * cfg.recycles,
             cycle_seconds: self.hw.cycle_seconds(),
-        }
+        };
+        record_obs(&report);
+        report
     }
 
     /// Peak device-memory requirement (bytes): the encoded residual pair
@@ -581,6 +648,31 @@ mod tests {
             .per_block_stages
             .iter()
             .all(|s| s.cycles() <= critical.cycles()));
+    }
+
+    #[test]
+    fn simulation_mirrors_stage_gauges_into_registry() {
+        let a = accel();
+        let r = a.simulate(384);
+        assert!(r.total_cycles() > 0);
+        let snap = ln_obs::registry().snapshot();
+        for stage in ["tri_mul_outgoing", "tri_attn_starting", "pair_transition"] {
+            let key = ln_obs::labeled("accel_stage_cycles", &[("stage", stage)]);
+            match snap.get(&key) {
+                Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0, "{key}"),
+                other => panic!("missing gauge {key}: {other:?}"),
+            }
+            let key = ln_obs::labeled("accel_stage_hbm_bytes", &[("stage", stage)]);
+            assert!(snap.contains_key(&key), "missing {key}");
+        }
+        match snap.get("accel_simulations_total") {
+            Some(ln_obs::MetricValue::Counter(n)) => assert!(*n >= 1),
+            other => panic!("missing simulation counter: {other:?}"),
+        }
+        match snap.get("accel_hbm_bandwidth_gbps") {
+            Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0),
+            other => panic!("missing bandwidth gauge: {other:?}"),
+        }
     }
 
     #[test]

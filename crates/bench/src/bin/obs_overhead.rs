@@ -1,0 +1,224 @@
+//! Overhead microbenchmark for the ln-obs instrumentation primitives.
+//!
+//! Two questions decide whether the registry may sit on hot paths:
+//!
+//! 1. What does one *enabled* event cost (counter add, gauge set, histogram
+//!    record, traced span)?
+//! 2. What does a *disabled* (`LN_OBS=off`) event cost relative to
+//!    uninstrumented code? The contract is "one relaxed atomic load, no
+//!    allocation", so a gated counter inside a realistic compute loop must
+//!    stay within a few percent of the bare loop.
+//!
+//! The full run writes `BENCH_OBS.json` at the repo root; `--quick` runs a
+//! smaller iteration count and exits non-zero if the off-mode delta exceeds
+//! `OFF_BUDGET_PCT` — the tier-1 regression gate for observability cost.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ln_bench::{banner, paper_note, show};
+use ln_obs::{ObsLevel, Tracer, WallClock};
+
+use lightnobel::report::Table;
+
+/// Off-mode overhead budget, percent of the uninstrumented baseline.
+const OFF_BUDGET_PCT: f64 = 5.0;
+
+struct EventCost {
+    event: &'static str,
+    level: &'static str,
+    ns_per_op: f64,
+}
+
+/// Best-of-`reps` nanoseconds per iteration of `f(iters)`.
+fn time_best(reps: usize, iters: u64, mut f: impl FnMut(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        black_box(f(iters));
+        best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// A compute kernel standing in for real work between events: 64 rounds of
+/// integer mixing, opaque to the optimizer. Large enough that a single
+/// relaxed atomic load should disappear into it; small enough that bloat
+/// from a botched off-gate would still register.
+#[inline(always)]
+fn mix(mut x: u64) -> u64 {
+    for _ in 0..64 {
+        x = x
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(29)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    }
+    x
+}
+
+fn bench_off_delta(iters: u64, reps: usize) -> (f64, f64, f64) {
+    ln_obs::set_level(ObsLevel::Off);
+    let counter = ln_obs::registry().counter("obs_overhead_off_probe");
+    let baseline = time_best(reps, iters, |n| {
+        let mut acc = 0x5EED_u64;
+        for i in 0..n {
+            acc = mix(acc ^ black_box(i));
+        }
+        acc
+    });
+    let gated = time_best(reps, iters, |n| {
+        let mut acc = 0x5EED_u64;
+        for i in 0..n {
+            acc = mix(acc ^ black_box(i));
+            counter.add(1);
+        }
+        acc
+    });
+    let delta_pct = (gated - baseline) / baseline * 100.0;
+    (baseline, gated, delta_pct)
+}
+
+fn bench_enabled_events(iters: u64, reps: usize) -> Vec<EventCost> {
+    let mut out = Vec::new();
+    let reg = ln_obs::registry();
+
+    ln_obs::set_level(ObsLevel::Counters);
+    let counter = reg.counter("obs_overhead_counter");
+    out.push(EventCost {
+        event: "counter_add",
+        level: "counters",
+        ns_per_op: time_best(reps, iters, |n| {
+            for _ in 0..n {
+                counter.add(1);
+            }
+            counter.get()
+        }),
+    });
+    let gauge = reg.gauge("obs_overhead_gauge");
+    out.push(EventCost {
+        event: "gauge_set",
+        level: "counters",
+        ns_per_op: time_best(reps, iters, |n| {
+            for i in 0..n {
+                gauge.set(i as f64);
+            }
+            n
+        }),
+    });
+    let hist = reg.histogram("obs_overhead_histogram");
+    out.push(EventCost {
+        event: "histogram_record",
+        level: "counters",
+        ns_per_op: time_best(reps, iters, |n| {
+            for i in 0..n {
+                hist.record(i);
+            }
+            n
+        }),
+    });
+
+    // Span cost with tracing live: a dedicated ring so the global tracer
+    // stays clean; eviction past the capacity is part of the steady state.
+    let tracer = Tracer::forced(Arc::new(WallClock::new()), 4096);
+    out.push(EventCost {
+        event: "span_guard",
+        level: "trace",
+        ns_per_op: time_best(reps, iters, |n| {
+            for _ in 0..n {
+                let _g = tracer.span("obs_overhead", "bench", 0);
+            }
+            tracer.len() as u64
+        }),
+    });
+
+    // Span call sites below the trace level: must collapse to a branch.
+    ln_obs::set_level(ObsLevel::Counters);
+    let global = ln_obs::tracer();
+    out.push(EventCost {
+        event: "span_guard",
+        level: "counters",
+        ns_per_op: time_best(reps, iters, |n| {
+            for _ in 0..n {
+                let _g = global.span("obs_overhead", "bench", 0);
+            }
+            global.len() as u64
+        }),
+    });
+    out
+}
+
+fn write_json(
+    path: &str,
+    events: &[EventCost],
+    baseline_ns: f64,
+    gated_ns: f64,
+    delta_pct: f64,
+) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"obs_overhead\",\n");
+    s.push_str(&format!("  \"off_budget_pct\": {OFF_BUDGET_PCT:.1},\n"));
+    s.push_str(&format!(
+        "  \"off_mode\": {{\"baseline_ns_per_iter\": {baseline_ns:.3}, \
+         \"gated_ns_per_iter\": {gated_ns:.3}, \"delta_pct\": {delta_pct:.3}}},\n"
+    ));
+    s.push_str("  \"events\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"event\": \"{}\", \"level\": \"{}\", \"ns_per_op\": {:.3}}}{}\n",
+            e.event,
+            e.level,
+            e.ns_per_op,
+            if i + 1 < events.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(if quick {
+        "obs_overhead --quick — off-mode cost gate (ln-obs)"
+    } else {
+        "obs_overhead — per-event cost of the ln-obs primitives"
+    });
+    paper_note(
+        "instrumentation must not perturb what it measures: the LN_OBS=off \
+         path is one relaxed atomic load, so the simulator's reported \
+         latencies stay valid with observability compiled in",
+    );
+
+    let (iters, reps) = if quick { (200_000, 7) } else { (2_000_000, 9) };
+
+    let events = bench_enabled_events(iters, reps);
+    let (baseline_ns, gated_ns, delta_pct) = bench_off_delta(iters, reps);
+
+    let mut t = Table::new(["event", "level", "ns/op"]);
+    for e in &events {
+        t.add_row([
+            e.event.to_string(),
+            e.level.to_string(),
+            format!("{:.2}", e.ns_per_op),
+        ]);
+    }
+    show(&t);
+    println!(
+        "off-mode: baseline {baseline_ns:.2} ns/iter, gated counter {gated_ns:.2} ns/iter, \
+         delta {delta_pct:+.2}% (budget {OFF_BUDGET_PCT:.1}%)"
+    );
+
+    if !quick {
+        write_json("BENCH_OBS.json", &events, baseline_ns, gated_ns, delta_pct)
+            .expect("write BENCH_OBS.json");
+        println!("wrote BENCH_OBS.json");
+    }
+    if delta_pct > OFF_BUDGET_PCT {
+        eprintln!(
+            "REGRESSION: LN_OBS=off adds {delta_pct:.2}% to the baseline loop \
+             (budget {OFF_BUDGET_PCT:.1}%)"
+        );
+        std::process::exit(1);
+    }
+    println!("off-mode overhead within budget");
+}

@@ -5,6 +5,30 @@ use ln_quant::baselines::BaselineScheme;
 use ln_quant::scheme::{AaqConfig, Group, QuantScheme};
 use ln_quant::token::fake_quantize_tokens;
 use ln_tensor::Tensor2;
+use std::sync::OnceLock;
+
+/// Registry handles for the AAQ hook's accuracy/footprint signals: one
+/// relative-RMSE gauge per activation group plus byte-volume counters.
+/// Resolved once; `on_activation` runs per tap on the folding hot path.
+struct AaqObs {
+    rmse: [ln_obs::Gauge; 3],
+    encoded_bytes: ln_obs::Counter,
+    fp16_bytes: ln_obs::Counter,
+}
+
+fn aaq_obs() -> &'static AaqObs {
+    static OBS: OnceLock<AaqObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = ln_obs::registry();
+        let rmse_gauge =
+            |g: &str| reg.gauge(&ln_obs::labeled("aaq_relative_rmse", &[("group", g)]));
+        AaqObs {
+            rmse: [rmse_gauge("A"), rmse_gauge("B"), rmse_gauge("C")],
+            encoded_bytes: reg.counter("aaq_encoded_bytes_total"),
+            fp16_bytes: reg.counter("aaq_fp16_bytes_total"),
+        }
+    })
+}
 
 /// Maps the PPM's dataflow group tags onto the quantization crate's group
 /// identifiers.
@@ -105,7 +129,8 @@ impl ActivationHook for AaqHook {
         }
         let original = activation.clone();
         fake_quantize_tokens(activation, scheme);
-        let gi = match quant_group(tap.group()) {
+        let group = quant_group(tap.group());
+        let gi = match group {
             Group::A => 0,
             Group::B => 1,
             Group::C => 2,
@@ -115,9 +140,17 @@ impl ActivationHook for AaqHook {
             self.err_sq[gi] += e * e;
             self.val_sq[gi] += (a as f64) * (a as f64);
         }
+        let encoded = (activation.rows() * scheme.token_bytes(activation.cols())) as u64;
+        let fp16 = (activation.rows() * activation.cols() * 2) as u64;
         self.tokens_processed += activation.rows() as u64;
-        self.encoded_bytes += (activation.rows() * scheme.token_bytes(activation.cols())) as u64;
-        self.fp16_bytes += (activation.rows() * activation.cols() * 2) as u64;
+        self.encoded_bytes += encoded;
+        self.fp16_bytes += fp16;
+        if ln_obs::level() != ln_obs::ObsLevel::Off {
+            let obs = aaq_obs();
+            obs.encoded_bytes.add(encoded);
+            obs.fp16_bytes.add(fp16);
+            obs.rmse[gi].set(self.relative_rmse(group));
+        }
     }
 }
 
@@ -226,6 +259,29 @@ mod tests {
         hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x8); // A: INT8+4
         hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut x4); // C: INT4+0
         assert!(x8.rmse(&orig).unwrap() < x4.rmse(&orig).unwrap());
+    }
+
+    #[test]
+    fn aaq_hook_mirrors_into_obs_registry() {
+        let before = match ln_obs::registry().snapshot().get("aaq_encoded_bytes_total") {
+            Some(ln_obs::MetricValue::Counter(n)) => *n,
+            _ => 0,
+        };
+        let mut hook = AaqHook::paper();
+        let mut x = activation();
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x);
+        let snap = ln_obs::registry().snapshot();
+        match snap.get("aaq_encoded_bytes_total") {
+            Some(ln_obs::MetricValue::Counter(n)) => {
+                assert!(*n >= before + hook.encoded_bytes(), "{n}")
+            }
+            other => panic!("missing encoded-bytes counter: {other:?}"),
+        }
+        let key = ln_obs::labeled("aaq_relative_rmse", &[("group", "A")]);
+        match snap.get(&key) {
+            Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0, "{key}"),
+            other => panic!("missing gauge {key}: {other:?}"),
+        }
     }
 
     #[test]

@@ -185,6 +185,38 @@ pub fn kernel_table() -> Table {
     t
 }
 
+/// Renders the unified metrics registry as three tables — counters, gauges
+/// and histograms — in snapshot (sorted-name) order. Histogram rows show
+/// count, mean and the p50/p99 bucket upper bounds; empty sections render
+/// headers only, matching [`kernel_table`]'s convention.
+pub fn obs_tables() -> Vec<Table> {
+    let snap = ln_obs::registry().snapshot();
+    let mut counters = Table::new(["counter", "value"]).with_title("obs counters");
+    let mut gauges = Table::new(["gauge", "value"]).with_title("obs gauges");
+    let mut hists =
+        Table::new(["histogram", "count", "mean", "p50<=", "p99<="]).with_title("obs histograms");
+    for (name, value) in &snap {
+        match value {
+            ln_obs::MetricValue::Counter(n) => {
+                counters.add_row([name.clone(), n.to_string()]);
+            }
+            ln_obs::MetricValue::Gauge(g) => {
+                gauges.add_row([name.clone(), format!("{g:.4}")]);
+            }
+            ln_obs::MetricValue::Histogram(h) => {
+                hists.add_row([
+                    name.clone(),
+                    h.count.to_string(),
+                    format!("{:.1}", h.mean()),
+                    h.percentile(50.0).to_string(),
+                    h.percentile(99.0).to_string(),
+                ]);
+            }
+        }
+    }
+    vec![counters, gauges, hists]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +230,21 @@ mod tests {
         ln_par::metrics::time_kernel("report.test_kernel", 3, || ());
         let k = kernel_table();
         assert!(k.render().contains("report.test_kernel"));
+    }
+
+    #[test]
+    fn obs_tables_cover_all_metric_kinds() {
+        let reg = ln_obs::registry();
+        reg.counter("report_test_counter").add(7);
+        reg.gauge("report_test_gauge").set(1.25);
+        reg.histogram("report_test_hist").record(100);
+        let tables = obs_tables();
+        assert_eq!(tables.len(), 3);
+        let all: String = tables.iter().map(Table::render).collect();
+        assert!(all.contains("report_test_counter"), "{all}");
+        assert!(all.contains("report_test_gauge"), "{all}");
+        assert!(all.contains("report_test_hist"), "{all}");
+        assert!(all.contains("== obs counters =="));
     }
 
     #[test]

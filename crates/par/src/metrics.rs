@@ -1,37 +1,90 @@
 //! Runtime observability: pool occupancy counters and per-kernel wall-time
 //! aggregation, surfaced by `lightnobel::report` and the ln-serve stats.
+//!
+//! Since the ln-obs migration all counts live in the process-wide
+//! [`ln_obs::registry()`] under `par_*` names — one `Counter` each for
+//! parallel dispatches, serial fallbacks, chunks and busy nanoseconds, and a
+//! labeled family (`par_kernel_*_total{kernel="…"}`) plus a log-bucketed
+//! duration histogram per kernel. The pre-existing [`snapshot`],
+//! [`kernel_stats`] and [`time_kernel`] API is kept as a thin adapter over
+//! those handles, so callers and report tables are unchanged.
+//!
+//! At `LN_OBS=trace`, [`time_kernel`] additionally records a completed span
+//! on the global wall-clock tracer, giving per-kernel lanes in the Chrome
+//! trace.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-static PARALLEL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
-static SERIAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
-static CHUNKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
-static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+use ln_obs::{labeled, registry, Counter, Histogram};
+
+struct PoolHandles {
+    parallel: Counter,
+    serial: Counter,
+    chunks: Counter,
+    busy_nanos: Counter,
+}
+
+fn pool_handles() -> &'static PoolHandles {
+    static HANDLES: OnceLock<PoolHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = registry();
+        PoolHandles {
+            parallel: reg.counter("par_parallel_dispatches_total"),
+            serial: reg.counter("par_serial_fallbacks_total"),
+            chunks: reg.counter("par_chunks_executed_total"),
+            busy_nanos: reg.counter("par_busy_nanos_total"),
+        }
+    })
+}
 
 fn epoch() -> &'static Mutex<Instant> {
     static EPOCH: OnceLock<Mutex<Instant>> = OnceLock::new();
     EPOCH.get_or_init(|| Mutex::new(Instant::now()))
 }
 
-fn kernels() -> &'static Mutex<BTreeMap<&'static str, KernelStat>> {
-    static KERNELS: OnceLock<Mutex<BTreeMap<&'static str, KernelStat>>> = OnceLock::new();
+struct KernelHandles {
+    calls: Counter,
+    nanos: Counter,
+    items: Counter,
+    durations: Histogram,
+}
+
+impl KernelHandles {
+    fn for_kernel(name: &str) -> Self {
+        let reg = registry();
+        let label = [("kernel", name)];
+        Self {
+            calls: reg.counter(&labeled("par_kernel_calls_total", &label)),
+            nanos: reg.counter(&labeled("par_kernel_nanos_total", &label)),
+            items: reg.counter(&labeled("par_kernel_items_total", &label)),
+            durations: reg.histogram(&labeled("par_kernel_duration_nanos", &label)),
+        }
+    }
+}
+
+fn kernels() -> &'static Mutex<BTreeMap<&'static str, KernelHandles>> {
+    static KERNELS: OnceLock<Mutex<BTreeMap<&'static str, KernelHandles>>> = OnceLock::new();
     KERNELS.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+fn lock_kernels() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, KernelHandles>> {
+    kernels().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 pub(crate) fn note_parallel() {
-    PARALLEL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    pool_handles().parallel.inc();
 }
 
 pub(crate) fn note_serial() {
-    SERIAL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    pool_handles().serial.inc();
 }
 
 pub(crate) fn note_chunk(elapsed: Duration) {
-    CHUNKS_EXECUTED.fetch_add(1, Ordering::Relaxed);
-    BUSY_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let handles = pool_handles();
+    handles.chunks.inc();
+    handles.busy_nanos.add(elapsed.as_nanos() as u64);
 }
 
 /// A point-in-time view of the pool counters since process start (or the
@@ -66,28 +119,37 @@ impl Snapshot {
     }
 }
 
-/// Reads the current pool counters.
+/// Reads the current pool counters (a thin adapter over the `par_*`
+/// counters in [`ln_obs::registry()`]).
 pub fn snapshot() -> Snapshot {
-    let elapsed = epoch().lock().expect("ln-par: epoch poisoned").elapsed();
+    let elapsed = epoch()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .elapsed();
+    let handles = pool_handles();
     Snapshot {
         threads: crate::active().threads(),
-        parallel_dispatches: PARALLEL_DISPATCHES.load(Ordering::Relaxed),
-        serial_fallbacks: SERIAL_FALLBACKS.load(Ordering::Relaxed),
-        chunks_executed: CHUNKS_EXECUTED.load(Ordering::Relaxed),
-        busy_seconds: BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        parallel_dispatches: handles.parallel.get(),
+        serial_fallbacks: handles.serial.get(),
+        chunks_executed: handles.chunks.get(),
+        busy_seconds: handles.busy_nanos.get() as f64 / 1e9,
         elapsed_seconds: elapsed.as_secs_f64(),
     }
 }
 
 /// Zeroes all counters (pool and kernel timers) and restarts the occupancy
-/// clock. Benches call this between serial and parallel phases.
+/// clock. Benches call this between serial and parallel phases. Kernel
+/// metric series are also unregistered so stale kernels don't linger in
+/// registry snapshots.
 pub fn reset() {
-    PARALLEL_DISPATCHES.store(0, Ordering::Relaxed);
-    SERIAL_FALLBACKS.store(0, Ordering::Relaxed);
-    CHUNKS_EXECUTED.store(0, Ordering::Relaxed);
-    BUSY_NANOS.store(0, Ordering::Relaxed);
-    *epoch().lock().expect("ln-par: epoch poisoned") = Instant::now();
-    kernels().lock().expect("ln-par: kernels poisoned").clear();
+    let handles = pool_handles();
+    handles.parallel.reset();
+    handles.serial.reset();
+    handles.chunks.reset();
+    handles.busy_nanos.reset();
+    *epoch().lock().unwrap_or_else(PoisonError::into_inner) = Instant::now();
+    lock_kernels().clear();
+    registry().remove_prefix("par_kernel_");
 }
 
 /// Accumulated wall time for one named kernel.
@@ -120,25 +182,53 @@ impl KernelStat {
 /// Times `f()` under the given kernel name, attributing `items` work items
 /// to the call, and returns `f`'s result. Nested timers each record their
 /// own wall time (inner time is included in the outer kernel too).
+///
+/// At `LN_OBS=trace` each call also lands as a completed span (category
+/// `"kernel"`) on the global wall-clock [`ln_obs::tracer()`].
 pub fn time_kernel<R>(name: &'static str, items: u64, f: impl FnOnce() -> R) -> R {
+    let tracer = ln_obs::tracer();
+    let trace_begin = tracer.enabled().then(|| tracer.now_nanos());
     let started = Instant::now();
     let out = f();
     let nanos = started.elapsed().as_nanos() as u64;
-    let mut map = kernels().lock().expect("ln-par: kernels poisoned");
-    let stat = map.entry(name).or_default();
-    stat.calls += 1;
-    stat.nanos += nanos;
-    stat.items += items;
+    {
+        let mut map = lock_kernels();
+        let handles = map
+            .entry(name)
+            .or_insert_with(|| KernelHandles::for_kernel(name));
+        handles.calls.inc();
+        handles.nanos.add(nanos);
+        handles.items.add(items);
+        handles.durations.record(nanos);
+    }
+    if let Some(begin) = trace_begin {
+        tracer.complete(
+            name,
+            "kernel",
+            0,
+            begin,
+            nanos,
+            vec![("items", ln_obs::ArgValue::U64(items))],
+        );
+    }
     out
 }
 
-/// All kernel timers in name order.
+/// All kernel timers in name order (reconstructed from the registry
+/// handles).
 pub fn kernel_stats() -> Vec<(&'static str, KernelStat)> {
-    kernels()
-        .lock()
-        .expect("ln-par: kernels poisoned")
+    lock_kernels()
         .iter()
-        .map(|(name, stat)| (*name, *stat))
+        .map(|(name, handles)| {
+            (
+                *name,
+                KernelStat {
+                    calls: handles.calls.get(),
+                    nanos: handles.nanos.get(),
+                    items: handles.items.get(),
+                },
+            )
+        })
         .collect()
 }
 
@@ -191,5 +281,35 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.parallel_dispatches, 0);
         assert_eq!(snap.chunks_executed, 0);
+    }
+
+    #[test]
+    fn counters_land_in_obs_registry() {
+        let _guard = crate::test_lock();
+        reset();
+        time_kernel("test.registry", 4, || ());
+        let snap = ln_obs::registry().snapshot();
+        match snap.get("par_kernel_calls_total{kernel=\"test.registry\"}") {
+            Some(ln_obs::MetricValue::Counter(n)) => assert_eq!(*n, 1),
+            other => panic!("kernel counter missing from registry: {other:?}"),
+        }
+        match snap.get("par_kernel_items_total{kernel=\"test.registry\"}") {
+            Some(ln_obs::MetricValue::Counter(n)) => assert_eq!(*n, 4),
+            other => panic!("kernel items missing from registry: {other:?}"),
+        }
+        match snap.get("par_kernel_duration_nanos{kernel=\"test.registry\"}") {
+            Some(ln_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("kernel histogram missing from registry: {other:?}"),
+        }
+        reset();
+        let snap = ln_obs::registry().snapshot();
+        assert!(
+            !snap.keys().any(|k| k.contains("kernel=\"test.registry\"")),
+            "reset must unregister kernel series"
+        );
+        match snap.get("par_parallel_dispatches_total") {
+            Some(ln_obs::MetricValue::Counter(0)) => {}
+            other => panic!("pool counter should be zero after reset: {other:?}"),
+        }
     }
 }

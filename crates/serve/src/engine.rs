@@ -28,8 +28,53 @@ use crate::batcher::{Batcher, BatcherConfig, QueuedRequest};
 use crate::bucket::BucketPolicy;
 use crate::request::{FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason};
 use crate::stats::{BatchRecord, ServeStats};
-use ln_fault::{CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
+use ln_fault::{BreakerEvent, CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
+use ln_obs::{seconds_to_nanos, ArgValue, Clock, TraceEvent, Tracer, VirtualClock};
 use ln_quant::ActPrecision;
+use std::sync::Arc;
+
+/// Ring capacity of the engine's per-run tracer: large enough that test and
+/// bench workloads never evict (eviction would still be deterministic, just
+/// lossy).
+const ENGINE_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Backend tracks start here in the trace so they sort after the per-bucket
+/// queue tracks in `chrome://tracing`.
+const BACKEND_TRACK_BASE: u32 = 100;
+
+/// The engine's trace state for one `run`: a virtual clock slaved to the
+/// event loop and a *forced* tracer over it, so the trace records regardless
+/// of `LN_OBS` and every timestamp derives from the deterministic schedule —
+/// the run's Chrome-trace JSON is byte-identical across machines and
+/// `ln-par` pool sizes.
+struct RunTrace {
+    clock: Arc<VirtualClock>,
+    tracer: Tracer,
+}
+
+impl RunTrace {
+    fn new() -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::forced(clock.clone() as Arc<dyn Clock>, ENGINE_TRACE_CAPACITY);
+        RunTrace { clock, tracer }
+    }
+}
+
+fn precision_label(precision: ActPrecision) -> &'static str {
+    match precision {
+        ActPrecision::Fp32 => "fp32",
+        ActPrecision::Int8 => "int8",
+        ActPrecision::Int4 => "int4",
+    }
+}
+
+fn breaker_event_label(event: BreakerEvent) -> &'static str {
+    match event {
+        BreakerEvent::Opened => "breaker_open",
+        BreakerEvent::HalfOpened => "breaker_half_open",
+        BreakerEvent::Closed => "breaker_close",
+    }
+}
 
 /// A batch in flight on a backend.
 #[derive(Debug, Clone)]
@@ -51,6 +96,10 @@ pub struct EngineOutcome {
     pub responses: Vec<FoldResponse>,
     /// The statistics collector (schedule, percentiles, counters).
     pub stats: ServeStats,
+    /// The virtual-time trace of the run (`Some` when tracing was on —
+    /// `LN_OBS=trace` or [`Engine::set_tracing`]); feed it to
+    /// [`ln_obs::chrome_trace_json`] for a `chrome://tracing` timeline.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// The batched folding scheduler over a pool of simulated backends.
@@ -69,6 +118,12 @@ pub struct Engine {
     breakers: Vec<CircuitBreaker>,
     /// Per-backend dispatch sequence numbers (the fault-plan key).
     dispatch_seq: Vec<u64>,
+    /// `Some(_)` forces tracing on/off for this engine; `None` follows the
+    /// process-wide `LN_OBS` level.
+    trace_override: Option<bool>,
+    /// Per-run trace state, present only while `run` executes with tracing
+    /// on.
+    run_trace: Option<RunTrace>,
 }
 
 impl Engine {
@@ -125,6 +180,54 @@ impl Engine {
             resilience,
             breakers,
             dispatch_seq,
+            trace_override: None,
+            run_trace: None,
+        }
+    }
+
+    /// Forces virtual-time tracing on or off for this engine's runs,
+    /// overriding the `LN_OBS` level. With tracing on,
+    /// [`EngineOutcome::trace`] carries the run's events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_override = Some(on);
+    }
+
+    /// Whether the next run will trace.
+    pub fn tracing(&self) -> bool {
+        self.trace_override
+            .unwrap_or(ln_obs::level() == ln_obs::ObsLevel::Trace)
+    }
+
+    /// Records a point-in-time trace event at virtual `seconds`.
+    fn trace_instant(
+        &self,
+        seconds: f64,
+        name: &'static str,
+        cat: &'static str,
+        track: u32,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(rt) = &self.run_trace {
+            rt.clock.set_seconds(seconds);
+            rt.tracer.instant(name, cat, track, args);
+        }
+    }
+
+    /// Records a completed span covering virtual `[start, end]` seconds.
+    fn trace_complete(
+        &self,
+        start_seconds: f64,
+        end_seconds: f64,
+        name: &'static str,
+        cat: &'static str,
+        track: u32,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(rt) = &self.run_trace {
+            let begin = seconds_to_nanos(start_seconds);
+            let end = seconds_to_nanos(end_seconds);
+            rt.tracer
+                .complete(name, cat, track, begin, end.saturating_sub(begin), args);
         }
     }
 
@@ -162,6 +265,7 @@ impl Engine {
             .map(|_| CircuitBreaker::new(self.resilience.breaker))
             .collect();
         self.dispatch_seq = vec![0; self.backends.len()];
+        self.run_trace = self.tracing().then(RunTrace::new);
         let mut next_poison = 0usize;
 
         let mut arrivals: Vec<FoldRequest> = workload.to_vec();
@@ -215,10 +319,21 @@ impl Engine {
             now = t;
 
             // 0. Time-driven breaker transitions (open → half-open probe).
+            let mut breaker_events: Vec<(usize, BreakerEvent)> = Vec::new();
             for (i, b) in self.breakers.iter_mut().enumerate() {
                 if let Some(ev) = b.poll(now) {
                     stats.resilience.backends[i].record_breaker(ev);
+                    breaker_events.push((i, ev));
                 }
+            }
+            for (i, ev) in breaker_events {
+                self.trace_instant(
+                    now,
+                    breaker_event_label(ev),
+                    "breaker",
+                    BACKEND_TRACK_BASE + i as u32,
+                    Vec::new(),
+                );
             }
 
             // 1. Completions (and fault manifestations) due by now, in
@@ -243,8 +358,22 @@ impl Engine {
                 let req = arrivals[next_arrival].clone();
                 next_arrival += 1;
                 let bucket = self.batcher.policy().bucket_of(req.length);
+                let (id, seq_len) = (req.id, req.length);
+                let reject_args = |reason: &'static str| {
+                    vec![
+                        ("id", ArgValue::U64(id)),
+                        ("reason", ArgValue::Str(reason.to_string())),
+                    ]
+                };
                 let Some(best) = self.best_case_seconds(req.length) else {
                     stats.record_rejection(bucket);
+                    self.trace_instant(
+                        now,
+                        "reject",
+                        "queue",
+                        bucket as u32,
+                        reject_args("too_long"),
+                    );
                     responses.push(reject(req, RejectReason::TooLong));
                     continue;
                 };
@@ -253,13 +382,39 @@ impl Engine {
                     // up front instead of burning backend time.
                     stats.record_rejection(bucket);
                     stats.resilience.deadline_unmeetable += 1;
+                    self.trace_instant(
+                        now,
+                        "reject",
+                        "queue",
+                        bucket as u32,
+                        reject_args("deadline_unmeetable"),
+                    );
                     responses.push(reject(req, RejectReason::DeadlineUnmeetable));
                     continue;
                 }
                 match self.batcher.offer(req) {
-                    Ok(b) => stats.record_depth(b, self.batcher.depth(b)),
+                    Ok(b) => {
+                        stats.record_depth(b, self.batcher.depth(b));
+                        self.trace_instant(
+                            now,
+                            "enqueue",
+                            "queue",
+                            b as u32,
+                            vec![
+                                ("id", ArgValue::U64(id)),
+                                ("seq_len", ArgValue::U64(seq_len as u64)),
+                            ],
+                        );
+                    }
                     Err(req) => {
                         stats.record_rejection(bucket);
+                        self.trace_instant(
+                            now,
+                            "reject",
+                            "queue",
+                            bucket as u32,
+                            reject_args("queue_full"),
+                        );
                         responses.push(reject(req, RejectReason::QueueFull));
                     }
                 }
@@ -274,6 +429,13 @@ impl Engine {
                 let ev = self.plan.poisons()[next_poison];
                 next_poison += 1;
                 stats.resilience.poison_events += 1;
+                self.trace_instant(
+                    now,
+                    "queue_poison",
+                    "poison",
+                    ev.bucket as u32,
+                    vec![("bucket", ArgValue::U64(ev.bucket as u64))],
+                );
                 for q in self.batcher.poison_bucket(ev.bucket) {
                     let attempt = q.attempt + 1;
                     let cause = FoldError::QueuePoisoned { bucket: ev.bucket };
@@ -281,6 +443,16 @@ impl Engine {
                         stats.record_failure(ev.bucket);
                         responses.push(fail(q.request, terminal_error(cause, attempt)));
                     } else {
+                        self.trace_instant(
+                            now,
+                            "retry",
+                            "retry",
+                            ev.bucket as u32,
+                            vec![
+                                ("id", ArgValue::U64(q.request.id)),
+                                ("attempt", ArgValue::U64(u64::from(attempt))),
+                            ],
+                        );
                         self.batcher.requeue(QueuedRequest {
                             request: q.request,
                             attempt,
@@ -299,6 +471,13 @@ impl Engine {
             for r in self.batcher.expire(now) {
                 let bucket = self.batcher.policy().bucket_of(r.length);
                 stats.record_timeout(bucket);
+                self.trace_instant(
+                    now,
+                    "timeout",
+                    "timeout",
+                    bucket as u32,
+                    vec![("id", ArgValue::U64(r.id))],
+                );
                 responses.push(FoldResponse {
                     id: r.id,
                     name: r.name,
@@ -317,7 +496,12 @@ impl Engine {
 
         stats.finish(now);
         responses.sort_by_key(|r| r.id);
-        EngineOutcome { responses, stats }
+        let trace = self.run_trace.take().map(|rt| rt.tracer.drain());
+        EngineOutcome {
+            responses,
+            stats,
+            trace,
+        }
     }
 
     /// Resolves a finished in-flight batch: success (including absorbed
@@ -337,7 +521,29 @@ impl Engine {
             None | Some(DispatchFault::Stall { .. }) => {
                 if let Some(ev) = self.breakers[idx].on_success() {
                     stats.resilience.backends[idx].record_breaker(ev);
+                    self.trace_instant(
+                        now,
+                        breaker_event_label(ev),
+                        "breaker",
+                        BACKEND_TRACK_BASE + idx as u32,
+                        Vec::new(),
+                    );
                 }
+                self.trace_complete(
+                    f.start_seconds,
+                    now,
+                    "fold_batch",
+                    "kernel",
+                    BACKEND_TRACK_BASE + idx as u32,
+                    vec![
+                        ("bucket", ArgValue::U64(f.bucket as u64)),
+                        ("batch_size", ArgValue::U64(f.requests.len() as u64)),
+                        (
+                            "precision",
+                            ArgValue::Str(precision_label(f.precision).to_string()),
+                        ),
+                    ],
+                );
                 let latencies: Vec<f64> = f
                     .requests
                     .iter()
@@ -371,22 +577,42 @@ impl Engine {
                 }
             }
             Some(fault @ (DispatchFault::Transient | DispatchFault::WorkerPanic)) => {
-                let cause = match fault {
+                let (cause, fault_label) = match fault {
                     DispatchFault::Transient => {
                         stats.resilience.backends[idx].transients += 1;
-                        FoldError::Transient {
-                            backend: backend_name,
-                        }
+                        (
+                            FoldError::Transient {
+                                backend: backend_name,
+                            },
+                            "transient",
+                        )
                     }
                     _ => {
                         stats.resilience.backends[idx].panics += 1;
-                        FoldError::WorkerPanic {
-                            backend: backend_name,
-                        }
+                        (
+                            FoldError::WorkerPanic {
+                                backend: backend_name,
+                            },
+                            "worker_panic",
+                        )
                     }
                 };
+                self.trace_instant(
+                    now,
+                    fault_label,
+                    "fault",
+                    BACKEND_TRACK_BASE + idx as u32,
+                    vec![("bucket", ArgValue::U64(f.bucket as u64))],
+                );
                 if let Some(ev) = self.breakers[idx].on_failure(now) {
                     stats.resilience.backends[idx].record_breaker(ev);
+                    self.trace_instant(
+                        now,
+                        breaker_event_label(ev),
+                        "breaker",
+                        BACKEND_TRACK_BASE + idx as u32,
+                        Vec::new(),
+                    );
                 }
                 for q in f.requests {
                     let attempt = q.attempt + 1;
@@ -396,6 +622,17 @@ impl Engine {
                     } else {
                         stats.resilience.retries += 1;
                         let backoff = self.resilience.retry.backoff_seconds(q.request.id, attempt);
+                        self.trace_instant(
+                            now,
+                            "retry",
+                            "retry",
+                            f.bucket as u32,
+                            vec![
+                                ("id", ArgValue::U64(q.request.id)),
+                                ("attempt", ArgValue::U64(u64::from(attempt))),
+                                ("backoff_seconds", ArgValue::F64(backoff)),
+                            ],
+                        );
                         self.batcher.requeue(QueuedRequest {
                             request: q.request,
                             attempt,
@@ -503,6 +740,48 @@ impl Engine {
         self.breakers[idx].on_dispatch();
         stats.resilience.backends[idx].dispatches += 1;
         stats.resilience.backends[idx].record_precision(precision);
+        // Per-request queue_wait spans land on the bucket's track; the
+        // dispatch marker (and any degradation) on the backend's track.
+        for q in &batch {
+            let waited_from = q.request.arrival_seconds.max(q.earliest_seconds);
+            self.trace_complete(
+                waited_from,
+                now,
+                "queue_wait",
+                "queue",
+                bucket as u32,
+                vec![
+                    ("id", ArgValue::U64(q.request.id)),
+                    ("seq_len", ArgValue::U64(q.request.length as u64)),
+                ],
+            );
+        }
+        self.trace_instant(
+            now,
+            "dispatch",
+            "dispatch",
+            BACKEND_TRACK_BASE + idx as u32,
+            vec![
+                ("bucket", ArgValue::U64(bucket as u64)),
+                ("batch_size", ArgValue::U64(batch.len() as u64)),
+                (
+                    "precision",
+                    ArgValue::Str(precision_label(precision).to_string()),
+                ),
+            ],
+        );
+        if precision != ActPrecision::Fp32 {
+            self.trace_instant(
+                now,
+                "degrade",
+                "degradation",
+                BACKEND_TRACK_BASE + idx as u32,
+                vec![(
+                    "precision",
+                    ArgValue::Str(precision_label(precision).to_string()),
+                )],
+            );
+        }
         self.in_flight[idx] = Some(InFlight {
             finish_seconds,
             start_seconds: now,
@@ -992,6 +1271,96 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.responses, b.responses);
         assert_eq!(a.responses.len(), 24, "definite outcome per request");
+    }
+
+    #[test]
+    fn traced_chaos_run_is_byte_identical_and_covers_event_kinds() {
+        let spec = ChaosSpec {
+            worker_panics: 1,
+            poisons: vec![ln_fault::PoisonEvent {
+                bucket: 1,
+                at_seconds: 2.0,
+            }],
+            ..ChaosSpec::light(3)
+        };
+        let plan = FaultPlan::seeded("engine/trace", &spec);
+        let workload: Vec<FoldRequest> = (0..24)
+            .map(|i| req(i, 80 + (i as usize * 311) % 2000, i as f64 * 0.25, 300.0))
+            .collect();
+        let run = |w: &[FoldRequest]| {
+            let mut e = Engine::with_resilience(
+                small_policy(),
+                BatcherConfig::default(),
+                standard_backends(),
+                plan.clone(),
+                fast_retry(3),
+            );
+            e.set_tracing(true);
+            e.run(w)
+        };
+        let a = run(&workload);
+        let b = run(&workload);
+        let trace_a = a.trace.expect("tracing forced on");
+        let trace_b = b.trace.expect("tracing forced on");
+        let json_a = ln_obs::chrome_trace_json(&trace_a);
+        assert_eq!(json_a, ln_obs::chrome_trace_json(&trace_b));
+        for cat in ["queue", "dispatch", "kernel", "retry"] {
+            assert!(
+                trace_a.iter().any(|e| e.cat == cat),
+                "no {cat:?} events in trace"
+            );
+        }
+        assert!(trace_a.iter().any(|e| e.name == "enqueue"));
+        assert!(trace_a.iter().any(|e| e.name == "fold_batch"));
+
+        let mut untraced = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+            plan.clone(),
+            fast_retry(3),
+        );
+        untraced.set_tracing(false);
+        assert!(untraced.run(&workload).trace.is_none());
+    }
+
+    #[test]
+    fn degradation_shows_up_in_trace() {
+        let ln = LightNobelBackend::paper("LightNobel");
+        let n = {
+            use crate::backend::Backend as _;
+            ln.max_single_length()
+        };
+        let fraction = {
+            use crate::backend::Backend as _;
+            ln.batch_peak_bytes_at(&[n], ActPrecision::Int4) * 1.2 / ln.memory_capacity_bytes()
+        };
+        let plan = FaultPlan::builder()
+            .pressure(PressureWindow {
+                backend: 0,
+                start_seconds: 0.0,
+                end_seconds: 1e9,
+                available_fraction: fraction,
+            })
+            .build();
+        let mut e = Engine::with_resilience(
+            small_policy(),
+            BatcherConfig::default(),
+            single_lightnobel(),
+            plan,
+            ResilienceConfig::default(),
+        );
+        e.set_tracing(true);
+        let out = e.run(&[req(0, n, 0.0, 1e6)]);
+        let trace = out.trace.expect("tracing on");
+        let degrade = trace
+            .iter()
+            .find(|e| e.cat == "degradation")
+            .expect("degradation event recorded");
+        assert_eq!(
+            degrade.args[0],
+            ("precision", ln_obs::ArgValue::Str("int4".into()))
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::batcher::{Batcher, BatcherConfig, QueuedRequest};
 use crate::bucket::BucketPolicy;
 use crate::request::{FoldError, FoldOutcome, FoldRequest, FoldResponse};
 use crate::stats::{BatchRecord, ServeStats};
-use ln_fault::{CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
+use ln_fault::{BreakerEvent, CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
+use ln_obs::ArgValue;
 use ln_quant::ActPrecision;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -117,6 +118,27 @@ impl Shared {
                 Some(acc.map_or(t, |cur| cur.min(t)))
             })
     }
+}
+
+/// Backend tracks start here on the global wall-clock tracer (buckets use
+/// their own index), mirroring the deterministic engine's track layout.
+const BACKEND_TRACK_BASE: u32 = 100;
+
+fn precision_label(precision: ActPrecision) -> &'static str {
+    match precision {
+        ActPrecision::Fp32 => "fp32",
+        ActPrecision::Int8 => "int8",
+        ActPrecision::Int4 => "int4",
+    }
+}
+
+fn trace_breaker(idx: usize, event: BreakerEvent) {
+    let name = match event {
+        BreakerEvent::Opened => "breaker_open",
+        BreakerEvent::HalfOpened => "breaker_half_open",
+        BreakerEvent::Closed => "breaker_close",
+    };
+    ln_obs::tracer().instant(name, "breaker", BACKEND_TRACK_BASE + idx as u32, Vec::new());
 }
 
 /// Locks the service state, recovering from mutex poisoning: a worker that
@@ -249,6 +271,15 @@ impl FoldService {
             Ok(b) => {
                 let depth = st.batcher.depth(b);
                 st.stats.record_depth(b, depth);
+                ln_obs::tracer().instant(
+                    "enqueue",
+                    "queue",
+                    b as u32,
+                    vec![
+                        ("id", ArgValue::U64(id)),
+                        ("seq_len", ArgValue::U64(length as u64)),
+                    ],
+                );
             }
             Err(_) => {
                 st.stats.record_rejection(bucket);
@@ -326,6 +357,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
         // Time-driven breaker transition (open → half-open probe).
         if let Some(ev) = st.breakers[idx].poll(now) {
             st.stats.resilience.backends[idx].record_breaker(ev);
+            trace_breaker(idx, ev);
         }
 
         // Fire due queue poisons (any worker may process them): victims
@@ -366,6 +398,12 @@ fn worker(shared: Arc<Shared>, idx: usize) {
         for r in st.batcher.expire(now) {
             let bucket = st.batcher.policy().bucket_of(r.length);
             st.stats.record_timeout(bucket);
+            ln_obs::tracer().instant(
+                "timeout",
+                "timeout",
+                bucket as u32,
+                vec![("id", ArgValue::U64(r.id))],
+            );
             if let Some(p) = st.senders.remove(&r.id) {
                 let _ = p.tx.send(FoldResponse {
                     id: r.id,
@@ -445,6 +483,41 @@ fn worker(shared: Arc<Shared>, idx: usize) {
             };
             drop(st);
 
+            let obs = ln_obs::tracer();
+            let track = BACKEND_TRACK_BASE + idx as u32;
+            obs.instant(
+                "dispatch",
+                "dispatch",
+                track,
+                vec![
+                    ("bucket", ArgValue::U64(bucket as u64)),
+                    ("batch_size", ArgValue::U64(batch.len() as u64)),
+                    (
+                        "precision",
+                        ArgValue::Str(precision_label(precision).to_string()),
+                    ),
+                ],
+            );
+            if precision != ActPrecision::Fp32 {
+                obs.instant(
+                    "degrade",
+                    "degradation",
+                    track,
+                    vec![(
+                        "precision",
+                        ArgValue::Str(precision_label(precision).to_string()),
+                    )],
+                );
+            }
+            // Wall-clock span over the worker's device hold; reported
+            // latencies stay virtual, this only shapes the trace timeline.
+            let exec_span = obs.span_with(
+                "fold_batch",
+                "kernel",
+                track,
+                vec![("bucket", ArgValue::U64(bucket as u64))],
+            );
+
             // Execute with panic containment: an injected worker panic
             // actually unwinds here and is caught, so the thread survives
             // and the batch fails typed instead of poisoning the service.
@@ -459,6 +532,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                     thread::sleep(shared.config.dispatch_wall_delay);
                 }
             }));
+            drop(exec_span);
             let failure = match (&exec, fault) {
                 (Err(_), _) => Some(FoldError::WorkerPanic {
                     backend: backend.name().to_string(),
@@ -474,6 +548,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                 None => {
                     if let Some(ev) = st.breakers[idx].on_success() {
                         st.stats.resilience.backends[idx].record_breaker(ev);
+                        trace_breaker(idx, ev);
                     }
                     let latencies: Vec<f64> = batch
                         .iter()
@@ -528,6 +603,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                     }
                     if let Some(ev) = st.breakers[idx].on_failure(settle_now) {
                         st.stats.resilience.backends[idx].record_breaker(ev);
+                        trace_breaker(idx, ev);
                     }
                     for q in batch {
                         let attempt = q.attempt + 1;
@@ -550,6 +626,15 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                                 .resilience
                                 .retry
                                 .backoff_seconds(q.request.id, attempt);
+                            ln_obs::tracer().instant(
+                                "retry",
+                                "retry",
+                                bucket as u32,
+                                vec![
+                                    ("id", ArgValue::U64(q.request.id)),
+                                    ("attempt", ArgValue::U64(u64::from(attempt))),
+                                ],
+                            );
                             st.batcher.requeue(QueuedRequest {
                                 request: q.request,
                                 attempt,

@@ -7,6 +7,35 @@ use crate::bucket::BucketPolicy;
 use lightnobel::report::{fmt_pct, fmt_seconds, Table};
 use ln_fault::BreakerEvent;
 use ln_quant::ActPrecision;
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Registry handles for the service-wide `serve_*` metrics. Resolved once;
+/// every [`ServeStats`] update mirrors into these, so a Prometheus dump of
+/// [`ln_obs::registry()`] includes live serving totals.
+struct ServeMetrics {
+    completed: ln_obs::Counter,
+    rejected: ln_obs::Counter,
+    timed_out: ln_obs::Counter,
+    failed: ln_obs::Counter,
+    batches: ln_obs::Counter,
+    latency_nanos: ln_obs::Histogram,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = ln_obs::registry();
+        ServeMetrics {
+            completed: reg.counter("serve_completed_total"),
+            rejected: reg.counter("serve_rejected_total"),
+            timed_out: reg.counter("serve_timed_out_total"),
+            failed: reg.counter("serve_failed_total"),
+            batches: reg.counter("serve_batches_total"),
+            latency_nanos: reg.histogram("serve_latency_nanos"),
+        }
+    })
+}
 
 /// One dispatched batch (the unit of the deterministic schedule).
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +55,7 @@ pub struct BatchRecord {
 }
 
 /// Counters and samples for one length bucket.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct BucketStats {
     /// Requests folded to completion.
     pub completed: u64,
@@ -42,18 +71,45 @@ pub struct BucketStats {
     pub co_batched: u64,
     /// End-to-end latencies of completed requests, seconds.
     latencies: Vec<f64>,
+    /// Lazily sorted copy of `latencies` for percentile queries; `None`
+    /// whenever new latencies have been pushed since the last sort, so the
+    /// sort happens once per batch of queries instead of once per query.
+    sorted_latencies: RefCell<Option<Vec<f64>>>,
     depth_sum: f64,
     depth_samples: u64,
 }
 
+/// The percentile cache is derived state: two collectors with the same
+/// recorded samples are equal regardless of which has materialized its
+/// sorted copy.
+impl PartialEq for BucketStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.completed == other.completed
+            && self.rejected == other.rejected
+            && self.timed_out == other.timed_out
+            && self.failed == other.failed
+            && self.batches == other.batches
+            && self.co_batched == other.co_batched
+            && self.latencies == other.latencies
+            && self.depth_sum == other.depth_sum
+            && self.depth_samples == other.depth_samples
+    }
+}
+
 impl BucketStats {
-    /// Latency percentile (0.0–1.0) over completed requests.
+    /// Latency percentile (0.0–1.0) over completed requests. Sorts the
+    /// samples lazily on first query and reuses the sorted copy until the
+    /// next [`ServeStats::record_batch`] invalidates it.
     pub fn latency_percentile(&self, p: f64) -> Option<f64> {
         if self.latencies.is_empty() {
             return None;
         }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(f64::total_cmp);
+        let mut cache = self.sorted_latencies.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut sorted = self.latencies.clone();
+            sorted.sort_by(f64::total_cmp);
+            sorted
+        });
         let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
         Some(sorted[idx])
     }
@@ -200,16 +256,19 @@ impl ServeStats {
     /// Records a refused request.
     pub fn record_rejection(&mut self, bucket: usize) {
         self.buckets[bucket].rejected += 1;
+        serve_metrics().rejected.inc();
     }
 
     /// Records an expired request.
     pub fn record_timeout(&mut self, bucket: usize) {
         self.buckets[bucket].timed_out += 1;
+        serve_metrics().timed_out.inc();
     }
 
     /// Records a typed terminal failure.
     pub fn record_failure(&mut self, bucket: usize) {
         self.buckets[bucket].failed += 1;
+        serve_metrics().failed.inc();
     }
 
     /// Records a queue-depth observation.
@@ -226,6 +285,15 @@ impl ServeStats {
         b.co_batched += record.lengths.len() as u64;
         b.completed += latencies.len() as u64;
         b.latencies.extend_from_slice(latencies);
+        *b.sorted_latencies.borrow_mut() = None;
+        let metrics = serve_metrics();
+        metrics.batches.inc();
+        metrics.completed.add(latencies.len() as u64);
+        for &latency in latencies {
+            metrics
+                .latency_nanos
+                .record(ln_obs::seconds_to_nanos(latency));
+        }
         self.makespan_seconds = self.makespan_seconds.max(record.finish_seconds);
         self.batch_log.push(record);
     }
@@ -280,7 +348,7 @@ impl ServeStats {
         let mut all: Vec<f64> = self
             .buckets
             .iter()
-            .flat_map(|b| b.latencies.clone())
+            .flat_map(|b| b.latencies.iter().copied())
             .collect();
         if all.is_empty() {
             return None;
@@ -449,6 +517,59 @@ mod tests {
         assert_eq!(s.throughput(), 1.0);
         assert!((s.bucket(0).occupancy(2) - 0.75).abs() < 1e-12);
         assert!((s.availability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_cache_invalidates_on_push() {
+        let mut s = ServeStats::new(1);
+        s.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.bucket(0).latency_percentile(1.0), Some(3.0));
+        assert!(
+            s.bucket(0).sorted_latencies.borrow().is_some(),
+            "first query materializes the sorted cache"
+        );
+        s.record_batch(record(0, vec![11], 1.0, 2.0), &[9.0]);
+        assert!(
+            s.bucket(0).sorted_latencies.borrow().is_none(),
+            "push invalidates the cache"
+        );
+        assert_eq!(s.bucket(0).latency_percentile(1.0), Some(9.0));
+        assert_eq!(s.bucket(0).latency_percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn equality_ignores_percentile_cache() {
+        let mut a = ServeStats::new(1);
+        let mut b = ServeStats::new(1);
+        a.record_batch(record(0, vec![10], 0.0, 1.0), &[2.0, 1.0]);
+        b.record_batch(record(0, vec![10], 0.0, 1.0), &[2.0, 1.0]);
+        let _ = a.bucket(0).latency_percentile(0.5);
+        assert_eq!(a, b, "materialized cache must not affect equality");
+        b.record_batch(record(0, vec![11], 1.0, 2.0), &[5.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stats_mirror_into_obs_registry() {
+        let snap_before = ln_obs::registry().snapshot();
+        let completed_before = match snap_before.get("serve_completed_total") {
+            Some(ln_obs::MetricValue::Counter(n)) => *n,
+            _ => 0,
+        };
+        let mut s = ServeStats::new(1);
+        s.record_batch(record(0, vec![10, 20], 0.0, 1.0), &[1.0, 2.0]);
+        s.record_rejection(0);
+        let snap = ln_obs::registry().snapshot();
+        // Other tests in this binary record concurrently, so assert a lower
+        // bound rather than an exact delta.
+        match snap.get("serve_completed_total") {
+            Some(ln_obs::MetricValue::Counter(n)) => assert!(*n >= completed_before + 2),
+            other => panic!("serve_completed_total missing: {other:?}"),
+        }
+        match snap.get("serve_latency_nanos") {
+            Some(ln_obs::MetricValue::Histogram(h)) => assert!(h.count >= 2),
+            other => panic!("serve_latency_nanos missing: {other:?}"),
+        }
     }
 
     #[test]

@@ -8,12 +8,15 @@
 #   4. cargo test -q                                      (test suite)
 #   5. par_speedup --quick                                (ln-par smoke)
 #   6. chaos --quick                                      (ln-fault smoke)
+#   7. obs_overhead --quick                               (ln-obs cost gate)
 #
 # Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
 # its serial execution — never for missing speedup — so it stays meaningful
 # on single-core CI machines. Step 6 drives a fixed-seed FaultPlan through
 # the virtual-time engine and exits non-zero if any request hangs or the
-# resilience stats are not byte-identical across two runs.
+# resilience stats are not byte-identical across two runs. Step 7 measures
+# the LN_OBS=off instrumentation path against an uninstrumented baseline
+# loop and exits non-zero if the overhead exceeds 5%.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -33,6 +36,7 @@ step cargo build --release
 step cargo test -q
 step ./target/release/par_speedup --quick
 step ./target/release/chaos --quick
+step ./target/release/obs_overhead --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

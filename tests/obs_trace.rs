@@ -1,0 +1,117 @@
+//! Golden acceptance test for deterministic tracing (ln-obs).
+//!
+//! A seeded chaos run of the virtual-time [`Engine`] with tracing enabled
+//! must emit a Chrome-trace JSON document that is **byte-identical** across
+//! `ln-par` pool sizes 1/2/4: every event timestamp derives from the
+//! virtual schedule, never from wall time, so host parallelism cannot
+//! perturb the trace. The same trace must cover the full event vocabulary —
+//! queue, dispatch, kernel, retry, fault and degradation spans.
+
+use ln_datasets::Registry;
+use ln_fault::{ChaosSpec, FaultPlan, PoisonEvent, PressureWindow, ResilienceConfig};
+use ln_obs::TraceEvent;
+use ln_quant::ActPrecision;
+use ln_serve::{
+    standard_backends, Backend, BatcherConfig, BucketPolicy, Engine, FoldRequest,
+    LightNobelBackend, WorkloadSpec,
+};
+
+const SEED: &str = "obs/trace-workload";
+const PLAN_SEED: &str = "chaos/plan-h";
+
+/// One traced chaos run on an `ln-par` pool of `threads` executors,
+/// returning the raw events and their Chrome-trace rendering.
+fn traced_run(threads: usize) -> (Vec<TraceEvent>, String) {
+    let pool = ln_par::Pool::new(threads);
+    ln_par::with_pool(&pool, || {
+        let reg = Registry::standard();
+        let policy = BucketPolicy::from_registry(&reg, 4);
+        let mut workload = WorkloadSpec::cameo_casp_mix(120, 3.0)
+            .with_seed(SEED)
+            .synthesize(&reg);
+
+        // A sequence only the AAQ backend can hold, arriving under capacity
+        // pressure tight enough that only the INT4 degradation rung fits —
+        // guarantees a "degradation" span in the trace.
+        let ln = LightNobelBackend::paper("LightNobel");
+        let giant_len = ln.max_single_length();
+        let fraction = ln.batch_peak_bytes_at(&[giant_len], ActPrecision::Int4) * 1.2
+            / ln.memory_capacity_bytes();
+        let giant_id = workload.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
+        workload.push(FoldRequest {
+            id: giant_id,
+            name: "giant-under-pressure".to_string(),
+            length: giant_len,
+            arrival_seconds: 5.0,
+            timeout_seconds: 1e6,
+        });
+
+        let spec = ChaosSpec {
+            worker_panics: 1,
+            horizon_dispatches: 8,
+            pressure: vec![PressureWindow {
+                backend: 0,
+                start_seconds: 0.0,
+                end_seconds: 1e9,
+                available_fraction: fraction,
+            }],
+            poisons: vec![PoisonEvent {
+                bucket: 0,
+                at_seconds: 12.0,
+            }],
+            ..ChaosSpec::light(3)
+        };
+        let plan = FaultPlan::seeded(PLAN_SEED, &spec);
+
+        let mut engine = Engine::with_resilience(
+            policy,
+            BatcherConfig::default(),
+            standard_backends(),
+            plan,
+            ResilienceConfig::default(),
+        );
+        engine.set_tracing(true);
+        let out = engine.run(&workload);
+        let events = out.trace.expect("tracing was enabled");
+        let json = ln_obs::chrome_trace_json(&events);
+        (events, json)
+    })
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_pool_sizes() {
+    let (events, base) = traced_run(1);
+    assert!(!events.is_empty(), "a chaos run must emit trace events");
+    for threads in [2usize, 4] {
+        let (_, other) = traced_run(threads);
+        assert_eq!(
+            base, other,
+            "pool size {threads} perturbed the Chrome-trace JSON"
+        );
+    }
+
+    // The golden trace covers the whole event vocabulary of the serve loop.
+    for cat in [
+        "queue",
+        "dispatch",
+        "kernel",
+        "retry",
+        "fault",
+        "degradation",
+    ] {
+        assert!(
+            events.iter().any(|e| e.cat == cat),
+            "no {cat:?} span in the golden trace"
+        );
+    }
+    for name in ["enqueue", "fold_batch", "queue_wait"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "no {name:?} event in the golden trace"
+        );
+    }
+
+    // Well-formed, loadable Chrome-trace document.
+    assert!(base.starts_with("{\"traceEvents\":["));
+    assert!(base.ends_with("}"));
+}
