@@ -31,6 +31,9 @@ const ARBITRATION_FACTOR: f64 = 1.35;
 /// like `max_single_length`) only does atomic stores.
 struct StageObs {
     cycles: ln_obs::Gauge,
+    rmpu_cycles: ln_obs::Gauge,
+    vvpu_cycles: ln_obs::Gauge,
+    hbm_cycles: ln_obs::Gauge,
     hbm_bytes: ln_obs::Gauge,
 }
 
@@ -54,6 +57,11 @@ fn accel_obs() -> &'static AccelObs {
                     name,
                     StageObs {
                         cycles: reg.gauge(&ln_obs::labeled("accel_stage_cycles", &labels)),
+                        rmpu_cycles: reg
+                            .gauge(&ln_obs::labeled("accel_stage_rmpu_cycles", &labels)),
+                        vvpu_cycles: reg
+                            .gauge(&ln_obs::labeled("accel_stage_vvpu_cycles", &labels)),
+                        hbm_cycles: reg.gauge(&ln_obs::labeled("accel_stage_hbm_cycles", &labels)),
                         hbm_bytes: reg.gauge(&ln_obs::labeled("accel_stage_hbm_bytes", &labels)),
                     },
                 )
@@ -79,6 +87,11 @@ fn record_obs(report: &LatencyReport) {
     for s in &report.per_block_stages {
         if let Some(h) = obs.stages.get(s.stage.name()) {
             h.cycles.set(s.cycles() as f64);
+            // Per-resource occupancy cycles, so a roofline analysis
+            // (ln-insight) can recover attained-vs-peak ratios per stage.
+            h.rmpu_cycles.set(s.rmpu_cycles as f64);
+            h.vvpu_cycles.set(s.vvpu_cycles as f64);
+            h.hbm_cycles.set(s.hbm_cycles as f64);
             h.hbm_bytes.set(s.hbm_bytes as f64);
         }
     }
@@ -664,6 +677,18 @@ mod tests {
             }
             let key = ln_obs::labeled("accel_stage_hbm_bytes", &[("stage", stage)]);
             assert!(snap.contains_key(&key), "missing {key}");
+            for resource in ["rmpu", "vvpu", "hbm"] {
+                let key = ln_obs::labeled(
+                    &format!("accel_stage_{resource}_cycles"),
+                    &[("stage", stage)],
+                );
+                match snap.get(&key) {
+                    Some(ln_obs::MetricValue::Gauge(v)) => {
+                        assert!(*v >= 0.0, "negative {key}")
+                    }
+                    other => panic!("missing gauge {key}: {other:?}"),
+                }
+            }
         }
         match snap.get("accel_simulations_total") {
             Some(ln_obs::MetricValue::Counter(n)) => assert!(*n >= 1),

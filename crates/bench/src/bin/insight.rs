@@ -1,0 +1,283 @@
+//! insight — the analysis dashboard over everything the repo measures.
+//!
+//! Three sections, one markdown document:
+//!
+//! 1. **Critical path** — a seeded chaos run of the virtual-time serve
+//!    engine with tracing on, replayed through
+//!    [`ln_insight::CriticalPath`] into per-request queue / service /
+//!    fault-burn / backoff attributions with p50/p99 and a blame summary
+//!    (the live-trace analogue of the paper's Fig. 3 latency profile).
+//!    Virtual time makes the whole section byte-identical across hosts
+//!    and pool sizes.
+//! 2. **Roofline** — one `ln-accel` simulation at paper scale, classified
+//!    against the RMPU/VVPU/HBM ceilings of `HwConfig::paper()` via
+//!    [`ln_insight::RooflineReport`].
+//! 3. **Regression gate** — the committed `BENCH_PAR.json` /
+//!    `BENCH_OBS.json` plus this run's phase times, scored with
+//!    median + MAD thresholds against `benchmarks/history/`.
+//!
+//! The full run writes `BENCH_INSIGHT.json` at the repo root; `--quick`
+//! (ci.sh step 8) runs a smaller workload and exits non-zero if the gate
+//! fails, if any trace span cannot be attributed, or if the trace ring
+//! dropped events.
+
+use std::path::Path;
+
+use ln_accel::{Accelerator, HwConfig};
+use ln_bench::{banner, paper_note};
+use ln_datasets::Registry;
+use ln_fault::{ChaosSpec, FaultPlan, PoisonEvent, PressureWindow, ResilienceConfig};
+use ln_insight::regression::{self, BaselineStore, GateConfig, Sample};
+use ln_insight::{Ceilings, CriticalPath, RooflineReport};
+use ln_quant::ActPrecision;
+use ln_serve::{
+    standard_backends, Backend, BatcherConfig, BucketPolicy, Engine, FoldRequest,
+    LightNobelBackend, WorkloadSpec,
+};
+
+const SEED: &str = "obs/trace-workload";
+const PLAN_SEED: &str = "chaos/plan-h";
+
+/// Speedups at or below this in `BENCH_PAR.json` are surfaced as WARN
+/// lines (known slow kernels, e.g. tiny-geometry Evoformer at L=1024);
+/// they never fail the gate because they are part of the baselines.
+const MIN_SPEEDUP: f64 = 0.9;
+
+/// One traced chaos run of `n` requests plus the giant under-pressure
+/// request, identical in shape to `tests/obs_trace.rs` so the dashboard
+/// describes the same trace the golden test pins.
+fn traced_chaos_run(n: usize) -> (Vec<ln_obs::TraceEvent>, u64) {
+    let reg = Registry::standard();
+    let policy = BucketPolicy::from_registry(&reg, 4);
+    let mut workload = WorkloadSpec::cameo_casp_mix(n, 3.0)
+        .with_seed(SEED)
+        .synthesize(&reg);
+
+    // A sequence only the AAQ backend can hold, arriving under capacity
+    // pressure tight enough that only the INT4 rung fits — guarantees a
+    // degradation instant for the dashboard to count.
+    let ln = LightNobelBackend::paper("LightNobel");
+    let giant_len = ln.max_single_length();
+    let fraction =
+        ln.batch_peak_bytes_at(&[giant_len], ActPrecision::Int4) * 1.2 / ln.memory_capacity_bytes();
+    let giant_id = workload.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
+    workload.push(FoldRequest {
+        id: giant_id,
+        name: "giant-under-pressure".to_string(),
+        length: giant_len,
+        arrival_seconds: 5.0,
+        timeout_seconds: 1e6,
+    });
+
+    let spec = ChaosSpec {
+        worker_panics: 1,
+        horizon_dispatches: 8,
+        pressure: vec![PressureWindow {
+            backend: 0,
+            start_seconds: 0.0,
+            end_seconds: 1e9,
+            available_fraction: fraction,
+        }],
+        poisons: vec![PoisonEvent {
+            bucket: 0,
+            at_seconds: 12.0,
+        }],
+        ..ChaosSpec::light(3)
+    };
+    let plan = FaultPlan::seeded(PLAN_SEED, &spec);
+
+    let mut engine = Engine::with_resilience(
+        policy,
+        BatcherConfig::default(),
+        standard_backends(),
+        plan,
+        ResilienceConfig::default(),
+    );
+    engine.set_tracing(true);
+    let out = engine.run(&workload);
+    (out.trace.expect("tracing was enabled"), out.trace_dropped)
+}
+
+/// Parse one committed `BENCH_*.json` into gate samples; a missing or
+/// unparseable file contributes nothing (and says so).
+fn samples_from_file(path: &str) -> (Vec<Sample>, Option<ln_insight::json::Value>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("note: {path} not found; skipping its samples");
+        return (Vec::new(), None);
+    };
+    match ln_insight::json::parse(&text) {
+        Ok(doc) => (regression::bench_samples(&doc), Some(doc)),
+        Err(e) => {
+            println!("note: {path} failed to parse ({e}); skipping its samples");
+            (Vec::new(), None)
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    tag: &str,
+    cp: &CriticalPath,
+    roofline: &RooflineReport,
+    gate: &regression::RegressionReport,
+) -> std::io::Result<()> {
+    let (completed, failed, timed_out) = cp.terminal_summary();
+    let (queue_bound, compute_bound, retry_bound) = cp.blame_summary();
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"insight\",\n");
+    s.push_str(&format!("  \"tag\": \"{}\",\n", json_escape(tag)));
+    s.push_str(&format!(
+        "  \"requests\": {{\"total\": {}, \"completed\": {completed}, \"failed\": {failed}, \
+         \"timed_out\": {timed_out}}},\n",
+        cp.requests.len()
+    ));
+    s.push_str(&format!(
+        "  \"blame\": {{\"queue\": {queue_bound}, \"compute\": {compute_bound}, \
+         \"retry\": {retry_bound}}},\n"
+    ));
+    s.push_str("  \"phases\": [\n");
+    let phases = cp.phases();
+    for (i, (name, stats)) in phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"phase\": \"{name}\", \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"max_ns\": {}}}{}\n",
+            stats.total_nanos,
+            stats.p50_nanos,
+            stats.p99_nanos,
+            stats.max_nanos,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"roofline\": [\n");
+    for (i, stage) in roofline.stages.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"bound\": \"{}\", \"rmpu_frac\": {:.4}, \
+             \"vvpu_frac\": {:.4}, \"hbm_frac\": {:.4}}}{}\n",
+            json_escape(&stage.stage),
+            stage.bound.label(),
+            stage.rmpu_frac(),
+            stage.vvpu_frac(),
+            stage.hbm_frac(),
+            if i + 1 < roofline.stages.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"regression\": {{\"metrics\": {}, \"failures\": {}, \"no_baseline\": {}}},\n",
+        gate.verdicts.len(),
+        gate.failures(),
+        gate.no_baseline()
+    ));
+    s.push_str(&format!(
+        "  \"unattributed\": {}, \"truncated\": {}\n",
+        cp.unattributed.len(),
+        cp.truncated
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(if quick {
+        "insight --quick — critical-path + roofline + regression gate"
+    } else {
+        "insight — critical-path, roofline and regression dashboards"
+    });
+    paper_note(
+        "interprets the telemetry instead of just exporting it: per-request \
+         latency attribution from the engine trace (paper Fig. 3), roofline \
+         classification against the 32-RMPU/128-VVPU/2TB-s ceilings, and a \
+         median+MAD regression gate over the archived BENCH_*.json history",
+    );
+
+    let (n, sim_len) = if quick { (60, 512) } else { (120, 1024) };
+    let tag = format!("q{n}");
+
+    // 1. Critical path from a traced chaos run (virtual time; byte-stable).
+    let (events, dropped) = traced_chaos_run(n);
+    let cp = CriticalPath::analyze(&events, dropped);
+    println!("{}", cp.render_markdown());
+
+    // 2. Roofline from one paper-scale simulation's registry gauges.
+    let accel = Accelerator::new(HwConfig::paper());
+    let _report = accel.simulate(sim_len);
+    let hw = accel.hw();
+    let ceilings = Ceilings {
+        int8_tops: hw.int8_tops(),
+        hbm_gbps: hw.hbm_bandwidth_bytes_per_s / 1e9,
+        clock_ghz: hw.clock_ghz,
+    };
+    let snapshot = ln_obs::registry().snapshot();
+    let roofline = RooflineReport::from_snapshot(&snapshot, ceilings);
+    println!("{}", roofline.render_markdown());
+
+    // 3. Regression gate: committed BENCH files + this run's phase times
+    //    against the archived history.
+    let (store, history_files) =
+        BaselineStore::load_dir(Path::new("benchmarks/history")).expect("read benchmarks/history");
+    let mut current = Vec::new();
+    let (par_samples, par_doc) = samples_from_file("BENCH_PAR.json");
+    let (obs_samples, _) = samples_from_file("BENCH_OBS.json");
+    current.extend(par_samples);
+    current.extend(obs_samples);
+    current.extend(cp.samples(&tag));
+    let gate = regression::evaluate(GateConfig::default(), &store, &current);
+    println!("{}", gate.render_markdown());
+    println!(
+        "history: {history_files} archived documents; {} current metrics \
+         ({} without baseline)",
+        gate.verdicts.len(),
+        gate.no_baseline()
+    );
+
+    // Known-slow kernels are warnings, not failures: they are already in
+    // the baselines, so the gate would never flag them on its own.
+    if let Some(doc) = &par_doc {
+        for warning in regression::speedup_warnings(doc, MIN_SPEEDUP) {
+            println!("{warning}");
+        }
+    }
+
+    if !quick {
+        write_json("BENCH_INSIGHT.json", &tag, &cp, &roofline, &gate)
+            .expect("write BENCH_INSIGHT.json");
+        println!("wrote BENCH_INSIGHT.json");
+    }
+
+    let mut bad = false;
+    if gate.failures() > 0 {
+        eprintln!(
+            "REGRESSION: {} metric(s) beyond the median+MAD threshold",
+            gate.failures()
+        );
+        bad = true;
+    }
+    if !cp.unattributed.is_empty() {
+        eprintln!(
+            "UNATTRIBUTED: {} trace span(s) the critical-path replay could not place:",
+            cp.unattributed.len()
+        );
+        for line in cp.unattributed.iter().take(10) {
+            eprintln!("  {line}");
+        }
+        bad = true;
+    }
+    if cp.truncated {
+        eprintln!("TRUNCATED: the trace ring dropped {dropped} event(s); analysis is partial");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!("insight gate clean: all spans attributed, no regressions");
+}

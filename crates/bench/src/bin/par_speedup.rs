@@ -40,6 +40,24 @@ impl BenchResult {
     }
 }
 
+/// Speedups at or below this are called out as WARN lines (a ≥10%
+/// slowdown under the pool) and classified by the `insight` regression
+/// report — loudly visible, but not a gate failure on single-core hosts.
+const SLOWDOWN_WARN_SPEEDUP: f64 = 0.9;
+
+/// Worst observed speedup per kernel across all sizes, in first-seen
+/// kernel order.
+fn kernel_min_speedups(results: &[BenchResult]) -> Vec<(&'static str, f64)> {
+    let mut mins: Vec<(&'static str, f64)> = Vec::new();
+    for r in results {
+        match mins.iter_mut().find(|(k, _)| *k == r.kernel) {
+            Some((_, m)) => *m = m.min(r.speedup()),
+            None => mins.push((r.kernel, r.speedup())),
+        }
+    }
+    mins
+}
+
 /// Best-of-`reps` wall time for `f`, returning the last result.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
@@ -165,6 +183,17 @@ fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::R
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    // Per-kernel worst case, so regression tooling can flag kernels that
+    // run *slower* under the pool without re-deriving it from the rows.
+    s.push_str("  \"kernel_min_speedup\": [\n");
+    let mins = kernel_min_speedups(results);
+    for (i, (kernel, min)) in mins.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"min_speedup\": {min:.3}}}{}\n",
+            if i + 1 < mins.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     std::fs::write(path, s)
 }
@@ -237,6 +266,18 @@ fn main() {
         threads,
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+
+    for r in &results {
+        if r.speedup() <= SLOWDOWN_WARN_SPEEDUP {
+            println!(
+                "WARN: {} at L={} runs at {:.3}x under the parallel pool (slowdown >= {:.0}%)",
+                r.kernel,
+                r.l,
+                r.speedup(),
+                (1.0 - SLOWDOWN_WARN_SPEEDUP) * 100.0
+            );
+        }
+    }
 
     let diverged: Vec<&BenchResult> = results.iter().filter(|r| !r.bitwise_identical).collect();
     if !quick {

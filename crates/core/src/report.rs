@@ -190,6 +190,10 @@ pub fn kernel_table() -> Table {
 /// count, mean and the p50/p99 bucket upper bounds; empty sections render
 /// headers only, matching [`kernel_table`]'s convention.
 pub fn obs_tables() -> Vec<Table> {
+    // Force-register the trace-drop counter so the row renders even at
+    // zero: a report must state "no trace events were dropped" explicitly,
+    // or a truncated trace could masquerade as a complete one.
+    ln_obs::trace_dropped_total();
     let snap = ln_obs::registry().snapshot();
     let mut counters = Table::new(["counter", "value"]).with_title("obs counters");
     let mut gauges = Table::new(["gauge", "value"]).with_title("obs gauges");
@@ -245,6 +249,10 @@ mod tests {
         assert!(all.contains("report_test_gauge"), "{all}");
         assert!(all.contains("report_test_hist"), "{all}");
         assert!(all.contains("== obs counters =="));
+        assert!(
+            all.contains("obs_trace_dropped_total"),
+            "the trace-drop counter must render even at zero:\n{all}"
+        );
     }
 
     #[test]

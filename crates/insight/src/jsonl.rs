@@ -1,0 +1,223 @@
+//! Lossless re-ingestion of the `ln-obs` JSONL trace export.
+//!
+//! [`ln_obs::jsonl_events`] writes one object per line with integer
+//! `ts_ns`/`dur_ns` fields; this module parses that text back into
+//! [`TraceEvent`]s so the analyses in [`crate::timeline`] can run on a
+//! trace that went through a file or a pipe. The round trip is exact
+//! for every finite argument value: `u64` nanoseconds are parsed as
+//! integers (see [`crate::json::Value::UInt`]), and the exporter renders
+//! integral `f64` args with a trailing `.0` so their type survives.
+//! Non-finite floats (`NaN`/`±Inf`) export as quoted strings and come
+//! back as [`ArgValue::Str`] — the one documented lossy corner.
+
+use ln_obs::{ArgValue, TraceEvent, TracePhase};
+
+use crate::json::{self, Value};
+
+/// `TraceEvent.cat` and arg keys are `&'static str`; parsed strings that
+/// match the known serve/par/bench vocabulary are interned to the static
+/// literal. Unknown names fall back to `String::leak`, which is safe and
+/// bounded in practice by the number of *distinct* unknown names in the
+/// ingested trace (analysis tooling runs once per process).
+fn intern(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        // Categories used by the serve engine, ln-par and the benches.
+        "queue",
+        "dispatch",
+        "kernel",
+        "retry",
+        "fault",
+        "breaker",
+        "degradation",
+        "poison",
+        "timeout",
+        "span",
+        "bench",
+        "test",
+        // Argument keys.
+        "id",
+        "seq_len",
+        "bucket",
+        "batch_size",
+        "precision",
+        "reason",
+        "attempt",
+        "backoff_seconds",
+        "why",
+        "rows",
+        "label",
+        "threads",
+    ];
+    match KNOWN.iter().find(|k| **k == s) {
+        Some(k) => k,
+        None => String::leak(s.to_string()),
+    }
+}
+
+fn field<'a>(obj: &'a Value, key: &str, line_no: usize) -> Result<&'a Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("line {line_no}: missing field {key:?}"))
+}
+
+/// Parse a JSONL trace document (one event object per non-empty line)
+/// back into [`TraceEvent`]s. Errors carry the 1-based line number.
+pub fn parse_events(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+
+        let name = field(&obj, "name", line_no)?
+            .as_str()
+            .ok_or_else(|| format!("line {line_no}: name is not a string"))?
+            .to_string();
+        let cat = intern(
+            field(&obj, "cat", line_no)?
+                .as_str()
+                .ok_or_else(|| format!("line {line_no}: cat is not a string"))?,
+        );
+        let ts_nanos = field(&obj, "ts_ns", line_no)?
+            .as_u64()
+            .ok_or_else(|| format!("line {line_no}: ts_ns is not a u64"))?;
+        let track_u64 = field(&obj, "track", line_no)?
+            .as_u64()
+            .ok_or_else(|| format!("line {line_no}: track is not a u64"))?;
+        let track = u32::try_from(track_u64)
+            .map_err(|_| format!("line {line_no}: track {track_u64} exceeds u32"))?;
+
+        let ph = field(&obj, "ph", line_no)?
+            .as_str()
+            .ok_or_else(|| format!("line {line_no}: ph is not a string"))?;
+        let phase = match ph {
+            "B" => TracePhase::Begin,
+            "E" => TracePhase::End,
+            "i" => TracePhase::Instant,
+            "X" => {
+                let dur_nanos = field(&obj, "dur_ns", line_no)?
+                    .as_u64()
+                    .ok_or_else(|| format!("line {line_no}: dur_ns is not a u64"))?;
+                TracePhase::Complete { dur_nanos }
+            }
+            other => return Err(format!("line {line_no}: unknown phase {other:?}")),
+        };
+
+        let mut args = Vec::new();
+        if let Some(raw) = obj.get("args") {
+            let members = raw
+                .as_obj()
+                .ok_or_else(|| format!("line {line_no}: args is not an object"))?;
+            for (key, value) in members {
+                let arg = match value {
+                    Value::UInt(u) => ArgValue::U64(*u),
+                    Value::Float(f) => ArgValue::F64(*f),
+                    Value::Str(s) => ArgValue::Str(s.clone()),
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: unsupported arg value {other:?} for {key:?}"
+                        ))
+                    }
+                };
+                args.push((intern(key), arg));
+            }
+        }
+
+        events.push(TraceEvent {
+            name,
+            cat,
+            phase,
+            ts_nanos,
+            track,
+            args,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_events;
+    use ln_obs::{jsonl_events, ArgValue, TraceEvent, TracePhase};
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "queue_wait".into(),
+                cat: "queue",
+                phase: TracePhase::Complete { dur_nanos: 1_500 },
+                ts_nanos: (1u64 << 60) + 1, // not representable in f64
+                track: 3,
+                args: vec![("id", ArgValue::U64(7)), ("seq_len", ArgValue::U64(512))],
+            },
+            TraceEvent {
+                name: "retry \"x\"\n".into(),
+                cat: "retry",
+                phase: TracePhase::Instant,
+                ts_nanos: 0,
+                track: 101,
+                args: vec![
+                    ("attempt", ArgValue::U64(2)),
+                    ("backoff_seconds", ArgValue::F64(2.0)),
+                    ("why", ArgValue::Str("panic\t\"quoted\"".into())),
+                ],
+            },
+            TraceEvent {
+                name: "begin".into(),
+                cat: "span",
+                phase: TracePhase::Begin,
+                ts_nanos: 5,
+                track: 0,
+                args: vec![],
+            },
+            TraceEvent {
+                name: "end".into(),
+                cat: "span",
+                phase: TracePhase::End,
+                ts_nanos: 9,
+                track: 0,
+                args: vec![("frac", ArgValue::F64(0.125))],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let original = sample();
+        let text = jsonl_events(&original);
+        let parsed = parse_events(&text).expect("re-ingest own JSONL");
+        assert_eq!(parsed, original);
+        // And the re-serialization is byte-identical — a full fixed point.
+        assert_eq!(jsonl_events(&parsed), text);
+    }
+
+    #[test]
+    fn unknown_names_are_interned_not_rejected() {
+        let events = vec![TraceEvent {
+            name: "custom".into(),
+            cat: "somewhere-new",
+            phase: TracePhase::Instant,
+            ts_nanos: 1,
+            track: 0,
+            args: vec![("novel_key", ArgValue::U64(1))],
+        }];
+        let parsed = parse_events(&jsonl_events(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        let err = parse_events(
+            "{\"name\":\"a\",\"cat\":\"queue\",\"ph\":\"i\",\"ts_ns\":1,\"track\":0}\nnot json\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "unexpected error: {err}");
+
+        let err = parse_events(
+            "{\"name\":\"a\",\"cat\":\"queue\",\"ph\":\"X\",\"ts_ns\":1,\"track\":0}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("dur_ns"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,561 @@
+//! Noise-aware regression gating over archived benchmark documents.
+//!
+//! `scripts/bench.sh` archives every `BENCH_*.json` it produces into
+//! `benchmarks/history/<name>-<git sha>.json`; [`BaselineStore::load_dir`]
+//! ingests that directory into per-metric sample vectors, and
+//! [`evaluate`] compares the current run against the history with a
+//! median + MAD threshold:
+//!
+//! ```text
+//! threshold = median + max(median · rel_pct/100, mad_k · 1.4826 · MAD)
+//! ```
+//!
+//! Every gated metric is lower-is-better (seconds, ns/op, percentile
+//! nanoseconds). With one archived sample the MAD term is zero and the
+//! gate degenerates to a plain relative threshold (default 10%); as
+//! history accumulates, the `1.4826 · MAD` term (the robust σ estimate
+//! for normally distributed noise) widens the gate exactly where the
+//! benchmark is genuinely noisy, so jitter doesn't page anyone while a
+//! real slowdown still fails. Metrics with no baseline pass as
+//! [`Status::NoBaseline`] — a new benchmark can't regress.
+//!
+//! Speedup classification is separate from gating: the known ln-par
+//! slowdown (`evoformer_block` at L=1024 runs at 0.598× under the
+//! parallel pool) is *already in the baselines*, so the gate will not
+//! fail on it — [`speedup_warnings`] surfaces it as a WARN
+//! classification instead, the same WARN `par_speedup` itself now
+//! prints.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::json::Value;
+
+/// Scale factor turning a MAD into a σ estimate under normal noise.
+const MAD_SIGMA: f64 = 1.4826;
+
+/// One lower-is-better measurement from the current run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Hierarchical metric name, e.g. `par_speedup/evoformer_block/L1024/parallel_seconds`.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Relative slowdown floor, percent of the baseline median.
+    pub rel_pct: f64,
+    /// How many robust sigmas of history noise to tolerate.
+    pub mad_k: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            rel_pct: 10.0,
+            mad_k: 3.0,
+        }
+    }
+}
+
+/// Outcome of gating one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within threshold.
+    Pass,
+    /// No archived history for this metric; passes trivially.
+    NoBaseline,
+    /// Significant slowdown.
+    Fail,
+}
+
+/// One metric's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Metric name.
+    pub metric: String,
+    /// Current value.
+    pub current: f64,
+    /// Baseline median (0 when no baseline).
+    pub baseline: f64,
+    /// Median absolute deviation of the history.
+    pub mad: f64,
+    /// The computed failure threshold (infinite when no baseline).
+    pub threshold: f64,
+    /// Pass / no-baseline / fail.
+    pub status: Status,
+}
+
+/// The full gate report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionReport {
+    /// Per-metric verdicts, in input order.
+    pub verdicts: Vec<Verdict>,
+    /// The gate configuration used.
+    pub config: GateConfig,
+}
+
+impl RegressionReport {
+    /// Number of failing metrics.
+    pub fn failures(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.status == Status::Fail)
+            .count()
+    }
+
+    /// Number of metrics with no baseline.
+    pub fn no_baseline(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.status == Status::NoBaseline)
+            .count()
+    }
+
+    /// Deterministic markdown: a summary line, then one row per
+    /// *interesting* metric (failures always; passes only when within 2×
+    /// of the threshold margin, to keep the table readable).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Regression gate — {} metrics, {} failing, {} without baseline \
+             (median + max({:.0}% , {:.0}·1.4826·MAD))\n\n",
+            self.verdicts.len(),
+            self.failures(),
+            self.no_baseline(),
+            self.config.rel_pct,
+            self.config.mad_k,
+        ));
+        let mut shown = 0usize;
+        for v in &self.verdicts {
+            if v.status != Status::Fail {
+                continue;
+            }
+            if shown == 0 {
+                out.push_str("| metric | current | baseline | threshold | status |\n");
+                out.push_str("|---|---|---|---|---|\n");
+            }
+            shown += 1;
+            out.push_str(&format!(
+                "| {} | {:.6} | {:.6} | {:.6} | FAIL |\n",
+                v.metric, v.current, v.baseline, v.threshold
+            ));
+        }
+        if shown == 0 {
+            out.push_str("no regressions against the archived baselines\n");
+        }
+        out
+    }
+}
+
+/// Median of a sample set (empty → 0). Even counts average the middle
+/// pair, matching the usual definition.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Archived per-metric history, keyed by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineStore {
+    /// Metric → archived values (one per history file mentioning it).
+    pub history: BTreeMap<String, Vec<f64>>,
+}
+
+impl BaselineStore {
+    /// An empty store (everything gates as [`Status::NoBaseline`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one parsed benchmark document into the store.
+    pub fn add_document(&mut self, doc: &Value) {
+        for sample in bench_samples(doc) {
+            self.history
+                .entry(sample.metric)
+                .or_default()
+                .push(sample.value);
+        }
+    }
+
+    /// Load every `*.json` in `dir` (sorted by file name, so the store is
+    /// deterministic), returning the store and how many files parsed.
+    /// A missing directory yields an empty store, not an error; files
+    /// that fail to parse are skipped.
+    pub fn load_dir(dir: &Path) -> io::Result<(Self, usize)> {
+        let mut store = Self::new();
+        let mut parsed = 0usize;
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((store, 0)),
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Ok(doc) = crate::json::parse(&text) {
+                store.add_document(&doc);
+                parsed += 1;
+            }
+        }
+        Ok((store, parsed))
+    }
+}
+
+/// Gate `current` against `store`: one [`Verdict`] per sample.
+///
+/// A sample fails when it is at or beyond
+/// `median + max(median · rel_pct/100, mad_k · 1.4826 · MAD)` *and*
+/// strictly worse than the median (so a zero-width threshold on constant
+/// history never fails an identical value).
+pub fn evaluate(config: GateConfig, store: &BaselineStore, current: &[Sample]) -> RegressionReport {
+    let mut verdicts = Vec::with_capacity(current.len());
+    for sample in current {
+        let history = store
+            .history
+            .get(&sample.metric)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        if history.is_empty() {
+            verdicts.push(Verdict {
+                metric: sample.metric.clone(),
+                current: sample.value,
+                baseline: 0.0,
+                mad: 0.0,
+                threshold: f64::INFINITY,
+                status: Status::NoBaseline,
+            });
+            continue;
+        }
+        let m = median(history);
+        let spread = mad(history);
+        let slack = (m.abs() * config.rel_pct / 100.0).max(config.mad_k * MAD_SIGMA * spread);
+        let threshold = m + slack;
+        let status = if sample.value > m && sample.value >= threshold {
+            Status::Fail
+        } else {
+            Status::Pass
+        };
+        verdicts.push(Verdict {
+            metric: sample.metric.clone(),
+            current: sample.value,
+            baseline: m,
+            mad: spread,
+            threshold,
+            status,
+        });
+    }
+    RegressionReport { verdicts, config }
+}
+
+/// Extract the gateable (lower-is-better) samples from one parsed
+/// benchmark document, dispatching on its `"bench"` field. Unknown
+/// document kinds yield nothing — the gate only scores what it
+/// understands.
+pub fn bench_samples(doc: &Value) -> Vec<Sample> {
+    match doc.get("bench").and_then(Value::as_str) {
+        Some("par_speedup") => par_speedup_samples(doc),
+        Some("obs_overhead") => obs_overhead_samples(doc),
+        Some("insight") => insight_samples(doc),
+        _ => Vec::new(),
+    }
+}
+
+fn push_num(out: &mut Vec<Sample>, obj: &Value, key: &str, metric: String) {
+    if let Some(v) = obj.get(key).and_then(Value::as_f64) {
+        out.push(Sample { metric, value: v });
+    }
+}
+
+fn par_speedup_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for result in doc.get("results").and_then(Value::as_arr).unwrap_or(&[]) {
+        let (Some(kernel), Some(l)) = (
+            result.get("kernel").and_then(Value::as_str),
+            result.get("l").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let prefix = format!("par_speedup/{kernel}/L{l}");
+        push_num(
+            &mut out,
+            result,
+            "serial_seconds",
+            format!("{prefix}/serial_seconds"),
+        );
+        push_num(
+            &mut out,
+            result,
+            "parallel_seconds",
+            format!("{prefix}/parallel_seconds"),
+        );
+    }
+    out
+}
+
+fn obs_overhead_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for event in doc.get("events").and_then(Value::as_arr).unwrap_or(&[]) {
+        let (Some(name), Some(level)) = (
+            event.get("event").and_then(Value::as_str),
+            event.get("level").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        push_num(
+            &mut out,
+            event,
+            "ns_per_op",
+            format!("obs_overhead/{name}@{level}/ns_per_op"),
+        );
+    }
+    out
+}
+
+fn insight_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let Some(tag) = doc.get("tag").and_then(Value::as_str) else {
+        return out;
+    };
+    for phase in doc.get("phases").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(name) = phase.get("phase").and_then(Value::as_str) else {
+            continue;
+        };
+        push_num(
+            &mut out,
+            phase,
+            "p50_ns",
+            format!("insight/{tag}/{name}/p50_ns"),
+        );
+        push_num(
+            &mut out,
+            phase,
+            "p99_ns",
+            format!("insight/{tag}/{name}/p99_ns"),
+        );
+    }
+    out
+}
+
+/// WARN-level speedup classification of a `par_speedup` document: every
+/// `(kernel, L)` whose pool speedup is at or below `min_speedup` (i.e. a
+/// slowdown of ≥ `1 - min_speedup`). These are *known* characteristics
+/// baked into the baselines — surfaced loudly, but not gate failures.
+pub fn speedup_warnings(doc: &Value, min_speedup: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    if doc.get("bench").and_then(Value::as_str) != Some("par_speedup") {
+        return out;
+    }
+    for result in doc.get("results").and_then(Value::as_arr).unwrap_or(&[]) {
+        let (Some(kernel), Some(l), Some(speedup)) = (
+            result.get("kernel").and_then(Value::as_str),
+            result.get("l").and_then(Value::as_f64),
+            result.get("speedup").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        if speedup <= min_speedup {
+            out.push(format!(
+                "WARN: {kernel} at L={l} runs at {speedup:.3}x under the parallel pool \
+                 (slowdown >= {:.0}%)",
+                (1.0 - min_speedup) * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample(metric: &str, value: f64) -> Sample {
+        Sample {
+            metric: metric.to_string(),
+            value,
+        }
+    }
+
+    fn store_with(metric: &str, values: &[f64]) -> BaselineStore {
+        let mut store = BaselineStore::new();
+        store.history.insert(metric.to_string(), values.to_vec());
+        store
+    }
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), 0.0);
+        // values {1,2,4,6,9}: median 4, |dev| {3,2,0,2,5} → MAD 2.
+        assert_eq!(mad(&[1.0, 2.0, 4.0, 6.0, 9.0]), 2.0);
+    }
+
+    /// The acceptance fixture: an injected ≥10% slowdown must fail while
+    /// the identical value passes.
+    #[test]
+    fn injected_ten_percent_slowdown_fails_the_gate() {
+        let store = store_with("k/parallel_seconds", &[1.0]);
+        let cfg = GateConfig::default();
+
+        let ok = evaluate(cfg, &store, &[sample("k/parallel_seconds", 1.0)]);
+        assert_eq!(ok.failures(), 0);
+        assert_eq!(ok.verdicts[0].status, Status::Pass);
+
+        // Exactly +10% is already a failure (>= threshold)...
+        let exactly = evaluate(cfg, &store, &[sample("k/parallel_seconds", 1.10)]);
+        assert_eq!(exactly.failures(), 1);
+        // ...and so is anything beyond.
+        let beyond = evaluate(cfg, &store, &[sample("k/parallel_seconds", 1.2)]);
+        assert_eq!(beyond.failures(), 1);
+        assert!(beyond.render_markdown().contains("| k/parallel_seconds |"));
+
+        // +9% stays within the gate.
+        let under = evaluate(cfg, &store, &[sample("k/parallel_seconds", 1.09)]);
+        assert_eq!(under.failures(), 0);
+    }
+
+    #[test]
+    fn noisy_history_widens_the_gate_via_mad() {
+        // History spread: median 1.0, MAD 0.08 → 3·1.4826·0.08 ≈ 0.356
+        // dominates the 10% floor, so a +20% value passes here while it
+        // would fail against tight history.
+        let noisy = store_with("m", &[0.84, 0.92, 1.0, 1.08, 1.16]);
+        let report = evaluate(GateConfig::default(), &noisy, &[sample("m", 1.2)]);
+        assert_eq!(report.failures(), 0);
+
+        let tight = store_with("m", &[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let report = evaluate(GateConfig::default(), &tight, &[sample("m", 1.2)]);
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn faster_is_never_a_failure_and_new_metrics_pass() {
+        let store = store_with("m", &[1.0]);
+        let report = evaluate(
+            GateConfig::default(),
+            &store,
+            &[sample("m", 0.5), sample("brand_new", 99.0)],
+        );
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.verdicts[0].status, Status::Pass);
+        assert_eq!(report.verdicts[1].status, Status::NoBaseline);
+        assert_eq!(report.no_baseline(), 1);
+    }
+
+    #[test]
+    fn constant_zero_history_never_fails_an_identical_value() {
+        let store = store_with("m", &[0.0, 0.0, 0.0]);
+        let report = evaluate(GateConfig::default(), &store, &[sample("m", 0.0)]);
+        assert_eq!(report.failures(), 0, "value == median must pass");
+    }
+
+    #[test]
+    fn par_speedup_documents_flatten_to_seconds_metrics() {
+        let doc = json::parse(
+            r#"{"bench": "par_speedup", "threads": 2, "results": [
+                {"kernel": "matmul", "l": 256, "serial_seconds": 0.5,
+                 "parallel_seconds": 0.3, "speedup": 1.667, "bitwise_identical": true},
+                {"kernel": "evoformer_block", "l": 1024, "serial_seconds": 2.0,
+                 "parallel_seconds": 3.344, "speedup": 0.598, "bitwise_identical": true}
+            ]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&doc);
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].metric, "par_speedup/matmul/L256/serial_seconds");
+        assert_eq!(
+            samples[3].metric,
+            "par_speedup/evoformer_block/L1024/parallel_seconds"
+        );
+        assert_eq!(samples[3].value, 3.344);
+
+        let warns = speedup_warnings(&doc, 0.9);
+        assert_eq!(warns.len(), 1);
+        assert!(
+            warns[0].contains("evoformer_block at L=1024 runs at 0.598x"),
+            "{}",
+            warns[0]
+        );
+    }
+
+    #[test]
+    fn obs_and_insight_documents_flatten_too() {
+        let obs = json::parse(
+            r#"{"bench": "obs_overhead", "off_mode": {"delta_pct": 1.0},
+                "events": [{"event": "counter_add", "level": "counters", "ns_per_op": 6.1}]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&obs);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(
+            samples[0].metric,
+            "obs_overhead/counter_add@counters/ns_per_op"
+        );
+
+        let insight = json::parse(
+            r#"{"bench": "insight", "tag": "q120", "phases": [
+                {"phase": "queue", "p50_ns": 100, "p99_ns": 900}
+            ]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&insight);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].metric, "insight/q120/queue/p50_ns");
+        assert_eq!(samples[1].value, 900.0);
+
+        // Unknown kinds contribute nothing.
+        let other = json::parse(r#"{"bench": "mystery", "x": 1}"#).unwrap();
+        assert!(bench_samples(&other).is_empty());
+    }
+
+    #[test]
+    fn store_round_trips_documents_and_gates_self_identically() {
+        let text = r#"{"bench": "par_speedup", "results": [
+            {"kernel": "k", "l": 64, "serial_seconds": 0.1, "parallel_seconds": 0.05, "speedup": 2.0}
+        ]}"#;
+        let doc = json::parse(text).unwrap();
+        let mut store = BaselineStore::new();
+        store.add_document(&doc);
+        let current = bench_samples(&doc);
+        let report = evaluate(GateConfig::default(), &store, &current);
+        assert_eq!(
+            report.failures(),
+            0,
+            "a run must never regress against itself"
+        );
+        assert_eq!(report.no_baseline(), 0);
+    }
+}

@@ -28,16 +28,19 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-/// Deterministic `f64` formatting shared by every exporter: integers render
-/// without a fraction, everything else via Rust's shortest round-trip `{}`.
+/// Deterministic `f64` formatting shared by every exporter: finite values
+/// via Rust's shortest round-trip `{}`, except that integral values keep a
+/// `.0` suffix so a reader can reconstruct the type — `ArgValue::F64(2.0)`
+/// must not come back as an integer when the JSONL stream is re-ingested
+/// (`ln-insight` relies on this for lossless round trips).
 fn fmt_f64(value: f64, out: &mut String) {
     if value.is_nan() {
         out.push_str("\"NaN\"");
     } else if value.is_infinite() {
         out.push_str(if value > 0.0 { "\"+Inf\"" } else { "\"-Inf\"" });
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        let _ = write!(out, "{value:.1}");
     } else {
-        // Rust's shortest round-trip formatting; integers render without a
-        // fraction, which Chrome and Prometheus both accept.
         let _ = write!(out, "{value}");
     }
 }
@@ -267,6 +270,26 @@ mod tests {
                 "],\"displayTimeUnit\":\"ms\"}",
             )
         );
+    }
+
+    #[test]
+    fn fmt_f64_keeps_float_typing_and_handles_non_finite() {
+        let mut out = String::new();
+        for (value, expected) in [
+            (2.0, "2.0"),
+            (-3.0, "-3.0"),
+            (0.0, "0.0"),
+            (0.5, "0.5"),
+            (-1.25, "-1.25"),
+            (f64::NAN, "\"NaN\""),
+            (f64::INFINITY, "\"+Inf\""),
+            (f64::NEG_INFINITY, "\"-Inf\""),
+            (1e18, "1000000000000000000"),
+        ] {
+            out.clear();
+            fmt_f64(value, &mut out);
+            assert_eq!(out, expected, "fmt_f64({value})");
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use export::{chrome_trace_json, jsonl_events, prometheus_text};
 pub use registry::{
     labeled, registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry,
 };
-pub use trace::{tracer, ArgValue, SpanGuard, TraceEvent, TracePhase, Tracer};
+pub use trace::{trace_dropped_total, tracer, ArgValue, SpanGuard, TraceEvent, TracePhase, Tracer};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

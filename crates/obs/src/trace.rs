@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::clock::{Clock, WallClock};
+use crate::registry::Counter;
 use crate::{level, ObsLevel};
 
 /// Default capacity of the global tracer's ring buffer.
@@ -168,6 +169,11 @@ impl Tracer {
         if ring.events.len() >= ring.capacity {
             ring.events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Mirror the drop into the registry so truncation is visible
+            // in every metrics dump, not just to whoever holds the tracer.
+            // (Gated like any counter: at LN_OBS=off only the tracer's own
+            // `dropped()` count advances.)
+            trace_dropped_total().inc();
         }
         ring.events.push_back(event);
     }
@@ -328,6 +334,18 @@ pub fn tracer() -> &'static Tracer {
     TRACER.get_or_init(|| Tracer::new(Arc::new(WallClock::new()), DEFAULT_RING_CAPACITY))
 }
 
+/// The global `obs_trace_dropped_total` counter: every ring-buffer
+/// eviction by *any* tracer in the process increments it, so a metrics
+/// dump (or `report::obs_tables()`) shows at a glance whether some trace
+/// was truncated. Calling this registers the counter, so reports can
+/// force the row to exist even before the first drop.
+pub fn trace_dropped_total() -> Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER
+        .get_or_init(|| crate::registry().counter("obs_trace_dropped_total"))
+        .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +393,24 @@ mod tests {
         assert_eq!(tracer.len(), 4, "events() must not drain");
         assert_eq!(tracer.drain().len(), 4);
         assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_mirror_into_the_registry_counter() {
+        let _guard = crate::test_lock();
+        set_level(ObsLevel::Counters);
+        let before = trace_dropped_total().get();
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::forced(clock as Arc<dyn Clock>, 2);
+        for i in 0..5u64 {
+            tracer.instant(format!("e{i}"), "test", 0, Vec::new());
+        }
+        assert_eq!(tracer.dropped(), 3);
+        assert_eq!(
+            trace_dropped_total().get() - before,
+            3,
+            "registry counter must track ring evictions"
+        );
     }
 
     #[test]

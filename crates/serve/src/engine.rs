@@ -100,6 +100,10 @@ pub struct EngineOutcome {
     /// `LN_OBS=trace` or [`Engine::set_tracing`]); feed it to
     /// [`ln_obs::chrome_trace_json`] for a `chrome://tracing` timeline.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Events the trace ring evicted during the run. Zero in practice (the
+    /// ring holds 2²⁰ events); critical-path analysis treats any non-zero
+    /// value as a truncated — untrustworthy — trace.
+    pub trace_dropped: u64,
 }
 
 /// The batched folding scheduler over a pool of simulated backends.
@@ -441,6 +445,16 @@ impl Engine {
                     let cause = FoldError::QueuePoisoned { bucket: ev.bucket };
                     if self.resilience.retry.exhausted(attempt) {
                         stats.record_failure(ev.bucket);
+                        self.trace_instant(
+                            now,
+                            "fail",
+                            "fault",
+                            ev.bucket as u32,
+                            vec![
+                                ("id", ArgValue::U64(q.request.id)),
+                                ("attempt", ArgValue::U64(u64::from(attempt))),
+                            ],
+                        );
                         responses.push(fail(q.request, terminal_error(cause, attempt)));
                     } else {
                         self.trace_instant(
@@ -496,11 +510,15 @@ impl Engine {
 
         stats.finish(now);
         responses.sort_by_key(|r| r.id);
-        let trace = self.run_trace.take().map(|rt| rt.tracer.drain());
+        let (trace, trace_dropped) = match self.run_trace.take() {
+            Some(rt) => (Some(rt.tracer.drain()), rt.tracer.dropped()),
+            None => (None, 0),
+        };
         EngineOutcome {
             responses,
             stats,
             trace,
+            trace_dropped,
         }
     }
 
@@ -618,6 +636,16 @@ impl Engine {
                     let attempt = q.attempt + 1;
                     if self.resilience.retry.exhausted(attempt) {
                         stats.record_failure(f.bucket);
+                        self.trace_instant(
+                            now,
+                            "fail",
+                            "fault",
+                            f.bucket as u32,
+                            vec![
+                                ("id", ArgValue::U64(q.request.id)),
+                                ("attempt", ArgValue::U64(u64::from(attempt))),
+                            ],
+                        );
                         responses.push(fail(q.request, terminal_error(cause.clone(), attempt)));
                     } else {
                         stats.resilience.retries += 1;

@@ -1,15 +1,36 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PAR.json at the repo root: the serial-vs-parallel wall
-# time and bitwise-identity record for the ln-par-driven kernels (blocked
-# matmul, token-wise AAQ encode, full Evoformer block) at L in {256, 512,
-# 1024}. Fully offline; respects LN_THREADS for the parallel pool size.
+# Regenerates the benchmark records at the repo root and archives them:
 #
-# Expect a long run on small machines — the L = 1024 Evoformer block alone
-# is minutes of serial compute. Speedup > 1 is only expected on multi-core
+#   BENCH_PAR.json     — serial-vs-parallel wall time and bitwise identity
+#                        for the ln-par kernels (matmul, AAQ encode, full
+#                        Evoformer block) at L in {256, 512, 1024}
+#   BENCH_OBS.json     — per-event cost of the ln-obs primitives and the
+#                        LN_OBS=off overhead delta
+#   BENCH_INSIGHT.json — critical-path phase times, roofline classification
+#                        and the regression-gate summary from ln-insight
+#
+# After regenerating, every BENCH_*.json is copied into benchmarks/history/
+# suffixed with the current git short SHA; that directory is the baseline
+# store the insight regression gate (ci.sh step 8) scores future runs
+# against, so committing the archives is what arms the gate.
+#
+# Fully offline; respects LN_THREADS for the parallel pool size. Expect a
+# long run on small machines — the L = 1024 Evoformer block alone is
+# minutes of serial compute. Speedup > 1 is only expected on multi-core
 # hosts; bit-identity must hold everywhere.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -p ln-bench --bin par_speedup
-exec ./target/release/par_speedup
+cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight
+
+./target/release/par_speedup
+./target/release/obs_overhead
+./target/release/insight
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+mkdir -p benchmarks/history
+for f in BENCH_*.json; do
+    cp "$f" "benchmarks/history/${f%.json}-${sha}.json"
+done
+echo "archived BENCH_*.json into benchmarks/history/ at ${sha}"

@@ -9,6 +9,7 @@
 #   5. par_speedup --quick                                (ln-par smoke)
 #   6. chaos --quick                                      (ln-fault smoke)
 #   7. obs_overhead --quick                               (ln-obs cost gate)
+#   8. insight --quick                                    (ln-insight gate)
 #
 # Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
 # its serial execution — never for missing speedup — so it stays meaningful
@@ -16,7 +17,11 @@
 # the virtual-time engine and exits non-zero if any request hangs or the
 # resilience stats are not byte-identical across two runs. Step 7 measures
 # the LN_OBS=off instrumentation path against an uninstrumented baseline
-# loop and exits non-zero if the overhead exceeds 5%.
+# loop and exits non-zero if the overhead exceeds 5%. Step 8 replays a
+# traced chaos run through the critical-path analyzer and gates the
+# committed BENCH_*.json against benchmarks/history/ — it exits non-zero
+# on a median+MAD regression, on any trace span the replay cannot
+# attribute, or on a truncated trace ring.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -37,6 +42,7 @@ step cargo test -q
 step ./target/release/par_speedup --quick
 step ./target/release/chaos --quick
 step ./target/release/obs_overhead --quick
+step ./target/release/insight --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

@@ -22,6 +22,7 @@ pub use lightnobel;
 pub use ln_accel;
 pub use ln_datasets;
 pub use ln_gpu;
+pub use ln_insight;
 pub use ln_ppm;
 pub use ln_protein;
 pub use ln_quant;
@@ -41,6 +42,7 @@ mod tests {
         let _ = crate::ln_accel::HwConfig::paper();
         let _ = crate::ln_gpu::H100;
         let _ = crate::ln_serve::BatcherConfig::default();
+        let _ = crate::ln_insight::regression::GateConfig::default();
         let _ = crate::lightnobel::report::Table::new(["x"]);
     }
 }

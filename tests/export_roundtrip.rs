@@ -1,0 +1,166 @@
+//! Exporter round-trip acceptance for the ln-obs export formats.
+//!
+//! The `ln-insight` crate re-ingests exported telemetry, so the exports
+//! are load-bearing interchange formats, not just log decoration:
+//!
+//! * Chrome-trace JSON and Prometheus text must parse cleanly (the former
+//!   with `ln_insight::json`, the latter line-by-line).
+//! * The JSONL trace export must round-trip **losslessly**: parsing it
+//!   with `ln_insight::jsonl` yields the original events, and
+//!   re-serializing those yields byte-identical JSONL (a fixed point).
+//!   This holds for a synthetic vocabulary-covering trace and for a real
+//!   chaos run of the serve engine.
+
+use ln_datasets::Registry;
+use ln_fault::{ChaosSpec, FaultPlan, ResilienceConfig};
+use ln_insight::json;
+use ln_obs::{ArgValue, TraceEvent, TracePhase};
+use ln_serve::{standard_backends, BatcherConfig, BucketPolicy, Engine, WorkloadSpec};
+
+/// A hand-built trace covering every phase kind and argument type,
+/// including the adversarial corners: escapes in strings, a zero
+/// timestamp, an integral float (must stay typed as a float), and a u64
+/// above 2^53 (must survive without f64 rounding).
+fn synthetic_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent {
+            name: "enqueue".to_string(),
+            cat: "queue",
+            phase: TracePhase::Instant,
+            ts_nanos: 0,
+            track: 1,
+            args: vec![("id", ArgValue::U64(7)), ("seq_len", ArgValue::U64(512))],
+        },
+        TraceEvent {
+            name: "fold_batch".to_string(),
+            cat: "kernel",
+            phase: TracePhase::Complete {
+                dur_nanos: 1_234_567,
+            },
+            ts_nanos: 1_152_921_504_606_846_977, // 2^60 + 1: exact or bust
+            track: 100,
+            args: vec![
+                ("precision", ArgValue::Str("int4".to_string())),
+                ("backoff_seconds", ArgValue::F64(2.0)), // integral float
+                ("ratio", ArgValue::F64(-0.125)),
+            ],
+        },
+        TraceEvent {
+            name: "begin \"quoted\"\npath\\seg".to_string(),
+            cat: "span",
+            phase: TracePhase::Begin,
+            ts_nanos: 5,
+            track: 0,
+            args: Vec::new(),
+        },
+        TraceEvent {
+            name: "begin \"quoted\"\npath\\seg".to_string(),
+            cat: "span",
+            phase: TracePhase::End,
+            ts_nanos: 9,
+            track: 0,
+            args: Vec::new(),
+        },
+    ]
+}
+
+/// One small traced chaos run of the virtual-time engine.
+fn engine_trace() -> Vec<TraceEvent> {
+    let reg = Registry::standard();
+    let policy = BucketPolicy::from_registry(&reg, 4);
+    let workload = WorkloadSpec::cameo_casp_mix(40, 3.0)
+        .with_seed("export/roundtrip-workload")
+        .synthesize(&reg);
+    let plan = FaultPlan::seeded("export/roundtrip-plan", &ChaosSpec::light(2));
+    let mut engine = Engine::with_resilience(
+        policy,
+        BatcherConfig::default(),
+        standard_backends(),
+        plan,
+        ResilienceConfig::default(),
+    );
+    engine.set_tracing(true);
+    let out = engine.run(&workload);
+    assert_eq!(out.trace_dropped, 0, "the test trace must fit the ring");
+    out.trace.expect("tracing was enabled")
+}
+
+#[test]
+fn chrome_trace_json_parses_with_the_insight_parser() {
+    let events = synthetic_events();
+    let text = ln_obs::chrome_trace_json(&events);
+    let doc = json::parse(&text).expect("chrome trace is valid JSON");
+    let rows = doc
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(rows.len(), events.len(), "one JSON event per trace event");
+    // The big timestamp survives on the microsecond scale without losing
+    // the event, and string escapes decode back to the original name.
+    assert!(rows.iter().any(|r| r
+        .get("name")
+        .and_then(json::Value::as_str)
+        .is_some_and(|n| n.contains("\"quoted\""))));
+}
+
+#[test]
+fn jsonl_round_trip_is_lossless_for_synthetic_events() {
+    let events = synthetic_events();
+    let text = ln_obs::jsonl_events(&events);
+    let parsed = ln_insight::jsonl::parse_events(&text).expect("JSONL parses");
+    assert_eq!(parsed, events, "re-ingestion must reproduce the events");
+    assert_eq!(
+        ln_obs::jsonl_events(&parsed),
+        text,
+        "serialize∘parse must be a fixed point"
+    );
+}
+
+#[test]
+fn jsonl_round_trip_is_lossless_for_a_real_engine_trace() {
+    let events = engine_trace();
+    assert!(!events.is_empty());
+    let text = ln_obs::jsonl_events(&events);
+    let parsed = ln_insight::jsonl::parse_events(&text).expect("JSONL parses");
+    assert_eq!(parsed, events);
+    assert_eq!(ln_obs::jsonl_events(&parsed), text);
+
+    // The re-ingested trace supports the same analysis as the original:
+    // the critical-path replay sees no difference at all.
+    let original = ln_insight::CriticalPath::analyze(&events, 0);
+    let reingested = ln_insight::CriticalPath::analyze(&parsed, 0);
+    assert_eq!(original, reingested);
+    assert!(
+        original.unattributed.is_empty(),
+        "engine traces must attribute fully: {:?}",
+        original.unattributed
+    );
+}
+
+#[test]
+fn prometheus_text_is_well_formed() {
+    let reg = ln_obs::registry();
+    reg.counter("export_rt_counter").add(3);
+    reg.gauge("export_rt_gauge").set(2.0); // integral: must render as 2.0
+    reg.histogram("export_rt_hist").record(17);
+    let text = ln_obs::prometheus_text(&reg.snapshot());
+
+    for needle in [
+        "# TYPE export_rt_counter counter",
+        "export_rt_counter 3",
+        "# TYPE export_rt_gauge gauge",
+        "export_rt_gauge 2.0",
+        "# TYPE export_rt_hist histogram",
+        "export_rt_hist_count 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Every sample line is `name[{labels}] value` with a numeric value.
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("name value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in {line:?}"
+        );
+    }
+}

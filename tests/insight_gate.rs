@@ -1,0 +1,108 @@
+//! Acceptance for the ln-insight regression gate against the *committed*
+//! benchmark records: the archived history in `benchmarks/history/` must
+//! pass the current `BENCH_*.json` (the gate arms itself from the repo,
+//! so a broken threshold would fail CI immediately), the known-slow
+//! Evoformer configuration must surface as a WARN rather than a failure,
+//! and an injected 20% slowdown on real data must fail.
+
+use std::path::{Path, PathBuf};
+
+use ln_insight::json::{self, Value};
+use ln_insight::regression::{self, BaselineStore, GateConfig, Sample, Status};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn load_doc(rel: &str) -> Value {
+    let path = repo_path(rel);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must be committed: {e}", path.display()));
+    json::parse(&text).unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()))
+}
+
+fn committed_samples() -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for rel in ["BENCH_PAR.json", "BENCH_OBS.json", "BENCH_INSIGHT.json"] {
+        samples.extend(regression::bench_samples(&load_doc(rel)));
+    }
+    samples
+}
+
+fn committed_store() -> BaselineStore {
+    let (store, parsed) =
+        BaselineStore::load_dir(&repo_path("benchmarks/history")).expect("history dir readable");
+    assert!(
+        parsed >= 3,
+        "benchmarks/history must hold the seeded archives, found {parsed}"
+    );
+    store
+}
+
+#[test]
+fn committed_baselines_pass_the_gate() {
+    let store = committed_store();
+    let current = committed_samples();
+    assert!(
+        !current.is_empty(),
+        "the committed BENCH files carry samples"
+    );
+    let report = regression::evaluate(GateConfig::default(), &store, &current);
+    assert_eq!(
+        report.failures(),
+        0,
+        "the committed records must gate clean against their own archive:\n{}",
+        report.render_markdown()
+    );
+    assert!(
+        report.no_baseline() < report.verdicts.len(),
+        "at least some metrics must have archived history"
+    );
+}
+
+#[test]
+fn known_slow_kernel_warns_but_does_not_fail() {
+    let doc = load_doc("BENCH_PAR.json");
+    let warnings = regression::speedup_warnings(&doc, 0.9);
+    assert!(
+        warnings.iter().any(|w| w.contains("evoformer_block")),
+        "the L=1024 Evoformer slowdown is a known characteristic: {warnings:?}"
+    );
+
+    // The same configuration is in the baselines, so the gate itself must
+    // not flag it: WARN and FAIL are deliberately separate channels.
+    let store = committed_store();
+    let report = regression::evaluate(
+        GateConfig::default(),
+        &store,
+        &regression::bench_samples(&doc),
+    );
+    for v in &report.verdicts {
+        if v.metric.contains("evoformer_block") {
+            assert_ne!(
+                v.status,
+                Status::Fail,
+                "{} must not fail the gate (it is the baseline)",
+                v.metric
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_slowdown_on_real_data_fails_the_gate() {
+    let store = committed_store();
+    let slowed: Vec<Sample> = committed_samples()
+        .into_iter()
+        .map(|s| Sample {
+            metric: s.metric,
+            value: s.value * 1.2,
+        })
+        .collect();
+    let report = regression::evaluate(GateConfig::default(), &store, &slowed);
+    assert!(
+        report.failures() > 0,
+        "a uniform 20% slowdown must trip the median+MAD gate:\n{}",
+        report.render_markdown()
+    );
+}

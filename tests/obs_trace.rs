@@ -20,8 +20,9 @@ const SEED: &str = "obs/trace-workload";
 const PLAN_SEED: &str = "chaos/plan-h";
 
 /// One traced chaos run on an `ln-par` pool of `threads` executors,
-/// returning the raw events and their Chrome-trace rendering.
-fn traced_run(threads: usize) -> (Vec<TraceEvent>, String) {
+/// returning the raw events, their Chrome-trace rendering, and the
+/// tracer's eviction count.
+fn traced_run(threads: usize) -> (Vec<TraceEvent>, String, u64) {
     let pool = ln_par::Pool::new(threads);
     ln_par::with_pool(&pool, || {
         let reg = Registry::standard();
@@ -74,16 +75,17 @@ fn traced_run(threads: usize) -> (Vec<TraceEvent>, String) {
         let out = engine.run(&workload);
         let events = out.trace.expect("tracing was enabled");
         let json = ln_obs::chrome_trace_json(&events);
-        (events, json)
+        (events, json, out.trace_dropped)
     })
 }
 
 #[test]
 fn chrome_trace_is_byte_identical_across_pool_sizes() {
-    let (events, base) = traced_run(1);
+    let (events, base, dropped) = traced_run(1);
     assert!(!events.is_empty(), "a chaos run must emit trace events");
+    assert_eq!(dropped, 0, "the golden trace must fit the ring");
     for threads in [2usize, 4] {
-        let (_, other) = traced_run(threads);
+        let (_, other, _) = traced_run(threads);
         assert_eq!(
             base, other,
             "pool size {threads} perturbed the Chrome-trace JSON"
@@ -114,4 +116,26 @@ fn chrome_trace_is_byte_identical_across_pool_sizes() {
     // Well-formed, loadable Chrome-trace document.
     assert!(base.starts_with("{\"traceEvents\":["));
     assert!(base.ends_with("}"));
+}
+
+#[test]
+fn insight_summary_is_byte_identical_across_pool_sizes() {
+    let (events, _, dropped) = traced_run(1);
+    let base = ln_insight::CriticalPath::analyze(&events, dropped);
+    assert!(
+        base.unattributed.is_empty(),
+        "the critical-path replay must place every engine span: {:?}",
+        base.unattributed
+    );
+    assert!(!base.truncated, "the golden trace must be complete");
+    assert!(!base.requests.is_empty());
+    let base_md = base.render_markdown();
+    for threads in [2usize, 4] {
+        let (events, _, dropped) = traced_run(threads);
+        let other = ln_insight::CriticalPath::analyze(&events, dropped).render_markdown();
+        assert_eq!(
+            base_md, other,
+            "pool size {threads} perturbed the insight critical-path summary"
+        );
+    }
 }
