@@ -13,8 +13,9 @@
 //!    against the RMPU/VVPU/HBM ceilings of `HwConfig::paper()` via
 //!    [`ln_insight::RooflineReport`].
 //! 3. **Regression gate** — the committed `BENCH_PAR.json` /
-//!    `BENCH_OBS.json` plus this run's phase times, scored with
-//!    median + MAD thresholds against `benchmarks/history/`.
+//!    `BENCH_OBS.json` / `BENCH_CLUSTER.json` plus this run's phase
+//!    times, scored with median + MAD thresholds against
+//!    `benchmarks/history/`.
 //!
 //! The full run writes `BENCH_INSIGHT.json` at the repo root; `--quick`
 //! (ci.sh step 8) runs a smaller workload and exits non-zero if the gate
@@ -125,15 +126,20 @@ fn write_json(
     roofline: &RooflineReport,
     gate: &regression::RegressionReport,
 ) -> std::io::Result<()> {
-    let (completed, failed, timed_out) = cp.terminal_summary();
+    let t = cp.terminal_summary();
     let (queue_bound, compute_bound, retry_bound) = cp.blame_summary();
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"insight\",\n");
     s.push_str(&format!("  \"tag\": \"{}\",\n", json_escape(tag)));
     s.push_str(&format!(
-        "  \"requests\": {{\"total\": {}, \"completed\": {completed}, \"failed\": {failed}, \
-         \"timed_out\": {timed_out}}},\n",
-        cp.requests.len()
+        "  \"requests\": {{\"total\": {}, \"completed\": {}, \"failed\": {}, \
+         \"timed_out\": {}, \"cancelled\": {}, \"shard_rejected\": {}}},\n",
+        cp.requests.len(),
+        t.completed,
+        t.failed,
+        t.timed_out,
+        t.cancelled,
+        t.rejected,
     ));
     s.push_str(&format!(
         "  \"blame\": {{\"queue\": {queue_bound}, \"compute\": {compute_bound}, \
@@ -228,8 +234,10 @@ fn main() {
     let mut current = Vec::new();
     let (par_samples, par_doc) = samples_from_file("BENCH_PAR.json");
     let (obs_samples, _) = samples_from_file("BENCH_OBS.json");
+    let (cluster_samples, _) = samples_from_file("BENCH_CLUSTER.json");
     current.extend(par_samples);
     current.extend(obs_samples);
+    current.extend(cluster_samples);
     current.extend(cp.samples(&tag));
     let gate = regression::evaluate(GateConfig::default(), &store, &current);
     println!("{}", gate.render_markdown());

@@ -1,0 +1,1422 @@
+//! The sharded router: a deterministic discrete-event loop over N
+//! virtual-time [`Engine`] shards.
+//!
+//! One global virtual clock drives everything. Each iteration finds the
+//! earliest pending event — a workload arrival, a cross-shard delivery, a
+//! deferred placement waking up, a shard's own next engine event, an
+//! injected shard loss, or an autoscale tick — and processes every event
+//! due at that instant in a fixed order:
+//!
+//! 1. shard losses (evacuate, then reroute or fail the victims),
+//! 2. hop deliveries (inject the attempt into its target shard),
+//! 3. deferred placements (partition healed — place again),
+//! 4. workload arrivals (consistent-hash placement + hedging),
+//! 5. engine advancement in shard-index order,
+//! 6. response resolution (first winner cancels hedge losers),
+//! 7. work stealing on queue-depth skew,
+//! 8. the autoscale tick.
+//!
+//! Ties within a category break by request/attempt id. Because every
+//! step is a pure function of `(config, workload, fault plan)` on the
+//! virtual clock, the full [`ClusterOutcome`] — responses, stats, merged
+//! trace — is bitwise identical across hosts and `ln-par` pool sizes.
+//!
+//! # Attempts
+//!
+//! The cluster never shows an engine the original request id: every
+//! placement, hedge twin, steal hand-off and reroute becomes a fresh
+//! *attempt* with its own id, its arrival set to the delivery time and
+//! its timeout set to the budget remaining under the original deadline.
+//! That keeps per-attempt latency attribution exact — the hop span covers
+//! transit, the shard's queue span starts at delivery — and it keeps ids
+//! unique per shard trace. The router remembers which original request
+//! each attempt belongs to and resolves the first definite winner.
+
+use std::collections::BTreeMap;
+
+use ln_fault::FaultPlan;
+use ln_obs::{seconds_to_nanos, ArgValue, TraceEvent, TracePhase};
+use ln_serve::{
+    Engine, FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason, ServeStats,
+};
+
+use crate::config::ClusterConfig;
+use crate::ring::HashRing;
+use crate::stats::ClusterStats;
+
+/// Track offset separating shard trace lanes in the merged trace: shard
+/// `s` keeps its engine-local tracks, shifted by `(s + 1) * STRIDE`;
+/// track 0 is the router's own lane.
+pub const SHARD_TRACK_STRIDE: u32 = 1000;
+
+/// Terminal record for one original request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResponse {
+    /// Original request id.
+    pub id: u64,
+    /// Target name echoed back.
+    pub name: String,
+    /// Sequence length echoed back.
+    pub length: usize,
+    /// The winning (or final failing) outcome.
+    pub outcome: FoldOutcome,
+    /// The shard that produced the outcome, when one did.
+    pub shard: Option<usize>,
+    /// Attempts dispatched for this request (1 = plain placement).
+    pub attempts: u32,
+    /// Cross-shard hops paid (placement, hedge, steal, reroute).
+    pub hops: u32,
+}
+
+/// The result of driving a workload through the cluster.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// One terminal record per workload request, in request-id order.
+    pub responses: Vec<ClusterResponse>,
+    /// Cluster-level counters and latency percentiles.
+    pub stats: ClusterStats,
+    /// Per-shard engine statistics, in shard-index order.
+    pub shard_stats: Vec<ServeStats>,
+    /// Merged trace (`Some` when tracing was on): router events first,
+    /// then each shard's events in index order, tracks remapped by
+    /// [`SHARD_TRACK_STRIDE`]. Feed to [`ln_insight`]'s critical path or
+    /// [`ln_obs::chrome_trace_json`].
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Total events evicted across all shard trace rings.
+    pub trace_dropped: u64,
+}
+
+impl ClusterOutcome {
+    /// A deterministic digest over responses, cluster counters and every
+    /// shard's schedule fingerprint: equal digests ⇔ bitwise-equal runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = String::new();
+        for r in &self.responses {
+            desc.push_str(&format!(
+                "{}|{}|{}|{:?}|{:?}|{}|{};",
+                r.id, r.name, r.length, r.outcome, r.shard, r.attempts, r.hops
+            ));
+        }
+        desc.push_str(&format!("stats:{};", self.stats.fingerprint()));
+        for s in &self.shard_stats {
+            desc.push_str(&format!("shard:{};", s.fingerprint()));
+        }
+        ln_tensor::rng::seed_from_label(&desc)
+    }
+}
+
+/// Book-keeping for one original request still being served.
+#[derive(Debug)]
+struct Pending {
+    req: FoldRequest,
+    /// Live attempts as `(attempt id, shard)`.
+    outstanding: Vec<(u64, usize)>,
+    attempts: u32,
+    hops: u32,
+    reroutes: u32,
+    /// The winning completion, once one attempt lands.
+    resolved: Option<(FoldOutcome, usize)>,
+    /// The most recent non-completion outcome (used when no attempt wins).
+    failure: Option<(FoldOutcome, Option<usize>)>,
+}
+
+/// A request in transit to a shard.
+#[derive(Debug)]
+struct Delivery {
+    due: f64,
+    attempt: u64,
+    origin: u64,
+    shard: usize,
+    deadline: f64,
+}
+
+/// A placement waiting for a partition to heal.
+#[derive(Debug)]
+struct Deferred {
+    wake: f64,
+    origin: u64,
+    /// `Some(shard)` when this is a reroute after losing `shard` (a
+    /// rejection then fails typed as `ShardLost` instead of `Rejected`).
+    from: Option<usize>,
+}
+
+enum Placement {
+    Place {
+        primary: usize,
+        hedge: Option<usize>,
+    },
+    Defer {
+        wake: f64,
+    },
+    Reject {
+        reason: RejectReason,
+    },
+}
+
+/// The sharded multi-engine cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    shards: Vec<Engine>,
+    plan: FaultPlan,
+    ring: HashRing,
+    tracing: bool,
+}
+
+impl Cluster {
+    /// Builds a cluster over pre-configured shard engines plus a cluster
+    /// fault plan (its [`ln_fault::ShardLossEvent`]s and
+    /// [`ln_fault::PartitionWindow`]s drive chaos; per-shard backend
+    /// faults live in each engine's own plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shard list or a non-positive hop latency.
+    pub fn new(cfg: ClusterConfig, shards: Vec<Engine>, plan: FaultPlan) -> Self {
+        assert!(!shards.is_empty(), "a cluster needs at least one shard");
+        assert!(
+            cfg.hop_seconds > 0.0,
+            "hop_seconds must be positive (zero would allow same-instant loops)"
+        );
+        let ring = HashRing::new(&cfg.seed, shards.len(), cfg.virtual_nodes);
+        Cluster {
+            cfg,
+            shards,
+            plan,
+            ring,
+            tracing: false,
+        }
+    }
+
+    /// Forces tracing on or off for the router and every shard engine.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        for shard in &mut self.shards {
+            shard.set_tracing(on);
+        }
+    }
+
+    /// Number of shards (dead ones included).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Drives a workload to completion. Every request terminates
+    /// definitely — completed (possibly on a hedge twin or after a
+    /// reroute), rejected, timed out, or failed typed — even when the
+    /// plan kills shards and partitions the network mid-run.
+    pub fn run(&mut self, workload: &[FoldRequest]) -> ClusterOutcome {
+        let n = self.shards.len();
+        let mut arrivals: Vec<FoldRequest> = workload.to_vec();
+        arrivals.sort_by(|a, b| {
+            a.arrival_seconds
+                .total_cmp(&b.arrival_seconds)
+                .then(a.id.cmp(&b.id))
+        });
+        for shard in &mut self.shards {
+            shard.begin(&[]);
+        }
+
+        let mut stats = ClusterStats::default();
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        let mut attempt_of: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut responses: Vec<ClusterResponse> = Vec::with_capacity(arrivals.len());
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let mut deferred: Vec<Deferred> = Vec::new();
+        let mut router_trace: Vec<TraceEvent> = Vec::new();
+        let mut next_attempt = arrivals.iter().map(|r| r.id).max().map_or(1, |m| m + 1);
+        let mut active = vec![true; n];
+        let mut a_idx = 0usize;
+        let mut loss_idx = 0usize;
+        let mut next_tick = self.cfg.autoscale.map(|a| a.interval_seconds);
+        let mut now = 0.0f64;
+
+        loop {
+            let work_left = a_idx < arrivals.len()
+                || !pending.is_empty()
+                || !deliveries.is_empty()
+                || !deferred.is_empty();
+            let mut t: Option<f64> = None;
+            let mut fold = |cand: f64| t = Some(t.map_or(cand, |cur: f64| cur.min(cand)));
+            if a_idx < arrivals.len() {
+                fold(arrivals[a_idx].arrival_seconds.max(now));
+            }
+            for d in &deliveries {
+                fold(d.due.max(now));
+            }
+            for d in &deferred {
+                fold(d.wake.max(now));
+            }
+            for shard in &self.shards {
+                if let Some(te) = shard.next_event_seconds() {
+                    fold(te.max(now));
+                }
+            }
+            if work_left {
+                if loss_idx < self.plan.shard_losses().len() {
+                    fold(self.plan.shard_losses()[loss_idx].at_seconds.max(now));
+                }
+                if let Some(tick) = next_tick {
+                    fold(tick.max(now));
+                }
+            }
+            let Some(t) = t else { break };
+            now = t;
+
+            // 1. Shard losses due now: evacuate, then reroute or fail.
+            while loss_idx < self.plan.shard_losses().len()
+                && self.plan.shard_losses()[loss_idx].at_seconds <= now
+            {
+                let shard = self.plan.shard_losses()[loss_idx].shard;
+                loss_idx += 1;
+                if shard >= n || self.shards[shard].is_dead() {
+                    continue;
+                }
+                stats.shard_losses += 1;
+                let victims = self.shards[shard].evacuate();
+                for victim in victims {
+                    self.displaced(
+                        victim.id,
+                        shard,
+                        now,
+                        &mut pending,
+                        &mut attempt_of,
+                        &mut deliveries,
+                        &mut deferred,
+                        &mut next_attempt,
+                        &mut stats,
+                        &mut router_trace,
+                        &mut responses,
+                    );
+                }
+            }
+
+            // 2. Hop deliveries due now, in (due, attempt) order.
+            while let Some(pos) = deliveries
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.due <= now)
+                .min_by(|(_, a), (_, b)| a.due.total_cmp(&b.due).then(a.attempt.cmp(&b.attempt)))
+                .map(|(i, _)| i)
+            {
+                let d = deliveries.swap_remove(pos);
+                self.deliver(
+                    d,
+                    now,
+                    &mut pending,
+                    &mut attempt_of,
+                    &mut deliveries,
+                    &mut deferred,
+                    &mut next_attempt,
+                    &mut stats,
+                    &mut router_trace,
+                    &mut responses,
+                );
+            }
+
+            // 3. Deferred placements whose partition healed.
+            while let Some(pos) = deferred
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.wake <= now)
+                .min_by(|(_, a), (_, b)| a.wake.total_cmp(&b.wake).then(a.origin.cmp(&b.origin)))
+                .map(|(i, _)| i)
+            {
+                let d = deferred.swap_remove(pos);
+                self.try_place(
+                    d.origin,
+                    d.from,
+                    now,
+                    &active,
+                    &mut pending,
+                    &mut attempt_of,
+                    &mut deliveries,
+                    &mut deferred,
+                    &mut next_attempt,
+                    &mut stats,
+                    &mut router_trace,
+                    &mut responses,
+                );
+            }
+
+            // 4. Workload arrivals due now.
+            while a_idx < arrivals.len() && arrivals[a_idx].arrival_seconds <= now {
+                let req = arrivals[a_idx].clone();
+                a_idx += 1;
+                let origin = req.id;
+                pending.insert(
+                    origin,
+                    Pending {
+                        req,
+                        outstanding: Vec::new(),
+                        attempts: 0,
+                        hops: 0,
+                        reroutes: 0,
+                        resolved: None,
+                        failure: None,
+                    },
+                );
+                self.try_place(
+                    origin,
+                    None,
+                    now,
+                    &active,
+                    &mut pending,
+                    &mut attempt_of,
+                    &mut deliveries,
+                    &mut deferred,
+                    &mut next_attempt,
+                    &mut stats,
+                    &mut router_trace,
+                    &mut responses,
+                );
+            }
+
+            // 5. Advance every shard through its events due by now, in
+            //    shard-index order, collecting newly settled responses.
+            let mut settled: Vec<(usize, FoldResponse)> = Vec::new();
+            for s in 0..n {
+                while let Some(te) = self.shards[s].next_event_seconds() {
+                    if te > now {
+                        break;
+                    }
+                    for resp in self.shards[s].advance(te) {
+                        settled.push((s, resp));
+                    }
+                }
+            }
+
+            // 6. Resolve settled attempts: first winner cancels the rest.
+            for (s, resp) in settled {
+                self.settle(
+                    s,
+                    resp,
+                    now,
+                    &mut pending,
+                    &mut attempt_of,
+                    &mut stats,
+                    &mut responses,
+                );
+            }
+
+            // 7. Work stealing: shallowest active shard raids the deepest
+            //    when the skew crosses the threshold.
+            self.steal_pass(
+                now,
+                &active,
+                &mut pending,
+                &mut attempt_of,
+                &mut deliveries,
+                &mut next_attempt,
+                &mut stats,
+                &mut router_trace,
+                &mut responses,
+            );
+
+            // 8. Autoscale tick.
+            if let (Some(auto), Some(tick)) = (self.cfg.autoscale, next_tick) {
+                if tick <= now {
+                    let alive_active: Vec<usize> = (0..n)
+                        .filter(|&s| !self.shards[s].is_dead() && active[s])
+                        .collect();
+                    if !alive_active.is_empty() {
+                        let mean = alive_active
+                            .iter()
+                            .map(|&s| self.shards[s].queue_depth() as f64)
+                            .sum::<f64>()
+                            / alive_active.len() as f64;
+                        if mean >= auto.up_depth {
+                            if let Some(s) =
+                                (0..n).find(|&s| !self.shards[s].is_dead() && !active[s])
+                            {
+                                active[s] = true;
+                                stats.scale_ups += 1;
+                            }
+                        } else if mean <= auto.down_depth && alive_active.len() > auto.min_active {
+                            // Drain the shallowest; ties drain the highest
+                            // index so shard 0 stays up longest.
+                            if let Some(&s) = alive_active.iter().min_by(|&&a, &&b| {
+                                self.shards[a]
+                                    .queue_depth()
+                                    .cmp(&self.shards[b].queue_depth())
+                                    .then(b.cmp(&a))
+                            }) {
+                                active[s] = false;
+                                stats.scale_downs += 1;
+                            }
+                        }
+                    }
+                    let mut next = tick;
+                    while next <= now {
+                        next += auto.interval_seconds;
+                    }
+                    next_tick = Some(next);
+                }
+            }
+        }
+
+        debug_assert!(pending.is_empty(), "unresolved requests: {pending:?}");
+
+        // Finish every shard; merge traces router-first, shards in index
+        // order, tracks (and dispatch bucket args) remapped per shard.
+        let mut shard_stats = Vec::with_capacity(n);
+        let mut trace_dropped = 0u64;
+        let mut merged: Option<Vec<TraceEvent>> = self.tracing.then_some(router_trace);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let out = shard.finish();
+            trace_dropped += out.trace_dropped;
+            if let (Some(merged), Some(events)) = (merged.as_mut(), out.trace) {
+                let base = SHARD_TRACK_STRIDE * (s as u32 + 1);
+                for mut ev in events {
+                    ev.track += base;
+                    if ev.name == "dispatch" {
+                        for (key, value) in &mut ev.args {
+                            if *key == "bucket" {
+                                if let ArgValue::U64(b) = value {
+                                    *b += u64::from(base);
+                                }
+                            }
+                        }
+                    }
+                    merged.push(ev);
+                }
+            }
+            shard_stats.push(out.stats);
+        }
+
+        responses.sort_by_key(|r| r.id);
+        for r in &responses {
+            match &r.outcome {
+                FoldOutcome::Completed {
+                    finished_seconds, ..
+                } => {
+                    stats.completed += 1;
+                    if r.outcome.is_degraded() {
+                        stats.degraded += 1;
+                    }
+                    stats
+                        .latencies_seconds
+                        .push(finished_seconds - self.arrival_of(r.id, workload));
+                }
+                FoldOutcome::Rejected(_) => stats.rejected += 1,
+                FoldOutcome::TimedOut { .. } => stats.timed_out += 1,
+                FoldOutcome::Failed(_) => stats.failed += 1,
+            }
+        }
+        let active_count = (0..n)
+            .filter(|&s| !self.shards[s].is_dead() && active[s])
+            .count();
+        stats.export_metrics(active_count);
+
+        ClusterOutcome {
+            responses,
+            stats,
+            shard_stats,
+            trace: merged,
+            trace_dropped,
+        }
+    }
+
+    fn arrival_of(&self, id: u64, workload: &[FoldRequest]) -> f64 {
+        workload
+            .iter()
+            .find(|r| r.id == id)
+            .map_or(0.0, |r| r.arrival_seconds)
+    }
+
+    /// Whether shard `s` can take a sequence of `len` residues and still
+    /// meet `deadline` after one hop starting `now` (the same admission
+    /// math [`Engine::best_case_seconds`] applies shard-side).
+    fn capable(&self, s: usize, len: usize, deadline: f64, now: f64) -> bool {
+        let e = &self.shards[s];
+        !e.is_dead()
+            && e.max_routable_length() >= len
+            && e.best_case_seconds(len)
+                .is_some_and(|best| best <= deadline - (now + self.cfg.hop_seconds))
+    }
+
+    /// First virtual time at or after `t` when shard `s` is out of every
+    /// partition window.
+    fn heal_time(&self, s: usize, mut t: f64) -> f64 {
+        loop {
+            let mut end: Option<f64> = None;
+            for w in self.plan.partitions() {
+                if w.shard == s && w.start_seconds <= t && t < w.end_seconds {
+                    end = Some(end.map_or(w.end_seconds, |e: f64| e.max(w.end_seconds)));
+                }
+            }
+            match end {
+                Some(e) => t = e,
+                None => return t,
+            }
+        }
+    }
+
+    fn decide(&self, req: &FoldRequest, active: &[bool], now: f64) -> Placement {
+        let walk = self
+            .ring
+            .walk(HashRing::key(&self.cfg.seed, req.id, &req.name));
+        let deadline = req.deadline();
+        let mut capable: Vec<usize> = walk
+            .iter()
+            .copied()
+            .filter(|&s| active[s] && self.capable(s, req.length, deadline, now))
+            .collect();
+        if capable.is_empty() {
+            // Fall back to drained-but-alive shards rather than rejecting:
+            // autoscale must never make a long sequence unservable.
+            capable = walk
+                .iter()
+                .copied()
+                .filter(|&s| self.capable(s, req.length, deadline, now))
+                .collect();
+        }
+        let open: Vec<usize> = capable
+            .iter()
+            .copied()
+            .filter(|&s| !self.plan.partitioned(s, now))
+            .collect();
+        if let Some(&primary) = open.first() {
+            let hedge = (req.length >= self.cfg.hedge_min_length)
+                .then(|| open.get(1).copied())
+                .flatten();
+            return Placement::Place { primary, hedge };
+        }
+        if !capable.is_empty() {
+            let wake = capable
+                .iter()
+                .map(|&s| self.heal_time(s, now))
+                .fold(f64::INFINITY, f64::min);
+            return Placement::Defer { wake };
+        }
+        let fits_somewhere = walk.iter().any(|&s| {
+            !self.shards[s].is_dead() && self.shards[s].max_routable_length() >= req.length
+        });
+        Placement::Reject {
+            reason: if fits_somewhere {
+                RejectReason::DeadlineUnmeetable
+            } else {
+                RejectReason::TooLong
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_place(
+        &mut self,
+        origin: u64,
+        from: Option<usize>,
+        now: f64,
+        active: &[bool],
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        deliveries: &mut Vec<Delivery>,
+        deferred: &mut Vec<Deferred>,
+        next_attempt: &mut u64,
+        stats: &mut ClusterStats,
+        router_trace: &mut Vec<TraceEvent>,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        let Some(p) = pending.get(&origin) else {
+            return;
+        };
+        let req = p.req.clone();
+        match self.decide(&req, active, now) {
+            Placement::Place { primary, hedge } => {
+                self.send_attempt(
+                    origin,
+                    primary,
+                    now,
+                    pending,
+                    attempt_of,
+                    deliveries,
+                    next_attempt,
+                    stats,
+                    router_trace,
+                );
+                if from.is_none() {
+                    if let Some(h) = hedge {
+                        stats.hedges += 1;
+                        self.send_attempt(
+                            origin,
+                            h,
+                            now,
+                            pending,
+                            attempt_of,
+                            deliveries,
+                            next_attempt,
+                            stats,
+                            router_trace,
+                        );
+                    }
+                }
+            }
+            Placement::Defer { wake } => {
+                stats.deferred += 1;
+                deferred.push(Deferred { wake, origin, from });
+            }
+            Placement::Reject { reason } => {
+                let p = pending.get_mut(&origin).expect("checked above");
+                match from {
+                    // A reroute that finds no home fails typed: the shard
+                    // was lost and nobody could take its work.
+                    Some(shard) => {
+                        p.failure =
+                            Some((FoldOutcome::Failed(FoldError::ShardLost { shard }), None));
+                    }
+                    None => {
+                        stats.router_rejected += 1;
+                        if self.tracing {
+                            router_trace.push(TraceEvent {
+                                name: "reject".to_string(),
+                                cat: "queue",
+                                phase: TracePhase::Instant,
+                                ts_nanos: seconds_to_nanos(now),
+                                track: 0,
+                                args: vec![(
+                                    "reason",
+                                    ArgValue::Str(
+                                        match reason {
+                                            RejectReason::TooLong => "too_long",
+                                            RejectReason::DeadlineUnmeetable => {
+                                                "deadline_unmeetable"
+                                            }
+                                            RejectReason::QueueFull => "queue_full",
+                                        }
+                                        .to_string(),
+                                    ),
+                                )],
+                            });
+                        }
+                        p.failure = Some((FoldOutcome::Rejected(reason), None));
+                    }
+                }
+                Self::finalize(origin, pending, responses);
+            }
+        }
+    }
+
+    /// Creates a fresh attempt for `origin` targeting `shard`: emits the
+    /// router `arrive` instant and the `shard_hop` span, and schedules the
+    /// delivery one hop out.
+    #[allow(clippy::too_many_arguments)]
+    fn send_attempt(
+        &mut self,
+        origin: u64,
+        shard: usize,
+        now: f64,
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        deliveries: &mut Vec<Delivery>,
+        next_attempt: &mut u64,
+        stats: &mut ClusterStats,
+        router_trace: &mut Vec<TraceEvent>,
+    ) {
+        let p = pending
+            .get_mut(&origin)
+            .expect("send_attempt for unknown request");
+        let attempt = *next_attempt;
+        *next_attempt += 1;
+        attempt_of.insert(attempt, origin);
+        p.outstanding.push((attempt, shard));
+        p.attempts += 1;
+        p.hops += 1;
+        if p.attempts == 1 {
+            stats.placed += 1;
+        }
+        if self.tracing {
+            let ts = seconds_to_nanos(now);
+            router_trace.push(TraceEvent {
+                name: "arrive".to_string(),
+                cat: "router",
+                phase: TracePhase::Instant,
+                ts_nanos: ts,
+                track: 0,
+                args: vec![
+                    ("id", ArgValue::U64(attempt)),
+                    ("seq_len", ArgValue::U64(p.req.length as u64)),
+                ],
+            });
+            router_trace.push(TraceEvent {
+                name: "shard_hop".to_string(),
+                cat: "hop",
+                phase: TracePhase::Complete {
+                    dur_nanos: seconds_to_nanos(self.cfg.hop_seconds),
+                },
+                ts_nanos: ts,
+                track: 0,
+                args: vec![
+                    ("id", ArgValue::U64(attempt)),
+                    ("shard", ArgValue::U64(shard as u64)),
+                ],
+            });
+        }
+        deliveries.push(Delivery {
+            due: now + self.cfg.hop_seconds,
+            attempt,
+            origin,
+            shard,
+            deadline: p.req.deadline(),
+        });
+    }
+
+    /// Lands one delivery: inject into the target, defer on a partition,
+    /// reroute on a dead target, or time out an exhausted budget.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        d: Delivery,
+        now: f64,
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        deliveries: &mut Vec<Delivery>,
+        deferred: &mut Vec<Deferred>,
+        next_attempt: &mut u64,
+        stats: &mut ClusterStats,
+        router_trace: &mut Vec<TraceEvent>,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        if self.shards[d.shard].is_dead() {
+            // The attempt never reached the shard: close its trace and
+            // treat it like an evacuation victim.
+            self.router_terminal(router_trace, "cancel", "cancel", d.attempt, now);
+            self.displaced(
+                d.attempt,
+                d.shard,
+                now,
+                pending,
+                attempt_of,
+                deliveries,
+                deferred,
+                next_attempt,
+                stats,
+                router_trace,
+                responses,
+            );
+            return;
+        }
+        if self.plan.partitioned(d.shard, now) {
+            let heal = self.heal_time(d.shard, now);
+            if heal < d.deadline {
+                stats.deferred += 1;
+                deliveries.push(Delivery { due: heal, ..d });
+                return;
+            }
+            // The partition outlives the budget: fail definite, now.
+            self.router_terminal(router_trace, "timeout", "timeout", d.attempt, now);
+            Self::drop_attempt(d.attempt, d.origin, pending, attempt_of);
+            if let Some(p) = pending.get_mut(&d.origin) {
+                if p.outstanding.is_empty() && p.resolved.is_none() {
+                    p.failure = Some((
+                        FoldOutcome::TimedOut {
+                            waited_seconds: now - p.req.arrival_seconds,
+                        },
+                        None,
+                    ));
+                }
+            }
+            Self::finalize(d.origin, pending, responses);
+            return;
+        }
+        let remaining = d.deadline - now;
+        if remaining <= 0.0 {
+            self.router_terminal(router_trace, "timeout", "timeout", d.attempt, now);
+            Self::drop_attempt(d.attempt, d.origin, pending, attempt_of);
+            if let Some(p) = pending.get_mut(&d.origin) {
+                if p.outstanding.is_empty() && p.resolved.is_none() {
+                    p.failure = Some((
+                        FoldOutcome::TimedOut {
+                            waited_seconds: now - p.req.arrival_seconds,
+                        },
+                        None,
+                    ));
+                }
+            }
+            Self::finalize(d.origin, pending, responses);
+            return;
+        }
+        let Some(p) = pending.get(&d.origin) else {
+            return;
+        };
+        self.shards[d.shard].inject(FoldRequest {
+            id: d.attempt,
+            name: p.req.name.clone(),
+            length: p.req.length,
+            arrival_seconds: now,
+            timeout_seconds: remaining,
+        });
+    }
+
+    /// One settled shard response: resolve the original request, cancel
+    /// hedge losers, or account a wasted loser completion.
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &mut self,
+        shard: usize,
+        resp: FoldResponse,
+        _now: f64,
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        stats: &mut ClusterStats,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        let Some(&origin) = attempt_of.get(&resp.id) else {
+            return;
+        };
+        let Some(p) = pending.get_mut(&origin) else {
+            return;
+        };
+        p.outstanding.retain(|&(a, _)| a != resp.id);
+        if p.resolved.is_some() {
+            // A hedge loser that was already executing when the winner
+            // landed: its completion is pure wasted backend time.
+            if let FoldOutcome::Completed {
+                started_seconds,
+                finished_seconds,
+                ..
+            } = &resp.outcome
+            {
+                stats.hedge_wasted += 1;
+                stats.hedge_wasted_seconds += finished_seconds - started_seconds;
+            }
+        } else {
+            match &resp.outcome {
+                FoldOutcome::Completed { .. } => {
+                    p.resolved = Some((resp.outcome.clone(), shard));
+                    // First winner cancels every still-queued twin; ones
+                    // already executing run on as wasted work.
+                    let losers = p.outstanding.clone();
+                    for (attempt, loser_shard) in losers {
+                        if self.shards[loser_shard].is_dead() {
+                            continue;
+                        }
+                        if self.shards[loser_shard].cancel(attempt).is_some() {
+                            stats.hedge_cancelled += 1;
+                            if let Some(p) = pending.get_mut(&origin) {
+                                p.outstanding.retain(|&(a, _)| a != attempt);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    let p = pending.get_mut(&origin).expect("still pending");
+                    p.failure = Some((other.clone(), Some(shard)));
+                }
+            }
+        }
+        Self::finalize(origin, pending, responses);
+    }
+
+    /// Handles an attempt displaced from `shard` (evacuation victim or a
+    /// delivery that found its target dead): reroute within budget, lean
+    /// on a surviving hedge twin, or fail typed with `ShardLost`.
+    #[allow(clippy::too_many_arguments)]
+    fn displaced(
+        &mut self,
+        attempt: u64,
+        shard: usize,
+        now: f64,
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        deliveries: &mut Vec<Delivery>,
+        deferred: &mut Vec<Deferred>,
+        next_attempt: &mut u64,
+        stats: &mut ClusterStats,
+        router_trace: &mut Vec<TraceEvent>,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        let Some(&origin) = attempt_of.get(&attempt) else {
+            return;
+        };
+        Self::drop_attempt(attempt, origin, pending, attempt_of);
+        // Any in-transit delivery for the same attempt is moot.
+        deliveries.retain(|d| d.attempt != attempt);
+        let Some(p) = pending.get_mut(&origin) else {
+            return;
+        };
+        if p.resolved.is_some() || !p.outstanding.is_empty() {
+            // Already won, or a hedge twin is still alive elsewhere.
+            Self::finalize(origin, pending, responses);
+            return;
+        }
+        if p.reroutes < self.cfg.max_reroutes {
+            p.reroutes += 1;
+            stats.reroutes += 1;
+            let active_all = vec![true; self.shards.len()];
+            self.try_place(
+                origin,
+                Some(shard),
+                now,
+                &active_all,
+                pending,
+                attempt_of,
+                deliveries,
+                deferred,
+                next_attempt,
+                stats,
+                router_trace,
+                responses,
+            );
+            return;
+        }
+        p.failure = Some((FoldOutcome::Failed(FoldError::ShardLost { shard }), None));
+        Self::finalize(origin, pending, responses);
+    }
+
+    /// One work-stealing evaluation: the shallowest eligible shard takes
+    /// half the skew from the deepest, tail-first, capped by its own
+    /// routable length.
+    #[allow(clippy::too_many_arguments)]
+    fn steal_pass(
+        &mut self,
+        now: f64,
+        active: &[bool],
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+        deliveries: &mut Vec<Delivery>,
+        next_attempt: &mut u64,
+        stats: &mut ClusterStats,
+        router_trace: &mut Vec<TraceEvent>,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        let eligible: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !self.shards[s].is_dead() && active[s] && !self.plan.partitioned(s, now))
+            .collect();
+        if eligible.len() < 2 {
+            return;
+        }
+        let victim = *eligible
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.shards[a]
+                    .queue_depth()
+                    .cmp(&self.shards[b].queue_depth())
+                    .then(b.cmp(&a))
+            })
+            .expect("eligible non-empty");
+        let thief = *eligible
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.shards[a]
+                    .queue_depth()
+                    .cmp(&self.shards[b].queue_depth())
+                    .then(a.cmp(&b))
+            })
+            .expect("eligible non-empty");
+        let skew = self.shards[victim].queue_depth() - self.shards[thief].queue_depth();
+        if victim == thief || skew < self.cfg.steal_threshold {
+            return;
+        }
+        let max_len = self.shards[thief].max_routable_length();
+        let stolen = self.shards[victim].steal((skew / 2).max(1), max_len);
+        for q in stolen {
+            stats.steals += 1;
+            let Some(&origin) = attempt_of.get(&q.id) else {
+                continue;
+            };
+            Self::drop_attempt(q.id, origin, pending, attempt_of);
+            let still_live = pending.get(&origin).is_some_and(|p| p.resolved.is_none());
+            if still_live {
+                self.send_attempt(
+                    origin,
+                    thief,
+                    now,
+                    pending,
+                    attempt_of,
+                    deliveries,
+                    next_attempt,
+                    stats,
+                    router_trace,
+                );
+            } else {
+                Self::finalize(origin, pending, responses);
+            }
+        }
+    }
+
+    /// Emits a router-side terminal instant for an attempt that never
+    /// reached (or never left) a shard, so the critical-path replay still
+    /// closes its life.
+    fn router_terminal(
+        &self,
+        router_trace: &mut Vec<TraceEvent>,
+        name: &str,
+        cat: &'static str,
+        attempt: u64,
+        now: f64,
+    ) {
+        if self.tracing {
+            router_trace.push(TraceEvent {
+                name: name.to_string(),
+                cat,
+                phase: TracePhase::Instant,
+                ts_nanos: seconds_to_nanos(now),
+                track: 0,
+                args: vec![("id", ArgValue::U64(attempt))],
+            });
+        }
+    }
+
+    fn drop_attempt(
+        attempt: u64,
+        origin: u64,
+        pending: &mut BTreeMap<u64, Pending>,
+        attempt_of: &mut BTreeMap<u64, u64>,
+    ) {
+        attempt_of.remove(&attempt);
+        if let Some(p) = pending.get_mut(&origin) {
+            p.outstanding.retain(|&(a, _)| a != attempt);
+        }
+    }
+
+    /// If `origin` has no live attempts and a terminal outcome, push its
+    /// cluster response and retire it.
+    fn finalize(
+        origin: u64,
+        pending: &mut BTreeMap<u64, Pending>,
+        responses: &mut Vec<ClusterResponse>,
+    ) {
+        let done = pending.get(&origin).is_some_and(|p| {
+            p.outstanding.is_empty() && (p.resolved.is_some() || p.failure.is_some())
+        });
+        if !done {
+            return;
+        }
+        let p = pending.remove(&origin).expect("checked above");
+        let (outcome, shard) = match (p.resolved, p.failure) {
+            (Some((outcome, shard)), _) => (outcome, Some(shard)),
+            (None, Some((outcome, shard))) => (outcome, shard),
+            (None, None) => unreachable!("finalize requires a terminal outcome"),
+        };
+        responses.push(ClusterResponse {
+            id: origin,
+            name: p.req.name,
+            length: p.req.length,
+            outcome,
+            shard,
+            attempts: p.attempts,
+            hops: p.hops,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ln_datasets::Registry;
+    use ln_fault::{ChaosSpec, PartitionWindow, ResilienceConfig, ShardLossEvent};
+    use ln_serve::{
+        standard_backends, Backend, BatcherConfig, BucketPolicy, GpuBackend, LightNobelBackend,
+        WorkloadSpec,
+    };
+
+    fn policy() -> BucketPolicy {
+        BucketPolicy::from_registry(&Registry::standard(), 4)
+    }
+
+    fn standard_shard(plan: FaultPlan) -> Engine {
+        Engine::with_resilience(
+            policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+            plan,
+            ResilienceConfig::default(),
+        )
+    }
+
+    fn cluster(n: usize, cfg: ClusterConfig, plan: FaultPlan) -> Cluster {
+        let shards = (0..n).map(|_| standard_shard(FaultPlan::none())).collect();
+        Cluster::new(cfg, shards, plan)
+    }
+
+    fn workload(n: usize, rate: f64) -> Vec<FoldRequest> {
+        WorkloadSpec::cameo_casp_mix(n, rate)
+            .with_seed("cluster/test-workload")
+            .synthesize(&Registry::standard())
+    }
+
+    #[test]
+    fn every_request_terminates_and_reruns_are_identical() {
+        let wl = workload(60, 6.0);
+        let cfg = ClusterConfig {
+            seed: "cluster/unit".to_string(),
+            ..ClusterConfig::default()
+        };
+        let a = cluster(4, cfg.clone(), FaultPlan::none()).run(&wl);
+        assert_eq!(a.responses.len(), wl.len());
+        assert_eq!(a.stats.total() as usize, wl.len());
+        assert!(a.stats.completed > 0, "{:?}", a.stats);
+        // Responses come back in id order with the original ids.
+        let ids: Vec<u64> = a.responses.iter().map(|r| r.id).collect();
+        let mut want: Vec<u64> = wl.iter().map(|r| r.id).collect();
+        want.sort_unstable();
+        assert_eq!(ids, want);
+        let b = cluster(4, cfg, FaultPlan::none()).run(&wl);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn placement_spreads_load_across_shards() {
+        let wl = workload(80, 20.0);
+        let out = cluster(4, ClusterConfig::default(), FaultPlan::none()).run(&wl);
+        let with_work = out.shard_stats.iter().filter(|s| s.completed() > 0).count();
+        assert!(with_work >= 2, "all work landed on one shard");
+    }
+
+    #[test]
+    fn long_sequences_pin_to_aaq_capable_shards() {
+        // Shard 0 holds the AAQ accelerator; shards 1..3 only have GPUs
+        // that cannot fit a 7000-residue sequence.
+        let aaq: Vec<Box<dyn Backend>> = vec![Box::new(LightNobelBackend::paper("LightNobel"))];
+        let mut shards = vec![Engine::new(policy(), BatcherConfig::default(), aaq)];
+        for _ in 0..3 {
+            let gpus: Vec<Box<dyn Backend>> = vec![Box::new(GpuBackend::a100_chunk4())];
+            shards.push(Engine::new(policy(), BatcherConfig::default(), gpus));
+        }
+        let mut cl = Cluster::new(ClusterConfig::default(), shards, FaultPlan::none());
+        let wl: Vec<FoldRequest> = (0..6)
+            .map(|i| FoldRequest {
+                id: i,
+                name: format!("giant-{i}"),
+                length: 7000,
+                arrival_seconds: i as f64,
+                timeout_seconds: 1e6,
+            })
+            .collect();
+        let out = cl.run(&wl);
+        for r in &out.responses {
+            assert!(r.outcome.is_completed(), "{r:?}");
+            assert_eq!(r.shard, Some(0), "long sequence landed off the AAQ shard");
+        }
+    }
+
+    #[test]
+    fn hedged_dispatch_first_winner_cancels() {
+        let wl = workload(40, 8.0);
+        let cfg = ClusterConfig {
+            hedge_min_length: 0,
+            ..ClusterConfig::default()
+        };
+        let out = cluster(3, cfg, FaultPlan::none()).run(&wl);
+        assert_eq!(out.stats.hedges as usize, wl.len());
+        assert!(
+            out.stats.hedge_cancelled + out.stats.hedge_wasted > 0,
+            "hedging produced no losers: {:?}",
+            out.stats
+        );
+        assert_eq!(out.stats.total() as usize, wl.len());
+        // Wasted completions burned real backend time.
+        if out.stats.hedge_wasted > 0 {
+            assert!(out.stats.hedge_wasted_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_loss_reroutes_or_fails_typed_never_hangs() {
+        let wl = workload(60, 10.0);
+        let plan = FaultPlan::builder()
+            .shard_loss(1, 2.0)
+            .shard_loss(2, 3.5)
+            .build();
+        let out = cluster(4, ClusterConfig::default(), plan).run(&wl);
+        assert_eq!(out.stats.total() as usize, wl.len(), "{:?}", out.stats);
+        assert_eq!(out.stats.shard_losses, 2);
+        assert!(out.stats.reroutes > 0, "{:?}", out.stats);
+        // Nothing ever completes on a dead shard after its loss instant.
+        for r in &out.responses {
+            if let (
+                Some(s),
+                FoldOutcome::Completed {
+                    started_seconds, ..
+                },
+            ) = (r.shard, &r.outcome)
+            {
+                if s == 1 {
+                    assert!(*started_seconds < 2.0 + 1e-9, "{r:?}");
+                }
+                if s == 2 {
+                    assert!(*started_seconds < 3.5 + 1e-9, "{r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losing_every_shard_fails_typed() {
+        let wl = workload(30, 10.0);
+        let plan = FaultPlan::builder()
+            .shard_loss(0, 1.0)
+            .shard_loss(1, 1.0)
+            .build();
+        let out = cluster(2, ClusterConfig::default(), plan).run(&wl);
+        assert_eq!(out.stats.total() as usize, wl.len());
+        assert!(
+            out.responses
+                .iter()
+                .any(|r| matches!(r.outcome, FoldOutcome::Failed(FoldError::ShardLost { .. }))),
+            "no typed ShardLost outcome in {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn partition_defers_placement_until_heal() {
+        // One shard, partitioned for the first 3 seconds: arrivals during
+        // the window defer and then complete after the heal.
+        let wl: Vec<FoldRequest> = (0..4)
+            .map(|i| FoldRequest {
+                id: i,
+                name: format!("p{i}"),
+                length: 300,
+                arrival_seconds: 0.5 + i as f64 * 0.1,
+                timeout_seconds: 600.0,
+            })
+            .collect();
+        let plan = FaultPlan::builder()
+            .partition(PartitionWindow {
+                shard: 0,
+                start_seconds: 0.0,
+                end_seconds: 3.0,
+            })
+            .build();
+        let out = cluster(1, ClusterConfig::default(), plan).run(&wl);
+        assert!(out.stats.deferred > 0, "{:?}", out.stats);
+        for r in &out.responses {
+            match &r.outcome {
+                FoldOutcome::Completed {
+                    started_seconds, ..
+                } => {
+                    assert!(
+                        *started_seconds >= 3.0,
+                        "served inside the partition: {r:?}"
+                    )
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_outliving_the_budget_times_out_definitely() {
+        let wl = vec![FoldRequest {
+            id: 0,
+            name: "doomed".to_string(),
+            length: 300,
+            arrival_seconds: 0.0,
+            timeout_seconds: 2.0,
+        }];
+        let plan = FaultPlan::builder()
+            .partition(PartitionWindow {
+                shard: 0,
+                start_seconds: 0.0,
+                end_seconds: 100.0,
+            })
+            .build();
+        let out = cluster(1, ClusterConfig::default(), plan).run(&wl);
+        assert_eq!(out.responses.len(), 1);
+        assert!(
+            matches!(
+                out.responses[0].outcome,
+                FoldOutcome::TimedOut { .. } | FoldOutcome::Rejected(_)
+            ),
+            "{:?}",
+            out.responses[0]
+        );
+    }
+
+    #[test]
+    fn occupancy_skew_triggers_work_stealing() {
+        // Shard 0 can hold everything; shard 1 only short sequences. A
+        // burst of long sequences buries shard 0 while short ones queue
+        // behind them — the skew lets shard 1 steal the short tail.
+        let aaq: Vec<Box<dyn Backend>> = vec![Box::new(LightNobelBackend::paper("LightNobel"))];
+        let gpus: Vec<Box<dyn Backend>> = vec![Box::new(GpuBackend::a100_chunk4())];
+        let shards = vec![
+            Engine::new(policy(), BatcherConfig::default(), aaq),
+            Engine::new(policy(), BatcherConfig::default(), gpus),
+        ];
+        let cfg = ClusterConfig {
+            steal_threshold: 3,
+            ..ClusterConfig::default()
+        };
+        let mut cl = Cluster::new(cfg, shards, FaultPlan::none());
+        let mut wl: Vec<FoldRequest> = (0..12)
+            .map(|i| FoldRequest {
+                id: i,
+                name: format!("long-{i}"),
+                length: 7000,
+                arrival_seconds: 0.1,
+                timeout_seconds: 1e6,
+            })
+            .collect();
+        for i in 12..24 {
+            wl.push(FoldRequest {
+                id: i,
+                name: format!("short-{i}"),
+                length: 250,
+                arrival_seconds: 0.2,
+                timeout_seconds: 1e6,
+            });
+        }
+        let out = cl.run(&wl);
+        assert_eq!(out.stats.total() as usize, wl.len());
+        assert!(
+            out.stats.steals > 0,
+            "no steals despite skew: {:?}",
+            out.stats
+        );
+        assert!(
+            out.responses
+                .iter()
+                .any(|r| r.length == 250 && r.shard == Some(1)),
+            "stolen work never completed on the thief"
+        );
+    }
+
+    #[test]
+    fn autoscale_drains_idle_shards_and_reports_gauge() {
+        let wl = workload(20, 0.5); // trickle traffic, deep fleet
+        let cfg = ClusterConfig {
+            autoscale: Some(crate::config::AutoscaleConfig {
+                min_active: 1,
+                interval_seconds: 2.0,
+                up_depth: 1000.0,
+                down_depth: 2.0,
+            }),
+            ..ClusterConfig::default()
+        };
+        let out = cluster(4, cfg, FaultPlan::none()).run(&wl);
+        assert_eq!(out.stats.total() as usize, wl.len());
+        assert!(out.stats.scale_downs > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn chaos_outcome_is_identical_across_par_pools() {
+        let wl = workload(50, 8.0);
+        let spec = ChaosSpec {
+            shards: 3,
+            shard_loss_events: vec![ShardLossEvent {
+                shard: 1,
+                at_seconds: 2.0,
+            }],
+            partition_windows: vec![PartitionWindow {
+                shard: 2,
+                start_seconds: 1.0,
+                end_seconds: 4.0,
+            }],
+            ..ChaosSpec::light(3)
+        };
+        let plan = FaultPlan::seeded("cluster/pool-test", &spec);
+        let run = |threads: usize| {
+            let pool = ln_par::Pool::new(threads);
+            ln_par::with_pool(&pool, || {
+                cluster(3, ClusterConfig::default(), plan.clone()).run(&wl)
+            })
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.stats.total() as usize, wl.len());
+    }
+}

@@ -194,6 +194,16 @@ pub fn obs_tables() -> Vec<Table> {
     // zero: a report must state "no trace events were dropped" explicitly,
     // or a truncated trace could masquerade as a complete one.
     ln_obs::trace_dropped_total();
+    // Same for the cluster counters `ln-cluster` mirrors in: a report from
+    // a cluster run must show zero steals/hedges/losses explicitly rather
+    // than omit the rows.
+    let reg = ln_obs::registry();
+    reg.counter("cluster_steals_total");
+    reg.counter("cluster_hedges_total");
+    reg.counter("cluster_hedge_wasted_total");
+    reg.counter("cluster_reroutes_total");
+    reg.counter("cluster_shard_losses_total");
+    reg.gauge("cluster_active_shards");
     let snap = ln_obs::registry().snapshot();
     let mut counters = Table::new(["counter", "value"]).with_title("obs counters");
     let mut gauges = Table::new(["gauge", "value"]).with_title("obs gauges");
@@ -253,6 +263,19 @@ mod tests {
             all.contains("obs_trace_dropped_total"),
             "the trace-drop counter must render even at zero:\n{all}"
         );
+        for name in [
+            "cluster_steals_total",
+            "cluster_hedges_total",
+            "cluster_hedge_wasted_total",
+            "cluster_reroutes_total",
+            "cluster_shard_losses_total",
+            "cluster_active_shards",
+        ] {
+            assert!(
+                all.contains(name),
+                "cluster metric {name} must render even at zero:\n{all}"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod retry;
 
 pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker};
 pub use plan::{
-    ChaosSpec, DispatchFault, FaultPlan, FaultPlanBuilder, PoisonEvent, PressureWindow,
+    ChaosSpec, DispatchFault, FaultPlan, FaultPlanBuilder, PartitionWindow, PoisonEvent,
+    PressureWindow, ShardLossEvent,
 };
 pub use retry::RetryPolicy;
 

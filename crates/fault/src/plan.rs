@@ -68,12 +68,40 @@ pub struct PoisonEvent {
     pub at_seconds: f64,
 }
 
+/// A whole-shard loss in a sharded (cluster) deployment: at `at_seconds`
+/// shard `shard` dies permanently — its queued and in-flight work must be
+/// evacuated by the cluster layer and either rerouted or failed typed.
+/// Keyed by shard id + virtual seconds, like every other event here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLossEvent {
+    /// Shard index in the cluster.
+    pub shard: usize,
+    /// Virtual time at which the shard is lost.
+    pub at_seconds: f64,
+}
+
+/// A network partition window on one shard: between `start_seconds` and
+/// `end_seconds` the router cannot *reach* the shard for new placements,
+/// steals or hedges — work already on the shard keeps executing (the
+/// shard itself is healthy; the control path to it is not).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    /// Shard index in the cluster.
+    pub shard: usize,
+    /// Partition start, virtual seconds (inclusive).
+    pub start_seconds: f64,
+    /// Partition end, virtual seconds (exclusive).
+    pub end_seconds: f64,
+}
+
 /// A complete, immutable fault schedule.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     dispatch: BTreeMap<(usize, u64), DispatchFault>,
     pressure: Vec<PressureWindow>,
     poisons: Vec<PoisonEvent>,
+    shard_losses: Vec<ShardLossEvent>,
+    partitions: Vec<PartitionWindow>,
 }
 
 impl FaultPlan {
@@ -91,7 +119,11 @@ impl FaultPlan {
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.dispatch.is_empty() && self.pressure.is_empty() && self.poisons.is_empty()
+        self.dispatch.is_empty()
+            && self.pressure.is_empty()
+            && self.poisons.is_empty()
+            && self.shard_losses.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// The fault (if any) afflicting the `seq`-th dispatch on `backend`.
@@ -113,6 +145,43 @@ impl FaultPlan {
     /// The queue-poison events, sorted by time (ties break on bucket).
     pub fn poisons(&self) -> &[PoisonEvent] {
         &self.poisons
+    }
+
+    /// The shard-loss events, sorted by time (ties break on shard).
+    pub fn shard_losses(&self) -> &[ShardLossEvent] {
+        &self.shard_losses
+    }
+
+    /// The partition windows, sorted by start time (ties break on shard).
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// Whether `shard` is unreachable from the router at `now` (inside any
+    /// partition window).
+    pub fn partitioned(&self, shard: usize, now: f64) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| w.shard == shard && now >= w.start_seconds && now < w.end_seconds)
+    }
+
+    /// The earliest cluster-event boundary strictly after `now`: a shard
+    /// loss instant or a partition edge. A wake point for cluster event
+    /// loops, so a deferred placement retries the instant a partition
+    /// heals rather than timing out.
+    pub fn next_cluster_boundary(&self, now: f64) -> Option<f64> {
+        self.shard_losses
+            .iter()
+            .map(|e| e.at_seconds)
+            .chain(
+                self.partitions
+                    .iter()
+                    .flat_map(|w| [w.start_seconds, w.end_seconds]),
+            )
+            .filter(|&t| t > now)
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |cur| cur.min(t)))
+            })
     }
 
     /// The earliest pressure-window boundary strictly after `now` — a wake
@@ -166,6 +235,39 @@ impl FaultPlan {
         for p in &spec.poisons {
             b = b.poison(p.bucket, p.at_seconds);
         }
+        // Cluster events are sampled per shard (the stream is keyed by the
+        // shard id, the event by shard id + virtual seconds), so widening
+        // the cluster or changing one shard's draw never reshuffles the
+        // chaos hitting the others.
+        if spec.shards > 0 {
+            for shard in 0..spec.shards {
+                let mut r = rng::stream_indexed(&format!("{label}/shard_loss"), shard as u64);
+                let lost = r.gen_bool(spec.shard_loss_rate.clamp(0.0, 1.0));
+                let at = r.gen::<f64>() * spec.cluster_horizon_seconds.max(0.0);
+                if lost {
+                    b = b.shard_loss(shard, at);
+                }
+            }
+            for shard in 0..spec.shards {
+                let mut r = rng::stream_indexed(&format!("{label}/partition"), shard as u64);
+                let cut = r.gen_bool(spec.partition_rate.clamp(0.0, 1.0));
+                let start = r.gen::<f64>() * spec.cluster_horizon_seconds.max(0.0);
+                let dur = r.gen::<f64>() * spec.max_partition_seconds.max(0.0);
+                if cut {
+                    b = b.partition(PartitionWindow {
+                        shard,
+                        start_seconds: start,
+                        end_seconds: start + dur,
+                    });
+                }
+            }
+        }
+        for e in &spec.shard_loss_events {
+            b = b.shard_loss(e.shard, e.at_seconds);
+        }
+        for w in &spec.partition_windows {
+            b = b.partition(*w);
+        }
         b.build()
     }
 }
@@ -218,12 +320,38 @@ impl FaultPlanBuilder {
         self
     }
 
-    /// Finalizes the plan (poison events are sorted by time, then bucket).
+    /// Kills `shard` permanently at `at_seconds`.
+    pub fn shard_loss(mut self, shard: usize, at_seconds: f64) -> Self {
+        self.plan
+            .shard_losses
+            .push(ShardLossEvent { shard, at_seconds });
+        self
+    }
+
+    /// Adds a network-partition window (the end is clamped to at least the
+    /// start, so a degenerate window never fires).
+    pub fn partition(mut self, mut window: PartitionWindow) -> Self {
+        window.end_seconds = window.end_seconds.max(window.start_seconds);
+        self.plan.partitions.push(window);
+        self
+    }
+
+    /// Finalizes the plan (timed events are sorted by time, then index).
     pub fn build(mut self) -> FaultPlan {
         self.plan.poisons.sort_by(|a, b| {
             a.at_seconds
                 .total_cmp(&b.at_seconds)
                 .then(a.bucket.cmp(&b.bucket))
+        });
+        self.plan.shard_losses.sort_by(|a, b| {
+            a.at_seconds
+                .total_cmp(&b.at_seconds)
+                .then(a.shard.cmp(&b.shard))
+        });
+        self.plan.partitions.sort_by(|a, b| {
+            a.start_seconds
+                .total_cmp(&b.start_seconds)
+                .then(a.shard.cmp(&b.shard))
         });
         self.plan
     }
@@ -254,6 +382,20 @@ pub struct ChaosSpec {
     pub pressure: Vec<PressureWindow>,
     /// Explicit bucket-queue poison events.
     pub poisons: Vec<PoisonEvent>,
+    /// Number of shards in the cluster (0 disables cluster-event sampling).
+    pub shards: usize,
+    /// Per-shard probability of a permanent shard loss inside the horizon.
+    pub shard_loss_rate: f64,
+    /// Per-shard probability of one network-partition window.
+    pub partition_rate: f64,
+    /// Maximum partition duration (sampled uniformly in `[0, max]`).
+    pub max_partition_seconds: f64,
+    /// Virtual-time horizon cluster events are sampled within.
+    pub cluster_horizon_seconds: f64,
+    /// Explicit shard-loss events (added on top of any sampled ones).
+    pub shard_loss_events: Vec<ShardLossEvent>,
+    /// Explicit partition windows (added on top of any sampled ones).
+    pub partition_windows: Vec<PartitionWindow>,
 }
 
 impl ChaosSpec {
@@ -269,6 +411,13 @@ impl ChaosSpec {
             worker_panics: 0,
             pressure: Vec::new(),
             poisons: Vec::new(),
+            shards: 0,
+            shard_loss_rate: 0.0,
+            partition_rate: 0.0,
+            max_partition_seconds: 0.0,
+            cluster_horizon_seconds: 0.0,
+            shard_loss_events: Vec::new(),
+            partition_windows: Vec::new(),
         }
     }
 }
@@ -389,6 +538,126 @@ mod tests {
         let n = p.dispatch_fault_count() as f64 / 2000.0;
         // stall 10% + transient 5% (transient wins collisions) ≈ 14.5%.
         assert!((0.10..0.20).contains(&n), "fault rate {n}");
+    }
+
+    #[test]
+    fn cluster_events_round_trip_sorted() {
+        let p = FaultPlan::builder()
+            .shard_loss(3, 40.0)
+            .shard_loss(1, 10.0)
+            .partition(PartitionWindow {
+                shard: 2,
+                start_seconds: 5.0,
+                end_seconds: 15.0,
+            })
+            .partition(PartitionWindow {
+                shard: 0,
+                start_seconds: 1.0,
+                end_seconds: 2.0,
+            })
+            .build();
+        assert!(!p.is_empty());
+        let losses: Vec<(usize, f64)> = p
+            .shard_losses()
+            .iter()
+            .map(|e| (e.shard, e.at_seconds))
+            .collect();
+        assert_eq!(losses, vec![(1, 10.0), (3, 40.0)]);
+        let windows: Vec<usize> = p.partitions().iter().map(|w| w.shard).collect();
+        assert_eq!(windows, vec![0, 2]);
+
+        assert!(p.partitioned(2, 5.0), "start inclusive");
+        assert!(p.partitioned(2, 14.9));
+        assert!(!p.partitioned(2, 15.0), "end exclusive");
+        assert!(!p.partitioned(1, 10.0), "other shard untouched");
+
+        assert_eq!(p.next_cluster_boundary(0.0), Some(1.0));
+        assert_eq!(p.next_cluster_boundary(1.0), Some(2.0));
+        assert_eq!(p.next_cluster_boundary(2.0), Some(5.0));
+        assert_eq!(p.next_cluster_boundary(15.0), Some(40.0));
+        assert_eq!(p.next_cluster_boundary(40.0), None);
+    }
+
+    #[test]
+    fn degenerate_partition_never_fires() {
+        let p = FaultPlan::builder()
+            .partition(PartitionWindow {
+                shard: 0,
+                start_seconds: 9.0,
+                end_seconds: 3.0,
+            })
+            .build();
+        assert!(!p.partitioned(0, 9.0));
+        assert_eq!(p.partitions()[0].end_seconds, 9.0, "end clamped to start");
+    }
+
+    #[test]
+    fn seeded_cluster_events_are_reproducible_and_per_shard_stable() {
+        let spec = ChaosSpec {
+            shards: 8,
+            shard_loss_rate: 0.5,
+            partition_rate: 0.5,
+            max_partition_seconds: 30.0,
+            cluster_horizon_seconds: 120.0,
+            ..ChaosSpec::light(0)
+        };
+        let a = FaultPlan::seeded("cluster/a", &spec);
+        let b = FaultPlan::seeded("cluster/a", &spec);
+        let c = FaultPlan::seeded("cluster/b", &spec);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(
+            !a.shard_losses().is_empty() || !a.partitions().is_empty(),
+            "50% rates over 8 shards should fire"
+        );
+        for e in a.shard_losses() {
+            assert!((0.0..120.0).contains(&e.at_seconds));
+        }
+        for w in a.partitions() {
+            assert!(w.end_seconds - w.start_seconds <= 30.0 + 1e-9);
+        }
+
+        // Widening the cluster must not reshuffle existing shards' draws.
+        let wide = FaultPlan::seeded(
+            "cluster/a",
+            &ChaosSpec {
+                shards: 16,
+                ..spec.clone()
+            },
+        );
+        let narrow_losses: Vec<_> = a.shard_losses().to_vec();
+        let wide_low: Vec<_> = wide
+            .shard_losses()
+            .iter()
+            .copied()
+            .filter(|e| e.shard < 8)
+            .collect();
+        assert_eq!(narrow_losses, wide_low);
+    }
+
+    #[test]
+    fn explicit_cluster_events_pass_through_seeded() {
+        let spec = ChaosSpec {
+            shard_loss_events: vec![ShardLossEvent {
+                shard: 5,
+                at_seconds: 7.5,
+            }],
+            partition_windows: vec![PartitionWindow {
+                shard: 1,
+                start_seconds: 2.0,
+                end_seconds: 4.0,
+            }],
+            ..ChaosSpec::light(0)
+        };
+        let p = FaultPlan::seeded("cluster/explicit", &spec);
+        assert_eq!(
+            p.shard_losses(),
+            &[ShardLossEvent {
+                shard: 5,
+                at_seconds: 7.5
+            }]
+        );
+        assert!(p.partitioned(1, 3.0));
     }
 
     #[test]

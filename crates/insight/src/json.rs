@@ -379,6 +379,65 @@ mod tests {
     }
 
     #[test]
+    fn negative_and_exponent_numbers_parse_as_floats() {
+        assert_eq!(parse("-0").unwrap(), Value::Float(-0.0));
+        assert_eq!(parse("-17.25").unwrap(), Value::Float(-17.25));
+        assert_eq!(parse("-1e-3").unwrap(), Value::Float(-0.001));
+        assert_eq!(parse("2E+2").unwrap(), Value::Float(200.0));
+        assert_eq!(parse("6.02e23").unwrap(), Value::Float(6.02e23));
+        // Exponent forms are Float even when integral, so as_u64 refuses
+        // them (the exact-integer path is UInt only).
+        assert_eq!(parse("1e3").unwrap().as_u64(), None);
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        // A leading '+', a bare '.', or a dangling exponent is refused.
+        assert!(parse("+1").is_err());
+        assert!(parse(".5").is_err());
+        assert!(parse("1e").is_err());
+        // Known leniency (inherited from Rust's float grammar): a
+        // trailing '.' parses; pinned so a change is a conscious one.
+        assert_eq!(parse("1.").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn deep_arrays_parse_to_the_depth_cap_and_fail_past_it() {
+        // The deepest accepted document nests MAX_DEPTH + 1 arrays (the
+        // root sits at depth 0, so the innermost parses at depth
+        // MAX_DEPTH exactly)...
+        let ok = "[".repeat(super::MAX_DEPTH + 1) + &"]".repeat(super::MAX_DEPTH + 1);
+        let mut v = &parse(&ok).unwrap();
+        let mut depth = 0;
+        while let Some(items) = v.as_arr() {
+            depth += 1;
+            match items.first() {
+                Some(inner) => v = inner,
+                None => break,
+            }
+        }
+        assert_eq!(depth, super::MAX_DEPTH + 1);
+        // ...one more level is a bounded, typed failure — not a stack
+        // overflow on hostile input.
+        let too_deep = "[".repeat(super::MAX_DEPTH + 2) + &"]".repeat(super::MAX_DEPTH + 2);
+        let err = parse(&too_deep).unwrap_err();
+        assert!(
+            err.msg.contains("nesting"),
+            "unexpected message: {}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_kept_and_get_returns_the_first() {
+        let doc = parse(r#"{"k": 1, "k": 2, "j": 3}"#).unwrap();
+        let members = doc.as_obj().unwrap();
+        assert_eq!(members.len(), 3, "duplicates are preserved, not merged");
+        assert_eq!(members[0], ("k".to_string(), Value::UInt(1)));
+        assert_eq!(members[1], ("k".to_string(), Value::UInt(2)));
+        // Lookup is first-wins, deterministically.
+        assert_eq!(doc.get("k").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("j").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         for bad in [
             "",

@@ -38,7 +38,7 @@ pub mod timeline;
 
 pub use regression::{BaselineStore, GateConfig, RegressionReport, Sample};
 pub use roofline::{Ceilings, RooflineReport};
-pub use timeline::CriticalPath;
+pub use timeline::{CriticalPath, TerminalCounts};
 
 /// Render a count of nanoseconds as a fixed-precision human duration.
 ///

@@ -286,6 +286,7 @@ pub fn bench_samples(doc: &Value) -> Vec<Sample> {
         Some("par_speedup") => par_speedup_samples(doc),
         Some("obs_overhead") => obs_overhead_samples(doc),
         Some("insight") => insight_samples(doc),
+        Some("cluster_scale") => cluster_scale_samples(doc),
         _ => Vec::new(),
     }
 }
@@ -361,6 +362,29 @@ fn insight_samples(doc: &Value) -> Vec<Sample> {
             phase,
             "p99_ns",
             format!("insight/{tag}/{name}/p99_ns"),
+        );
+    }
+    out
+}
+
+fn cluster_scale_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for sweep in doc.get("sweeps").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(shards) = sweep.get("shards").and_then(Value::as_f64) else {
+            continue;
+        };
+        let prefix = format!("cluster_scale/s{shards}");
+        push_num(
+            &mut out,
+            sweep,
+            "p50_seconds",
+            format!("{prefix}/p50_seconds"),
+        );
+        push_num(
+            &mut out,
+            sweep,
+            "p99_seconds",
+            format!("{prefix}/p99_seconds"),
         );
     }
     out
@@ -539,6 +563,28 @@ mod tests {
         // Unknown kinds contribute nothing.
         let other = json::parse(r#"{"bench": "mystery", "x": 1}"#).unwrap();
         assert!(bench_samples(&other).is_empty());
+    }
+
+    #[test]
+    fn cluster_scale_documents_flatten_per_shard_count() {
+        let cluster = json::parse(
+            r#"{"bench": "cluster_scale", "sweeps": [
+                {"shards": 1, "p50_seconds": 4.2, "p99_seconds": 19.0},
+                {"shards": 4, "p50_seconds": 1.1, "p99_seconds": 6.5},
+                {"shards": 16, "p99_seconds": 2.0}
+            ]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&cluster);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0].metric, "cluster_scale/s1/p50_seconds");
+        assert_eq!(samples[1].metric, "cluster_scale/s1/p99_seconds");
+        assert_eq!(samples[1].value, 19.0);
+        assert_eq!(samples[4].metric, "cluster_scale/s16/p99_seconds");
+        // Sweeps without a shard count are skipped, not guessed.
+        let bad =
+            json::parse(r#"{"bench": "cluster_scale", "sweeps": [{"p99_seconds": 1.0}]}"#).unwrap();
+        assert!(bench_samples(&bad).is_empty());
     }
 
     #[test]

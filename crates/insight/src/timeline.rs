@@ -11,9 +11,17 @@
 //! | phase | meaning |
 //! |---|---|
 //! | `queue` | waiting in a bucket queue for capacity |
+//! | `shard_hop` | in transit between a cluster router and a shard |
 //! | `service` | inside a successful `fold_batch` span (incl. stalls) |
 //! | `fault_burn` | backend time burned by an attempt that then failed |
 //! | `backoff` | retry backoff imposed after a backend fault |
+//!
+//! Cluster traces (ln-cluster) extend the vocabulary: `arrive` instants
+//! and `shard_hop` spans on router tracks, `cancel`/`steal` instants for
+//! hedged-dispatch losers and stolen work, `shard_loss` fault instants
+//! for batches that died with their shard, and shard-level `reject`
+//! instants that terminate an already-arrived attempt. Every attempt id
+//! still reaches exactly one terminal.
 //!
 //! The association between a `fold_batch` span and the requests inside it
 //! uses the engine's ring ordering: each launch pushes the batch's
@@ -48,6 +56,29 @@ pub enum Terminal {
     Failed,
     /// Expired in queue (`timeout` instant).
     TimedOut,
+    /// Removed before dispatch (`cancel`/`steal` instant): a hedged
+    /// attempt whose twin won, a stolen attempt re-placed elsewhere, or a
+    /// shard-loss eviction. The logical request lives on under another
+    /// attempt id.
+    Cancelled,
+    /// Refused by a shard after routing (`reject` instant naming an
+    /// already-arrived attempt).
+    Rejected,
+}
+
+/// Requests per terminal kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TerminalCounts {
+    /// Folded successfully.
+    pub completed: usize,
+    /// Failed terminally.
+    pub failed: usize,
+    /// Expired in queue.
+    pub timed_out: usize,
+    /// Cancelled or stolen before dispatch.
+    pub cancelled: usize,
+    /// Rejected by a shard after routing.
+    pub rejected: usize,
 }
 
 /// Which phase dominates a request's attributed time.
@@ -68,12 +99,15 @@ pub struct RequestPath {
     pub id: u64,
     /// Sequence length, from the `enqueue` args.
     pub seq_len: u64,
-    /// `enqueue` timestamp, nanoseconds of virtual time.
+    /// `enqueue` (or cluster `arrive`) timestamp, nanoseconds of virtual
+    /// time.
     pub enqueue_nanos: u64,
     /// Timestamp of the terminal event.
     pub end_nanos: u64,
     /// Nanoseconds waiting in bucket queues.
     pub queue_nanos: u64,
+    /// Nanoseconds in transit between the cluster router and a shard.
+    pub shard_hop_nanos: u64,
     /// Nanoseconds of successful backend service.
     pub service_nanos: u64,
     /// Nanoseconds burned by attempts that later faulted.
@@ -94,16 +128,21 @@ impl RequestPath {
         self.end_nanos.saturating_sub(self.enqueue_nanos)
     }
 
-    /// Sum of the four attributed phases.
+    /// Sum of the five attributed phases.
     pub fn attributed_nanos(&self) -> u64 {
-        self.queue_nanos + self.service_nanos + self.fault_burn_nanos + self.backoff_nanos
+        self.queue_nanos
+            + self.shard_hop_nanos
+            + self.service_nanos
+            + self.fault_burn_nanos
+            + self.backoff_nanos
     }
 
     /// Which phase dominates; ties resolve queue → compute → retry so the
-    /// verdict is deterministic.
+    /// verdict is deterministic. Hop time counts toward queue: both are
+    /// "not yet computing" from the client's perspective.
     pub fn blame(&self) -> Blame {
         let retry = self.fault_burn_nanos + self.backoff_nanos;
-        let mut best = (self.queue_nanos, Blame::Queue);
+        let mut best = (self.queue_nanos + self.shard_hop_nanos, Blame::Queue);
         if self.service_nanos > best.0 {
             best = (self.service_nanos, Blame::Compute);
         }
@@ -163,6 +202,7 @@ struct ReqState {
     /// Last attributed instant: everything up to here is charged.
     cursor: u64,
     queue: u64,
+    hop: u64,
     service: u64,
     fault_burn: u64,
     backoff: u64,
@@ -199,6 +239,8 @@ pub struct CriticalPath {
     pub poison_events: u64,
     /// Dispatches that ran below FP32 (`degrade` instants).
     pub degraded_dispatches: u64,
+    /// Work-stealing victims observed (`steal` instants).
+    pub steals: u64,
     /// Events outside the engine vocabulary (kernel spans from other
     /// tracers, bench markers); counted, not errors.
     pub foreign_events: u64,
@@ -224,14 +266,39 @@ impl CriticalPath {
             breaker_events: BTreeMap::new(),
             poison_events: 0,
             degraded_dispatches: 0,
+            steals: 0,
             foreign_events: 0,
             unattributed: Vec::new(),
             truncated: dropped > 0,
+        };
+        let fresh_state = |seq_len: u64, ts: u64| ReqState {
+            seq_len,
+            enqueue: ts,
+            cursor: ts,
+            queue: 0,
+            hop: 0,
+            service: 0,
+            fault_burn: 0,
+            backoff: 0,
+            retries: 0,
+            pending_backoff_nanos: None,
+            terminal: None,
+            precision: None,
         };
 
         for event in events {
             let ts = event.ts_nanos;
             match (event.cat, event.name.as_str(), &event.phase) {
+                ("router", "arrive", TracePhase::Instant) => {
+                    let (Some(id), Some(seq_len)) =
+                        (arg_u64(event, "id"), arg_u64(event, "seq_len"))
+                    else {
+                        out.unattributed
+                            .push(format!("arrive at {ts} without id/seq_len"));
+                        continue;
+                    };
+                    reqs.insert(id, fresh_state(seq_len, ts));
+                }
                 ("queue", "enqueue", TracePhase::Instant) => {
                     let (Some(id), Some(seq_len)) =
                         (arg_u64(event, "id"), arg_u64(event, "seq_len"))
@@ -240,26 +307,58 @@ impl CriticalPath {
                             .push(format!("enqueue at {ts} without id/seq_len"));
                         continue;
                     };
-                    reqs.insert(
-                        id,
-                        ReqState {
-                            seq_len,
-                            enqueue: ts,
-                            cursor: ts,
-                            queue: 0,
-                            service: 0,
-                            fault_burn: 0,
-                            backoff: 0,
-                            retries: 0,
-                            pending_backoff_nanos: None,
-                            terminal: None,
-                            precision: None,
-                        },
-                    );
+                    match reqs.get_mut(&id) {
+                        // The attempt already arrived at a cluster router:
+                        // the shard-side admission only moves the cursor
+                        // (the hop span covered transit); the router's
+                        // arrive instant stays the life start.
+                        Some(req) => req.advance_to(ts),
+                        None => {
+                            reqs.insert(id, fresh_state(seq_len, ts));
+                        }
+                    }
+                }
+                ("hop", "shard_hop", TracePhase::Complete { dur_nanos }) => {
+                    let Some(id) = arg_u64(event, "id") else {
+                        out.unattributed
+                            .push(format!("shard_hop at {ts} without id"));
+                        continue;
+                    };
+                    let Some(req) = reqs.get_mut(&id) else {
+                        out.unattributed
+                            .push(format!("shard_hop for unknown id {id}"));
+                        continue;
+                    };
+                    req.advance_to(ts);
+                    req.hop += dur_nanos;
+                    req.cursor = ts + dur_nanos;
+                }
+                ("cancel", "cancel" | "steal", TracePhase::Instant) => {
+                    if event.name == "steal" {
+                        out.steals += 1;
+                    }
+                    let Some(id) = arg_u64(event, "id") else {
+                        out.unattributed
+                            .push(format!("{} at {ts} without id", event.name));
+                        continue;
+                    };
+                    // A cancel for an id the replay never saw admitted is
+                    // benign (a pending-arrival eviction): nothing started,
+                    // nothing to attribute.
+                    if let Some(req) = reqs.get_mut(&id) {
+                        req.advance_to(ts);
+                        req.terminal = Some((Terminal::Cancelled, ts));
+                    }
                 }
                 ("queue", "reject", TracePhase::Instant) => {
                     let reason = arg_str(event, "reason").unwrap_or("unknown").to_string();
                     *out.rejected.entry(reason).or_insert(0) += 1;
+                    // A shard-level reject of an attempt that already
+                    // arrived via a cluster router must still terminate it.
+                    if let Some(req) = arg_u64(event, "id").and_then(|id| reqs.get_mut(&id)) {
+                        req.advance_to(ts);
+                        req.terminal = Some((Terminal::Rejected, ts));
+                    }
                 }
                 ("queue", "queue_wait", TracePhase::Complete { dur_nanos }) => {
                     let Some(id) = arg_u64(event, "id") else {
@@ -319,7 +418,7 @@ impl CriticalPath {
                         req.terminal = Some((Terminal::Completed, ts + dur_nanos));
                     }
                 }
-                ("fault", "transient" | "worker_panic", TracePhase::Instant) => {
+                ("fault", "transient" | "worker_panic" | "shard_loss", TracePhase::Instant) => {
                     let Some(batch) = in_flight.remove(&event.track) else {
                         out.unattributed
                             .push(format!("{} at {ts} with no dispatched batch", event.name));
@@ -414,6 +513,7 @@ impl CriticalPath {
                 enqueue_nanos: req.enqueue,
                 end_nanos: end,
                 queue_nanos: req.queue,
+                shard_hop_nanos: req.hop,
                 service_nanos: req.service,
                 fault_burn_nanos: req.fault_burn,
                 backoff_nanos: req.backoff,
@@ -426,15 +526,18 @@ impl CriticalPath {
     }
 
     /// Per-phase order statistics across all attributed requests, in a
-    /// fixed order: `queue`, `service`, `fault_burn`, `backoff`, `e2e`.
+    /// fixed order: `queue`, `shard_hop`, `service`, `fault_burn`,
+    /// `backoff`, `e2e`.
     pub fn phases(&self) -> Vec<(&'static str, PhaseStats)> {
         let mut queue = Vec::with_capacity(self.requests.len());
+        let mut hop = Vec::with_capacity(self.requests.len());
         let mut service = Vec::with_capacity(self.requests.len());
         let mut burn = Vec::with_capacity(self.requests.len());
         let mut backoff = Vec::with_capacity(self.requests.len());
         let mut e2e = Vec::with_capacity(self.requests.len());
         for r in &self.requests {
             queue.push(r.queue_nanos);
+            hop.push(r.shard_hop_nanos);
             service.push(r.service_nanos);
             burn.push(r.fault_burn_nanos);
             backoff.push(r.backoff_nanos);
@@ -442,6 +545,7 @@ impl CriticalPath {
         }
         vec![
             ("queue", phase_stats(&mut queue)),
+            ("shard_hop", phase_stats(&mut hop)),
             ("service", phase_stats(&mut service)),
             ("fault_burn", phase_stats(&mut burn)),
             ("backoff", phase_stats(&mut backoff)),
@@ -463,14 +567,16 @@ impl CriticalPath {
         counts
     }
 
-    /// Requests per terminal: `(completed, failed, timed_out)`.
-    pub fn terminal_summary(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
+    /// Requests per terminal kind.
+    pub fn terminal_summary(&self) -> TerminalCounts {
+        let mut counts = TerminalCounts::default();
         for r in &self.requests {
             match r.terminal {
-                Terminal::Completed => counts.0 += 1,
-                Terminal::Failed => counts.1 += 1,
-                Terminal::TimedOut => counts.2 += 1,
+                Terminal::Completed => counts.completed += 1,
+                Terminal::Failed => counts.failed += 1,
+                Terminal::TimedOut => counts.timed_out += 1,
+                Terminal::Cancelled => counts.cancelled += 1,
+                Terminal::Rejected => counts.rejected += 1,
             }
         }
         counts
@@ -502,13 +608,18 @@ impl CriticalPath {
     /// Deterministic markdown dashboard: phase table, blame summary and
     /// resilience-event roll-up. Byte-identical for identical traces.
     pub fn render_markdown(&self) -> String {
-        let (completed, failed, timed_out) = self.terminal_summary();
+        let t = self.terminal_summary();
         let rejected: u64 = self.rejected.values().sum();
         let mut out = String::new();
         out.push_str(&format!(
-            "## Critical path — {} requests ({completed} completed, {failed} failed, \
-             {timed_out} timed out; {rejected} rejected at admission)\n\n",
-            self.requests.len()
+            "## Critical path — {} requests ({} completed, {} failed, \
+             {} timed out, {} cancelled, {} shard-rejected; {rejected} rejected at admission)\n\n",
+            self.requests.len(),
+            t.completed,
+            t.failed,
+            t.timed_out,
+            t.cancelled,
+            t.rejected,
         ));
         out.push_str("| phase | total | p50 | p99 | max | share |\n");
         out.push_str("|---|---|---|---|---|---|\n");
@@ -541,10 +652,11 @@ impl CriticalPath {
              {retry_bound} retry-bound\n"
         ));
         out.push_str(&format!(
-            "events: {} retries, {} poisons, {} degraded dispatches, {} foreign\n",
+            "events: {} retries, {} poisons, {} degraded dispatches, {} steals, {} foreign\n",
             self.total_retries(),
             self.poison_events,
             self.degraded_dispatches,
+            self.steals,
             self.foreign_events,
         ));
         if !self.rejected.is_empty() {
@@ -919,6 +1031,182 @@ mod tests {
         assert!(a.contains("| e2e | 140 ns |"));
         assert!(a.contains("blame: 0 queue-bound, 1 compute-bound, 0 retry-bound"));
         assert!(a.contains("unattributed spans: 0; trace truncated: no"));
+    }
+
+    /// A full cluster attempt: router arrive, hop span, shard enqueue,
+    /// queue_wait, dispatch, fold — every nanosecond attributed.
+    #[test]
+    fn cluster_hop_is_charged_exactly() {
+        let events = vec![
+            instant(
+                0,
+                "arrive",
+                "router",
+                0,
+                vec![("id", u(11)), ("seq_len", u(300))],
+            ),
+            complete(
+                0,
+                25,
+                "shard_hop",
+                "hop",
+                0,
+                vec![("id", u(11)), ("shard", u(2))],
+            ),
+            instant(
+                25,
+                "enqueue",
+                "queue",
+                2000,
+                vec![("id", u(11)), ("seq_len", u(300))],
+            ),
+            complete(
+                25,
+                40,
+                "queue_wait",
+                "queue",
+                2000,
+                vec![("id", u(11)), ("seq_len", u(300))],
+            ),
+            instant(
+                65,
+                "dispatch",
+                "dispatch",
+                2100,
+                vec![
+                    ("bucket", u(2000)),
+                    ("batch_size", u(1)),
+                    ("precision", ArgValue::Str("fp32".into())),
+                ],
+            ),
+            complete(
+                65,
+                100,
+                "fold_batch",
+                "kernel",
+                2100,
+                vec![("bucket", u(2000)), ("batch_size", u(1))],
+            ),
+        ];
+        let cp = CriticalPath::analyze(&events, 0);
+        assert!(cp.unattributed.is_empty(), "{:?}", cp.unattributed);
+        let r = &cp.requests[0];
+        assert_eq!(r.shard_hop_nanos, 25);
+        assert_eq!(r.queue_nanos, 40);
+        assert_eq!(r.service_nanos, 100);
+        assert_eq!(r.total_nanos(), 165);
+        assert_eq!(r.attributed_nanos(), r.total_nanos(), "e2e fully covered");
+        let phases = cp.phases();
+        assert_eq!(phases[1].0, "shard_hop");
+        assert_eq!(phases[1].1.total_nanos, 25);
+    }
+
+    #[test]
+    fn cancel_steal_and_shard_reject_are_terminal() {
+        let events = vec![
+            instant(
+                0,
+                "arrive",
+                "router",
+                0,
+                vec![("id", u(1)), ("seq_len", u(100))],
+            ),
+            complete(0, 10, "shard_hop", "hop", 0, vec![("id", u(1))]),
+            instant(
+                10,
+                "enqueue",
+                "queue",
+                1000,
+                vec![("id", u(1)), ("seq_len", u(100))],
+            ),
+            // Hedged twin won elsewhere: cancelled 30 ns into its wait.
+            instant(40, "cancel", "cancel", 1000, vec![("id", u(1))]),
+            // A second attempt is stolen away.
+            instant(
+                0,
+                "enqueue",
+                "queue",
+                1000,
+                vec![("id", u(2)), ("seq_len", u(100))],
+            ),
+            instant(50, "steal", "cancel", 1000, vec![("id", u(2))]),
+            // A third arrives at a shard whose queue is full.
+            instant(
+                0,
+                "arrive",
+                "router",
+                0,
+                vec![("id", u(3)), ("seq_len", u(100))],
+            ),
+            complete(0, 10, "shard_hop", "hop", 0, vec![("id", u(3))]),
+            instant(
+                10,
+                "reject",
+                "queue",
+                1000,
+                vec![("id", u(3)), ("reason", ArgValue::Str("queue_full".into()))],
+            ),
+            // A cancel for an id never admitted is benign.
+            instant(60, "cancel", "cancel", 1000, vec![("id", u(99))]),
+        ];
+        let cp = CriticalPath::analyze(&events, 0);
+        assert!(cp.unattributed.is_empty(), "{:?}", cp.unattributed);
+        assert_eq!(cp.requests.len(), 3);
+        let t = cp.terminal_summary();
+        assert_eq!(t.cancelled, 2);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(cp.steals, 1);
+        assert_eq!(cp.rejected.get("queue_full"), Some(&1));
+        let r1 = &cp.requests[0];
+        assert_eq!(r1.terminal, Terminal::Cancelled);
+        assert_eq!(r1.shard_hop_nanos, 10);
+        assert_eq!(r1.queue_nanos, 30);
+        assert_eq!(r1.attributed_nanos(), r1.total_nanos());
+        let r3 = &cp.requests[2];
+        assert_eq!(r3.terminal, Terminal::Rejected);
+        assert_eq!(r3.attributed_nanos(), r3.total_nanos());
+    }
+
+    #[test]
+    fn shard_loss_burns_in_flight_batches() {
+        let events = vec![
+            instant(
+                0,
+                "enqueue",
+                "queue",
+                0,
+                vec![("id", u(5)), ("seq_len", u(200))],
+            ),
+            complete(
+                0,
+                10,
+                "queue_wait",
+                "queue",
+                0,
+                vec![("id", u(5)), ("seq_len", u(200))],
+            ),
+            instant(
+                10,
+                "dispatch",
+                "dispatch",
+                100,
+                vec![
+                    ("bucket", u(0)),
+                    ("batch_size", u(1)),
+                    ("precision", ArgValue::Str("fp32".into())),
+                ],
+            ),
+            // The shard dies 70 ns into the batch; the victim is evicted.
+            instant(80, "shard_loss", "fault", 100, vec![("bucket", u(0))]),
+            instant(80, "cancel", "cancel", 0, vec![("id", u(5))]),
+        ];
+        let cp = CriticalPath::analyze(&events, 0);
+        assert!(cp.unattributed.is_empty(), "{:?}", cp.unattributed);
+        let r = &cp.requests[0];
+        assert_eq!(r.terminal, Terminal::Cancelled);
+        assert_eq!(r.fault_burn_nanos, 70);
+        assert_eq!(r.queue_nanos, 10);
+        assert_eq!(r.attributed_nanos(), r.total_nanos());
     }
 
     #[test]

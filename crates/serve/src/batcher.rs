@@ -168,6 +168,32 @@ impl Batcher {
             .unwrap_or_default()
     }
 
+    /// Removes one queued request by id, wherever it sits (used by the
+    /// cluster layer to cancel a hedged attempt whose twin already won).
+    pub fn remove(&mut self, id: u64) -> Option<QueuedRequest> {
+        for q in &mut self.queues {
+            if let Some(pos) = q.iter().position(|e| e.request.id == id) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Steals one request from the **tail** of the deepest bucket whose
+    /// tail sequence fits `max_len` (ties break on the lower bucket index).
+    /// Tail-first keeps the victim shard's imminent batches intact — the
+    /// stolen request is the one that would have waited longest anyway.
+    pub fn steal_tail(&mut self, max_len: usize) -> Option<QueuedRequest> {
+        let victim = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.back().is_some_and(|e| e.request.length <= max_len))
+            .max_by(|(ai, aq), (bi, bq)| aq.len().cmp(&bq.len()).then(bi.cmp(ai)))
+            .map(|(b, _)| b)?;
+        self.queues[victim].pop_back()
+    }
+
     /// Buckets eligible for flushing at `now`, oldest head first (ties
     /// break on bucket index, keeping the schedule deterministic). A head
     /// still inside its backoff gate parks its bucket. With `drain` set
@@ -434,6 +460,38 @@ mod tests {
         assert_eq!(b.ready_buckets(0.0, true), vec![0]);
         let batch = b.take_batch(0, f64::INFINITY, |_| true);
         assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn remove_plucks_by_id_anywhere() {
+        let mut b = batcher(8, 10);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        b.offer(req(2, 60, 0.1)).unwrap();
+        b.offer(req(3, 600, 0.0)).unwrap();
+        let got = b.remove(2).expect("queued");
+        assert_eq!(got.request.id, 2);
+        assert_eq!(b.depth(0), 1);
+        assert!(b.remove(2).is_none(), "already gone");
+        assert!(b.remove(99).is_none());
+        assert_eq!(b.total_depth(), 2);
+    }
+
+    #[test]
+    fn steal_tail_takes_deepest_bucket_newest_entry() {
+        let mut b = batcher(8, 10);
+        b.offer(req(1, 50, 0.0)).unwrap();
+        b.offer(req(2, 60, 0.1)).unwrap();
+        b.offer(req(3, 600, 0.0)).unwrap();
+        // Bucket 0 is deepest (2 vs 1): steal its tail, not its head.
+        let got = b.steal_tail(usize::MAX).expect("stealable");
+        assert_eq!(got.request.id, 2);
+        // Depths now tie at 1 and 1: the lower bucket index wins.
+        let got = b.steal_tail(usize::MAX).expect("stealable");
+        assert_eq!(got.request.id, 1);
+        // Only the long request remains; a short-only thief gets nothing.
+        assert!(b.steal_tail(100).is_none());
+        assert_eq!(b.steal_tail(1000).unwrap().request.id, 3);
+        assert!(b.steal_tail(usize::MAX).is_none(), "empty batcher");
     }
 
     #[test]

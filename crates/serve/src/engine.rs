@@ -106,6 +106,25 @@ pub struct EngineOutcome {
     pub trace_dropped: u64,
 }
 
+/// The mutable state of one run, alive between [`Engine::begin`] and
+/// [`Engine::finish`]. Keeping it on the engine (rather than on `run`'s
+/// stack) lets external drivers — the cluster router — single-step the
+/// event loop and interleave injections between steps.
+struct RunState {
+    /// The workload in `(arrival, id)` order; `inject` keeps the unseen
+    /// tail sorted.
+    arrivals: Vec<FoldRequest>,
+    next_arrival: usize,
+    next_poison: usize,
+    /// Virtual time of the last processed event.
+    now: f64,
+    stats: ServeStats,
+    responses: Vec<FoldResponse>,
+    /// Cursor into `responses`: everything before it was already handed
+    /// out by an earlier [`Engine::advance`] call.
+    emitted: usize,
+}
+
 /// The batched folding scheduler over a pool of simulated backends.
 pub struct Engine {
     batcher: Batcher,
@@ -125,9 +144,13 @@ pub struct Engine {
     /// `Some(_)` forces tracing on/off for this engine; `None` follows the
     /// process-wide `LN_OBS` level.
     trace_override: Option<bool>,
-    /// Per-run trace state, present only while `run` executes with tracing
+    /// Per-run trace state, present only while a run executes with tracing
     /// on.
     run_trace: Option<RunTrace>,
+    /// Stepper state, present between `begin` and `finish`.
+    run_state: Option<RunState>,
+    /// A dead engine (evacuated shard) schedules nothing ever again.
+    dead: bool,
 }
 
 impl Engine {
@@ -186,6 +209,8 @@ impl Engine {
             dispatch_seq,
             trace_override: None,
             run_trace: None,
+            run_state: None,
+            dead: false,
         }
     }
 
@@ -242,8 +267,9 @@ impl Engine {
 
     /// Best-case service seconds for a single sequence of `length`: the
     /// fastest backend whose memory fits it at FP32, ignoring all queueing.
-    /// `None` when nothing fits (the `TooLong` case).
-    fn best_case_seconds(&self, length: usize) -> Option<f64> {
+    /// `None` when nothing fits (the `TooLong` case). Public so a cluster
+    /// router can reuse the same admission math for placement.
+    pub fn best_case_seconds(&self, length: usize) -> Option<f64> {
         self.backends
             .iter()
             .filter(|b| b.fits_batch(&[length]))
@@ -260,9 +286,26 @@ impl Engine {
     /// admitted request reaches a definite [`FoldOutcome`] — completion
     /// (possibly precision-degraded), typed failure, rejection or timeout —
     /// even under an adversarial fault plan.
+    ///
+    /// Exactly equivalent to driving the stepper by hand:
+    /// [`Engine::begin`], then [`Engine::advance`] at every
+    /// [`Engine::next_event_seconds`] until [`Engine::idle`], then
+    /// [`Engine::finish`].
     pub fn run(&mut self, workload: &[FoldRequest]) -> EngineOutcome {
-        // Reset per-run fault/breaker state so reusing an engine replays
-        // the same plan identically.
+        self.begin(workload);
+        while let Some(t) = self.next_event_seconds() {
+            self.advance(t);
+            if self.idle() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Starts a run: resets per-run fault/breaker state (so reusing an
+    /// engine replays the same plan identically) and stages the workload
+    /// in `(arrival, id)` order.
+    pub fn begin(&mut self, workload: &[FoldRequest]) {
         self.breakers = self
             .backends
             .iter()
@@ -270,7 +313,8 @@ impl Engine {
             .collect();
         self.dispatch_seq = vec![0; self.backends.len()];
         self.run_trace = self.tracing().then(RunTrace::new);
-        let mut next_poison = 0usize;
+        self.in_flight = self.backends.iter().map(|_| None).collect();
+        self.dead = false;
 
         let mut arrivals: Vec<FoldRequest> = workload.to_vec();
         arrivals.sort_by(|a, b| {
@@ -282,46 +326,269 @@ impl Engine {
         stats
             .resilience
             .register_backends(self.backends.iter().map(|b| b.name().to_string()));
-        let mut responses: Vec<FoldResponse> = Vec::with_capacity(arrivals.len());
-        let mut next_arrival = 0usize;
-        let mut now = 0.0f64;
+        let cap = arrivals.len();
+        self.run_state = Some(RunState {
+            arrivals,
+            next_arrival: 0,
+            next_poison: 0,
+            now: 0.0,
+            stats,
+            responses: Vec::with_capacity(cap),
+            emitted: 0,
+        });
+    }
 
-        loop {
-            // Pick the next event time. Arrivals, completions and poisons
-            // consume themselves, so candidates at `now` are fine;
-            // deadlines and breaker/pressure boundaries do not, so only
-            // strictly-future ones count (a stale flush deadline just
-            // means the bucket is already ready and waiting for a backend
-            // — a completion will wake it).
-            let mut next: Option<f64> = None;
-            let mut fold = |cand: f64| next = Some(next.map_or(cand, |cur: f64| cur.min(cand)));
-            if next_arrival < arrivals.len() {
-                fold(arrivals[next_arrival].arrival_seconds.max(now));
-            }
-            for f in self.in_flight.iter().flatten() {
-                fold(f.finish_seconds.max(now));
-            }
-            if let Some(d) = self.batcher.next_deadline(now) {
-                fold(d);
-            }
-            for b in &self.breakers {
-                if let Some(t) = b.next_transition_seconds() {
-                    if t > now {
-                        fold(t);
-                    }
-                }
-            }
-            if self.batcher.total_depth() > 0 {
-                if let Some(t) = self.plan.next_pressure_boundary(now) {
+    /// The next event time, or `None` when nothing is scheduled (run not
+    /// begun, engine dead, or workload fully drained and settled).
+    ///
+    /// Arrivals, completions and poisons consume themselves, so candidates
+    /// at `now` are fine; deadlines and breaker/pressure boundaries do
+    /// not, so only strictly-future ones count (a stale flush deadline
+    /// just means the bucket is already ready and waiting for a backend —
+    /// a completion will wake it).
+    pub fn next_event_seconds(&self) -> Option<f64> {
+        if self.dead {
+            return None;
+        }
+        let rs = self.run_state.as_ref()?;
+        let now = rs.now;
+        let mut next: Option<f64> = None;
+        let mut fold = |cand: f64| next = Some(next.map_or(cand, |cur: f64| cur.min(cand)));
+        if rs.next_arrival < rs.arrivals.len() {
+            fold(rs.arrivals[rs.next_arrival].arrival_seconds.max(now));
+        }
+        for f in self.in_flight.iter().flatten() {
+            fold(f.finish_seconds.max(now));
+        }
+        if let Some(d) = self.batcher.next_deadline(now) {
+            fold(d);
+        }
+        for b in &self.breakers {
+            if let Some(t) = b.next_transition_seconds() {
+                if t > now {
                     fold(t);
                 }
             }
-            if next_poison < self.plan.poisons().len() {
-                fold(self.plan.poisons()[next_poison].at_seconds.max(now));
+        }
+        if self.batcher.total_depth() > 0 {
+            if let Some(t) = self.plan.next_pressure_boundary(now) {
+                fold(t);
             }
-            let Some(t) = next else { break };
-            now = t;
+        }
+        if rs.next_poison < self.plan.poisons().len() {
+            fold(self.plan.poisons()[rs.next_poison].at_seconds.max(now));
+        }
+        next
+    }
 
+    /// Whether the run has nothing left to do: every staged arrival was
+    /// admitted, every queue is empty and every backend is idle. A dead
+    /// engine is always idle.
+    pub fn idle(&self) -> bool {
+        let Some(rs) = self.run_state.as_ref() else {
+            return true;
+        };
+        self.dead
+            || (rs.next_arrival >= rs.arrivals.len()
+                && self.batcher.total_depth() == 0
+                && self.in_flight.iter().all(Option::is_none))
+    }
+
+    /// Processes every event due at virtual time `t` — breaker
+    /// transitions, completions, arrivals, poisons, dispatch, timeouts —
+    /// and returns the responses newly settled by this step.
+    ///
+    /// `t` must be the value [`Engine::next_event_seconds`] returned:
+    /// skipping ahead past an intermediate event time would reorder the
+    /// schedule. Times are clamped to be non-decreasing.
+    pub fn advance(&mut self, t: f64) -> Vec<FoldResponse> {
+        let Some(mut rs) = self.run_state.take() else {
+            return Vec::new();
+        };
+        if self.dead {
+            self.run_state = Some(rs);
+            return Vec::new();
+        }
+        let now = t.max(rs.now);
+        rs.now = now;
+        self.step(now, &mut rs);
+        let fresh = rs.responses[rs.emitted..].to_vec();
+        rs.emitted = rs.responses.len();
+        self.run_state = Some(rs);
+        fresh
+    }
+
+    /// Ends the run: final stats, responses in id order, trace drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a matching [`Engine::begin`].
+    pub fn finish(&mut self) -> EngineOutcome {
+        let mut rs = self
+            .run_state
+            .take()
+            .expect("Engine::finish without Engine::begin");
+        rs.stats.finish(rs.now);
+        rs.responses.sort_by_key(|r| r.id);
+        let (trace, trace_dropped) = match self.run_trace.take() {
+            Some(rt) => (Some(rt.tracer.drain()), rt.tracer.dropped()),
+            None => (None, 0),
+        };
+        EngineOutcome {
+            responses: rs.responses,
+            stats: rs.stats,
+            trace,
+            trace_dropped,
+        }
+    }
+
+    /// Adds a request to a live run (cluster placement / reroute). The
+    /// unseen arrival tail stays `(arrival, id)`-sorted; an arrival time
+    /// at or before `now` is admitted at the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a matching [`Engine::begin`] or on a dead engine.
+    pub fn inject(&mut self, request: FoldRequest) {
+        assert!(!self.dead, "inject into a dead engine");
+        let rs = self
+            .run_state
+            .as_mut()
+            .expect("Engine::inject without Engine::begin");
+        let tail = &rs.arrivals[rs.next_arrival..];
+        let pos = tail.partition_point(|r| {
+            r.arrival_seconds
+                .total_cmp(&request.arrival_seconds)
+                .then(r.id.cmp(&request.id))
+                .is_lt()
+        });
+        rs.arrivals.insert(rs.next_arrival + pos, request);
+    }
+
+    /// Removes a request that has not yet dispatched — queued or still in
+    /// the unseen arrival tail — and returns it (hedged-dispatch
+    /// first-winner-cancels). A request already executing in a batch is
+    /// *not* cancelled (the batch cannot be split); the caller observes
+    /// `None` and writes the eventual completion off as wasted work.
+    pub fn cancel(&mut self, id: u64) -> Option<FoldRequest> {
+        let (now, pending) = {
+            let rs = self.run_state.as_mut()?;
+            let pos = rs.arrivals[rs.next_arrival..]
+                .iter()
+                .position(|r| r.id == id);
+            let req = pos.map(|p| rs.arrivals.remove(rs.next_arrival + p));
+            (rs.now, req)
+        };
+        let request = match pending {
+            Some(r) => r,
+            None => self.batcher.remove(id)?.request,
+        };
+        let bucket = self.batcher.policy().bucket_of(request.length);
+        self.trace_instant(
+            now,
+            "cancel",
+            "cancel",
+            bucket as u32,
+            vec![("id", ArgValue::U64(id))],
+        );
+        Some(request)
+    }
+
+    /// Steals up to `max_n` queued requests no longer than `max_len`
+    /// residues, tail-first from the deepest buckets (work stealing: the
+    /// victims are the requests that would have waited longest here).
+    pub fn steal(&mut self, max_n: usize, max_len: usize) -> Vec<FoldRequest> {
+        let Some(now) = self.run_state.as_ref().map(|rs| rs.now) else {
+            return Vec::new();
+        };
+        let mut stolen = Vec::new();
+        for _ in 0..max_n {
+            let Some(q) = self.batcher.steal_tail(max_len) else {
+                break;
+            };
+            let bucket = self.batcher.policy().bucket_of(q.request.length);
+            self.trace_instant(
+                now,
+                "steal",
+                "cancel",
+                bucket as u32,
+                vec![("id", ArgValue::U64(q.request.id))],
+            );
+            stolen.push(q.request);
+        }
+        stolen
+    }
+
+    /// Kills the engine (injected shard loss): every in-flight batch dies
+    /// where it stands, every queued and not-yet-arrived request is
+    /// evicted, and the engine never schedules again. Returns the victims
+    /// for the cluster layer to reroute or fail typed — none of them got
+    /// a response here.
+    pub fn evacuate(&mut self) -> Vec<FoldRequest> {
+        let now = self.run_state.as_ref().map_or(0.0, |rs| rs.now);
+        let mut victims: Vec<FoldRequest> = Vec::new();
+        for idx in 0..self.in_flight.len() {
+            if let Some(f) = self.in_flight[idx].take() {
+                self.trace_instant(
+                    now,
+                    "shard_loss",
+                    "fault",
+                    BACKEND_TRACK_BASE + idx as u32,
+                    vec![("bucket", ArgValue::U64(f.bucket as u64))],
+                );
+                victims.extend(f.requests.into_iter().map(|q| q.request));
+            }
+        }
+        for bucket in 0..self.batcher.policy().num_buckets() {
+            victims.extend(
+                self.batcher
+                    .poison_bucket(bucket)
+                    .into_iter()
+                    .map(|q| q.request),
+            );
+        }
+        if let Some(rs) = self.run_state.as_mut() {
+            victims.extend(rs.arrivals.split_off(rs.next_arrival));
+        }
+        for r in &victims {
+            let bucket = self.batcher.policy().bucket_of(r.length);
+            self.trace_instant(
+                now,
+                "cancel",
+                "cancel",
+                bucket as u32,
+                vec![("id", ArgValue::U64(r.id))],
+            );
+        }
+        self.dead = true;
+        victims
+    }
+
+    /// Whether the engine was killed by [`Engine::evacuate`].
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Total queued requests across buckets (the work-stealing signal).
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.total_depth()
+    }
+
+    /// Backends currently executing a batch.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.iter().flatten().count()
+    }
+
+    /// Virtual time of the last processed event (0 before any).
+    pub fn now_seconds(&self) -> f64 {
+        self.run_state.as_ref().map_or(0.0, |rs| rs.now)
+    }
+
+    /// One full event step at `now`: the body of the original run loop.
+    fn step(&mut self, now: f64, rs: &mut RunState) {
+        let stats = &mut rs.stats;
+        let responses = &mut rs.responses;
+        {
             // 0. Time-driven breaker transitions (open → half-open probe).
             let mut breaker_events: Vec<(usize, BreakerEvent)> = Vec::new();
             for (i, b) in self.breakers.iter_mut().enumerate() {
@@ -354,13 +621,15 @@ impl Engine {
                 let Some(f) = self.in_flight[idx].take() else {
                     break;
                 };
-                self.settle_batch(idx, f, &mut stats, &mut responses);
+                self.settle_batch(idx, f, stats, responses);
             }
 
             // 2. Arrivals due by now: admission control.
-            while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_seconds <= now {
-                let req = arrivals[next_arrival].clone();
-                next_arrival += 1;
+            while rs.next_arrival < rs.arrivals.len()
+                && rs.arrivals[rs.next_arrival].arrival_seconds <= now
+            {
+                let req = rs.arrivals[rs.next_arrival].clone();
+                rs.next_arrival += 1;
                 let bucket = self.batcher.policy().bucket_of(req.length);
                 let (id, seq_len) = (req.id, req.length);
                 let reject_args = |reason: &'static str| {
@@ -427,11 +696,11 @@ impl Engine {
             // 3. Injected queue poisons due by now: the bucket's queue is
             //    wiped; victims re-admit (no backoff — the queue, not the
             //    backend, failed) or fail typed when out of attempts.
-            while next_poison < self.plan.poisons().len()
-                && self.plan.poisons()[next_poison].at_seconds <= now
+            while rs.next_poison < self.plan.poisons().len()
+                && self.plan.poisons()[rs.next_poison].at_seconds <= now
             {
-                let ev = self.plan.poisons()[next_poison];
-                next_poison += 1;
+                let ev = self.plan.poisons()[rs.next_poison];
+                rs.next_poison += 1;
                 stats.resilience.poison_events += 1;
                 self.trace_instant(
                     now,
@@ -479,7 +748,7 @@ impl Engine {
             // 4. Dispatch every ready bucket that has an idle, fitting,
             //    breaker-permitting backend (requests get their dispatch
             //    chance before the same-instant timeout check below).
-            self.dispatch(now, &mut stats);
+            self.dispatch(now, stats);
 
             // 5. Timeouts.
             for r in self.batcher.expire(now) {
@@ -501,24 +770,6 @@ impl Engine {
                     },
                 });
             }
-
-            let drained = next_arrival >= arrivals.len() && self.batcher.total_depth() == 0;
-            if drained && self.in_flight.iter().all(Option::is_none) {
-                break;
-            }
-        }
-
-        stats.finish(now);
-        responses.sort_by_key(|r| r.id);
-        let (trace, trace_dropped) = match self.run_trace.take() {
-            Some(rt) => (Some(rt.tracer.drain()), rt.tracer.dropped()),
-            None => (None, 0),
-        };
-        EngineOutcome {
-            responses,
-            stats,
-            trace,
-            trace_dropped,
         }
     }
 
@@ -1389,6 +1640,152 @@ mod tests {
             degrade.args[0],
             ("precision", ln_obs::ArgValue::Str("int4".into()))
         );
+    }
+
+    #[test]
+    fn stepper_replays_run_exactly_and_streams_responses() {
+        let workload: Vec<FoldRequest> = (0..16)
+            .map(|i| req(i, 100 + (i as usize * 137) % 1200, i as f64 * 0.3, 1e6))
+            .collect();
+        let mut a = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        let out_a = a.run(&workload);
+
+        let mut b = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        b.begin(&workload);
+        let mut streamed = Vec::new();
+        while let Some(t) = b.next_event_seconds() {
+            streamed.extend(b.advance(t));
+            if b.idle() {
+                break;
+            }
+        }
+        let out_b = b.finish();
+        assert_eq!(out_a.responses, out_b.responses);
+        assert_eq!(out_a.stats, out_b.stats);
+        streamed.sort_by_key(|r| r.id);
+        assert_eq!(streamed, out_b.responses, "advance streams every response");
+    }
+
+    #[test]
+    fn injected_requests_are_served_mid_run() {
+        let mut e = Engine::new(
+            small_policy(),
+            BatcherConfig::default(),
+            standard_backends(),
+        );
+        e.begin(&[req(0, 500, 0.0, 1e6)]);
+        let t = e.next_event_seconds().expect("arrival pending");
+        e.advance(t);
+        e.inject(req(7, 400, e.now_seconds(), 1e6));
+        e.inject(req(3, 600, e.now_seconds() + 0.5, 1e6));
+        while let Some(t) = e.next_event_seconds() {
+            e.advance(t);
+            if e.idle() {
+                break;
+            }
+        }
+        let out = e.finish();
+        let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 3, 7], "id order, all served");
+        assert!(out.responses.iter().all(|r| r.outcome.is_completed()));
+    }
+
+    #[test]
+    fn cancel_removes_queued_but_not_in_flight() {
+        // Sequential dispatch on one backend: first request executes
+        // (~10 s for 2 000 residues), the rest queue behind it.
+        let cfg = BatcherConfig {
+            max_batch: 1,
+            max_wait_seconds: 0.0,
+            ..BatcherConfig::default()
+        };
+        let workload: Vec<FoldRequest> = (0..4).map(|i| req(i, 2000, 0.0, 1e6)).collect();
+        let mut e = Engine::new(small_policy(), cfg, single_lightnobel());
+        e.begin(&workload);
+        let t = e.next_event_seconds().unwrap();
+        e.advance(t);
+        assert_eq!(e.in_flight_count(), 1);
+        assert_eq!(e.queue_depth(), 3);
+        let got = e.cancel(2).expect("queued request cancellable");
+        assert_eq!(got.id, 2);
+        assert!(
+            e.cancel(0).is_none(),
+            "in-flight request is not cancellable"
+        );
+        assert!(e.cancel(99).is_none(), "unknown id");
+        while let Some(t) = e.next_event_seconds() {
+            e.advance(t);
+            if e.idle() {
+                break;
+            }
+        }
+        let out = e.finish();
+        let ids: Vec<u64> = out.responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 3], "cancelled request has no response here");
+    }
+
+    #[test]
+    fn steal_takes_tail_work_and_respects_length_cap() {
+        let cfg = BatcherConfig {
+            max_batch: 1,
+            max_wait_seconds: 0.0,
+            ..BatcherConfig::default()
+        };
+        let mut workload: Vec<FoldRequest> = (0..5).map(|i| req(i, 2000, 0.0, 1e6)).collect();
+        workload.push(req(5, 100, 0.0, 1e6));
+        let mut e = Engine::new(small_policy(), cfg, single_lightnobel());
+        e.begin(&workload);
+        let t = e.next_event_seconds().unwrap();
+        e.advance(t);
+        // The 2000-residue bucket is deepest; its tail (id 4) goes first.
+        let stolen = e.steal(2, usize::MAX);
+        let ids: Vec<u64> = stolen.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![4, 3]);
+        // A thief that only fits short sequences gets the short request.
+        let stolen = e.steal(10, 500);
+        let ids: Vec<u64> = stolen.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![5]);
+        while let Some(t) = e.next_event_seconds() {
+            e.advance(t);
+            if e.idle() {
+                break;
+            }
+        }
+        let out = e.finish();
+        assert_eq!(out.responses.len(), 3, "stolen work answers elsewhere");
+    }
+
+    #[test]
+    fn evacuate_returns_all_victims_and_kills_the_engine() {
+        let cfg = BatcherConfig {
+            max_batch: 1,
+            max_wait_seconds: 0.0,
+            ..BatcherConfig::default()
+        };
+        let workload: Vec<FoldRequest> = (0..4).map(|i| req(i, 2000, 0.0, 1e6)).collect();
+        let mut e = Engine::new(small_policy(), cfg, single_lightnobel());
+        e.begin(&workload);
+        let t = e.next_event_seconds().unwrap();
+        e.advance(t);
+        e.inject(req(9, 800, e.now_seconds() + 100.0, 1e6));
+        let mut victims: Vec<u64> = e.evacuate().iter().map(|r| r.id).collect();
+        victims.sort_unstable();
+        assert_eq!(victims, vec![0, 1, 2, 3, 9], "in-flight + queued + unseen");
+        assert!(e.is_dead());
+        assert!(e.idle());
+        assert_eq!(e.next_event_seconds(), None, "a dead engine never wakes");
+        assert_eq!(e.queue_depth(), 0);
+        assert_eq!(e.in_flight_count(), 0);
+        let out = e.finish();
+        assert!(out.responses.is_empty(), "victims answer at the cluster");
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub enum FoldError {
     },
     /// The service shut down before the request reached a backend.
     Cancelled,
+    /// The shard holding the request died (cluster deployments) and the
+    /// reroute budget was exhausted or no other shard could take it.
+    ShardLost {
+        /// The shard that was lost.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for FoldError {
@@ -98,6 +104,7 @@ impl fmt::Display for FoldError {
                 )
             }
             FoldError::Cancelled => f.write_str("cancelled at shutdown"),
+            FoldError::ShardLost { shard } => write!(f, "shard {shard} lost"),
         }
     }
 }
@@ -255,5 +262,9 @@ mod tests {
         };
         assert!(e.to_string().contains("3 attempts"));
         assert!(e.to_string().contains("A100"));
+        assert_eq!(
+            FoldError::ShardLost { shard: 4 }.to_string(),
+            "shard 4 lost"
+        );
     }
 }

@@ -8,6 +8,8 @@
 #                        LN_OBS=off overhead delta
 #   BENCH_INSIGHT.json — critical-path phase times, roofline classification
 #                        and the regression-gate summary from ln-insight
+#   BENCH_CLUSTER.json — p50/p99 and SLO-attainment curves from the
+#                        ln-cluster shard sweep (1 -> 16 shards)
 #
 # After regenerating, every BENCH_*.json is copied into benchmarks/history/
 # suffixed with the current git short SHA; that directory is the baseline
@@ -22,10 +24,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight
+cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight --bin cluster_scale
 
 ./target/release/par_speedup
 ./target/release/obs_overhead
+./target/release/cluster_scale
 ./target/release/insight
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)

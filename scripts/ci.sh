@@ -10,6 +10,7 @@
 #   6. chaos --quick                                      (ln-fault smoke)
 #   7. obs_overhead --quick                               (ln-obs cost gate)
 #   8. insight --quick                                    (ln-insight gate)
+#   9. cluster_scale --quick                              (ln-cluster gate)
 #
 # Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
 # its serial execution — never for missing speedup — so it stays meaningful
@@ -21,7 +22,11 @@
 # traced chaos run through the critical-path analyzer and gates the
 # committed BENCH_*.json against benchmarks/history/ — it exits non-zero
 # on a median+MAD regression, on any trace span the replay cannot
-# attribute, or on a truncated trace ring.
+# attribute, or on a truncated trace ring. Step 9 sweeps 1/4/16-shard
+# clusters over one workload and exits non-zero if the outcome fingerprint
+# diverges across ln-par pools {1, 2, 4}, if the merged cluster trace
+# leaves any span unattributed, or if p99 fails to improve monotonically
+# with the shard count.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -37,12 +42,17 @@ step() {
 
 step cargo fmt --all -- --check
 step cargo clippy --workspace --all-targets -- -D warnings
-step cargo build --release
+# --workspace so the member crates' bins (the --quick gates below) are
+# actually built: a bare `cargo build` in a workspace with a root package
+# builds only that package, and steps 5-9 would then depend on stale
+# target/ artifacts from earlier runs.
+step cargo build --release --workspace
 step cargo test -q
 step ./target/release/par_speedup --quick
 step ./target/release/chaos --quick
 step ./target/release/obs_overhead --quick
 step ./target/release/insight --quick
+step ./target/release/cluster_scale --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

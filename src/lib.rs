@@ -20,6 +20,7 @@
 
 pub use lightnobel;
 pub use ln_accel;
+pub use ln_cluster;
 pub use ln_datasets;
 pub use ln_gpu;
 pub use ln_insight;

@@ -1,0 +1,150 @@
+//! Golden acceptance test for sharded cluster serving (ln-cluster).
+//!
+//! A seeded chaos run — shard loss, a network partition, hedging and work
+//! stealing all active — must produce a [`ClusterOutcome`] that is
+//! **bitwise identical** across `ln-par` pool sizes 1/2/4, with every
+//! request terminating definitely. The merged router+shard trace must
+//! replay through the insight critical path with zero unattributed spans
+//! and *exact* accounting: for every attempt,
+//! `e2e = queue + shard_hop + service + fault_burn + backoff`.
+
+use ln_cluster::{Cluster, ClusterConfig, ClusterOutcome};
+use ln_datasets::Registry;
+use ln_fault::{ChaosSpec, FaultPlan, PartitionWindow, ResilienceConfig, ShardLossEvent};
+use ln_insight::CriticalPath;
+use ln_serve::{standard_backends, BatcherConfig, BucketPolicy, Engine, FoldRequest, WorkloadSpec};
+
+const SEED: &str = "cluster/golden-workload";
+const PLAN_SEED: &str = "cluster/golden-plan";
+const SHARDS: usize = 4;
+
+fn chaos_plan() -> FaultPlan {
+    let spec = ChaosSpec {
+        shards: SHARDS,
+        // Late enough that the victim shard has dispatched work, so the
+        // evacuation emits "shard_loss" fault spans for its in-flight
+        // batches (an idle shard's loss would be trace-silent).
+        shard_loss_events: vec![ShardLossEvent {
+            shard: 1,
+            at_seconds: 6.0,
+        }],
+        partition_windows: vec![PartitionWindow {
+            shard: 2,
+            start_seconds: 1.0,
+            end_seconds: 4.0,
+        }],
+        ..ChaosSpec::light(SHARDS)
+    };
+    FaultPlan::seeded(PLAN_SEED, &spec)
+}
+
+fn workload() -> Vec<FoldRequest> {
+    WorkloadSpec::cameo_casp_mix(100, 8.0)
+        .with_seed(SEED)
+        .synthesize(&Registry::standard())
+}
+
+/// One traced chaos run on an `ln-par` pool of `threads` executors.
+fn traced_run(threads: usize) -> ClusterOutcome {
+    let pool = ln_par::Pool::new(threads);
+    ln_par::with_pool(&pool, || {
+        let reg = Registry::standard();
+        let policy = BucketPolicy::from_registry(&reg, 4);
+        let shards: Vec<Engine> = (0..SHARDS)
+            .map(|_| {
+                Engine::with_resilience(
+                    policy.clone(),
+                    BatcherConfig::default(),
+                    standard_backends(),
+                    FaultPlan::none(),
+                    ResilienceConfig::default(),
+                )
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            hedge_min_length: 2600,
+            steal_threshold: 4,
+            seed: "cluster/golden".to_string(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(cfg, shards, chaos_plan());
+        cluster.set_tracing(true);
+        cluster.run(&workload())
+    })
+}
+
+#[test]
+fn cluster_outcome_is_byte_identical_across_pool_sizes() {
+    let wl = workload();
+    let base = traced_run(1);
+    assert_eq!(
+        base.stats.total() as usize,
+        wl.len(),
+        "every request must terminate definitely: {:?}",
+        base.stats
+    );
+    assert_eq!(base.responses.len(), wl.len());
+    assert_eq!(base.stats.shard_losses, 1, "{:?}", base.stats);
+    assert!(base.stats.completed > 0, "{:?}", base.stats);
+
+    let base_json = ln_obs::chrome_trace_json(base.trace.as_deref().expect("tracing was enabled"));
+    for threads in [2usize, 4] {
+        let other = traced_run(threads);
+        assert_eq!(
+            base.fingerprint(),
+            other.fingerprint(),
+            "pool size {threads} perturbed the cluster outcome"
+        );
+        let other_json =
+            ln_obs::chrome_trace_json(other.trace.as_deref().expect("tracing was enabled"));
+        assert_eq!(
+            base_json, other_json,
+            "pool size {threads} perturbed the merged cluster trace"
+        );
+    }
+
+    // The merged trace covers the cluster vocabulary on top of the
+    // engine's own: router hops, steal hand-offs and the injected loss.
+    let events = base.trace.as_deref().expect("tracing was enabled");
+    for name in ["shard_hop", "steal", "shard_loss", "enqueue", "fold_batch"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "no {name:?} event in the golden cluster trace"
+        );
+    }
+}
+
+#[test]
+fn cluster_critical_path_accounts_every_span_exactly() {
+    let out = traced_run(1);
+    let events = out.trace.as_deref().expect("tracing was enabled");
+    let cp = CriticalPath::analyze(events, out.trace_dropped);
+
+    assert!(
+        cp.unattributed.is_empty(),
+        "the critical-path replay must place every cluster span: {:?}",
+        cp.unattributed
+    );
+    assert!(!cp.truncated, "the golden cluster trace must be complete");
+    assert!(!cp.requests.is_empty());
+    assert!(cp.steals > 0, "skew never triggered work stealing");
+
+    // Exact attribution: each attempt's end-to-end time decomposes into
+    // queue + shard_hop + service + fault_burn + backoff with nothing
+    // left over — the cluster's hop spans close the books.
+    for r in &cp.requests {
+        assert_eq!(
+            r.attributed_nanos(),
+            r.total_nanos(),
+            "attempt {} leaks unattributed time: {r:?}",
+            r.id
+        );
+    }
+    let hop_total: u64 = cp.requests.iter().map(|r| r.shard_hop_nanos).sum();
+    assert!(hop_total > 0, "no shard_hop time attributed");
+
+    // Steal hand-offs and hedge losers surface as cancelled terminals.
+    let terminals = cp.terminal_summary();
+    assert!(terminals.cancelled > 0, "{terminals:?}");
+    assert!(terminals.completed > 0, "{terminals:?}");
+}
