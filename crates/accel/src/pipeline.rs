@@ -35,6 +35,7 @@ struct StageObs {
     vvpu_cycles: ln_obs::Gauge,
     hbm_cycles: ln_obs::Gauge,
     hbm_bytes: ln_obs::Gauge,
+    fusion_saved_bytes: ln_obs::Gauge,
 }
 
 struct AccelObs {
@@ -63,6 +64,8 @@ fn accel_obs() -> &'static AccelObs {
                             .gauge(&ln_obs::labeled("accel_stage_vvpu_cycles", &labels)),
                         hbm_cycles: reg.gauge(&ln_obs::labeled("accel_stage_hbm_cycles", &labels)),
                         hbm_bytes: reg.gauge(&ln_obs::labeled("accel_stage_hbm_bytes", &labels)),
+                        fusion_saved_bytes: reg
+                            .gauge(&ln_obs::labeled("accel_stage_fusion_saved_bytes", &labels)),
                     },
                 )
             })
@@ -93,6 +96,7 @@ fn record_obs(report: &LatencyReport) {
             h.vvpu_cycles.set(s.vvpu_cycles as f64);
             h.hbm_cycles.set(s.hbm_cycles as f64);
             h.hbm_bytes.set(s.hbm_bytes as f64);
+            h.fusion_saved_bytes.set(s.fusion_saved_bytes as f64);
         }
     }
     let seconds = report.total_seconds();
@@ -115,6 +119,11 @@ pub struct StageLatency {
     pub hbm_cycles: u64,
     /// Encoded bytes moved.
     pub hbm_bytes: u64,
+    /// Encoded bytes of intermediate activations that stage fusion keeps
+    /// on-chip — the write + re-read traffic an unfused implementation
+    /// would have added to `hbm_bytes` (the paper's token-wise-MHA
+    /// bandwidth argument, quantified per stage).
+    pub fusion_saved_bytes: u64,
 }
 
 impl StageLatency {
@@ -164,6 +173,16 @@ impl LatencyReport {
     /// Total encoded HBM bytes moved.
     pub fn total_hbm_bytes(&self) -> u64 {
         let per_block: u64 = self.per_block_stages.iter().map(|s| s.hbm_bytes).sum();
+        per_block * self.block_invocations as u64
+    }
+
+    /// Total encoded bytes stage fusion kept off HBM across the run.
+    pub fn total_fusion_saved_bytes(&self) -> u64 {
+        let per_block: u64 = self
+            .per_block_stages
+            .iter()
+            .map(|s| s.fusion_saved_bytes)
+            .sum();
         per_block * self.block_invocations as u64
     }
 
@@ -388,108 +407,121 @@ impl Accelerator {
             (units / (units_cap * 0.9)).ceil() as u64
         };
 
-        let (rmpu_cycles, vvpu_cycles, hbm_bytes): (u64, u64, u64) = match stage {
-            Stage::TriMulOutgoing | Stage::TriMulIncoming => {
-                // 5 projections hz→cm/hz from post-LN tokens + out proj.
-                let proj = dot_cycles(b, tokens * (4 * cm as u64 + hz as u64), hz)
-                    + dot_cycles(b, tokens * hz as u64, cm);
-                // Triangle einsum: tokens × cm channel-dots of length ns.
-                let tri = act_act_cycles(c_scheme, c_scheme, tokens * cm as u64, ns);
-                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, 2 * tokens)
-                    + vvpu::batch_cycles(
-                        &self.hw,
-                        VectorOp::Quantize { scheme: c_scheme },
-                        cm,
-                        6 * tokens,
-                    )
-                    + vvpu::batch_cycles(
-                        &self.hw,
-                        VectorOp::Quantize {
-                            scheme: self.aaq.group_a,
-                        },
-                        hz,
-                        tokens,
-                    )
-                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
-                // Residual read+write (A), left/right write + 2× blocked
-                // re-read (C), triangle out stays in the pipeline.
-                let bytes = tokens
-                    * (2 * self.aaq.group_a.token_bytes(hz) as u64
-                        + (2 + 4) * c_scheme.token_bytes(cm) as u64);
-                (proj + tri, v, bytes)
-            }
-            Stage::TriAttnStarting | Stage::TriAttnEnding => {
-                let proj = dot_cycles(b, tokens * (4 * attn as u64 + heads), hz)
-                    + dot_cycles(c_scheme, tokens * hz as u64, attn);
-                // Scores q·k and probs·v: 2 × ns³ dots of head_dim /
-                // context products, both on quantized activations.
-                let score_dots = heads * (ns as u64) * (ns as u64) * (ns as u64);
-                let scores = act_act_cycles(c_scheme, c_scheme, 2 * score_dots, cfg.pair_head_dim);
-                let softmax_rows = heads * (ns as u64) * (ns as u64);
-                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
-                    + vvpu::batch_cycles(&self.hw, VectorOp::Softmax, ns, softmax_rows)
-                    + vvpu::batch_cycles(
-                        &self.hw,
-                        VectorOp::Quantize { scheme: c_scheme },
-                        attn,
-                        5 * tokens,
-                    )
-                    + vvpu::batch_cycles(
-                        &self.hw,
-                        VectorOp::Quantize {
-                            scheme: self.aaq.group_a,
-                        },
-                        hz,
-                        tokens,
-                    )
-                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
-                // Residual r/w + q,k,v write and ~2× lane re-read; scores
-                // never leave the chip (token-wise MHA).
-                let bytes = tokens
-                    * (2 * self.aaq.group_a.token_bytes(hz) as u64
-                        + 3 * 3 * c_scheme.token_bytes(attn) as u64);
-                (proj + scores, v, bytes)
-            }
-            Stage::PairTransition => {
-                let hidden = hz * cfg.transition_factor;
-                let up = dot_cycles(b, tokens * hidden as u64, hz);
-                let down = dot_cycles(c_scheme, tokens * hz as u64, hidden);
-                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
-                    + vvpu::batch_cycles(
-                        &self.hw,
-                        VectorOp::Quantize {
-                            scheme: self.aaq.group_a,
-                        },
-                        hz,
-                        tokens,
-                    )
-                    + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
-                // Token-local: only the residual stream hits memory.
-                let bytes = tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64;
-                (up + down, v, bytes)
-            }
-            Stage::SeqAttention | Stage::SeqTransition | Stage::OuterProductMean => {
-                // Sequence track: unquantized INT16 on the VVPU-heavy path;
-                // multiple VVPUs gang via the GCN (§5).
-                let macs = self.cost.stage_macs(stage, ns);
-                let s16 = QuantScheme {
-                    inlier_bits: ln_quant::scheme::Bits::Int16,
-                    outliers: 0,
-                };
-                let units = macs * 16.0;
-                let r = (units / (units_cap * 0.9)).ceil() as u64;
-                let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, cfg.hm, 2 * ns as u64);
-                let bytes = if stage == Stage::OuterProductMean {
-                    // Read-modify-write of the residual pair stream.
-                    let _ = s16;
-                    tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64
-                } else {
-                    (ns * cfg.hm * 2 * 4) as u64
-                };
-                (r, v, bytes)
-            }
-            Stage::InputEmbedding | Stage::StructureModule => (0, 0, 0),
-        };
+        let (rmpu_cycles, vvpu_cycles, hbm_bytes, fusion_saved_bytes): (u64, u64, u64, u64) =
+            match stage {
+                Stage::TriMulOutgoing | Stage::TriMulIncoming => {
+                    // 5 projections hz→cm/hz from post-LN tokens + out proj.
+                    let proj = dot_cycles(b, tokens * (4 * cm as u64 + hz as u64), hz)
+                        + dot_cycles(b, tokens * hz as u64, cm);
+                    // Triangle einsum: tokens × cm channel-dots of length ns.
+                    let tri = act_act_cycles(c_scheme, c_scheme, tokens * cm as u64, ns);
+                    let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, 2 * tokens)
+                        + vvpu::batch_cycles(
+                            &self.hw,
+                            VectorOp::Quantize { scheme: c_scheme },
+                            cm,
+                            6 * tokens,
+                        )
+                        + vvpu::batch_cycles(
+                            &self.hw,
+                            VectorOp::Quantize {
+                                scheme: self.aaq.group_a,
+                            },
+                            hz,
+                            tokens,
+                        )
+                        + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                    // Residual read+write (A), left/right write + 2× blocked
+                    // re-read (C), triangle out stays in the pipeline.
+                    let bytes = tokens
+                        * (2 * self.aaq.group_a.token_bytes(hz) as u64
+                            + (2 + 4) * c_scheme.token_bytes(cm) as u64);
+                    // Fused: the ns²×cm triangle product feeds the gate and
+                    // out-projection without a round trip to HBM.
+                    let saved = 2 * tokens * c_scheme.token_bytes(cm) as u64;
+                    (proj + tri, v, bytes, saved)
+                }
+                Stage::TriAttnStarting | Stage::TriAttnEnding => {
+                    let proj = dot_cycles(b, tokens * (4 * attn as u64 + heads), hz)
+                        + dot_cycles(c_scheme, tokens * hz as u64, attn);
+                    // Scores q·k and probs·v: 2 × ns³ dots of head_dim /
+                    // context products, both on quantized activations.
+                    let score_dots = heads * (ns as u64) * (ns as u64) * (ns as u64);
+                    let scores =
+                        act_act_cycles(c_scheme, c_scheme, 2 * score_dots, cfg.pair_head_dim);
+                    let softmax_rows = heads * (ns as u64) * (ns as u64);
+                    let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
+                        + vvpu::batch_cycles(&self.hw, VectorOp::Softmax, ns, softmax_rows)
+                        + vvpu::batch_cycles(
+                            &self.hw,
+                            VectorOp::Quantize { scheme: c_scheme },
+                            attn,
+                            5 * tokens,
+                        )
+                        + vvpu::batch_cycles(
+                            &self.hw,
+                            VectorOp::Quantize {
+                                scheme: self.aaq.group_a,
+                            },
+                            hz,
+                            tokens,
+                        )
+                        + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                    // Residual r/w + q,k,v write and ~2× lane re-read; scores
+                    // never leave the chip (token-wise MHA).
+                    let bytes = tokens
+                        * (2 * self.aaq.group_a.token_bytes(hz) as u64
+                            + 3 * 3 * c_scheme.token_bytes(attn) as u64);
+                    // Token-wise MHA: the heads × ns³ score/prob tensor never
+                    // materialises — the single biggest fusion win (§5.4),
+                    // and it grows cubically while everything else is ns².
+                    let saved = 2 * heads * tokens * c_scheme.token_bytes(ns) as u64;
+                    (proj + scores, v, bytes, saved)
+                }
+                Stage::PairTransition => {
+                    let hidden = hz * cfg.transition_factor;
+                    let up = dot_cycles(b, tokens * hidden as u64, hz);
+                    let down = dot_cycles(c_scheme, tokens * hz as u64, hidden);
+                    let v = vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, hz, tokens)
+                        + vvpu::batch_cycles(
+                            &self.hw,
+                            VectorOp::Quantize {
+                                scheme: self.aaq.group_a,
+                            },
+                            hz,
+                            tokens,
+                        )
+                        + vvpu::batch_cycles(&self.hw, VectorOp::ResidualAdd, hz, tokens);
+                    // Token-local: only the residual stream hits memory.
+                    let bytes = tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64;
+                    // Fused: the 4×-expanded hidden activation stays on-chip
+                    // between the up- and down-projections.
+                    let saved = 2 * tokens * c_scheme.token_bytes(hidden) as u64;
+                    (up + down, v, bytes, saved)
+                }
+                Stage::SeqAttention | Stage::SeqTransition | Stage::OuterProductMean => {
+                    // Sequence track: unquantized INT16 on the VVPU-heavy path;
+                    // multiple VVPUs gang via the GCN (§5).
+                    let macs = self.cost.stage_macs(stage, ns);
+                    let s16 = QuantScheme {
+                        inlier_bits: ln_quant::scheme::Bits::Int16,
+                        outliers: 0,
+                    };
+                    let units = macs * 16.0;
+                    let r = (units / (units_cap * 0.9)).ceil() as u64;
+                    let v =
+                        vvpu::batch_cycles(&self.hw, VectorOp::LayerNorm, cfg.hm, 2 * ns as u64);
+                    let bytes = if stage == Stage::OuterProductMean {
+                        // Read-modify-write of the residual pair stream.
+                        let _ = s16;
+                        tokens * 2 * self.aaq.group_a.token_bytes(hz) as u64
+                    } else {
+                        (ns * cfg.hm * 2 * 4) as u64
+                    };
+                    (r, v, bytes, 0)
+                }
+                Stage::InputEmbedding | Stage::StructureModule => (0, 0, 0, 0),
+            };
 
         let hbm_cycles = self
             .hbm
@@ -500,6 +532,7 @@ impl Accelerator {
             vvpu_cycles,
             hbm_cycles,
             hbm_bytes,
+            fusion_saved_bytes,
         }
     }
 }
@@ -677,6 +710,11 @@ mod tests {
             }
             let key = ln_obs::labeled("accel_stage_hbm_bytes", &[("stage", stage)]);
             assert!(snap.contains_key(&key), "missing {key}");
+            let key = ln_obs::labeled("accel_stage_fusion_saved_bytes", &[("stage", stage)]);
+            match snap.get(&key) {
+                Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0, "{key}"),
+                other => panic!("missing gauge {key}: {other:?}"),
+            }
             for resource in ["rmpu", "vvpu", "hbm"] {
                 let key = ln_obs::labeled(
                     &format!("accel_stage_{resource}_cycles"),
@@ -698,6 +736,35 @@ mod tests {
             Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0),
             other => panic!("missing bandwidth gauge: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fusion_savings_are_dominated_by_cubic_attention_scores() {
+        let a = accel();
+        let saved_for = |ns: usize, stage_filter: fn(Stage) -> bool| -> u64 {
+            a.simulate(ns)
+                .per_block_stages
+                .iter()
+                .filter(|s| stage_filter(s.stage))
+                .map(|s| s.fusion_saved_bytes)
+                .sum()
+        };
+        let attn = |s: Stage| matches!(s, Stage::TriAttnStarting | Stage::TriAttnEnding);
+        let any = |_: Stage| true;
+        // The never-materialised score tensor grows as ns³ while the
+        // tri-mul/transition intermediates grow as ns²: attention must
+        // dominate at paper scale and its share must grow with length.
+        let (a512, a1024) = (saved_for(512, attn), saved_for(1024, attn));
+        let (t512, t1024) = (saved_for(512, any), saved_for(1024, any));
+        assert!(a1024 * 2 > t1024, "attention saves under half at L=1024");
+        assert!(
+            a1024 as f64 / a512 as f64 > 6.0,
+            "score savings must scale ~ns³: {a512} -> {a1024}"
+        );
+        assert!(t1024 > t512);
+        // Fusion savings are real traffic an unfused design would add:
+        // they exceed the actual residual traffic at long lengths.
+        assert!(a.simulate(1024).total_fusion_saved_bytes() > 0);
     }
 
     #[test]

@@ -167,7 +167,7 @@ fn quick_gate(shard_counts: &[usize], reqs: &[FoldRequest]) -> bool {
         let outcomes: Vec<ClusterOutcome> = [1usize, 2, 4]
             .iter()
             .map(|&threads| {
-                let pool = ln_par::Pool::new(threads);
+                let pool = ln_par::Pool::new_exact(threads);
                 ln_par::with_pool(&pool, || build_cluster(shards, true).run(reqs))
             })
             .collect();

@@ -1,19 +1,28 @@
-//! Serial-vs-parallel wall time for the ln-par-driven kernels: blocked
-//! matmul, token-wise AAQ encode, and one full Evoformer (folding) block.
+//! Serial-vs-parallel wall time for the ln-par-driven kernels: the
+//! register-tiled matmul, token-wise AAQ encode, and one full Evoformer
+//! (folding) block.
 //!
-//! Both phases run the *same* kernels — serial pins a one-thread pool,
-//! parallel uses a multi-thread pool — and every result is compared bit for
-//! bit, which is the whole point of ln-par's ownership-per-row design. The
-//! full run writes `BENCH_PAR.json` at the repo root so future PRs have a
-//! perf trajectory; `--quick` runs small shapes and exits non-zero **only**
-//! if parallel output diverges from serial (never for missing speedup, so
-//! the CI smoke stays meaningful on single-core machines).
+//! Every phase runs the *same* kernels under pinned pools of 1, 2+, and 4
+//! threads, and every result is compared bit for bit — the whole point of
+//! ln-par's ownership-per-row design. Since the kernel-fusion rework this
+//! bench is a **hard gate**: any kernel whose worst speedup (at any pool
+//! size, any L) drops below [`KERNEL_MIN_SPEEDUP`] fails the run, in quick
+//! *and* full mode. On a single-core host that still means something real:
+//! the pool must cost at most ~5% over serial, which is precisely the
+//! regression ("0.598× at L=1024") this gate exists to keep dead.
+//!
+//! The full run writes `BENCH_PAR.json` at the repo root (now with `pool4`
+//! and `profile` sections) so future PRs have a perf trajectory.
+//! `--profile` prints per-kernel GFLOP/s next to the paper-hardware
+//! roofline ceilings.
 
 use std::time::Instant;
 
+use ln_accel::HwConfig;
 use ln_bench::{banner, paper_note, show};
 use ln_par::{with_pool, Pool};
 use ln_ppm::blocks::FoldingBlock;
+use ln_ppm::cost::{CostModel, ALL_STAGES};
 use ln_ppm::taps::NoopHook;
 use ln_ppm::PpmConfig;
 use ln_quant::scheme::QuantScheme;
@@ -22,53 +31,117 @@ use ln_tensor::{Tensor2, Tensor3};
 
 use lightnobel::report::{fmt_ratio, fmt_seconds, Table};
 
+/// Hard floor on per-kernel speedup at every pool size and every L.
+///
+/// Promoted from the old 0.9 WARN: a parallel pool that costs more than 5%
+/// over serial is a regression and fails the bench (and ci.sh step 5).
+const KERNEL_MIN_SPEEDUP: f64 = 0.95;
+
 struct BenchResult {
     kernel: &'static str,
     l: usize,
     serial_seconds: f64,
     parallel_seconds: f64,
+    pool4_seconds: f64,
+    /// Speedup estimate per pool: the higher of the median per-rep ratio
+    /// (back-to-back timing cancels slow drift) and the best-of-times
+    /// ratio (each pool's cleanest window, immune to one-sided
+    /// interference bursts). Real dispatch overhead is present in every
+    /// window and depresses both estimators; minutes-long host bursts
+    /// poison at most one.
+    speedup_parallel: f64,
+    speedup_pool4: f64,
+    /// Identical bits across pools 1 / 2+ / 4.
     bitwise_identical: bool,
+    /// FLOPs of the timed region (0 = not FLOP-dominated, skip in profile).
+    flops: f64,
 }
 
 impl BenchResult {
     fn speedup(&self) -> f64 {
-        if self.parallel_seconds > 0.0 {
-            self.serial_seconds / self.parallel_seconds
+        self.speedup_parallel
+    }
+
+    fn pool4_speedup(&self) -> f64 {
+        self.speedup_pool4
+    }
+
+    /// Worst speedup across the measured pool sizes — what the gate sees.
+    fn min_pool_speedup(&self) -> f64 {
+        self.speedup().min(self.pool4_speedup())
+    }
+
+    /// Fold a re-measurement into this result, keeping each pool's best
+    /// (minimum) wall-time window across attempts and the strongest
+    /// estimate of each speedup. All pools run identical code after host
+    /// clamping, so a genuine dispatch regression slows every window of
+    /// every attempt and still caps the merged ratio — while a one-sided
+    /// host-interference burst only ever inflates a window and is shed by
+    /// the min. Bitwise divergence is sticky: it is deterministic, so a
+    /// diverging attempt fails the gate regardless of timing.
+    fn merge(&mut self, other: &BenchResult) {
+        self.bitwise_identical &= other.bitwise_identical;
+        self.serial_seconds = self.serial_seconds.min(other.serial_seconds);
+        self.parallel_seconds = self.parallel_seconds.min(other.parallel_seconds);
+        self.pool4_seconds = self.pool4_seconds.min(other.pool4_seconds);
+        self.speedup_parallel = self
+            .speedup_parallel
+            .max(other.speedup_parallel)
+            .max(ratio(self.serial_seconds, self.parallel_seconds));
+        self.speedup_pool4 = self
+            .speedup_pool4
+            .max(other.speedup_pool4)
+            .max(ratio(self.serial_seconds, self.pool4_seconds));
+    }
+
+    fn gflops(&self, seconds: f64) -> f64 {
+        if seconds > 0.0 && self.flops > 0.0 {
+            self.flops / seconds / 1e9
         } else {
             0.0
         }
     }
 }
 
-/// Speedups at or below this are called out as WARN lines (a ≥10%
-/// slowdown under the pool) and classified by the `insight` regression
-/// report — loudly visible, but not a gate failure on single-core hosts.
-const SLOWDOWN_WARN_SPEEDUP: f64 = 0.9;
+fn ratio(serial: f64, parallel: f64) -> f64 {
+    if parallel > 0.0 {
+        serial / parallel
+    } else {
+        0.0
+    }
+}
 
-/// Worst observed speedup per kernel across all sizes, in first-seen
-/// kernel order.
+/// Median of a non-empty sample (mean of the middle pair for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Worst observed min-pool speedup per kernel across all sizes, in
+/// first-seen kernel order.
 fn kernel_min_speedups(results: &[BenchResult]) -> Vec<(&'static str, f64)> {
     let mut mins: Vec<(&'static str, f64)> = Vec::new();
     for r in results {
         match mins.iter_mut().find(|(k, _)| *k == r.kernel) {
-            Some((_, m)) => *m = m.min(r.speedup()),
-            None => mins.push((r.kernel, r.speedup())),
+            Some((_, m)) => *m = m.min(r.min_pool_speedup()),
+            None => mins.push((r.kernel, r.min_pool_speedup())),
         }
     }
     mins
 }
 
-/// Best-of-`reps` wall time for `f`, returning the last result.
-fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps.max(1) {
-        let started = Instant::now();
-        let r = f();
-        best = best.min(started.elapsed().as_secs_f64());
-        out = Some(r);
-    }
-    (best, out.expect("at least one rep"))
+/// Wall time of one call to `f`, plus its result.
+fn time_once<R>(f: &mut impl FnMut() -> R) -> (f64, R) {
+    let started = Instant::now();
+    let r = f();
+    (started.elapsed().as_secs_f64(), r)
 }
 
 fn bits2(x: &Tensor2) -> Vec<u32> {
@@ -79,86 +152,140 @@ fn bits3(x: &Tensor3) -> Vec<u32> {
     x.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
-fn bench_matmul(
+/// The three pinned pools every kernel runs under.
+struct Pools {
+    serial: std::sync::Arc<Pool>,
+    parallel: std::sync::Arc<Pool>,
+    pool4: std::sync::Arc<Pool>,
+}
+
+/// Times `run` under each pool and checks tri-pool bit identity.
+///
+/// Reps are *interleaved* across pools (serial, parallel, pool4, serial,
+/// …) and each pool keeps its best time, so slow drift in host load —
+/// the dominant noise source on shared single-core machines — hits all
+/// three pools alike instead of biasing whichever ran last.
+fn bench_under_pools<R>(
+    kernel: &'static str,
     l: usize,
     reps: usize,
-    serial: &std::sync::Arc<Pool>,
-    parallel: &std::sync::Arc<Pool>,
+    flops: f64,
+    pools: &Pools,
+    mut run: impl FnMut() -> R,
+    bits: impl Fn(&R) -> Vec<u32>,
 ) -> BenchResult {
-    let a = Tensor2::from_fn(l, l, |i, j| ((i * 31 + j * 17) % 23) as f32 * 0.21 - 2.1);
-    let b = Tensor2::from_fn(l, l, |i, j| ((i * 13 + j * 29) % 19) as f32 * 0.17 - 1.5);
-    let (ts, rs) = with_pool(serial, || {
-        time_best(reps, || a.matmul(&b).expect("shapes agree"))
-    });
-    let (tp, rp) = with_pool(parallel, || {
-        time_best(reps, || a.matmul(&b).expect("shapes agree"))
-    });
+    let mut best = [f64::INFINITY; 3];
+    let (mut rp_ratios, mut r4_ratios) = (Vec::new(), Vec::new());
+    let mut identical = true;
+    let mut reference: Option<Vec<u32>> = None;
+    for rep in 0..reps.max(1) {
+        // Rotate pool order each rep: periodic host interference (ticks,
+        // sibling processes) otherwise aligns with a fixed measurement
+        // position and biases one pool's ratio systematically.
+        let mut t = [0.0f64; 3];
+        for k in 0..3 {
+            let which = (rep + k) % 3;
+            let pool = [&pools.serial, &pools.parallel, &pools.pool4][which];
+            let (secs, r) = with_pool(pool, || time_once(&mut run));
+            t[which] = secs;
+            best[which] = best[which].min(secs);
+            let b = reference.get_or_insert_with(|| bits(&r));
+            identical &= *b == bits(&r);
+        }
+        rp_ratios.push(ratio(t[0], t[1]));
+        r4_ratios.push(ratio(t[0], t[2]));
+    }
+    let [ts, tp, t4] = best;
     BenchResult {
-        kernel: "matmul",
+        kernel,
         l,
         serial_seconds: ts,
         parallel_seconds: tp,
-        bitwise_identical: bits2(&rs) == bits2(&rp),
+        pool4_seconds: t4,
+        speedup_parallel: median(&mut rp_ratios).max(ratio(ts, tp)),
+        speedup_pool4: median(&mut r4_ratios).max(ratio(ts, t4)),
+        bitwise_identical: identical,
+        flops,
     }
 }
 
-fn bench_aaq_encode(
-    l: usize,
-    reps: usize,
-    serial: &std::sync::Arc<Pool>,
-    parallel: &std::sync::Arc<Pool>,
-) -> BenchResult {
+fn bench_matmul(l: usize, reps: usize, pools: &Pools) -> BenchResult {
+    let a = Tensor2::from_fn(l, l, |i, j| ((i * 31 + j * 17) % 23) as f32 * 0.21 - 2.1);
+    let b = Tensor2::from_fn(l, l, |i, j| ((i * 13 + j * 29) % 19) as f32 * 0.17 - 1.5);
+    let flops = 2.0 * (l as f64).powi(3);
+    bench_under_pools(
+        "matmul",
+        l,
+        reps,
+        flops,
+        pools,
+        || a.matmul(&b).expect("shapes agree"),
+        bits2,
+    )
+}
+
+fn bench_aaq_encode(l: usize, reps: usize, pools: &Pools) -> BenchResult {
     // 4L tokens at the hardware's Hz = 128 token width, spiky like PPM
-    // activations so the top-k path does real work.
+    // activations so the top-k path does real work. Not FLOP-dominated
+    // (compare/select heavy), so it carries no profile entry.
     let x = Tensor2::from_fn(4 * l, 128, |i, j| {
         let spike = if j == (i * 7) % 128 { 60.0 } else { 1.0 };
         spike * (((i * 13 + j * 5) % 17) as f32 * 0.2 - 1.6)
     });
     let scheme = QuantScheme::int4_with_outliers(4);
-    let run = |x: &Tensor2| {
-        let mut enc = x.clone();
-        fake_quantize_tokens(&mut enc, scheme);
-        enc
-    };
-    let (ts, rs) = with_pool(serial, || time_best(reps, || run(&x)));
-    let (tp, rp) = with_pool(parallel, || time_best(reps, || run(&x)));
-    BenchResult {
-        kernel: "aaq_encode",
+    bench_under_pools(
+        "aaq_encode",
         l,
-        serial_seconds: ts,
-        parallel_seconds: tp,
-        bitwise_identical: bits2(&rs) == bits2(&rp),
-    }
+        reps,
+        0.0,
+        pools,
+        || {
+            let mut enc = x.clone();
+            fake_quantize_tokens(&mut enc, scheme);
+            enc
+        },
+        bits2,
+    )
 }
 
-fn bench_evoformer(
-    l: usize,
-    serial: &std::sync::Arc<Pool>,
-    parallel: &std::sync::Arc<Pool>,
-) -> BenchResult {
+/// FLOPs of one folding-block forward at the bench (tiny) config.
+fn evoformer_block_flops(l: usize) -> f64 {
+    let cost = CostModel::new(PpmConfig::tiny());
+    let macs: f64 = ALL_STAGES
+        .iter()
+        .filter(|s| s.is_per_block())
+        .map(|&s| cost.stage_macs(s, l))
+        .sum();
+    2.0 * macs
+}
+
+fn bench_evoformer(l: usize, reps: usize, pools: &Pools) -> BenchResult {
     let cfg = PpmConfig::tiny();
     let block = FoldingBlock::new(&cfg, "par_speedup", 0);
     let seq0 = Tensor2::from_fn(l, cfg.hm, |i, j| ((i * 7 + j * 3) % 13) as f32 * 0.1 - 0.6);
     let pair0 = Tensor3::from_fn(l, l, cfg.hz, |i, j, k| {
         ((i * 5 + j * 11 + k * 3) % 17) as f32 * 0.05 - 0.4
     });
-    let run = || {
-        let mut seq = seq0.clone();
-        let mut pair = pair0.clone();
-        block
-            .forward(&mut seq, &mut pair, &mut NoopHook, 0, 0)
-            .expect("tiny config is valid");
-        (seq, pair)
-    };
-    let (ts, (seq_s, pair_s)) = with_pool(serial, || time_best(1, run));
-    let (tp, (seq_p, pair_p)) = with_pool(parallel, || time_best(1, run));
-    BenchResult {
-        kernel: "evoformer_block",
+    bench_under_pools(
+        "evoformer_block",
         l,
-        serial_seconds: ts,
-        parallel_seconds: tp,
-        bitwise_identical: bits2(&seq_s) == bits2(&seq_p) && bits3(&pair_s) == bits3(&pair_p),
-    }
+        reps,
+        evoformer_block_flops(l),
+        pools,
+        || {
+            let mut seq = seq0.clone();
+            let mut pair = pair0.clone();
+            block
+                .forward(&mut seq, &mut pair, &mut NoopHook, 0, 0)
+                .expect("tiny config is valid");
+            (seq, pair)
+        },
+        |(seq, pair)| {
+            let mut b = bits2(seq);
+            b.extend(bits3(pair));
+            b
+        },
+    )
 }
 
 fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::Result<()> {
@@ -168,6 +295,9 @@ fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::R
     s.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    s.push_str(&format!(
+        "  \"kernel_min_speedup_floor\": {KERNEL_MIN_SPEEDUP},\n"
     ));
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -184,8 +314,39 @@ fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::R
         ));
     }
     s.push_str("  ],\n");
-    // Per-kernel worst case, so regression tooling can flag kernels that
-    // run *slower* under the pool without re-deriving it from the rows.
+    // A pinned 4-thread pool, separate from the host-sized pool above, so
+    // the cross-pool bit-identity claim is reproducible on any machine.
+    s.push_str("  \"pool4\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"l\": {}, \"pool4_seconds\": {:.6}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.l,
+            r.pool4_seconds,
+            r.pool4_speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    // Achieved GFLOP/s for the FLOP-dominated kernels (serial pool), the
+    // raw material for `insight`'s CPU-kernel profile section.
+    s.push_str("  \"profile\": [\n");
+    let prof: Vec<&BenchResult> = results.iter().filter(|r| r.flops > 0.0).collect();
+    for (i, r) in prof.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"l\": {}, \"flops\": {:.3e}, \
+             \"gflops_serial\": {:.3}, \"gflops_parallel\": {:.3}}}{}\n",
+            r.kernel,
+            r.l,
+            r.flops,
+            r.gflops(r.serial_seconds),
+            r.gflops(r.parallel_seconds),
+            if i + 1 < prof.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    // Per-kernel worst case across sizes *and* pool sizes — the gate input.
     s.push_str("  \"kernel_min_speedup\": [\n");
     let mins = kernel_min_speedups(results);
     for (i, (kernel, min)) in mins.iter().enumerate() {
@@ -198,49 +359,112 @@ fn write_json(path: &str, threads: usize, results: &[BenchResult]) -> std::io::R
     std::fs::write(path, s)
 }
 
+fn print_profile(results: &[BenchResult]) {
+    let hw = HwConfig::paper();
+    let mut t = Table::new(["kernel", "L", "GFLOP/s serial", "GFLOP/s parallel"]);
+    for r in results.iter().filter(|r| r.flops > 0.0) {
+        t.add_row([
+            r.kernel.to_string(),
+            r.l.to_string(),
+            format!("{:.2}", r.gflops(r.serial_seconds)),
+            format!("{:.2}", r.gflops(r.parallel_seconds)),
+        ]);
+    }
+    show(&t);
+    println!(
+        "paper-hardware ceilings for context: {:.1} INT8 TOPS compute, {:.0} GB/s HBM \
+         — the software kernels chase the same roofline shape at CPU scale",
+        hw.int8_tops(),
+        hw.hbm_bandwidth_bytes_per_s / 1e9
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let profile = std::env::args().any(|a| a == "--profile");
     banner(if quick {
-        "par_speedup --quick — parallel-vs-serial divergence smoke (ln-par)"
+        "par_speedup --quick — pool-overhead and divergence gate (ln-par)"
     } else {
         "par_speedup — serial vs ln-par parallel kernels"
     });
     paper_note(
         "software analogue of the paper's 32-RMPU/128-VVPU parallel axes: \
-         row-parallel blocked matmul, token-parallel AAQ, pair-row-parallel \
-         Evoformer; identical bits to serial by ownership-per-row design",
+         row-parallel register-tiled matmul, token-parallel AAQ, \
+         pair-row-parallel Evoformer; identical bits across pools 1/2/4 by \
+         ownership-per-row design",
     );
 
-    let serial = Pool::new(1);
-    // At least two executors so the parallel machinery is genuinely
-    // exercised (chunk claiming, latch, worker handoff) even on one core.
-    let threads = ln_par::global().threads().max(2);
-    let parallel = Pool::new(threads);
+    // Pool::new clamps to the host's cores (oversubscription only adds
+    // context-switch cost — the old 0.598× regression), so on small hosts
+    // the requested 2/4-thread pools degrade toward serial and the gate
+    // measures dispatch overhead honestly. Cross-pool bit identity at
+    // genuinely different thread counts is separately pinned by
+    // tests/par_determinism.rs with exact (unclamped) pools.
+    let pools = Pools {
+        serial: Pool::new(1),
+        parallel: Pool::new(ln_par::global().threads().max(2)),
+        pool4: Pool::new(4),
+    };
+    let threads = pools.parallel.threads();
 
-    let results: Vec<BenchResult> = if quick {
+    type BenchFn<'a> = Box<dyn Fn() -> BenchResult + 'a>;
+    let pools = &pools;
+    let specs: Vec<BenchFn> = if quick {
         vec![
-            bench_matmul(96, 2, &serial, &parallel),
-            bench_aaq_encode(32, 2, &serial, &parallel),
-            bench_evoformer(12, &serial, &parallel),
+            Box::new(|| bench_matmul(192, 7, pools)),
+            Box::new(|| bench_aaq_encode(64, 7, pools)),
+            Box::new(|| bench_evoformer(32, 5, pools)),
         ]
     } else {
-        let mut v = Vec::new();
-        for l in [256, 512, 1024] {
-            v.push(bench_matmul(
-                l,
-                if l <= 512 { 3 } else { 2 },
-                &serial,
-                &parallel,
-            ));
+        // Rep counts scale inversely with kernel runtime: millisecond
+        // kernels need several interleaved reps for the per-rep ratio
+        // median to shed timer noise, while the multi-second Evoformer
+        // runs are stable (and expensive) enough for one or two.
+        let mut v: Vec<BenchFn> = Vec::new();
+        for l in [256usize, 512, 1024] {
+            v.push(Box::new(move || {
+                bench_matmul(l, if l <= 512 { 5 } else { 3 }, pools)
+            }));
         }
-        for l in [256, 512, 1024] {
-            v.push(bench_aaq_encode(l, 2, &serial, &parallel));
+        for l in [256usize, 512, 1024] {
+            v.push(Box::new(move || bench_aaq_encode(l, 5, pools)));
         }
-        for l in [256, 512, 1024] {
-            v.push(bench_evoformer(l, &serial, &parallel));
+        for l in [256usize, 512, 1024] {
+            v.push(Box::new(move || {
+                bench_evoformer(l, if l <= 256 { 2 } else { 1 }, pools)
+            }));
         }
         v
     };
+    let mut results: Vec<BenchResult> = specs.iter().map(|f| f()).collect();
+
+    // Bounded re-measure before failing the speedup gate: wall-clock noise
+    // on shared hosts can dip a healthy kernel below the floor, while a
+    // genuine regression (the 0.598× kind) fails every attempt. Bitwise
+    // divergence is deterministic and is never retried.
+    let retries = 2;
+    for (i, spec) in specs.iter().enumerate() {
+        let mut attempt = 0;
+        while results[i].bitwise_identical
+            && results[i].min_pool_speedup() < KERNEL_MIN_SPEEDUP
+            && attempt < retries
+        {
+            attempt += 1;
+            println!(
+                "re-measuring {} at L={} ({:.3}x is below the {KERNEL_MIN_SPEEDUP:.2}x floor; \
+                 attempt {attempt}/{retries})",
+                results[i].kernel,
+                results[i].l,
+                results[i].min_pool_speedup(),
+            );
+            let again = spec();
+            if !again.bitwise_identical {
+                results[i] = again;
+            } else {
+                results[i].merge(&again);
+            }
+        }
+    }
 
     let mut t = Table::new([
         "kernel",
@@ -248,6 +472,7 @@ fn main() {
         "serial",
         "parallel",
         "speedup",
+        "pool4",
         "bit-identical",
     ]);
     for r in &results {
@@ -257,25 +482,35 @@ fn main() {
             fmt_seconds(r.serial_seconds),
             fmt_seconds(r.parallel_seconds),
             fmt_ratio(r.speedup()),
+            fmt_ratio(r.pool4_speedup()),
             r.bitwise_identical.to_string(),
         ]);
     }
     show(&t);
     println!(
-        "pool: {} threads (host parallelism {}); speedup is only expected on multi-core hosts",
+        "pools: 1 / {} / {} threads after host clamping (host parallelism {}); \
+         gate floor {:.2}x at every pool size",
         threads,
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        pools.pool4.threads(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        KERNEL_MIN_SPEEDUP
     );
+    if profile {
+        print_profile(&results);
+    }
 
+    let mut bad = false;
     for r in &results {
-        if r.speedup() <= SLOWDOWN_WARN_SPEEDUP {
-            println!(
-                "WARN: {} at L={} runs at {:.3}x under the parallel pool (slowdown >= {:.0}%)",
+        if r.min_pool_speedup() < KERNEL_MIN_SPEEDUP {
+            eprintln!(
+                "FAIL: {} at L={} runs at {:.3}x (parallel) / {:.3}x (pool4) — below the \
+                 {KERNEL_MIN_SPEEDUP:.2}x floor",
                 r.kernel,
                 r.l,
                 r.speedup(),
-                (1.0 - SLOWDOWN_WARN_SPEEDUP) * 100.0
+                r.pool4_speedup(),
             );
+            bad = true;
         }
     }
 
@@ -287,11 +522,14 @@ fn main() {
     if !diverged.is_empty() {
         for r in diverged {
             eprintln!(
-                "DIVERGENCE: {} at L={} is not bit-identical to serial",
-                r.kernel, r.l
+                "DIVERGENCE: {} at L={} is not bit-identical across pools 1/{}/4",
+                r.kernel, r.l, threads
             );
         }
+        bad = true;
+    }
+    if bad {
         std::process::exit(1);
     }
-    println!("all kernels bit-identical to serial");
+    println!("all kernels bit-identical across pools and above the {KERNEL_MIN_SPEEDUP:.2}x floor");
 }

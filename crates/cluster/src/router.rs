@@ -1407,7 +1407,7 @@ mod tests {
         };
         let plan = FaultPlan::seeded("cluster/pool-test", &spec);
         let run = |threads: usize| {
-            let pool = ln_par::Pool::new(threads);
+            let pool = ln_par::Pool::new_exact(threads);
             ln_par::with_pool(&pool, || {
                 cluster(3, ClusterConfig::default(), plan.clone()).run(&wl)
             })

@@ -49,6 +49,7 @@ pub fn quant_group(group: ActivationGroup) -> Group {
 #[derive(Debug, Clone)]
 pub struct AaqHook {
     config: AaqConfig,
+    quantized_domain: bool,
     encoded_bytes: u64,
     fp16_bytes: u64,
     tokens_processed: u64,
@@ -62,6 +63,7 @@ impl AaqHook {
     pub fn new(config: AaqConfig) -> Self {
         AaqHook {
             config,
+            quantized_domain: false,
             encoded_bytes: 0,
             fp16_bytes: 0,
             tokens_processed: 0,
@@ -73,6 +75,22 @@ impl AaqHook {
     /// The paper's configuration (Fig. 11 optimum).
     pub fn paper() -> Self {
         Self::new(AaqConfig::paper())
+    }
+
+    /// Switches the post-LayerNorm projections from fake-quantization
+    /// (quantize→dequantize→FP32 GEMM) to the fully quantized domain: the
+    /// PPM encodes the activation once and runs the projections as integer
+    /// GEMMs with a single dequantization epilogue — the RMPU execution
+    /// model (§5.2) end to end in software.
+    #[must_use]
+    pub fn with_quantized_domain(mut self) -> Self {
+        self.quantized_domain = true;
+        self
+    }
+
+    /// Whether the quantized-domain GEMM path is enabled.
+    pub fn quantized_domain(&self) -> bool {
+        self.quantized_domain
     }
 
     /// The configuration in use.
@@ -117,6 +135,20 @@ impl AaqHook {
 }
 
 impl ActivationHook for AaqHook {
+    fn quantized_matmul(&self, tap: Tap) -> Option<QuantScheme> {
+        // Only the post-LN activations feed weight GEMMs directly; their
+        // group scheme is what the RMPU would consume for the projections.
+        if !self.quantized_domain {
+            return None;
+        }
+        match tap.site {
+            ActivationSite::TriMulPostLn
+            | ActivationSite::TriAttnPostLn
+            | ActivationSite::TransitionPostLn => Some(self.scheme_for(tap)),
+            _ => None,
+        }
+    }
+
     fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2) {
         let mut scheme = self.scheme_for(tap);
         // Guard rails for narrow tensors (attention bias has `heads`

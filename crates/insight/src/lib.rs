@@ -37,7 +37,7 @@ pub mod roofline;
 pub mod timeline;
 
 pub use regression::{BaselineStore, GateConfig, RegressionReport, Sample};
-pub use roofline::{Ceilings, RooflineReport};
+pub use roofline::{Ceilings, CpuKernelProfile, RooflineReport};
 pub use timeline::{CriticalPath, TerminalCounts};
 
 /// Render a count of nanoseconds as a fixed-precision human duration.

@@ -33,8 +33,8 @@
 //! Each call site passes a *grain*: the minimum number of items that
 //! justifies crossing a thread boundary. Work with `n <= grain` (or a pool
 //! of one thread) runs inline on the caller with zero synchronisation.
-//! Above the grain, chunks hold `max(grain, ceil(n / (threads × 4)))`
-//! items — about four chunks per executor, enough slack to absorb uneven
+//! Above the grain, chunks hold `max(grain, ceil(n / (threads × 2)))`
+//! items — about two chunks per executor, enough slack to absorb uneven
 //! per-row cost without shrinking chunks below the grain.
 
 #![warn(missing_docs)]
@@ -50,7 +50,11 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Target number of chunks handed to each executor, so stragglers can be
 /// absorbed by the rest of the pool instead of serialising the tail.
-const OVERSUBSCRIPTION: usize = 4;
+/// Halved from 4 with the register-tiled kernel rework: the kernels are
+/// fast enough that per-chunk handoff (claim + futex wake) dominated fine
+/// chunks, and row-block work is uniform enough that 2× oversubscription
+/// still absorbs stragglers.
+const OVERSUBSCRIPTION: usize = 2;
 
 /// Upper bound on configured pool size; guards against a typo'd
 /// `LN_THREADS=10000` exhausting the process.
@@ -186,9 +190,26 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Builds a pool with `threads` executors (clamped to `1..=256`).
-    /// A one-thread pool never spawns and always runs inline.
+    /// Builds a pool with `threads` executors, clamped to the host's
+    /// available parallelism (and `1..=256`). The kernels dispatched here
+    /// are compute-bound and never block, so executors beyond the
+    /// physical core count can only add context-switch overhead — the
+    /// root of the old evoformer "0.598× at L=1024" regression on small
+    /// hosts. A one-thread pool never spawns and always runs inline.
+    ///
+    /// Tests that need genuinely concurrent executors regardless of host
+    /// size (deadlock, panic containment, cross-pool bit identity) use
+    /// [`Pool::new_exact`].
     pub fn new(threads: usize) -> Arc<Pool> {
+        Self::new_exact(threads.min(host_parallelism()))
+    }
+
+    /// Builds a pool with exactly `threads` executors (clamped only to
+    /// `1..=256`), even when that oversubscribes the host. For
+    /// correctness tests and deterministic simulations whose behavior is
+    /// pinned to a thread count; perf-sensitive callers want
+    /// [`Pool::new`].
+    pub fn new_exact(threads: usize) -> Arc<Pool> {
         let threads = threads.clamp(1, MAX_THREADS);
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
@@ -336,16 +357,23 @@ fn default_threads() -> usize {
     if let Some(n) = parse_threads(std::env::var("LN_THREADS").ok().as_deref()) {
         return n;
     }
+    host_parallelism()
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+fn host_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().min(MAX_THREADS))
         .unwrap_or(1)
 }
 
 /// The process-wide pool, built on first use from
-/// `std::thread::available_parallelism`, overridable with `LN_THREADS=n`.
+/// `std::thread::available_parallelism`, overridable with `LN_THREADS=n`
+/// (an explicit override is honored exactly, even past the host's core
+/// count).
 pub fn global() -> &'static Arc<Pool> {
     static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    GLOBAL.get_or_init(|| Pool::new_exact(default_threads()))
 }
 
 /// The pool the current thread's parallel helpers dispatch to: the innermost
@@ -381,7 +409,7 @@ fn chunk_len_for(n: usize, grain: usize, threads: usize) -> usize {
 }
 
 /// The chunk length (in items) the helpers would use for `n` items with the
-/// given `grain` on the active pool: `max(grain, ceil(n / (threads × 4)))`,
+/// given `grain` on the active pool: `max(grain, ceil(n / (threads × 2)))`,
 /// or all `n` items when `n <= grain`.
 pub fn chunk_len(n: usize, grain: usize) -> usize {
     chunk_len_for(n, grain, active().threads())
@@ -557,7 +585,7 @@ mod tests {
     fn run_executes_every_chunk_exactly_once() {
         let _guard = test_lock();
         for threads in [1, 2, 5] {
-            let pool = Pool::new(threads);
+            let pool = Pool::new_exact(threads);
             let counts: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
             pool.run(counts.len(), &|c| {
                 counts[c].fetch_add(1, Ordering::Relaxed);
@@ -572,7 +600,7 @@ mod tests {
     #[test]
     fn par_for_covers_all_indices_once() {
         let _guard = test_lock();
-        let pool = Pool::new(4);
+        let pool = Pool::new_exact(4);
         with_pool(&pool, || {
             let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
             par_for(hits.len(), 1, |i| {
@@ -585,7 +613,7 @@ mod tests {
     #[test]
     fn par_chunks_mut_partitions_exactly() {
         let _guard = test_lock();
-        let pool = Pool::new(3);
+        let pool = Pool::new_exact(3);
         with_pool(&pool, || {
             let mut data = vec![0u32; 103];
             par_chunks_mut(&mut data, 10, |c, chunk| {
@@ -609,7 +637,7 @@ mod tests {
                 }
             })
         });
-        let parallel = with_pool(&Pool::new(4), || {
+        let parallel = with_pool(&Pool::new_exact(4), || {
             par_map_rows(33, 7, 1, |i, row| {
                 for (j, v) in row.iter_mut().enumerate() {
                     *v = (i * 7 + j) as f32;
@@ -622,7 +650,7 @@ mod tests {
     #[test]
     fn par_map_collect_preserves_order() {
         let _guard = test_lock();
-        let pool = Pool::new(4);
+        let pool = Pool::new_exact(4);
         let out = with_pool(&pool, || par_map_collect(250, 3, |i| i * i));
         assert_eq!(out, (0..250).map(|i| i * i).collect::<Vec<_>>());
     }
@@ -630,7 +658,7 @@ mod tests {
     #[test]
     fn empty_and_single_item_edges() {
         let _guard = test_lock();
-        let pool = Pool::new(4);
+        let pool = Pool::new_exact(4);
         with_pool(&pool, || {
             par_for(0, 1, |_| panic!("must not run"));
             let hits = AtomicUsize::new(0);
@@ -647,7 +675,7 @@ mod tests {
     #[test]
     fn nested_parallel_calls_run_serially_without_deadlock() {
         let _guard = test_lock();
-        let pool = Pool::new(2);
+        let pool = Pool::new_exact(2);
         with_pool(&pool, || {
             let total = AtomicUsize::new(0);
             par_for(8, 1, |_| {
@@ -663,7 +691,7 @@ mod tests {
     #[test]
     fn panics_propagate_to_the_caller() {
         let _guard = test_lock();
-        let pool = Pool::new(3);
+        let pool = Pool::new_exact(3);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(16, &|c| {
                 if c == 7 {
@@ -684,7 +712,7 @@ mod tests {
     fn try_run_contains_panics_across_pool_sizes() {
         let _guard = test_lock();
         for threads in [1, 3] {
-            let pool = Pool::new(threads);
+            let pool = Pool::new_exact(threads);
             let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
             let result = pool.try_run(16, &|c| {
                 hits[c].fetch_add(1, Ordering::Relaxed);
@@ -703,7 +731,7 @@ mod tests {
     fn try_par_for_attempts_every_index_despite_panics() {
         let _guard = test_lock();
         for threads in [1, 4] {
-            let pool = Pool::new(threads);
+            let pool = Pool::new_exact(threads);
             with_pool(&pool, || {
                 let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
                 let result = try_par_for(100, 1, |i| {
@@ -729,8 +757,8 @@ mod tests {
     #[test]
     fn with_pool_overrides_nest_and_restore() {
         let _guard = test_lock();
-        let two = Pool::new(2);
-        let three = Pool::new(3);
+        let two = Pool::new_exact(2);
+        let three = Pool::new_exact(3);
         with_pool(&two, || {
             assert_eq!(active().threads(), 2);
             with_pool(&three, || assert_eq!(active().threads(), 3));
@@ -751,8 +779,8 @@ mod tests {
     #[test]
     fn chunk_len_respects_grain_and_oversubscription() {
         assert_eq!(chunk_len_for(10, 16, 4), 10);
-        assert_eq!(chunk_len_for(1000, 1, 4), 63);
-        assert_eq!(chunk_len_for(1000, 100, 4), 100);
+        assert_eq!(chunk_len_for(1000, 1, 4), 125);
+        assert_eq!(chunk_len_for(1000, 200, 4), 200);
         assert_eq!(chunk_len_for(0, 1, 4), 1);
     }
 }

@@ -258,7 +258,7 @@ mod tests {
     fn pool_counters_track_dispatch_modes() {
         let _guard = crate::test_lock();
         reset();
-        let pool = crate::Pool::new(2);
+        let pool = crate::Pool::new_exact(2);
         crate::with_pool(&pool, || {
             crate::par_for(64, 1, |_| {});
         });

@@ -21,6 +21,22 @@ use crate::taps::ActivationHook;
 use crate::{PpmConfig, PpmError};
 use ln_tensor::{Tensor2, Tensor3};
 
+/// Transposes a `(ns·ns, c)` pair-token matrix from `(a, b)` to `(b, a)`
+/// row order — exact element copies, no arithmetic, so kernels written for
+/// one orientation serve both bit-identically.
+pub(crate) fn transpose_pair_tokens(m: &Tensor2, ns: usize) -> Tensor2 {
+    let c = m.cols();
+    let mut out = Tensor2::zeros(ns * ns, c);
+    let src = m.as_slice();
+    let dst = out.as_mut_slice();
+    for i in 0..ns {
+        for k in 0..ns {
+            dst[(i * ns + k) * c..][..c].copy_from_slice(&src[(k * ns + i) * c..][..c]);
+        }
+    }
+    out
+}
+
 /// One folding block: sequence track + the four pair-dataflow units.
 #[derive(Debug, Clone)]
 pub struct FoldingBlock {

@@ -139,16 +139,22 @@ impl SequenceTrack {
         let b = self.opm_right.forward(&o)?;
         let mut outer = Tensor2::zeros(ns * ns, OPM_DIM * OPM_DIM);
         if ns > 0 {
-            // One pair-row i per chunk: the ns × 64 outer-product rows for a
-            // given i are written by exactly one executor.
+            // Blocks of pair-rows i per chunk: the ns × 64 outer-product
+            // rows for a given i are written by exactly one executor, and
+            // the block grain keeps each chunk worth a pool handoff.
             let slab = ns * OPM_DIM * OPM_DIM;
+            let grain_rows = ((1usize << 16) / slab.max(1)).max(1);
+            let rows_per_chunk = ln_par::chunk_len(ns, grain_rows);
             let (a, b) = (&a, &b);
-            ln_par::par_chunks_mut(outer.as_mut_slice(), slab, |i, chunk| {
-                for j in 0..ns {
-                    let row = &mut chunk[j * OPM_DIM * OPM_DIM..(j + 1) * OPM_DIM * OPM_DIM];
-                    for (p, &ap) in a.row(i).iter().enumerate() {
-                        for (qi, &bq) in b.row(j).iter().enumerate() {
-                            row[p * OPM_DIM + qi] = ap * bq;
+            ln_par::par_chunks_mut(outer.as_mut_slice(), rows_per_chunk * slab, |c, chunk| {
+                for (local, islab) in chunk.chunks_mut(slab).enumerate() {
+                    let i = c * rows_per_chunk + local;
+                    for j in 0..ns {
+                        let row = &mut islab[j * OPM_DIM * OPM_DIM..(j + 1) * OPM_DIM * OPM_DIM];
+                        for (p, &ap) in a.row(i).iter().enumerate() {
+                            for (qi, &bq) in b.row(j).iter().enumerate() {
+                                row[p * OPM_DIM + qi] = ap * bq;
+                            }
                         }
                     }
                 }

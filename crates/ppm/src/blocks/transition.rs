@@ -3,6 +3,9 @@
 
 use crate::taps::{ActivationHook, ActivationSite, Tap};
 use crate::{PpmConfig, PpmError};
+use ln_quant::qgemm::{MacMode, QLinear};
+use ln_quant::scheme::Bits;
+use ln_quant::tensor::QuantizedTensor;
 use ln_tensor::nn::{LayerNorm, Linear};
 use ln_tensor::{nn, Tensor3};
 
@@ -13,6 +16,9 @@ pub struct PairTransition {
     expand: Linear,
     contract: Linear,
     update_gain: f32,
+    // Quantized-domain twin of the expansion, used when the hook requests
+    // RMPU-style integer GEMMs on the post-LN activation.
+    q_expand: QLinear,
 }
 
 impl PairTransition {
@@ -20,9 +26,11 @@ impl PairTransition {
     pub fn new(config: &PpmConfig, label: &str) -> Self {
         let hz = config.hz;
         let hidden = hz * config.transition_factor;
+        let expand = Linear::deterministic_with_bias(&format!("{label}/up"), hz, hidden, 0.7, 0.2);
         PairTransition {
             norm: LayerNorm::deterministic_scaled(&format!("{label}/ln"), hz, 0.2, 5.0),
-            expand: Linear::deterministic_with_bias(&format!("{label}/up"), hz, hidden, 0.7, 0.2),
+            q_expand: QLinear::from_linear(&expand),
+            expand,
             contract: Linear::deterministic(&format!("{label}/down"), hidden, hz, 0.5),
             update_gain: config.update_gain,
         }
@@ -58,7 +66,21 @@ impl PairTransition {
         let mut x = self.norm.forward(&tokens)?;
         hook.on_activation(tap(ActivationSite::TransitionPostLn), &mut x);
 
-        let mut h = nn::relu(&self.expand.forward(&x)?);
+        // The expansion fuses the ReLU into the GEMM epilogue (bitwise
+        // identical to relu(expand(x))); the quantized-domain branch runs
+        // it as an integer GEMM when the hook opts in.
+        let mut h = match hook.quantized_matmul(tap(ActivationSite::TransitionPostLn)) {
+            Some(scheme) => {
+                let qx = QuantizedTensor::from_tensor(&x, scheme);
+                let mode = if scheme.inlier_bits == Bits::Int4 {
+                    MacMode::BitChunked
+                } else {
+                    MacMode::Direct
+                };
+                nn::relu(&self.q_expand.forward(&qx, mode)?)
+            }
+            None => self.expand.forward_relu(&x)?,
+        };
         hook.on_activation(tap(ActivationSite::TransitionHidden), &mut h);
 
         let update = self.contract.forward(&h)?.scaled(self.update_gain);

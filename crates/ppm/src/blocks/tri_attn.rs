@@ -6,8 +6,12 @@
 //! `(Ns, Ns, Ns)`, which is what makes activation size — not weight size —
 //! the PPM bottleneck (§3.2).
 
+use super::transpose_pair_tokens;
 use crate::taps::{ActivationHook, ActivationSite, Tap};
 use crate::{PpmConfig, PpmError};
+use ln_quant::qgemm::{MacMode, QLinear};
+use ln_quant::scheme::{Bits, QuantScheme};
+use ln_quant::tensor::QuantizedTensor;
 use ln_tensor::nn::{LayerNorm, Linear};
 use ln_tensor::{nn, Tensor2, Tensor3};
 
@@ -37,6 +41,13 @@ pub struct TriangularAttention {
     to_gate: Linear,
     proj_out: Linear,
     update_gain: f32,
+    // Quantized-domain twins of the post-LN projections, used when the
+    // hook requests RMPU-style integer GEMMs.
+    q_to_q: QLinear,
+    q_to_k: QLinear,
+    q_to_v: QLinear,
+    q_to_bias: QLinear,
+    q_to_gate: QLinear,
 }
 
 impl TriangularAttention {
@@ -44,23 +55,28 @@ impl TriangularAttention {
     pub fn new(config: &PpmConfig, label: &str, node: AttentionNode) -> Self {
         let hz = config.hz;
         let attn = config.pair_attn_dim();
+        let to_q = Linear::deterministic(&format!("{label}/q"), hz, attn, 0.7);
+        let to_k = Linear::deterministic(&format!("{label}/k"), hz, attn, 0.7);
+        let to_v = Linear::deterministic(&format!("{label}/v"), hz, attn, 0.7);
+        let to_bias =
+            Linear::deterministic_with_bias(&format!("{label}/b"), hz, config.pair_heads, 0.4, 0.2);
+        let to_gate = Linear::deterministic(&format!("{label}/g"), hz, attn, 0.3);
         TriangularAttention {
             node,
             heads: config.pair_heads,
             head_dim: config.pair_head_dim,
             chunk: config.attention_chunk,
             norm_in: LayerNorm::deterministic_scaled(&format!("{label}/ln"), hz, 0.2, 5.0),
-            to_q: Linear::deterministic(&format!("{label}/q"), hz, attn, 0.7),
-            to_k: Linear::deterministic(&format!("{label}/k"), hz, attn, 0.7),
-            to_v: Linear::deterministic(&format!("{label}/v"), hz, attn, 0.7),
-            to_bias: Linear::deterministic_with_bias(
-                &format!("{label}/b"),
-                hz,
-                config.pair_heads,
-                0.4,
-                0.2,
-            ),
-            to_gate: Linear::deterministic(&format!("{label}/g"), hz, attn, 0.3),
+            q_to_q: QLinear::from_linear(&to_q),
+            q_to_k: QLinear::from_linear(&to_k),
+            q_to_v: QLinear::from_linear(&to_v),
+            q_to_bias: QLinear::from_linear(&to_bias),
+            q_to_gate: QLinear::from_linear(&to_gate),
+            to_q,
+            to_k,
+            to_v,
+            to_bias,
+            to_gate,
             proj_out: Linear::deterministic(&format!("{label}/o"), attn, hz, 0.5),
             update_gain: config.update_gain,
         }
@@ -107,75 +123,140 @@ impl TriangularAttention {
         let mut x = self.norm_in.forward(&tokens)?;
         hook.on_activation(tap(ActivationSite::TriAttnPostLn), &mut x);
 
-        let mut q = self.to_q.forward(&x)?;
+        // Quantized-domain dispatch: AAQ-encode x once, run all five
+        // post-LN projections as integer GEMMs (numerics change; the hook
+        // opted in).
+        let qscheme = hook.quantized_matmul(tap(ActivationSite::TriAttnPostLn));
+        let qx = qscheme.map(|scheme| QuantizedTensor::from_tensor(&x, scheme));
+        let qmode = qscheme.map(mac_mode_for);
+        let project = |fp: &Linear, qd: &QLinear| match (&qx, qmode) {
+            (Some(qx), Some(mode)) => qd.forward(qx, mode),
+            _ => fp.forward(&x),
+        };
+
+        let mut q = project(&self.to_q, &self.q_to_q)?;
         hook.on_activation(tap(ActivationSite::TriAttnQuery), &mut q);
-        let mut k = self.to_k.forward(&x)?;
+        let mut k = project(&self.to_k, &self.q_to_k)?;
         hook.on_activation(tap(ActivationSite::TriAttnKey), &mut k);
-        let mut v = self.to_v.forward(&x)?;
+        let mut v = project(&self.to_v, &self.q_to_v)?;
         hook.on_activation(tap(ActivationSite::TriAttnValue), &mut v);
-        let mut bias = self.to_bias.forward(&x)?;
+        let mut bias = project(&self.to_bias, &self.q_to_bias)?;
         hook.on_activation(tap(ActivationSite::TriAttnBias), &mut bias);
 
-        let q3 = Tensor3::from_token_matrix(ns, ns, q)?;
-        let k3 = Tensor3::from_token_matrix(ns, ns, k)?;
-        let v3 = Tensor3::from_token_matrix(ns, ns, v)?;
-        let bias3 = Tensor3::from_token_matrix(ns, ns, bias)?;
-
         let attn_dim = self.heads * self.head_dim;
-        let mut ctx = Tensor3::zeros(ns, ns, attn_dim);
         let inv_sqrt = 1.0 / (self.head_dim as f32).sqrt();
 
-        for lane in 0..ns {
-            // Extract the lane (row for Starting, column for Ending).
-            let (ql, kl, vl) = match self.node {
-                AttentionNode::Starting => {
-                    (q3.slice_d0(lane), k3.slice_d0(lane), v3.slice_d0(lane))
-                }
-                AttentionNode::Ending => (q3.slice_d1(lane), k3.slice_d1(lane), v3.slice_d1(lane)),
-            };
-            for h in 0..self.heads {
-                let qh = head_slice(&ql, h, self.head_dim);
-                let kh = head_slice(&kl, h, self.head_dim);
-                let vh = head_slice(&vl, h, self.head_dim);
-                let bias_fn = |j: usize, t: usize| match self.node {
-                    AttentionNode::Starting => bias3.at(j, t, h),
-                    AttentionNode::Ending => bias3.at(t, j, h),
-                };
-                let ctx_h = if let Some(chunk) = self.chunk {
-                    // Low-memory path: the score matrix never exists, so
-                    // the score tap never fires (exactly as on the
-                    // accelerator's token-wise MHA).
-                    chunked_attention(&qh, &kh, &vh, &bias_fn, inv_sqrt, chunk)
-                } else {
-                    let mut scores = qh.matmul_transposed(&kh)?.scaled(inv_sqrt);
-                    // Triangle bias from the third edge: for row attention
-                    // at row i, position (j, t) is biased by b_h(j, t).
-                    for j in 0..ns {
-                        let row = scores.row_mut(j);
-                        for (t, s) in row.iter_mut().enumerate() {
-                            *s += bias_fn(j, t);
+        // Orient the operands so every lane (attention row for Starting,
+        // column for Ending) is a contiguous `ns`-row band: the Ending
+        // node pre-transposes with exact copies instead of gathering
+        // strided columns per lane.
+        let (qm, km, vm) = match self.node {
+            AttentionNode::Starting => (q, k, v),
+            AttentionNode::Ending => (
+                transpose_pair_tokens(&q, ns),
+                transpose_pair_tokens(&k, ns),
+                transpose_pair_tokens(&v, ns),
+            ),
+        };
+        // Per-head (ns, ns) bias matrices oriented for the score grid —
+        // shared by every lane, so the third-edge bias costs one strided
+        // gather per head instead of Ns³ virtual lookups.
+        let bias_mats: Vec<Vec<f32>> = (0..self.heads)
+            .map(|h| {
+                let src = bias.as_slice();
+                let heads = self.heads;
+                let mut bm = vec![0.0f32; ns * ns];
+                match self.node {
+                    AttentionNode::Starting => {
+                        for (idx, slot) in bm.iter_mut().enumerate() {
+                            *slot = src[idx * heads + h];
                         }
                     }
+                    AttentionNode::Ending => {
+                        for j in 0..ns {
+                            for t in 0..ns {
+                                bm[j * ns + t] = src[(t * ns + j) * heads + h];
+                            }
+                        }
+                    }
+                }
+                bm
+            })
+            .collect();
+
+        // Context accumulates lane-major: token (lane, j) of the oriented
+        // problem lives at row `lane·ns + j`. For Starting that IS the
+        // ctx token layout; Ending transposes back at the end.
+        let mut ctx_lanes = Tensor2::zeros(ns * ns, attn_dim);
+        if self.chunk.is_some() || !hook.observes(ActivationSite::TriAttnScores) {
+            // Lane-parallel fast path: no score tap can fire (chunked
+            // attention never materialises scores; a non-observing hook
+            // ignores them), so lanes are independent and dispatch across
+            // the pool. Per-lane arithmetic is unchanged from the serial
+            // loop — bit-identical for any pool size.
+            let lane_flops = (self.heads * 2 * 2 * ns * ns * self.head_dim).max(1);
+            let grain_lanes = ((1usize << 21) / lane_flops).max(1);
+            let lanes_per_chunk = ln_par::chunk_len(ns, grain_lanes);
+            ln_par::par_chunks_mut(
+                ctx_lanes.as_mut_slice(),
+                lanes_per_chunk * ns * attn_dim,
+                |c, chunk| {
+                    for (local, lane_buf) in chunk.chunks_mut(ns * attn_dim).enumerate() {
+                        let lane = c * lanes_per_chunk + local;
+                        for (h, bm) in bias_mats.iter().enumerate() {
+                            let qh = head_band(&qm, lane * ns, ns, h, self.head_dim);
+                            let kh = head_band(&km, lane * ns, ns, h, self.head_dim);
+                            let vh = head_band(&vm, lane * ns, ns, h, self.head_dim);
+                            let ctx_h = if let Some(chunk_len) = self.chunk {
+                                chunked_attention(
+                                    &qh,
+                                    &kh,
+                                    &vh,
+                                    &|j, t| bm[j * ns + t],
+                                    inv_sqrt,
+                                    chunk_len,
+                                )
+                            } else {
+                                head_attention(&qh, &kh, &vh, bm, inv_sqrt)
+                                    .expect("head shapes are internally consistent")
+                            };
+                            scatter_head(&ctx_h, lane_buf, h, self.head_dim, attn_dim);
+                        }
+                    }
+                },
+            );
+        } else {
+            // Observing path: the hook sees (and may rewrite) each
+            // (lane, head) probability matrix, so taps fire serially in
+            // ascending (lane, head) order.
+            for lane in 0..ns {
+                let lane_buf =
+                    &mut ctx_lanes.as_mut_slice()[lane * ns * attn_dim..][..ns * attn_dim];
+                for (h, bm) in bias_mats.iter().enumerate() {
+                    let qh = head_band(&qm, lane * ns, ns, h, self.head_dim);
+                    let kh = head_band(&km, lane * ns, ns, h, self.head_dim);
+                    let vh = head_band(&vm, lane * ns, ns, h, self.head_dim);
+                    let mut scores = qh.matmul_transposed(&kh)?.scaled(inv_sqrt);
+                    add_bias_rows(&mut scores, bm);
                     let mut probs = nn::softmax_rows(&scores);
                     // The paper quantizes the score matrix (Group C); each
                     // (lane, head) probability matrix is one tap activation.
                     hook.on_activation(tap(ActivationSite::TriAttnScores), &mut probs);
-                    probs.matmul(&vh)?
-                };
-                for j in 0..ns {
-                    let dst = match self.node {
-                        AttentionNode::Starting => ctx.token_mut(lane, j),
-                        AttentionNode::Ending => ctx.token_mut(j, lane),
-                    };
-                    dst[h * self.head_dim..(h + 1) * self.head_dim].copy_from_slice(ctx_h.row(j));
+                    let ctx_h = probs.matmul(&vh)?;
+                    scatter_head(&ctx_h, lane_buf, h, self.head_dim, attn_dim);
                 }
             }
         }
-
-        let mut ctx_tokens = ctx.into_token_matrix();
+        let mut ctx_tokens = match self.node {
+            AttentionNode::Starting => ctx_lanes,
+            AttentionNode::Ending => transpose_pair_tokens(&ctx_lanes, ns),
+        };
         hook.on_activation(tap(ActivationSite::TriAttnContext), &mut ctx_tokens);
 
-        let mut gate = nn::sigmoid(&self.to_gate.forward(&x)?);
+        let mut gate = match (&qx, qmode) {
+            (Some(qx), Some(mode)) => nn::sigmoid(&self.q_to_gate.forward(qx, mode)?),
+            _ => self.to_gate.forward_sigmoid(&x)?,
+        };
         hook.on_activation(tap(ActivationSite::TriAttnGate), &mut gate);
 
         let gated = gate.hadamard(&ctx_tokens)?;
@@ -189,9 +270,56 @@ impl TriangularAttention {
     }
 }
 
-/// Extracts head `h` columns from a `(tokens, heads*dim)` matrix.
-fn head_slice(m: &Tensor2, h: usize, dim: usize) -> Tensor2 {
-    Tensor2::from_fn(m.rows(), dim, |i, j| m.at(i, h * dim + j))
+/// The integer MAC strategy for a scheme: INT4 inliers run the RMPU's
+/// bit-chunked path natively, wider inliers take the direct i32 MAC.
+fn mac_mode_for(scheme: QuantScheme) -> MacMode {
+    if scheme.inlier_bits == Bits::Int4 {
+        MacMode::BitChunked
+    } else {
+        MacMode::Direct
+    }
+}
+
+/// Copies head `h` columns out of `rows` consecutive rows starting at
+/// `row0` of a `(tokens, heads·dim)` matrix — contiguous `dim`-wide row
+/// slices, no per-element indexing.
+fn head_band(m: &Tensor2, row0: usize, rows: usize, h: usize, dim: usize) -> Tensor2 {
+    let mut out = Tensor2::zeros(rows, dim);
+    for j in 0..rows {
+        out.row_mut(j)
+            .copy_from_slice(&m.row(row0 + j)[h * dim..(h + 1) * dim]);
+    }
+    out
+}
+
+/// One (lane, head) attention with materialised scores:
+/// `softmax(q kᵀ/√d + bias) v`.
+fn head_attention(
+    qh: &Tensor2,
+    kh: &Tensor2,
+    vh: &Tensor2,
+    bias_mat: &[f32],
+    inv_sqrt: f32,
+) -> Result<Tensor2, ln_tensor::TensorError> {
+    let mut scores = qh.matmul_transposed(kh)?.scaled(inv_sqrt);
+    add_bias_rows(&mut scores, bias_mat);
+    nn::softmax_rows(&scores).matmul(vh)
+}
+
+/// Adds the per-head triangle-bias matrix (same row-major shape) onto the
+/// score matrix.
+fn add_bias_rows(scores: &mut Tensor2, bias_mat: &[f32]) {
+    for (s, b) in scores.as_mut_slice().iter_mut().zip(bias_mat) {
+        *s += b;
+    }
+}
+
+/// Writes one head's `(ns, dim)` context into the lane's interleaved
+/// `(ns, attn_dim)` buffer at column offset `h·dim`.
+fn scatter_head(ctx_h: &Tensor2, lane_buf: &mut [f32], h: usize, dim: usize, attn_dim: usize) {
+    for (j, row) in lane_buf.chunks_mut(attn_dim).enumerate() {
+        row[h * dim..(h + 1) * dim].copy_from_slice(ctx_h.row(j));
+    }
 }
 
 /// Chunked attention with online softmax — the numeric core of the GPU
@@ -332,6 +460,25 @@ mod tests {
         for r in &scores {
             assert_eq!((r.tokens, r.channels), (ns, ns));
             assert!(r.max_abs <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_observed_path_bitwise() {
+        // NoopHook (lane-parallel, no score taps) must agree bit for bit
+        // with a hook that observes everything but rewrites nothing.
+        struct ObserveAll;
+        impl ActivationHook for ObserveAll {
+            fn on_activation(&mut self, _tap: Tap, _activation: &mut Tensor2) {}
+        }
+        let cfg = PpmConfig::tiny();
+        for node in [AttentionNode::Starting, AttentionNode::Ending] {
+            let unit = TriangularAttention::new(&cfg, "a", node);
+            let mut fast = pair(9, cfg.hz);
+            let mut observed = fast.clone();
+            unit.forward(&mut fast, &mut NoopHook, 0, 0).unwrap();
+            unit.forward(&mut observed, &mut ObserveAll, 0, 0).unwrap();
+            assert_eq!(fast, observed, "{node:?}");
         }
     }
 

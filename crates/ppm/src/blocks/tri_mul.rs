@@ -2,10 +2,14 @@
 //! gated "triangle" update — for every pair `(i, j)`, information flows
 //! through all intermediate residues `k`.
 
+use super::transpose_pair_tokens;
 use crate::taps::{ActivationHook, ActivationSite, Tap};
 use crate::{PpmConfig, PpmError};
+use ln_quant::qgemm::{MacMode, QLinear};
+use ln_quant::scheme::{Bits, QuantScheme};
+use ln_quant::tensor::QuantizedTensor;
 use ln_tensor::nn::{LayerNorm, Linear};
-use ln_tensor::{nn, Tensor3};
+use ln_tensor::{nn, Tensor2, Tensor3};
 
 /// Which triangle edge orientation the unit updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,6 +33,13 @@ pub struct TriangularMultiplication {
     gate_out: Linear,
     proj_out: Linear,
     update_gain: f32,
+    // Quantized-domain twins of the projections that consume the post-LN
+    // activation, used when the hook requests RMPU-style integer GEMMs.
+    q_proj_left: QLinear,
+    q_proj_right: QLinear,
+    q_gate_left: QLinear,
+    q_gate_right: QLinear,
+    q_gate_out: QLinear,
 }
 
 impl TriangularMultiplication {
@@ -36,17 +47,28 @@ impl TriangularMultiplication {
     pub fn new(config: &PpmConfig, label: &str, direction: TriangleDirection) -> Self {
         let hz = config.hz;
         let c = config.tri_mul_dim;
+        // Post-LN magnitudes reproduce the paper's Group-B statistics
+        // (mean |x| ≈ 4, Fig. 6(c)): trained trunks have LN gains ≫ 1.
+        let norm_in = LayerNorm::deterministic_scaled(&format!("{label}/ln_in"), hz, 0.2, 5.0);
+        let proj_left = Linear::deterministic_with_bias(&format!("{label}/pl"), hz, c, 0.8, 0.3);
+        let proj_right = Linear::deterministic_with_bias(&format!("{label}/pr"), hz, c, 0.8, 0.3);
+        let gate_left = Linear::deterministic(&format!("{label}/gl"), hz, c, 0.3);
+        let gate_right = Linear::deterministic(&format!("{label}/gr"), hz, c, 0.3);
+        let gate_out = Linear::deterministic(&format!("{label}/go"), hz, hz, 0.3);
         TriangularMultiplication {
             direction,
-            // Post-LN magnitudes reproduce the paper's Group-B statistics
-            // (mean |x| ≈ 4, Fig. 6(c)): trained trunks have LN gains ≫ 1.
-            norm_in: LayerNorm::deterministic_scaled(&format!("{label}/ln_in"), hz, 0.2, 5.0),
-            proj_left: Linear::deterministic_with_bias(&format!("{label}/pl"), hz, c, 0.8, 0.3),
-            proj_right: Linear::deterministic_with_bias(&format!("{label}/pr"), hz, c, 0.8, 0.3),
-            gate_left: Linear::deterministic(&format!("{label}/gl"), hz, c, 0.3),
-            gate_right: Linear::deterministic(&format!("{label}/gr"), hz, c, 0.3),
+            q_proj_left: QLinear::from_linear(&proj_left),
+            q_proj_right: QLinear::from_linear(&proj_right),
+            q_gate_left: QLinear::from_linear(&gate_left),
+            q_gate_right: QLinear::from_linear(&gate_right),
+            q_gate_out: QLinear::from_linear(&gate_out),
+            norm_in,
+            proj_left,
+            proj_right,
+            gate_left,
+            gate_right,
             norm_out: LayerNorm::deterministic_scaled(&format!("{label}/ln_out"), c, 0.2, 5.0),
-            gate_out: Linear::deterministic(&format!("{label}/go"), hz, hz, 0.3),
+            gate_out,
             proj_out: Linear::deterministic(&format!("{label}/po"), c, hz, 0.5),
             update_gain: config.update_gain,
         }
@@ -96,56 +118,92 @@ impl TriangularMultiplication {
         let mut x = self.norm_in.forward(&tokens)?;
         hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x);
 
-        // Group C: gated projections.
-        let mut gl = nn::sigmoid(&self.gate_left.forward(&x)?);
-        hook.on_activation(tap(ActivationSite::TriMulGateLeft), &mut gl);
-        let mut pl = self.proj_left.forward(&x)?;
-        hook.on_activation(tap(ActivationSite::TriMulProjLeft), &mut pl);
-        let mut gr = nn::sigmoid(&self.gate_right.forward(&x)?);
-        hook.on_activation(tap(ActivationSite::TriMulGateRight), &mut gr);
-        let mut pr = self.proj_right.forward(&x)?;
-        hook.on_activation(tap(ActivationSite::TriMulProjRight), &mut pr);
-
-        let left = gl.hadamard(&pl)?;
-        let right = gr.hadamard(&pr)?;
+        // Group C: gated projections. Three strategies, most specific wins:
+        //   1. quantized domain — AAQ-encode x once, run every projection
+        //      as an integer GEMM (numerics change; hook opted in);
+        //   2. observed — materialise each gate/projection so the hook can
+        //      record or rewrite it (the AAQ error-model path);
+        //   3. fused — gate and projection share one packed GEMM pass,
+        //      bit-identical to (2) when no hook rewrites anything.
+        let qscheme = hook.quantized_matmul(tap(ActivationSite::TriMulPostLn));
+        let qx = qscheme.map(|scheme| QuantizedTensor::from_tensor(&x, scheme));
+        let observes_gates = hook.observes(ActivationSite::TriMulGateLeft)
+            || hook.observes(ActivationSite::TriMulProjLeft)
+            || hook.observes(ActivationSite::TriMulGateRight)
+            || hook.observes(ActivationSite::TriMulProjRight);
+        let (left, right) = if let (Some(scheme), Some(qx)) = (qscheme, qx.as_ref()) {
+            let mode = mac_mode_for(scheme);
+            let mut gl = nn::sigmoid(&self.q_gate_left.forward(qx, mode)?);
+            hook.on_activation(tap(ActivationSite::TriMulGateLeft), &mut gl);
+            let mut pl = self.q_proj_left.forward(qx, mode)?;
+            hook.on_activation(tap(ActivationSite::TriMulProjLeft), &mut pl);
+            let mut gr = nn::sigmoid(&self.q_gate_right.forward(qx, mode)?);
+            hook.on_activation(tap(ActivationSite::TriMulGateRight), &mut gr);
+            let mut pr = self.q_proj_right.forward(qx, mode)?;
+            hook.on_activation(tap(ActivationSite::TriMulProjRight), &mut pr);
+            (gl.hadamard(&pl)?, gr.hadamard(&pr)?)
+        } else if observes_gates {
+            let mut gl = self.gate_left.forward_sigmoid(&x)?;
+            hook.on_activation(tap(ActivationSite::TriMulGateLeft), &mut gl);
+            let mut pl = self.proj_left.forward(&x)?;
+            hook.on_activation(tap(ActivationSite::TriMulProjLeft), &mut pl);
+            let mut gr = self.gate_right.forward_sigmoid(&x)?;
+            hook.on_activation(tap(ActivationSite::TriMulGateRight), &mut gr);
+            let mut pr = self.proj_right.forward(&x)?;
+            hook.on_activation(tap(ActivationSite::TriMulProjRight), &mut pr);
+            (gl.hadamard(&pl)?, gr.hadamard(&pr)?)
+        } else {
+            (
+                nn::gated_projection(&x, &self.gate_left, &self.proj_left)?,
+                nn::gated_projection(&x, &self.gate_right, &self.proj_right)?,
+            )
+        };
         let c = left.cols();
-        let left3 = Tensor3::from_token_matrix(ns, ns, left)?;
-        let right3 = Tensor3::from_token_matrix(ns, ns, right)?;
 
         // The triangle einsum; 1/√Ns keeps magnitudes length-independent.
+        // The Incoming direction pre-transposes both operands (exact
+        // copies) so one cache-blocked kernel serves both orientations.
         let scale = 1.0 / (ns as f32).sqrt();
-        let mut tri = Tensor3::zeros(ns, ns, c);
-        // The triangle einsum is independent per pair-row i (each (i, j)
-        // token accumulates its own k terms in ascending order), so the
-        // per-i parallel dispatch is bit-identical to the serial loops.
-        let direction = self.direction;
+        let (lmat, rmat) = match self.direction {
+            TriangleDirection::Outgoing => (left, right),
+            TriangleDirection::Incoming => (
+                transpose_pair_tokens(&left, ns),
+                transpose_pair_tokens(&right, ns),
+            ),
+        };
+        let mut tri_tokens = Tensor2::zeros(ns * ns, c);
+        // Each (i, j) token accumulates its own k terms in ascending order,
+        // so the per-i-block parallel dispatch is bit-identical to the
+        // serial loops for any pool size.
         ln_par::metrics::time_kernel("ppm.tri_mul.einsum", (ns * ns) as u64, || {
-            tri.par_for_each_d0_mut(|i, slab| {
-                for j in 0..ns {
-                    let out = &mut slab[j * c..(j + 1) * c];
-                    for k in 0..ns {
-                        let (a, b) = match direction {
-                            TriangleDirection::Outgoing => (left3.token(i, k), right3.token(j, k)),
-                            TriangleDirection::Incoming => (left3.token(k, i), right3.token(k, j)),
-                        };
-                        for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
-                            *o += av * bv;
-                        }
+            // One i-row of the triangle einsum costs 2·ns²·c flops; demand
+            // a few megaflops per chunk so small problems stay inline.
+            let row_flops = 2 * ns * ns * c;
+            let grain_rows = ((1usize << 22) / row_flops.max(1)).max(1);
+            let rows_per_chunk = ln_par::chunk_len(ns, grain_rows);
+            let l = lmat.as_slice();
+            let r = rmat.as_slice();
+            ln_par::par_chunks_mut(
+                tri_tokens.as_mut_slice(),
+                rows_per_chunk * ns * c,
+                |ci, chunk| {
+                    einsum_block(l, r, ns, c, ci * rows_per_chunk, chunk);
+                    for v in chunk.iter_mut() {
+                        *v *= scale;
                     }
-                    for o in out.iter_mut() {
-                        *o *= scale;
-                    }
-                }
-            });
+                },
+            );
         });
-
-        let mut tri_tokens = tri.into_token_matrix();
         hook.on_activation(tap(ActivationSite::TriMulTriangleOut), &mut tri_tokens);
 
         let mut y = self.norm_out.forward(&tri_tokens)?;
         hook.on_activation(tap(ActivationSite::TriMulOutPostLn), &mut y);
 
-        let mut g = nn::sigmoid(&self.gate_out.forward(&x)?);
+        let mut g = if let (Some(scheme), Some(qx)) = (qscheme, qx.as_ref()) {
+            nn::sigmoid(&self.q_gate_out.forward(qx, mac_mode_for(scheme))?)
+        } else {
+            self.gate_out.forward_sigmoid(&x)?
+        };
         hook.on_activation(tap(ActivationSite::TriMulOutGate), &mut g);
 
         let update = g
@@ -158,6 +216,66 @@ impl TriangularMultiplication {
         new_pair.add_assign(&update3)?;
         *pair = new_pair;
         Ok(())
+    }
+}
+
+/// The integer MAC strategy for a scheme: INT4 inliers run the RMPU's
+/// bit-chunked path natively (a single 4-bit chunk), wider inliers take
+/// the direct i32 MAC (bit-chunking is exactly equal, just more passes).
+fn mac_mode_for(scheme: QuantScheme) -> MacMode {
+    if scheme.inlier_bits == Bits::Int4 {
+        MacMode::BitChunked
+    } else {
+        MacMode::Direct
+    }
+}
+
+/// k-panel depth of the blocked triangle einsum: a `(j, k-panel)` strip of
+/// the right operand (`EINSUM_KB · c` floats) stays L1-resident while an
+/// i-block of output rows accumulates against it.
+const EINSUM_KB: usize = 128;
+/// Channel-register width of the einsum accumulator.
+const EINSUM_ACC: usize = 32;
+
+/// Blocked triangle einsum for an i-block of output rows:
+/// `out[i][j][cc] += Σ_k l[(i·ns + k)·c + cc] · r[(j·ns + k)·c + cc]`,
+/// k split into [`EINSUM_KB`] panels, channels into [`EINSUM_ACC`]-wide
+/// register chunks loaded from `out` at panel start (the same left fold
+/// as the naive loop — bit-identical for any blocking or chunk seam).
+///
+/// The k-panel → j → i loop order is what turns the einsum from
+/// O(Ns³·c) DRAM traffic (the old per-i full stream of the right
+/// operand) into one right-panel read per (k-panel, j) reused across the
+/// whole i-block.
+#[inline(never)]
+fn einsum_block(l: &[f32], r: &[f32], ns: usize, c: usize, i0: usize, out: &mut [f32]) {
+    let rows = out.len() / (ns * c).max(1);
+    let mut kb = 0;
+    while kb < ns {
+        let kb_len = EINSUM_KB.min(ns - kb);
+        for j in 0..ns {
+            let r_panel = &r[(j * ns + kb) * c..][..kb_len * c];
+            for il in 0..rows {
+                let l_panel = &l[((i0 + il) * ns + kb) * c..][..kb_len * c];
+                let out_ij = &mut out[(il * ns + j) * c..][..c];
+                let mut cc = 0;
+                while cc < c {
+                    let len = EINSUM_ACC.min(c - cc);
+                    let mut acc = [0.0f32; EINSUM_ACC];
+                    acc[..len].copy_from_slice(&out_ij[cc..cc + len]);
+                    for dk in 0..kb_len {
+                        let ls = &l_panel[dk * c + cc..][..len];
+                        let rs = &r_panel[dk * c + cc..][..len];
+                        for ((a, &lv), &rv) in acc[..len].iter_mut().zip(ls).zip(rs) {
+                            *a += lv * rv;
+                        }
+                    }
+                    out_ij[cc..cc + len].copy_from_slice(&acc[..len]);
+                    cc += len;
+                }
+            }
+        }
+        kb += kb_len;
     }
 }
 
@@ -230,6 +348,25 @@ mod tests {
         let u2 = z2.token(3, 9);
         for (a, b) in u1.iter().zip(u2) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_observed_path_bitwise() {
+        // NoopHook (fused gating, blocked einsum) must agree bit for bit
+        // with a hook that observes everything but rewrites nothing.
+        struct ObserveAll;
+        impl ActivationHook for ObserveAll {
+            fn on_activation(&mut self, _tap: Tap, _activation: &mut Tensor2) {}
+        }
+        let cfg = PpmConfig::tiny();
+        for direction in [TriangleDirection::Outgoing, TriangleDirection::Incoming] {
+            let unit = TriangularMultiplication::new(&cfg, "t", direction);
+            let mut fused = pair(9, cfg.hz);
+            let mut observed = fused.clone();
+            unit.forward(&mut fused, &mut NoopHook, 0, 0).unwrap();
+            unit.forward(&mut observed, &mut ObserveAll, 0, 0).unwrap();
+            assert_eq!(fused, observed, "{direction:?}");
         }
     }
 

@@ -180,6 +180,30 @@ impl fmt::Display for Tap {
 pub trait ActivationHook {
     /// Called for every tagged activation, in dataflow order.
     fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2);
+
+    /// Whether this hook wants to see activations at `site` at all.
+    ///
+    /// The trunk uses this to pick execution strategy: when a site is
+    /// unobserved, fused kernels may skip materialising the intermediate
+    /// tensor the tap would have exposed (the fused path is bit-identical
+    /// — only observability changes). Defaults to `true`, so custom hooks
+    /// keep today's observe-everything behaviour unless they opt out.
+    fn observes(&self, site: ActivationSite) -> bool {
+        let _ = site;
+        true
+    }
+
+    /// Asks the hook whether the matmuls consuming the activation at
+    /// `tap` should run in the quantized domain, and with which scheme.
+    ///
+    /// Returning `Some(scheme)` makes the trunk AAQ-encode the post-LN
+    /// activation once and feed every downstream projection through the
+    /// integer [`ln_quant::qgemm`] path (the paper's RMPU dataflow);
+    /// `None` (the default) keeps full-precision GEMMs.
+    fn quantized_matmul(&self, tap: Tap) -> Option<ln_quant::scheme::QuantScheme> {
+        let _ = tap;
+        None
+    }
 }
 
 /// The do-nothing hook: the unquantized baseline.
@@ -188,6 +212,10 @@ pub struct NoopHook;
 
 impl ActivationHook for NoopHook {
     fn on_activation(&mut self, _tap: Tap, _activation: &mut Tensor2) {}
+
+    fn observes(&self, _site: ActivationSite) -> bool {
+        false
+    }
 }
 
 /// A hook that records per-tap summary statistics (used by the Fig. 5/6

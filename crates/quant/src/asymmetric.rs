@@ -81,8 +81,9 @@ pub fn fake_quantize_asymmetric(x: &mut Tensor2, bits: Bits) {
     });
 }
 
-/// Minimum tokens per chunk for row-parallel quantization loops.
-pub(crate) const TOKEN_PAR_GRAIN_ROWS: usize = 8;
+/// Minimum tokens per chunk for row-parallel quantization loops. A token
+/// encode is a few microseconds; 64 of them amortise one pool handoff.
+pub(crate) const TOKEN_PAR_GRAIN_ROWS: usize = 64;
 
 /// RMSE of asymmetric per-token quantization over an activation.
 pub fn asymmetric_rmse(x: &Tensor2, bits: Bits) -> f64 {

@@ -22,6 +22,9 @@
 //! * [`tensor`] — [`tensor::QuantizedTensor`], the quantized activation
 //!   container with a dequantization-free matmul (the RMPU's execution
 //!   model in software).
+//! * [`qgemm`] — the fully quantized-domain GEMM: AAQ levels × INT8
+//!   weights with pure-integer inner loops (direct or RMPU-style
+//!   bit-chunked MACs) and a single dequantization epilogue.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod asymmetric;
 pub mod baselines;
 mod error;
 pub mod layout;
+pub mod qgemm;
 pub mod scale;
 pub mod scheme;
 pub mod tensor;

@@ -76,6 +76,15 @@ impl QuantizedTensor {
         self.channels
     }
 
+    /// The encoded token blocks, one per activation row.
+    ///
+    /// This is the entry point the quantized-domain GEMM
+    /// ([`crate::qgemm`]) consumes: integer levels and per-token scales,
+    /// with no intermediate dequantization.
+    pub fn tokens(&self) -> &[QuantizedToken] {
+        &self.tokens
+    }
+
     /// Encoded size in bytes (exactly what device memory would hold).
     pub fn encoded_bytes(&self) -> usize {
         self.tokens.len() * self.scheme.token_bytes(self.channels)
@@ -150,20 +159,21 @@ impl QuantizedTensor {
             for (local, row) in chunk.chunks_mut(out_features).enumerate() {
                 let t = c * per_chunk + local;
                 let q = &tokens[t];
-                // Channel index of each inlier (outlier positions skipped),
-                // in layout order.
-                let outlier_set: Vec<bool> = {
-                    let mut v = vec![false; channels];
-                    for &i in q.outlier_indices() {
-                        v[i as usize] = true;
-                    }
-                    v
-                };
-                let inlier_channels: Vec<usize> =
-                    (0..channels).filter(|&c| !outlier_set[c]).collect();
                 for (o, slot) in row.iter_mut().enumerate() {
+                    // Inlier channels recovered by a merge walk against the
+                    // ascending outlier index list — same channel-ascending
+                    // accumulation order as the old materialised index
+                    // vectors, with no per-token allocation.
+                    let oi = q.outlier_indices();
+                    let mut next_out = 0usize;
+                    let mut inliers = q.inliers().iter();
                     let mut inlier_acc = 0.0f64;
-                    for (&level, &ch) in q.inliers().iter().zip(&inlier_channels) {
+                    for ch in 0..channels {
+                        if next_out < oi.len() && oi[next_out] as usize == ch {
+                            next_out += 1;
+                            continue;
+                        }
+                        let level = *inliers.next().expect("inlier count matches layout");
                         inlier_acc += level as f64 * weights.at(ch, o) as f64;
                     }
                     let mut outlier_acc = 0.0f64;

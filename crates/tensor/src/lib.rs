@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod microkernel;
 pub mod nn;
 pub mod rng;
 pub mod stats;

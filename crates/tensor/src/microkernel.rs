@@ -1,0 +1,596 @@
+//! Register-tiled GEMM microkernel: the single inner loop every dense
+//! matmul in the workspace now runs through.
+//!
+//! The kernel computes an `MR × NR` output tile in a local accumulator
+//! array over packed panels of A and B. Packing turns every inner-loop
+//! access into a contiguous, exactly-sized slice (`chunks_exact`), which
+//! is the shape LLVM's autovectorizer needs to emit SIMD without any
+//! `unsafe` or intrinsics — this crate stays `#![forbid(unsafe_code)]`.
+//!
+//! # Bitwise determinism
+//!
+//! Every output element accumulates its `k` products in strictly
+//! ascending order into a single `f32` accumulator (a left fold starting
+//! from the value already in `out`). Tiling and packing reorder *which*
+//! elements are computed when, never the summation order *within* an
+//! element, so the tiled path is bit-identical to the reference triple
+//! loop — and to any row-chunked parallel execution over it (the ln-par
+//! ownership-per-row contract).
+//!
+//! # Scratch arena
+//!
+//! Packing buffers live in a per-thread scratch arena that is reused
+//! across calls. Growth is counted in a per-thread [`alloc_events`]
+//! counter and asserted *absent* inside the tile loops (`debug_assert`),
+//! so CI can pin "zero allocations in the microkernel inner loop": warm
+//! the arena with one call, snapshot the counter, re-run the same shape,
+//! and require the counter unchanged. The counter is thread-local like
+//! the arena itself — a pool worker growing *its* arena must not trip
+//! the guard of a different worker mid-panel.
+
+use std::cell::{Cell, RefCell};
+
+/// Output-tile rows held in registers by the microkernel.
+pub const MR: usize = 4;
+/// Output-tile columns held in registers by the microkernel.
+pub const NR: usize = 8;
+
+/// Problem-size class, selected deterministically from `(m, k, n)`.
+///
+/// Mid-size problems (the L=512 regime) previously fell between the
+/// small-kernel and large-kernel sweet spots; per-class tile constants
+/// close that gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Everything fits in L1/L2 at once — no panel blocking.
+    Small,
+    /// Panels sized so a full B panel stays L2-resident across row tiles.
+    Mid,
+    /// Deep k-panels and wide column panels to amortise packing.
+    Large,
+}
+
+/// Cache-blocking panel shape: `kc × nc` elements of B are packed and
+/// kept hot while a chunk of output rows accumulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileShape {
+    /// k-panel depth.
+    pub kc: usize,
+    /// Column-panel width (a multiple of [`NR`] after padding).
+    pub nc: usize,
+}
+
+/// Classifies a GEMM by its multiply-accumulate count.
+pub fn size_class(m: usize, k: usize, n: usize) -> SizeClass {
+    let macs = (m as u64).saturating_mul(k as u64).saturating_mul(n as u64);
+    if macs < 1 << 16 {
+        SizeClass::Small
+    } else if macs < 1 << 24 {
+        SizeClass::Mid
+    } else {
+        SizeClass::Large
+    }
+}
+
+/// The panel shape used for a `(m, k, n)` problem — a pure function of
+/// the shape, so every parallel chunk of one matmul picks the same tiles.
+pub fn tile_shape(m: usize, k: usize, n: usize) -> TileShape {
+    match size_class(m, k, n) {
+        // Small: pack everything once, no panel loop.
+        SizeClass::Small => TileShape {
+            kc: k.max(1),
+            nc: n.max(1),
+        },
+        // Mid: 256×128 B panel = 128 KiB, L2-resident alongside the A
+        // strips; deep k amortises the per-panel pack.
+        SizeClass::Mid => TileShape { kc: 256, nc: 128 },
+        // Large: square-ish 256×256 panel (256 KiB) — wider columns so
+        // each packed A strip is reused across more register tiles.
+        SizeClass::Large => TileShape { kc: 256, nc: 256 },
+    }
+}
+
+/// What happens to each finished output element after accumulation.
+///
+/// Epilogues run as one extra pass over the output chunk once all
+/// k-panels have accumulated, exactly reproducing the arithmetic of the
+/// unfused sequence (matmul, then bias pass, then activation map) while
+/// never materialising the intermediate tensors between them.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Raw GEMM output.
+    None,
+    /// `out[i][j] += bias[j]` — the `Linear` bias.
+    Bias(&'a [f32]),
+    /// `out[i][j] = sigmoid(out[i][j] + bias[j])` — gate projections.
+    BiasSigmoid(&'a [f32]),
+    /// `out[i][j] = max(out[i][j] + bias[j], 0)` — transition hidden.
+    BiasRelu(&'a [f32]),
+    /// Bias add followed by per-row LayerNorm with the given parameters.
+    BiasLayerNorm {
+        /// Linear bias (length `n`).
+        bias: &'a [f32],
+        /// LayerNorm scale (length `n`).
+        gamma: &'a [f32],
+        /// LayerNorm shift (length `n`).
+        beta: &'a [f32],
+        /// Variance stabiliser.
+        epsilon: f32,
+    },
+}
+
+/// A weight panel plus its bias, for the gated dual-GEMM entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct BiasedB<'a> {
+    /// `(k, n)` row-major weight matrix.
+    pub b: &'a [f32],
+    /// Bias of length `n`.
+    pub bias: &'a [f32],
+}
+
+/// Cumulative count of scratch-arena growth events on *this* thread.
+///
+/// A steady-state GEMM of an already-seen shape performs zero growths;
+/// the ci.sh quick gate asserts exactly that. The count is per-thread
+/// (matching the thread-local arena), so warm-then-measure patterns must
+/// run both calls on the same thread.
+pub fn alloc_events() -> u64 {
+    ALLOC_EVENTS.with(Cell::get)
+}
+
+#[derive(Default)]
+struct Scratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+    g_acc: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Grows `v` to at least `len`, counting real reallocations.
+fn ensure(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        if v.capacity() < len {
+            ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        }
+        v.resize(len, 0.0);
+    }
+}
+
+/// How the B operand is laid out in memory.
+enum BSource<'a> {
+    /// `(k, n)` row-major: element `(dk, j)` at `b[dk * n + j]`.
+    Normal(&'a [f32]),
+    /// `(n, k)` row-major (i.e. `self × rhsᵀ`): element `(dk, j)` at
+    /// `b[j * k + dk]`.
+    Transposed(&'a [f32]),
+}
+
+/// `out[i][j] += Σ_k a[row0 + i][k] · b[k][j]` for an output-row chunk
+/// (`out.len() / n` rows starting at global row `row0`), with `epilogue`
+/// applied once per element after full accumulation.
+///
+/// `a` is the full `(m, k)` matrix and `b` the full `(k, n)` matrix, both
+/// row-major; the chunk-of-rows calling convention matches
+/// `ln_par::par_chunks_mut` so every pool chunk runs the same code.
+pub fn gemm(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32], ep: &Epilogue) {
+    run_gemm(a, &BSource::Normal(b), k, n, row0, out);
+    apply_epilogue(out, n, ep);
+}
+
+/// [`gemm`] against a transposed B operand: `b` is `(n, k)` row-major and
+/// the kernel computes `self × rhsᵀ` without materialising the transpose.
+pub fn gemm_bt(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    out: &mut [f32],
+    ep: &Epilogue,
+) {
+    run_gemm(a, &BSource::Transposed(b), k, n, row0, out);
+    apply_epilogue(out, n, ep);
+}
+
+/// Gated dual GEMM sharing one packed A:
+/// `out[i][j] = sigmoid((a·gate.b)[i][j] + gate.bias[j]) · ((a·proj.b)[i][j] + proj.bias[j])`.
+///
+/// This is the tri-mul gated projection fused into a single pass: the
+/// gate accumulator lives in the scratch arena, so neither the gate nor
+/// the projection tensor is ever materialised.
+pub fn gemm_gated(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    gate: BiasedB,
+    proj: BiasedB,
+    row0: usize,
+    out: &mut [f32],
+) {
+    run_gemm(a, &BSource::Normal(proj.b), k, n, row0, out);
+    // Borrow the gate accumulator out of the arena so run_gemm can take
+    // the thread-local scratch for its packing buffers.
+    let mut g = SCRATCH.with(|c| std::mem::take(&mut c.borrow_mut().g_acc));
+    ensure(&mut g, out.len());
+    g[..out.len()].fill(0.0);
+    run_gemm(a, &BSource::Normal(gate.b), k, n, row0, &mut g[..out.len()]);
+    for (orow, grow) in out.chunks_exact_mut(n).zip(g.chunks_exact(n)) {
+        for ((o, &gv), (&gb, &pb)) in orow
+            .iter_mut()
+            .zip(grow)
+            .zip(gate.bias.iter().zip(proj.bias))
+        {
+            let gated = 1.0 / (1.0 + (-(gv + gb)).exp());
+            *o = gated * (*o + pb);
+        }
+    }
+    SCRATCH.with(|c| c.borrow_mut().g_acc = g);
+}
+
+fn run_gemm(a: &[f32], bsrc: &BSource, k: usize, n: usize, row0: usize, out: &mut [f32]) {
+    if n == 0 || k == 0 || out.is_empty() {
+        return;
+    }
+    let rows = out.len() / n;
+    let m_total = a.len() / k;
+    let ts = tile_shape(m_total, k, n);
+    let row_tiles = rows.div_ceil(MR);
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        ensure(&mut s.a_pack, row_tiles * MR * ts.kc.min(k));
+        ensure(&mut s.b_pack, ts.nc.div_ceil(NR) * NR * ts.kc.min(k));
+        let mut kb = 0;
+        while kb < k {
+            let kc_len = ts.kc.min(k - kb);
+            pack_a(a, k, row0, rows, kb, kc_len, &mut s.a_pack);
+            let mut jb = 0;
+            while jb < n {
+                let nc_len = ts.nc.min(n - jb);
+                let col_tiles = nc_len.div_ceil(NR);
+                pack_b(bsrc, k, n, (kb, kc_len), (jb, nc_len), &mut s.b_pack);
+                // The tile loops below touch only packed panels and the
+                // output chunk: arena growth here would mean an alloc on
+                // the innermost path.
+                let arena_guard = ALLOC_EVENTS.with(Cell::get);
+                for (it, a_strip) in s
+                    .a_pack
+                    .chunks_exact(MR * kc_len)
+                    .take(row_tiles)
+                    .enumerate()
+                {
+                    let ir = it * MR;
+                    let mr_len = MR.min(rows - ir);
+                    for (jt, b_strip) in s
+                        .b_pack
+                        .chunks_exact(NR * kc_len)
+                        .take(col_tiles)
+                        .enumerate()
+                    {
+                        let jr = jb + jt * NR;
+                        let nr_len = NR.min(n - jr);
+                        let tile = TilePos {
+                            ir,
+                            jr,
+                            mr_len,
+                            nr_len,
+                        };
+                        micro_tile(a_strip, b_strip, out, n, tile);
+                    }
+                }
+                debug_assert_eq!(
+                    ALLOC_EVENTS.with(Cell::get),
+                    arena_guard,
+                    "microkernel inner loop must not touch the allocator"
+                );
+                jb += nc_len;
+            }
+            kb += kc_len;
+        }
+    });
+}
+
+/// Packs MR-row strips of A for one k-panel: strip `it` holds rows
+/// `row0 + it·MR ..` as `[dk][il]` so the microkernel broadcast reads a
+/// contiguous MR-column. Rows past the chunk end pad with zeros (their
+/// products land in accumulator lanes that are never written back).
+fn pack_a(
+    a: &[f32],
+    k: usize,
+    row0: usize,
+    rows: usize,
+    kb: usize,
+    kc_len: usize,
+    pack: &mut [f32],
+) {
+    let row_tiles = rows.div_ceil(MR);
+    for (it, strip) in pack
+        .chunks_exact_mut(MR * kc_len)
+        .take(row_tiles)
+        .enumerate()
+    {
+        for il in 0..MR {
+            let i = it * MR + il;
+            if i < rows {
+                let src = &a[(row0 + i) * k + kb..][..kc_len];
+                for (dk, &v) in src.iter().enumerate() {
+                    strip[dk * MR + il] = v;
+                }
+            } else {
+                for dk in 0..kc_len {
+                    strip[dk * MR + il] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs NR-column strips of B for one `(k, j)` panel: strip `jt` holds
+/// columns `jb + jt·NR ..` as `[dk][jl]`. Columns past `n` pad with zeros.
+///
+/// The row-major source walks B row-by-row (contiguous streams) rather
+/// than column-by-column — a stride-`n` gather here costs more than the
+/// multiply loop it feeds.
+fn pack_b(
+    bsrc: &BSource,
+    k: usize,
+    n: usize,
+    (kb, kc_len): (usize, usize),
+    (jb, nc_len): (usize, usize),
+    pack: &mut [f32],
+) {
+    let col_tiles = nc_len.div_ceil(NR);
+    match bsrc {
+        BSource::Normal(b) => {
+            for dk in 0..kc_len {
+                let brow = &b[(kb + dk) * n..][..n];
+                for jt in 0..col_tiles {
+                    let dst = &mut pack[jt * NR * kc_len + dk * NR..][..NR];
+                    let j0 = jb + jt * NR;
+                    let take = NR.min(n - j0).min(nc_len - jt * NR);
+                    dst[..take].copy_from_slice(&brow[j0..j0 + take]);
+                    dst[take..].fill(0.0);
+                }
+            }
+        }
+        BSource::Transposed(b) => {
+            // Column j of B is row j of the transposed source: contiguous
+            // in dk already.
+            for (jt, strip) in pack
+                .chunks_exact_mut(NR * kc_len)
+                .take(col_tiles)
+                .enumerate()
+            {
+                for jl in 0..NR {
+                    let j = jb + jt * NR + jl;
+                    if j < n && jt * NR + jl < nc_len {
+                        let src = &b[j * k + kb..][..kc_len];
+                        for (dk, &v) in src.iter().enumerate() {
+                            strip[dk * NR + jl] = v;
+                        }
+                    } else {
+                        for dk in 0..kc_len {
+                            strip[dk * NR + jl] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct TilePos {
+    ir: usize,
+    jr: usize,
+    mr_len: usize,
+    nr_len: usize,
+}
+
+/// One register tile: load the partial sums from `out`, accumulate the
+/// packed panels' k terms in ascending order, store back. Loading from
+/// `out` (rather than summing a panel-partial and adding it) is what
+/// keeps the per-element left fold — and therefore the bits — identical
+/// across any k-panel split.
+///
+/// `inline(never)` is load-bearing for performance: compiled standalone,
+/// LLVM keeps the whole MR×NR accumulator in XMM registers (~22 GFLOP/s
+/// on baseline SSE2); inlined into the panel loop, register allocation
+/// degrades ~6× by spilling the accumulator to the stack every k step.
+#[inline(never)]
+fn micro_tile(a_strip: &[f32], b_strip: &[f32], out: &mut [f32], n: usize, tile: TilePos) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for il in 0..tile.mr_len {
+        acc[il][..tile.nr_len].copy_from_slice(&out[(tile.ir + il) * n + tile.jr..][..tile.nr_len]);
+    }
+    for (a_col, b_row) in a_strip.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
+        for (acc_row, &av) in acc.iter_mut().zip(a_col) {
+            for (slot, &bv) in acc_row.iter_mut().zip(b_row) {
+                *slot += av * bv;
+            }
+        }
+    }
+    for il in 0..tile.mr_len {
+        out[(tile.ir + il) * n + tile.jr..][..tile.nr_len].copy_from_slice(&acc[il][..tile.nr_len]);
+    }
+}
+
+/// Applies `ep` to every finished element of the chunk, one row at a time.
+fn apply_epilogue(out: &mut [f32], n: usize, ep: &Epilogue) {
+    match *ep {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for row in out.chunks_exact_mut(n) {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+            }
+        }
+        Epilogue::BiasSigmoid(bias) => {
+            for row in out.chunks_exact_mut(n) {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v = 1.0 / (1.0 + (-(*v + b)).exp());
+                }
+            }
+        }
+        Epilogue::BiasRelu(bias) => {
+            for row in out.chunks_exact_mut(n) {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v = (*v + b).max(0.0);
+                }
+            }
+        }
+        Epilogue::BiasLayerNorm {
+            bias,
+            gamma,
+            beta,
+            epsilon,
+        } => {
+            for row in out.chunks_exact_mut(n) {
+                for (v, &b) in row.iter_mut().zip(bias) {
+                    *v += b;
+                }
+                // Identical expression order to `nn::LayerNorm::forward`,
+                // so the fused path is bit-equal to matmul→bias→LN.
+                let nn = row.len() as f32;
+                let mean = row.iter().sum::<f32>() / nn;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / nn;
+                let inv = 1.0 / (var + epsilon).sqrt();
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (*v - mean) * inv * gamma[j] + beta[j];
+                }
+            }
+        }
+    }
+}
+
+/// The reference triple loop the tiled path must match bit for bit:
+/// `out[i][j] = fold over ascending k of out[i][j] + a[i][k]·b[k][j]`.
+pub fn reference_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for dk in 0..k {
+                acc += a[i * k + dk] * b[dk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(m: usize, n: usize, seed: usize) -> Vec<f32> {
+        (0..m * n)
+            .map(|i| ((i * 31 + seed * 17) % 23) as f32 * 0.17 - 1.9)
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matches_reference_across_classes() {
+        for (m, k, n) in [(3, 5, 7), (16, 32, 16), (70, 300, 70), (64, 260, 300)] {
+            let a = mat(m, k, 1);
+            let b = mat(k, n, 2);
+            let reference = reference_matmul(&a, &b, m, k, n);
+            let mut out = vec![0.0f32; m * n];
+            gemm(&a, &b, k, n, 0, &mut out, &Epilogue::None);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_source_matches_reference() {
+        let (m, k, n) = (9, 33, 13);
+        let a = mat(m, k, 3);
+        let bt = mat(n, k, 4); // (n, k): row j is column j of B
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for dk in 0..k {
+                b[dk * n + j] = bt[j * k + dk];
+            }
+        }
+        let reference = reference_matmul(&a, &b, m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        gemm_bt(&a, &bt, k, n, 0, &mut out, &Epilogue::None);
+        for (x, y) in out.iter().zip(&reference) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn row0_offset_computes_the_right_rows() {
+        let (m, k, n) = (12, 6, 5);
+        let a = mat(m, k, 5);
+        let b = mat(k, n, 6);
+        let reference = reference_matmul(&a, &b, m, k, n);
+        // Compute rows 4..9 as an offset chunk.
+        let mut chunk = vec![0.0f32; 5 * n];
+        gemm(&a, &b, k, n, 4, &mut chunk, &Epilogue::None);
+        assert_eq!(chunk, reference[4 * n..9 * n].to_vec());
+    }
+
+    #[test]
+    fn gated_fusion_matches_unfused_sequence() {
+        let (m, k, n) = (7, 11, 9);
+        let a = mat(m, k, 7);
+        let wg = mat(k, n, 8);
+        let wp = mat(k, n, 9);
+        let bg: Vec<f32> = (0..n).map(|j| j as f32 * 0.1 - 0.3).collect();
+        let bp: Vec<f32> = (0..n).map(|j| j as f32 * 0.05).collect();
+        let mut fused = vec![0.0f32; m * n];
+        gemm_gated(
+            &a,
+            k,
+            n,
+            BiasedB { b: &wg, bias: &bg },
+            BiasedB { b: &wp, bias: &bp },
+            0,
+            &mut fused,
+        );
+        let g = reference_matmul(&a, &wg, m, k, n);
+        let p = reference_matmul(&a, &wp, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let gate = 1.0 / (1.0 + (-(g[i * n + j] + bg[j])).exp());
+                let want = gate * (p[i * n + j] + bp[j]);
+                assert_eq!(fused[i * n + j].to_bits(), want.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_arena_does_not_allocate() {
+        let (m, k, n) = (33, 40, 29);
+        let a = mat(m, k, 10);
+        let b = mat(k, n, 11);
+        let mut out = vec![0.0f32; m * n];
+        gemm(&a, &b, k, n, 0, &mut out, &Epilogue::None); // warm-up
+        let before = alloc_events();
+        out.fill(0.0);
+        gemm(&a, &b, k, n, 0, &mut out, &Epilogue::None);
+        assert_eq!(
+            alloc_events(),
+            before,
+            "steady-state GEMM must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn size_classes_are_deterministic_and_ordered() {
+        assert_eq!(size_class(8, 8, 8), SizeClass::Small);
+        assert_eq!(size_class(512, 512, 512), SizeClass::Large);
+        assert_eq!(size_class(128, 128, 128), SizeClass::Mid);
+        let ts = tile_shape(128, 128, 128);
+        assert_eq!(ts, tile_shape(128, 128, 128));
+    }
+}

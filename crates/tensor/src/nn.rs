@@ -4,6 +4,7 @@
 //! `(tokens, channels)`: linear layers transform the channel dimension,
 //! LayerNorm normalises each token, and softmax normalises each row.
 
+use crate::microkernel::Epilogue;
 use crate::rng;
 use crate::rng::Rng;
 use crate::{Tensor2, TensorError};
@@ -116,18 +117,81 @@ impl Linear {
 
     /// Applies the layer to a `(tokens, in)` matrix.
     ///
+    /// The bias add is fused into the GEMM epilogue — bit-identical to the
+    /// historical matmul-then-bias-pass sequence.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `x.cols() != in_features`.
     pub fn forward(&self, x: &Tensor2) -> Result<Tensor2, TensorError> {
-        let mut y = x.matmul(&self.weight)?;
-        for i in 0..y.rows() {
-            for (v, b) in y.row_mut(i).iter_mut().zip(self.bias.iter()) {
-                *v += b;
-            }
-        }
-        Ok(y)
+        x.matmul_epilogue(&self.weight, &Epilogue::Bias(&self.bias))
     }
+
+    /// `sigmoid(x W + b)` with the activation fused into the GEMM epilogue.
+    ///
+    /// Bit-identical to `sigmoid(forward(x))` without materialising the
+    /// pre-activation tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.cols() != in_features`.
+    pub fn forward_sigmoid(&self, x: &Tensor2) -> Result<Tensor2, TensorError> {
+        x.matmul_epilogue(&self.weight, &Epilogue::BiasSigmoid(&self.bias))
+    }
+
+    /// `relu(x W + b)` with the activation fused into the GEMM epilogue.
+    ///
+    /// Bit-identical to `relu(forward(x))` without materialising the
+    /// pre-activation tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.cols() != in_features`.
+    pub fn forward_relu(&self, x: &Tensor2) -> Result<Tensor2, TensorError> {
+        x.matmul_epilogue(&self.weight, &Epilogue::BiasRelu(&self.bias))
+    }
+
+    /// `ln.forward(x W + b)` with the LayerNorm fused into the GEMM epilogue.
+    ///
+    /// Bit-identical to `ln.forward(&forward(x))` without materialising the
+    /// pre-norm tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the widths disagree.
+    pub fn forward_layer_norm(&self, x: &Tensor2, ln: &LayerNorm) -> Result<Tensor2, TensorError> {
+        if ln.gamma.len() != self.weight.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "linear_layer_norm",
+                lhs: vec![self.weight.rows(), self.weight.cols()],
+                rhs: vec![ln.gamma.len()],
+            });
+        }
+        x.matmul_epilogue(
+            &self.weight,
+            &Epilogue::BiasLayerNorm {
+                bias: &self.bias,
+                gamma: &ln.gamma,
+                beta: &ln.beta,
+                epsilon: ln.epsilon,
+            },
+        )
+    }
+}
+
+/// Fused gated projection `sigmoid(gate(x)) ⊙ proj(x)` sharing one packed
+/// A panel across both GEMMs; neither intermediate tensor is materialised.
+///
+/// Bit-identical to the unfused
+/// `sigmoid(gate.forward(x)) ⊙ proj.forward(x)` sequence — this is the
+/// tri-mul/tri-attn gating pattern on the microkernel fast path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the two layers' shapes
+/// disagree with each other or with `x`.
+pub fn gated_projection(x: &Tensor2, gate: &Linear, proj: &Linear) -> Result<Tensor2, TensorError> {
+    x.matmul_gated((&gate.weight, &gate.bias), (&proj.weight, &proj.bias))
 }
 
 /// Per-token layer normalisation with learned scale and shift.
@@ -232,8 +296,10 @@ impl LayerNorm {
 }
 
 /// Minimum elements per chunk for the row-parallel pointwise ops
-/// (layer-norm, softmax); below this the work runs inline.
-const ROW_PAR_GRAIN_ELEMS: usize = 1 << 13;
+/// (layer-norm, softmax); below this the work runs inline. Pointwise work
+/// is a few ns per element, so a chunk must carry tens of microseconds of
+/// it before a pool handoff pays for itself.
+const ROW_PAR_GRAIN_ELEMS: usize = 1 << 15;
 
 /// Row-wise numerically-stable softmax.
 ///
@@ -395,6 +461,38 @@ mod tests {
         softmax_inplace(&mut row);
         assert!(row.iter().all(|v| v.is_finite()));
         assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fused_epilogues_match_unfused_sequences_bitwise() {
+        let x = Tensor2::from_fn(9, 24, |i, j| ((i * 13 + j * 7) % 19) as f32 * 0.21 - 1.7);
+        let layer = Linear::deterministic_with_bias("fused", 24, 16, 1.0, 0.4);
+        let base = layer.forward(&x).unwrap();
+        let bits = |t: &Tensor2| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&layer.forward_sigmoid(&x).unwrap()),
+            bits(&sigmoid(&base))
+        );
+        assert_eq!(bits(&layer.forward_relu(&x).unwrap()), bits(&relu(&base)));
+        let ln = LayerNorm::deterministic("fused_ln", 16, 0.1);
+        assert_eq!(
+            bits(&layer.forward_layer_norm(&x, &ln).unwrap()),
+            bits(&ln.forward(&base).unwrap())
+        );
+    }
+
+    #[test]
+    fn gated_projection_matches_unfused_gating_bitwise() {
+        let x = Tensor2::from_fn(7, 20, |i, j| ((i * 5 + j * 11) % 23) as f32 * 0.13 - 1.4);
+        let gate = Linear::deterministic_with_bias("gp_gate", 20, 12, 1.0, 0.3);
+        let proj = Linear::deterministic_with_bias("gp_proj", 20, 12, 1.0, 0.3);
+        let fused = gated_projection(&x, &gate, &proj).unwrap();
+        let unfused = sigmoid(&gate.forward(&x).unwrap())
+            .hadamard(&proj.forward(&x).unwrap())
+            .unwrap();
+        for (a, b) in fused.as_slice().iter().zip(unfused.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

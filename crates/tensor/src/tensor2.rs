@@ -1,3 +1,4 @@
+use crate::microkernel::{self, BiasedB, Epilogue};
 use crate::TensorError;
 
 /// A dense, row-major 2-D `f32` matrix.
@@ -202,17 +203,39 @@ impl Tensor2 {
 
     /// Matrix product `self × rhs`.
     ///
-    /// Cache-blocked over (row-block, k-panel) and parallelised across
-    /// output-row chunks on the `ln-par` pool. Every output row accumulates
-    /// its `k` terms in ascending order exactly as the serial ikj kernel
-    /// does, so results are bit-identical to serial execution for any pool
-    /// size (see the ln-par crate docs).
+    /// Runs on the register-tiled [`microkernel`] (packed panels, per-size-
+    /// class tile shapes) and is parallelised across output-row chunks on
+    /// the `ln-par` pool. Every output element accumulates its `k` terms in
+    /// ascending order into one `f32`, so results are bit-identical to the
+    /// reference triple loop and to serial execution for any pool size (see
+    /// the ln-par crate docs).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Tensor2) -> Result<Tensor2, TensorError> {
-        if self.cols != rhs.rows {
+        self.matmul_epilogue(rhs, &Epilogue::None)
+    }
+
+    /// Matrix product `self × rhs` with a fused [`Epilogue`] applied to
+    /// every finished output element in the same pass.
+    ///
+    /// The epilogue reproduces the arithmetic of the unfused sequence
+    /// (matmul, then a bias pass, then an activation map) bit for bit while
+    /// never materialising the intermediate tensor between them; `tri_mul`,
+    /// `tri_attn` and `transition` route their projection + activation
+    /// sub-stages through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `self.cols != rhs.rows`
+    /// or when an epilogue vector's length differs from the output width.
+    pub fn matmul_epilogue(
+        &self,
+        rhs: &Tensor2,
+        epilogue: &Epilogue,
+    ) -> Result<Tensor2, TensorError> {
+        if self.cols != rhs.rows || !epilogue_fits(epilogue, rhs.cols) {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
                 lhs: vec![self.rows, self.cols],
@@ -225,12 +248,11 @@ impl Tensor2 {
             return Ok(out);
         }
         ln_par::metrics::time_kernel("tensor2.matmul", (m * n) as u64, || {
-            let grain_rows = (MATMUL_PAR_FLOPS / (k * n).max(1)).max(1);
-            let rows_per_chunk = ln_par::chunk_len(m, grain_rows);
+            let rows_per_chunk = matmul_chunk_rows(m, k, n);
             let a = &self.data;
             let b = &rhs.data;
             ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |c, chunk| {
-                matmul_block(a, b, k, n, c * rows_per_chunk, chunk);
+                microkernel::gemm(a, b, k, n, c * rows_per_chunk, chunk, epilogue);
             });
         });
         Ok(out)
@@ -238,9 +260,9 @@ impl Tensor2 {
 
     /// Matrix product `self × rhsᵀ` without materialising the transpose.
     ///
-    /// Tiled over RHS rows (so a j-tile of B stays cache-resident across
-    /// LHS rows) and parallelised across output-row chunks; each dot
-    /// product runs k-ascending, bit-identical to the serial kernel.
+    /// Same register-tiled microkernel as [`Tensor2::matmul`] with a
+    /// transposed B packing routine; each output element is k-ascending,
+    /// bit-identical to the serial kernel.
     ///
     /// # Errors
     ///
@@ -259,12 +281,63 @@ impl Tensor2 {
             return Ok(out);
         }
         ln_par::metrics::time_kernel("tensor2.matmul_t", (m * n) as u64, || {
-            let grain_rows = (MATMUL_PAR_FLOPS / (k * n).max(1)).max(1);
-            let rows_per_chunk = ln_par::chunk_len(m, grain_rows);
+            let rows_per_chunk = matmul_chunk_rows(m, k, n);
             let a = &self.data;
             let b = &rhs.data;
             ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |c, chunk| {
-                matmul_transposed_block(a, b, k, n, c * rows_per_chunk, chunk);
+                microkernel::gemm_bt(a, b, k, n, c * rows_per_chunk, chunk, &Epilogue::None);
+            });
+        });
+        Ok(out)
+    }
+
+    /// Fused gated projection: `sigmoid(self × gate_w + gate_bias) ⊙
+    /// (self × proj_w + proj_bias)` in one pass over a shared packed A.
+    ///
+    /// Neither the gate nor the projection tensor is materialised; the
+    /// result is bit-identical to the unfused sigmoid/Hadamard sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the weight shapes do not
+    /// agree with `self` or each other, or a bias length differs from the
+    /// output width.
+    pub fn matmul_gated(
+        &self,
+        gate: (&Tensor2, &[f32]),
+        proj: (&Tensor2, &[f32]),
+    ) -> Result<Tensor2, TensorError> {
+        let (gate_w, gate_bias) = gate;
+        let (proj_w, proj_bias) = proj;
+        if self.cols != gate_w.rows
+            || gate_w.shape() != proj_w.shape()
+            || gate_bias.len() != gate_w.cols
+            || proj_bias.len() != proj_w.cols
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_gated",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![gate_w.rows, gate_w.cols],
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, gate_w.cols);
+        let mut out = Tensor2::zeros(m, n);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        ln_par::metrics::time_kernel("tensor2.matmul_gated", (m * n) as u64, || {
+            let rows_per_chunk = matmul_chunk_rows(m, k, n);
+            let a = &self.data;
+            let gb = BiasedB {
+                b: &gate_w.data,
+                bias: gate_bias,
+            };
+            let pb = BiasedB {
+                b: &proj_w.data,
+                bias: proj_bias,
+            };
+            ln_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * n, |c, chunk| {
+                microkernel::gemm_gated(a, k, n, gb, pb, c * rows_per_chunk, chunk);
             });
         });
         Ok(out)
@@ -413,64 +486,28 @@ impl Tensor2 {
 }
 
 /// Approximate flop count below which a matmul is not worth a thread
-/// crossing; the per-call row grain is derived from it.
-const MATMUL_PAR_FLOPS: usize = 1 << 19;
+/// crossing; the per-call row grain is derived from it. Coarser than the
+/// pre-microkernel value (2^19): packed-panel GEMM chunks are cheap per
+/// element, so pool dispatch only amortises over larger row blocks.
+const MATMUL_PAR_FLOPS: usize = 1 << 21;
 
-/// Row block (output rows sharing a k-panel of B) for the blocked matmul.
-const MATMUL_ROW_BLOCK: usize = 16;
-/// k-panel depth: `MATMUL_K_BLOCK × n` elements of B stay cache-resident
-/// while a row block accumulates.
-const MATMUL_K_BLOCK: usize = 128;
-/// RHS-row tile width for `matmul_transposed`.
-const MATMUL_T_J_BLOCK: usize = 32;
-
-/// Computes `out[i][j] += Σ_k a[row0 + i][k] · b[k][j]` for the output-row
-/// chunk `out` (`out.len() / n` rows starting at global row `row0`).
-///
-/// Blocking reorders only *which rows* are touched when; per row the k
-/// terms still accumulate in ascending order, so any chunking (including
-/// the single-chunk serial case) produces bit-identical results.
-fn matmul_block(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
-    let rows = out.len() / n;
-    for ib in (0..rows).step_by(MATMUL_ROW_BLOCK) {
-        let i_end = (ib + MATMUL_ROW_BLOCK).min(rows);
-        let mut kb = 0;
-        while kb < k {
-            let k_end = (kb + MATMUL_K_BLOCK).min(k);
-            for i in ib..i_end {
-                let a_row = &a[(row0 + i) * k + kb..(row0 + i) * k + k_end];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (dk, &av) in a_row.iter().enumerate() {
-                    let b_row = &b[(kb + dk) * n..(kb + dk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-            kb = k_end;
-        }
-    }
+/// Rows per parallel chunk for a `(m, k, n)` GEMM: derived from the flop
+/// threshold and rounded up to a multiple of the microkernel row tile so
+/// chunk seams land on tile boundaries.
+fn matmul_chunk_rows(m: usize, k: usize, n: usize) -> usize {
+    let grain_rows = (MATMUL_PAR_FLOPS / (k * n).max(1)).max(microkernel::MR);
+    let grain_rows = grain_rows.div_ceil(microkernel::MR) * microkernel::MR;
+    ln_par::chunk_len(m, grain_rows)
 }
 
-/// Computes `out[i][j] = Σ_k a[row0 + i][k] · b[j][k]` (B accessed by rows,
-/// i.e. `self × rhsᵀ`) for the output-row chunk `out`. Each dot product is
-/// k-ascending — identical order to the serial kernel.
-fn matmul_transposed_block(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
-    let rows = out.len() / n;
-    for jb in (0..n).step_by(MATMUL_T_J_BLOCK) {
-        let j_end = (jb + MATMUL_T_J_BLOCK).min(n);
-        for i in 0..rows {
-            let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row[jb..j_end].iter_mut().enumerate() {
-                let b_row = &b[(jb + j) * k..(jb + j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        }
+/// Checks the epilogue's parameter vectors against the output width.
+fn epilogue_fits(ep: &Epilogue, n: usize) -> bool {
+    match *ep {
+        Epilogue::None => true,
+        Epilogue::Bias(b) | Epilogue::BiasSigmoid(b) | Epilogue::BiasRelu(b) => b.len() == n,
+        Epilogue::BiasLayerNorm {
+            bias, gamma, beta, ..
+        } => bias.len() == n && gamma.len() == n && beta.len() == n,
     }
 }
 

@@ -6,23 +6,29 @@
 #   2. cargo clippy --workspace --all-targets -D warnings (lints)
 #   3. cargo build --release                              (offline build)
 #   4. cargo test -q                                      (test suite)
-#   5. par_speedup --quick                                (ln-par smoke)
+#   5. par_speedup --quick                                (kernel gate)
 #   6. chaos --quick                                      (ln-fault smoke)
 #   7. obs_overhead --quick                               (ln-obs cost gate)
 #   8. insight --quick                                    (ln-insight gate)
 #   9. cluster_scale --quick                              (ln-cluster gate)
 #
-# Step 5 exits non-zero ONLY when a parallel kernel diverges bitwise from
-# its serial execution — never for missing speedup — so it stays meaningful
-# on single-core CI machines. Step 6 drives a fixed-seed FaultPlan through
+# Step 5 exits non-zero when a parallel kernel diverges bitwise from its
+# serial execution OR when any kernel's speedup drops below the 0.95x
+# floor at any pool size (pools are clamped to the host's cores, so the
+# floor reads as "dispatch overhead <= 5%" and stays meaningful on
+# single-core CI machines; a genuinely noisy sample gets one bounded
+# re-measure before failing). The microkernel's zero-allocation inner-loop
+# guard is a debug_assert on a per-thread arena counter, so it runs under
+# `cargo test` in step 4, not here. Step 6 drives a fixed-seed FaultPlan through
 # the virtual-time engine and exits non-zero if any request hangs or the
 # resilience stats are not byte-identical across two runs. Step 7 measures
 # the LN_OBS=off instrumentation path against an uninstrumented baseline
 # loop and exits non-zero if the overhead exceeds 5%. Step 8 replays a
 # traced chaos run through the critical-path analyzer and gates the
 # committed BENCH_*.json against benchmarks/history/ — it exits non-zero
-# on a median+MAD regression, on any trace span the replay cannot
-# attribute, or on a truncated trace ring. Step 9 sweeps 1/4/16-shard
+# on a median+MAD regression, on any committed kernel speedup below the
+# same 0.95x floor, on any trace span the replay cannot attribute, or on
+# a truncated trace ring. Step 9 sweeps 1/4/16-shard
 # clusters over one workload and exits non-zero if the outcome fingerprint
 # diverges across ln-par pools {1, 2, 4}, if the merged cluster trace
 # leaves any span unattributed, or if p99 fails to improve monotonically

@@ -39,7 +39,7 @@ fn giant_request(workload: &[FoldRequest], length: usize) -> FoldRequest {
 
 /// One full chaos run on an `ln-par` pool of `threads` executors.
 fn run_chaos(threads: usize) -> (Vec<FoldRequest>, EngineOutcome) {
-    let pool = ln_par::Pool::new(threads);
+    let pool = ln_par::Pool::new_exact(threads);
     ln_par::with_pool(&pool, || {
         let reg = Registry::standard();
         let policy = BucketPolicy::from_registry(&reg, 4);

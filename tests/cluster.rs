@@ -46,7 +46,7 @@ fn workload() -> Vec<FoldRequest> {
 
 /// One traced chaos run on an `ln-par` pool of `threads` executors.
 fn traced_run(threads: usize) -> ClusterOutcome {
-    let pool = ln_par::Pool::new(threads);
+    let pool = ln_par::Pool::new_exact(threads);
     ln_par::with_pool(&pool, || {
         let reg = Registry::standard();
         let policy = BucketPolicy::from_registry(&reg, 4);

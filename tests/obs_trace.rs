@@ -23,7 +23,7 @@ const PLAN_SEED: &str = "chaos/plan-h";
 /// returning the raw events, their Chrome-trace rendering, and the
 /// tracer's eviction count.
 fn traced_run(threads: usize) -> (Vec<TraceEvent>, String, u64) {
-    let pool = ln_par::Pool::new(threads);
+    let pool = ln_par::Pool::new_exact(threads);
     ln_par::with_pool(&pool, || {
         let reg = Registry::standard();
         let policy = BucketPolicy::from_registry(&reg, 4);

@@ -39,7 +39,7 @@ fn bits(x: &[f32]) -> Vec<u32> {
 fn assert_pool_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
     let serial = with_pool(&Pool::new(1), &f);
     for threads in POOL_SIZES {
-        let parallel = with_pool(&Pool::new(threads), &f);
+        let parallel = with_pool(&Pool::new_exact(threads), &f);
         assert_eq!(serial, parallel, "diverged at pool size {threads}");
     }
 }
