@@ -41,6 +41,7 @@ struct StageObs {
 struct AccelObs {
     simulations: ln_obs::Counter,
     hbm_bandwidth_gbps: ln_obs::Gauge,
+    hbm_peak_bytes: ln_obs::Gauge,
     stages: BTreeMap<&'static str, StageObs>,
 }
 
@@ -73,6 +74,7 @@ fn accel_obs() -> &'static AccelObs {
         AccelObs {
             simulations: reg.counter("accel_simulations_total"),
             hbm_bandwidth_gbps: reg.gauge("accel_hbm_bandwidth_gbps"),
+            hbm_peak_bytes: reg.gauge("accel_hbm_peak_bytes"),
             stages,
         }
     })
@@ -104,6 +106,16 @@ fn record_obs(report: &LatencyReport) {
         obs.hbm_bandwidth_gbps
             .set(report.total_hbm_bytes() as f64 / seconds / 1e9);
     }
+    // The heaviest single stage's traffic bounds residency pressure; the
+    // ln-watch live watermark stitches this alongside the scratch-arena
+    // high-water mark and the AAQ byte counters.
+    let peak = report
+        .per_block_stages
+        .iter()
+        .map(|s| s.hbm_bytes)
+        .max()
+        .unwrap_or(0);
+    obs.hbm_peak_bytes.set(peak as f64);
 }
 
 /// Latency breakdown of one stage invocation.

@@ -1,0 +1,449 @@
+//! Cost and fidelity benchmark for the ln-watch live-observability layer.
+//!
+//! Three sections:
+//!
+//! 1. **Per-event overhead** — what one watch touch costs on the serving
+//!    hot path: the `LN_OBS=off` configuration with *no watch attached*
+//!    (an `Option` branch plus one gated counter — the production default,
+//!    gated at `OFF_BUDGET_PCT`), feeding the always-on flight recorder,
+//!    and classifying an outcome through the SLO engine.
+//! 2. **Burn-rate fixtures** — deterministic SLO-engine workloads (steady
+//!    traffic, a failure burst, burst-then-recovery) timing `evaluate()`
+//!    over populated scope windows and pinning the breach counts.
+//! 3. **Memory vs length** — the modeled peak-activation watermark table
+//!    over the paper-configuration LightNobel backend, asserting the
+//!    FP32→INT8→INT4 reduction is monotone at L ≥ 1024 (the paper's
+//!    Fig. 15 claim, live-telemetry edition).
+//!
+//! The full run writes `BENCH_WATCH.json` at the repo root (scored by the
+//! insight regression gate as `watch/overhead@MODE/ns_per_event` and
+//! `watch/burn/FIXTURE/evaluate_ns`); `--quick` runs a smaller iteration
+//! count and exits non-zero on an off-mode or monotonicity violation.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ln_bench::{banner, paper_note, show};
+use ln_obs::{ArgValue, ObsLevel, Registry, TraceEvent, TracePhase};
+use ln_quant::ActPrecision;
+use ln_serve::{Backend, LightNobelBackend};
+use ln_watch::{
+    length_bucket_label, FoldObservation, ObservedOutcome, SloEngine, SloSpec, Watch, WatchConfig,
+    WatchHandle, WatermarkTracker,
+};
+
+use lightnobel::report::Table;
+
+/// Off-mode overhead budget, percent of the uninstrumented baseline.
+const OFF_BUDGET_PCT: f64 = 5.0;
+
+struct OverheadRow {
+    mode: &'static str,
+    ns_per_event: f64,
+}
+
+struct BurnRow {
+    fixture: &'static str,
+    evaluate_ns: f64,
+    breaches: u64,
+}
+
+struct MemoryRow {
+    bucket: &'static str,
+    precision: &'static str,
+    max_bytes: f64,
+}
+
+/// Best-of-`reps` nanoseconds per iteration of `f(iters)`.
+fn time_best(reps: usize, iters: u64, mut f: impl FnMut(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        black_box(f(iters));
+        best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+/// The same optimizer-opaque compute kernel `obs_overhead` uses as the
+/// stand-in for real work between events.
+#[inline(always)]
+fn mix(mut x: u64) -> u64 {
+    for _ in 0..64 {
+        x = x
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(29)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    }
+    x
+}
+
+/// `LN_OBS=off`, no watch attached: the engine hot path is an `Option`
+/// branch plus one gated counter per event. This is the configuration the
+/// ≤5% budget protects.
+fn bench_off_mode(iters: u64, reps: usize) -> (f64, f64, f64) {
+    ln_obs::set_level(ObsLevel::Off);
+    let counter = ln_obs::registry().counter("watch_bench_off_probe");
+    let watch: Option<WatchHandle> = None;
+    let baseline = time_best(reps, iters, |n| {
+        let mut acc = 0x5EED_u64;
+        for i in 0..n {
+            acc = mix(acc ^ black_box(i));
+        }
+        acc
+    });
+    let gated = time_best(reps, iters, |n| {
+        let mut acc = 0x5EED_u64;
+        for i in 0..n {
+            acc = mix(acc ^ black_box(i));
+            counter.add(1);
+            if let Some(w) = black_box(&watch) {
+                Watch::lock(w).record_event(probe_event(i));
+            }
+        }
+        acc
+    });
+    let delta_pct = (gated - baseline) / baseline * 100.0;
+    (baseline, gated, delta_pct)
+}
+
+fn probe_event(i: u64) -> TraceEvent {
+    TraceEvent {
+        name: "watch_bench_probe".to_string(),
+        cat: "bench",
+        phase: TracePhase::Instant,
+        ts_nanos: i,
+        track: 0,
+        args: vec![("id", ArgValue::U64(i))],
+    }
+}
+
+/// Absolute per-event cost of feeding the always-on flight recorder
+/// (lock + event construction + ring push) and of one SLO classification.
+fn bench_watch_events(iters: u64, reps: usize) -> Vec<OverheadRow> {
+    ln_obs::set_level(ObsLevel::Off);
+    let mut out = Vec::new();
+
+    let handle = Watch::handle(WatchConfig::default());
+    out.push(OverheadRow {
+        mode: "recorder",
+        ns_per_event: time_best(reps, iters, |n| {
+            for i in 0..n {
+                Watch::lock(&handle).record_event(probe_event(i));
+            }
+            n
+        }),
+    });
+
+    let obs_handle = Watch::handle(WatchConfig::default());
+    out.push(OverheadRow {
+        mode: "observe",
+        ns_per_event: time_best(reps, iters, |n| {
+            for i in 0..n {
+                Watch::lock(&obs_handle).observe(&FoldObservation {
+                    shard: Some((i % 4) as usize),
+                    length: 512 + (i % 4) as usize * 512,
+                    at_seconds: i as f64 * 1e-3,
+                    outcome: ObservedOutcome::Completed {
+                        latency_seconds: 1.0,
+                        deadline_seconds: 10.0,
+                        degraded: false,
+                    },
+                });
+            }
+            n
+        }),
+    });
+    out
+}
+
+/// One deterministic SLO-engine fixture: `observations` pre-loaded, then
+/// breaches counted from a single evaluation pass and `evaluate()` timed
+/// in steady state.
+fn burn_fixture(
+    fixture: &'static str,
+    observations: &[FoldObservation],
+    eval_at: &[f64],
+    iters: u64,
+    reps: usize,
+) -> BurnRow {
+    let specs = || {
+        vec![
+            SloSpec {
+                min_events: 4,
+                burn_threshold: 1.0,
+                ..SloSpec::deadline_hit_rate("deadline", 0.9)
+            },
+            SloSpec::p99_latency("p99_latency", 60.0, 0.99),
+            SloSpec::degradation_rate("precision", 0.8),
+        ]
+    };
+    // Breach count from a fresh engine: deterministic, independent of the
+    // timing loop's repeated evaluations.
+    let reg = Registry::new();
+    let mut engine = SloEngine::new(specs());
+    let mut breaches = 0u64;
+    let mut obs_iter = observations.iter().peekable();
+    for &at in eval_at {
+        while let Some(o) = obs_iter.peek() {
+            if o.at_seconds <= at {
+                engine.observe(obs_iter.next().unwrap());
+            } else {
+                break;
+            }
+        }
+        breaches += engine.evaluate(at, &reg).len() as u64;
+    }
+
+    // Steady-state evaluate cost over the fully populated engine.
+    let last = eval_at.last().copied().unwrap_or(0.0);
+    let evaluate_ns = time_best(reps, iters, |n| {
+        for i in 0..n {
+            black_box(engine.evaluate(last + i as f64 * 1e-3, &reg));
+        }
+        n
+    });
+    BurnRow {
+        fixture,
+        evaluate_ns,
+        breaches,
+    }
+}
+
+fn completed(shard: usize, length: usize, at: f64, latency: f64) -> FoldObservation {
+    FoldObservation {
+        shard: Some(shard),
+        length,
+        at_seconds: at,
+        outcome: ObservedOutcome::Completed {
+            latency_seconds: latency,
+            deadline_seconds: 30.0,
+            degraded: false,
+        },
+    }
+}
+
+fn failed(shard: usize, length: usize, at: f64) -> FoldObservation {
+    FoldObservation {
+        shard: Some(shard),
+        length,
+        at_seconds: at,
+        outcome: ObservedOutcome::Failed,
+    }
+}
+
+fn bench_burn_fixtures(iters: u64, reps: usize) -> Vec<BurnRow> {
+    let lengths = [256usize, 700, 1400, 3000];
+
+    // Steady: 512 healthy completions over 500 s — no scope ever burns.
+    let steady: Vec<FoldObservation> = (0..512)
+        .map(|i| {
+            completed(
+                i % 4,
+                lengths[i % lengths.len()],
+                i as f64,
+                1.0 + (i % 7) as f64,
+            )
+        })
+        .collect();
+
+    // Burst: the same traffic, but shard 1 fails every request in a 60 s
+    // window — the deadline objective breaches on several scopes.
+    let burst: Vec<FoldObservation> = (0..512)
+        .map(|i| {
+            let at = i as f64;
+            if i % 4 == 1 && (200.0..260.0).contains(&at) {
+                failed(1, lengths[i % lengths.len()], at)
+            } else {
+                completed(i % 4, lengths[i % lengths.len()], at, 1.0 + (i % 7) as f64)
+            }
+        })
+        .collect();
+
+    vec![
+        burn_fixture("steady", &steady, &[250.0, 512.0], iters, reps),
+        burn_fixture("burst", &burst, &[230.0, 260.0, 512.0], iters, reps),
+        // Recovery: the burst traffic evaluated again 400 s after the last
+        // event, once the fast window has drained — scopes re-arm.
+        burn_fixture("recovery", &burst, &[260.0, 512.0, 912.0], iters, reps),
+    ]
+}
+
+/// Sweep the paper-configuration LightNobel backend across lengths and
+/// AAQ rungs through the watermark tracker, exactly as the serve engine
+/// records settled batches.
+fn memory_sweep() -> (Vec<MemoryRow>, String) {
+    ln_obs::set_level(ObsLevel::Counters);
+    let backend = LightNobelBackend::paper("LightNobel");
+    let reg = Registry::new();
+    let mut tracker = WatermarkTracker::new();
+    for &length in &[256usize, 512, 1024, 2048, 3364, 4096] {
+        for precision in ActPrecision::LADDER {
+            let peak = backend.batch_peak_bytes_at(&[length], precision);
+            tracker.record(&reg, length, precision, peak);
+        }
+    }
+    let rows = tracker
+        .rows()
+        .into_iter()
+        .map(|r| MemoryRow {
+            bucket: r.bucket,
+            precision: r.precision,
+            max_bytes: r.max_bytes,
+        })
+        .collect();
+    let table = ln_insight::memory_vs_length_table(&tracker.rows());
+    (rows, table)
+}
+
+/// The acceptance invariant: at every bucket covering L ≥ 1024 the
+/// modeled peak strictly decreases FP32 → INT8 → INT4.
+fn check_monotone(rows: &[MemoryRow]) -> Result<(), String> {
+    for &length in &[1024usize, 2048, 3364, 4096] {
+        let bucket = length_bucket_label(length);
+        let peak = |precision: &str| {
+            rows.iter()
+                .find(|r| r.bucket == bucket && r.precision == precision)
+                .map(|r| r.max_bytes)
+                .ok_or_else(|| format!("no {precision} watermark for bucket {bucket}"))
+        };
+        let (fp32, int8, int4) = (peak("fp32")?, peak("int8")?, peak("int4")?);
+        if !(fp32 > int8 && int8 > int4) {
+            return Err(format!(
+                "bucket {bucket}: peak bytes not monotone fp32 {fp32} > int8 {int8} > int4 {int4}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn write_json(
+    path: &str,
+    off: (f64, f64, f64),
+    overhead: &[OverheadRow],
+    burn: &[BurnRow],
+    memory: &[MemoryRow],
+) -> std::io::Result<()> {
+    let (baseline_ns, gated_ns, delta_pct) = off;
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"watch\",\n");
+    s.push_str(&format!("  \"off_budget_pct\": {OFF_BUDGET_PCT:.1},\n"));
+    s.push_str(&format!(
+        "  \"off_mode\": {{\"baseline_ns_per_iter\": {baseline_ns:.3}, \
+         \"gated_ns_per_iter\": {gated_ns:.3}, \"delta_pct\": {delta_pct:.3}}},\n"
+    ));
+    s.push_str("  \"overhead\": [\n");
+    let mut rows: Vec<String> = vec![format!(
+        "    {{\"mode\": \"off\", \"ns_per_event\": {:.3}}}",
+        (gated_ns - baseline_ns).max(0.0)
+    )];
+    rows.extend(overhead.iter().map(|r| {
+        format!(
+            "    {{\"mode\": \"{}\", \"ns_per_event\": {:.3}}}",
+            r.mode, r.ns_per_event
+        )
+    }));
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ],\n  \"burn\": [\n");
+    let rows: Vec<String> = burn
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"fixture\": \"{}\", \"evaluate_ns\": {:.3}, \"breaches\": {}}}",
+                r.fixture, r.evaluate_ns, r.breaches
+            )
+        })
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ],\n  \"memory\": [\n");
+    let rows: Vec<String> = memory
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"bucket\": \"{}\", \"precision\": \"{}\", \"max_bytes\": {:.1}}}",
+                r.bucket, r.precision, r.max_bytes
+            )
+        })
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(if quick {
+        "watch --quick — live-observability cost gate (ln-watch)"
+    } else {
+        "watch — SLO burn fixtures, recorder overhead, memory watermarks"
+    });
+    paper_note(
+        "the watch must be cheap enough to stay on in production: the \
+         LN_OBS=off serving path with no watch attached pays one branch \
+         and one gated counter, and the activation watermark it surfaces \
+         is the quantity AAQ exists to bound (Fig. 15)",
+    );
+
+    let (iters, reps) = if quick { (100_000, 5) } else { (1_000_000, 9) };
+
+    let off = bench_off_mode(iters, reps);
+    let overhead = bench_watch_events(iters, reps);
+    let burn = bench_burn_fixtures(iters.min(10_000), reps);
+    let (memory, table) = memory_sweep();
+
+    let (baseline_ns, gated_ns, delta_pct) = off;
+    let mut t = Table::new(["mode", "ns/event"]);
+    t.add_row([
+        "off".to_string(),
+        format!("{:.2}", (gated_ns - baseline_ns).max(0.0)),
+    ]);
+    for r in &overhead {
+        t.add_row([r.mode.to_string(), format!("{:.2}", r.ns_per_event)]);
+    }
+    show(&t);
+    let mut t = Table::new(["fixture", "evaluate ns", "breaches"]);
+    for r in &burn {
+        t.add_row([
+            r.fixture.to_string(),
+            format!("{:.1}", r.evaluate_ns),
+            r.breaches.to_string(),
+        ]);
+    }
+    show(&t);
+    print!("{table}");
+    println!(
+        "off-mode: baseline {baseline_ns:.2} ns/iter, gated {gated_ns:.2} ns/iter, \
+         delta {delta_pct:+.2}% (budget {OFF_BUDGET_PCT:.1}%)"
+    );
+
+    let mut failed_gate = false;
+    if delta_pct > OFF_BUDGET_PCT {
+        eprintln!(
+            "REGRESSION: LN_OBS=off with the watch compiled in adds {delta_pct:.2}% \
+             (budget {OFF_BUDGET_PCT:.1}%)"
+        );
+        failed_gate = true;
+    }
+    if let Err(e) = check_monotone(&memory) {
+        eprintln!("REGRESSION: {e}");
+        failed_gate = true;
+    }
+    if burn.iter().any(|r| r.fixture == "steady" && r.breaches > 0) {
+        eprintln!("REGRESSION: the steady fixture breached");
+        failed_gate = true;
+    }
+    if burn.iter().any(|r| r.fixture == "burst" && r.breaches == 0) {
+        eprintln!("REGRESSION: the burst fixture never breached");
+        failed_gate = true;
+    }
+    if failed_gate {
+        std::process::exit(1);
+    }
+
+    if !quick {
+        write_json("BENCH_WATCH.json", off, &overhead, &burn, &memory)
+            .expect("write BENCH_WATCH.json");
+        println!("wrote BENCH_WATCH.json");
+    }
+    println!("watch gates passed");
+}

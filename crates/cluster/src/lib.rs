@@ -45,6 +45,17 @@
 //! draining local work. Every affected request still terminates
 //! definitely.
 //!
+//! # Live observability
+//!
+//! [`Cluster::enable_watch`] attaches one shared [`ln_watch::Watch`] hub
+//! to every shard: trace events feed its always-on flight recorder,
+//! settled batches feed the activation-memory watermark table, and every
+//! terminal outcome feeds the SLO burn-rate engine. The router triggers
+//! black-box snapshots on shard loss and partition onset, prefers healthy
+//! shards in placement, treats an unhealthy active set as autoscale
+//! scale-up pressure, and returns the end-of-run
+//! [`ln_watch::WatchReport`] on [`ClusterOutcome::watch`].
+//!
 //! # Tracing
 //!
 //! With tracing on, [`Cluster::run`] returns one merged trace: the

@@ -39,6 +39,7 @@ use ln_obs::{seconds_to_nanos, ArgValue, TraceEvent, TracePhase};
 use ln_serve::{
     Engine, FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason, ServeStats,
 };
+use ln_watch::{FoldObservation, ObservedOutcome, Watch, WatchConfig, WatchHandle, WatchReport};
 
 use crate::config::ClusterConfig;
 use crate::ring::HashRing;
@@ -84,6 +85,12 @@ pub struct ClusterOutcome {
     pub trace: Option<Vec<TraceEvent>>,
     /// Total events evicted across all shard trace rings.
     pub trace_dropped: u64,
+    /// Live-observability summary (`Some` when [`Cluster::enable_watch`]
+    /// was called): error budgets, the memory-vs-length watermark table
+    /// and every captured black box. Deliberately *not* part of
+    /// [`ClusterOutcome::fingerprint`] — black-box identity is pinned by
+    /// its own golden test.
+    pub watch: Option<WatchReport>,
 }
 
 impl ClusterOutcome {
@@ -160,6 +167,10 @@ pub struct Cluster {
     plan: FaultPlan,
     ring: HashRing,
     tracing: bool,
+    /// The shared live-observability hub, when enabled: every shard feeds
+    /// it, the router triggers black boxes on cluster-level faults, and
+    /// placement/autoscaling consult its shard health scores.
+    watch: Option<WatchHandle>,
 }
 
 impl Cluster {
@@ -184,6 +195,51 @@ impl Cluster {
             plan,
             ring,
             tracing: false,
+            watch: None,
+        }
+    }
+
+    /// Turns on live observability: builds one shared [`ln_watch::Watch`]
+    /// from `config`, attaches it to every shard engine (scoped by shard
+    /// index), and returns the handle. From then on the router also
+    /// triggers black-box snapshots on shard loss and partition onset,
+    /// health-gates placement, treats unhealthy shards as scale-up
+    /// pressure, and carries the end-of-run [`WatchReport`] on
+    /// [`ClusterOutcome::watch`].
+    pub fn enable_watch(&mut self, config: WatchConfig) -> WatchHandle {
+        let handle = Watch::handle(config);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_watch(handle.clone(), Some(s));
+        }
+        self.watch = Some(handle.clone());
+        handle
+    }
+
+    /// Feeds a router-terminal outcome (one no shard ever observed) into
+    /// the watch's SLO engine, scoped global + length bucket only.
+    fn watch_observe(&self, length: usize, at_seconds: f64, outcome: ObservedOutcome) {
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).observe(&FoldObservation {
+                shard: None,
+                length,
+                at_seconds,
+                outcome,
+            });
+        }
+    }
+
+    /// Snapshots a black box for a cluster-level fault.
+    fn watch_trigger(&self, trigger: &str, now: f64) {
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).trigger(trigger, now);
+        }
+    }
+
+    /// Health score for shard `s`: 1.0 when no watch is enabled.
+    fn shard_health(&self, s: usize) -> f64 {
+        match &self.watch {
+            Some(watch) => Watch::lock(watch).shard_health(s),
+            None => 1.0,
         }
     }
 
@@ -228,6 +284,7 @@ impl Cluster {
         let mut a_idx = 0usize;
         let mut loss_idx = 0usize;
         let mut next_tick = self.cfg.autoscale.map(|a| a.interval_seconds);
+        let mut partition_seen = vec![false; self.plan.partitions().len()];
         let mut now = 0.0f64;
 
         loop {
@@ -262,6 +319,17 @@ impl Cluster {
             let Some(t) = t else { break };
             now = t;
 
+            // 0. Partition onsets reached by now: snapshot a black box the
+            //    first time each window is seen in effect.
+            if self.watch.is_some() {
+                for (i, w) in self.plan.partitions().iter().enumerate() {
+                    if !partition_seen[i] && w.start_seconds <= now {
+                        partition_seen[i] = true;
+                        self.watch_trigger(&format!("partition_window:shard:{}", w.shard), now);
+                    }
+                }
+            }
+
             // 1. Shard losses due now: evacuate, then reroute or fail.
             while loss_idx < self.plan.shard_losses().len()
                 && self.plan.shard_losses()[loss_idx].at_seconds <= now
@@ -273,6 +341,9 @@ impl Cluster {
                 }
                 stats.shard_losses += 1;
                 let victims = self.shards[shard].evacuate();
+                // The evacuation's shard_loss/cancel instants are already
+                // in the recorder ring; capture them before rerouting.
+                self.watch_trigger(&format!("shard_loss:shard:{shard}"), now);
                 for victim in victims {
                     self.displaced(
                         victim.id,
@@ -424,7 +495,11 @@ impl Cluster {
                             .map(|&s| self.shards[s].queue_depth() as f64)
                             .sum::<f64>()
                             / alive_active.len() as f64;
-                        if mean >= auto.up_depth {
+                        // A burning or memory-saturated active shard is
+                        // scale-up pressure even at a shallow mean depth.
+                        let unhealthy = self.watch.is_some()
+                            && alive_active.iter().any(|&s| self.shard_health(s) < 0.5);
+                        if mean >= auto.up_depth || unhealthy {
                             if let Some(s) =
                                 (0..n).find(|&s| !self.shards[s].is_dead() && !active[s])
                             {
@@ -450,6 +525,30 @@ impl Cluster {
                         next += auto.interval_seconds;
                     }
                     next_tick = Some(next);
+                }
+            }
+
+            // 9. Live-observability pass: evaluate SLOs over everything
+            //    this instant settled (router-terminal outcomes included;
+            //    shard steps already evaluated their own instants).
+            if let Some(watch) = &self.watch {
+                let breaches = Watch::lock(watch).evaluate(now);
+                if self.tracing {
+                    for b in breaches {
+                        router_trace.push(TraceEvent {
+                            name: "slo_breach".to_string(),
+                            cat: "slo",
+                            phase: TracePhase::Instant,
+                            ts_nanos: seconds_to_nanos(now),
+                            track: 0,
+                            args: vec![
+                                ("slo", ArgValue::Str(b.slo)),
+                                ("scope", ArgValue::Str(b.scope)),
+                                ("fast_burn", ArgValue::F64(b.fast_burn)),
+                                ("slow_burn", ArgValue::F64(b.slow_burn)),
+                            ],
+                        });
+                    }
                 }
             }
         }
@@ -507,12 +606,21 @@ impl Cluster {
             .count();
         stats.export_metrics(active_count);
 
+        // Mirror the watch's run-local metrics into the global registry
+        // exactly once, then carry its summary on the outcome.
+        let watch = self.watch.as_ref().map(|w| {
+            let guard = Watch::lock(w);
+            guard.export_global();
+            guard.report()
+        });
+
         ClusterOutcome {
             responses,
             stats,
             shard_stats,
             trace: merged,
             trace_dropped,
+            watch,
         }
     }
 
@@ -575,9 +683,30 @@ impl Cluster {
             .copied()
             .filter(|&s| !self.plan.partitioned(s, now))
             .collect();
-        if let Some(&primary) = open.first() {
+        // Health gate: prefer shards the watch scores healthy, but fall
+        // back to the full open set — health never reduces reachability.
+        let preferred: Vec<usize> = if self.watch.is_some() {
+            let healthy: Vec<usize> = open
+                .iter()
+                .copied()
+                .filter(|&s| self.shard_health(s) >= 0.5)
+                .collect();
+            if healthy.is_empty() {
+                open.clone()
+            } else {
+                healthy
+            }
+        } else {
+            open.clone()
+        };
+        if let Some(&primary) = preferred.first() {
             let hedge = (req.length >= self.cfg.hedge_min_length)
-                .then(|| open.get(1).copied())
+                .then(|| {
+                    preferred
+                        .get(1)
+                        .copied()
+                        .or_else(|| open.iter().copied().find(|&s| s != primary))
+                })
                 .flatten();
             return Placement::Place { primary, hedge };
         }
@@ -656,15 +785,18 @@ impl Cluster {
             }
             Placement::Reject { reason } => {
                 let p = pending.get_mut(&origin).expect("checked above");
+                let length = p.req.length;
                 match from {
                     // A reroute that finds no home fails typed: the shard
                     // was lost and nobody could take its work.
                     Some(shard) => {
                         p.failure =
                             Some((FoldOutcome::Failed(FoldError::ShardLost { shard }), None));
+                        self.watch_observe(length, now, ObservedOutcome::Failed);
                     }
                     None => {
                         stats.router_rejected += 1;
+                        self.watch_observe(length, now, ObservedOutcome::Rejected);
                         if self.tracing {
                             router_trace.push(TraceEvent {
                                 name: "reject".to_string(),
@@ -812,6 +944,7 @@ impl Cluster {
                         },
                         None,
                     ));
+                    self.watch_observe(p.req.length, now, ObservedOutcome::TimedOut);
                 }
             }
             Self::finalize(d.origin, pending, responses);
@@ -829,6 +962,7 @@ impl Cluster {
                         },
                         None,
                     ));
+                    self.watch_observe(p.req.length, now, ObservedOutcome::TimedOut);
                 }
             }
             Self::finalize(d.origin, pending, responses);
@@ -959,6 +1093,7 @@ impl Cluster {
             return;
         }
         p.failure = Some((FoldOutcome::Failed(FoldError::ShardLost { shard }), None));
+        self.watch_observe(p.req.length, now, ObservedOutcome::Failed);
         Self::finalize(origin, pending, responses);
     }
 
@@ -1387,6 +1522,36 @@ mod tests {
         let out = cluster(4, cfg, FaultPlan::none()).run(&wl);
         assert_eq!(out.stats.total() as usize, wl.len());
         assert!(out.stats.scale_downs > 0, "{:?}", out.stats);
+    }
+
+    #[test]
+    fn watch_captures_shard_loss_blackbox_and_watermarks() {
+        let wl = workload(40, 8.0);
+        let plan = FaultPlan::builder().shard_loss(1, 2.0).build();
+        let mut cl = cluster(3, ClusterConfig::default(), plan);
+        cl.enable_watch(ln_watch::WatchConfig::default());
+        let out = cl.run(&wl);
+        assert_eq!(out.stats.total() as usize, wl.len());
+        let report = out.watch.expect("watch enabled");
+        assert!(
+            report
+                .blackboxes
+                .iter()
+                .any(|(_, trigger, at)| trigger == "shard_loss:shard:1" && *at == 2.0),
+            "no shard-loss black box: {:?}",
+            report.blackboxes
+        );
+        assert!(
+            !report.watermarks.is_empty(),
+            "settled batches must populate the watermark table"
+        );
+        assert!(
+            report
+                .budgets
+                .iter()
+                .any(|r| r.scope == "global" && r.total > 0),
+            "terminal outcomes must land in the global error budget"
+        );
     }
 
     #[test]

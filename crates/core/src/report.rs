@@ -204,6 +204,11 @@ pub fn obs_tables() -> Vec<Table> {
     reg.counter("cluster_reroutes_total");
     reg.counter("cluster_shard_losses_total");
     reg.gauge("cluster_active_shards");
+    // And the flight-recorder eviction counter from `ln-watch`: the black
+    // box covers only the last N virtual seconds by design, so the report
+    // must state how many events aged out of the ring — zero means every
+    // recorded event was still available at snapshot time.
+    reg.counter("watch_recorder_dropped_total");
     let snap = ln_obs::registry().snapshot();
     let mut counters = Table::new(["counter", "value"]).with_title("obs counters");
     let mut gauges = Table::new(["gauge", "value"]).with_title("obs gauges");
@@ -276,6 +281,10 @@ mod tests {
                 "cluster metric {name} must render even at zero:\n{all}"
             );
         }
+        assert!(
+            all.contains("watch_recorder_dropped_total"),
+            "the flight-recorder eviction counter must render even at zero:\n{all}"
+        );
     }
 
     #[test]

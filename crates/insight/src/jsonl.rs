@@ -34,6 +34,10 @@ fn intern(s: &str) -> &'static str {
         "span",
         "bench",
         "test",
+        "slo",
+        "cancel",
+        "router",
+        "hop",
         // Argument keys.
         "id",
         "seq_len",
@@ -47,6 +51,11 @@ fn intern(s: &str) -> &'static str {
         "rows",
         "label",
         "threads",
+        "shard",
+        "scope",
+        "fast_burn",
+        "slow_burn",
+        "peak_bytes",
     ];
     match KNOWN.iter().find(|k| **k == s) {
         Some(k) => k,

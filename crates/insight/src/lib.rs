@@ -19,6 +19,11 @@
 //!   archived `BENCH_*.json` documents (`benchmarks/history/`) scored
 //!   with median + MAD thresholds, so a significant slowdown fails CI
 //!   while run-to-run jitter does not.
+//! * [`blackbox`] — re-ingestion of `ln-watch` flight-recorder black
+//!   boxes (header + events + registry snapshot, each an exact inverse
+//!   of the deterministic exporters) and the memory-vs-length table over
+//!   the activation watermark rows — the live-telemetry analogue of the
+//!   paper's Fig. 4 memory cliff.
 //!
 //! Everything is std-only and deterministic: the same events and the
 //! same snapshots render byte-identical reports, which is what lets the
@@ -30,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod json;
 pub mod jsonl;
 pub mod regression;
 pub mod roofline;
 pub mod timeline;
 
+pub use blackbox::{memory_vs_length_table, parse_blackbox, parse_metrics, BlackboxDoc};
 pub use regression::{BaselineStore, GateConfig, RegressionReport, Sample};
 pub use roofline::{Ceilings, CpuKernelProfile, RooflineReport};
 pub use timeline::{CriticalPath, TerminalCounts};

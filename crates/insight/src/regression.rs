@@ -290,6 +290,7 @@ pub fn bench_samples(doc: &Value) -> Vec<Sample> {
         Some("obs_overhead") => obs_overhead_samples(doc),
         Some("insight") => insight_samples(doc),
         Some("cluster_scale") => cluster_scale_samples(doc),
+        Some("watch") => watch_samples(doc),
         _ => Vec::new(),
     }
 }
@@ -388,6 +389,33 @@ fn cluster_scale_samples(doc: &Value) -> Vec<Sample> {
             sweep,
             "p99_seconds",
             format!("{prefix}/p99_seconds"),
+        );
+    }
+    out
+}
+
+fn watch_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for row in doc.get("overhead").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(mode) = row.get("mode").and_then(Value::as_str) else {
+            continue;
+        };
+        push_num(
+            &mut out,
+            row,
+            "ns_per_event",
+            format!("watch/overhead@{mode}/ns_per_event"),
+        );
+    }
+    for row in doc.get("burn").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(fixture) = row.get("fixture").and_then(Value::as_str) else {
+            continue;
+        };
+        push_num(
+            &mut out,
+            row,
+            "evaluate_ns",
+            format!("watch/burn/{fixture}/evaluate_ns"),
         );
     }
     out
@@ -610,6 +638,25 @@ mod tests {
         // Unknown kinds contribute nothing.
         let other = json::parse(r#"{"bench": "mystery", "x": 1}"#).unwrap();
         assert!(bench_samples(&other).is_empty());
+    }
+
+    #[test]
+    fn watch_documents_flatten_overhead_and_burn_fixtures() {
+        let watch = json::parse(
+            r#"{"bench": "watch", "overhead": [
+                {"mode": "off", "ns_per_event": 12.5},
+                {"mode": "counters", "ns_per_event": 48.0}
+            ], "burn": [
+                {"fixture": "steady_2x", "evaluate_ns": 1500, "breaches": 3}
+            ]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&watch);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].metric, "watch/overhead@off/ns_per_event");
+        assert_eq!(samples[1].metric, "watch/overhead@counters/ns_per_event");
+        assert_eq!(samples[2].metric, "watch/burn/steady_2x/evaluate_ns");
+        assert_eq!(samples[2].value, 1500.0);
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn escape_json(s: &str, out: &mut String) {
 /// `.0` suffix so a reader can reconstruct the type — `ArgValue::F64(2.0)`
 /// must not come back as an integer when the JSONL stream is re-ingested
 /// (`ln-insight` relies on this for lossless round trips).
-fn fmt_f64(value: f64, out: &mut String) {
+///
+/// Public so downstream deterministic writers (the ln-watch flight
+/// recorder's black-box header, the bench bins' JSON records) serialize
+/// floats byte-identically to the exporters here.
+pub fn fmt_f64(value: f64, out: &mut String) {
     if value.is_nan() {
         out.push_str("\"NaN\"");
     } else if value.is_infinite() {
@@ -146,6 +150,53 @@ pub fn jsonl_events(events: &[TraceEvent]) -> String {
         if !event.args.is_empty() {
             out.push_str(",\"args\":");
             write_args(&event.args, &mut out);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Serializes a registry snapshot as one JSON object per line (JSONL):
+/// counters and gauges as `{"metric":...,"kind":...,"value":...}`,
+/// histograms with `count`, `sum` and the non-zero buckets as
+/// `[bucket_index, count]` pairs — index rather than upper bound so the
+/// exact [`crate::HistogramSnapshot`] is reconstructible (the ln-watch
+/// black box relies on this for its registry↔snapshot roundtrip).
+///
+/// `BTreeMap` ordering plus [`fmt_f64`] make the output deterministic.
+pub fn metrics_jsonl(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    let mut out = String::with_capacity(snapshot.len() * 64);
+    for (name, value) in snapshot {
+        out.push_str("{\"metric\":\"");
+        escape_json(name, &mut out);
+        out.push_str("\",\"kind\":\"");
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "counter\",\"value\":{v}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str("gauge\",\"value\":");
+                fmt_f64(*v, &mut out);
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                    h.count, h.sum
+                );
+                let mut first = true;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "[{i},{n}]");
+                }
+                out.push(']');
+            }
         }
         out.push_str("}\n");
     }
@@ -354,6 +405,48 @@ requests_total 3
         assert!(text.contains("nanos_bucket{kernel=\"a\",le=\"+Inf\"} 1\n"));
         assert!(text.contains("nanos_sum{kernel=\"a\"} 2\n"));
         assert!(text.contains("nanos_count{kernel=\"a\"} 1\n"));
+    }
+
+    #[test]
+    fn prometheus_text_survives_hostile_label_values() {
+        let _guard = crate::test_lock();
+        set_level(ObsLevel::Counters);
+        let reg = Registry::new();
+        reg.counter(&crate::labeled("evil_total", &[("why", "said \"no\"\n")]))
+            .add(1);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(
+            text.contains("evil_total{why=\"said \\\"no\\\"\\n\"} 1\n"),
+            "label escaping must reach the exposition output:\n{text}"
+        );
+        for line in text.lines() {
+            assert_eq!(
+                line.matches('"').count() % 2,
+                line.matches("\\\"").count() % 2,
+                "unbalanced unescaped quotes in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_jsonl_covers_all_kinds_exactly() {
+        let _guard = crate::test_lock();
+        set_level(ObsLevel::Counters);
+        let reg = Registry::new();
+        reg.counter("requests_total").add(3);
+        reg.gauge("occupancy").set(0.5);
+        let h = reg.histogram("latency_nanos");
+        h.record(1);
+        h.record(3);
+        h.record(900);
+        let text = metrics_jsonl(&reg.snapshot());
+        let expected = concat!(
+            "{\"metric\":\"latency_nanos\",\"kind\":\"histogram\",",
+            "\"count\":3,\"sum\":904,\"buckets\":[[1,1],[2,1],[10,1]]}\n",
+            "{\"metric\":\"occupancy\",\"kind\":\"gauge\",\"value\":0.5}\n",
+            "{\"metric\":\"requests_total\",\"kind\":\"counter\",\"value\":3}\n",
+        );
+        assert_eq!(text, expected);
     }
 
     #[test]

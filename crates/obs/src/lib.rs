@@ -47,7 +47,7 @@ pub mod registry;
 pub mod trace;
 
 pub use clock::{seconds_to_nanos, Clock, VirtualClock, WallClock};
-pub use export::{chrome_trace_json, jsonl_events, prometheus_text};
+pub use export::{chrome_trace_json, fmt_f64, jsonl_events, metrics_jsonl, prometheus_text};
 pub use registry::{
     labeled, registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry,
 };

@@ -162,6 +162,24 @@ impl Histogram {
         self.inner.sum.store(0, Ordering::Relaxed);
         self.inner.count.store(0, Ordering::Relaxed);
     }
+
+    /// Folds a snapshot's buckets and totals into this histogram (no-op
+    /// when observability is off). Used to mirror a run-local registry —
+    /// e.g. ln-watch's watermark histograms — into the process-wide one
+    /// without replaying every observation.
+    pub fn merge(&self, snapshot: &HistogramSnapshot) {
+        if counting() {
+            for (i, &n) in snapshot.buckets.iter().enumerate() {
+                if n > 0 {
+                    self.inner.buckets[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            self.inner.sum.fetch_add(snapshot.sum, Ordering::Relaxed);
+            self.inner
+                .count
+                .fetch_add(snapshot.count, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A point-in-time copy of a [`Histogram`].
@@ -338,6 +356,12 @@ fn kind_name(metric: &Metric) -> &'static str {
 /// Encodes labels into a metric name, Prometheus-style:
 /// `labeled("par_kernel_calls_total", &[("kernel", "tri_mul")])` →
 /// `par_kernel_calls_total{kernel="tri_mul"}`.
+///
+/// Label *values* are escaped per the Prometheus text exposition rules
+/// (`\` → `\\`, `"` → `\"`, newline → `\n`) at construction time, so every
+/// exporter that prints the stored name verbatim — including
+/// [`crate::prometheus_text`] — emits well-formed output even when a value
+/// carries a quote or a path separator.
 pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -351,7 +375,14 @@ pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
         }
         out.push_str(key);
         out.push_str("=\"");
-        out.push_str(value);
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
         out.push('"');
     }
     out.push('}');
@@ -484,5 +515,46 @@ mod tests {
             labeled("x", &[("a", "1"), ("b", "2")]),
             "x{a=\"1\",b=\"2\"}"
         );
+    }
+
+    #[test]
+    fn labeled_escapes_values() {
+        assert_eq!(
+            labeled("x", &[("path", "a\\b")]),
+            "x{path=\"a\\\\b\"}",
+            "backslash doubles"
+        );
+        assert_eq!(
+            labeled("x", &[("why", "said \"no\"")]),
+            "x{why=\"said \\\"no\\\"\"}",
+            "quotes escape"
+        );
+        assert_eq!(
+            labeled("x", &[("msg", "line1\nline2")]),
+            "x{msg=\"line1\\nline2\"}",
+            "newline becomes the two-character sequence"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_folds_snapshots() {
+        let _guard = crate::test_lock();
+        set_level(ObsLevel::Counters);
+        let a = Histogram::new();
+        a.record(3);
+        a.record(900);
+        let b = Histogram::new();
+        b.record(1);
+        b.merge(&a.snapshot());
+        let snap = b.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 904);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[10], 1);
+        set_level(ObsLevel::Off);
+        b.merge(&a.snapshot());
+        assert_eq!(b.snapshot().count, 3, "merge is gated like record");
+        set_level(ObsLevel::Counters);
     }
 }

@@ -90,6 +90,17 @@ impl ActPrecision {
     pub fn is_degraded(self) -> bool {
         self != ActPrecision::Fp32
     }
+
+    /// Stable lowercase label for metric names and trace vocabulary
+    /// (`"fp32"` / `"int8"` / `"int4"`): the single source the serving
+    /// layer and ln-watch share, so label-keyed series line up.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActPrecision::Fp32 => "fp32",
+            ActPrecision::Int8 => "int8",
+            ActPrecision::Int4 => "int4",
+        }
+    }
 }
 
 impl fmt::Display for ActPrecision {

@@ -29,8 +29,9 @@ use crate::bucket::BucketPolicy;
 use crate::request::{FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason};
 use crate::stats::{BatchRecord, ServeStats};
 use ln_fault::{BreakerEvent, CircuitBreaker, DispatchFault, FaultPlan, ResilienceConfig};
-use ln_obs::{seconds_to_nanos, ArgValue, Clock, TraceEvent, Tracer, VirtualClock};
+use ln_obs::{seconds_to_nanos, ArgValue, Clock, TraceEvent, TracePhase, Tracer, VirtualClock};
 use ln_quant::ActPrecision;
+use ln_watch::{FoldObservation, ObservedOutcome, Watch, WatchHandle};
 use std::sync::Arc;
 
 /// Ring capacity of the engine's per-run tracer: large enough that test and
@@ -61,11 +62,7 @@ impl RunTrace {
 }
 
 fn precision_label(precision: ActPrecision) -> &'static str {
-    match precision {
-        ActPrecision::Fp32 => "fp32",
-        ActPrecision::Int8 => "int8",
-        ActPrecision::Int4 => "int4",
-    }
+    precision.label()
 }
 
 fn breaker_event_label(event: BreakerEvent) -> &'static str {
@@ -149,6 +146,13 @@ pub struct Engine {
     run_trace: Option<RunTrace>,
     /// Stepper state, present between `begin` and `finish`.
     run_state: Option<RunState>,
+    /// Live-observability hub ([`ln_watch::Watch`]) shared with the cluster
+    /// layer, when attached: feeds the flight recorder, SLO engine and
+    /// watermark tracker as the schedule unfolds.
+    watch: Option<WatchHandle>,
+    /// The cluster shard index this engine serves, for per-shard SLO
+    /// scoping; `None` for a standalone engine.
+    watch_shard: Option<usize>,
     /// A dead engine (evacuated shard) schedules nothing ever again.
     dead: bool,
 }
@@ -210,8 +214,22 @@ impl Engine {
             trace_override: None,
             run_trace: None,
             run_state: None,
+            watch: None,
+            watch_shard: None,
             dead: false,
         }
+    }
+
+    /// Attaches a shared [`ln_watch::Watch`] hub. From then on every trace
+    /// event (instants and spans alike, independent of the tracing level)
+    /// also lands in the hub's flight-recorder ring, settled batches feed
+    /// the watermark tracker, request outcomes feed the SLO engine, and the
+    /// engine evaluates SLOs — snapshotting black boxes on breach — at the
+    /// end of every step. `shard` scopes this engine's observations for
+    /// per-shard error budgets.
+    pub fn attach_watch(&mut self, watch: WatchHandle, shard: Option<usize>) {
+        self.watch = Some(watch);
+        self.watch_shard = shard;
     }
 
     /// Forces virtual-time tracing on or off for this engine's runs,
@@ -228,6 +246,9 @@ impl Engine {
     }
 
     /// Records a point-in-time trace event at virtual `seconds`.
+    ///
+    /// With a watch attached the event also lands in its flight-recorder
+    /// ring — unconditionally, so black boxes exist even with tracing off.
     fn trace_instant(
         &self,
         seconds: f64,
@@ -236,13 +257,25 @@ impl Engine {
         track: u32,
         args: Vec<(&'static str, ArgValue)>,
     ) {
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).record_event(TraceEvent {
+                name: name.to_string(),
+                cat,
+                phase: TracePhase::Instant,
+                ts_nanos: seconds_to_nanos(seconds),
+                track,
+                args: args.clone(),
+            });
+        }
         if let Some(rt) = &self.run_trace {
             rt.clock.set_seconds(seconds);
             rt.tracer.instant(name, cat, track, args);
         }
     }
 
-    /// Records a completed span covering virtual `[start, end]` seconds.
+    /// Records a completed span covering virtual `[start, end]` seconds
+    /// (and, like [`Engine::trace_instant`], mirrors it into an attached
+    /// watch's flight recorder).
     fn trace_complete(
         &self,
         start_seconds: f64,
@@ -252,11 +285,68 @@ impl Engine {
         track: u32,
         args: Vec<(&'static str, ArgValue)>,
     ) {
+        let begin = seconds_to_nanos(start_seconds);
+        let end = seconds_to_nanos(end_seconds);
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).record_event(TraceEvent {
+                name: name.to_string(),
+                cat,
+                phase: TracePhase::Complete {
+                    dur_nanos: end.saturating_sub(begin),
+                },
+                ts_nanos: begin,
+                track,
+                args: args.clone(),
+            });
+        }
         if let Some(rt) = &self.run_trace {
-            let begin = seconds_to_nanos(start_seconds);
-            let end = seconds_to_nanos(end_seconds);
             rt.tracer
                 .complete(name, cat, track, begin, end.saturating_sub(begin), args);
+        }
+    }
+
+    /// Feeds one request outcome to the attached watch's SLO engine.
+    fn watch_observe(&self, length: usize, at_seconds: f64, outcome: ObservedOutcome) {
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).observe(&FoldObservation {
+                shard: self.watch_shard,
+                length,
+                at_seconds,
+                outcome,
+            });
+        }
+    }
+
+    /// Snapshots a black box on the attached watch (breaker trip and other
+    /// non-SLO faults).
+    fn watch_trigger(&self, trigger: &str, now: f64) {
+        if let Some(watch) = &self.watch {
+            Watch::lock(watch).trigger(trigger, now);
+        }
+    }
+
+    /// Evaluates the attached watch's SLOs at `now`; each fresh breach
+    /// already snapshotted a black box inside `evaluate`, and is echoed
+    /// here as an `"slo_breach"` trace instant so timelines show *when* the
+    /// budget ran out.
+    fn watch_evaluate(&self, now: f64) {
+        let Some(watch) = &self.watch else {
+            return;
+        };
+        let breaches = Watch::lock(watch).evaluate(now);
+        for b in breaches {
+            self.trace_instant(
+                now,
+                "slo_breach",
+                "slo",
+                0,
+                vec![
+                    ("slo", ArgValue::Str(b.slo)),
+                    ("scope", ArgValue::Str(b.scope)),
+                    ("fast_burn", ArgValue::F64(b.fast_burn)),
+                    ("slow_burn", ArgValue::F64(b.slow_burn)),
+                ],
+            );
         }
     }
 
@@ -647,6 +737,7 @@ impl Engine {
                         bucket as u32,
                         reject_args("too_long"),
                     );
+                    self.watch_observe(req.length, now, ObservedOutcome::Rejected);
                     responses.push(reject(req, RejectReason::TooLong));
                     continue;
                 };
@@ -662,6 +753,7 @@ impl Engine {
                         bucket as u32,
                         reject_args("deadline_unmeetable"),
                     );
+                    self.watch_observe(req.length, now, ObservedOutcome::Rejected);
                     responses.push(reject(req, RejectReason::DeadlineUnmeetable));
                     continue;
                 }
@@ -688,6 +780,7 @@ impl Engine {
                             bucket as u32,
                             reject_args("queue_full"),
                         );
+                        self.watch_observe(req.length, now, ObservedOutcome::Rejected);
                         responses.push(reject(req, RejectReason::QueueFull));
                     }
                 }
@@ -724,6 +817,7 @@ impl Engine {
                                 ("attempt", ArgValue::U64(u64::from(attempt))),
                             ],
                         );
+                        self.watch_observe(q.request.length, now, ObservedOutcome::Failed);
                         responses.push(fail(q.request, terminal_error(cause, attempt)));
                     } else {
                         self.trace_instant(
@@ -761,6 +855,7 @@ impl Engine {
                     bucket as u32,
                     vec![("id", ArgValue::U64(r.id))],
                 );
+                self.watch_observe(r.length, now, ObservedOutcome::TimedOut);
                 responses.push(FoldResponse {
                     id: r.id,
                     name: r.name,
@@ -771,6 +866,11 @@ impl Engine {
                 });
             }
         }
+
+        // 6. Live-observability pass: re-evaluate SLO burn rates against
+        //    everything this step observed; fresh breaches snapshot black
+        //    boxes and echo "slo_breach" instants into the timeline.
+        self.watch_evaluate(now);
     }
 
     /// Resolves a finished in-flight batch: success (including absorbed
@@ -798,6 +898,8 @@ impl Engine {
                         Vec::new(),
                     );
                 }
+                let lengths: Vec<usize> = f.requests.iter().map(|q| q.request.length).collect();
+                let peak_bytes = self.backends[idx].batch_peak_bytes_at(&lengths, f.precision);
                 self.trace_complete(
                     f.start_seconds,
                     now,
@@ -811,6 +913,7 @@ impl Engine {
                             "precision",
                             ArgValue::Str(precision_label(f.precision).to_string()),
                         ),
+                        ("peak_bytes", ArgValue::F64(peak_bytes)),
                     ],
                 );
                 let latencies: Vec<f64> = f
@@ -818,19 +921,42 @@ impl Engine {
                     .iter()
                     .map(|q| now - q.request.arrival_seconds)
                     .collect();
+                if let Some(watch) = &self.watch {
+                    let max_length = lengths.iter().copied().max().unwrap_or(0);
+                    let mut w = Watch::lock(watch);
+                    w.record_watermark(max_length, f.precision, peak_bytes);
+                    if let Some(shard) = self.watch_shard {
+                        // Pressure = modeled peak over the backend's
+                        // activation headroom (capacity minus weights).
+                        let headroom = (self.backends[idx].memory_capacity_bytes()
+                            - self.backends[idx].weight_bytes())
+                        .max(1.0);
+                        w.note_shard_pressure(shard, peak_bytes / headroom);
+                    }
+                }
                 stats.record_batch(
                     BatchRecord {
                         bucket: f.bucket,
                         backend: backend_name.clone(),
-                        lengths: f.requests.iter().map(|q| q.request.length).collect(),
+                        lengths,
                         start_seconds: f.start_seconds,
                         finish_seconds: now,
                         precision: f.precision,
+                        peak_bytes,
                     },
                     &latencies,
                 );
                 let batch_size = f.requests.len();
                 for q in f.requests {
+                    self.watch_observe(
+                        q.request.length,
+                        now,
+                        ObservedOutcome::Completed {
+                            latency_seconds: now - q.request.arrival_seconds,
+                            deadline_seconds: q.request.timeout_seconds,
+                            degraded: f.precision.is_degraded(),
+                        },
+                    );
                     responses.push(FoldResponse {
                         id: q.request.id,
                         name: q.request.name,
@@ -882,6 +1008,9 @@ impl Engine {
                         BACKEND_TRACK_BASE + idx as u32,
                         Vec::new(),
                     );
+                    if ev == BreakerEvent::Opened {
+                        self.watch_trigger("breaker_open", now);
+                    }
                 }
                 for q in f.requests {
                     let attempt = q.attempt + 1;
@@ -897,6 +1026,7 @@ impl Engine {
                                 ("attempt", ArgValue::U64(u64::from(attempt))),
                             ],
                         );
+                        self.watch_observe(q.request.length, now, ObservedOutcome::Failed);
                         responses.push(fail(q.request, terminal_error(cause.clone(), attempt)));
                     } else {
                         stats.resilience.retries += 1;

@@ -554,6 +554,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                         .iter()
                         .map(|q| finish - q.request.arrival_seconds)
                         .collect();
+                    let peak_bytes = backend.batch_peak_bytes_at(&lengths, precision);
                     st.stats.record_batch(
                         BatchRecord {
                             bucket,
@@ -562,6 +563,7 @@ fn worker(shared: Arc<Shared>, idx: usize) {
                             start_seconds: start,
                             finish_seconds: finish,
                             precision,
+                            peak_bytes,
                         },
                         &latencies,
                     );

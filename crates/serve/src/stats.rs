@@ -20,6 +20,7 @@ struct ServeMetrics {
     failed: ln_obs::Counter,
     batches: ln_obs::Counter,
     latency_nanos: ln_obs::Histogram,
+    peak_activation_bytes: ln_obs::Histogram,
 }
 
 fn serve_metrics() -> &'static ServeMetrics {
@@ -33,6 +34,7 @@ fn serve_metrics() -> &'static ServeMetrics {
             failed: reg.counter("serve_failed_total"),
             batches: reg.counter("serve_batches_total"),
             latency_nanos: reg.histogram("serve_latency_nanos"),
+            peak_activation_bytes: reg.histogram("serve_peak_activation_bytes"),
         }
     })
 }
@@ -52,6 +54,10 @@ pub struct BatchRecord {
     pub finish_seconds: f64,
     /// Activation precision the batch executed at.
     pub precision: ActPrecision,
+    /// Modeled peak activation bytes of the batch at `precision` (from
+    /// `Backend::batch_peak_bytes_at`, weights excluded) — the quantity
+    /// the paper bounds, logged per batch for watermark telemetry.
+    pub peak_bytes: f64,
 }
 
 /// Counters and samples for one length bucket.
@@ -294,6 +300,9 @@ impl ServeStats {
                 .latency_nanos
                 .record(ln_obs::seconds_to_nanos(latency));
         }
+        metrics
+            .peak_activation_bytes
+            .record(record.peak_bytes.max(0.0) as u64);
         self.makespan_seconds = self.makespan_seconds.max(record.finish_seconds);
         self.batch_log.push(record);
     }
@@ -447,8 +456,14 @@ impl ServeStats {
         let mut desc = String::new();
         for r in &self.batch_log {
             desc.push_str(&format!(
-                "{}|{}|{:?}|{:.9}|{:.9}|{};",
-                r.bucket, r.backend, r.lengths, r.start_seconds, r.finish_seconds, r.precision
+                "{}|{}|{:?}|{:.9}|{:.9}|{}|{:.3};",
+                r.bucket,
+                r.backend,
+                r.lengths,
+                r.start_seconds,
+                r.finish_seconds,
+                r.precision,
+                r.peak_bytes
             ));
         }
         for b in &self.buckets {
@@ -496,6 +511,7 @@ mod tests {
             start_seconds: start,
             finish_seconds: finish,
             precision: ActPrecision::Fp32,
+            peak_bytes: 0.0,
         }
     }
 

@@ -138,6 +138,31 @@ pub fn alloc_events() -> u64 {
     ALLOC_EVENTS.with(Cell::get)
 }
 
+/// Process-wide high-water mark of any one thread's scratch arena, bytes.
+///
+/// Updated with a single `fetch_max` per GEMM call (never inside tile
+/// loops), so it is free on the hot path; ln-watch stitches it into the
+/// live activation-memory watermark. Wall-world only: the value depends on
+/// which thread ran the largest GEMM, so it must never feed a
+/// deterministic artifact — the modeled per-request watermark
+/// (`Backend::batch_peak_bytes_at`) covers that side.
+pub fn scratch_hwm_bytes() -> u64 {
+    SCRATCH_HWM_BYTES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Resets the scratch high-water mark (benches isolate phases with this).
+pub fn reset_scratch_hwm() {
+    SCRATCH_HWM_BYTES.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
+static SCRATCH_HWM_BYTES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn note_scratch_hwm(s: &Scratch) {
+    let bytes = (s.a_pack.capacity() + s.b_pack.capacity() + s.g_acc.capacity()) as u64
+        * std::mem::size_of::<f32>() as u64;
+    SCRATCH_HWM_BYTES.fetch_max(bytes, std::sync::atomic::Ordering::Relaxed);
+}
+
 #[derive(Default)]
 struct Scratch {
     a_pack: Vec<f32>,
@@ -228,7 +253,11 @@ pub fn gemm_gated(
             *o = gated * (*o + pb);
         }
     }
-    SCRATCH.with(|c| c.borrow_mut().g_acc = g);
+    SCRATCH.with(|c| {
+        let s = &mut *c.borrow_mut();
+        s.g_acc = g;
+        note_scratch_hwm(s);
+    });
 }
 
 fn run_gemm(a: &[f32], bsrc: &BSource, k: usize, n: usize, row0: usize, out: &mut [f32]) {
@@ -243,6 +272,7 @@ fn run_gemm(a: &[f32], bsrc: &BSource, k: usize, n: usize, row0: usize, out: &mu
         let s = &mut *cell.borrow_mut();
         ensure(&mut s.a_pack, row_tiles * MR * ts.kc.min(k));
         ensure(&mut s.b_pack, ts.nc.div_ceil(NR) * NR * ts.kc.min(k));
+        note_scratch_hwm(s);
         let mut kb = 0;
         while kb < k {
             let kc_len = ts.kc.min(k - kb);

@@ -1,0 +1,206 @@
+//! Activation-memory watermark accounting.
+//!
+//! Two complementary views:
+//!
+//! * **Modeled, per request** — [`WatermarkTracker`] records the
+//!   deterministic peak activation bytes of every settled batch (from
+//!   `Backend::batch_peak_bytes_at`, i.e. weights excluded), keyed by
+//!   canonical length bucket × AAQ precision rung. This is the quantity
+//!   the paper bounds (Fig. 4 / Fig. 15): the FP32→INT8→INT4 reduction at
+//!   a given length is directly visible in the per-cell maxima, and being
+//!   modeled on the virtual clock it is byte-identical across hosts and
+//!   `ln-par` pool sizes — safe to embed in black boxes and golden tests.
+//! * **Live, per process** — [`process_watermark_bytes`] stitches the real
+//!   wall-world signals: the tensor scratch-arena high-water mark, the
+//!   accelerator model's peak per-stage HBM bytes, and the AAQ encoder's
+//!   byte counters. Thread- and schedule-dependent, so it feeds dashboards
+//!   and health heuristics only — never a deterministic artifact.
+
+use std::collections::BTreeMap;
+
+use ln_obs::{labeled, MetricValue, Registry};
+use ln_quant::ActPrecision;
+
+/// Canonical length-bucket upper bounds (residues) for watermark and SLO
+/// scoping; sequences past the last bound fall into `"gt_8192"`.
+pub const LENGTH_BUCKET_BOUNDS: [usize; 6] = [256, 512, 1024, 2048, 4096, 8192];
+
+/// The canonical label of the length bucket containing `length`.
+pub fn length_bucket_label(length: usize) -> &'static str {
+    match length {
+        0..=256 => "le_256",
+        257..=512 => "le_512",
+        513..=1024 => "le_1024",
+        1025..=2048 => "le_2048",
+        2049..=4096 => "le_4096",
+        4097..=8192 => "le_8192",
+        _ => "gt_8192",
+    }
+}
+
+/// One `(length bucket, precision)` cell of the watermark table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatermarkRow {
+    /// Length-bucket label (`"le_1024"`, ...).
+    pub bucket: &'static str,
+    /// AAQ precision label (`"fp32"` / `"int8"` / `"int4"`).
+    pub precision: &'static str,
+    /// Batches recorded into this cell.
+    pub batches: u64,
+    /// Largest modeled peak activation bytes seen.
+    pub max_bytes: f64,
+    /// Mean modeled peak activation bytes.
+    pub mean_bytes: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Cell {
+    batches: u64,
+    sum_bytes: f64,
+    max_bytes: f64,
+}
+
+/// Accumulates modeled peak-activation-byte observations.
+///
+/// The cell accumulators are plain fields (not `LN_OBS`-gated), so the
+/// report table and black-box fingerprints do not depend on the process
+/// observability level; the `watch_peak_activation_bytes` histograms in
+/// the run-local registry additionally record each observation when
+/// counting is on.
+#[derive(Debug, Default)]
+pub struct WatermarkTracker {
+    cells: BTreeMap<(&'static str, &'static str), Cell>,
+}
+
+impl WatermarkTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one settled batch: `max_length` scopes the length bucket,
+    /// `peak_bytes` is the modeled peak activation footprint.
+    pub fn record(
+        &mut self,
+        registry: &Registry,
+        max_length: usize,
+        precision: ActPrecision,
+        peak_bytes: f64,
+    ) {
+        let bucket = length_bucket_label(max_length);
+        let cell = self.cells.entry((bucket, precision.label())).or_default();
+        cell.batches += 1;
+        cell.sum_bytes += peak_bytes;
+        cell.max_bytes = cell.max_bytes.max(peak_bytes);
+        registry
+            .histogram(&labeled(
+                "watch_peak_activation_bytes",
+                &[("bucket", bucket), ("precision", precision.label())],
+            ))
+            .record(peak_bytes.max(0.0) as u64);
+    }
+
+    /// The table, ordered by (bucket label, precision label).
+    pub fn rows(&self) -> Vec<WatermarkRow> {
+        self.cells
+            .iter()
+            .map(|(&(bucket, precision), cell)| WatermarkRow {
+                bucket,
+                precision,
+                batches: cell.batches,
+                max_bytes: cell.max_bytes,
+                mean_bytes: if cell.batches == 0 {
+                    0.0
+                } else {
+                    cell.sum_bytes / cell.batches as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Largest recorded peak across every cell (pressure input for health
+    /// scoring), 0 when empty.
+    pub fn max_peak_bytes(&self) -> f64 {
+        self.cells.values().map(|c| c.max_bytes).fold(0.0, f64::max)
+    }
+}
+
+/// The live process-wide activation-memory watermark, bytes: the tensor
+/// scratch-arena high-water mark plus the accelerator model's peak
+/// per-stage HBM bytes, with the AAQ encoded-vs-FP16 byte counters
+/// reported alongside. Reads the *global* registry and thread-local
+/// arenas — wall-world diagnostics only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessWatermark {
+    /// Largest single-thread GEMM scratch arena seen, bytes.
+    pub scratch_bytes: u64,
+    /// `accel_hbm_peak_bytes` gauge: heaviest single accelerator stage.
+    pub accel_peak_bytes: f64,
+    /// `aaq_encoded_bytes_total`: bytes actually written by AAQ encodes.
+    pub aaq_encoded_bytes: u64,
+    /// `aaq_fp16_bytes_total`: what the same activations would have cost
+    /// unquantized.
+    pub aaq_fp16_bytes: u64,
+}
+
+/// Stitches the live watermark from the scratch arena and the global
+/// registry. See [`ProcessWatermark`] for the caveats.
+pub fn process_watermark_bytes() -> ProcessWatermark {
+    let snap = ln_obs::registry().snapshot();
+    let counter = |name: &str| match snap.get(name) {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let gauge = |name: &str| match snap.get(name) {
+        Some(MetricValue::Gauge(v)) => *v,
+        _ => 0.0,
+    };
+    ProcessWatermark {
+        scratch_bytes: ln_tensor::microkernel::scratch_hwm_bytes(),
+        accel_peak_bytes: gauge("accel_hbm_peak_bytes"),
+        aaq_encoded_bytes: counter("aaq_encoded_bytes_total"),
+        aaq_fp16_bytes: counter("aaq_fp16_bytes_total"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_labels_partition_lengths() {
+        assert_eq!(length_bucket_label(1), "le_256");
+        assert_eq!(length_bucket_label(256), "le_256");
+        assert_eq!(length_bucket_label(257), "le_512");
+        assert_eq!(length_bucket_label(3364), "le_4096");
+        assert_eq!(length_bucket_label(9000), "gt_8192");
+        for w in LENGTH_BUCKET_BOUNDS.windows(2) {
+            assert_ne!(length_bucket_label(w[0]), length_bucket_label(w[1]));
+        }
+    }
+
+    #[test]
+    fn tracker_keeps_max_and_mean_per_cell() {
+        let reg = Registry::new();
+        let mut t = WatermarkTracker::new();
+        t.record(&reg, 1000, ActPrecision::Fp32, 100.0);
+        t.record(&reg, 1024, ActPrecision::Fp32, 300.0);
+        t.record(&reg, 1024, ActPrecision::Int4, 40.0);
+        let rows = t.rows();
+        assert_eq!(rows.len(), 2);
+        let fp32 = rows
+            .iter()
+            .find(|r| r.precision == "fp32" && r.bucket == "le_1024")
+            .unwrap();
+        assert_eq!(fp32.batches, 2);
+        assert_eq!(fp32.max_bytes, 300.0);
+        assert_eq!(fp32.mean_bytes, 200.0);
+        assert_eq!(t.max_peak_bytes(), 300.0);
+    }
+
+    #[test]
+    fn process_watermark_reads_without_panicking() {
+        let wm = process_watermark_bytes();
+        assert!(wm.accel_peak_bytes >= 0.0);
+    }
+}

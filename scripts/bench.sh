@@ -10,6 +10,9 @@
 #                        and the regression-gate summary from ln-insight
 #   BENCH_CLUSTER.json — p50/p99 and SLO-attainment curves from the
 #                        ln-cluster shard sweep (1 -> 16 shards)
+#   BENCH_WATCH.json   — ln-watch per-event overhead, SLO burn-rate
+#                        fixture timings and the memory-vs-length
+#                        watermark table
 #
 # After regenerating, every BENCH_*.json is copied into benchmarks/history/
 # suffixed with the current git short SHA; that directory is the baseline
@@ -24,11 +27,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight --bin cluster_scale
+cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight --bin cluster_scale --bin watch
 
 ./target/release/par_speedup
 ./target/release/obs_overhead
 ./target/release/cluster_scale
+./target/release/watch
 ./target/release/insight
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)

@@ -11,6 +11,7 @@
 #   7. obs_overhead --quick                               (ln-obs cost gate)
 #   8. insight --quick                                    (ln-insight gate)
 #   9. cluster_scale --quick                              (ln-cluster gate)
+#  10. watch --quick                                      (ln-watch gate)
 #
 # Step 5 exits non-zero when a parallel kernel diverges bitwise from its
 # serial execution OR when any kernel's speedup drops below the 0.95x
@@ -32,7 +33,13 @@
 # clusters over one workload and exits non-zero if the outcome fingerprint
 # diverges across ln-par pools {1, 2, 4}, if the merged cluster trace
 # leaves any span unattributed, or if p99 fails to improve monotonically
-# with the shard count.
+# with the shard count. Step 10 measures the LN_OBS=off serving hot path
+# with the watch compiled in but not attached (one branch + one gated
+# counter, same 5% budget as step 7), replays the deterministic SLO
+# burn-rate fixtures, and exits non-zero if the steady fixture breaches,
+# the burst fixture fails to breach, or the modeled peak-activation
+# watermark stops shrinking monotonically FP32 -> INT8 -> INT4 at
+# L >= 1024.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -50,7 +57,7 @@ step cargo fmt --all -- --check
 step cargo clippy --workspace --all-targets -- -D warnings
 # --workspace so the member crates' bins (the --quick gates below) are
 # actually built: a bare `cargo build` in a workspace with a root package
-# builds only that package, and steps 5-9 would then depend on stale
+# builds only that package, and steps 5-10 would then depend on stale
 # target/ artifacts from earlier runs.
 step cargo build --release --workspace
 step cargo test -q
@@ -59,6 +66,7 @@ step ./target/release/chaos --quick
 step ./target/release/obs_overhead --quick
 step ./target/release/insight --quick
 step ./target/release/cluster_scale --quick
+step ./target/release/watch --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

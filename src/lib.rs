@@ -29,6 +29,7 @@ pub use ln_protein;
 pub use ln_quant;
 pub use ln_serve;
 pub use ln_tensor;
+pub use ln_watch;
 
 #[cfg(test)]
 mod tests {
@@ -44,6 +45,7 @@ mod tests {
         let _ = crate::ln_gpu::H100;
         let _ = crate::ln_serve::BatcherConfig::default();
         let _ = crate::ln_insight::regression::GateConfig::default();
+        let _ = crate::ln_watch::WatchConfig::default();
         let _ = crate::lightnobel::report::Table::new(["x"]);
     }
 }
