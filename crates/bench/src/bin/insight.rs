@@ -13,9 +13,9 @@
 //!    against the RMPU/VVPU/HBM ceilings of `HwConfig::paper()` via
 //!    [`ln_insight::RooflineReport`].
 //! 3. **Regression gate** — the committed `BENCH_PAR.json` /
-//!    `BENCH_OBS.json` / `BENCH_CLUSTER.json` plus this run's phase
-//!    times, scored with median + MAD thresholds against
-//!    `benchmarks/history/`.
+//!    `BENCH_OBS.json` / `BENCH_CLUSTER.json` / `BENCH_NUMERICS.json`
+//!    plus this run's phase times, scored with median + MAD thresholds
+//!    against `benchmarks/history/`.
 //!
 //! The full run writes `BENCH_INSIGHT.json` at the repo root; `--quick`
 //! (ci.sh step 8) runs a smaller workload and exits non-zero if the gate
@@ -240,9 +240,11 @@ fn main() {
     let (par_samples, par_doc) = samples_from_file("BENCH_PAR.json");
     let (obs_samples, _) = samples_from_file("BENCH_OBS.json");
     let (cluster_samples, _) = samples_from_file("BENCH_CLUSTER.json");
+    let (numerics_samples, _) = samples_from_file("BENCH_NUMERICS.json");
     current.extend(par_samples);
     current.extend(obs_samples);
     current.extend(cluster_samples);
+    current.extend(numerics_samples);
     current.extend(cp.samples(&tag));
     let gate = regression::evaluate(GateConfig::default(), &store, &current);
     println!("{}", gate.render_markdown());

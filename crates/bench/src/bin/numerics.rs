@@ -1,0 +1,375 @@
+//! Cost and fidelity benchmark for the ln-scope activation-numerics
+//! observatory.
+//!
+//! Four sections:
+//!
+//! 1. **Off-mode overhead** — what wrapping the AAQ hook in a
+//!    [`ScopeHook`] costs when `LN_OBS=off`: one relaxed atomic load and a
+//!    direct delegation per tap, gated at `OFF_BUDGET_PCT` of the bare
+//!    hook's cost.
+//! 2. **On-mode cost** — ns per activation value for the sketch + ledger
+//!    path and for the full path with per-rung probes (which re-quantizes
+//!    every activation once per candidate rung).
+//! 3. **Pool-identity gate** — the golden CAMEO fold observed through a
+//!    `ScopeHook` under `ln-par` pool sizes 1, 2 and 4 must produce
+//!    byte-identical numerics snapshots (DESIGN.md §16).
+//! 4. **Precision ledger** — the per-layer error/probe/census table over
+//!    the golden fold, with the cheapest-safe-rung recommendation under
+//!    the measured error→accuracy sensitivity model.
+//!
+//! The full run writes `BENCH_NUMERICS.json` at the repo root (scored by
+//! the insight regression gate as `numerics/overhead@MODE/ns_per_value`);
+//! `--quick` runs smaller iteration counts and exits non-zero on an
+//! off-mode or pool-identity violation.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ln_bench::{banner, paper_note, show};
+use ln_datasets::{Dataset, Registry};
+use ln_obs::ObsLevel;
+use ln_ppm::taps::{ActivationHook, ActivationSite, Tap};
+use ln_protein::generator::StructureGenerator;
+use ln_protein::Sequence;
+use ln_quant::scheme::AaqConfig;
+use ln_scope::{Scope, ScopeHook, SensitivityModel};
+use ln_tensor::Tensor2;
+
+use lightnobel::hook::AaqHook;
+use lightnobel::report::Table;
+use lightnobel::{measure_sensitivity, AccuracyEvaluator, SensitivityRow};
+
+/// Off-mode overhead budget, percent of the bare-hook baseline.
+const OFF_BUDGET_PCT: f64 = 5.0;
+
+/// The pool sizes the snapshot-identity gate sweeps.
+const POOLS: [usize; 3] = [1, 2, 4];
+
+struct OverheadRow {
+    mode: &'static str,
+    ns_per_value: f64,
+}
+
+/// Best-of-`reps` nanoseconds per iteration of `f(iters)`.
+fn time_best(reps: usize, iters: u64, mut f: impl FnMut(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        black_box(f(iters));
+        best = best.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn probe_tap(i: u64) -> Tap {
+    Tap {
+        block: (i % 2) as usize,
+        recycle: 0,
+        site: ActivationSite::TriMulPostLn,
+    }
+}
+
+/// The spiky synthetic activation the hook unit tests use: mostly unit
+/// scale with every fourth token 30× hotter — enough dynamic range to make
+/// the outlier census non-trivial.
+fn synth_activation() -> Tensor2 {
+    Tensor2::from_fn(16, 128, |i, j| {
+        let scale = if i % 4 == 0 { 30.0 } else { 1.0 };
+        scale * (((i * 13 + j * 7) % 19) as f32 * 0.1 - 0.9)
+    })
+}
+
+/// `LN_OBS=off`: a bare `AaqHook` versus the same hook inside a
+/// `ScopeHook`. The wrapper must cost one level check per tap. The two
+/// loops are interleaved rep by rep so both sample the same machine
+/// conditions, and each side keeps its best rep — the wrapper's true cost
+/// is a branch on a ~100 µs tap, so anything past the budget is noise or
+/// a genuine regression, never expected behaviour.
+fn bench_off_mode(iters: u64, reps: usize) -> (f64, f64, f64) {
+    ln_obs::set_level(ObsLevel::Off);
+    let mut bare = AaqHook::paper();
+    let mut scoped = ScopeHook::new(AaqHook::paper(), 128).with_aaq_config(AaqConfig::paper());
+    let mut x = synth_activation();
+    let mut y = synth_activation();
+    let mut baseline = f64::INFINITY;
+    let mut wrapped = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        for i in 0..iters {
+            bare.on_activation(probe_tap(i), black_box(&mut x));
+        }
+        baseline = baseline.min(started.elapsed().as_nanos() as f64 / iters as f64);
+        let started = Instant::now();
+        for i in 0..iters {
+            scoped.on_activation(probe_tap(i), black_box(&mut y));
+        }
+        wrapped = wrapped.min(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    assert!(
+        scoped.book().is_empty(),
+        "off mode must not populate the sketches"
+    );
+    let delta_pct = (wrapped - baseline) / baseline * 100.0;
+    (baseline, wrapped, delta_pct)
+}
+
+/// `LN_OBS=counters`: absolute per-value cost of the sketch + ledger path,
+/// with and without the per-rung probes.
+fn bench_on_modes(iters: u64, reps: usize) -> Vec<OverheadRow> {
+    ln_obs::set_level(ObsLevel::Counters);
+    let values_per_tap = (16 * 128) as f64;
+    let mut out = Vec::new();
+
+    let mut lean = ScopeHook::new(AaqHook::paper(), 128)
+        .with_aaq_config(AaqConfig::paper())
+        .without_probes();
+    let mut x = synth_activation();
+    out.push(OverheadRow {
+        mode: "sketch+ledger",
+        ns_per_value: time_best(reps, iters, |n| {
+            for i in 0..n {
+                lean.on_activation(probe_tap(i), black_box(&mut x));
+            }
+            n
+        }) / values_per_tap,
+    });
+
+    let mut probing = ScopeHook::new(AaqHook::paper(), 128).with_aaq_config(AaqConfig::paper());
+    let mut y = synth_activation();
+    out.push(OverheadRow {
+        mode: "sketch+ledger+probes",
+        ns_per_value: time_best(reps, iters, |n| {
+            for i in 0..n {
+                probing.on_activation(probe_tap(i), black_box(&mut y));
+            }
+            n
+        }) / values_per_tap,
+    });
+    ln_obs::set_level(ObsLevel::Off);
+    out
+}
+
+/// Runs the golden CAMEO fold once with a `ScopeHook` around the paper
+/// AAQ hook and returns the collected numerics.
+fn fold_scope(evaluator: &AccuracyEvaluator) -> Scope {
+    let registry = Registry::standard();
+    let record = registry.dataset(Dataset::Cameo).shortest();
+    let len = record.length().min(evaluator.max_len());
+    let seq: Sequence = record.sequence().residues()[..len]
+        .iter()
+        .copied()
+        .collect();
+    let native = StructureGenerator::new(&record.seed_label()).generate(len);
+    let mut hook = ScopeHook::new(AaqHook::paper(), len).with_aaq_config(AaqConfig::paper());
+    evaluator
+        .model()
+        .predict_with_hook(&seq, &native, &mut hook)
+        .expect("golden fold");
+    Scope::from_hook(hook)
+}
+
+/// The pool-identity gate: the same fold under pool sizes 1/2/4 must
+/// produce byte-identical snapshots. Returns the snapshots (pool order)
+/// and the pool-1 scope for the ledger report.
+fn pool_snapshots(evaluator: &AccuracyEvaluator) -> (Vec<String>, Scope) {
+    ln_obs::set_level(ObsLevel::Counters);
+    let mut snapshots = Vec::new();
+    let mut first = None;
+    for &threads in &POOLS {
+        let pool = ln_par::Pool::new_exact(threads);
+        let scope = ln_par::with_pool(&pool, || fold_scope(evaluator));
+        snapshots.push(scope.snapshot_jsonl());
+        if first.is_none() {
+            first = Some(scope);
+        }
+    }
+    ln_obs::set_level(ObsLevel::Off);
+    (snapshots, first.expect("at least one pool"))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    off: (f64, f64, f64),
+    overhead: &[OverheadRow],
+    identical: bool,
+    sensitivity: &[SensitivityRow],
+    rows: &[ln_insight::PrecisionRow],
+    model: &SensitivityModel,
+    tm_budget: f64,
+) -> std::io::Result<()> {
+    let (baseline_ns, wrapped_ns, delta_pct) = off;
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"numerics\",\n");
+    s.push_str(&format!("  \"off_budget_pct\": {OFF_BUDGET_PCT:.1},\n"));
+    s.push_str(&format!(
+        "  \"off_mode\": {{\"baseline_ns_per_tap\": {baseline_ns:.3}, \
+         \"wrapped_ns_per_tap\": {wrapped_ns:.3}, \"delta_pct\": {delta_pct:.3}}},\n"
+    ));
+    s.push_str("  \"overhead\": [\n");
+    let mut lines: Vec<String> = vec![format!(
+        "    {{\"mode\": \"off\", \"ns_per_value\": {:.6}}}",
+        ((wrapped_ns - baseline_ns) / (16.0 * 128.0)).max(0.0)
+    )];
+    lines.extend(overhead.iter().map(|r| {
+        format!(
+            "    {{\"mode\": \"{}\", \"ns_per_value\": {:.6}}}",
+            r.mode, r.ns_per_value
+        )
+    }));
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ],\n");
+    s.push_str(&format!(
+        "  \"pool_identity\": {{\"pools\": [1, 2, 4], \"identical\": {identical}}},\n"
+    ));
+    s.push_str("  \"sensitivity\": [\n");
+    let lines: Vec<String> = sensitivity
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"group\": \"{:?}\", \"amplitude\": {:.4}, \
+                 \"tm_vs_reference\": {:.9}, \"sensitivity\": {:.9}}}",
+                r.group, r.amplitude, r.tm_vs_reference, r.sensitivity
+            )
+        })
+        .collect();
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ],\n  \"ledger\": [\n");
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"layer\": \"{}\", \"stage\": \"{}\", \"rung\": \"{}\", \
+                 \"taps\": {}, \"relative_rmse\": {:.9}, \"int4_rmse\": {:.9}, \
+                 \"int8_rmse\": {:.9}, \"compression_vs_fp16\": {:.3}, \
+                 \"outlier_fraction_int8\": {:.6}, \"recommend\": \"{}\"}}",
+                r.layer,
+                r.stage,
+                r.rung,
+                r.taps,
+                r.relative_rmse,
+                r.probe_rmse[0].unwrap_or(0.0),
+                r.probe_rmse[1].unwrap_or(0.0),
+                r.compression_vs_fp16(),
+                r.outlier_fraction(0),
+                r.recommend(tm_budget, model),
+            )
+        })
+        .collect();
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner(if quick {
+        "numerics --quick — activation-numerics observatory cost gate (ln-scope)"
+    } else {
+        "numerics — sketch/ledger overhead, pool identity, precision ledger"
+    });
+    paper_note(
+        "the observatory watches the quantity AAQ manages — token-wise \
+         activation outliers (Fig. 5/6) and the per-layer error each rung \
+         introduces — so it must be free when off, cheap when on, and \
+         byte-deterministic across worker pools",
+    );
+
+    let (off_iters, on_iters, reps) = if quick {
+        (200, 200, 9)
+    } else {
+        (500, 2_000, 15)
+    };
+
+    let mut off = bench_off_mode(off_iters, reps);
+    if off.2 > OFF_BUDGET_PCT {
+        // One bounded re-measure before declaring a regression: the true
+        // wrapper cost is a branch, so a miss here is usually scheduler
+        // noise on a busy host.
+        off = bench_off_mode(off_iters, reps);
+    }
+    let overhead = bench_on_modes(on_iters, reps);
+
+    let evaluator = AccuracyEvaluator::fast();
+    let (snapshots, scope) = pool_snapshots(&evaluator);
+    let identical = snapshots.iter().all(|s| s == &snapshots[0]);
+
+    let registry = Registry::standard();
+    let record = registry.dataset(Dataset::Cameo).shortest();
+    let (sensitivity, model) =
+        measure_sensitivity(&evaluator, record, 0.02).expect("sensitivity replay");
+
+    let rows = ln_insight::precision_rows(&scope.metrics());
+    let table = ln_insight::precision_ledger_table(&rows, ln_insight::DEFAULT_TM_BUDGET, &model);
+
+    let (baseline_ns, wrapped_ns, delta_pct) = off;
+    let mut t = Table::new(["mode", "ns/value"]);
+    t.add_row([
+        "off".to_string(),
+        format!(
+            "{:.4}",
+            ((wrapped_ns - baseline_ns) / (16.0 * 128.0)).max(0.0)
+        ),
+    ]);
+    for r in &overhead {
+        t.add_row([r.mode.to_string(), format!("{:.2}", r.ns_per_value)]);
+    }
+    show(&t);
+    let mut t = Table::new(["group", "amplitude", "tm vs ref", "sensitivity"]);
+    for r in &sensitivity {
+        t.add_row([
+            format!("{:?}", r.group),
+            format!("{:.3}", r.amplitude),
+            format!("{:.6}", r.tm_vs_reference),
+            format!("{:.6}", r.sensitivity),
+        ]);
+    }
+    show(&t);
+    print!("{table}");
+    println!(
+        "off-mode: bare {baseline_ns:.1} ns/tap, scoped {wrapped_ns:.1} ns/tap, \
+         delta {delta_pct:+.2}% (budget {OFF_BUDGET_PCT:.1}%); pool snapshots \
+         {}",
+        if identical {
+            "byte-identical across pools 1/2/4"
+        } else {
+            "DIVERGED across pools"
+        }
+    );
+
+    let mut failed_gate = false;
+    if delta_pct > OFF_BUDGET_PCT {
+        eprintln!(
+            "REGRESSION: LN_OBS=off ScopeHook wrapping adds {delta_pct:.2}% \
+             (budget {OFF_BUDGET_PCT:.1}%)"
+        );
+        failed_gate = true;
+    }
+    if !identical {
+        eprintln!("REGRESSION: numerics snapshots differ across ln-par pool sizes");
+        failed_gate = true;
+    }
+    if rows.is_empty() {
+        eprintln!("REGRESSION: the golden fold produced an empty precision ledger");
+        failed_gate = true;
+    }
+    if failed_gate {
+        std::process::exit(1);
+    }
+
+    if !quick {
+        write_json(
+            "BENCH_NUMERICS.json",
+            off,
+            &overhead,
+            identical,
+            &sensitivity,
+            &rows,
+            &model,
+            ln_insight::DEFAULT_TM_BUDGET,
+        )
+        .expect("write BENCH_NUMERICS.json");
+        println!("wrote BENCH_NUMERICS.json");
+    }
+    println!("numerics gates passed");
+}

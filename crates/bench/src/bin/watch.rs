@@ -148,6 +148,7 @@ fn bench_watch_events(iters: u64, reps: usize) -> Vec<OverheadRow> {
                         latency_seconds: 1.0,
                         deadline_seconds: 10.0,
                         degraded: false,
+                        worst_rmse: 0.0,
                     },
                 });
             }
@@ -219,6 +220,7 @@ fn completed(shard: usize, length: usize, at: f64, latency: f64) -> FoldObservat
             latency_seconds: latency,
             deadline_seconds: 30.0,
             degraded: false,
+            worst_rmse: 0.0,
         },
     }
 }

@@ -91,6 +91,11 @@ pub struct ClusterOutcome {
     /// [`ClusterOutcome::fingerprint`] — black-box identity is pinned by
     /// its own golden test.
     pub watch: Option<WatchReport>,
+    /// Cluster-wide per-request accuracy telemetry: every shard's
+    /// [`ServeStats::accuracy`] rolled up. Like `watch`, deliberately
+    /// *not* part of the fingerprint — it is derived numerics telemetry,
+    /// not schedule identity.
+    pub accuracy: ln_serve::AccuracyStats,
 }
 
 impl ClusterOutcome {
@@ -614,6 +619,11 @@ impl Cluster {
             guard.report()
         });
 
+        let mut accuracy = ln_serve::AccuracyStats::default();
+        for s in &shard_stats {
+            accuracy.merge(&s.accuracy);
+        }
+
         ClusterOutcome {
             responses,
             stats,
@@ -621,6 +631,7 @@ impl Cluster {
             trace: merged,
             trace_dropped,
             watch,
+            accuracy,
         }
     }
 

@@ -8,10 +8,15 @@ use ln_tensor::Tensor2;
 use std::sync::OnceLock;
 
 /// Registry handles for the AAQ hook's accuracy/footprint signals: one
-/// relative-RMSE gauge per activation group plus byte-volume counters.
-/// Resolved once; `on_activation` runs per tap on the folding hot path.
+/// relative-RMSE *histogram* per activation group (parts-per-billion, so
+/// the power-of-two buckets resolve 1e-9..1 relative error) plus
+/// byte-volume counters. The histograms record the running per-group RMSE
+/// after every tap, so exports carry the error *distribution* over the
+/// run — a last-write-wins gauge used to hide everything but the final
+/// tap's value. Resolved once; `on_activation` runs per tap on the
+/// folding hot path.
 struct AaqObs {
-    rmse: [ln_obs::Gauge; 3],
+    rmse: [ln_obs::Histogram; 3],
     encoded_bytes: ln_obs::Counter,
     fp16_bytes: ln_obs::Counter,
 }
@@ -20,10 +25,10 @@ fn aaq_obs() -> &'static AaqObs {
     static OBS: OnceLock<AaqObs> = OnceLock::new();
     OBS.get_or_init(|| {
         let reg = ln_obs::registry();
-        let rmse_gauge =
-            |g: &str| reg.gauge(&ln_obs::labeled("aaq_relative_rmse", &[("group", g)]));
+        let rmse_hist =
+            |g: &str| reg.histogram(&ln_obs::labeled("aaq_relative_rmse_ppb", &[("group", g)]));
         AaqObs {
-            rmse: [rmse_gauge("A"), rmse_gauge("B"), rmse_gauge("C")],
+            rmse: [rmse_hist("A"), rmse_hist("B"), rmse_hist("C")],
             encoded_bytes: reg.counter("aaq_encoded_bytes_total"),
             fp16_bytes: reg.counter("aaq_fp16_bytes_total"),
         }
@@ -181,7 +186,7 @@ impl ActivationHook for AaqHook {
             let obs = aaq_obs();
             obs.encoded_bytes.add(encoded);
             obs.fp16_bytes.add(fp16);
-            obs.rmse[gi].set(self.relative_rmse(group));
+            obs.rmse[gi].record((self.relative_rmse(group) * 1e9).round() as u64);
         }
     }
 }
@@ -309,10 +314,13 @@ mod tests {
             }
             other => panic!("missing encoded-bytes counter: {other:?}"),
         }
-        let key = ln_obs::labeled("aaq_relative_rmse", &[("group", "A")]);
+        let key = ln_obs::labeled("aaq_relative_rmse_ppb", &[("group", "A")]);
         match snap.get(&key) {
-            Some(ln_obs::MetricValue::Gauge(v)) => assert!(*v > 0.0, "{key}"),
-            other => panic!("missing gauge {key}: {other:?}"),
+            Some(ln_obs::MetricValue::Histogram(h)) => {
+                assert!(h.count > 0, "{key} recorded nothing");
+                assert!(h.sum > 0, "{key} should land in a nonzero ppb bucket");
+            }
+            other => panic!("missing histogram {key}: {other:?}"),
         }
     }
 

@@ -16,6 +16,10 @@
 //!   and memory footprint comparisons (Figs. 14, 15, 16).
 //! * [`dse`] — the design-space explorations behind Fig. 11 (AAQ schemes)
 //!   and Fig. 12 (hardware configuration).
+//! * [`sensitivity`] — the error→accuracy sensitivity replay: perturbs
+//!   one AAQ group at a time on the golden CAMEO fold to calibrate
+//!   `ln_scope::SensitivityModel` (how much TM-score a unit of relative
+//!   activation RMSE costs).
 //! * [`report`] — plain-text table formatting shared by the bench binaries.
 //! * [`system`] — the bundled one-call API ([`system::LightNobelSystem`]):
 //!   quantized folding plus performance projection.
@@ -45,6 +49,8 @@ pub mod footprint;
 pub mod hook;
 pub mod perf;
 pub mod report;
+pub mod sensitivity;
 pub mod system;
 
 pub use accuracy::{AccuracyEvaluator, AccuracyResult, SchemeUnderTest};
+pub use sensitivity::{measure_sensitivity, SensitivityRow};

@@ -24,6 +24,10 @@
 //!   of the deterministic exporters) and the memory-vs-length table over
 //!   the activation watermark rows — the live-telemetry analogue of the
 //!   paper's Fig. 4 memory cliff.
+//! * [`precision`] — the precision ledger over an `ln-scope` numerics
+//!   snapshot: per-layer quantization error, probe-rung comparison, the
+//!   outlier census, and a cheapest-safe-rung recommendation under a
+//!   TM-score error budget.
 //!
 //! Everything is std-only and deterministic: the same events and the
 //! same snapshots render byte-identical reports, which is what lets the
@@ -38,11 +42,15 @@
 pub mod blackbox;
 pub mod json;
 pub mod jsonl;
+pub mod precision;
 pub mod regression;
 pub mod roofline;
 pub mod timeline;
 
 pub use blackbox::{memory_vs_length_table, parse_blackbox, parse_metrics, BlackboxDoc};
+pub use precision::{
+    precision_ledger_table, precision_rows, split_labels, PrecisionRow, DEFAULT_TM_BUDGET,
+};
 pub use regression::{BaselineStore, GateConfig, RegressionReport, Sample};
 pub use roofline::{Ceilings, CpuKernelProfile, RooflineReport};
 pub use timeline::{CriticalPath, TerminalCounts};

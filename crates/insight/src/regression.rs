@@ -291,6 +291,7 @@ pub fn bench_samples(doc: &Value) -> Vec<Sample> {
         Some("insight") => insight_samples(doc),
         Some("cluster_scale") => cluster_scale_samples(doc),
         Some("watch") => watch_samples(doc),
+        Some("numerics") => numerics_samples(doc),
         _ => Vec::new(),
     }
 }
@@ -389,6 +390,22 @@ fn cluster_scale_samples(doc: &Value) -> Vec<Sample> {
             sweep,
             "p99_seconds",
             format!("{prefix}/p99_seconds"),
+        );
+    }
+    out
+}
+
+fn numerics_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for row in doc.get("overhead").and_then(Value::as_arr).unwrap_or(&[]) {
+        let Some(mode) = row.get("mode").and_then(Value::as_str) else {
+            continue;
+        };
+        push_num(
+            &mut out,
+            row,
+            "ns_per_value",
+            format!("numerics/overhead@{mode}/ns_per_value"),
         );
     }
     out
@@ -657,6 +674,25 @@ mod tests {
         assert_eq!(samples[1].metric, "watch/overhead@counters/ns_per_event");
         assert_eq!(samples[2].metric, "watch/burn/steady_2x/evaluate_ns");
         assert_eq!(samples[2].value, 1500.0);
+    }
+
+    #[test]
+    fn numerics_documents_flatten_overhead_modes() {
+        let doc = json::parse(
+            r#"{"bench": "numerics", "off_mode": {"delta_pct": 1.2}, "overhead": [
+                {"mode": "off", "ns_per_value": 0.4},
+                {"mode": "sketch+ledger", "ns_per_value": 55.0}
+            ]}"#,
+        )
+        .unwrap();
+        let samples = bench_samples(&doc);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].metric, "numerics/overhead@off/ns_per_value");
+        assert_eq!(
+            samples[1].metric,
+            "numerics/overhead@sketch+ledger/ns_per_value"
+        );
+        assert_eq!(samples[1].value, 55.0);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Hook adapters: the observing wrapper ([`ScopeHook`]) and the
+//! sensitivity-replay perturber ([`PerturbHook`]).
+
+use ln_obs::ObsLevel;
+use ln_ppm::taps::{ActivationGroup, ActivationHook, ActivationSite, Tap};
+use ln_quant::scheme::{AaqConfig, Group, QuantScheme};
+use ln_quant::token::fake_quantize_tokens;
+use ln_tensor::{rng, Tensor2};
+
+use crate::bucket::length_bucket_label;
+use crate::ledger::{ErrorLedger, PROBE_RUNGS};
+use crate::sketch::{SketchBook, SketchKey};
+
+/// Maps a tap group to the quant crate's scheme-selection group.
+pub fn quant_group(group: ActivationGroup) -> Group {
+    match group {
+        ActivationGroup::A => Group::A,
+        ActivationGroup::B => Group::B,
+        ActivationGroup::C => Group::C,
+    }
+}
+
+/// Wraps any [`ActivationHook`] and observes every activation that flows
+/// through it: pre-hook values feed the distribution sketches, and the
+/// pre/post difference feeds the quantization-error ledger (so wrapping
+/// an `AaqHook` measures exactly the error AAQ introduces, while wrapping
+/// a `NoopHook` yields a zero-error FP32 baseline ledger).
+///
+/// Observation is fully gated on the `LN_OBS` switch: when observability
+/// is off, `on_activation` is a single relaxed atomic load and a direct
+/// delegation — no clone, no sketch, no ledger (the `numerics` bench gates
+/// this at ≤5% overhead). When on, the wrapper additionally probes each
+/// activation with the candidate rungs in [`PROBE_RUNGS`] so the precision
+/// ledger can compare "what INT4/INT8 *would* have cost" per layer.
+#[derive(Debug, Clone)]
+pub struct ScopeHook<H> {
+    inner: H,
+    book: SketchBook,
+    ledger: ErrorLedger,
+    bucket: &'static str,
+    config: Option<AaqConfig>,
+    probe: bool,
+}
+
+impl<H: ActivationHook> ScopeHook<H> {
+    /// Wraps `inner` for a sequence of `seq_len` residues (which fixes the
+    /// sketch length-bucket key). Probing is on; no AAQ config is assumed,
+    /// so byte accounting stays zero until [`Self::with_aaq_config`].
+    pub fn new(inner: H, seq_len: usize) -> Self {
+        ScopeHook {
+            inner,
+            book: SketchBook::new(),
+            ledger: ErrorLedger::new(),
+            bucket: length_bucket_label(seq_len),
+            config: None,
+            probe: true,
+        }
+    }
+
+    /// Declares the AAQ config the inner hook applies, enabling per-layer
+    /// rung attribution and encoded-bytes-vs-FP16 accounting.
+    pub fn with_aaq_config(mut self, config: AaqConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Disables the per-rung probes (keeps sketches + actual-error ledger).
+    pub fn without_probes(mut self) -> Self {
+        self.probe = false;
+        self
+    }
+
+    /// The wrapped hook.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner hook and the collected
+    /// `(sketches, ledger)`.
+    pub fn into_parts(self) -> (H, SketchBook, ErrorLedger) {
+        (self.inner, self.book, self.ledger)
+    }
+
+    /// The distribution sketches collected so far.
+    pub fn book(&self) -> &SketchBook {
+        &self.book
+    }
+
+    /// The error ledger accumulated so far.
+    pub fn ledger(&self) -> &ErrorLedger {
+        &self.ledger
+    }
+
+    /// The scheme the inner hook's config selects for `tap`, clamped the
+    /// way `fake_quantize_tokens` clamps (outlier budget below the
+    /// channel count), or `None` without a config.
+    fn scheme_in_effect(&self, tap: Tap, cols: usize) -> Option<QuantScheme> {
+        let config = self.config.as_ref()?;
+        if cols < 2 {
+            return None;
+        }
+        let mut scheme = config.scheme_for(quant_group(tap.group()));
+        scheme.outliers = scheme.outliers.min(cols - 1);
+        Some(scheme)
+    }
+}
+
+impl<H: ActivationHook> ActivationHook for ScopeHook<H> {
+    fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2) {
+        if ln_obs::level() == ObsLevel::Off {
+            self.inner.on_activation(tap, activation);
+            return;
+        }
+        let stage = tap.site.name();
+        self.book.observe(
+            SketchKey {
+                block: tap.block,
+                stage,
+                bucket: self.bucket,
+            },
+            activation,
+        );
+        let original = activation.clone();
+        self.inner.on_activation(tap, activation);
+
+        let rows = original.rows();
+        let cols = original.cols();
+        let scheme = self.scheme_in_effect(tap, cols);
+        let probe = self.probe;
+        let entry = self.ledger.entry(tap.block, stage);
+        entry.taps += 1;
+        let mut err_sq = 0.0f64;
+        let mut val_sq = 0.0f64;
+        for (&o, &q) in original.as_slice().iter().zip(activation.as_slice()) {
+            let e = (q - o) as f64;
+            err_sq += e * e;
+            val_sq += (o as f64) * (o as f64);
+        }
+        entry.err_sq += err_sq;
+        entry.val_sq += val_sq;
+        if let Some(scheme) = scheme {
+            entry.rung = scheme.to_string();
+            entry.encoded_bytes += (rows * scheme.token_bytes(cols)) as u64;
+            entry.fp16_bytes += (rows * cols * 2) as u64;
+        }
+        if probe {
+            for (i, &(_, probe_scheme)) in PROBE_RUNGS.iter().enumerate() {
+                let mut decoded = original.clone();
+                fake_quantize_tokens(&mut decoded, probe_scheme);
+                let mut p_err = 0.0f64;
+                for (&o, &d) in original.as_slice().iter().zip(decoded.as_slice()) {
+                    let e = (d - o) as f64;
+                    p_err += e * e;
+                }
+                entry.probe_err_sq[i] += p_err;
+                entry.probe_val_sq[i] += val_sq;
+            }
+        }
+    }
+
+    fn observes(&self, site: ActivationSite) -> bool {
+        // When observability is on, the observatory needs every site the
+        // trunk can materialise, regardless of the inner hook's appetite.
+        ln_obs::level() != ObsLevel::Off || self.inner.observes(site)
+    }
+
+    fn quantized_matmul(&self, tap: Tap) -> Option<QuantScheme> {
+        self.inner.quantized_matmul(tap)
+    }
+}
+
+/// A hook that injects seeded multiplicative noise into every activation
+/// of one AAQ group — the instrument behind the error→accuracy
+/// sensitivity estimate. Replaying the golden CAMEO fold with a
+/// `PerturbHook` at relative amplitude `a` and comparing TM-scores against
+/// the unperturbed run yields `|ΔTM| / a`, an empirical bound on how much
+/// a unit of relative RMSE in that group costs in accuracy.
+///
+/// Noise is drawn from a stream keyed by `(seed, tap, invocation index)`,
+/// so repeated runs are bit-identical and the two dataflow visits of e.g.
+/// the outgoing/incoming triangle updates get independent draws.
+#[derive(Debug, Clone)]
+pub struct PerturbHook {
+    group: ActivationGroup,
+    amplitude: f32,
+    seed: String,
+    taps_seen: u64,
+}
+
+impl PerturbHook {
+    /// Perturbs activations of `group` with relative noise `amplitude`,
+    /// deterministically seeded by `seed`.
+    pub fn new(group: ActivationGroup, amplitude: f32, seed: &str) -> Self {
+        PerturbHook {
+            group,
+            amplitude,
+            seed: seed.to_string(),
+            taps_seen: 0,
+        }
+    }
+
+    /// The group being perturbed.
+    pub fn group(&self) -> ActivationGroup {
+        self.group
+    }
+}
+
+impl ActivationHook for PerturbHook {
+    fn on_activation(&mut self, tap: Tap, activation: &mut Tensor2) {
+        self.taps_seen += 1;
+        if tap.group() != self.group {
+            return;
+        }
+        let label = format!("{}/{}/{}", self.seed, tap, self.taps_seen);
+        let mut stream = rng::stream(&label);
+        for v in activation.as_mut_slice() {
+            *v += *v * self.amplitude * rng::normal_approx(&mut stream);
+        }
+    }
+}
+
+/// Error→accuracy sensitivity: per AAQ group, the estimated TM-score loss
+/// per unit of relative activation RMSE, measured by perturbation replay
+/// on the golden CAMEO fold (`lightnobel::sensitivity`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityModel {
+    /// `|ΔTM| / amplitude` per group, indexed A, B, C.
+    pub per_group: [f64; 3],
+}
+
+impl Default for SensitivityModel {
+    /// A conservative prior: one unit of relative RMSE costs one unit of
+    /// TM-score in every group. Measured replays are typically far below
+    /// this, so the default only ever *over*-protects accuracy.
+    fn default() -> Self {
+        SensitivityModel {
+            per_group: [1.0; 3],
+        }
+    }
+}
+
+impl SensitivityModel {
+    /// Sensitivity of `group`.
+    pub fn for_group(&self, group: ActivationGroup) -> f64 {
+        match group {
+            ActivationGroup::A => self.per_group[0],
+            ActivationGroup::B => self.per_group[1],
+            ActivationGroup::C => self.per_group[2],
+        }
+    }
+
+    /// Estimated TM-score impact of running `group` at relative RMSE
+    /// `rmse`.
+    pub fn tm_impact(&self, group: ActivationGroup, rmse: f64) -> f64 {
+        self.for_group(group) * rmse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ln_ppm::taps::NoopHook;
+
+    fn tap(site: ActivationSite) -> Tap {
+        Tap {
+            block: 0,
+            recycle: 0,
+            site,
+        }
+    }
+
+    struct ObsGuard(ObsLevel);
+    impl ObsGuard {
+        fn counters() -> Self {
+            let prev = ln_obs::level();
+            ln_obs::set_level(ObsLevel::Counters);
+            ObsGuard(prev)
+        }
+        fn off() -> Self {
+            let prev = ln_obs::level();
+            ln_obs::set_level(ObsLevel::Off);
+            ObsGuard(prev)
+        }
+    }
+    impl Drop for ObsGuard {
+        fn drop(&mut self) {
+            ln_obs::set_level(self.0);
+        }
+    }
+
+    #[test]
+    fn off_mode_delegates_without_observing() {
+        let _guard = ObsGuard::off();
+        let mut hook = ScopeHook::new(NoopHook, 32);
+        let mut x = Tensor2::from_fn(4, 8, |i, j| (i + j) as f32);
+        hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x);
+        assert!(hook.book().is_empty());
+        assert!(hook.ledger().is_empty());
+    }
+
+    #[test]
+    fn noop_inner_yields_zero_error_ledger() {
+        let _guard = ObsGuard::counters();
+        let mut hook = ScopeHook::new(NoopHook, 32).without_probes();
+        let mut x = Tensor2::from_fn(4, 8, |i, j| 0.1 * (i * 8 + j) as f32);
+        hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x);
+        let entry = hook.ledger().get(0, "tri_mul.post_ln").unwrap();
+        assert_eq!(entry.taps, 1);
+        assert_eq!(entry.relative_rmse(), 0.0);
+        assert_eq!(hook.book().len(), 1);
+    }
+
+    #[test]
+    fn probes_measure_int4_worse_than_int8() {
+        let _guard = ObsGuard::counters();
+        let mut hook = ScopeHook::new(NoopHook, 32);
+        let mut x = Tensor2::from_fn(8, 16, |i, j| {
+            let mut r = rng::stream_indexed("scope/probe-test", (i * 16 + j) as u64);
+            rng::normal_approx(&mut r)
+        });
+        hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x);
+        let entry = hook.ledger().get(0, "tri_mul.post_ln").unwrap();
+        let int4 = entry.probe_rmse(0);
+        let int8 = entry.probe_rmse(1);
+        assert!(int4 > int8, "int4 rmse {int4} should exceed int8 {int8}");
+        assert!(int8 > 0.0);
+    }
+
+    #[test]
+    fn perturb_hook_touches_only_its_group_and_is_deterministic() {
+        let mut x1 = Tensor2::from_fn(4, 8, |i, j| 1.0 + (i * 8 + j) as f32 * 0.01);
+        let x0 = x1.clone();
+        let mut hook = PerturbHook::new(ActivationGroup::B, 0.05, "test");
+        // Group A site: untouched.
+        hook.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x1);
+        assert_eq!(x1.as_slice(), x0.as_slice());
+        // Group B site: perturbed, and identically so across replays.
+        hook.on_activation(tap(ActivationSite::TriMulPostLn), &mut x1);
+        assert_ne!(x1.as_slice(), x0.as_slice());
+
+        let mut x2 = x0.clone();
+        let mut replay = PerturbHook::new(ActivationGroup::B, 0.05, "test");
+        replay.on_activation(tap(ActivationSite::TriMulResidualIn), &mut x2);
+        replay.on_activation(tap(ActivationSite::TriMulPostLn), &mut x2);
+        assert_eq!(x1.as_slice(), x2.as_slice());
+    }
+}

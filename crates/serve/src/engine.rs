@@ -120,6 +120,11 @@ struct RunState {
     /// Cursor into `responses`: everything before it was already handed
     /// out by an earlier [`Engine::advance`] call.
     emitted: usize,
+    /// Whether this run already snapshotted a `deadline_unmeetable` black
+    /// box. One per run: the first such rejection captures the admission
+    /// context; repeats would only burn the watch's black-box budget on
+    /// identical evidence.
+    deadline_box_fired: bool,
 }
 
 /// The batched folding scheduler over a pool of simulated backends.
@@ -425,6 +430,7 @@ impl Engine {
             stats,
             responses: Vec::with_capacity(cap),
             emitted: 0,
+            deadline_box_fired: false,
         });
     }
 
@@ -754,6 +760,10 @@ impl Engine {
                         reject_args("deadline_unmeetable"),
                     );
                     self.watch_observe(req.length, now, ObservedOutcome::Rejected);
+                    if !rs.deadline_box_fired {
+                        rs.deadline_box_fired = true;
+                        self.watch_trigger("deadline_unmeetable", now);
+                    }
                     responses.push(reject(req, RejectReason::DeadlineUnmeetable));
                     continue;
                 }
@@ -948,6 +958,8 @@ impl Engine {
                 );
                 let batch_size = f.requests.len();
                 for q in f.requests {
+                    let worst_rmse = ln_scope::modeled_worst_rmse(f.precision, q.request.length);
+                    stats.accuracy.record(worst_rmse, f.precision.is_degraded());
                     self.watch_observe(
                         q.request.length,
                         now,
@@ -955,6 +967,7 @@ impl Engine {
                             latency_seconds: now - q.request.arrival_seconds,
                             deadline_seconds: q.request.timeout_seconds,
                             degraded: f.precision.is_degraded(),
+                            worst_rmse,
                         },
                     );
                     responses.push(FoldResponse {

@@ -80,5 +80,5 @@ pub use bucket::BucketPolicy;
 pub use engine::{Engine, EngineOutcome};
 pub use request::{FoldError, FoldOutcome, FoldRequest, FoldResponse, RejectReason};
 pub use service::{FoldService, ServiceConfig, SubmitError};
-pub use stats::{BackendResilience, BatchRecord, ResilienceStats, ServeStats};
+pub use stats::{AccuracyStats, BackendResilience, BatchRecord, ResilienceStats, ServeStats};
 pub use workload::WorkloadSpec;

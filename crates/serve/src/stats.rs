@@ -230,6 +230,54 @@ impl ResilienceStats {
     }
 }
 
+/// Per-request accuracy accounting: the modeled worst-layer relative
+/// quantization RMSE each completed request was served with
+/// (`ln_scope::modeled_worst_rmse` of its batch's precision and length).
+///
+/// Deliberately *not* folded into [`ServeStats::fingerprint`]: the
+/// fingerprint pins the schedule and fault handling, and the accuracy
+/// view is derived telemetry layered on top — extending it must not
+/// invalidate golden fingerprints (same contract as the cluster's watch
+/// artifacts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracyStats {
+    /// Completed requests recorded.
+    pub requests: u64,
+    /// Σ worst-layer relative RMSE over those requests.
+    pub sum_worst_rmse: f64,
+    /// Largest per-request worst-layer RMSE seen.
+    pub max_worst_rmse: f64,
+    /// Requests served below FP32 (the ones carrying nonzero RMSE).
+    pub degraded_requests: u64,
+}
+
+impl AccuracyStats {
+    /// Records one completed request.
+    pub fn record(&mut self, worst_rmse: f64, degraded: bool) {
+        self.requests += 1;
+        self.sum_worst_rmse += worst_rmse;
+        self.max_worst_rmse = self.max_worst_rmse.max(worst_rmse);
+        self.degraded_requests += u64::from(degraded);
+    }
+
+    /// Mean worst-layer RMSE over completed requests (0 when empty).
+    pub fn mean_worst_rmse(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.sum_worst_rmse / self.requests as f64
+        }
+    }
+
+    /// Folds `other` into `self` (shard roll-up).
+    pub fn merge(&mut self, other: &AccuracyStats) {
+        self.requests += other.requests;
+        self.sum_worst_rmse += other.sum_worst_rmse;
+        self.max_worst_rmse = self.max_worst_rmse.max(other.max_worst_rmse);
+        self.degraded_requests += other.degraded_requests;
+    }
+}
+
 /// The service-wide statistics collector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
@@ -241,6 +289,8 @@ pub struct ServeStats {
     pub makespan_seconds: f64,
     /// Fault/retry/breaker/degradation counters.
     pub resilience: ResilienceStats,
+    /// Per-request accuracy telemetry (outside the fingerprint).
+    pub accuracy: AccuracyStats,
 }
 
 impl ServeStats {
@@ -251,6 +301,7 @@ impl ServeStats {
             batch_log: Vec::new(),
             makespan_seconds: 0.0,
             resilience: ResilienceStats::default(),
+            accuracy: AccuracyStats::default(),
         }
     }
 
@@ -606,6 +657,37 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.record_batch(record(0, vec![11], 1.0, 2.0), &[1.0]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_accuracy_stats() {
+        let mut a = ServeStats::new(1);
+        let mut b = ServeStats::new(1);
+        a.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        b.record_batch(record(0, vec![10], 0.0, 1.0), &[1.0]);
+        b.accuracy.record(0.032, true);
+        assert_ne!(a.accuracy, b.accuracy);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "accuracy telemetry must stay outside the schedule fingerprint"
+        );
+        assert!((b.accuracy.mean_worst_rmse() - 0.032).abs() < 1e-12);
+        assert_eq!(b.accuracy.degraded_requests, 1);
+    }
+
+    #[test]
+    fn accuracy_stats_merge_rolls_up() {
+        let mut a = AccuracyStats::default();
+        a.record(0.004, true);
+        a.record(0.0, false);
+        let mut b = AccuracyStats::default();
+        b.record(0.04, true);
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.degraded_requests, 2);
+        assert_eq!(a.max_worst_rmse, 0.04);
+        assert!((a.mean_worst_rmse() - (0.004 + 0.04) / 3.0).abs() < 1e-12);
     }
 
     #[test]

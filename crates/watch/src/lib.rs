@@ -158,9 +158,35 @@ impl Watch {
         &self.registry
     }
 
-    /// Feeds one terminal request outcome into the SLO engine.
+    /// Feeds one terminal request outcome into the SLO engine. Completed
+    /// requests additionally record their worst-layer relative RMSE into
+    /// a per-length-bucket histogram (parts-per-billion, so the integer
+    /// buckets resolve 1e-9..1 RMSE) in the run-local registry — the raw
+    /// series behind the accuracy error budget.
     pub fn observe(&mut self, obs: &FoldObservation) {
+        if let ObservedOutcome::Completed { worst_rmse, .. } = obs.outcome {
+            self.registry
+                .histogram(&ln_obs::labeled(
+                    "watch_worst_layer_rmse_ppb",
+                    &[("bucket", length_bucket_label(obs.length))],
+                ))
+                .record((worst_rmse * 1e9).round() as u64);
+        }
         self.slos.observe(obs);
+    }
+
+    /// Merges a numerics snapshot (`ln_scope::Scope::metrics`) into the
+    /// run-local registry, so every subsequent black box carries the
+    /// per-layer distribution sketches and quantization-error ledger
+    /// alongside the timing metrics.
+    pub fn record_numerics(&mut self, metrics: &BTreeMap<String, MetricValue>) {
+        for (name, value) in metrics {
+            match value {
+                MetricValue::Counter(v) => self.registry.counter(name).add(*v),
+                MetricValue::Gauge(v) => self.registry.gauge(name).set(*v),
+                MetricValue::Histogram(h) => self.registry.histogram(name).merge(h),
+            }
+        }
     }
 
     /// Feeds one trace event into the flight recorder (always on).

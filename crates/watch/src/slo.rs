@@ -36,6 +36,11 @@ pub enum SloKind {
     /// Fraction of completed requests served at full FP32 precision
     /// (degraded AAQ rungs count against it).
     DegradationRate,
+    /// Fraction of completed requests whose worst-layer relative
+    /// quantization RMSE stays at or under [`SloSpec::threshold_rmse`] —
+    /// the *accuracy error budget*: how often the fleet is allowed to
+    /// serve numerics worse than the calibrated bound.
+    AccuracyRmse,
 }
 
 /// A declarative service-level objective.
@@ -49,6 +54,9 @@ pub struct SloSpec {
     pub target: f64,
     /// Latency threshold for [`SloKind::P99Latency`] (ignored otherwise).
     pub threshold_seconds: f64,
+    /// Worst-layer relative-RMSE threshold for [`SloKind::AccuracyRmse`]
+    /// (ignored otherwise).
+    pub threshold_rmse: f64,
     /// Fast burn window, virtual seconds (default 300 — five minutes).
     pub fast_window_seconds: f64,
     /// Slow burn window, virtual seconds (default 3600 — one hour).
@@ -72,6 +80,7 @@ impl SloSpec {
             kind,
             target,
             threshold_seconds: 0.0,
+            threshold_rmse: 0.0,
             fast_window_seconds: 300.0,
             slow_window_seconds: 3600.0,
             burn_threshold: 2.0,
@@ -98,6 +107,16 @@ impl SloSpec {
     pub fn degradation_rate(name: &str, target: f64) -> Self {
         Self::base(name, SloKind::DegradationRate, target)
     }
+
+    /// An accuracy error budget: `target` of completions carry a
+    /// worst-layer relative quantization RMSE at or under
+    /// `threshold_rmse`.
+    pub fn accuracy_rmse(name: &str, threshold_rmse: f64, target: f64) -> Self {
+        SloSpec {
+            threshold_rmse,
+            ..Self::base(name, SloKind::AccuracyRmse, target)
+        }
+    }
 }
 
 /// Terminal request outcome as the SLO engine sees it.
@@ -111,6 +130,10 @@ pub enum ObservedOutcome {
         deadline_seconds: f64,
         /// Whether it ran on a degraded AAQ rung (INT8/INT4).
         degraded: bool,
+        /// Worst-layer relative quantization RMSE of the serving run
+        /// (modeled from the precision rung, or measured when a scope
+        /// ledger is attached; exactly 0 for FP32).
+        worst_rmse: f64,
     },
     /// The request timed out in queue.
     TimedOut,
@@ -224,9 +247,13 @@ impl SloEngine {
             (SloKind::DegradationRate, ObservedOutcome::Completed { degraded, .. }) => {
                 Some(!degraded)
             }
-            // Latency and precision objectives are conditioned on
-            // completion; non-completions are the deadline SLO's problem.
-            (SloKind::P99Latency | SloKind::DegradationRate, _) => None,
+            (SloKind::AccuracyRmse, ObservedOutcome::Completed { worst_rmse, .. }) => {
+                Some(worst_rmse <= spec.threshold_rmse)
+            }
+            // Latency, precision and accuracy objectives are conditioned
+            // on completion; non-completions are the deadline SLO's
+            // problem.
+            (SloKind::P99Latency | SloKind::DegradationRate | SloKind::AccuracyRmse, _) => None,
         }
     }
 
@@ -374,6 +401,7 @@ mod tests {
                 latency_seconds: latency,
                 deadline_seconds: 10.0,
                 degraded: false,
+                worst_rmse: 0.0,
             },
         }
     }
@@ -429,6 +457,40 @@ mod tests {
             eng.observe(&failed(500.0 + i as f64));
         }
         assert_eq!(eng.evaluate(504.0, &reg).len(), 3);
+    }
+
+    #[test]
+    fn accuracy_budget_classifies_on_worst_rmse() {
+        let mut eng = SloEngine::new(vec![SloSpec::accuracy_rmse("accuracy", 0.05, 0.9)]);
+        let reg = Registry::new();
+        let mut obs = complete(0.0, 1.0);
+        // Within budget: INT8-grade numerics.
+        obs.outcome = ObservedOutcome::Completed {
+            latency_seconds: 1.0,
+            deadline_seconds: 10.0,
+            degraded: true,
+            worst_rmse: 0.004,
+        };
+        eng.observe(&obs);
+        // Over budget: INT4 numerics past the 0.05 threshold.
+        obs.at_seconds = 1.0;
+        obs.outcome = ObservedOutcome::Completed {
+            latency_seconds: 1.0,
+            deadline_seconds: 10.0,
+            degraded: true,
+            worst_rmse: 0.08,
+        };
+        eng.observe(&obs);
+        // Non-completions don't count.
+        eng.observe(&failed(2.0));
+        eng.evaluate(3.0, &reg);
+        let rows = eng.rows();
+        let acc = rows
+            .iter()
+            .find(|r| r.slo == "accuracy" && r.scope == "global")
+            .unwrap();
+        assert_eq!(acc.total, 2);
+        assert_eq!(acc.budget_spent, 1);
     }
 
     #[test]

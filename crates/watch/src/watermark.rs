@@ -21,22 +21,10 @@ use std::collections::BTreeMap;
 use ln_obs::{labeled, MetricValue, Registry};
 use ln_quant::ActPrecision;
 
-/// Canonical length-bucket upper bounds (residues) for watermark and SLO
-/// scoping; sequences past the last bound fall into `"gt_8192"`.
-pub const LENGTH_BUCKET_BOUNDS: [usize; 6] = [256, 512, 1024, 2048, 4096, 8192];
-
-/// The canonical label of the length bucket containing `length`.
-pub fn length_bucket_label(length: usize) -> &'static str {
-    match length {
-        0..=256 => "le_256",
-        257..=512 => "le_512",
-        513..=1024 => "le_1024",
-        1025..=2048 => "le_2048",
-        2049..=4096 => "le_4096",
-        4097..=8192 => "le_8192",
-        _ => "gt_8192",
-    }
-}
+// The canonical length-bucket vocabulary moved to `ln_scope::bucket` (one
+// source shared with the numerics sketches); re-exported here so every
+// existing `ln_watch::watermark::length_bucket_label` caller keeps working.
+pub use ln_scope::bucket::{length_bucket_label, LENGTH_BUCKET_BOUNDS};
 
 /// One `(length bucket, precision)` cell of the watermark table.
 #[derive(Debug, Clone, PartialEq)]

@@ -13,6 +13,9 @@
 #   BENCH_WATCH.json   — ln-watch per-event overhead, SLO burn-rate
 #                        fixture timings and the memory-vs-length
 #                        watermark table
+#   BENCH_NUMERICS.json — ln-scope off/on-mode observation cost, the
+#                        pool-identity verdict, the measured sensitivity
+#                        model and the per-layer precision ledger
 #
 # After regenerating, every BENCH_*.json is copied into benchmarks/history/
 # suffixed with the current git short SHA; that directory is the baseline
@@ -27,12 +30,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight --bin cluster_scale --bin watch
+cargo build --offline --release -p ln-bench --bin par_speedup --bin obs_overhead --bin insight --bin cluster_scale --bin watch --bin numerics
 
 ./target/release/par_speedup
 ./target/release/obs_overhead
 ./target/release/cluster_scale
 ./target/release/watch
+./target/release/numerics
 ./target/release/insight
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)

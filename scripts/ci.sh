@@ -12,6 +12,7 @@
 #   8. insight --quick                                    (ln-insight gate)
 #   9. cluster_scale --quick                              (ln-cluster gate)
 #  10. watch --quick                                      (ln-watch gate)
+#  11. numerics --quick                                   (ln-scope gate)
 #
 # Step 5 exits non-zero when a parallel kernel diverges bitwise from its
 # serial execution OR when any kernel's speedup drops below the 0.95x
@@ -39,7 +40,12 @@
 # burn-rate fixtures, and exits non-zero if the steady fixture breaches,
 # the burst fixture fails to breach, or the modeled peak-activation
 # watermark stops shrinking monotonically FP32 -> INT8 -> INT4 at
-# L >= 1024.
+# L >= 1024. Step 11 measures the LN_OBS=off cost of wrapping the AAQ
+# hook in the ln-scope observatory (one branch per tap, same 5% budget,
+# one bounded re-measure on a noisy sample), re-runs the golden CAMEO
+# fold under ln-par pools {1, 2, 4}, and exits non-zero if the numerics
+# snapshots are not byte-identical across pools or the precision ledger
+# comes back empty.
 #
 # The workspace is dependency-free on purpose: everything here must pass
 # with zero network access. See ROADMAP.md ("Tier-1 gate script").
@@ -67,6 +73,7 @@ step ./target/release/obs_overhead --quick
 step ./target/release/insight --quick
 step ./target/release/cluster_scale --quick
 step ./target/release/watch --quick
+step ./target/release/numerics --quick
 
 echo
 echo "ci.sh: all tier-1 checks passed"

@@ -27,6 +27,7 @@ pub use ln_insight;
 pub use ln_ppm;
 pub use ln_protein;
 pub use ln_quant;
+pub use ln_scope;
 pub use ln_serve;
 pub use ln_tensor;
 pub use ln_watch;
@@ -43,6 +44,7 @@ mod tests {
         let _ = crate::ln_quant::scheme::AaqConfig::paper();
         let _ = crate::ln_accel::HwConfig::paper();
         let _ = crate::ln_gpu::H100;
+        let _ = crate::ln_scope::Scope::new();
         let _ = crate::ln_serve::BatcherConfig::default();
         let _ = crate::ln_insight::regression::GateConfig::default();
         let _ = crate::ln_watch::WatchConfig::default();

@@ -10,12 +10,19 @@
 //!   re-serializing those yields byte-identical JSONL (a fixed point).
 //!   This holds for a synthetic vocabulary-covering trace and for a real
 //!   chaos run of the serve engine.
+//! * The ln-scope numerics snapshot is itself a metrics-JSONL document,
+//!   and it must survive both the standalone `parse_metrics` path and a
+//!   full trip through an ln-watch flight-recorder black box — that is
+//!   how the precision-ledger report reads numerics out of a breach
+//!   artifact.
 
 use ln_datasets::Registry;
 use ln_fault::{ChaosSpec, FaultPlan, ResilienceConfig};
 use ln_insight::json;
 use ln_obs::{ArgValue, TraceEvent, TracePhase};
+use ln_scope::{Scope, SketchKey};
 use ln_serve::{standard_backends, BatcherConfig, BucketPolicy, Engine, WorkloadSpec};
+use ln_tensor::Tensor2;
 
 /// A hand-built trace covering every phase kind and argument type,
 /// including the adversarial corners: escapes in strings, a zero
@@ -135,6 +142,87 @@ fn jsonl_round_trip_is_lossless_for_a_real_engine_trace() {
         "engine traces must attribute fully: {:?}",
         original.unattributed
     );
+}
+
+/// A small deterministic numerics scope: three populated `(layer, stage)`
+/// cells with sketches, actual-rung error, byte accounting and probe
+/// errors — every metric family the ln-scope exporters emit.
+fn demo_scope() -> Scope {
+    let mut scope = Scope::new();
+    for (block, stage) in [
+        (0usize, "tri_mul.residual_in"),
+        (0, "tri_mul.post_ln"),
+        (1, "tri_attn.scores"),
+    ] {
+        let x = Tensor2::from_fn(6, 16, |i, j| {
+            ((block + 1) * (i * 16 + j + 1)) as f32 * 0.03 - 1.0
+        });
+        scope.book.observe(
+            SketchKey {
+                block,
+                stage,
+                bucket: "le_256",
+            },
+            &x,
+        );
+        let cell = scope.ledger.entry(block, stage);
+        cell.rung = String::from("INT4+4o");
+        cell.taps = 2;
+        cell.err_sq = 0.5;
+        cell.val_sq = 300.0;
+        cell.encoded_bytes = 120;
+        cell.fp16_bytes = 384;
+        cell.probe_err_sq = [3.0, 0.02];
+        cell.probe_val_sq = [300.0, 300.0];
+    }
+    scope
+}
+
+#[test]
+fn numerics_snapshot_jsonl_round_trips_exactly() {
+    let scope = demo_scope();
+    let text = scope.snapshot_jsonl();
+    assert!(!text.is_empty());
+    let parsed = ln_insight::parse_metrics(&text).expect("numerics JSONL parses");
+    assert_eq!(
+        parsed,
+        scope.metrics(),
+        "re-ingestion reproduces the snapshot"
+    );
+    assert_eq!(
+        ln_obs::metrics_jsonl(&parsed),
+        text,
+        "serialize∘parse must be a fixed point"
+    );
+    // The parsed snapshot still supports the downstream analysis: one
+    // precision row per (layer, stage) cell, with the rung attributed.
+    let rows = ln_insight::precision_rows(&parsed);
+    assert_eq!(rows.len(), 3, "one precision row per ledger cell");
+    assert!(rows.iter().all(|r| r.rung == "INT4+4o"));
+}
+
+#[test]
+fn blackbox_carrying_numerics_round_trips_exactly() {
+    let scope = demo_scope();
+    let reg = ln_obs::Registry::new();
+    scope.export_into(&reg);
+    let exported = reg.snapshot();
+    assert!(
+        !exported.is_empty(),
+        "export_into needs counting enabled (the LN_OBS default)"
+    );
+
+    let recorder = ln_watch::FlightRecorder::new(16, 30.0);
+    let text = recorder.snapshot("slo_breach:accuracy_rmse", 3, 45.0, &reg);
+    let doc = ln_insight::parse_blackbox(&text).expect("black box parses");
+    assert_eq!(doc.trigger, "slo_breach:accuracy_rmse");
+    assert_eq!(doc.metrics, exported, "metrics survive the black box");
+    assert!(
+        text.ends_with(&ln_obs::metrics_jsonl(&doc.metrics)),
+        "metric section must re-serialize byte-identically"
+    );
+    // A breach artifact alone is enough to rebuild the precision ledger.
+    assert_eq!(ln_insight::precision_rows(&doc.metrics).len(), 3);
 }
 
 #[test]

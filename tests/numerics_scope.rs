@@ -1,0 +1,226 @@
+//! Acceptance tests for the ln-scope activation numerics observatory
+//! (DESIGN.md §16):
+//!
+//! * The numerics snapshot of a fold is **byte-identical** across ln-par
+//!   pool sizes 1/2/4 — the sketches and ledger observe the hook path,
+//!   which the trunk drives in dataflow order regardless of how the
+//!   kernels parallelise, so pool size must never show in the bytes.
+//! * With `LN_OBS=off`, wrapping a hook in the observatory is
+//!   bit-transparent: same prediction, nothing observed.
+//! * [`Scope::merge`] is associative and commutative, so per-worker or
+//!   per-shard scopes can be folded together in any grouping without
+//!   changing the snapshot. The seeded variants always run; a
+//!   property-based section widens the input space when the `proptest`
+//!   feature (and the external crate it gates) is available.
+
+use std::sync::{Mutex, MutexGuard};
+
+use lightnobel::hook::AaqHook;
+use ln_obs::ObsLevel;
+use ln_par::{with_pool, Pool};
+use ln_ppm::{FoldingModel, PpmConfig, PredictionOutput};
+use ln_protein::generator::StructureGenerator;
+use ln_protein::Sequence;
+use ln_quant::scheme::AaqConfig;
+use ln_scope::{Scope, ScopeHook, SketchKey};
+use ln_tensor::rng::{self, Rng};
+use ln_tensor::Tensor2;
+
+const LEN: usize = 24;
+
+/// The observability level is process-global and these tests pin it in
+/// both directions, so they serialize on one lock and restore on drop.
+static OBS_LEVEL: Mutex<()> = Mutex::new(());
+
+struct ObsGuard {
+    prev: ObsLevel,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl ObsGuard {
+    fn at(level: ObsLevel) -> Self {
+        let lock = OBS_LEVEL.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = ln_obs::level();
+        ln_obs::set_level(level);
+        ObsGuard { prev, _lock: lock }
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        ln_obs::set_level(self.prev);
+    }
+}
+
+/// Folds one small deterministic protein through the AAQ-quantized tiny
+/// trunk under a pool of `threads` workers, observing with the full
+/// observatory (sketches + ledger + probes).
+fn fold_scope(threads: usize) -> (Scope, PredictionOutput) {
+    let model = FoldingModel::new(PpmConfig::tiny());
+    let seq = Sequence::random("numerics-scope", LEN);
+    let native = StructureGenerator::new("numerics-scope").generate(LEN);
+    let pool = Pool::new_exact(threads);
+    with_pool(&pool, || {
+        let mut hook = ScopeHook::new(AaqHook::paper(), LEN).with_aaq_config(AaqConfig::paper());
+        let out = model
+            .predict_with_hook(&seq, &native, &mut hook)
+            .expect("tiny fold succeeds");
+        (Scope::from_hook(hook), out)
+    })
+}
+
+#[test]
+fn scope_snapshot_is_byte_identical_across_pools() {
+    let _guard = ObsGuard::at(ObsLevel::Counters);
+    let (scope1, out1) = fold_scope(1);
+    let golden = scope1.snapshot_jsonl();
+    assert!(!scope1.is_empty(), "the fold must populate the observatory");
+    for threads in [2usize, 4] {
+        let (scope, out) = fold_scope(threads);
+        assert_eq!(
+            scope.snapshot_jsonl(),
+            golden,
+            "numerics snapshot diverged at pool size {threads}"
+        );
+        assert_eq!(out, out1, "fold output diverged at pool size {threads}");
+    }
+
+    // The collected numerics are sane: quantization error is real but
+    // small, and every ledger cell carries a config-attributed rung
+    // (AAQ touches every group, so nothing should read "fp32").
+    let worst = scope1.worst_layer_rmse();
+    assert!(
+        worst > 0.0 && worst < 1.0,
+        "worst rmse {worst} out of range"
+    );
+    for ((block, stage), entry) in scope1.ledger.iter() {
+        assert!(
+            entry.rung.starts_with("INT"),
+            "cell (b{block}, {stage}) lost its rung: {:?}",
+            entry.rung
+        );
+        assert!(entry.taps > 0);
+    }
+}
+
+#[test]
+fn off_mode_wrapping_is_bit_transparent() {
+    let _guard = ObsGuard::at(ObsLevel::Off);
+    let model = FoldingModel::new(PpmConfig::tiny());
+    let seq = Sequence::random("numerics-scope-off", LEN);
+    let native = StructureGenerator::new("numerics-scope-off").generate(LEN);
+
+    let mut bare = AaqHook::paper();
+    let bare_out = model
+        .predict_with_hook(&seq, &native, &mut bare)
+        .expect("bare fold succeeds");
+
+    let mut wrapped = ScopeHook::new(AaqHook::paper(), LEN).with_aaq_config(AaqConfig::paper());
+    let wrapped_out = model
+        .predict_with_hook(&seq, &native, &mut wrapped)
+        .expect("wrapped fold succeeds");
+
+    assert_eq!(bare_out, wrapped_out, "off-mode wrapper must not perturb");
+    assert!(
+        Scope::from_hook(wrapped).is_empty(),
+        "off mode must observe nothing"
+    );
+}
+
+/// A scope populated from `seed`, built entirely from dyadic rationals
+/// (multiples of 1/64 with small magnitudes), so every floating-point
+/// accumulation in `merge` is exact and byte-identity — not just
+/// approximate equality — is the right assertion for associativity.
+///
+/// The rung label is the same in every scope: shards of one run share one
+/// AAQ config, and the busier-cell tie-break on the label is only
+/// order-free under that (realistic) condition.
+fn dyadic_scope(seed: u64) -> Scope {
+    let stages = [
+        "tri_mul.residual_in",
+        "tri_mul.post_ln",
+        "tri_attn.scores",
+        "transition.post_ln",
+    ];
+    let buckets = ["le_256", "le_512"];
+    let mut r = rng::stream_indexed("numerics-scope/merge", seed);
+    let mut dyadic = move || ((r.next_u64() % 1025) as i64 - 512) as f32 / 64.0;
+
+    let mut scope = Scope::new();
+    for (s, &stage) in stages.iter().enumerate() {
+        let block = s % 2;
+        let x = Tensor2::from_fn(5, 8, |_, _| dyadic());
+        scope.book.observe(
+            SketchKey {
+                block,
+                stage,
+                bucket: buckets[s % buckets.len()],
+            },
+            &x,
+        );
+        let cell = scope.ledger.entry(block, stage);
+        cell.rung = String::from("INT4+4o");
+        cell.taps = seed * 3 + s as u64 + 1;
+        cell.err_sq = (seed + 1) as f64 / 16.0;
+        cell.val_sq = (seed + 7) as f64 * 4.0;
+        cell.encoded_bytes = 40 * (seed + 1);
+        cell.fp16_bytes = 128 * (seed + 1);
+        cell.probe_err_sq = [(seed + 2) as f64 / 8.0, (seed + 3) as f64 / 32.0];
+        cell.probe_val_sq = [(seed + 7) as f64 * 4.0; 2];
+    }
+    scope
+}
+
+fn assert_merge_order_free(sa: u64, sb: u64, sc: u64) {
+    let a = dyadic_scope(sa);
+    let b = dyadic_scope(sb);
+    let c = dyadic_scope(sc);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(
+        ab.snapshot_jsonl(),
+        ba.snapshot_jsonl(),
+        "merge must commute (seeds {sa}, {sb})"
+    );
+
+    let mut ab_c = ab;
+    ab_c.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(
+        ab_c.snapshot_jsonl(),
+        a_bc.snapshot_jsonl(),
+        "merge must associate (seeds {sa}, {sb}, {sc})"
+    );
+}
+
+#[test]
+fn scope_merge_is_associative_and_commutative_seeded() {
+    for (sa, sb, sc) in [(0u64, 1, 2), (3, 3, 3), (9, 0, 41), (17, 5, 11)] {
+        assert_merge_order_free(sa, sb, sc);
+    }
+}
+
+// Compiled only with `--features proptest` (needs the external `proptest`
+// crate, unavailable offline — see the [features] note in Cargo.toml).
+#[cfg(feature = "proptest")]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn merge_order_free_for_arbitrary_seeds(
+            sa in 0u64..1_000_000, sb in 0u64..1_000_000, sc in 0u64..1_000_000
+        ) {
+            assert_merge_order_free(sa, sb, sc);
+        }
+    }
+}
